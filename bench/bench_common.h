@@ -1,0 +1,69 @@
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary reproduces one table/figure of the paper: it first
+// prints the paper-style table ("reproduction" section), then runs its
+// google-benchmark microbenchmarks. Scale defaults to laptop size; set
+// CEXPLORER_BENCH_FULL=1 to run at the paper's dataset scale (977,288
+// authors — generation plus indexing then takes a few minutes).
+
+#ifndef CEXPLORER_BENCH_BENCH_COMMON_H_
+#define CEXPLORER_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/kcore.h"
+#include "data/dblp.h"
+#include "graph/attributed_graph.h"
+
+namespace cexplorer {
+namespace bench {
+
+/// True iff CEXPLORER_BENCH_FULL=1 is set.
+inline bool FullScale() {
+  const char* env = std::getenv("CEXPLORER_BENCH_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Default benchmark dataset options: 60k authors (laptop) or the paper's
+/// 977k (full scale).
+inline DblpOptions BenchDblpOptions() {
+  if (FullScale()) return DblpOptions::FullScale();
+  DblpOptions o;
+  o.num_authors = 60000;
+  o.num_areas = 60;
+  o.vocabulary_size = 6000;
+  o.seed = 2017;
+  return o;
+}
+
+/// The query author of the demo scenario: highest core number, ties broken
+/// by degree (the best-embedded "renowned researcher").
+inline VertexId PickQueryAuthor(const AttributedGraph& g,
+                                const std::vector<std::uint32_t>& core) {
+  VertexId best = 0;
+  for (VertexId v = 1; v < g.num_vertices(); ++v) {
+    if (core[v] > core[best] ||
+        (core[v] == core[best] &&
+         g.graph().Degree(v) > g.graph().Degree(best))) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+/// Prints the standard reproduction banner.
+inline void Banner(const char* experiment, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("Reproduction: %s\n", experiment);
+  std::printf("Paper claim:  %s\n", claim);
+  std::printf("Scale:        %s\n",
+              FullScale() ? "FULL (paper dataset size)" : "default (laptop)");
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace bench
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,172 @@
+// Experiment: Figures 1-2, the interactive exploration scenario.
+//
+// Paper: "Once she clicks the 'Search' button, the right panel will QUICKLY
+// display a community of Jim Gray ... the communities will be returned
+// INSTANTLY and displayed in the browser."
+//
+// Reproduction: measure the end-to-end interactive path at DBLP scale —
+// name lookup -> ACQ query (Dec on the CL-tree) -> layout -> render — and
+// show each stage is far below interactive latency (~100 ms). Also runs
+// the click-through loop (profile -> explore member).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "acq/acq.h"
+#include "bench/bench_common.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "explorer/explorer.h"
+#include "layout/layout.h"
+#include "graph/subgraph.h"
+
+namespace {
+
+using namespace cexplorer;
+using cexplorer::bench::Banner;
+
+struct Scenario {
+  std::unique_ptr<Explorer> explorer = std::make_unique<Explorer>();
+  VertexId q = 0;
+  Query query;
+};
+
+Scenario* PrepareScenario() {
+  auto* s = new Scenario();
+  DblpDataset data = GenerateDblp(cexplorer::bench::BenchDblpOptions());
+  (void)s->explorer->UploadGraph(std::move(data.graph));
+  s->q = cexplorer::bench::PickQueryAuthor(s->explorer->graph(),
+                                           s->explorer->core_numbers());
+  s->query.vertices = {s->q};
+  s->query.k = 4;
+  auto kws = s->explorer->graph().KeywordStrings(s->q);
+  for (std::size_t i = 0; i < kws.size() && i < 6; ++i) {
+    s->query.keywords.push_back(kws[i]);
+  }
+  return s;
+}
+
+Scenario& TheScenario() {
+  static Scenario* s = PrepareScenario();
+  return *s;
+}
+
+void PrintLatencyTable() {
+  Banner("Figures 1-2: interactive exploration latency",
+         "communities are returned 'instantly' on a ~1M-vertex graph");
+
+  Scenario& s = TheScenario();
+  const AttributedGraph& g = s.explorer->graph();
+  std::printf("dataset: %s authors, %s edges; query author '%s' (deg %zu)\n\n",
+              FormatWithCommas(g.num_vertices()).c_str(),
+              FormatWithCommas(g.graph().num_edges()).c_str(),
+              g.Name(s.q).c_str(), g.graph().Degree(s.q));
+
+  std::printf("%-34s %12s\n", "stage", "latency(ms)");
+
+  Timer timer;
+  VertexId resolved = g.FindByName(g.Name(s.q));
+  double lookup_ms = timer.ElapsedMillis();
+  std::printf("%-34s %12.3f\n", "name lookup", lookup_ms);
+  (void)resolved;
+
+  timer.Restart();
+  auto communities = s.explorer->Search("ACQ", s.query);
+  double search_ms = timer.ElapsedMillis();
+  std::printf("%-34s %12.3f\n", "ACQ search (Dec, CL-tree)", search_ms);
+
+  if (communities.ok() && !communities->empty()) {
+    timer.Restart();
+    auto display = s.explorer->Display((*communities)[0]);
+    double display_ms = timer.ElapsedMillis();
+    std::printf("%-34s %12.3f\n", "layout + render (community 1)",
+                display_ms);
+
+    timer.Restart();
+    auto profile = s.explorer->Profile((*communities)[0].vertices[0]);
+    double profile_ms = timer.ElapsedMillis();
+    std::printf("%-34s %12.3f\n", "member profile popup", profile_ms);
+    (void)profile;
+
+    Query follow;
+    follow.vertices = {(*communities)[0].vertices.back()};
+    follow.k = 4;
+    timer.Restart();
+    auto next = s.explorer->Search("Global", follow);
+    double explore_ms = timer.ElapsedMillis();
+    std::printf("%-34s %12.3f\n", "explore member (Global)", explore_ms);
+    (void)next;
+
+    std::printf("\ncommunities found: %zu (sizes:", communities->size());
+    for (const auto& c : *communities) std::printf(" %zu", c.size());
+    std::printf(")\n");
+  } else {
+    std::printf("search returned no communities: %s\n",
+                communities.ok() ? "(empty)"
+                                 : communities.status().ToString().c_str());
+  }
+  std::printf("\nShape check: every stage is well under interactive latency.\n\n");
+}
+
+void BM_NameLookup(benchmark::State& state) {
+  Scenario& s = TheScenario();
+  const std::string name = s.explorer->graph().Name(s.q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.explorer->graph().FindByName(name));
+  }
+}
+BENCHMARK(BM_NameLookup);
+
+void BM_AcqSearchEndToEnd(benchmark::State& state) {
+  Scenario& s = TheScenario();
+  for (auto _ : state) {
+    auto communities = s.explorer->Search("ACQ", s.query);
+    benchmark::DoNotOptimize(communities.ok());
+  }
+}
+BENCHMARK(BM_AcqSearchEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_GlobalSearchEndToEnd(benchmark::State& state) {
+  Scenario& s = TheScenario();
+  for (auto _ : state) {
+    auto communities = s.explorer->Search("Global", s.query);
+    benchmark::DoNotOptimize(communities.ok());
+  }
+}
+BENCHMARK(BM_GlobalSearchEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_LocalSearchEndToEnd(benchmark::State& state) {
+  Scenario& s = TheScenario();
+  for (auto _ : state) {
+    auto communities = s.explorer->Search("Local", s.query);
+    benchmark::DoNotOptimize(communities.ok());
+  }
+}
+BENCHMARK(BM_LocalSearchEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_CommunityLayout(benchmark::State& state) {
+  Scenario& s = TheScenario();
+  auto communities = s.explorer->Search("ACQ", s.query);
+  if (!communities.ok() || communities->empty()) {
+    state.SkipWithError("no community");
+    return;
+  }
+  Subgraph sub = InducedSubgraph(s.explorer->graph().graph(),
+                                 (*communities)[0].vertices);
+  for (auto _ : state) {
+    Layout layout = ForceDirectedLayout(sub.graph);
+    benchmark::DoNotOptimize(layout.data());
+  }
+}
+BENCHMARK(BM_CommunityLayout)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintLatencyTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

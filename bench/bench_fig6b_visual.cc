@@ -1,0 +1,177 @@
+// Experiment: Figure 6(b), the visual side-by-side comparison.
+//
+// Paper: two communities found by ACQ and Local are presented side by side
+// "and their differences can be easily observed".
+//
+// Reproduction: compute both communities for the same query, print their
+// member overlap (the observable difference), render both with the layout
+// engine, and benchmark layout computation across community sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+#include "explorer/explorer.h"
+#include "graph/subgraph.h"
+#include "layout/ascii_canvas.h"
+#include "layout/layout.h"
+#include "metrics/similarity.h"
+
+namespace {
+
+using namespace cexplorer;
+using cexplorer::bench::Banner;
+
+struct Scenario {
+  std::unique_ptr<Explorer> explorer = std::make_unique<Explorer>();
+  Query query;
+  std::vector<Community> acq;
+  std::vector<Community> local;
+};
+
+Scenario* PrepareScenario() {
+  auto* s = new Scenario();
+  DblpDataset data = GenerateDblp(cexplorer::bench::BenchDblpOptions());
+  (void)s->explorer->UploadGraph(std::move(data.graph));
+  VertexId q = cexplorer::bench::PickQueryAuthor(s->explorer->graph(),
+                                                 s->explorer->core_numbers());
+  s->query.vertices = {q};
+  s->query.k = 4;
+  auto kws = s->explorer->graph().KeywordStrings(q);
+  for (std::size_t i = 0; i < kws.size() && i < 6; ++i) {
+    s->query.keywords.push_back(kws[i]);
+  }
+  auto acq = s->explorer->Search("ACQ", s->query);
+  auto local = s->explorer->Search("Local", s->query);
+  if (acq.ok()) s->acq = std::move(acq.value());
+  if (local.ok()) s->local = std::move(local.value());
+  return s;
+}
+
+Scenario& TheScenario() {
+  static Scenario* s = PrepareScenario();
+  return *s;
+}
+
+void PrintVisualComparison() {
+  Banner("Figure 6(b): ACQ vs Local, side by side",
+         "the two methods return visibly different communities");
+
+  Scenario& s = TheScenario();
+  if (s.acq.empty() || s.local.empty()) {
+    std::printf("missing communities (ACQ %zu, Local %zu)\n", s.acq.size(),
+                s.local.size());
+    return;
+  }
+  const Community& acq = s.acq[0];
+  const Community& local = s.local[0];
+  std::printf("ACQ community 1: %zu members | Local: %zu members\n",
+              acq.size(), local.size());
+  std::printf("member overlap (Jaccard): %.3f\n",
+              VertexJaccard(acq.vertices, local.vertices));
+  std::printf("shared members: %zu\n\n", [&] {
+    std::size_t count = 0;
+    for (VertexId v : acq.vertices) {
+      if (std::binary_search(local.vertices.begin(), local.vertices.end(), v)) {
+        ++count;
+      }
+    }
+    return count;
+  }());
+
+  auto show = [&s](const char* title, const Community& community) {
+    std::printf("--- %s (%zu members) ---\n", title, community.size());
+    if (community.size() <= 60) {
+      auto display = s.explorer->Display(community);
+      if (display.ok()) std::printf("%s", display->ascii.c_str());
+    } else {
+      std::printf("(too large to render; first members:");
+      for (std::size_t i = 0; i < 8 && i < community.size(); ++i) {
+        std::printf(" %s",
+                    s.explorer->graph().Name(community.vertices[i]).c_str());
+      }
+      std::printf(" ...)\n");
+    }
+    std::printf("\n");
+  };
+  show("ACQ", acq);
+  show("Local", local);
+}
+
+void BM_ForceLayoutBySize(benchmark::State& state) {
+  Scenario& s = TheScenario();
+  // Take the first `size` members of the Global community as a stand-in
+  // community of controlled size.
+  Query query = s.query;
+  auto global = s.explorer->Search("Global", query);
+  if (!global.ok() || global->empty()) {
+    state.SkipWithError("no global community");
+    return;
+  }
+  VertexList members = (*global)[0].vertices;
+  std::size_t size = std::min<std::size_t>(
+      members.size(), static_cast<std::size_t>(state.range(0)));
+  members.resize(size);
+  Subgraph sub = InducedSubgraph(s.explorer->graph().graph(), members);
+  for (auto _ : state) {
+    Layout layout = ForceDirectedLayout(sub.graph);
+    benchmark::DoNotOptimize(layout.data());
+  }
+  state.SetLabel(std::to_string(size) + " vertices");
+}
+BENCHMARK(BM_ForceLayoutBySize)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AsciiRender(benchmark::State& state) {
+  Scenario& s = TheScenario();
+  if (s.acq.empty()) {
+    state.SkipWithError("no community");
+    return;
+  }
+  Subgraph sub =
+      InducedSubgraph(s.explorer->graph().graph(), s.acq[0].vertices);
+  Layout layout = ForceDirectedLayout(sub.graph);
+  std::vector<std::string> labels;
+  for (VertexId local : sub.to_parent) {
+    labels.push_back(s.explorer->graph().Name(local));
+  }
+  for (auto _ : state) {
+    std::string out = RenderCommunity(sub.graph, layout, labels);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_AsciiRender)->Unit(benchmark::kMillisecond);
+
+void BM_CircleVsForce(benchmark::State& state) {
+  Scenario& s = TheScenario();
+  if (s.acq.empty()) {
+    state.SkipWithError("no community");
+    return;
+  }
+  Subgraph sub =
+      InducedSubgraph(s.explorer->graph().graph(), s.acq[0].vertices);
+  const bool circle = state.range(0) == 1;
+  for (auto _ : state) {
+    Layout layout = circle ? CircleLayout(sub.num_vertices())
+                           : ForceDirectedLayout(sub.graph);
+    benchmark::DoNotOptimize(layout.data());
+  }
+  state.SetLabel(circle ? "circle" : "force-directed");
+}
+BENCHMARK(BM_CircleVsForce)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintVisualComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

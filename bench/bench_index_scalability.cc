@@ -1,0 +1,172 @@
+// Experiment: Section 3.2 claim "the CL-tree ... enables the ACs to be
+// found efficiently" (vs the index-free straightforward method, which
+// "is impractical").
+//
+// Reproduction: (a) compare indexed Dec against the index-free brute-force
+// enumeration on the same queries — the gap is the reason the index exists;
+// (b) show query latency stays interactive as the graph grows.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "acq/acq.h"
+#include "bench/bench_common.h"
+#include "cltree/cltree.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "data/dblp.h"
+
+namespace {
+
+using namespace cexplorer;
+using cexplorer::bench::Banner;
+
+struct SizedWorkload {
+  AttributedGraph graph;
+  ClTree tree;
+  VertexId q = 0;
+};
+
+SizedWorkload MakeWorkload(std::size_t num_authors) {
+  DblpOptions options = cexplorer::bench::BenchDblpOptions();
+  options.num_authors = num_authors;
+  DblpDataset data = GenerateDblp(options);
+  SizedWorkload w;
+  w.graph = std::move(data.graph);
+  w.tree = ClTree::Build(w.graph);
+  std::vector<std::uint32_t> core(w.graph.num_vertices());
+  for (VertexId v = 0; v < w.graph.num_vertices(); ++v) {
+    core[v] = w.tree.CoreOf(v);
+  }
+  w.q = cexplorer::bench::PickQueryAuthor(w.graph, core);
+  return w;
+}
+
+void PrintIndexedVsBaseline() {
+  Banner("CL-tree index vs index-free baseline",
+         "the straightforward method 'is impractical'; the index makes ACQ "
+         "efficient");
+
+  // The straightforward method enumerates every subset of S and scans all
+  // vertices per candidate: exponential in |S|. The gap to the indexed Dec
+  // explodes as |S| approaches the paper's 20 keywords per author.
+  SizedWorkload w = MakeWorkload(8000);
+  AcqEngine engine(&w.graph, &w.tree);
+  auto wq = w.graph.Keywords(w.q);
+
+  std::printf("graph: %s authors; query author %u (core %u, %zu keywords)\n\n",
+              FormatWithCommas(w.graph.num_vertices()).c_str(), w.q,
+              w.tree.CoreOf(w.q), wq.size());
+  std::printf("%-6s %18s %18s %10s\n", "|S|", "index-free(ms)",
+              "CL-tree Dec(ms)", "speedup");
+  for (std::size_t num_kws : {4u, 6u, 8u, 10u, 12u}) {
+    KeywordList S(wq.begin(),
+                  wq.begin() + std::min<std::size_t>(wq.size(), num_kws));
+    Timer t_base;
+    auto baseline = engine.Search(w.q, 4, S, AcqAlgorithm::kBruteForce);
+    double base_ms = t_base.ElapsedMillis();
+    Timer t_dec;
+    auto dec = engine.Search(w.q, 4, S, AcqAlgorithm::kDec);
+    double dec_ms = t_dec.ElapsedMillis();
+    if (!baseline.ok() || !dec.ok()) {
+      std::printf("query failed\n");
+      return;
+    }
+    std::printf("%-6zu %18.2f %18.2f %9.1fx\n", num_kws, base_ms, dec_ms,
+                base_ms / std::max(dec_ms, 1e-6));
+  }
+  std::printf("\nShape check: the index-free cost grows exponentially in |S|\n"
+              "('impractical, especially when there are many keywords'),\n"
+              "while Dec's support pruning keeps the indexed cost flat.\n\n");
+}
+
+void PrintScalabilityTable() {
+  std::printf("--- Query latency vs graph size (Dec, k=4, |S|=4) ---\n");
+  std::printf("%-10s %12s %14s %16s\n", "authors", "edges", "build(ms)",
+              "query(ms)");
+  std::vector<std::size_t> sizes = {10000, 20000, 40000, 80000};
+  if (cexplorer::bench::FullScale()) sizes.push_back(977288);
+  for (std::size_t n : sizes) {
+    DblpOptions options = cexplorer::bench::BenchDblpOptions();
+    options.num_authors = n;
+    DblpDataset data = GenerateDblp(options);
+    Timer t_build;
+    ClTree tree = ClTree::Build(data.graph);
+    double build_ms = t_build.ElapsedMillis();
+
+    std::vector<std::uint32_t> core(data.graph.num_vertices());
+    for (VertexId v = 0; v < data.graph.num_vertices(); ++v) {
+      core[v] = tree.CoreOf(v);
+    }
+    VertexId q = cexplorer::bench::PickQueryAuthor(data.graph, core);
+    auto wq = data.graph.Keywords(q);
+    KeywordList S(wq.begin(), wq.begin() + std::min<std::size_t>(wq.size(), 4));
+
+    AcqEngine engine(&data.graph, &tree);
+    Timer t_query;
+    const int reps = 5;
+    for (int r = 0; r < reps; ++r) {
+      auto result = engine.Search(q, 4, S, AcqAlgorithm::kDec);
+      if (!result.ok()) {
+        std::printf("query failed\n");
+        return;
+      }
+    }
+    double query_ms = t_query.ElapsedMillis() / reps;
+    std::printf("%-10s %12s %14.1f %16.2f\n", FormatWithCommas(n).c_str(),
+                FormatWithCommas(data.graph.graph().num_edges()).c_str(),
+                build_ms, query_ms);
+  }
+  std::printf("\nShape check: query latency stays interactive as the graph\n"
+              "grows; index build is a one-off linear cost.\n\n");
+}
+
+SizedWorkload& BenchWorkload() {
+  static SizedWorkload* w =
+      new SizedWorkload(MakeWorkload(cexplorer::bench::FullScale() ? 200000 : 40000));
+  return *w;
+}
+
+void BM_IndexedDec(benchmark::State& state) {
+  SizedWorkload& w = BenchWorkload();
+  AcqEngine engine(&w.graph, &w.tree);
+  auto wq = w.graph.Keywords(w.q);
+  KeywordList S(wq.begin(), wq.begin() + std::min<std::size_t>(wq.size(), 4));
+  for (auto _ : state) {
+    auto result = engine.Search(w.q, 4, S, AcqAlgorithm::kDec);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_IndexedDec)->Unit(benchmark::kMillisecond);
+
+void BM_IndexFreeBaseline(benchmark::State& state) {
+  SizedWorkload& w = BenchWorkload();
+  AcqEngine engine(&w.graph, &w.tree);
+  auto wq = w.graph.Keywords(w.q);
+  KeywordList S(wq.begin(), wq.begin() + std::min<std::size_t>(wq.size(), 2));
+  for (auto _ : state) {
+    auto result = engine.Search(w.q, 4, S, AcqAlgorithm::kBruteForce);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_IndexFreeBaseline)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_LocateKCore(benchmark::State& state) {
+  SizedWorkload& w = BenchWorkload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.tree.LocateKCore(w.q, 4));
+  }
+}
+BENCHMARK(BM_LocateKCore);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintIndexedVsBaseline();
+  PrintScalabilityTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

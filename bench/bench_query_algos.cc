@@ -1,0 +1,172 @@
+// Experiment: Section 3.2 claim "Since Dec is generally faster than Inc-S
+// and Inc-T, we choose Dec for the system."
+//
+// Reproduction: sweep the minimum degree k and the query keyword count |S|
+// over a pool of well-embedded query authors, timing the three index-based
+// ACQ algorithms (plus the work counters that explain the gap). Shape
+// claim: Dec <= Inc-T <= Inc-S on typical queries.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "acq/acq.h"
+#include "bench/bench_common.h"
+#include "cltree/cltree.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "data/dblp.h"
+
+namespace {
+
+using namespace cexplorer;
+using cexplorer::bench::Banner;
+
+struct Workload {
+  AttributedGraph graph;
+  ClTree tree;
+  std::vector<VertexId> queries;  // well-embedded authors
+};
+
+Workload* PrepareWorkload() {
+  auto* w = new Workload();
+  DblpDataset data = GenerateDblp(cexplorer::bench::BenchDblpOptions());
+  w->graph = std::move(data.graph);
+  w->tree = ClTree::Build(w->graph);
+  // Query pool: authors with core >= 4 and >= 8 keywords, spread over the
+  // graph.
+  for (VertexId v = 0; v < w->graph.num_vertices() && w->queries.size() < 32;
+       v += 97) {
+    if (w->tree.CoreOf(v) >= 4 && w->graph.Keywords(v).size() >= 8) {
+      w->queries.push_back(v);
+    }
+  }
+  return w;
+}
+
+Workload& TheWorkload() {
+  static Workload* w = PrepareWorkload();
+  return *w;
+}
+
+KeywordList QueryKeywords(const Workload& w, VertexId q, std::size_t count) {
+  auto wq = w.graph.Keywords(q);
+  KeywordList S(wq.begin(),
+                wq.begin() + std::min<std::size_t>(wq.size(), count));
+  return S;
+}
+
+void PrintSweepTable() {
+  Banner("Query algorithms: Dec vs Inc-S vs Inc-T",
+         "'Dec is generally faster than Inc-S and Inc-T' (Section 3.2)");
+
+  Workload& w = TheWorkload();
+  std::printf("dataset: %s authors, %s edges; %zu query authors\n\n",
+              FormatWithCommas(w.graph.num_vertices()).c_str(),
+              FormatWithCommas(w.graph.graph().num_edges()).c_str(),
+              w.queries.size());
+  if (w.queries.empty()) {
+    std::printf("no suitable query authors found\n");
+    return;
+  }
+
+  AcqEngine engine(&w.graph, &w.tree);
+  std::printf("%-4s %-4s %12s %12s %12s %16s\n", "k", "|S|", "Inc-S(ms)",
+              "Inc-T(ms)", "Dec(ms)", "fastest");
+  for (std::uint32_t k : {2u, 4u, 6u}) {
+    for (std::size_t num_kws : {2u, 4u, 6u, 8u}) {
+      double total_ms[3] = {0, 0, 0};
+      const AcqAlgorithm algos[3] = {AcqAlgorithm::kIncS, AcqAlgorithm::kIncT,
+                                     AcqAlgorithm::kDec};
+      for (VertexId q : w.queries) {
+        KeywordList S = QueryKeywords(w, q, num_kws);
+        for (int a = 0; a < 3; ++a) {
+          Timer timer;
+          auto result = engine.Search(q, k, S, algos[a]);
+          total_ms[a] += timer.ElapsedMillis();
+          if (!result.ok()) {
+            std::printf("query failed: %s\n",
+                        result.status().ToString().c_str());
+            return;
+          }
+        }
+      }
+      const char* names[3] = {"Inc-S", "Inc-T", "Dec"};
+      int fastest = 0;
+      for (int a = 1; a < 3; ++a) {
+        if (total_ms[a] < total_ms[fastest]) fastest = a;
+      }
+      std::printf("%-4u %-4zu %12.2f %12.2f %12.2f %16s\n", k, num_kws,
+                  total_ms[0], total_ms[1], total_ms[2], names[fastest]);
+    }
+  }
+
+  // Work counters for one representative query.
+  VertexId q = w.queries.front();
+  KeywordList S = QueryKeywords(w, q, 6);
+  std::printf("\nwork counters (q=%u, k=4, |S|=%zu):\n", q, S.size());
+  std::printf("%-8s %12s %12s %12s\n", "algo", "candidates", "verified",
+              "pruned");
+  for (AcqAlgorithm algo :
+       {AcqAlgorithm::kIncS, AcqAlgorithm::kIncT, AcqAlgorithm::kDec}) {
+    auto result = engine.Search(q, 4, S, algo);
+    if (result.ok()) {
+      std::printf("%-8s %12zu %12zu %12zu\n", AcqAlgorithmName(algo),
+                  result->stats.candidates_generated,
+                  result->stats.candidates_verified,
+                  result->stats.support_pruned);
+    }
+  }
+  std::printf("\n");
+}
+
+void RunAlgo(benchmark::State& state, AcqAlgorithm algo) {
+  Workload& w = TheWorkload();
+  if (w.queries.empty()) {
+    state.SkipWithError("no queries");
+    return;
+  }
+  AcqEngine engine(&w.graph, &w.tree);
+  const std::uint32_t k = static_cast<std::uint32_t>(state.range(0));
+  const std::size_t num_kws = static_cast<std::size_t>(state.range(1));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    VertexId q = w.queries[i++ % w.queries.size()];
+    auto result = engine.Search(q, k, QueryKeywords(w, q, num_kws), algo);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+
+void BM_IncS(benchmark::State& state) { RunAlgo(state, AcqAlgorithm::kIncS); }
+void BM_IncT(benchmark::State& state) { RunAlgo(state, AcqAlgorithm::kIncT); }
+void BM_Dec(benchmark::State& state) { RunAlgo(state, AcqAlgorithm::kDec); }
+
+BENCHMARK(BM_IncS)->Args({4, 4})->Args({4, 8})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IncT)->Args({4, 4})->Args({4, 8})->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Dec)->Args({4, 4})->Args({4, 8})->Unit(benchmark::kMillisecond);
+
+void BM_MultiVertexDec(benchmark::State& state) {
+  Workload& w = TheWorkload();
+  if (w.queries.size() < 2) {
+    state.SkipWithError("no queries");
+    return;
+  }
+  AcqEngine engine(&w.graph, &w.tree);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    VertexId q = w.queries[i++ % w.queries.size()];
+    auto result = engine.SearchMulti({q}, 4, QueryKeywords(w, q, 4));
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_MultiVertexDec)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSweepTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

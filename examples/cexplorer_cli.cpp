@@ -1,0 +1,266 @@
+// cexplorer_cli: an interactive terminal browser for C-Explorer — the
+// closest thing to the paper's web UI that fits in a terminal. Commands
+// are translated to server requests, so the CLI exercises exactly the
+// browser-server path of Figure 3. Reads commands from stdin, so it works
+// both interactively and scripted:
+//
+//   $ ./cexplorer_cli                          # synthetic DBLP, 10k authors
+//   $ ./cexplorer_cli graph.attr               # your own attributed graph
+//   $ echo -e "demo\nsearch jim gray\nquit" | ./cexplorer_cli
+//
+// Commands:
+//   open <path>                load an attributed graph file
+//   author <name>              show the query form data for an author
+//   search <name> [k] [kw,..]  run ACQ (use 'algo <name>' to switch)
+//   algo <Global|Local|CODICIL|ACQ>
+//   view <i>                   display community i (ASCII)
+//   zoom <factor>              set the view zoom
+//   profile <name|#id>         author profile popup
+//   explore <#id> [k]          continue from a community member
+//   compare <name> [k]         Figure 6(a) table
+//   detect [algo]              community detection summary
+//   export <i> <file.svg>      save community i as SVG
+//   demo                       run a canned exploration session
+//   help / quit
+//
+// (This file is deliberately a thin shell: every feature goes through the
+// public server API.)
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "data/dblp.h"
+#include "server/http.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace cexplorer;
+
+/// Pretty-prints the interesting parts of a JSON response.
+void ShowResponse(const HttpResponse& response) {
+  if (response.code != 200) {
+    std::printf("  [%d] %s\n", response.code, response.body.c_str());
+    return;
+  }
+  auto v = JsonValue::Parse(response.body);
+  if (!v.ok()) {
+    std::printf("%s\n", response.body.c_str());
+    return;
+  }
+  // Render a few well-known shapes nicely; fall back to raw JSON.
+  if (v->Has("communities")) {
+    const auto& communities = v->Get("communities").Items();
+    std::printf("  %zu communities:\n", communities.size());
+    for (std::size_t i = 0; i < communities.size(); ++i) {
+      const auto& c = communities[i];
+      std::printf("   [%zu] %lld members", i,
+                  static_cast<long long>(c.Get("size").AsInt()));
+      const auto& theme = c.Get("theme").Items();
+      if (!theme.empty()) {
+        std::printf(", theme:");
+        for (const auto& w : theme) std::printf(" %s", w.AsString().c_str());
+      }
+      std::printf("\n");
+    }
+    std::printf("  (view <i> to display, export <i> <file.svg> to save)\n");
+  } else if (v->Has("ascii")) {
+    std::printf("%s", v->Get("ascii").AsString().c_str());
+  } else if (v->Has("table")) {
+    std::printf("%s", v->Get("table").AsString().c_str());
+  } else if (v->Has("interests")) {
+    std::printf("  Name: %s\n  Institute: %s\n  Interests:",
+                v->Get("name").AsString().c_str(),
+                v->Get("institute").AsString().c_str());
+    for (const auto& w : v->Get("interests").Items()) {
+      std::printf(" %s", w.AsString().c_str());
+    }
+    std::printf("\n");
+  } else if (v->Has("degree_constraints")) {
+    std::printf("  %s (vertex %lld, degree %lld)\n  degree <= core: 1..%zu\n",
+                v->Get("name").AsString().c_str(),
+                static_cast<long long>(v->Get("id").AsInt()),
+                static_cast<long long>(v->Get("degree").AsInt()),
+                v->Get("degree_constraints").Items().size());
+    std::printf("  keywords:");
+    for (const auto& w : v->Get("keywords").Items()) {
+      std::printf(" %s", w.AsString().c_str());
+    }
+    std::printf("\n");
+  } else {
+    std::printf("  %s\n", response.body.c_str());
+  }
+}
+
+struct CliState {
+  CExplorerServer server;
+  std::string algo = "ACQ";
+  double zoom = 1.0;
+  std::string last_author;
+};
+
+void RunCommand(CliState* state, const std::string& line);
+
+void RunDemo(CliState* state) {
+  // Pick the best-embedded author and drive the Figure 1-2 flow.
+  const auto& explorer = *state->server.explorer();
+  if (!explorer.has_graph()) {
+    std::printf("  no graph loaded\n");
+    return;
+  }
+  VertexId q = 0;
+  for (VertexId v = 1; v < explorer.graph().num_vertices(); ++v) {
+    if (explorer.core_numbers()[v] > explorer.core_numbers()[q]) q = v;
+  }
+  const std::string name = explorer.graph().Name(q);
+  auto kws = explorer.graph().KeywordStrings(q);
+  std::string keyword_list;
+  for (std::size_t i = 0; i < kws.size() && i < 4; ++i) {
+    if (i) keyword_list += ',';
+    keyword_list += kws[i];
+  }
+  std::printf("demo: exploring '%s'\n", name.c_str());
+  const std::vector<std::string> script = {
+      "author " + name, "search " + name + " 4 " + keyword_list, "view 0",
+      "profile " + name, "compare " + name};
+  for (const std::string& cmd : script) {
+    std::printf("\n> %s\n", cmd.c_str());
+    RunCommand(state, cmd);
+  }
+}
+
+void RunCommand(CliState* state, const std::string& line) {
+  auto words = SplitWhitespace(line);
+  if (words.empty()) return;
+  const std::string& cmd = words[0];
+  auto rest_from = [&words](std::size_t i) {
+    std::vector<std::string> out(words.begin() + static_cast<std::ptrdiff_t>(i),
+                                 words.end());
+    return Join(out, " ");
+  };
+
+  if (cmd == "open" && words.size() >= 2) {
+    ShowResponse(state->server.Handle("GET /upload?path=" +
+                                      UrlEncode(rest_from(1))));
+  } else if (cmd == "author" && words.size() >= 2) {
+    state->last_author = rest_from(1);
+    ShowResponse(
+        state->server.Handle("GET /author?name=" + UrlEncode(rest_from(1))));
+  } else if (cmd == "algo" && words.size() == 2) {
+    state->algo = words[1];
+    std::printf("  algorithm = %s\n", state->algo.c_str());
+  } else if (cmd == "search" && words.size() >= 2) {
+    // search <name...> [k] [kw1,kw2] — trailing integer = k, trailing
+    // comma-list = keywords.
+    std::string keywords;
+    std::int64_t k = 4;
+    std::size_t name_end = words.size();
+    if (name_end > 2 && words[name_end - 1].find(',') != std::string::npos) {
+      keywords = words[--name_end];
+    }
+    std::int64_t parsed = 0;
+    if (name_end > 2 && ParseInt64(words[name_end - 1], &parsed)) {
+      k = parsed;
+      --name_end;
+    }
+    std::string name;
+    for (std::size_t i = 1; i < name_end; ++i) {
+      if (i > 1) name += ' ';
+      name += words[i];
+    }
+    state->last_author = name;
+    std::string request = "GET /search?name=" + UrlEncode(name) +
+                          "&k=" + std::to_string(k) + "&algo=" + state->algo;
+    if (!keywords.empty()) request += "&keywords=" + UrlEncode(keywords);
+    ShowResponse(state->server.Handle(request));
+  } else if (cmd == "view" && words.size() == 2) {
+    ShowResponse(state->server.Handle("GET /community?id=" + words[1]));
+  } else if (cmd == "zoom" && words.size() == 2) {
+    double z = 1.0;
+    if (ParseDouble(words[1], &z) && z > 0) {
+      state->zoom = z;
+      std::printf("  zoom = %.2f (applies to Display API consumers)\n", z);
+    } else {
+      std::printf("  bad zoom factor\n");
+    }
+  } else if (cmd == "profile" && words.size() >= 2) {
+    if (words[1][0] == '#') {
+      ShowResponse(state->server.Handle("GET /profile?vertex=" +
+                                        words[1].substr(1)));
+    } else {
+      ShowResponse(state->server.Handle("GET /profile?name=" +
+                                        UrlEncode(rest_from(1))));
+    }
+  } else if (cmd == "explore" && words.size() >= 2 && words[1][0] == '#') {
+    std::string request = "GET /explore?vertex=" + words[1].substr(1) +
+                          "&algo=" + state->algo;
+    if (words.size() >= 3) request += "&k=" + words[2];
+    ShowResponse(state->server.Handle(request));
+  } else if (cmd == "compare" && words.size() >= 2) {
+    std::string name = rest_from(1);
+    std::int64_t k = 4;
+    ShowResponse(state->server.Handle("GET /compare?name=" + UrlEncode(name) +
+                                      "&k=" + std::to_string(k)));
+  } else if (cmd == "detect") {
+    std::string algo = words.size() >= 2 ? words[1] : "CODICIL";
+    ShowResponse(state->server.Handle("GET /detect?algo=" + algo));
+  } else if (cmd == "export" && words.size() == 3) {
+    HttpResponse response = state->server.Handle("GET /export?id=" + words[1]);
+    if (response.code != 200) {
+      ShowResponse(response);
+      return;
+    }
+    std::ofstream out(words[2], std::ios::binary | std::ios::trunc);
+    out << response.body;
+    std::printf("  wrote %zu bytes to %s\n", response.body.size(),
+                words[2].c_str());
+  } else if (cmd == "demo") {
+    RunDemo(state);
+  } else if (cmd == "help") {
+    std::printf(
+        "  open/author/search/algo/view/zoom/profile/explore/compare/"
+        "detect/export/demo/quit\n");
+  } else if (cmd == "quit" || cmd == "exit") {
+    std::exit(0);
+  } else {
+    std::printf("  unknown command '%s' (try 'help')\n", cmd.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliState state;
+
+  if (argc > 1) {
+    std::printf("loading %s...\n", argv[1]);
+    Status st = state.server.explorer()->Upload(argv[1]);
+    if (!st.ok()) {
+      std::printf("upload failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  } else {
+    std::printf("no graph given; generating synthetic DBLP (10k authors)\n");
+    DblpOptions options;
+    options.num_authors = 10000;
+    options.seed = 2017;
+    DblpDataset data = GenerateDblp(options);
+    (void)state.server.explorer()->UploadGraph(std::move(data.graph));
+  }
+  std::printf("C-Explorer CLI — %zu vertices, %zu edges. Type 'help'.\n",
+              state.server.explorer()->graph().num_vertices(),
+              state.server.explorer()->graph().graph().num_edges());
+
+  std::string line;
+  while (std::printf("cexplorer> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    RunCommand(&state, line);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// The multi-query-vertex ACQ variant (Section 3.2): the "+" button in the
+// Figure 1 UI lets a user name several authors; the returned communities
+// must contain all of them and share a maximal keyword set with all of them.
+//
+//   $ ./multi_query
+
+#include <cstdio>
+
+#include "acq/acq.h"
+#include "cltree/cltree.h"
+#include "common/strings.h"
+#include "data/dblp.h"
+
+int main() {
+  using namespace cexplorer;
+
+  DblpOptions options;
+  options.num_authors = 10000;
+  options.num_areas = 20;
+  options.seed = 2017;
+  DblpDataset data = GenerateDblp(options);
+  const AttributedGraph& graph = data.graph;
+  std::printf("synthetic DBLP: %s authors, %s edges\n\n",
+              FormatWithCommas(graph.num_vertices()).c_str(),
+              FormatWithCommas(graph.graph().num_edges()).c_str());
+
+  ClTree index = ClTree::Build(graph);
+  AcqEngine engine(&graph, &index);
+
+  // Pick a pair of frequent co-authors with shared keywords: scan for an
+  // edge whose endpoints share >= 3 keywords.
+  VertexId a = kInvalidVertex;
+  VertexId b = kInvalidVertex;
+  KeywordList shared;
+  for (const auto& [u, v] : graph.graph().Edges()) {
+    if (graph.graph().Degree(u) < 8 || graph.graph().Degree(v) < 8) continue;
+    KeywordList common;
+    for (KeywordId kw : graph.Keywords(u)) {
+      if (graph.HasKeyword(v, kw)) common.push_back(kw);
+    }
+    if (common.size() >= 3) {
+      a = u;
+      b = v;
+      shared = std::move(common);
+      break;
+    }
+  }
+  if (a == kInvalidVertex) {
+    std::printf("no suitable co-author pair found\n");
+    return 1;
+  }
+  if (shared.size() > 4) shared.resize(4);
+
+  std::printf("query authors: '%s' + '%s'\n", graph.Name(a).c_str(),
+              graph.Name(b).c_str());
+  std::printf("shared query keywords:");
+  for (KeywordId kw : shared) {
+    std::printf(" %s", graph.vocabulary().Word(kw).c_str());
+  }
+  std::printf("\n\n");
+
+  for (std::uint32_t k = 2; k <= 5; ++k) {
+    auto result = engine.SearchMulti({a, b}, k, shared);
+    if (!result.ok()) {
+      std::printf("k=%u: error: %s\n", k, result.status().ToString().c_str());
+      continue;
+    }
+    if (result->communities.empty()) {
+      std::printf("k=%u: no community contains both authors\n", k);
+      continue;
+    }
+    for (const auto& community : result->communities) {
+      std::printf("k=%u: community of %zu authors, theme {", k,
+                  community.vertices.size());
+      for (std::size_t i = 0; i < community.shared_keywords.size(); ++i) {
+        std::printf("%s%s", i ? ", " : "",
+                    graph.vocabulary().Word(community.shared_keywords[i]).c_str());
+      }
+      std::printf("}\n");
+    }
+  }
+  return 0;
+}

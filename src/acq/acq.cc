@@ -1,0 +1,457 @@
+#include "acq/acq.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/kcore.h"
+
+namespace cexplorer {
+
+const char* AcqAlgorithmName(AcqAlgorithm algo) {
+  switch (algo) {
+    case AcqAlgorithm::kBruteForce:
+      return "BruteForce";
+    case AcqAlgorithm::kIncS:
+      return "Inc-S";
+    case AcqAlgorithm::kIncT:
+      return "Inc-T";
+    case AcqAlgorithm::kDec:
+      return "Dec";
+  }
+  return "?";
+}
+
+namespace {
+
+/// All state one query needs, shared by the four algorithms.
+struct QueryContext {
+  const AttributedGraph* g = nullptr;
+  const ClTree* index = nullptr;  // null for the brute-force oracle
+  VertexList query_vertices;      // non-empty; [0] is the anchor
+  std::uint32_t k = 0;
+  KeywordList keywords;  // S, sorted
+  ClNodeId node = kInvalidClNode;
+  VertexList component;  // subtree of `node` (indexed algorithms only)
+  AcqStats stats;
+};
+
+/// True iff every query vertex appears in the sorted `community`.
+bool ContainsAllQueryVertices(const QueryContext& ctx,
+                              const VertexList& community) {
+  for (VertexId q : ctx.query_vertices) {
+    if (!std::binary_search(community.begin(), community.end(), q)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Peels `candidates` to the k-core component of the anchor and checks that
+/// all query vertices survived. Empty return means "not qualified".
+VertexList PeelAndCheck(QueryContext* ctx, VertexList candidates) {
+  ++ctx->stats.candidates_verified;
+  VertexList community = PeelToKCore(ctx->g->graph(), std::move(candidates),
+                                     ctx->k, ctx->query_vertices[0]);
+  if (community.empty() || !ContainsAllQueryVertices(*ctx, community)) {
+    return {};
+  }
+  return community;
+}
+
+/// Candidate vertices for keyword set `cand`, gathered by scanning a vertex
+/// list and testing keyword containment directly (Inc-S / brute force).
+VertexList GatherByScan(const QueryContext& ctx, const VertexList& universe,
+                        const KeywordList& cand) {
+  VertexList out;
+  for (VertexId v : universe) {
+    if (ctx.g->HasAllKeywords(v, cand)) out.push_back(v);
+  }
+  return out;
+}
+
+/// The fallback community (empty shared keyword set): the connected k-core
+/// component of the anchor, or nothing if the query vertices are not all in
+/// one such component.
+std::vector<AttributedCommunity> FallbackCommunity(QueryContext* ctx,
+                                                   const VertexList& universe) {
+  VertexList community = PeelToKCore(ctx->g->graph(), universe, ctx->k,
+                                     ctx->query_vertices[0]);
+  if (community.empty() || !ContainsAllQueryVertices(*ctx, community)) {
+    return {};
+  }
+  return {AttributedCommunity{std::move(community), {}}};
+}
+
+void SortCommunities(std::vector<AttributedCommunity>* communities) {
+  std::sort(communities->begin(), communities->end(),
+            [](const AttributedCommunity& a, const AttributedCommunity& b) {
+              if (a.shared_keywords != b.shared_keywords) {
+                return a.shared_keywords < b.shared_keywords;
+              }
+              return a.vertices < b.vertices;
+            });
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force oracle: enumerate every subset of S, largest first.
+// ---------------------------------------------------------------------------
+
+/// Invokes fn(subset) for every `size`-subset of `S` in lexicographic order.
+template <typename Fn>
+void ForEachSubset(const KeywordList& S, std::size_t size, Fn&& fn) {
+  std::vector<std::size_t> idx(size);
+  for (std::size_t i = 0; i < size; ++i) idx[i] = i;
+  KeywordList subset(size);
+  for (;;) {
+    for (std::size_t i = 0; i < size; ++i) subset[i] = S[idx[i]];
+    fn(subset);
+    // Advance the combination.
+    std::size_t i = size;
+    while (i > 0) {
+      --i;
+      if (idx[i] + (size - i) < S.size()) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < size; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return;
+    }
+    if (size == 0) return;
+  }
+}
+
+std::vector<AttributedCommunity> RunBruteForce(QueryContext* ctx) {
+  VertexList universe(ctx->g->num_vertices());
+  for (VertexId v = 0; v < universe.size(); ++v) universe[v] = v;
+
+  for (std::size_t size = ctx->keywords.size(); size >= 1; --size) {
+    std::vector<AttributedCommunity> found;
+    ForEachSubset(ctx->keywords, size, [&](const KeywordList& cand) {
+      ++ctx->stats.candidates_generated;
+      VertexList gather = GatherByScan(*ctx, universe, cand);
+      VertexList community = PeelAndCheck(ctx, std::move(gather));
+      if (!community.empty()) {
+        found.push_back({std::move(community), cand});
+      }
+    });
+    if (!found.empty()) {
+      SortCommunities(&found);
+      return found;
+    }
+  }
+  return FallbackCommunity(ctx, universe);
+}
+
+// ---------------------------------------------------------------------------
+// Shared Apriori machinery for Inc-S / Inc-T.
+// ---------------------------------------------------------------------------
+
+/// Joins qualified size-c sets into size-(c+1) candidates whose every
+/// c-subset is qualified. `qualified` must be sorted.
+std::vector<KeywordList> AprioriJoin(const std::vector<KeywordList>& qualified) {
+  std::vector<KeywordList> out;
+  for (std::size_t i = 0; i < qualified.size(); ++i) {
+    for (std::size_t j = i + 1; j < qualified.size(); ++j) {
+      const KeywordList& a = qualified[i];
+      const KeywordList& b = qualified[j];
+      if (!std::equal(a.begin(), a.end() - 1, b.begin())) break;
+      KeywordList cand(a);
+      cand.push_back(b.back());
+      // Every c-subset must be qualified (drop one element at a time; the
+      // two parents are already known to be).
+      bool all_in = true;
+      for (std::size_t drop = 0; drop + 2 < cand.size() && all_in; ++drop) {
+        KeywordList sub;
+        sub.reserve(cand.size() - 1);
+        for (std::size_t t = 0; t < cand.size(); ++t) {
+          if (t != drop) sub.push_back(cand[t]);
+        }
+        all_in = std::binary_search(qualified.begin(), qualified.end(), sub);
+      }
+      if (all_in) out.push_back(std::move(cand));
+    }
+  }
+  return out;
+}
+
+/// Gathers candidate vertex lists for all `cands` in one subtree walk over
+/// the CL-tree inverted lists (the Inc-T batching).
+std::vector<VertexList> BatchCollect(const QueryContext& ctx,
+                                     const std::vector<KeywordList>& cands) {
+  std::vector<VertexList> out(cands.size());
+  const ClTree& tree = *ctx.index;
+  const ClNodeId end = tree.node(ctx.node).subtree_end;
+  for (ClNodeId i = ctx.node; i < end; ++i) {
+    const ClTreeNode& node = tree.node(i);
+    for (std::size_t c = 0; c < cands.size(); ++c) {
+      std::span<const VertexId> rarest;
+      bool missing = false;
+      for (KeywordId kw : cands[c]) {
+        auto postings = node.Postings(kw);
+        if (postings.empty()) {
+          missing = true;
+          break;
+        }
+        if (rarest.empty() || postings.size() < rarest.size()) {
+          rarest = postings;
+        }
+      }
+      if (missing) continue;
+      for (VertexId v : rarest) {
+        bool all = true;
+        for (KeywordId kw : cands[c]) {
+          auto postings = node.Postings(kw);
+          if (!std::binary_search(postings.begin(), postings.end(), v)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) out[c].push_back(v);
+      }
+    }
+  }
+  for (auto& list : out) std::sort(list.begin(), list.end());
+  return out;
+}
+
+std::vector<AttributedCommunity> RunIncremental(QueryContext* ctx,
+                                                bool tree_batched) {
+  std::vector<KeywordList> frontier;
+  for (KeywordId kw : ctx->keywords) frontier.push_back({kw});
+
+  std::vector<AttributedCommunity> best;
+  while (!frontier.empty()) {
+    std::sort(frontier.begin(), frontier.end());
+    ctx->stats.candidates_generated += frontier.size();
+
+    std::vector<VertexList> gathered;
+    if (tree_batched) {
+      gathered = BatchCollect(*ctx, frontier);
+    } else {
+      gathered.reserve(frontier.size());
+      for (const KeywordList& cand : frontier) {
+        gathered.push_back(GatherByScan(*ctx, ctx->component, cand));
+      }
+    }
+
+    std::vector<KeywordList> qualified;
+    std::vector<AttributedCommunity> level_communities;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      if (gathered[i].size() < ctx->k + 1) {
+        ++ctx->stats.support_pruned;
+        continue;
+      }
+      VertexList community = PeelAndCheck(ctx, std::move(gathered[i]));
+      if (!community.empty()) {
+        qualified.push_back(frontier[i]);
+        level_communities.push_back({std::move(community), frontier[i]});
+      }
+    }
+    if (qualified.empty()) break;
+    best = std::move(level_communities);
+    frontier = AprioriJoin(qualified);
+  }
+
+  if (best.empty()) return FallbackCommunity(ctx, ctx->component);
+  SortCommunities(&best);
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Dec: decremental descent from the largest support-feasible keyword set.
+// ---------------------------------------------------------------------------
+
+std::vector<AttributedCommunity> RunDec(QueryContext* ctx) {
+  // Per-keyword support within the component; keywords that cannot reach
+  // k+1 supporting vertices can never appear in a qualified set.
+  KeywordList effective;
+  for (KeywordId kw : ctx->keywords) {
+    if (ctx->index->CountKeyword(ctx->node, kw) >= ctx->k + 1) {
+      effective.push_back(kw);
+    } else {
+      ++ctx->stats.support_pruned;
+    }
+  }
+  if (effective.empty()) return FallbackCommunity(ctx, ctx->component);
+
+  std::vector<KeywordList> frontier{effective};
+  while (!frontier.empty()) {
+    ctx->stats.candidates_generated += frontier.size();
+    std::vector<AttributedCommunity> qualified;
+    std::set<KeywordList> next;
+    for (const KeywordList& cand : frontier) {
+      VertexList gather = ctx->index->CollectWithKeywords(ctx->node, cand);
+      bool ok = false;
+      if (gather.size() < ctx->k + 1) {
+        ++ctx->stats.support_pruned;
+      } else {
+        VertexList community = PeelAndCheck(ctx, std::move(gather));
+        if (!community.empty()) {
+          qualified.push_back({std::move(community), cand});
+          ok = true;
+        }
+      }
+      if (!ok && cand.size() > 1) {
+        for (std::size_t drop = 0; drop < cand.size(); ++drop) {
+          KeywordList sub;
+          sub.reserve(cand.size() - 1);
+          for (std::size_t t = 0; t < cand.size(); ++t) {
+            if (t != drop) sub.push_back(cand[t]);
+          }
+          next.insert(std::move(sub));
+        }
+      }
+    }
+    if (!qualified.empty()) {
+      SortCommunities(&qualified);
+      return qualified;
+    }
+    frontier.assign(next.begin(), next.end());
+  }
+  return FallbackCommunity(ctx, ctx->component);
+}
+
+Result<QueryContext> MakeContext(const AttributedGraph& g, const ClTree* index,
+                                 VertexList query_vertices, std::uint32_t k,
+                                 KeywordList keywords, bool need_index) {
+  QueryContext ctx;
+  ctx.g = &g;
+  ctx.index = index;
+  ctx.k = k;
+
+  if (query_vertices.empty()) {
+    return Status::InvalidArgument("no query vertex given");
+  }
+  std::sort(query_vertices.begin(), query_vertices.end());
+  query_vertices.erase(
+      std::unique(query_vertices.begin(), query_vertices.end()),
+      query_vertices.end());
+  for (VertexId q : query_vertices) {
+    if (q >= g.num_vertices()) {
+      return Status::InvalidArgument("query vertex " + std::to_string(q) +
+                                     " out of range");
+    }
+  }
+  ctx.query_vertices = std::move(query_vertices);
+
+  std::sort(keywords.begin(), keywords.end());
+  keywords.erase(std::unique(keywords.begin(), keywords.end()),
+                 keywords.end());
+  for (KeywordId kw : keywords) {
+    for (VertexId q : ctx.query_vertices) {
+      if (!g.HasKeyword(q, kw)) {
+        const std::string who =
+            g.Name(q).empty() ? std::to_string(q) : g.Name(q);
+        return Status::InvalidArgument(
+            "keyword '" + g.vocabulary().Word(kw) +
+            "' is not in the keyword set of query vertex " + who);
+      }
+    }
+  }
+  ctx.keywords = std::move(keywords);
+
+  if (need_index) {
+    ctx.node = index->LocateKCore(ctx.query_vertices[0], k);
+    if (ctx.node != kInvalidClNode) {
+      // Every query vertex must live in the same k-core component.
+      for (VertexId q : ctx.query_vertices) {
+        if (index->LocateKCore(q, k) != ctx.node) {
+          ctx.node = kInvalidClNode;
+          break;
+        }
+      }
+    }
+    if (ctx.node != kInvalidClNode) {
+      ctx.component = index->SubtreeVertices(ctx.node);
+    }
+  }
+  return ctx;
+}
+
+Result<AcqResult> RunQuery(const AttributedGraph& g, const ClTree* index,
+                           VertexList query_vertices, std::uint32_t k,
+                           KeywordList keywords, AcqAlgorithm algo) {
+  const bool need_index = algo != AcqAlgorithm::kBruteForce;
+  if (need_index && index == nullptr) {
+    return Status::FailedPrecondition("indexed algorithm requires a CL-tree");
+  }
+  auto ctx_or = MakeContext(g, index, std::move(query_vertices), k,
+                            std::move(keywords), need_index);
+  if (!ctx_or.ok()) return ctx_or.status();
+  QueryContext ctx = std::move(ctx_or.value());
+
+  AcqResult result;
+  if (need_index && ctx.node == kInvalidClNode) {
+    // Query vertices are not together in any k-core: no community.
+    result.stats = ctx.stats;
+    return result;
+  }
+
+  switch (algo) {
+    case AcqAlgorithm::kBruteForce:
+      result.communities = RunBruteForce(&ctx);
+      break;
+    case AcqAlgorithm::kIncS:
+      result.communities = RunIncremental(&ctx, /*tree_batched=*/false);
+      break;
+    case AcqAlgorithm::kIncT:
+      result.communities = RunIncremental(&ctx, /*tree_batched=*/true);
+      break;
+    case AcqAlgorithm::kDec:
+      result.communities = RunDec(&ctx);
+      break;
+  }
+  result.stats = ctx.stats;
+  return result;
+}
+
+}  // namespace
+
+KeywordList SharedKeywords(const AttributedGraph& g,
+                           const VertexList& community,
+                           const KeywordList& keyword_space) {
+  KeywordList shared;
+  for (KeywordId kw : keyword_space) {
+    bool everywhere = true;
+    for (VertexId v : community) {
+      if (!g.HasKeyword(v, kw)) {
+        everywhere = false;
+        break;
+      }
+    }
+    if (everywhere) shared.push_back(kw);
+  }
+  return shared;
+}
+
+Result<AcqResult> AcqEngine::Search(VertexId q, std::uint32_t k,
+                                    KeywordList keywords,
+                                    AcqAlgorithm algo) const {
+  return RunQuery(*g_, index_, {q}, k, std::move(keywords), algo);
+}
+
+Result<AcqResult> AcqEngine::SearchByName(
+    std::string_view name, std::uint32_t k,
+    const std::vector<std::string>& keywords, AcqAlgorithm algo) const {
+  VertexId q = g_->FindByName(name);
+  if (q == kInvalidVertex) {
+    return Status::NotFound("no vertex named '" + std::string(name) + "'");
+  }
+  KeywordList ids;
+  for (const auto& word : keywords) {
+    KeywordId kw = g_->vocabulary().Find(word);
+    if (kw == kInvalidKeyword) {
+      return Status::NotFound("unknown keyword '" + word + "'");
+    }
+    ids.push_back(kw);
+  }
+  return Search(q, k, std::move(ids), algo);
+}
+
+Result<AcqResult> AcqEngine::SearchMulti(const VertexList& query_vertices,
+                                         std::uint32_t k, KeywordList keywords,
+                                         AcqAlgorithm algo) const {
+  return RunQuery(*g_, index_, query_vertices, k, std::move(keywords), algo);
+}
+
+}  // namespace cexplorer

@@ -1,0 +1,278 @@
+#include "algos/clusterers.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cexplorer {
+
+VertexList Clustering::Members(std::uint32_t c) const {
+  VertexList out;
+  for (std::size_t v = 0; v < assignment.size(); ++v) {
+    if (assignment[v] == c) out.push_back(static_cast<VertexId>(v));
+  }
+  return out;
+}
+
+std::vector<std::size_t> Clustering::Sizes() const {
+  std::vector<std::size_t> sizes(num_clusters, 0);
+  for (std::uint32_t c : assignment) ++sizes[c];
+  return sizes;
+}
+
+void Clustering::Normalize() {
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  for (std::uint32_t& c : assignment) {
+    auto [it, inserted] =
+        remap.emplace(c, static_cast<std::uint32_t>(remap.size()));
+    c = it->second;
+  }
+  num_clusters = static_cast<std::uint32_t>(remap.size());
+}
+
+double Modularity(const Graph& g, const Clustering& clustering) {
+  const double m = static_cast<double>(g.num_edges());
+  if (m == 0) return 0.0;
+  // Q = sum_c [ e_c / m - (d_c / 2m)^2 ], e_c = intra-cluster edges,
+  // d_c = total degree of cluster c.
+  std::vector<double> intra(clustering.num_clusters, 0.0);
+  std::vector<double> degree(clustering.num_clusters, 0.0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::uint32_t cv = clustering.assignment[v];
+    degree[cv] += static_cast<double>(g.Degree(v));
+    for (VertexId w : g.Neighbors(v)) {
+      if (w > v && clustering.assignment[w] == cv) intra[cv] += 1.0;
+    }
+  }
+  double q = 0.0;
+  for (std::uint32_t c = 0; c < clustering.num_clusters; ++c) {
+    double frac = degree[c] / (2.0 * m);
+    q += intra[c] / m - frac * frac;
+  }
+  return q;
+}
+
+namespace {
+
+/// Weighted graph used internally across Louvain coarsening levels.
+struct WeightedGraph {
+  // Adjacency: per vertex, (neighbour, weight) pairs; no self entries —
+  // self-loop weight tracked separately.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> adj;
+  std::vector<double> self_loop;  // weight of self loops (2x convention
+                                  // avoided: stored as plain loop weight)
+  double total_weight = 0.0;      // sum of all edge weights incl. loops
+
+  std::size_t size() const { return adj.size(); }
+};
+
+WeightedGraph FromGraph(const Graph& g) {
+  WeightedGraph wg;
+  wg.adj.resize(g.num_vertices());
+  wg.self_loop.assign(g.num_vertices(), 0.0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId w : g.Neighbors(v)) {
+      wg.adj[v].emplace_back(w, 1.0);
+    }
+  }
+  wg.total_weight = static_cast<double>(g.num_edges());
+  return wg;
+}
+
+/// Weighted degree (including 2x self-loops, the standard convention).
+std::vector<double> WeightedDegrees(const WeightedGraph& wg) {
+  std::vector<double> deg(wg.size(), 0.0);
+  for (std::size_t v = 0; v < wg.size(); ++v) {
+    double sum = 2.0 * wg.self_loop[v];
+    for (const auto& [w, weight] : wg.adj[v]) sum += weight;
+    deg[v] = sum;
+  }
+  return deg;
+}
+
+/// One Louvain level: local moves until convergence; returns the per-vertex
+/// cluster assignment (dense ids) and whether anything moved.
+std::pair<std::vector<std::uint32_t>, bool> LouvainLevel(
+    const WeightedGraph& wg, const LouvainOptions& options, Rng* rng) {
+  const std::size_t n = wg.size();
+  const double m2 = 2.0 * wg.total_weight;  // 2m
+  std::vector<double> k = WeightedDegrees(wg);
+
+  std::vector<std::uint32_t> community(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    community[v] = static_cast<std::uint32_t>(v);
+  }
+  std::vector<double> community_degree = k;  // sum of k over members
+
+  std::vector<VertexId> order(n);
+  for (std::size_t v = 0; v < n; ++v) order[v] = static_cast<VertexId>(v);
+  rng->Shuffle(&order);
+
+  bool any_move = false;
+  std::unordered_map<std::uint32_t, double> links_to;  // community -> weight
+  for (std::size_t sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
+    std::size_t moves = 0;
+    for (VertexId v : order) {
+      const std::uint32_t old_c = community[v];
+      links_to.clear();
+      for (const auto& [w, weight] : wg.adj[v]) {
+        links_to[community[w]] += weight;
+      }
+      // Remove v from its community, then pick the neighbour community of
+      // maximum modularity gain: gain(c) = links(v,c) - k_v * deg(c) / 2m
+      // (constant terms dropped; rejoining old_c is the baseline).
+      community_degree[old_c] -= k[v];
+      auto gain_of = [&](std::uint32_t c, double link) {
+        return link - k[v] * community_degree[c] / m2;
+      };
+      const double link_old = links_to.count(old_c) ? links_to[old_c] : 0.0;
+      double best_gain = gain_of(old_c, link_old);
+      std::uint32_t best_c = old_c;
+      for (const auto& [c, link] : links_to) {
+        if (c == old_c) continue;
+        double gain = gain_of(c, link);
+        if (gain > best_gain + options.min_gain) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+      community[v] = best_c;
+      community_degree[best_c] += k[v];
+      if (best_c != old_c) {
+        ++moves;
+        any_move = true;
+      }
+    }
+    if (moves == 0) break;
+  }
+
+  // Dense renumbering.
+  std::unordered_map<std::uint32_t, std::uint32_t> remap;
+  for (std::uint32_t& c : community) {
+    auto [it, inserted] =
+        remap.emplace(c, static_cast<std::uint32_t>(remap.size()));
+    c = it->second;
+  }
+  return {std::move(community), any_move};
+}
+
+/// Coarsens wg by the level assignment: communities become vertices.
+WeightedGraph Coarsen(const WeightedGraph& wg,
+                      const std::vector<std::uint32_t>& community,
+                      std::uint32_t num_communities) {
+  WeightedGraph out;
+  out.adj.resize(num_communities);
+  out.self_loop.assign(num_communities, 0.0);
+  out.total_weight = wg.total_weight;
+
+  std::vector<std::unordered_map<std::uint32_t, double>> accum(
+      num_communities);
+  for (std::size_t v = 0; v < wg.size(); ++v) {
+    std::uint32_t cv = community[v];
+    out.self_loop[cv] += wg.self_loop[v];
+    for (const auto& [w, weight] : wg.adj[v]) {
+      std::uint32_t cw = community[w];
+      if (cw == cv) {
+        // Each internal edge visited from both endpoints: half weight each.
+        out.self_loop[cv] += weight / 2.0;
+      } else {
+        accum[cv][cw] += weight;
+      }
+    }
+  }
+  for (std::uint32_t c = 0; c < num_communities; ++c) {
+    out.adj[c].assign(accum[c].begin(), accum[c].end());
+    std::sort(out.adj[c].begin(), out.adj[c].end());
+  }
+  return out;
+}
+
+}  // namespace
+
+Clustering Louvain(const Graph& g, const LouvainOptions& options) {
+  Clustering result;
+  result.assignment.resize(g.num_vertices());
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    result.assignment[v] = static_cast<std::uint32_t>(v);
+  }
+  result.num_clusters = static_cast<std::uint32_t>(g.num_vertices());
+  if (g.num_vertices() == 0 || g.num_edges() == 0) {
+    result.Normalize();
+    return result;
+  }
+
+  Rng rng(options.seed);
+  WeightedGraph wg = FromGraph(g);
+  // mapping[v] = current cluster of original vertex v.
+  std::vector<std::uint32_t> mapping(g.num_vertices());
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    mapping[v] = static_cast<std::uint32_t>(v);
+  }
+
+  for (std::size_t level = 0; level < options.max_levels; ++level) {
+    auto [community, moved] = LouvainLevel(wg, options, &rng);
+    std::uint32_t num_communities = 0;
+    for (std::uint32_t c : community) {
+      num_communities = std::max(num_communities, c + 1);
+    }
+    for (std::size_t v = 0; v < mapping.size(); ++v) {
+      mapping[v] = community[mapping[v]];
+    }
+    if (!moved || num_communities == wg.size()) break;
+    wg = Coarsen(wg, community, num_communities);
+  }
+
+  result.assignment = std::move(mapping);
+  result.Normalize();
+  return result;
+}
+
+Clustering LabelPropagation(const Graph& g,
+                            const LabelPropagationOptions& options) {
+  const std::size_t n = g.num_vertices();
+  Clustering result;
+  result.assignment.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    result.assignment[v] = static_cast<std::uint32_t>(v);
+  }
+
+  Rng rng(options.seed);
+  std::vector<VertexId> order(n);
+  for (std::size_t v = 0; v < n; ++v) order[v] = static_cast<VertexId>(v);
+
+  std::unordered_map<std::uint32_t, std::uint32_t> counts;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    rng.Shuffle(&order);
+    std::size_t changes = 0;
+    for (VertexId v : order) {
+      if (g.Degree(v) == 0) continue;
+      counts.clear();
+      for (VertexId w : g.Neighbors(v)) {
+        ++counts[result.assignment[w]];
+      }
+      // Majority label; ties broken uniformly at random among the leaders.
+      std::uint32_t best_count = 0;
+      std::vector<std::uint32_t> leaders;
+      for (const auto& [label, count] : counts) {
+        if (count > best_count) {
+          best_count = count;
+          leaders.clear();
+          leaders.push_back(label);
+        } else if (count == best_count) {
+          leaders.push_back(label);
+        }
+      }
+      std::sort(leaders.begin(), leaders.end());
+      std::uint32_t chosen =
+          leaders[rng.UniformU32(static_cast<std::uint32_t>(leaders.size()))];
+      if (chosen != result.assignment[v]) {
+        result.assignment[v] = chosen;
+        ++changes;
+      }
+    }
+    if (changes == 0) break;
+  }
+  result.Normalize();
+  return result;
+}
+
+}  // namespace cexplorer

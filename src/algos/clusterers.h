@@ -1,0 +1,67 @@
+// Graph clustering backends: Louvain modularity optimization and label
+// propagation. CODICIL runs one of these on its fused/sampled graph; they
+// also serve as standalone community-detection baselines.
+
+#ifndef CEXPLORER_ALGOS_CLUSTERERS_H_
+#define CEXPLORER_ALGOS_CLUSTERERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cexplorer {
+
+/// A flat clustering: cluster id per vertex, ids dense in
+/// [0, num_clusters).
+struct Clustering {
+  std::vector<std::uint32_t> assignment;
+  std::uint32_t num_clusters = 0;
+
+  /// Vertices of cluster c, ascending.
+  VertexList Members(std::uint32_t c) const;
+
+  /// Sizes of all clusters.
+  std::vector<std::size_t> Sizes() const;
+
+  /// Renumbers cluster ids to be dense and ordered by first occurrence.
+  void Normalize();
+};
+
+/// Newman modularity Q of `clustering` on `g` (unweighted).
+double Modularity(const Graph& g, const Clustering& clustering);
+
+/// Options for Louvain.
+struct LouvainOptions {
+  /// Maximum local-move sweeps per level.
+  std::size_t max_sweeps_per_level = 16;
+  /// Stop a level when a sweep improves modularity by less than this.
+  double min_gain = 1e-7;
+  /// Maximum coarsening levels.
+  std::size_t max_levels = 16;
+  /// Seed for the vertex visiting order.
+  std::uint64_t seed = 1;
+};
+
+/// Louvain community detection (Blondel et al. 2008): greedy modularity
+/// local moves + graph coarsening, repeated until no gain.
+Clustering Louvain(const Graph& g, const LouvainOptions& options = {});
+
+/// Options for label propagation.
+struct LabelPropagationOptions {
+  /// Maximum full passes over the vertices.
+  std::size_t max_iterations = 32;
+  /// Seed for the per-pass vertex order and tie-breaking.
+  std::uint64_t seed = 1;
+};
+
+/// Asynchronous label propagation (Raghavan et al. 2007): every vertex
+/// repeatedly adopts the majority label among its neighbours.
+Clustering LabelPropagation(const Graph& g,
+                            const LabelPropagationOptions& options = {});
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_ALGOS_CLUSTERERS_H_

@@ -1,0 +1,207 @@
+#include "algos/codicil.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace cexplorer {
+
+namespace {
+
+/// TF-IDF weights per (vertex, keyword), plus vector norms. With set-valued
+/// keyword attributes the term frequency is 1, so the weight of keyword w
+/// is just idf(w) = log(1 + n / df(w)).
+struct TfIdf {
+  std::vector<double> idf;          // per keyword
+  std::vector<double> norm;         // per vertex, L2 norm of its vector
+  std::vector<std::uint32_t> df;    // document frequency per keyword
+};
+
+TfIdf BuildTfIdf(const AttributedGraph& g) {
+  TfIdf t;
+  const std::size_t n = g.num_vertices();
+  t.df.assign(g.vocabulary().size(), 0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (KeywordId kw : g.Keywords(v)) ++t.df[kw];
+  }
+  t.idf.resize(t.df.size());
+  for (std::size_t kw = 0; kw < t.df.size(); ++kw) {
+    t.idf[kw] = t.df[kw] == 0
+                    ? 0.0
+                    : std::log(1.0 + static_cast<double>(n) /
+                                         static_cast<double>(t.df[kw]));
+  }
+  t.norm.assign(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    double sum = 0.0;
+    for (KeywordId kw : g.Keywords(v)) sum += t.idf[kw] * t.idf[kw];
+    t.norm[v] = std::sqrt(sum);
+  }
+  return t;
+}
+
+/// Cosine similarity of two keyword vectors under TF-IDF weights.
+double ContentCosine(const AttributedGraph& g, const TfIdf& t, VertexId a,
+                     VertexId b) {
+  if (t.norm[a] == 0.0 || t.norm[b] == 0.0) return 0.0;
+  auto ka = g.Keywords(a);
+  auto kb = g.Keywords(b);
+  double dot = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ka.size() && j < kb.size()) {
+    if (ka[i] < kb[j]) {
+      ++i;
+    } else if (ka[i] > kb[j]) {
+      ++j;
+    } else {
+      dot += t.idf[ka[i]] * t.idf[ka[i]];
+      ++i;
+      ++j;
+    }
+  }
+  return dot / (t.norm[a] * t.norm[b]);
+}
+
+/// Jaccard similarity of closed neighbourhoods (u and v count themselves),
+/// the topological edge score of the sampling stage.
+double TopoJaccard(const Graph& g, VertexId a, VertexId b) {
+  auto na = g.Neighbors(a);
+  auto nb = g.Neighbors(b);
+  std::size_t inter = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < na.size() && j < nb.size()) {
+    if (na[i] < nb[j]) {
+      ++i;
+    } else if (na[i] > nb[j]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  // Closed neighbourhoods: +1 for each endpoint inside the other's list.
+  std::size_t closed_inter = inter;
+  if (std::binary_search(na.begin(), na.end(), b)) ++closed_inter;
+  if (std::binary_search(nb.begin(), nb.end(), a)) ++closed_inter;
+  std::size_t uni = na.size() + nb.size() + 2 - closed_inter;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(closed_inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+Result<CodicilResult> RunCodicil(const AttributedGraph& g,
+                                 const CodicilOptions& options) {
+  if (options.content_edges_per_vertex == 0) {
+    return Status::InvalidArgument("content_edges_per_vertex must be >= 1");
+  }
+  if (options.alpha < 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in [0, 1]");
+  }
+  const std::size_t n = g.num_vertices();
+  CodicilResult result;
+  if (n == 0) return result;
+
+  const TfIdf tfidf = BuildTfIdf(g);
+
+  // Stage 1: content edges via the keyword inverted index. Keywords with
+  // document frequency above the stop-word threshold are skipped; they
+  // contribute little weight (low idf) but dominate the scan cost.
+  const std::size_t stop_df = std::max<std::size_t>(
+      8, static_cast<std::size_t>(options.stopword_fraction *
+                                  static_cast<double>(n)));
+  std::vector<VertexList> postings(g.vocabulary().size());
+  for (VertexId v = 0; v < n; ++v) {
+    for (KeywordId kw : g.Keywords(v)) {
+      if (tfidf.df[kw] <= stop_df) postings[kw].push_back(v);
+    }
+  }
+
+  GraphBuilder fused_builder(n);
+  for (const auto& [u, v] : g.graph().Edges()) fused_builder.AddEdge(u, v);
+
+  {
+    std::unordered_map<VertexId, double> scores;
+    std::vector<std::pair<double, VertexId>> ranked;
+    for (VertexId v = 0; v < n; ++v) {
+      scores.clear();
+      for (KeywordId kw : g.Keywords(v)) {
+        if (tfidf.df[kw] > stop_df) continue;
+        const double w2 = tfidf.idf[kw] * tfidf.idf[kw];
+        for (VertexId other : postings[kw]) {
+          if (other != v) scores[other] += w2;
+        }
+      }
+      ranked.clear();
+      for (const auto& [other, dot] : scores) {
+        if (tfidf.norm[v] == 0.0 || tfidf.norm[other] == 0.0) continue;
+        ranked.emplace_back(dot / (tfidf.norm[v] * tfidf.norm[other]), other);
+      }
+      std::size_t keep = std::min(options.content_edges_per_vertex,
+                                  ranked.size());
+      std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                        [](const auto& a, const auto& b) {
+                          if (a.first != b.first) return a.first > b.first;
+                          return a.second < b.second;
+                        });
+      for (std::size_t i = 0; i < keep; ++i) {
+        fused_builder.AddEdge(v, ranked[i].second);
+        ++result.content_edges;
+      }
+    }
+  }
+
+  // Stage 2: union graph.
+  Graph fused = fused_builder.Build();
+  result.union_edges = fused.num_edges();
+
+  // Stage 3: local edge sampling. Each vertex retains its ceil(sqrt(deg))
+  // strongest incident edges by blended similarity; an edge survives if
+  // either endpoint retains it.
+  GraphBuilder sampled_builder(n);
+  {
+    std::vector<std::pair<double, VertexId>> ranked;
+    for (VertexId v = 0; v < n; ++v) {
+      auto nbrs = fused.Neighbors(v);
+      if (nbrs.empty()) continue;
+      ranked.clear();
+      ranked.reserve(nbrs.size());
+      for (VertexId w : nbrs) {
+        double score = options.alpha * ContentCosine(g, tfidf, v, w) +
+                       (1.0 - options.alpha) * TopoJaccard(fused, v, w);
+        ranked.emplace_back(score, w);
+      }
+      std::size_t keep = static_cast<std::size_t>(
+          std::ceil(std::sqrt(static_cast<double>(nbrs.size()))));
+      keep = std::min(keep, ranked.size());
+      std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                        [](const auto& a, const auto& b) {
+                          if (a.first != b.first) return a.first > b.first;
+                          return a.second < b.second;
+                        });
+      for (std::size_t i = 0; i < keep; ++i) {
+        sampled_builder.AddEdge(v, ranked[i].second);
+      }
+    }
+  }
+  Graph sampled = sampled_builder.Build();
+  result.sampled_edges = sampled.num_edges();
+
+  // Stage 4: cluster the sampled graph.
+  if (options.clusterer == CodicilClusterer::kLouvain) {
+    LouvainOptions lo;
+    lo.seed = options.seed;
+    result.clustering = Louvain(sampled, lo);
+  } else {
+    LabelPropagationOptions lp;
+    lp.seed = options.seed;
+    result.clustering = LabelPropagation(sampled, lp);
+  }
+  return result;
+}
+
+}  // namespace cexplorer

@@ -1,0 +1,77 @@
+// CODICIL (Ruan, Fuhry & Parthasarathy, WWW 2013): community detection that
+// fuses content with links.
+//
+// Pipeline (faithful to the paper's stages):
+//   1. Content edges — each vertex links to its top-kc most content-similar
+//      vertices (cosine over TF-IDF keyword vectors, computed through an
+//      inverted index; ubiquitous keywords are skipped like stop words).
+//   2. Union — content edges are merged with the topology edges.
+//   3. Bias / sampling — each vertex retains only its ceil(sqrt(degree))
+//      strongest incident edges, ranked by a blend of content cosine and
+//      topological Jaccard similarity; an edge survives if either endpoint
+//      retains it.
+//   4. Clustering — a standard clusterer (Louvain here, label propagation
+//      optional) partitions the sampled graph.
+//
+// CODICIL is a community-detection method: it has no query vertex ("no
+// parameter" in C-Explorer's UI); the community of q is simply q's cluster.
+
+#ifndef CEXPLORER_ALGOS_CODICIL_H_
+#define CEXPLORER_ALGOS_CODICIL_H_
+
+#include <cstdint>
+
+#include "algos/clusterers.h"
+#include "common/status.h"
+#include "graph/attributed_graph.h"
+#include "graph/types.h"
+
+namespace cexplorer {
+
+/// Which clusterer runs on the sampled graph.
+enum class CodicilClusterer { kLouvain, kLabelPropagation };
+
+/// Tuning knobs for CODICIL.
+struct CodicilOptions {
+  /// kc: content neighbours added per vertex.
+  std::size_t content_edges_per_vertex = 10;
+
+  /// Keywords appearing in more than this fraction of vertices are treated
+  /// as stop words by the content-similarity index.
+  double stopword_fraction = 0.05;
+
+  /// Blend factor alpha: edge score = alpha * content cosine +
+  /// (1 - alpha) * topological Jaccard.
+  double alpha = 0.5;
+
+  /// Clusterer for the final stage.
+  CodicilClusterer clusterer = CodicilClusterer::kLouvain;
+
+  /// Seed forwarded to the clusterer.
+  std::uint64_t seed = 1;
+};
+
+/// Output of the CODICIL pipeline.
+struct CodicilResult {
+  /// Final partition of all vertices.
+  Clustering clustering;
+  /// Content edges created in stage 1.
+  std::size_t content_edges = 0;
+  /// Edges of the unioned graph (stage 2).
+  std::size_t union_edges = 0;
+  /// Edges retained by sampling (stage 3).
+  std::size_t sampled_edges = 0;
+
+  /// The community of q: q's cluster, ascending.
+  VertexList CommunityOf(VertexId q) const {
+    return clustering.Members(clustering.assignment[q]);
+  }
+};
+
+/// Runs the full CODICIL pipeline.
+Result<CodicilResult> RunCodicil(const AttributedGraph& g,
+                                 const CodicilOptions& options = {});
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_ALGOS_CODICIL_H_

@@ -1,0 +1,128 @@
+#include "algos/girvan_newman.h"
+
+#include <algorithm>
+
+#include "graph/traversal.h"
+
+namespace cexplorer {
+
+std::vector<double> EdgeBetweenness(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  const auto edges = g.Edges();
+  std::vector<double> betweenness(edges.size(), 0.0);
+
+  auto edge_index = [&edges](VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    auto it =
+        std::lower_bound(edges.begin(), edges.end(), std::make_pair(a, b));
+    return static_cast<std::size_t>(it - edges.begin());
+  };
+
+  std::vector<std::uint32_t> dist(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<VertexId> order;
+  order.reserve(n);
+
+  for (VertexId s = 0; s < n; ++s) {
+    if (g.Degree(s) == 0) continue;
+    // BFS phase: shortest-path counts.
+    constexpr std::uint32_t kUnseen = 0xFFFFFFFFu;
+    std::fill(dist.begin(), dist.end(), kUnseen);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    order.clear();
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    order.push_back(s);
+    std::size_t head = 0;
+    while (head < order.size()) {
+      VertexId v = order[head++];
+      for (VertexId w : g.Neighbors(v)) {
+        if (dist[w] == kUnseen) {
+          dist[w] = dist[v] + 1;
+          order.push_back(w);
+        }
+        if (dist[w] == dist[v] + 1) sigma[w] += sigma[v];
+      }
+    }
+    // Accumulation phase, farthest first.
+    std::fill(delta.begin(), delta.end(), 0.0);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      VertexId w = *it;
+      for (VertexId v : g.Neighbors(w)) {
+        if (dist[v] + 1 == dist[w]) {
+          double contribution = sigma[v] / sigma[w] * (1.0 + delta[w]);
+          betweenness[edge_index(v, w)] += contribution;
+          delta[v] += contribution;
+        }
+      }
+    }
+  }
+  // Each unordered pair {s, t} was counted from both endpoints.
+  for (double& b : betweenness) b /= 2.0;
+  return betweenness;
+}
+
+GirvanNewmanResult GirvanNewman(const Graph& g,
+                                const GirvanNewmanOptions& options) {
+  GirvanNewmanResult result;
+  const std::size_t n = g.num_vertices();
+
+  // Baseline partition: the connected components of the input.
+  auto base_cc = ConnectedComponents(g);
+  result.clustering.assignment = base_cc.label;
+  result.clustering.num_clusters = base_cc.num_components;
+  result.modularity = Modularity(g, result.clustering);
+
+  std::vector<std::pair<VertexId, VertexId>> alive = g.Edges();
+  std::uint32_t prev_components = base_cc.num_components;
+  std::size_t removed = 0;
+  const std::size_t removal_cap =
+      options.max_removals == 0 ? alive.size() : options.max_removals;
+
+  if (options.target_communities > 0 &&
+      prev_components >= options.target_communities) {
+    return result;
+  }
+
+  while (!alive.empty() && removed < removal_cap) {
+    GraphBuilder builder(n);
+    for (const auto& [u, v] : alive) builder.AddEdge(u, v);
+    Graph current = builder.Build();
+
+    std::vector<double> betweenness = EdgeBetweenness(current);
+    // current.Edges() equals `alive` sorted; alive is kept sorted.
+    std::size_t victim = 0;
+    for (std::size_t e = 1; e < betweenness.size(); ++e) {
+      if (betweenness[e] > betweenness[victim]) victim = e;
+    }
+    alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(victim));
+    ++removed;
+
+    GraphBuilder next_builder(n);
+    for (const auto& [u, v] : alive) next_builder.AddEdge(u, v);
+    Graph next = next_builder.Build();
+    auto cc = ConnectedComponents(next);
+    if (cc.num_components > prev_components) {
+      prev_components = cc.num_components;
+      Clustering candidate;
+      candidate.assignment = cc.label;
+      candidate.num_clusters = cc.num_components;
+      double q = Modularity(g, candidate);
+      if (options.target_communities > 0 &&
+          cc.num_components >= options.target_communities) {
+        result.clustering = std::move(candidate);
+        result.modularity = q;
+        result.edges_removed = removed;
+        return result;
+      }
+      if (q > result.modularity) {
+        result.clustering = std::move(candidate);
+        result.modularity = q;
+        result.edges_removed = removed;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cexplorer

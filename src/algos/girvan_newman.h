@@ -1,0 +1,53 @@
+// Girvan-Newman community detection (Newman & Girvan, Phys. Rev. E 2004) —
+// the classic divisive CD algorithm the C-Explorer paper cites as the
+// canonical community-detection reference [9].
+//
+// Repeatedly removes the edge of highest betweenness (Brandes-style
+// single-source accumulation over all sources, O(n*m) per round) and tracks
+// the connected-component partition of maximum modularity along the way.
+// Quadratic-ish overall: intended for the small/medium graphs a user
+// actually inspects, not the full DBLP network.
+
+#ifndef CEXPLORER_ALGOS_GIRVAN_NEWMAN_H_
+#define CEXPLORER_ALGOS_GIRVAN_NEWMAN_H_
+
+#include <cstdint>
+
+#include "algos/clusterers.h"
+#include "graph/graph.h"
+
+namespace cexplorer {
+
+/// Options for GirvanNewman.
+struct GirvanNewmanOptions {
+  /// Stop once the partition reaches this many components and return it
+  /// (0 = keep going and return the modularity-optimal partition seen).
+  std::uint32_t target_communities = 0;
+
+  /// Safety cap on edge removals (0 = all edges).
+  std::size_t max_removals = 0;
+};
+
+/// Result of a Girvan-Newman run.
+struct GirvanNewmanResult {
+  /// The selected partition (modularity-optimal, or the first to reach
+  /// target_communities).
+  Clustering clustering;
+  /// Modularity of the selected partition on the original graph.
+  double modularity = 0.0;
+  /// Edges removed before the selected partition appeared.
+  std::size_t edges_removed = 0;
+};
+
+/// Runs Girvan-Newman on `g`.
+GirvanNewmanResult GirvanNewman(const Graph& g,
+                                const GirvanNewmanOptions& options = {});
+
+/// Edge betweenness centrality of every edge of `g`, aligned with
+/// Graph::Edges() order. Shortest-path counts over unweighted BFS from all
+/// sources; each undirected edge's score counts both directions once.
+std::vector<double> EdgeBetweenness(const Graph& g);
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_ALGOS_GIRVAN_NEWMAN_H_

@@ -1,0 +1,60 @@
+#include "algos/global.h"
+
+#include <algorithm>
+
+#include "core/kcore.h"
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+
+namespace cexplorer {
+
+GlobalResult GlobalSearch(const Graph& g,
+                          const std::vector<std::uint32_t>& core_numbers,
+                          VertexId q, std::uint32_t k) {
+  GlobalResult result;
+  result.vertices = ConnectedKCore(g, core_numbers, q, k);
+  if (!result.vertices.empty()) {
+    // The minimum induced degree of a connected k-core component is >= k by
+    // construction; report the exact value.
+    VertexList copy = result.vertices;
+    std::vector<std::size_t> degrees = InducedDegrees(g, &copy);
+    std::size_t min_deg = degrees.empty() ? 0 : degrees.front();
+    for (std::size_t d : degrees) min_deg = std::min(min_deg, d);
+    result.min_degree = static_cast<std::uint32_t>(min_deg);
+  }
+  return result;
+}
+
+GlobalResult MaximizeMinDegree(const Graph& g, VertexId q) {
+  if (q >= g.num_vertices()) return {};
+  // Greedy min-degree peeling (remove the globally minimum-degree vertex
+  // until q falls; answer = best surviving component of q) provably yields
+  // the connected component of q in the core(q)-core, so we compute that
+  // directly; the literal peel is kept as a test oracle.
+  auto core = CoreDecomposition(g);
+  return GlobalSearch(g, core, q, core[q]);
+}
+
+GlobalResult GlobalSearchWithinRadius(const Graph& g, VertexId q,
+                                      std::uint32_t k, std::uint32_t radius) {
+  GlobalResult result;
+  if (q >= g.num_vertices()) return result;
+  // Candidates: the BFS ball of the given radius around q; then peel the
+  // ball to its maximal k-core and keep q's component.
+  auto dist = BfsDistances(g, q);
+  VertexList ball;
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    if (dist[v] <= radius) ball.push_back(static_cast<VertexId>(v));
+  }
+  result.vertices = PeelToKCore(g, std::move(ball), k, q);
+  if (!result.vertices.empty()) {
+    VertexList copy = result.vertices;
+    std::vector<std::size_t> degrees = InducedDegrees(g, &copy);
+    std::size_t min_deg = degrees.empty() ? 0 : degrees.front();
+    for (std::size_t d : degrees) min_deg = std::min(min_deg, d);
+    result.min_degree = static_cast<std::uint32_t>(min_deg);
+  }
+  return result;
+}
+
+}  // namespace cexplorer

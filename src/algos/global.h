@@ -1,0 +1,49 @@
+// Global community search (Sozio & Gionis, SIGKDD 2010).
+//
+// Global finds the maximal connected subgraph containing the query vertex in
+// which every vertex has degree >= k — i.e. the connected component of q in
+// the k-core. When no k is given, the greedy min-degree peel finds the
+// subgraph containing q that maximizes the minimum degree; the two coincide
+// at k = core(q) (a property this library tests).
+
+#ifndef CEXPLORER_ALGOS_GLOBAL_H_
+#define CEXPLORER_ALGOS_GLOBAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cexplorer {
+
+/// Result of a Global query.
+struct GlobalResult {
+  /// Community members, ascending; empty when core(q) < k.
+  VertexList vertices;
+  /// Minimum degree within the community (0 when empty).
+  std::uint32_t min_degree = 0;
+};
+
+/// The connected component of q in the k-core of g.
+/// `core_numbers` must come from CoreDecomposition(g).
+GlobalResult GlobalSearch(const Graph& g,
+                          const std::vector<std::uint32_t>& core_numbers,
+                          VertexId q, std::uint32_t k);
+
+/// Sozio-Gionis greedy: the connected subgraph containing q of maximum
+/// possible minimum degree (no k parameter). Equivalent to the greedy
+/// min-degree peel of the paper; computed as the core(q)-core component.
+GlobalResult MaximizeMinDegree(const Graph& g, VertexId q);
+
+/// Distance-bounded Global (the size/distance-constrained variant of
+/// Sozio-Gionis): the maximal subgraph with minimum degree >= k among
+/// vertices within `radius` hops of q, restricted to q's component. Bounds
+/// the "free rider" growth of the unconstrained answer; with
+/// radius = infinity it coincides with GlobalSearch.
+GlobalResult GlobalSearchWithinRadius(const Graph& g, VertexId q,
+                                      std::uint32_t k, std::uint32_t radius);
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_ALGOS_GLOBAL_H_

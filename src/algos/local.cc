@@ -1,0 +1,97 @@
+#include "algos/local.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/bitset.h"
+#include "core/kcore.h"
+
+namespace cexplorer {
+
+namespace {
+
+/// Frontier entry: ordering favours vertices with more links into the
+/// candidate set, breaking ties toward higher global degree (more likely to
+/// survive the k-core test), then lower id for determinism.
+struct FrontierEntry {
+  std::uint32_t links_into_set;
+  std::uint32_t degree;
+  VertexId vertex;
+
+  bool operator<(const FrontierEntry& other) const {
+    if (links_into_set != other.links_into_set) {
+      return links_into_set < other.links_into_set;
+    }
+    if (degree != other.degree) return degree < other.degree;
+    return vertex > other.vertex;
+  }
+};
+
+}  // namespace
+
+LocalResult LocalSearch(const Graph& g, VertexId q, std::uint32_t k,
+                        const LocalOptions& options) {
+  LocalResult result;
+  if (q >= g.num_vertices()) return result;
+  if (g.Degree(q) < k) return result;  // q can never reach degree k
+
+  const std::size_t n = g.num_vertices();
+  Bitset in_set(n);
+  std::vector<std::uint32_t> links(n, 0);  // links into the candidate set
+  std::priority_queue<FrontierEntry> frontier;
+
+  VertexList candidates;
+  auto absorb = [&](VertexId v) {
+    in_set.Set(v);
+    candidates.push_back(v);
+    ++result.candidates_explored;
+    for (VertexId w : g.Neighbors(v)) {
+      if (in_set.Test(w)) continue;
+      ++links[w];
+      // Lazy priority update: push a fresh entry; stale ones are skipped.
+      if (g.Degree(w) >= k) {
+        frontier.push({links[w], static_cast<std::uint32_t>(g.Degree(w)), w});
+      }
+    }
+  };
+
+  absorb(q);
+  std::size_t next_test = std::max<std::size_t>(k + 1, 4);
+  for (;;) {
+    const bool capped = options.max_candidates != 0 &&
+                        candidates.size() >= options.max_candidates;
+    if (candidates.size() >= next_test || capped || frontier.empty()) {
+      ++result.peel_tests;
+      VertexList community = PeelToKCore(g, candidates, k, q);
+      if (!community.empty()) {
+        result.vertices = std::move(community);
+        return result;
+      }
+      if (capped || frontier.empty()) return result;
+      next_test = std::max(
+          next_test + 1,
+          static_cast<std::size_t>(static_cast<double>(candidates.size()) *
+                                   options.test_growth_factor));
+    }
+
+    // Pop the best non-stale frontier vertex.
+    VertexId chosen = kInvalidVertex;
+    while (!frontier.empty()) {
+      FrontierEntry top = frontier.top();
+      frontier.pop();
+      if (in_set.Test(top.vertex)) continue;           // already absorbed
+      if (top.links_into_set != links[top.vertex]) continue;  // stale
+      chosen = top.vertex;
+      break;
+    }
+    if (chosen == kInvalidVertex) {
+      // Frontier exhausted: final test on everything reachable.
+      ++result.peel_tests;
+      result.vertices = PeelToKCore(g, candidates, k, q);
+      return result;
+    }
+    absorb(chosen);
+  }
+}
+
+}  // namespace cexplorer

@@ -1,0 +1,52 @@
+// Local community search (Cui et al., SIGMOD 2014).
+//
+// Local avoids touching the whole graph: starting from the query vertex it
+// grows a candidate set by repeatedly absorbing the frontier vertex best
+// connected to the current set, and periodically tests whether the candidate
+// set already contains a connected k-core around q. The first such k-core
+// found is returned, which is typically far smaller than Global's maximal
+// one — the behaviour Figure 6(a) of the C-Explorer paper shows (Local: 50
+// vertices vs Global: 305 on the Jim Gray query).
+
+#ifndef CEXPLORER_ALGOS_LOCAL_H_
+#define CEXPLORER_ALGOS_LOCAL_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cexplorer {
+
+/// Tuning knobs for LocalSearch.
+struct LocalOptions {
+  /// Run the k-core test whenever the candidate set grew by this factor
+  /// since the last test (geometric testing keeps total peel cost linear
+  /// in the final candidate size).
+  double test_growth_factor = 1.25;
+
+  /// Hard cap on the candidate set size; 0 = unlimited (the search then
+  /// degenerates to Global's answer in the worst case, but never misses an
+  /// existing community).
+  std::size_t max_candidates = 0;
+};
+
+/// Result of a Local query.
+struct LocalResult {
+  /// Community members, ascending; empty if none exists within the cap.
+  VertexList vertices;
+  /// How many vertices were absorbed into the candidate set.
+  std::size_t candidates_explored = 0;
+  /// How many k-core tests (peels) ran.
+  std::size_t peel_tests = 0;
+};
+
+/// Finds a connected subgraph containing q with minimum degree >= k by
+/// local expansion. Exact in the sense that it returns non-empty iff such a
+/// subgraph exists (when max_candidates is unlimited).
+LocalResult LocalSearch(const Graph& g, VertexId q, std::uint32_t k,
+                        const LocalOptions& options = {});
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_ALGOS_LOCAL_H_

@@ -1,0 +1,242 @@
+#include "algos/truss.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/bitset.h"
+
+namespace cexplorer {
+
+namespace {
+
+/// Adjacency-aligned edge ids: edge_of[slot] is the edge index of the
+/// adjacency entry at `slot` in the CSR arrays.
+std::vector<std::size_t> AlignEdgeIds(
+    const Graph& g, const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  std::vector<std::size_t> edge_of(2 * g.num_edges());
+  // Slot offsets mirror the CSR layout: recompute per-vertex starts.
+  std::vector<std::size_t> start(g.num_vertices() + 1, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    start[v + 1] = start[v] + g.Degree(v);
+  }
+  auto slot_of = [&](VertexId from, VertexId to) {
+    auto nbrs = g.Neighbors(from);
+    auto it = std::lower_bound(nbrs.begin(), nbrs.end(), to);
+    return start[from] + static_cast<std::size_t>(it - nbrs.begin());
+  };
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    edge_of[slot_of(edges[e].first, edges[e].second)] = e;
+    edge_of[slot_of(edges[e].second, edges[e].first)] = e;
+  }
+  return edge_of;
+}
+
+/// Looks up the id of edge {a, b} through the aligned slot table.
+class EdgeIdLookup {
+ public:
+  EdgeIdLookup(const Graph& g, const std::vector<std::size_t>& edge_of)
+      : g_(g), edge_of_(edge_of) {
+    start_.resize(g.num_vertices() + 1, 0);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      start_[v + 1] = start_[v] + g.Degree(v);
+    }
+  }
+
+  /// Precondition: the edge exists.
+  std::size_t operator()(VertexId a, VertexId b) const {
+    auto nbrs = g_.Neighbors(a);
+    auto it = std::lower_bound(nbrs.begin(), nbrs.end(), b);
+    return edge_of_[start_[a] + static_cast<std::size_t>(it - nbrs.begin())];
+  }
+
+ private:
+  const Graph& g_;
+  const std::vector<std::size_t>& edge_of_;
+  std::vector<std::size_t> start_;
+};
+
+}  // namespace
+
+std::size_t TrussDecomposition::EdgeIndex(VertexId u, VertexId v) const {
+  if (u > v) std::swap(u, v);
+  auto it = std::lower_bound(edges.begin(), edges.end(), std::make_pair(u, v));
+  if (it == edges.end() || *it != std::make_pair(u, v)) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  return static_cast<std::size_t>(it - edges.begin());
+}
+
+TrussDecomposition TrussDecompose(const Graph& g) {
+  TrussDecomposition td;
+  td.edges = g.Edges();
+  const std::size_t m = td.edges.size();
+  td.trussness.assign(m, 2);
+  if (m == 0) return td;
+
+  auto edge_of = AlignEdgeIds(g, td.edges);
+  EdgeIdLookup edge_id(g, edge_of);
+
+  // Triangle support per edge: enumerate ordered triangles u < v < w.
+  std::vector<std::uint32_t> support(m, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto [u, v] = td.edges[e];
+    auto nu = g.Neighbors(u);
+    auto nv = g.Neighbors(v);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < nu.size() && j < nv.size()) {
+      if (nu[i] < nv[j]) {
+        ++i;
+      } else if (nu[i] > nv[j]) {
+        ++j;
+      } else {
+        VertexId w = nu[i];
+        if (w > v) {
+          ++support[e];
+          ++support[edge_id(u, w)];
+          ++support[edge_id(v, w)];
+        }
+        ++i;
+        ++j;
+      }
+    }
+  }
+
+  // Peel edges in non-decreasing support order (bucket queue).
+  std::uint32_t max_support = 0;
+  for (std::uint32_t s : support) max_support = std::max(max_support, s);
+  std::vector<std::size_t> bin(max_support + 2, 0);
+  for (std::uint32_t s : support) ++bin[s + 1];
+  for (std::size_t i = 1; i < bin.size(); ++i) bin[i] += bin[i - 1];
+  std::vector<std::size_t> order(m), position(m);
+  {
+    std::vector<std::size_t> cursor(bin.begin(), bin.end() - 1);
+    for (std::size_t e = 0; e < m; ++e) {
+      position[e] = cursor[support[e]]++;
+      order[position[e]] = e;
+    }
+  }
+
+  std::vector<bool> removed(m, false);
+  auto lower_support = [&](std::size_t e, std::uint32_t floor_s) {
+    // Decrement support of e by one, but never below floor_s; keep the
+    // bucket order consistent.
+    if (support[e] <= floor_s) return;
+    std::size_t pe = position[e];
+    std::size_t pw = bin[support[e]];
+    std::size_t other = order[pw];
+    if (e != other) {
+      std::swap(order[pe], order[pw]);
+      position[e] = pw;
+      position[other] = pe;
+    }
+    ++bin[support[e]];
+    --support[e];
+  };
+
+  for (std::size_t idx = 0; idx < m; ++idx) {
+    std::size_t e = order[idx];
+    const std::uint32_t s = support[e];
+    td.trussness[e] = s + 2;
+    removed[e] = true;
+    const auto [u, v] = td.edges[e];
+    // Each still-alive triangle through e loses a triangle at both other
+    // edges.
+    auto nu = g.Neighbors(u);
+    auto nv = g.Neighbors(v);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < nu.size() && j < nv.size()) {
+      if (nu[i] < nv[j]) {
+        ++i;
+      } else if (nu[i] > nv[j]) {
+        ++j;
+      } else {
+        VertexId w = nu[i];
+        std::size_t e1 = edge_id(u, w);
+        std::size_t e2 = edge_id(v, w);
+        if (!removed[e1] && !removed[e2]) {
+          lower_support(e1, s);
+          lower_support(e2, s);
+        }
+        ++i;
+        ++j;
+      }
+    }
+  }
+  for (std::uint32_t t : td.trussness) {
+    td.max_trussness = std::max(td.max_trussness, t);
+  }
+  return td;
+}
+
+std::vector<TrussCommunity> KTrussCommunities(const Graph& g,
+                                              const TrussDecomposition& td,
+                                              VertexId q, std::uint32_t k) {
+  std::vector<TrussCommunity> out;
+  if (q >= g.num_vertices()) return out;
+
+  auto edge_alive = [&](std::size_t e) { return td.trussness[e] >= k; };
+
+  std::vector<bool> visited(td.edges.size(), false);
+  for (VertexId v0 : g.Neighbors(q)) {
+    std::size_t seed = td.EdgeIndex(q, v0);
+    if (!edge_alive(seed) || visited[seed]) continue;
+
+    // BFS across triangle-connected alive edges.
+    std::vector<std::size_t> queue{seed};
+    visited[seed] = true;
+    std::size_t head = 0;
+    Bitset members(g.num_vertices());
+    std::size_t edge_count = 0;
+    while (head < queue.size()) {
+      std::size_t e = queue[head++];
+      ++edge_count;
+      const auto [u, v] = td.edges[e];
+      members.Set(u);
+      members.Set(v);
+      auto nu = g.Neighbors(u);
+      auto nv = g.Neighbors(v);
+      std::size_t i = 0;
+      std::size_t j = 0;
+      while (i < nu.size() && j < nv.size()) {
+        if (nu[i] < nv[j]) {
+          ++i;
+        } else if (nu[i] > nv[j]) {
+          ++j;
+        } else {
+          VertexId w = nu[i];
+          std::size_t e1 = td.EdgeIndex(u, w);
+          std::size_t e2 = td.EdgeIndex(v, w);
+          if (edge_alive(e1) && edge_alive(e2)) {
+            if (!visited[e1]) {
+              visited[e1] = true;
+              queue.push_back(e1);
+            }
+            if (!visited[e2]) {
+              visited[e2] = true;
+              queue.push_back(e2);
+            }
+          }
+          ++i;
+          ++j;
+        }
+      }
+    }
+    TrussCommunity community;
+    community.num_edges = edge_count;
+    auto member_list = members.ToVector();
+    community.vertices.assign(member_list.begin(), member_list.end());
+    out.push_back(std::move(community));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TrussCommunity& a, const TrussCommunity& b) {
+              if (a.vertices.size() != b.vertices.size()) {
+                return a.vertices.size() > b.vertices.size();
+              }
+              return a.vertices < b.vertices;
+            });
+  return out;
+}
+
+}  // namespace cexplorer

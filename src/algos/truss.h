@@ -1,0 +1,56 @@
+// k-truss decomposition and k-truss community search (Huang et al.,
+// SIGMOD 2014) — the alternative structure-cohesiveness measure cited by
+// the C-Explorer paper.
+//
+// The k-truss of G is the largest subgraph whose every edge participates in
+// at least k-2 triangles within the subgraph. The trussness of an edge is
+// the largest k for which the edge is in the k-truss. A k-truss community
+// of a query vertex q is a maximal triangle-connected k-truss subgraph
+// containing q: edges are grouped by walks that step between edges sharing
+// a triangle whose edges all have trussness >= k (this is what keeps the
+// communities cohesive rather than merely degree-dense).
+
+#ifndef CEXPLORER_ALGOS_TRUSS_H_
+#define CEXPLORER_ALGOS_TRUSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cexplorer {
+
+/// Edge-indexed truss decomposition. Edges are indexed by position in
+/// Graph::Edges() order ((u, v) pairs with u < v, ascending).
+struct TrussDecomposition {
+  /// All edges, aligned with `trussness`.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  /// Trussness per edge (>= 2 for every edge; 2 means triangle-free).
+  std::vector<std::uint32_t> trussness;
+  /// Largest trussness present (0 for an edgeless graph).
+  std::uint32_t max_trussness = 0;
+
+  /// Index of edge {u, v} in `edges`, or SIZE_MAX if absent.
+  std::size_t EdgeIndex(VertexId u, VertexId v) const;
+};
+
+/// Computes the truss decomposition by support peeling:
+/// O(m^1.5) triangle enumeration plus near-linear peeling.
+TrussDecomposition TrussDecompose(const Graph& g);
+
+/// One k-truss community (vertex view of a triangle-connected edge set).
+struct TrussCommunity {
+  VertexList vertices;
+  std::size_t num_edges = 0;
+};
+
+/// All k-truss communities containing q, largest first. Empty when no edge
+/// incident to q has trussness >= k.
+std::vector<TrussCommunity> KTrussCommunities(const Graph& g,
+                                              const TrussDecomposition& td,
+                                              VertexId q, std::uint32_t k);
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_ALGOS_TRUSS_H_

@@ -1,0 +1,592 @@
+#include "cltree/cltree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bitset.h"
+#include "common/strings.h"
+#include "core/kcore.h"
+
+namespace cexplorer {
+
+namespace {
+
+/// Raw (pre-canonicalization) tree under construction: nodes in arbitrary
+/// order with parent/children links by raw index.
+struct RawTree {
+  std::vector<ClTreeNode> nodes;
+  ClNodeId root = kInvalidClNode;
+};
+
+// ---------------------------------------------------------------------------
+// Basic builder: top-down recursive component splitting.
+// ---------------------------------------------------------------------------
+
+RawTree BuildBasicTree(const Graph& g,
+                       const std::vector<std::uint32_t>& core) {
+  const std::size_t n = g.num_vertices();
+  RawTree raw;
+
+  // Root: core 0, anchoring the isolated (core-0) vertices.
+  raw.root = 0;
+  raw.nodes.emplace_back();
+  raw.nodes[0].core = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (core[v] == 0) raw.nodes[0].vertices.push_back(v);
+  }
+
+  // Work item: a connected component of some k-core, to become one node
+  // (at the component's minimum core number) plus its descendants.
+  struct Item {
+    ClNodeId parent;
+    VertexList component;
+  };
+
+  Bitset allowed(n);
+  std::vector<Item> stack;
+
+  // Seed: connected components of the 1-core.
+  {
+    Bitset visited(n);
+    for (VertexId v = 0; v < n; ++v) {
+      if (core[v] >= 1) allowed.Set(v);
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (core[v] < 1 || visited.Test(v)) continue;
+      VertexList comp;
+      std::vector<VertexId> queue{v};
+      visited.Set(v);
+      std::size_t head = 0;
+      while (head < queue.size()) {
+        VertexId u = queue[head++];
+        comp.push_back(u);
+        for (VertexId w : g.Neighbors(u)) {
+          if (allowed.Test(w) && !visited.Test(w)) {
+            visited.Set(w);
+            queue.push_back(w);
+          }
+        }
+      }
+      std::sort(comp.begin(), comp.end());
+      stack.push_back({0, std::move(comp)});
+    }
+  }
+
+  Bitset in_higher(n);
+  Bitset visited(n);
+  while (!stack.empty()) {
+    Item item = std::move(stack.back());
+    stack.pop_back();
+
+    std::uint32_t kk = core[item.component.front()];
+    for (VertexId v : item.component) kk = std::min(kk, core[v]);
+
+    ClNodeId id = static_cast<ClNodeId>(raw.nodes.size());
+    raw.nodes.emplace_back();
+    raw.nodes[id].core = kk;
+    raw.nodes[id].parent = item.parent;
+    raw.nodes[item.parent].children.push_back(id);
+
+    VertexList higher;
+    for (VertexId v : item.component) {
+      if (core[v] == kk) {
+        raw.nodes[id].vertices.push_back(v);
+      } else {
+        higher.push_back(v);
+        in_higher.Set(v);
+      }
+    }
+
+    // Split `higher` into connected components; each becomes a child item.
+    for (VertexId v : higher) {
+      if (visited.Test(v)) continue;
+      VertexList comp;
+      std::vector<VertexId> queue{v};
+      visited.Set(v);
+      std::size_t head = 0;
+      while (head < queue.size()) {
+        VertexId u = queue[head++];
+        comp.push_back(u);
+        for (VertexId w : g.Neighbors(u)) {
+          if (in_higher.Test(w) && !visited.Test(w)) {
+            visited.Set(w);
+            queue.push_back(w);
+          }
+        }
+      }
+      std::sort(comp.begin(), comp.end());
+      stack.push_back({id, std::move(comp)});
+    }
+    for (VertexId v : higher) {
+      in_higher.Reset(v);
+      visited.Reset(v);
+    }
+  }
+  return raw;
+}
+
+// ---------------------------------------------------------------------------
+// Advanced builder: bottom-up union-find over decreasing core numbers.
+// ---------------------------------------------------------------------------
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+  }
+
+  VertexId Find(VertexId v) {
+    VertexId root = v;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[v] != root) {
+      VertexId next = parent_[v];
+      parent_[v] = root;
+      v = next;
+    }
+    return root;
+  }
+
+  /// Unions the sets of a and b; returns the surviving root.
+  VertexId Union(VertexId a, VertexId b) {
+    VertexId ra = Find(a);
+    VertexId rb = Find(b);
+    if (ra == rb) return ra;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return ra;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+RawTree BuildAdvancedTree(const Graph& g,
+                          const std::vector<std::uint32_t>& core) {
+  const std::size_t n = g.num_vertices();
+  RawTree raw;
+
+  // Bucket vertices by core number.
+  const std::uint32_t kmax = MaxCoreNumber(core);
+  std::vector<VertexList> by_core(kmax + 1);
+  for (VertexId v = 0; v < n; ++v) by_core[core[v]].push_back(v);
+
+  UnionFind dsu(n);
+  Bitset present(n);
+  // Per DSU-root bookkeeping: node ids of already-built child subtrees and
+  // vertices anchored at the level being processed. Moved (small-into-large)
+  // on union.
+  std::vector<std::vector<ClNodeId>> pend_children(n);
+  std::vector<VertexList> pend_anchored(n);
+
+  auto merge_meta = [&](VertexId survivor, VertexId absorbed) {
+    if (survivor == absorbed) return;
+    auto& cs = pend_children[survivor];
+    auto& ca = pend_children[absorbed];
+    if (cs.size() < ca.size()) cs.swap(ca);
+    cs.insert(cs.end(), ca.begin(), ca.end());
+    ca.clear();
+    ca.shrink_to_fit();
+    auto& as = pend_anchored[survivor];
+    auto& aa = pend_anchored[absorbed];
+    if (as.size() < aa.size()) as.swap(aa);
+    as.insert(as.end(), aa.begin(), aa.end());
+    aa.clear();
+    aa.shrink_to_fit();
+  };
+
+  std::vector<VertexId> affected;
+  for (std::uint32_t c = kmax; c >= 1; --c) {
+    const VertexList& newly = by_core[c];
+    if (newly.empty()) continue;
+    for (VertexId v : newly) {
+      present.Set(v);
+      pend_anchored[v].push_back(v);
+    }
+    for (VertexId v : newly) {
+      for (VertexId u : g.Neighbors(v)) {
+        if (!present.Test(u)) continue;
+        VertexId rv = dsu.Find(v);
+        VertexId ru = dsu.Find(u);
+        if (rv == ru) continue;
+        VertexId survivor = dsu.Union(rv, ru);
+        merge_meta(survivor, survivor == rv ? ru : rv);
+      }
+    }
+    affected.clear();
+    for (VertexId v : newly) affected.push_back(dsu.Find(v));
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+    for (VertexId r : affected) {
+      ClNodeId id = static_cast<ClNodeId>(raw.nodes.size());
+      raw.nodes.emplace_back();
+      raw.nodes[id].core = c;
+      raw.nodes[id].vertices = std::move(pend_anchored[r]);
+      std::sort(raw.nodes[id].vertices.begin(), raw.nodes[id].vertices.end());
+      raw.nodes[id].children = std::move(pend_children[r]);
+      for (ClNodeId child : raw.nodes[id].children) {
+        raw.nodes[child].parent = id;
+      }
+      pend_anchored[r] = {};
+      pend_children[r] = {id};
+    }
+  }
+
+  // Root (core 0): anchors isolated vertices; adopts every component.
+  ClNodeId root_id = static_cast<ClNodeId>(raw.nodes.size());
+  raw.nodes.emplace_back();
+  raw.nodes[root_id].core = 0;
+  raw.root = root_id;
+  if (kmax >= 1 || !by_core.empty()) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (core[v] == 0) {
+        raw.nodes[root_id].vertices.push_back(v);
+      }
+    }
+  }
+  std::vector<ClNodeId> top_nodes;
+  for (VertexId v = 0; v < n; ++v) {
+    if (core[v] >= 1 && dsu.Find(v) == v) {
+      // v is a component representative; its pending child is the subtree.
+      for (ClNodeId child : pend_children[v]) top_nodes.push_back(child);
+    }
+  }
+  std::sort(top_nodes.begin(), top_nodes.end());
+  top_nodes.erase(std::unique(top_nodes.begin(), top_nodes.end()),
+                  top_nodes.end());
+  for (ClNodeId child : top_nodes) {
+    raw.nodes[child].parent = root_id;
+    raw.nodes[root_id].children.push_back(child);
+  }
+  return raw;
+}
+
+}  // namespace
+
+std::span<const VertexId> ClTreeNode::Postings(KeywordId kw) const {
+  auto it = std::lower_bound(inv_keywords.begin(), inv_keywords.end(), kw);
+  if (it == inv_keywords.end() || *it != kw) return {};
+  const auto& list = inv_postings[it - inv_keywords.begin()];
+  return {list.data(), list.size()};
+}
+
+ClTree ClTree::Build(const AttributedGraph& g, ClTreeBuildMethod method) {
+  ClTree tree;
+  if (g.num_vertices() == 0) return tree;
+  std::vector<std::uint32_t> core = CoreDecomposition(g.graph());
+  RawTree raw = method == ClTreeBuildMethod::kBasic
+                    ? BuildBasicTree(g.graph(), core)
+                    : BuildAdvancedTree(g.graph(), core);
+  tree.Finalize(g, std::move(raw.nodes), raw.root);
+  return tree;
+}
+
+void ClTree::Finalize(const AttributedGraph& g,
+                      std::vector<ClTreeNode> raw_nodes, ClNodeId raw_root) {
+  const std::size_t num_raw = raw_nodes.size();
+
+  // Pass 1 (post-order): minimum vertex in each subtree, for canonical
+  // child ordering; and subtree vertex counts.
+  std::vector<VertexId> min_vertex(num_raw, kInvalidVertex);
+  std::vector<std::size_t> counts(num_raw, 0);
+  {
+    // Iterative post-order: (node, child cursor) stack.
+    std::vector<std::pair<ClNodeId, std::size_t>> stack{{raw_root, 0}};
+    while (!stack.empty()) {
+      auto& [id, cursor] = stack.back();
+      if (cursor < raw_nodes[id].children.size()) {
+        ClNodeId child = raw_nodes[id].children[cursor++];
+        stack.emplace_back(child, 0);
+        continue;
+      }
+      VertexId mv = raw_nodes[id].vertices.empty()
+                        ? kInvalidVertex
+                        : raw_nodes[id].vertices.front();
+      std::size_t cnt = raw_nodes[id].vertices.size();
+      for (ClNodeId child : raw_nodes[id].children) {
+        mv = std::min(mv, min_vertex[child]);
+        cnt += counts[child];
+      }
+      min_vertex[id] = mv;
+      counts[id] = cnt;
+      stack.pop_back();
+    }
+  }
+  for (auto& node : raw_nodes) {
+    std::sort(node.children.begin(), node.children.end(),
+              [&min_vertex](ClNodeId a, ClNodeId b) {
+                return min_vertex[a] < min_vertex[b];
+              });
+  }
+
+  // Pass 2 (pre-order): assign canonical ids.
+  std::vector<ClNodeId> new_id(num_raw, kInvalidClNode);
+  std::vector<ClNodeId> order;  // raw ids in preorder
+  order.reserve(num_raw);
+  {
+    std::vector<ClNodeId> stack{raw_root};
+    while (!stack.empty()) {
+      ClNodeId id = stack.back();
+      stack.pop_back();
+      new_id[id] = static_cast<ClNodeId>(order.size());
+      order.push_back(id);
+      const auto& children = raw_nodes[id].children;
+      for (auto it = children.rbegin(); it != children.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+
+  nodes_.clear();
+  nodes_.resize(num_raw);
+  subtree_sizes_.assign(num_raw, 0);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    ClNodeId raw_id = order[pos];
+    ClTreeNode& dst = nodes_[pos];
+    dst.core = raw_nodes[raw_id].core;
+    dst.parent = raw_nodes[raw_id].parent == kInvalidClNode
+                     ? kInvalidClNode
+                     : new_id[raw_nodes[raw_id].parent];
+    dst.children.clear();
+    for (ClNodeId child : raw_nodes[raw_id].children) {
+      dst.children.push_back(new_id[child]);
+    }
+    dst.vertices = std::move(raw_nodes[raw_id].vertices);
+    subtree_sizes_[pos] = counts[raw_id];
+  }
+
+  // subtree_end: preorder subtree of node i is [i, i + node count); compute
+  // node counts bottom-up over the canonical ids (children have larger ids).
+  {
+    std::vector<ClNodeId> node_counts(num_raw, 1);
+    for (std::size_t i = num_raw; i-- > 1;) {
+      node_counts[nodes_[i].parent] += node_counts[i];
+    }
+    for (std::size_t i = 0; i < num_raw; ++i) {
+      nodes_[i].subtree_end = static_cast<ClNodeId>(i + node_counts[i]);
+    }
+  }
+
+  // Vertex -> node map.
+  vertex_node_.assign(g.num_vertices(), kInvalidClNode);
+  for (std::size_t i = 0; i < num_raw; ++i) {
+    for (VertexId v : nodes_[i].vertices) {
+      vertex_node_[v] = static_cast<ClNodeId>(i);
+    }
+  }
+
+  // Inverted lists per node over anchored vertices.
+  for (auto& node : nodes_) {
+    std::vector<std::pair<KeywordId, VertexId>> pairs;
+    for (VertexId v : node.vertices) {
+      for (KeywordId kw : g.Keywords(v)) pairs.emplace_back(kw, v);
+    }
+    std::sort(pairs.begin(), pairs.end());
+    node.inv_keywords.clear();
+    node.inv_postings.clear();
+    for (const auto& [kw, v] : pairs) {
+      if (node.inv_keywords.empty() || node.inv_keywords.back() != kw) {
+        node.inv_keywords.push_back(kw);
+        node.inv_postings.emplace_back();
+      }
+      node.inv_postings.back().push_back(v);
+    }
+  }
+}
+
+ClNodeId ClTree::LocateKCore(VertexId q, std::uint32_t k) const {
+  if (q >= vertex_node_.size() || vertex_node_[q] == kInvalidClNode) {
+    return kInvalidClNode;
+  }
+  ClNodeId id = vertex_node_[q];
+  if (nodes_[id].core < k) return kInvalidClNode;
+  while (nodes_[id].parent != kInvalidClNode &&
+         nodes_[nodes_[id].parent].core >= k) {
+    id = nodes_[id].parent;
+  }
+  return id;
+}
+
+VertexList ClTree::SubtreeVertices(ClNodeId id) const {
+  VertexList out;
+  out.reserve(subtree_sizes_[id]);
+  for (ClNodeId i = id; i < nodes_[id].subtree_end; ++i) {
+    out.insert(out.end(), nodes_[i].vertices.begin(), nodes_[i].vertices.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+VertexList ClTree::CollectWithKeywords(ClNodeId id,
+                                       std::span<const KeywordId> kws) const {
+  if (kws.empty()) return SubtreeVertices(id);
+  VertexList out;
+  for (ClNodeId i = id; i < nodes_[id].subtree_end; ++i) {
+    const ClTreeNode& node = nodes_[i];
+    // Find the rarest posting list; bail out if any keyword is absent.
+    std::span<const VertexId> rarest;
+    bool missing = false;
+    for (KeywordId kw : kws) {
+      auto postings = node.Postings(kw);
+      if (postings.empty()) {
+        missing = true;
+        break;
+      }
+      if (rarest.empty() || postings.size() < rarest.size()) {
+        rarest = postings;
+      }
+    }
+    if (missing) continue;
+    if (kws.size() == 1) {
+      out.insert(out.end(), rarest.begin(), rarest.end());
+      continue;
+    }
+    for (VertexId v : rarest) {
+      bool all = true;
+      for (KeywordId kw : kws) {
+        auto postings = node.Postings(kw);
+        if (!std::binary_search(postings.begin(), postings.end(), v)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) out.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t ClTree::CountKeyword(ClNodeId id, KeywordId kw) const {
+  std::size_t count = 0;
+  for (ClNodeId i = id; i < nodes_[id].subtree_end; ++i) {
+    count += nodes_[i].Postings(kw).size();
+  }
+  return count;
+}
+
+std::size_t ClTree::MemoryBytes() const {
+  std::size_t bytes = nodes_.capacity() * sizeof(ClTreeNode) +
+                      vertex_node_.capacity() * sizeof(ClNodeId) +
+                      subtree_sizes_.capacity() * sizeof(std::size_t);
+  for (const auto& node : nodes_) {
+    bytes += node.children.capacity() * sizeof(ClNodeId);
+    bytes += node.vertices.capacity() * sizeof(VertexId);
+    bytes += node.inv_keywords.capacity() * sizeof(KeywordId);
+    bytes += node.inv_postings.capacity() * sizeof(VertexList);
+    for (const auto& postings : node.inv_postings) {
+      bytes += postings.capacity() * sizeof(VertexId);
+    }
+  }
+  return bytes;
+}
+
+std::string ClTree::Serialize() const {
+  std::string out;
+  out += "cltree " + std::to_string(nodes_.size()) + " " +
+         std::to_string(vertex_node_.size()) + "\n";
+  for (const auto& node : nodes_) {
+    out += "n " + std::to_string(node.core) + " " +
+           (node.parent == kInvalidClNode ? std::string("-")
+                                          : std::to_string(node.parent));
+    for (VertexId v : node.vertices) {
+      out += ' ';
+      out += std::to_string(v);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<ClTree> ClTree::Deserialize(const AttributedGraph& g,
+                                   const std::string& text) {
+  auto lines = Split(text, '\n');
+  if (lines.empty()) return Status::ParseError("empty CL-tree document");
+  auto header = SplitWhitespace(lines[0]);
+  if (header.size() != 3 || header[0] != "cltree") {
+    return Status::ParseError("bad CL-tree header");
+  }
+  std::int64_t num_nodes = 0;
+  std::int64_t num_vertices = 0;
+  if (!ParseInt64(header[1], &num_nodes) ||
+      !ParseInt64(header[2], &num_vertices) || num_nodes < 0) {
+    return Status::ParseError("bad CL-tree header counts");
+  }
+  if (static_cast<std::size_t>(num_vertices) != g.num_vertices()) {
+    return Status::InvalidArgument(
+        "CL-tree was built for a different graph (vertex count mismatch)");
+  }
+
+  std::vector<ClTreeNode> raw;
+  raw.reserve(static_cast<std::size_t>(num_nodes));
+  for (std::size_t li = 1; li < lines.size(); ++li) {
+    auto fields = SplitWhitespace(lines[li]);
+    if (fields.empty()) continue;
+    if (fields[0] != "n" || fields.size() < 3) {
+      return Status::ParseError("bad CL-tree node line " + std::to_string(li));
+    }
+    ClTreeNode node;
+    std::int64_t core = 0;
+    if (!ParseInt64(fields[1], &core) || core < 0) {
+      return Status::ParseError("bad core number on line " +
+                                std::to_string(li));
+    }
+    node.core = static_cast<std::uint32_t>(core);
+    if (fields[2] == "-") {
+      node.parent = kInvalidClNode;
+    } else {
+      std::int64_t parent = 0;
+      if (!ParseInt64(fields[2], &parent) || parent < 0) {
+        return Status::ParseError("bad parent on line " + std::to_string(li));
+      }
+      node.parent = static_cast<ClNodeId>(parent);
+    }
+    for (std::size_t f = 3; f < fields.size(); ++f) {
+      std::int64_t v = 0;
+      if (!ParseInt64(fields[f], &v) || v < 0 ||
+          static_cast<std::size_t>(v) >= g.num_vertices()) {
+        return Status::ParseError("bad vertex on line " + std::to_string(li));
+      }
+      node.vertices.push_back(static_cast<VertexId>(v));
+    }
+    raw.push_back(std::move(node));
+  }
+  if (raw.size() != static_cast<std::size_t>(num_nodes)) {
+    return Status::ParseError("CL-tree node count mismatch");
+  }
+
+  // Rebuild child links; find the root; sanity-check anchoring.
+  ClNodeId root = kInvalidClNode;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i].parent == kInvalidClNode) {
+      if (root != kInvalidClNode) {
+        return Status::ParseError("multiple CL-tree roots");
+      }
+      root = static_cast<ClNodeId>(i);
+    } else if (raw[i].parent >= raw.size()) {
+      return Status::ParseError("dangling parent pointer");
+    } else {
+      raw[raw[i].parent].children.push_back(static_cast<ClNodeId>(i));
+    }
+  }
+  if (root == kInvalidClNode) return Status::ParseError("no CL-tree root");
+
+  std::vector<bool> anchored(g.num_vertices(), false);
+  for (const auto& node : raw) {
+    for (VertexId v : node.vertices) {
+      if (anchored[v]) return Status::ParseError("vertex anchored twice");
+      anchored[v] = true;
+    }
+  }
+  for (bool a : anchored) {
+    if (!a) return Status::ParseError("vertex never anchored");
+  }
+
+  ClTree tree;
+  tree.Finalize(g, std::move(raw), root);
+  return tree;
+}
+
+}  // namespace cexplorer

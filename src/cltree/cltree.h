@@ -1,0 +1,151 @@
+// CL-tree index (Fang et al., PVLDB 2016), the index behind C-Explorer's
+// ACQ engine.
+//
+// The CL-tree organizes the nested k-cores of an attributed graph: the
+// subtree rooted at a node is one connected component of the k-core for the
+// node's core number, and each vertex is "anchored" at the unique node whose
+// component first contains it (its core number). Each node carries an
+// inverted list keyword -> anchored vertices, so the vertices of a k-core
+// component that contain a given keyword set can be collected in one subtree
+// walk over the relevant postings only.
+//
+// Chains of nodes with identical vertex sets (a component whose k-core and
+// (k+1)-core coincide) are compressed into the deepest node, which keeps the
+// tree at most 2n nodes — the "linear space" claim of the paper. Queries
+// remain exact under compression because a compressed node's subtree equals
+// the j-core component for every j between its parent's core (exclusive)
+// and its own core (inclusive).
+
+#ifndef CEXPLORER_CLTREE_CLTREE_H_
+#define CEXPLORER_CLTREE_CLTREE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/attributed_graph.h"
+#include "graph/types.h"
+
+namespace cexplorer {
+
+/// Node id within a ClTree.
+using ClNodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr ClNodeId kInvalidClNode =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// One CL-tree node: a connected component of the `core`-core, minus the
+/// components of deeper cores (those live in child subtrees).
+struct ClTreeNode {
+  /// Core number of this node (max k such that the subtree is one connected
+  /// component of the k-core).
+  std::uint32_t core = 0;
+
+  /// Parent node, kInvalidClNode for the root.
+  ClNodeId parent = kInvalidClNode;
+
+  /// Child nodes, ordered by their minimum subtree vertex.
+  std::vector<ClNodeId> children;
+
+  /// Vertices anchored here (core number == core, within this component),
+  /// ascending.
+  VertexList vertices;
+
+  /// End (exclusive) of this node's subtree in the preorder node array:
+  /// the subtree of node i is exactly nodes [i, subtree_end).
+  ClNodeId subtree_end = 0;
+
+  /// Inverted list over anchored vertices: parallel arrays, keywords sorted
+  /// ascending; postings[i] lists the anchored vertices containing
+  /// keywords[i], ascending.
+  std::vector<KeywordId> inv_keywords;
+  std::vector<VertexList> inv_postings;
+
+  /// Posting list for `kw` among anchored vertices (empty if absent).
+  std::span<const VertexId> Postings(KeywordId kw) const;
+};
+
+/// How to construct the CL-tree.
+enum class ClTreeBuildMethod {
+  kBasic,     ///< top-down recursive component splitting, O(m * k_max)
+  kAdvanced,  ///< bottom-up union-find, near-linear (the paper's choice)
+};
+
+/// The CL-tree index over an attributed graph. Immutable once built.
+///
+/// Node ids are preorder positions (root = 0) with children canonically
+/// ordered, so two structurally equal trees have identical arrays — the
+/// basic/advanced equivalence tests rely on this.
+class ClTree {
+ public:
+  ClTree() = default;
+
+  /// Builds the index. The graph must outlive the tree (not owned).
+  static ClTree Build(const AttributedGraph& g,
+                      ClTreeBuildMethod method = ClTreeBuildMethod::kAdvanced);
+
+  /// Number of nodes.
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Node accessor. Precondition: id < num_nodes().
+  const ClTreeNode& node(ClNodeId id) const { return nodes_[id]; }
+
+  /// Root node id (0), or kInvalidClNode for an empty tree.
+  ClNodeId root() const { return nodes_.empty() ? kInvalidClNode : 0; }
+
+  /// The node anchoring vertex v. Precondition: v < graph size at build.
+  ClNodeId NodeOf(VertexId v) const { return vertex_node_[v]; }
+
+  /// Core number of vertex v (equals node(NodeOf(v)).core).
+  std::uint32_t CoreOf(VertexId v) const { return nodes_[vertex_node_[v]].core; }
+
+  /// The node whose subtree is the connected k-core component containing q,
+  /// or kInvalidClNode if core(q) < k.
+  ClNodeId LocateKCore(VertexId q, std::uint32_t k) const;
+
+  /// All vertices in the subtree of `id`, ascending.
+  VertexList SubtreeVertices(ClNodeId id) const;
+
+  /// Number of vertices in the subtree of `id`.
+  std::size_t SubtreeSize(ClNodeId id) const { return subtree_sizes_[id]; }
+
+  /// Vertices in the subtree of `id` whose keyword sets contain every
+  /// keyword in the sorted list `kws`, ascending. Runs on inverted lists:
+  /// per node, the postings of the rarest keyword are intersected against
+  /// the rest.
+  VertexList CollectWithKeywords(ClNodeId id,
+                                 std::span<const KeywordId> kws) const;
+
+  /// Number of vertices in the subtree of `id` containing keyword `kw`.
+  std::size_t CountKeyword(ClNodeId id, KeywordId kw) const;
+
+  /// Approximate heap footprint in bytes (structure + inverted lists).
+  std::size_t MemoryBytes() const;
+
+  /// Serializes the tree structure (not the graph) to a text form.
+  std::string Serialize() const;
+
+  /// Restores a tree serialized by Serialize(). The same graph must be
+  /// supplied; only minimal consistency checks are performed.
+  static Result<ClTree> Deserialize(const AttributedGraph& g,
+                                    const std::string& text);
+
+ private:
+  friend class ClTreeBuilder;
+
+  /// Reorders an arbitrarily-built tree into canonical preorder, fills
+  /// subtree_end / subtree_sizes_ / vertex_node_ and the inverted lists.
+  void Finalize(const AttributedGraph& g, std::vector<ClTreeNode> raw_nodes,
+                ClNodeId raw_root);
+
+  std::vector<ClTreeNode> nodes_;       // preorder
+  std::vector<ClNodeId> vertex_node_;   // vertex -> anchoring node
+  std::vector<std::size_t> subtree_sizes_;
+};
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_CLTREE_CLTREE_H_

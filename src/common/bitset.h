@@ -1,0 +1,81 @@
+// Dynamic bitset used as a fast vertex-membership set by the peeling and
+// traversal loops (dense graphs make hash sets the bottleneck).
+
+#ifndef CEXPLORER_COMMON_BITSET_H_
+#define CEXPLORER_COMMON_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cexplorer {
+
+/// Fixed-capacity bitset with O(1) set/test/reset and popcount tracking.
+class Bitset {
+ public:
+  Bitset() = default;
+
+  /// All bits cleared.
+  explicit Bitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  /// Number of addressable bits.
+  std::size_t size() const { return size_; }
+
+  /// Number of set bits (O(1), maintained incrementally).
+  std::size_t count() const { return count_; }
+
+  /// True iff bit i is set. Precondition: i < size().
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  /// Sets bit i. Precondition: i < size().
+  void Set(std::size_t i) {
+    std::uint64_t mask = 1ULL << (i & 63);
+    std::uint64_t& w = words_[i >> 6];
+    if (!(w & mask)) {
+      w |= mask;
+      ++count_;
+    }
+  }
+
+  /// Clears bit i. Precondition: i < size().
+  void Reset(std::size_t i) {
+    std::uint64_t mask = 1ULL << (i & 63);
+    std::uint64_t& w = words_[i >> 6];
+    if (w & mask) {
+      w &= ~mask;
+      --count_;
+    }
+  }
+
+  /// Clears all bits (capacity unchanged).
+  void Clear() {
+    std::fill(words_.begin(), words_.end(), 0);
+    count_ = 0;
+  }
+
+  /// Collects the indices of all set bits, ascending.
+  std::vector<std::uint32_t> ToVector() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(count_);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits) {
+        int bit = __builtin_ctzll(bits);
+        out.push_back(static_cast<std::uint32_t>(w * 64 + bit));
+        bits &= bits - 1;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_COMMON_BITSET_H_

@@ -1,0 +1,101 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cexplorer {
+
+namespace {
+constexpr std::uint64_t kPcgMultiplier = 6364136223846793005ULL;
+constexpr std::uint64_t kPcgIncrement = 1442695040888963407ULL;
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : state_(0) {
+  // Standard PCG32 seeding: advance once around the seed.
+  state_ = 0;
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+std::uint32_t Rng::NextU32() {
+  std::uint64_t old = state_;
+  state_ = old * kPcgMultiplier + kPcgIncrement;
+  std::uint32_t xorshifted =
+      static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+  std::uint32_t rot = static_cast<std::uint32_t>(old >> 59U);
+  return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+}
+
+std::uint64_t Rng::NextU64() {
+  std::uint64_t hi = NextU32();
+  return (hi << 32U) | NextU32();
+}
+
+std::uint32_t Rng::UniformU32(std::uint32_t bound) {
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    std::uint32_t r = NextU32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(NextU64());
+  }
+  // 64-bit rejection sampling.
+  std::uint64_t threshold = (-span) % span;
+  for (;;) {
+    std::uint64_t r = NextU64();
+    if (r >= threshold) return lo + static_cast<std::int64_t>(r % span);
+  }
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(NextU64() >> 11U) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Rng::Normal() {
+  // Box-Muller; avoids log(0) by shifting u1 away from zero.
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+std::size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double target = UniformDouble() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = acc;
+  }
+  for (std::size_t r = 0; r < n; ++r) cdf_[r] /= acc;
+}
+
+std::size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace cexplorer

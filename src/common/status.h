@@ -1,0 +1,156 @@
+// Error model for the C-Explorer library.
+//
+// Public APIs do not throw; fallible operations return Status (no payload)
+// or Result<T> (payload or error), in the style of Arrow / RocksDB.
+
+#ifndef CEXPLORER_COMMON_STATUS_H_
+#define CEXPLORER_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cexplorer {
+
+/// Machine-readable category of an error.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kParseError,
+  kInternal,
+  kNotImplemented,
+};
+
+/// Human-readable name of a status code ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight success-or-error value used across all public APIs.
+///
+/// A Status is either OK (no allocation) or carries a code and message.
+/// Construction of errors goes through the named factories:
+///
+///   if (k == 0) return Status::InvalidArgument("k must be positive");
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Returns an OK status.
+  static Status Ok() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value of type T or an error Status; the return type of fallible
+/// factories (e.g. Graph::FromEdgeList).
+///
+/// Access is checked in debug builds: calling value() on an error aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  /// The held value. Precondition: ok().
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  /// The held value, or `fallback` on error.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+  /// Dereference sugar: res->member, (*res).member. Precondition: ok().
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define CEXPLORER_RETURN_IF_ERROR(expr)          \
+  do {                                           \
+    ::cexplorer::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_COMMON_STATUS_H_

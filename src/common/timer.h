@@ -1,0 +1,36 @@
+// Wall-clock timing for benchmarks and latency reporting.
+
+#ifndef CEXPLORER_COMMON_TIMER_H_
+#define CEXPLORER_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace cexplorer {
+
+/// Monotonic stopwatch. Starts on construction; Elapsed* reads do not stop it.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds since construction / last Restart.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds since construction / last Restart.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Microseconds since construction / last Restart.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_COMMON_TIMER_H_

@@ -1,0 +1,168 @@
+#include "core/kcore.h"
+
+#include <algorithm>
+
+#include "common/bitset.h"
+#include "graph/traversal.h"
+
+namespace cexplorer {
+
+std::vector<std::uint32_t> CoreDecomposition(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::uint32_t> degree(n), core(n, 0);
+  std::size_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<std::uint32_t>(g.Degree(v));
+    max_degree = std::max<std::size_t>(max_degree, degree[v]);
+  }
+
+  // Bucket sort vertices by degree: bin[d] = start offset of degree-d block.
+  std::vector<std::size_t> bin(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[degree[v] + 1];
+  for (std::size_t d = 1; d < bin.size(); ++d) bin[d] += bin[d - 1];
+
+  std::vector<VertexId> order(n);       // vertices sorted by current degree
+  std::vector<std::size_t> position(n);  // index of each vertex in `order`
+  {
+    std::vector<std::size_t> cursor(bin.begin(), bin.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]]++;
+      order[position[v]] = v;
+    }
+  }
+
+  // Peel in non-decreasing degree order, decrementing neighbours in place.
+  for (std::size_t i = 0; i < n; ++i) {
+    VertexId v = order[i];
+    core[v] = degree[v];
+    for (VertexId u : g.Neighbors(v)) {
+      if (degree[u] > degree[v]) {
+        // Swap u with the first vertex of its degree block, then shrink it.
+        std::size_t du = degree[u];
+        std::size_t pu = position[u];
+        std::size_t pw = bin[du];
+        VertexId w = order[pw];
+        if (u != w) {
+          std::swap(order[pu], order[pw]);
+          position[u] = pw;
+          position[w] = pu;
+        }
+        ++bin[du];
+        --degree[u];
+      }
+    }
+  }
+  // Core numbers are monotone along the peel: enforce the prefix maximum so
+  // a vertex peeled after a denser neighbourhood keeps the correct value.
+  // (Standard BZ already guarantees this given the degree updates above.)
+  return core;
+}
+
+std::vector<std::uint32_t> CoreDecompositionNaive(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::uint32_t> core(n, 0);
+  std::vector<std::int64_t> degree(n);
+  Bitset alive(n);
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<std::int64_t>(g.Degree(v));
+    alive.Set(v);
+  }
+  std::uint32_t k = 0;
+  std::size_t removed = 0;
+  while (removed < n) {
+    // Repeatedly remove all vertices of degree < k+1 at level k; survivors
+    // move to level k+1.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId v = 0; v < n; ++v) {
+        if (alive.Test(v) && degree[v] <= static_cast<std::int64_t>(k)) {
+          core[v] = k;
+          alive.Reset(v);
+          ++removed;
+          changed = true;
+          for (VertexId u : g.Neighbors(v)) {
+            if (alive.Test(u)) --degree[u];
+          }
+        }
+      }
+    }
+    ++k;
+  }
+  return core;
+}
+
+VertexList KCoreVertices(const std::vector<std::uint32_t>& core_numbers,
+                         std::uint32_t k) {
+  VertexList out;
+  for (std::size_t v = 0; v < core_numbers.size(); ++v) {
+    if (core_numbers[v] >= k) out.push_back(static_cast<VertexId>(v));
+  }
+  return out;
+}
+
+VertexList ConnectedKCore(const Graph& g,
+                          const std::vector<std::uint32_t>& core_numbers,
+                          VertexId q, std::uint32_t k) {
+  if (q >= g.num_vertices() || core_numbers[q] < k) return {};
+  Bitset allowed(g.num_vertices());
+  for (std::size_t v = 0; v < core_numbers.size(); ++v) {
+    if (core_numbers[v] >= k) allowed.Set(v);
+  }
+  return ReachableWithin(g, q, allowed);
+}
+
+VertexList PeelToKCore(const Graph& g, VertexList candidates, std::uint32_t k,
+                       VertexId anchor) {
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  Bitset member(g.num_vertices());
+  for (VertexId v : candidates) member.Set(v);
+
+  // Induced degrees within the candidate set.
+  std::vector<std::uint32_t> degree(candidates.size(), 0);
+  auto local_index = [&candidates](VertexId v) {
+    return static_cast<std::size_t>(
+        std::lower_bound(candidates.begin(), candidates.end(), v) -
+        candidates.begin());
+  };
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (VertexId w : g.Neighbors(candidates[i])) {
+      if (member.Test(w)) ++degree[i];
+    }
+  }
+
+  // Queue-based peel: remove every vertex whose induced degree < k.
+  std::vector<std::size_t> queue;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (degree[i] < k) queue.push_back(i);
+  }
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    std::size_t i = queue[head++];
+    VertexId v = candidates[i];
+    if (!member.Test(v)) continue;
+    member.Reset(v);
+    for (VertexId w : g.Neighbors(v)) {
+      if (!member.Test(w)) continue;
+      std::size_t j = local_index(w);
+      if (degree[j]-- == k) queue.push_back(j);
+    }
+  }
+
+  if (anchor != kInvalidVertex) {
+    if (anchor >= g.num_vertices() || !member.Test(anchor)) return {};
+    return ReachableWithin(g, anchor, member);
+  }
+  return member.ToVector();
+}
+
+std::uint32_t MaxCoreNumber(const std::vector<std::uint32_t>& core_numbers) {
+  std::uint32_t best = 0;
+  for (std::uint32_t c : core_numbers) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace cexplorer

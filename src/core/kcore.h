@@ -1,0 +1,51 @@
+// k-core decomposition and extraction.
+//
+// The k-core of G is the largest subgraph in which every vertex has degree
+// >= k; cores are nested (the (k+1)-core is contained in the k-core), which
+// is the structural fact the CL-tree index is built on. The core number of a
+// vertex is the largest k such that the vertex belongs to the k-core.
+
+#ifndef CEXPLORER_CORE_KCORE_H_
+#define CEXPLORER_CORE_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cexplorer {
+
+/// Core number of every vertex, computed by Batagelj-Zaversnik bucket
+/// peeling in O(n + m) time and O(n) extra space.
+std::vector<std::uint32_t> CoreDecomposition(const Graph& g);
+
+/// Reference implementation: iterative min-degree peeling with explicit
+/// subgraph recomputation, O(n * m) worst case. Used as a test oracle only.
+std::vector<std::uint32_t> CoreDecompositionNaive(const Graph& g);
+
+/// Vertices of the k-core (core number >= k), ascending.
+VertexList KCoreVertices(const std::vector<std::uint32_t>& core_numbers,
+                         std::uint32_t k);
+
+/// The connected component of `q` inside the k-core of `g`, ascending;
+/// empty if core(q) < k. This is exactly the community returned by the
+/// Global algorithm of Sozio-Gionis for parameter k.
+VertexList ConnectedKCore(const Graph& g,
+                          const std::vector<std::uint32_t>& core_numbers,
+                          VertexId q, std::uint32_t k);
+
+/// Maximal subset of `candidates` in which every vertex has at least k
+/// neighbours inside the subset (peeling restricted to the candidate set).
+/// If `anchor` is not kInvalidVertex, the result is further restricted to
+/// the connected component of `anchor` (empty if the anchor was peeled).
+/// Result ascending.
+VertexList PeelToKCore(const Graph& g, VertexList candidates, std::uint32_t k,
+                       VertexId anchor = kInvalidVertex);
+
+/// Maximum core number present in `core_numbers` (0 for empty input).
+std::uint32_t MaxCoreNumber(const std::vector<std::uint32_t>& core_numbers);
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_CORE_KCORE_H_

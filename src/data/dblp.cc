@@ -1,0 +1,270 @@
+#include "data/dblp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "data/names.h"
+
+namespace cexplorer {
+
+namespace {
+
+// The most frequent ranks of the vocabulary are real CS words so that demos
+// read like the paper's screenshots ("transaction, data, management, ...").
+constexpr const char* kSeedWords[] = {
+    "data",        "system",      "query",       "database",   "model",
+    "analysis",    "network",     "web",         "learning",   "algorithm",
+    "management",  "distributed", "information", "search",     "mining",
+    "transaction", "processing",  "graph",       "spatial",    "stream",
+    "index",       "storage",     "parallel",    "optimization", "server",
+    "cloud",       "memory",      "knowledge",   "semantic",   "research",
+    "digital",     "clustering",  "classification", "retrieval", "language",
+    "image",       "video",       "social",      "temporal",   "privacy",
+    "security",    "schema",      "xml",         "relational", "scalable",
+    "adaptive",    "dynamic",     "efficient",   "approximate", "probabilistic",
+    "uncertain",   "keyword",     "ranking",     "recommendation", "prediction",
+    "estimation",  "sampling",    "compression", "encryption", "integration",
+    "warehouse",   "workflow",    "service",     "mobile",     "sensor",
+    "wireless",    "embedded",    "hardware",    "architecture", "compiler",
+    "cache",       "concurrency", "replication", "consistency", "availability",
+    "partition",   "sharding",    "join",        "aggregation", "selection",
+    "projection",  "view",        "trigger",     "recovery",   "logging",
+    "benchmark",   "evaluation",  "performance", "latency",    "throughput",
+    "scalability", "visualization", "interface", "interactive", "exploration",
+    "summarization", "extraction", "annotation", "crawling",   "indexing",
+    "matching",    "similarity",  "distance",    "metric",     "kernel",
+    "feature",     "embedding",   "representation", "inference", "reasoning",
+    "ontology",    "taxonomy",    "hierarchy",   "topology",   "community",
+    "centrality",  "pagerank",    "random",      "walk",       "diffusion",
+};
+
+/// Builds `size` distinct plausible words: the seed list first, then
+/// syllable-generated filler.
+std::vector<std::string> BuildVocabulary(std::size_t size, Rng* rng) {
+  static constexpr const char* kSyllables[] = {
+      "ba", "co", "di", "fa", "ge", "hi", "jo", "ku", "la", "me",
+      "ni", "po", "qua", "ri", "so", "tu", "ve", "wi", "xa", "zo",
+      "tion", "ment", "ics", "ing", "ware", "base", "net", "graph",
+  };
+  std::vector<std::string> words;
+  words.reserve(size);
+  std::unordered_set<std::string> seen;
+  for (const char* w : kSeedWords) {
+    if (words.size() >= size) break;
+    if (seen.insert(w).second) words.emplace_back(w);
+  }
+  while (words.size() < size) {
+    std::string w;
+    std::size_t syllables = 2 + rng->UniformU32(3);
+    for (std::size_t s = 0; s < syllables; ++s) {
+      w += kSyllables[rng->UniformU32(std::size(kSyllables))];
+    }
+    if (seen.insert(w).second) {
+      words.push_back(std::move(w));
+    }
+  }
+  return words;
+}
+
+}  // namespace
+
+DblpOptions DblpOptions::FullScale() {
+  DblpOptions o;
+  o.num_authors = 977288;
+  o.num_areas = 120;
+  o.papers_per_author = 3.2;
+  o.vocabulary_size = 12000;
+  return o;
+}
+
+DblpDataset GenerateDblp(const DblpOptions& options) {
+  Rng rng(options.seed);
+  DblpDataset out;
+  const std::size_t n = options.num_authors;
+  const std::size_t num_areas = std::max<std::size_t>(1, options.num_areas);
+  out.num_areas = static_cast<std::uint32_t>(num_areas);
+  if (n == 0) return out;
+
+  // --- Vocabulary and per-area topic orderings --------------------------
+  std::vector<std::string> vocab =
+      BuildVocabulary(options.vocabulary_size, &rng);
+  const std::size_t vsize = vocab.size();
+  // Area topic = area-specific permutation of the vocabulary; a Zipf draw
+  // of rank r yields word perm[r], so each area has its own frequent words.
+  std::vector<std::vector<KeywordId>> topic(num_areas);
+  for (std::size_t a = 0; a < num_areas; ++a) {
+    topic[a].resize(vsize);
+    for (std::size_t i = 0; i < vsize; ++i) {
+      topic[a][i] = static_cast<KeywordId>(i);
+    }
+    rng.Shuffle(&topic[a]);
+  }
+  const ZipfSampler zipf(std::min<std::size_t>(vsize, 1000),
+                         options.zipf_exponent);
+  const ZipfSampler global_zipf(std::min<std::size_t>(vsize, 400), 1.0);
+
+  // --- Authors: areas (Zipf sizes) and productivity (Pareto) ------------
+  out.author_area.resize(n);
+  std::vector<double> area_weight(num_areas);
+  for (std::size_t a = 0; a < num_areas; ++a) {
+    area_weight[a] = 1.0 / std::pow(static_cast<double>(a + 1), 0.7);
+  }
+  std::vector<std::vector<VertexId>> area_authors(num_areas);
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint32_t a = static_cast<std::uint32_t>(rng.WeightedIndex(area_weight));
+    out.author_area[v] = a;
+    area_authors[a].push_back(v);
+  }
+
+  // Productivity-weighted sampling pools: author v appears w_v times where
+  // w_v follows a truncated Pareto — preferential attachment by repetition.
+  std::vector<std::vector<VertexId>> area_pool(num_areas);
+  for (std::size_t a = 0; a < num_areas; ++a) {
+    for (VertexId v : area_authors[a]) {
+      double u = rng.UniformDouble();
+      std::size_t copies = static_cast<std::size_t>(
+          std::min(40.0, std::pow(1.0 - u, -0.8)));
+      copies = std::max<std::size_t>(1, copies);
+      for (std::size_t c = 0; c < copies; ++c) area_pool[a].push_back(v);
+    }
+  }
+
+  // --- Papers ------------------------------------------------------------
+  const double avg_slots =
+      0.5 * static_cast<double>(options.min_authors_per_paper +
+                                options.max_authors_per_paper);
+  const std::size_t num_papers = static_cast<std::size_t>(
+      static_cast<double>(n) * options.papers_per_author / avg_slots);
+  out.num_papers = num_papers;
+
+  GraphBuilder edges(n);
+  // (author, keyword) pairs accumulated across papers; counted afterwards.
+  std::vector<std::uint64_t> author_kw;
+  author_kw.reserve(num_papers * 24);
+
+  std::vector<VertexId> coauthors;
+  for (std::size_t p = 0; p < num_papers; ++p) {
+    // Pick the home area proportionally to pool size (active areas write
+    // more papers).
+    std::size_t a = rng.UniformU32(static_cast<std::uint32_t>(num_areas));
+    if (area_pool[a].empty()) continue;
+
+    const std::size_t slots =
+        options.min_authors_per_paper +
+        rng.UniformU32(static_cast<std::uint32_t>(
+            options.max_authors_per_paper - options.min_authors_per_paper + 1));
+    coauthors.clear();
+    for (std::size_t s = 0; s < slots; ++s) {
+      VertexId v = area_pool[a][rng.UniformU32(
+          static_cast<std::uint32_t>(area_pool[a].size()))];
+      coauthors.push_back(v);
+    }
+    // Cross-area papers: replace one author with someone from elsewhere.
+    if (rng.Bernoulli(options.cross_area_fraction) && num_areas > 1) {
+      std::size_t b = rng.UniformU32(static_cast<std::uint32_t>(num_areas));
+      if (b != a && !area_pool[b].empty()) {
+        coauthors.back() = area_pool[b][rng.UniformU32(
+            static_cast<std::uint32_t>(area_pool[b].size()))];
+      }
+    }
+    std::sort(coauthors.begin(), coauthors.end());
+    coauthors.erase(std::unique(coauthors.begin(), coauthors.end()),
+                    coauthors.end());
+    if (coauthors.size() < 2) continue;
+
+    for (std::size_t i = 0; i < coauthors.size(); ++i) {
+      for (std::size_t j = i + 1; j < coauthors.size(); ++j) {
+        edges.AddEdge(coauthors[i], coauthors[j]);
+      }
+    }
+
+    // Title keywords: mostly from the home-area topic, some global noise.
+    const std::size_t num_kws =
+        options.min_keywords_per_paper +
+        rng.UniformU32(static_cast<std::uint32_t>(
+            options.max_keywords_per_paper - options.min_keywords_per_paper +
+            1));
+    for (std::size_t kwi = 0; kwi < num_kws; ++kwi) {
+      KeywordId kw;
+      if (rng.Bernoulli(options.global_word_fraction)) {
+        kw = static_cast<KeywordId>(global_zipf.Sample(&rng));
+      } else {
+        kw = topic[a][zipf.Sample(&rng)];
+      }
+      for (VertexId v : coauthors) {
+        author_kw.push_back((static_cast<std::uint64_t>(v) << 32) | kw);
+      }
+    }
+  }
+
+  // --- Per-author keyword sets: top keywords_per_author by frequency -----
+  std::sort(author_kw.begin(), author_kw.end());
+  std::vector<std::vector<KeywordId>> keywords(n);
+  {
+    std::size_t i = 0;
+    std::vector<std::pair<std::uint32_t, KeywordId>> counted;  // (count, kw)
+    while (i < author_kw.size()) {
+      const VertexId v = static_cast<VertexId>(author_kw[i] >> 32);
+      counted.clear();
+      while (i < author_kw.size() &&
+             static_cast<VertexId>(author_kw[i] >> 32) == v) {
+        const KeywordId kw = static_cast<KeywordId>(author_kw[i]);
+        std::uint32_t count = 0;
+        while (i < author_kw.size() && author_kw[i] ==
+               ((static_cast<std::uint64_t>(v) << 32) | kw)) {
+          ++count;
+          ++i;
+        }
+        counted.emplace_back(count, kw);
+      }
+      std::sort(counted.begin(), counted.end(),
+                [](const auto& x, const auto& y) {
+                  if (x.first != y.first) return x.first > y.first;
+                  return x.second < y.second;
+                });
+      const std::size_t keep =
+          std::min(options.keywords_per_author, counted.size());
+      keywords[v].reserve(keep);
+      for (std::size_t t = 0; t < keep; ++t) {
+        keywords[v].push_back(counted[t].second);
+      }
+    }
+  }
+  author_kw.clear();
+  author_kw.shrink_to_fit();
+
+  // Paper-less authors still get a few area words so W(v) is never empty.
+  for (VertexId v = 0; v < n; ++v) {
+    if (keywords[v].empty()) {
+      const auto& t = topic[out.author_area[v]];
+      std::size_t num = 3 + rng.UniformU32(3);
+      for (std::size_t kwi = 0; kwi < num; ++kwi) {
+        keywords[v].push_back(t[zipf.Sample(&rng)]);
+      }
+    }
+  }
+
+  // --- Assemble the attributed graph -------------------------------------
+  AttributedGraphBuilder builder;
+  // Intern the vocabulary up front so KeywordId == vocabulary rank.
+  for (const auto& w : vocab) builder.mutable_vocabulary()->Intern(w);
+  NameGenerator namer;
+  for (VertexId v = 0; v < n; ++v) {
+    builder.AddVertexWithIds(namer.Next(&rng), std::move(keywords[v]));
+  }
+  Graph topology = Graph();
+  {
+    // Move edges through a temporary Graph: AttributedGraphBuilder wants
+    // AddEdge calls; reuse the already-deduped edge list.
+    topology = edges.Build();
+    for (const auto& [u, w] : topology.Edges()) {
+      (void)builder.AddEdge(u, w);
+    }
+  }
+  out.graph = builder.Build();
+  return out;
+}
+
+}  // namespace cexplorer

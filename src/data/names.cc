@@ -1,0 +1,122 @@
+#include "data/names.h"
+
+#include <cstdio>
+#include <iterator>
+
+namespace cexplorer {
+
+namespace {
+
+constexpr const char* kFirstNames[] = {
+    "james",  "mary",    "robert", "patricia", "john",    "jennifer",
+    "michael", "linda",  "david",  "elizabeth", "william", "barbara",
+    "richard", "susan",  "joseph", "jessica",  "thomas",  "sarah",
+    "charles", "karen",  "wei",    "li",        "ming",    "yan",
+    "hiroshi", "yuki",   "kenji",  "sakura",    "anna",    "ivan",
+    "olga",    "dmitri", "pierre", "marie",     "jean",    "claire",
+    "hans",    "greta",  "klaus",  "ingrid",    "carlos",  "sofia",
+    "miguel",  "lucia",  "raj",    "priya",     "arjun",   "meera",
+    "ahmed",   "fatima", "omar",   "leila",     "kofi",    "ama",
+    "tunde",   "zola",   "erik",   "astrid",    "lars",    "freya",
+};
+
+constexpr const char* kLastNames[] = {
+    "smith",     "johnson",  "williams", "brown",    "jones",
+    "garcia",    "miller",   "davis",    "rodriguez", "martinez",
+    "hernandez", "lopez",    "gonzalez", "wilson",   "anderson",
+    "thomas",    "taylor",   "moore",    "jackson",  "martin",
+    "lee",       "perez",    "thompson", "white",    "harris",
+    "sanchez",   "clark",    "ramirez",  "lewis",    "robinson",
+    "walker",    "young",    "allen",    "king",     "wright",
+    "scott",     "torres",   "nguyen",   "hill",     "flores",
+    "green",     "adams",    "nelson",   "baker",    "hall",
+    "rivera",    "campbell", "mitchell", "carter",   "roberts",
+    "chen",      "zhang",    "wang",     "liu",      "yang",
+    "tanaka",    "suzuki",   "sato",     "kim",      "park",
+    "mueller",   "schmidt",  "fischer",  "weber",    "meyer",
+    "ivanov",    "petrov",   "kuznetsov", "singh",   "patel",
+    "kumar",     "sharma",   "haddad",   "nasser",   "okafor",
+    "mensah",    "larsen",   "berg",     "lindgren", "holm",
+};
+
+constexpr const char* kInstitutes[] = {
+    "university of hong kong",       "stanford university",
+    "mit",                           "eth zurich",
+    "tsinghua university",           "university of tokyo",
+    "tu munich",                     "kaist",
+    "university of toronto",         "inria",
+    "max planck institute",          "national university of singapore",
+    "uc berkeley",                   "carnegie mellon university",
+    "university of edinburgh",       "epfl",
+};
+
+constexpr const char* kAreaNames[] = {
+    "database systems",    "data mining",        "machine learning",
+    "computer networks",   "distributed systems", "information retrieval",
+    "computer vision",     "graphics",           "theory",
+    "security",            "software engineering", "bioinformatics",
+};
+
+}  // namespace
+
+std::string NameGenerator::Next(Rng* rng) {
+  constexpr std::size_t kNumFirst = std::size(kFirstNames);
+  constexpr std::size_t kNumLast = std::size(kLastNames);
+  std::string base = kFirstNames[rng->UniformU32(kNumFirst)];
+  base += ' ';
+  base += kLastNames[rng->UniformU32(kNumLast)];
+  ++counter_;
+  // Stretch the namespace with a middle initial once plain "first last"
+  // pairs start colliding frequently.
+  if (counter_ > kNumFirst) {
+    std::string middle;
+    middle += static_cast<char>('a' + rng->UniformU32(26));
+    middle += ". ";
+    base.insert(base.find(' ') + 1, middle);
+  }
+  // Guarantee uniqueness with a DBLP-style numeric suffix on collision
+  // ("jane roe 0002").
+  std::string name = base;
+  std::size_t serial = 2;
+  while (!seen_.insert(name).second) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %04zu", serial++);
+    name = base + buf;
+  }
+  return name;
+}
+
+std::string AuthorProfile::ToString() const {
+  std::string out;
+  out += "Name: " + name + "\n";
+  out += "Areas: ";
+  for (std::size_t i = 0; i < areas.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += areas[i];
+  }
+  out += "\nInstitute: " + institute + "\nResearch interests: ";
+  for (std::size_t i = 0; i < interests.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += interests[i];
+  }
+  out += "\n";
+  return out;
+}
+
+AuthorProfile MakeProfile(const std::string& name,
+                          const std::vector<std::string>& keywords, Rng* rng) {
+  AuthorProfile profile;
+  profile.name = name;
+  profile.institute = kInstitutes[rng->UniformU32(std::size(kInstitutes))];
+  std::size_t num_areas = 1 + rng->UniformU32(2);
+  for (std::size_t i = 0; i < num_areas; ++i) {
+    profile.areas.push_back(kAreaNames[rng->UniformU32(std::size(kAreaNames))]);
+  }
+  std::size_t num_interests = std::min<std::size_t>(keywords.size(), 5);
+  for (std::size_t i = 0; i < num_interests; ++i) {
+    profile.interests.push_back(keywords[i]);
+  }
+  return profile;
+}
+
+}  // namespace cexplorer

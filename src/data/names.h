@@ -1,0 +1,49 @@
+// Author name and profile generation for the synthetic DBLP network.
+// Profiles replace the Wikipedia extracts the demo paper attaches to
+// renowned researchers (presentation-only data).
+
+#ifndef CEXPLORER_DATA_NAMES_H_
+#define CEXPLORER_DATA_NAMES_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cexplorer {
+
+/// Deterministic generator of plausible author names ("first last",
+/// lower-cased like DBLP queries in the paper's UI). Collisions get a
+/// DBLP-style numeric suffix ("jane roe 0002").
+class NameGenerator {
+ public:
+  NameGenerator() = default;
+
+  /// Generates the next name; guaranteed unique across this generator.
+  std::string Next(Rng* rng);
+
+ private:
+  std::size_t counter_ = 0;
+  std::unordered_set<std::string> seen_;
+};
+
+/// A generated author profile (the "Author Profile" popup of Figure 2).
+struct AuthorProfile {
+  std::string name;
+  std::string institute;
+  std::vector<std::string> areas;
+  std::vector<std::string> interests;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Builds a profile for an author from their name and keyword list;
+/// deterministic in the rng state.
+AuthorProfile MakeProfile(const std::string& name,
+                          const std::vector<std::string>& keywords, Rng* rng);
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_DATA_NAMES_H_

@@ -1,0 +1,98 @@
+#include "data/planted.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace cexplorer {
+
+PlantedGraph GeneratePlanted(const PlantedOptions& options) {
+  Rng rng(options.seed);
+  PlantedGraph out;
+  const std::size_t n = options.num_vertices;
+  const std::size_t k = std::max<std::size_t>(1, options.num_communities);
+  out.num_communities = static_cast<std::uint32_t>(k);
+  if (n == 0) return out;
+
+  out.truth.resize(n);
+  std::vector<std::vector<VertexId>> members(k);
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint32_t c = v % k;  // balanced communities
+    out.truth[v] = c;
+    members[c].push_back(v);
+  }
+
+  // Expected degrees -> edge probabilities within / across blocks.
+  GraphBuilder edges(n);
+  for (std::uint32_t c = 0; c < k; ++c) {
+    const std::size_t size = members[c].size();
+    if (size >= 2) {
+      double p_in = std::min(1.0, options.internal_degree /
+                                      static_cast<double>(size - 1));
+      // Expected intra edges = C(size,2) * p_in; sample by pair scan for
+      // small blocks (exact), geometric skipping for large.
+      for (std::size_t i = 0; i < size; ++i) {
+        for (std::size_t j = i + 1; j < size; ++j) {
+          if (rng.Bernoulli(p_in)) {
+            edges.AddEdge(members[c][i], members[c][j]);
+          }
+        }
+      }
+    }
+  }
+  // Cross edges: each vertex draws ~external_degree random outside partners.
+  for (VertexId v = 0; v < n; ++v) {
+    double expected = options.external_degree / 2.0;  // halved: both sides draw
+    std::size_t draws = static_cast<std::size_t>(expected);
+    if (rng.UniformDouble() < expected - static_cast<double>(draws)) ++draws;
+    for (std::size_t d = 0; d < draws; ++d) {
+      VertexId w = static_cast<VertexId>(rng.UniformU32(static_cast<std::uint32_t>(n)));
+      if (w != v && out.truth[w] != out.truth[v]) edges.AddEdge(v, w);
+    }
+  }
+
+  // Keywords: per-community pools plus globally shared noise words.
+  AttributedGraphBuilder builder;
+  std::vector<std::vector<KeywordId>> pools(k);
+  for (std::uint32_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < options.keywords_per_community; ++i) {
+      std::string word = "topic";
+      word += std::to_string(c);
+      word += '_';
+      word += std::to_string(i);
+      pools[c].push_back(builder.mutable_vocabulary()->Intern(word));
+    }
+  }
+  std::vector<KeywordId> shared;
+  for (std::size_t i = 0; i < options.shared_keywords; ++i) {
+    std::string word = "common";
+    word += std::to_string(i);
+    shared.push_back(builder.mutable_vocabulary()->Intern(word));
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    std::vector<KeywordId> kws;
+    const auto& pool = pools[out.truth[v]];
+    for (std::size_t i = 0; i < options.keywords_per_vertex; ++i) {
+      if (!shared.empty() && rng.Bernoulli(0.15)) {
+        kws.push_back(shared[rng.UniformU32(
+            static_cast<std::uint32_t>(shared.size()))]);
+      } else if (!pool.empty()) {
+        kws.push_back(
+            pool[rng.UniformU32(static_cast<std::uint32_t>(pool.size()))]);
+      }
+    }
+    std::string name = "v";
+    name += std::to_string(v);
+    builder.AddVertexWithIds(std::move(name), std::move(kws));
+  }
+  Graph topology = edges.Build();
+  for (const auto& [u, w] : topology.Edges()) {
+    (void)builder.AddEdge(u, w);
+  }
+  out.graph = builder.Build();
+  return out;
+}
+
+}  // namespace cexplorer

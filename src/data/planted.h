@@ -1,0 +1,45 @@
+// Planted-partition (stochastic block) graphs with ground-truth communities,
+// used to score community-detection quality (CODICIL / Louvain / label
+// propagation) with NMI and F1.
+
+#ifndef CEXPLORER_DATA_PLANTED_H_
+#define CEXPLORER_DATA_PLANTED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "graph/graph.h"
+
+namespace cexplorer {
+
+/// Parameters of the planted partition.
+struct PlantedOptions {
+  std::size_t num_vertices = 1000;
+  std::size_t num_communities = 10;
+  /// Expected intra-community degree per vertex.
+  double internal_degree = 8.0;
+  /// Expected inter-community degree per vertex (mixing).
+  double external_degree = 2.0;
+  /// Keywords attached per vertex (drawn from a community-specific pool).
+  std::size_t keywords_per_vertex = 6;
+  /// Distinct keywords per community pool.
+  std::size_t keywords_per_community = 12;
+  /// Keywords shared across all communities (noise words).
+  std::size_t shared_keywords = 8;
+  std::uint64_t seed = 7;
+};
+
+/// A planted graph and its ground truth.
+struct PlantedGraph {
+  AttributedGraph graph;
+  std::vector<std::uint32_t> truth;  ///< community per vertex
+  std::uint32_t num_communities = 0;
+};
+
+/// Generates a planted-partition attributed graph. Deterministic in seed.
+PlantedGraph GeneratePlanted(const PlantedOptions& options = {});
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_DATA_PLANTED_H_

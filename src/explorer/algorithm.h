@@ -1,0 +1,60 @@
+// Plug-in interfaces for community-retrieval algorithms — the C++ rendering
+// of the paper's Java API (Figure 4). Users implement CsAlgorithm (community
+// search) or CdAlgorithm (community detection) and register instances with
+// Explorer to have them participate in search, comparison and analysis.
+
+#ifndef CEXPLORER_EXPLORER_ALGORITHM_H_
+#define CEXPLORER_EXPLORER_ALGORITHM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algos/clusterers.h"
+#include "cltree/cltree.h"
+#include "common/status.h"
+#include "explorer/community.h"
+#include "graph/attributed_graph.h"
+
+namespace cexplorer {
+
+/// Read-only view of the loaded graph handed to algorithms. All pointers
+/// are owned by the Explorer and valid during the call (and until the next
+/// Upload for cached use).
+struct ExplorerContext {
+  const AttributedGraph* graph = nullptr;
+  const ClTree* index = nullptr;
+  const std::vector<std::uint32_t>* core_numbers = nullptr;
+  /// Monotonic id bumped on every Upload; lets algorithms cache per-graph
+  /// state (e.g. a CODICIL clustering) safely.
+  std::uint64_t graph_epoch = 0;
+};
+
+/// A query-based community-search algorithm (Global, Local, ACQ, ...).
+class CsAlgorithm {
+ public:
+  virtual ~CsAlgorithm() = default;
+
+  /// Unique registry name (what the UI calls the algorithm).
+  virtual std::string name() const = 0;
+
+  /// Searches the communities of query.vertices[0..] in ctx.graph.
+  virtual Result<std::vector<Community>> Search(const ExplorerContext& ctx,
+                                                const Query& query) = 0;
+};
+
+/// A whole-graph community-detection algorithm (CODICIL, Louvain, ...).
+class CdAlgorithm {
+ public:
+  virtual ~CdAlgorithm() = default;
+
+  /// Unique registry name.
+  virtual std::string name() const = 0;
+
+  /// Partitions the whole graph.
+  virtual Result<Clustering> Detect(const ExplorerContext& ctx) = 0;
+};
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_EXPLORER_ALGORITHM_H_

@@ -1,0 +1,155 @@
+#include "explorer/builtin.h"
+
+#include <algorithm>
+
+#include "algos/girvan_newman.h"
+#include "algos/global.h"
+#include "algos/local.h"
+
+namespace cexplorer {
+
+Result<VertexList> ResolveQueryVertices(const ExplorerContext& ctx,
+                                        const Query& query) {
+  VertexList vertices = query.vertices;
+  if (vertices.empty()) {
+    if (query.name.empty()) {
+      return Status::InvalidArgument("query has neither name nor vertices");
+    }
+    VertexId v = ctx.graph->FindByName(query.name);
+    if (v == kInvalidVertex) {
+      return Status::NotFound("no author named '" + query.name + "'");
+    }
+    vertices.push_back(v);
+  }
+  for (VertexId v : vertices) {
+    if (v >= ctx.graph->num_vertices()) {
+      return Status::InvalidArgument("query vertex out of range");
+    }
+  }
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+  return vertices;
+}
+
+Result<std::vector<Community>> AcqCsAlgorithm::Search(
+    const ExplorerContext& ctx, const Query& query) {
+  auto vertices = ResolveQueryVertices(ctx, query);
+  if (!vertices.ok()) return vertices.status();
+
+  KeywordList keyword_ids;
+  for (const auto& word : query.keywords) {
+    KeywordId kw = ctx.graph->vocabulary().Find(word);
+    if (kw == kInvalidKeyword) {
+      return Status::NotFound("unknown keyword '" + word + "'");
+    }
+    keyword_ids.push_back(kw);
+  }
+
+  AcqEngine engine(ctx.graph, ctx.index);
+  auto result = engine.SearchMulti(vertices.value(), query.k,
+                                   std::move(keyword_ids), variant_);
+  if (!result.ok()) return result.status();
+
+  std::vector<Community> out;
+  for (auto& ac : result->communities) {
+    Community c;
+    c.method = name();
+    c.vertices = std::move(ac.vertices);
+    c.shared_keywords = std::move(ac.shared_keywords);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+Result<std::vector<Community>> GlobalCsAlgorithm::Search(
+    const ExplorerContext& ctx, const Query& query) {
+  auto vertices = ResolveQueryVertices(ctx, query);
+  if (!vertices.ok()) return vertices.status();
+  GlobalResult gr = GlobalSearch(ctx.graph->graph(), *ctx.core_numbers,
+                                 vertices->front(), query.k);
+  std::vector<Community> out;
+  if (!gr.vertices.empty()) {
+    // Multi-vertex query: all query vertices must be in the component.
+    bool all_in = true;
+    for (VertexId v : vertices.value()) {
+      if (!std::binary_search(gr.vertices.begin(), gr.vertices.end(), v)) {
+        all_in = false;
+        break;
+      }
+    }
+    if (all_in) {
+      out.push_back({name(), std::move(gr.vertices), {}});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Community>> LocalCsAlgorithm::Search(
+    const ExplorerContext& ctx, const Query& query) {
+  auto vertices = ResolveQueryVertices(ctx, query);
+  if (!vertices.ok()) return vertices.status();
+  if (vertices->size() > 1) {
+    return Status::NotImplemented("Local supports a single query vertex");
+  }
+  LocalResult lr =
+      LocalSearch(ctx.graph->graph(), vertices->front(), query.k);
+  std::vector<Community> out;
+  if (!lr.vertices.empty()) {
+    out.push_back({name(), std::move(lr.vertices), {}});
+  }
+  return out;
+}
+
+Result<Clustering> CodicilCdAlgorithm::Detect(const ExplorerContext& ctx) {
+  CodicilOptions options = options_;
+  auto result = RunCodicil(*ctx.graph, options);
+  if (!result.ok()) return result.status();
+  return std::move(result->clustering);
+}
+
+Result<Clustering> LouvainCdAlgorithm::Detect(const ExplorerContext& ctx) {
+  return Louvain(ctx.graph->graph());
+}
+
+Result<Clustering> LabelPropagationCdAlgorithm::Detect(
+    const ExplorerContext& ctx) {
+  return LabelPropagation(ctx.graph->graph());
+}
+
+Result<Clustering> GirvanNewmanCdAlgorithm::Detect(
+    const ExplorerContext& ctx) {
+  if (ctx.graph->graph().num_edges() > max_edges_) {
+    return Status::FailedPrecondition(
+        "graph too large for Girvan-Newman (" +
+        std::to_string(ctx.graph->graph().num_edges()) + " edges > limit " +
+        std::to_string(max_edges_) + ")");
+  }
+  return GirvanNewman(ctx.graph->graph()).clustering;
+}
+
+Result<std::vector<Community>> CodicilCsAlgorithm::Search(
+    const ExplorerContext& ctx, const Query& query) {
+  auto vertices = ResolveQueryVertices(ctx, query);
+  if (!vertices.ok()) return vertices.status();
+
+  if (cached_epoch_ != ctx.graph_epoch) {
+    auto result = RunCodicil(*ctx.graph, options_);
+    if (!result.ok()) return result.status();
+    cached_ = std::move(result->clustering);
+    cached_epoch_ = ctx.graph_epoch;
+  }
+  VertexId q = vertices->front();
+  VertexList cluster = cached_.Members(cached_.assignment[q]);
+  // Multi-vertex: all query vertices must share the cluster.
+  for (VertexId v : vertices.value()) {
+    if (cached_.assignment[v] != cached_.assignment[q]) {
+      return std::vector<Community>{};
+    }
+  }
+  std::vector<Community> out;
+  out.push_back({name(), std::move(cluster), {}});
+  return out;
+}
+
+}  // namespace cexplorer

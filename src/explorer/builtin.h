@@ -1,0 +1,114 @@
+// Built-in CR algorithms wrapped behind the plug-in interfaces: ACQ (Dec by
+// default), Global, Local, and CODICIL (as both a CD algorithm and a CS
+// adapter that answers "the cluster containing q"). Explorer registers all
+// of these at construction.
+
+#ifndef CEXPLORER_EXPLORER_BUILTIN_H_
+#define CEXPLORER_EXPLORER_BUILTIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "acq/acq.h"
+#include "algos/codicil.h"
+#include "explorer/algorithm.h"
+
+namespace cexplorer {
+
+/// ACQ community search backed by the CL-tree index.
+class AcqCsAlgorithm : public CsAlgorithm {
+ public:
+  explicit AcqCsAlgorithm(AcqAlgorithm variant = AcqAlgorithm::kDec)
+      : variant_(variant) {}
+
+  std::string name() const override { return "ACQ"; }
+  Result<std::vector<Community>> Search(const ExplorerContext& ctx,
+                                        const Query& query) override;
+
+ private:
+  AcqAlgorithm variant_;
+};
+
+/// Global: connected k-core component of the query vertex.
+class GlobalCsAlgorithm : public CsAlgorithm {
+ public:
+  std::string name() const override { return "Global"; }
+  Result<std::vector<Community>> Search(const ExplorerContext& ctx,
+                                        const Query& query) override;
+};
+
+/// Local: local-expansion k-core search.
+class LocalCsAlgorithm : public CsAlgorithm {
+ public:
+  std::string name() const override { return "Local"; }
+  Result<std::vector<Community>> Search(const ExplorerContext& ctx,
+                                        const Query& query) override;
+};
+
+/// CODICIL as community detection.
+class CodicilCdAlgorithm : public CdAlgorithm {
+ public:
+  explicit CodicilCdAlgorithm(CodicilOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "CODICIL"; }
+  Result<Clustering> Detect(const ExplorerContext& ctx) override;
+
+ private:
+  CodicilOptions options_;
+};
+
+/// CODICIL as community search: lazily clusters the graph once per epoch
+/// and returns the cluster containing the query vertex ("no parameter" in
+/// the UI — k is ignored).
+class CodicilCsAlgorithm : public CsAlgorithm {
+ public:
+  explicit CodicilCsAlgorithm(CodicilOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "CODICIL"; }
+  Result<std::vector<Community>> Search(const ExplorerContext& ctx,
+                                        const Query& query) override;
+
+ private:
+  CodicilOptions options_;
+  std::uint64_t cached_epoch_ = ~0ULL;
+  Clustering cached_;
+};
+
+/// Louvain modularity clustering as community detection.
+class LouvainCdAlgorithm : public CdAlgorithm {
+ public:
+  std::string name() const override { return "Louvain"; }
+  Result<Clustering> Detect(const ExplorerContext& ctx) override;
+};
+
+/// Label propagation as community detection.
+class LabelPropagationCdAlgorithm : public CdAlgorithm {
+ public:
+  std::string name() const override { return "LabelProp"; }
+  Result<Clustering> Detect(const ExplorerContext& ctx) override;
+};
+
+/// Girvan-Newman as community detection. Divisive edge-betweenness
+/// clustering is O(n * m^2): graphs beyond `max_edges` are rejected with
+/// FailedPrecondition instead of hanging the server.
+class GirvanNewmanCdAlgorithm : public CdAlgorithm {
+ public:
+  explicit GirvanNewmanCdAlgorithm(std::size_t max_edges = 20000)
+      : max_edges_(max_edges) {}
+
+  std::string name() const override { return "GirvanNewman"; }
+  Result<Clustering> Detect(const ExplorerContext& ctx) override;
+
+ private:
+  std::size_t max_edges_;
+};
+
+/// Resolves query.name / query.vertices to concrete vertex ids.
+Result<VertexList> ResolveQueryVertices(const ExplorerContext& ctx,
+                                        const Query& query);
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_EXPLORER_BUILTIN_H_

@@ -1,0 +1,42 @@
+// The Community value type exchanged across the C-Explorer API (Figure 4 of
+// the paper), together with the query description users submit.
+
+#ifndef CEXPLORER_EXPLORER_COMMUNITY_H_
+#define CEXPLORER_EXPLORER_COMMUNITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace cexplorer {
+
+/// A community returned by any CR algorithm.
+struct Community {
+  /// Name of the algorithm that produced it ("ACQ", "Global", ...).
+  std::string method;
+  /// Members, ascending.
+  VertexList vertices;
+  /// Keywords shared by all members (ACQ only; empty for others).
+  KeywordList shared_keywords;
+
+  bool empty() const { return vertices.empty(); }
+  std::size_t size() const { return vertices.size(); }
+};
+
+/// A user query as assembled by the left panel of the C-Explorer UI.
+struct Query {
+  /// Query author name; resolved against the graph when `vertices` empty.
+  std::string name;
+  /// Explicit query vertices (the "+" button allows several).
+  VertexList vertices;
+  /// Minimum degree ("Structure: degree >= k").
+  std::uint32_t k = 4;
+  /// Selected keywords (ACQ only; ignored by structure-only algorithms).
+  std::vector<std::string> keywords;
+};
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_EXPLORER_COMMUNITY_H_

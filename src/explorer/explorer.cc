@@ -1,0 +1,303 @@
+#include "explorer/explorer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "core/kcore.h"
+#include "explorer/builtin.h"
+#include "graph/io.h"
+#include "graph/subgraph.h"
+#include "layout/ascii_canvas.h"
+#include "layout/svg.h"
+#include "metrics/quality.h"
+
+namespace cexplorer {
+
+Explorer::Explorer() {
+  (void)RegisterCs(std::make_unique<AcqCsAlgorithm>());
+  (void)RegisterCs(std::make_unique<GlobalCsAlgorithm>());
+  (void)RegisterCs(std::make_unique<LocalCsAlgorithm>());
+  (void)RegisterCs(std::make_unique<CodicilCsAlgorithm>());
+  (void)RegisterCd(std::make_unique<CodicilCdAlgorithm>());
+  (void)RegisterCd(std::make_unique<LouvainCdAlgorithm>());
+  (void)RegisterCd(std::make_unique<LabelPropagationCdAlgorithm>());
+  (void)RegisterCd(std::make_unique<GirvanNewmanCdAlgorithm>());
+}
+
+ExplorerContext Explorer::Context() const {
+  ExplorerContext ctx;
+  ctx.graph = &graph_;
+  ctx.index = &index_;
+  ctx.core_numbers = &core_numbers_;
+  ctx.graph_epoch = graph_epoch_;
+  return ctx;
+}
+
+Status Explorer::Upload(const std::string& file_path) {
+  auto graph = LoadAttributed(file_path);
+  if (!graph.ok()) return graph.status();
+  return UploadGraph(std::move(graph.value()));
+}
+
+Status Explorer::UploadGraph(AttributedGraph graph) {
+  graph_ = std::move(graph);
+  core_numbers_ = CoreDecomposition(graph_.graph());
+  index_ = ClTree::Build(graph_);
+  profiles_.clear();
+  has_graph_ = true;
+  ++graph_epoch_;
+  return Status::Ok();
+}
+
+Result<std::vector<Community>> Explorer::Search(const std::string& algorithm,
+                                                const Query& query) {
+  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
+  auto it = cs_.find(algorithm);
+  if (it == cs_.end()) {
+    return Status::NotFound("no CS algorithm named '" + algorithm + "'");
+  }
+  return it->second->Search(Context(), query);
+}
+
+Result<Clustering> Explorer::Detect(const std::string& algorithm) {
+  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
+  auto it = cd_.find(algorithm);
+  if (it == cd_.end()) {
+    return Status::NotFound("no CD algorithm named '" + algorithm + "'");
+  }
+  return it->second->Detect(Context());
+}
+
+Result<CommunityAnalysis> Explorer::Analyze(const Community& community,
+                                            VertexId q) const {
+  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
+  for (VertexId v : community.vertices) {
+    if (v >= graph_.num_vertices()) {
+      return Status::InvalidArgument("community vertex out of range");
+    }
+  }
+  CommunityAnalysis analysis;
+  analysis.stats = ComputeStats(graph_.graph(), community.vertices);
+  // Exact CPJ for normal communities; Monte Carlo estimate once the pair
+  // count explodes (Global can return 10^4+ member components).
+  analysis.cpj = CpjSampled(graph_, community.vertices);
+  if (q != kInvalidVertex && q < graph_.num_vertices()) {
+    analysis.cmf = Cmf(graph_, community.vertices, q);
+  }
+  return analysis;
+}
+
+Result<DisplayResult> Explorer::Display(const Community& community,
+                                        const DisplayOptions& options) const {
+  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
+  if (options.zoom <= 0.0) {
+    return Status::InvalidArgument("zoom must be positive");
+  }
+  for (VertexId v : community.vertices) {
+    if (v >= graph_.num_vertices()) {
+      return Status::InvalidArgument("community vertex out of range");
+    }
+  }
+  DisplayResult display;
+  Subgraph sub = InducedSubgraph(graph_.graph(), community.vertices);
+  ForceLayoutOptions layout_options;
+  layout_options.seed = 7;
+  display.layout = ForceDirectedLayout(sub.graph, layout_options);
+
+  std::vector<std::string> labels;
+  labels.reserve(sub.num_vertices());
+  for (VertexId local = 0; local < sub.num_vertices(); ++local) {
+    labels.push_back(graph_.Name(sub.to_parent[local]));
+  }
+  // The renderer applies the zoom about the viewport centre and clips;
+  // the returned coordinates get the same scaling (about the centroid) so
+  // browser-side consumers see consistent geometry.
+  display.ascii = RenderCommunity(sub.graph, display.layout, labels,
+                                  options.cols, options.rows, options.zoom);
+  if (options.zoom != 1.0 && !display.layout.empty()) {
+    double cx = 0.0;
+    double cy = 0.0;
+    for (const auto& p : display.layout) {
+      cx += p.x;
+      cy += p.y;
+    }
+    cx /= static_cast<double>(display.layout.size());
+    cy /= static_cast<double>(display.layout.size());
+    for (auto& p : display.layout) {
+      p.x = cx + (p.x - cx) * options.zoom;
+      p.y = cy + (p.y - cy) * options.zoom;
+    }
+  }
+  return display;
+}
+
+Result<std::string> Explorer::ExportSvg(const Community& community,
+                                        VertexId query_vertex) const {
+  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
+  for (VertexId v : community.vertices) {
+    if (v >= graph_.num_vertices()) {
+      return Status::InvalidArgument("community vertex out of range");
+    }
+  }
+  Subgraph sub = InducedSubgraph(graph_.graph(), community.vertices);
+  ForceLayoutOptions layout_options;
+  layout_options.seed = 7;
+  Layout layout = ForceDirectedLayout(sub.graph, layout_options);
+  std::vector<std::string> labels;
+  for (VertexId local = 0; local < sub.num_vertices(); ++local) {
+    labels.push_back(graph_.Name(sub.to_parent[local]));
+  }
+  SvgOptions svg_options;
+  if (query_vertex != kInvalidVertex) {
+    svg_options.highlight = sub.ToLocal(query_vertex);
+  }
+  return RenderCommunitySvg(sub.graph, layout, labels, svg_options);
+}
+
+Status Explorer::SaveIndex(const std::string& path) const {
+  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << index_.Serialize();
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
+
+Status Explorer::LoadIndex(const std::string& path) {
+  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto tree = ClTree::Deserialize(graph_, buffer.str());
+  if (!tree.ok()) return tree.status();
+  index_ = std::move(tree.value());
+  return Status::Ok();
+}
+
+Status Explorer::RegisterCs(std::unique_ptr<CsAlgorithm> algorithm) {
+  const std::string name = algorithm->name();
+  if (cs_.count(name) > 0) {
+    return Status::AlreadyExists("CS algorithm '" + name + "' already registered");
+  }
+  cs_.emplace(name, std::move(algorithm));
+  return Status::Ok();
+}
+
+Status Explorer::RegisterCd(std::unique_ptr<CdAlgorithm> algorithm) {
+  const std::string name = algorithm->name();
+  if (cd_.count(name) > 0) {
+    return Status::AlreadyExists("CD algorithm '" + name + "' already registered");
+  }
+  cd_.emplace(name, std::move(algorithm));
+  return Status::Ok();
+}
+
+std::vector<std::string> Explorer::CsAlgorithmNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, algo] : cs_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Explorer::CdAlgorithmNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, algo] : cd_) names.push_back(name);
+  return names;
+}
+
+Result<ComparisonReport> Explorer::Compare(
+    const Query& query, const std::vector<std::string>& algorithms) {
+  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
+
+  // The CMF reference vertex.
+  auto resolved = ResolveQueryVertices(Context(), query);
+  if (!resolved.ok()) return resolved.status();
+  const VertexId q = resolved->front();
+
+  ComparisonReport report;
+  for (const std::string& name : algorithms) {
+    auto communities = Search(name, query);
+    if (!communities.ok()) return communities.status();
+
+    ComparisonRow row;
+    row.method = name;
+    row.num_communities = communities->size();
+    for (const Community& c : communities.value()) {
+      auto analysis = Analyze(c, q);
+      if (!analysis.ok()) return analysis.status();
+      row.avg_vertices += static_cast<double>(analysis->stats.num_vertices);
+      row.avg_edges += static_cast<double>(analysis->stats.num_edges);
+      row.avg_degree += analysis->stats.average_degree;
+      row.cpj += analysis->cpj;
+      row.cmf += analysis->cmf;
+    }
+    if (!communities->empty()) {
+      const double denom = static_cast<double>(communities->size());
+      row.avg_vertices /= denom;
+      row.avg_edges /= denom;
+      row.avg_degree /= denom;
+      row.cpj /= denom;
+      row.cmf /= denom;
+    }
+    report.rows.push_back(row);
+    report.communities.emplace(name, std::move(communities.value()));
+  }
+  return report;
+}
+
+std::string ComparisonReport::ToTable() const {
+  std::string out;
+  out += "Method    Communities  Vertices  Edges    Degree  CPJ     CMF\n";
+  out += "--------- -----------  --------  -------  ------  ------  ------\n";
+  char buf[160];
+  for (const auto& row : rows) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-9s %11zu  %8.1f  %7.1f  %6.1f  %6.3f  %6.3f\n",
+                  row.method.c_str(), row.num_communities, row.avg_vertices,
+                  row.avg_edges, row.avg_degree, row.cpj, row.cmf);
+    out += buf;
+  }
+  return out;
+}
+
+std::string ComparisonReport::ToTsv() const {
+  std::string out =
+      "method\tcommunities\tvertices\tedges\tdegree\tcpj\tcmf\n";
+  for (const auto& row : rows) {
+    out += row.method;
+    out += '\t';
+    out += std::to_string(row.num_communities);
+    out += '\t';
+    out += FormatDouble(row.avg_vertices, 1);
+    out += '\t';
+    out += FormatDouble(row.avg_edges, 1);
+    out += '\t';
+    out += FormatDouble(row.avg_degree, 2);
+    out += '\t';
+    out += FormatDouble(row.cpj, 4);
+    out += '\t';
+    out += FormatDouble(row.cmf, 4);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<AuthorProfile> Explorer::Profile(VertexId v) {
+  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
+  if (v >= graph_.num_vertices()) {
+    return Status::InvalidArgument("vertex out of range");
+  }
+  auto it = profiles_.find(v);
+  if (it == profiles_.end()) {
+    // Deterministic per vertex: seed the profile generator with the id.
+    Rng rng(0x9e3779b97f4a7c15ULL ^ v);
+    AuthorProfile profile =
+        MakeProfile(graph_.Name(v), graph_.KeywordStrings(v), &rng);
+    it = profiles_.emplace(v, std::move(profile)).first;
+  }
+  return it->second;
+}
+
+}  // namespace cexplorer

@@ -1,0 +1,184 @@
+// The C-Explorer system facade: the C++ rendering of the paper's public API
+// (Figure 4) —
+//
+//   public interface CExplorer {
+//     void upload(String filePath);
+//     List<Community> search(CSAlgorithm algo, Query query);
+//     List<Community> detect(CDAlgorithm algo);
+//     void analyze(Community community);
+//     void display(Community community);
+//   }
+//
+// plus the plug-in registry, the comparison-analysis module of Figure 6,
+// and the author-profile store behind the Figure 2 popup.
+
+#ifndef CEXPLORER_EXPLORER_EXPLORER_H_
+#define CEXPLORER_EXPLORER_EXPLORER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cltree/cltree.h"
+#include "common/status.h"
+#include "data/names.h"
+#include "explorer/algorithm.h"
+#include "explorer/community.h"
+#include "graph/attributed_graph.h"
+#include "layout/layout.h"
+#include "metrics/stats.h"
+
+namespace cexplorer {
+
+/// Result of Analyze: structure statistics plus keyword-quality metrics.
+struct CommunityAnalysis {
+  CommunityStats stats;
+  double cpj = 0.0;
+  double cmf = 0.0;  ///< relative to the query vertex (kInvalidVertex -> 0)
+};
+
+/// View controls for Display — the zoom buttons of the Figure 1 browser
+/// panel.
+struct DisplayOptions {
+  /// Zoom factor about the layout centroid; > 1 zooms in (members near the
+  /// border fall outside the viewport and are clipped), < 1 zooms out.
+  double zoom = 1.0;
+  /// Terminal viewport size for the ASCII rendering.
+  std::size_t cols = 78;
+  std::size_t rows = 24;
+};
+
+/// Result of Display: computed positions plus a terminal rendering.
+struct DisplayResult {
+  Layout layout;
+  std::string ascii;
+};
+
+/// One row of the Figure 6(a) statistics table.
+struct ComparisonRow {
+  std::string method;
+  std::size_t num_communities = 0;
+  double avg_vertices = 0.0;
+  double avg_edges = 0.0;
+  double avg_degree = 0.0;
+  double cpj = 0.0;  ///< averaged over the method's communities
+  double cmf = 0.0;
+};
+
+/// The full comparison report (table + the communities behind the "view"
+/// links).
+struct ComparisonReport {
+  std::vector<ComparisonRow> rows;
+  std::map<std::string, std::vector<Community>> communities;
+
+  /// Renders the table like the paper's screenshot.
+  std::string ToTable() const;
+
+  /// Tab-separated rows with a header line — the chart-ready export behind
+  /// the CPJ/CMF bar graphs ("displayed in charts").
+  std::string ToTsv() const;
+};
+
+/// The C-Explorer engine. Not thread-safe (one session per instance).
+class Explorer {
+ public:
+  /// Constructs with the built-in algorithms (ACQ, Global, Local, CODICIL)
+  /// registered.
+  Explorer();
+
+  // --- The five API functions of Figure 4 -------------------------------
+
+  /// Loads an attributed graph file (graph/io.h format) and rebuilds the
+  /// index.
+  Status Upload(const std::string& file_path);
+
+  /// In-memory upload variant.
+  Status UploadGraph(AttributedGraph graph);
+
+  /// Runs the named community-search algorithm.
+  Result<std::vector<Community>> Search(const std::string& algorithm,
+                                        const Query& query);
+
+  /// Runs the named community-detection algorithm on the whole graph.
+  Result<Clustering> Detect(const std::string& algorithm);
+
+  /// Computes statistics and quality metrics of a community. `q` (the
+  /// query vertex) is needed for CMF; pass kInvalidVertex to skip it.
+  Result<CommunityAnalysis> Analyze(const Community& community,
+                                    VertexId q = kInvalidVertex) const;
+
+  /// Computes a layout and ASCII rendering of a community.
+  Result<DisplayResult> Display(const Community& community,
+                                const DisplayOptions& options = {}) const;
+
+  /// Renders a community as a standalone SVG document (the demo's
+  /// "save the community into a file" action). The query vertex, when a
+  /// member, is highlighted.
+  Result<std::string> ExportSvg(const Community& community,
+                                VertexId query_vertex = kInvalidVertex) const;
+
+  // --- Index persistence (the offline Indexing module of Figure 3) --------
+
+  /// Writes the CL-tree to a file; reloading skips the index build on the
+  /// next upload of the same graph.
+  Status SaveIndex(const std::string& path) const;
+
+  /// Replaces the current index with one previously saved for this exact
+  /// graph (validated).
+  Status LoadIndex(const std::string& path);
+
+  // --- Plug-in registry ---------------------------------------------------
+
+  /// Registers a community-search plug-in; fails on duplicate name.
+  Status RegisterCs(std::unique_ptr<CsAlgorithm> algorithm);
+
+  /// Registers a community-detection plug-in; fails on duplicate name.
+  Status RegisterCd(std::unique_ptr<CdAlgorithm> algorithm);
+
+  /// Names of registered CS algorithms, sorted.
+  std::vector<std::string> CsAlgorithmNames() const;
+
+  /// Names of registered CD algorithms, sorted.
+  std::vector<std::string> CdAlgorithmNames() const;
+
+  // --- Comparison analysis (Figure 6) --------------------------------------
+
+  /// Runs the query through several CS algorithms and assembles the
+  /// statistics/quality table. Algorithms that return no community
+  /// contribute an all-zero row.
+  Result<ComparisonReport> Compare(const Query& query,
+                                   const std::vector<std::string>& algorithms);
+
+  // --- Accessors -----------------------------------------------------------
+
+  /// True iff a graph has been uploaded.
+  bool has_graph() const { return has_graph_; }
+
+  const AttributedGraph& graph() const { return graph_; }
+  const ClTree& index() const { return index_; }
+  const std::vector<std::uint32_t>& core_numbers() const {
+    return core_numbers_;
+  }
+
+  /// The author profile popup of Figure 2; generated deterministically per
+  /// vertex on first access and cached.
+  Result<AuthorProfile> Profile(VertexId v);
+
+ private:
+  ExplorerContext Context() const;
+
+  bool has_graph_ = false;
+  AttributedGraph graph_;
+  ClTree index_;
+  std::vector<std::uint32_t> core_numbers_;
+  std::uint64_t graph_epoch_ = 0;
+
+  std::map<std::string, std::unique_ptr<CsAlgorithm>> cs_;
+  std::map<std::string, std::unique_ptr<CdAlgorithm>> cd_;
+  std::map<VertexId, AuthorProfile> profiles_;
+};
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_EXPLORER_EXPLORER_H_

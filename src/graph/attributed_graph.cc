@@ -1,0 +1,111 @@
+#include "graph/attributed_graph.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace cexplorer {
+
+KeywordId Vocabulary::Intern(std::string_view word) {
+  auto it = index_.find(std::string(word));
+  if (it != index_.end()) return it->second;
+  KeywordId id = static_cast<KeywordId>(words_.size());
+  words_.emplace_back(word);
+  index_.emplace(words_.back(), id);
+  return id;
+}
+
+KeywordId Vocabulary::Find(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  if (it == index_.end()) return kInvalidKeyword;
+  return it->second;
+}
+
+bool AttributedGraph::HasKeyword(VertexId v, KeywordId kw) const {
+  auto kws = Keywords(v);
+  return std::binary_search(kws.begin(), kws.end(), kw);
+}
+
+bool AttributedGraph::HasAllKeywords(VertexId v,
+                                     std::span<const KeywordId> kws) const {
+  auto mine = Keywords(v);
+  // Merge-style subset test over two sorted ranges.
+  std::size_t i = 0;
+  for (KeywordId want : kws) {
+    while (i < mine.size() && mine[i] < want) ++i;
+    if (i >= mine.size() || mine[i] != want) return false;
+  }
+  return true;
+}
+
+VertexId AttributedGraph::FindByName(std::string_view name) const {
+  auto it = name_index_.find(ToLower(name));
+  if (it == name_index_.end()) return kInvalidVertex;
+  return it->second;
+}
+
+std::vector<std::string> AttributedGraph::KeywordStrings(VertexId v) const {
+  std::vector<std::string> out;
+  for (KeywordId kw : Keywords(v)) out.push_back(vocab_.Word(kw));
+  return out;
+}
+
+VertexId AttributedGraphBuilder::AddVertex(
+    std::string name, const std::vector<std::string>& keywords) {
+  std::vector<KeywordId> ids;
+  ids.reserve(keywords.size());
+  for (const auto& w : keywords) ids.push_back(vocab_.Intern(w));
+  return AddVertexWithIds(std::move(name), std::move(ids));
+}
+
+VertexId AttributedGraphBuilder::AddVertexWithIds(
+    std::string name, std::vector<KeywordId> keywords) {
+  std::sort(keywords.begin(), keywords.end());
+  keywords.erase(std::unique(keywords.begin(), keywords.end()),
+                 keywords.end());
+  VertexId id = static_cast<VertexId>(names_.size());
+  names_.push_back(std::move(name));
+  vertex_keywords_.push_back(std::move(keywords));
+  return id;
+}
+
+Status AttributedGraphBuilder::AddEdge(VertexId u, VertexId v) {
+  if (u >= names_.size() || v >= names_.size()) {
+    return Status::InvalidArgument("edge endpoint does not exist");
+  }
+  edges_.AddEdge(u, v);
+  return Status::Ok();
+}
+
+AttributedGraph AttributedGraphBuilder::Build() {
+  AttributedGraph g;
+  edges_.EnsureVertices(names_.size());
+  g.graph_ = edges_.Build();
+  g.vocab_ = std::move(vocab_);
+  g.names_ = std::move(names_);
+
+  const std::size_t n = g.names_.size();
+  g.keyword_offsets_.assign(n + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    total += vertex_keywords_[v].size();
+    g.keyword_offsets_[v + 1] = total;
+  }
+  g.keyword_data_.reserve(total);
+  for (std::size_t v = 0; v < n; ++v) {
+    g.keyword_data_.insert(g.keyword_data_.end(), vertex_keywords_[v].begin(),
+                           vertex_keywords_[v].end());
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::string lower = ToLower(g.names_[v]);
+    if (!lower.empty()) {
+      g.name_index_.emplace(lower, static_cast<VertexId>(v));
+    }
+  }
+
+  vocab_ = Vocabulary();
+  vertex_keywords_.clear();
+  return g;
+}
+
+}  // namespace cexplorer

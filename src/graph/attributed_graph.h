@@ -1,0 +1,129 @@
+// Attributed graph: an undirected graph whose vertices carry a display name
+// and a set of keywords, as defined in Section 3.2 of the C-Explorer paper.
+//
+// Keywords are interned into a vocabulary so that per-vertex keyword sets
+// are small sorted arrays of integer ids — this is what the CL-tree's
+// inverted lists and the ACQ verification loops operate on.
+
+#ifndef CEXPLORER_GRAPH_ATTRIBUTED_GRAPH_H_
+#define CEXPLORER_GRAPH_ATTRIBUTED_GRAPH_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cexplorer {
+
+/// Bidirectional keyword <-> id mapping shared by an attributed graph.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `word`, interning it if new.
+  KeywordId Intern(std::string_view word);
+
+  /// Returns the id of `word` or kInvalidKeyword if never interned.
+  KeywordId Find(std::string_view word) const;
+
+  /// The word for an id. Precondition: id < size().
+  const std::string& Word(KeywordId id) const { return words_[id]; }
+
+  /// Number of distinct keywords.
+  std::size_t size() const { return words_.size(); }
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, KeywordId> index_;
+};
+
+/// Immutable attributed graph G(V, E) with W(v) keyword sets and names.
+/// Construct through AttributedGraphBuilder or graph/io.h loaders.
+class AttributedGraph {
+ public:
+  AttributedGraph() = default;
+
+  /// The underlying topology.
+  const Graph& graph() const { return graph_; }
+
+  /// Number of vertices (same as graph().num_vertices()).
+  std::size_t num_vertices() const { return graph_.num_vertices(); }
+
+  /// The keyword vocabulary.
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  /// W(v): sorted keyword ids of vertex v.
+  std::span<const KeywordId> Keywords(VertexId v) const {
+    return {keyword_data_.data() + keyword_offsets_[v],
+            keyword_offsets_[v + 1] - keyword_offsets_[v]};
+  }
+
+  /// True iff keyword `kw` is in W(v) (binary search).
+  bool HasKeyword(VertexId v, KeywordId kw) const;
+
+  /// True iff every keyword in the sorted list `kws` is in W(v).
+  bool HasAllKeywords(VertexId v, std::span<const KeywordId> kws) const;
+
+  /// Display name of vertex v (may be empty when unnamed).
+  const std::string& Name(VertexId v) const { return names_[v]; }
+
+  /// Finds a vertex by exact name (case-insensitive); kInvalidVertex if
+  /// absent. Ambiguous names resolve to the lowest vertex id.
+  VertexId FindByName(std::string_view name) const;
+
+  /// Keyword ids of `v` rendered back to strings (for display).
+  std::vector<std::string> KeywordStrings(VertexId v) const;
+
+  /// Total number of (vertex, keyword) pairs.
+  std::size_t TotalKeywordCount() const { return keyword_data_.size(); }
+
+ private:
+  friend class AttributedGraphBuilder;
+
+  Graph graph_;
+  Vocabulary vocab_;
+  std::vector<std::uint64_t> keyword_offsets_;  // size n+1
+  std::vector<KeywordId> keyword_data_;         // sorted per vertex
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, VertexId> name_index_;  // lower-cased
+};
+
+/// Builder: declare vertices (name + keywords), add edges, Build().
+class AttributedGraphBuilder {
+ public:
+  AttributedGraphBuilder() = default;
+
+  /// Appends a vertex; returns its id. Keywords may repeat (deduped).
+  VertexId AddVertex(std::string name,
+                     const std::vector<std::string>& keywords);
+
+  /// Appends an unnamed vertex with pre-interned keyword ids.
+  VertexId AddVertexWithIds(std::string name, std::vector<KeywordId> keywords);
+
+  /// Records the undirected edge {u, v}. Vertices must already exist.
+  Status AddEdge(VertexId u, VertexId v);
+
+  /// Direct access to the vocabulary (e.g. to pre-intern a topic list).
+  Vocabulary* mutable_vocabulary() { return &vocab_; }
+
+  /// Number of vertices added so far.
+  std::size_t num_vertices() const { return names_.size(); }
+
+  /// Builds the attributed graph; the builder is left empty.
+  AttributedGraph Build();
+
+ private:
+  Vocabulary vocab_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<KeywordId>> vertex_keywords_;
+  GraphBuilder edges_;
+};
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_GRAPH_ATTRIBUTED_GRAPH_H_

@@ -1,0 +1,31 @@
+// Canonical small graphs used throughout tests, examples and docs.
+
+#ifndef CEXPLORER_GRAPH_FIXTURES_H_
+#define CEXPLORER_GRAPH_FIXTURES_H_
+
+#include "graph/attributed_graph.h"
+#include "graph/graph.h"
+
+namespace cexplorer {
+
+/// The worked example of Figure 5(a) in the C-Explorer paper: 10 vertices
+/// A..J (ids 0..9) and 11 edges, with keyword sets
+///   A:{w,x,y} B:{x} C:{x,y} D:{x,y,z} E:{y,z}
+///   F:{y}     G:{x,y} H:{y,z} I:{x} J:{x}
+/// Topology chosen to reproduce the paper's core numbers exactly
+/// (0:{J}, 1:{F,G,H,I}, 2:{E}, 3:{A,B,C,D}) and the paper's ACQ answer
+/// (q=A, k=2, S={w,x,y} -> community {A,C,D} sharing {x,y}).
+AttributedGraph Figure5Graph();
+
+/// Zachary's karate club (34 vertices, 78 edges) — the standard community
+/// benchmark; used for modularity / clustering tests.
+Graph KarateClub();
+
+/// Vertex index (0-based) of the two karate-club hubs: the instructor
+/// (vertex 0) and the president (vertex 33).
+inline constexpr VertexId kKarateInstructor = 0;
+inline constexpr VertexId kKaratePresident = 33;
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_GRAPH_FIXTURES_H_

@@ -1,0 +1,89 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace cexplorer {
+
+Graph ErdosRenyi(std::size_t num_vertices, std::size_t num_edges,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  if (num_vertices < 2) return builder.Build();
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    VertexId u = rng.UniformU32(static_cast<std::uint32_t>(num_vertices));
+    VertexId v = rng.UniformU32(static_cast<std::uint32_t>(num_vertices));
+    if (u != v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph BarabasiAlbert(std::size_t num_vertices, std::size_t edges_per_vertex,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t m = std::max<std::size_t>(1, edges_per_vertex);
+  GraphBuilder builder(num_vertices);
+  if (num_vertices == 0) return builder.Build();
+
+  // Seed clique of m+1 vertices.
+  const std::size_t seed_size = std::min(num_vertices, m + 1);
+  // `targets` holds every edge endpoint twice over: sampling uniformly from
+  // it is sampling proportionally to degree.
+  std::vector<VertexId> targets;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      builder.AddEdge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+
+  std::vector<VertexId> chosen;
+  for (VertexId v = static_cast<VertexId>(seed_size); v < num_vertices; ++v) {
+    chosen.clear();
+    // Sample m distinct existing vertices by repeated degree-proportional
+    // draws.
+    std::size_t guard = 0;
+    while (chosen.size() < m && guard < 64 * m) {
+      ++guard;
+      VertexId t = targets[rng.UniformU32(
+          static_cast<std::uint32_t>(targets.size()))];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (VertexId t : chosen) {
+      builder.AddEdge(v, t);
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+Graph WattsStrogatz(std::size_t num_vertices, std::size_t k_neighbors,
+                    double rewire_p, std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder(num_vertices);
+  if (num_vertices < 3) return builder.Build();
+  const std::size_t half = std::max<std::size_t>(1, k_neighbors / 2);
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    for (std::size_t offset = 1; offset <= half; ++offset) {
+      VertexId v = static_cast<VertexId>((u + offset) % num_vertices);
+      if (rng.Bernoulli(rewire_p)) {
+        // Rewire to a uniform random non-self endpoint.
+        VertexId w = u;
+        while (w == u) {
+          w = rng.UniformU32(static_cast<std::uint32_t>(num_vertices));
+        }
+        builder.AddEdge(u, w);
+      } else {
+        builder.AddEdge(u, v);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace cexplorer

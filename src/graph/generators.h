@@ -1,0 +1,36 @@
+// Classic random-graph generators. The C-Explorer API lets users upload
+// their own graphs and test CR algorithms against them; these generators
+// provide standard null models (uniform, preferential-attachment, and
+// small-world) for exactly that kind of experimentation, and back the
+// property-test suites.
+
+#ifndef CEXPLORER_GRAPH_GENERATORS_H_
+#define CEXPLORER_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace cexplorer {
+
+/// Erdos-Renyi G(n, m): m edges drawn uniformly among distinct pairs,
+/// duplicates discarded (the realized edge count may be slightly below m
+/// on dense draws). Deterministic in `seed`.
+Graph ErdosRenyi(std::size_t num_vertices, std::size_t num_edges,
+                 std::uint64_t seed);
+
+/// Barabasi-Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `edges_per_vertex` existing vertices chosen
+/// proportionally to their degree. Produces heavy-tailed degrees.
+Graph BarabasiAlbert(std::size_t num_vertices, std::size_t edges_per_vertex,
+                     std::uint64_t seed);
+
+/// Watts-Strogatz small world: a ring lattice where every vertex connects
+/// to its `k_neighbors` nearest neighbours (k rounded down to even), with
+/// each edge rewired to a random endpoint with probability `rewire_p`.
+Graph WattsStrogatz(std::size_t num_vertices, std::size_t k_neighbors,
+                    double rewire_p, std::uint64_t seed);
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_GRAPH_GENERATORS_H_

@@ -1,0 +1,88 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace cexplorer {
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  // Search the smaller adjacency list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::Edges() const {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  out.reserve(num_edges());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : Neighbors(u)) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+double Graph::AverageDegree() const {
+  if (num_vertices() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) /
+         static_cast<double>(num_vertices());
+}
+
+std::size_t Graph::MaxDegree() const {
+  std::size_t best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    best = std::max(best, Degree(v));
+  }
+  return best;
+}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  if (u == v) return;  // drop self-loops eagerly
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+  if (static_cast<std::size_t>(v) + 1 > num_vertices_) {
+    num_vertices_ = static_cast<std::size_t>(v) + 1;
+  }
+}
+
+void GraphBuilder::EnsureVertices(std::size_t n) {
+  num_vertices_ = std::max(num_vertices_, n);
+}
+
+Graph GraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  const std::size_t n = num_vertices_;
+  g.offsets_.assign(n + 1, 0);
+
+  // Count degrees, then prefix-sum into offsets, then fill.
+  for (const auto& [u, v] : edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) g.offsets_[i] += g.offsets_[i - 1];
+
+  g.adjacency_.resize(edges_.size() * 2);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  // Edges were globally sorted by (u, v); each u's neighbours v>u arrive
+  // sorted, but neighbours v<u were appended in order of v's pass too.
+  // A per-vertex sort keeps the invariant simple and costs O(m log d).
+  for (VertexId u = 0; u < n; ++u) {
+    auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u]);
+    auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u + 1]);
+    std::sort(begin, end);
+  }
+
+  num_vertices_ = 0;
+  edges_.clear();
+  return g;
+}
+
+}  // namespace cexplorer

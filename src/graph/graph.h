@@ -1,0 +1,103 @@
+// Immutable undirected graph in compressed sparse row (CSR) form.
+//
+// The CSR layout keeps each vertex's neighbours in one contiguous, sorted
+// span, which makes degree queries O(1), adjacency tests O(log degree), and
+// full scans cache-friendly — the access patterns every community-retrieval
+// algorithm in this library leans on.
+
+#ifndef CEXPLORER_GRAPH_GRAPH_H_
+#define CEXPLORER_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace cexplorer {
+
+/// Immutable undirected simple graph (no self-loops, no parallel edges).
+/// Construct through GraphBuilder or the factory functions in graph/io.h.
+class Graph {
+ public:
+  /// Empty graph.
+  Graph() = default;
+
+  /// Number of vertices.
+  std::size_t num_vertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Number of undirected edges.
+  std::size_t num_edges() const { return adjacency_.size() / 2; }
+
+  /// Degree of v. Precondition: v < num_vertices().
+  std::size_t Degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Sorted neighbours of v. Precondition: v < num_vertices().
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// True iff the undirected edge {u, v} exists (binary search).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// All edges as (u, v) pairs with u < v, in ascending order.
+  std::vector<std::pair<VertexId, VertexId>> Edges() const;
+
+  /// Sum of degrees / n, or 0 for the empty graph.
+  double AverageDegree() const;
+
+  /// Maximum degree over all vertices (0 for the empty graph).
+  std::size_t MaxDegree() const;
+
+  /// Approximate heap footprint of the CSR arrays, in bytes.
+  std::size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(std::uint64_t) +
+           adjacency_.capacity() * sizeof(VertexId);
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::uint64_t> offsets_;  // size n+1
+  std::vector<VertexId> adjacency_;     // size 2m, sorted per vertex
+};
+
+/// Accumulates edges and produces a normalized Graph.
+///
+/// Self-loops are dropped and duplicate edges collapsed during Build, so
+/// callers may add edges freely (in either endpoint order, repeatedly).
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-declares the number of vertices; vertices mentioned by AddEdge
+  /// extend this automatically.
+  explicit GraphBuilder(std::size_t num_vertices)
+      : num_vertices_(num_vertices) {}
+
+  /// Records the undirected edge {u, v}.
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Ensures the built graph has at least `n` vertices.
+  void EnsureVertices(std::size_t n);
+
+  /// Number of edge records added so far (before dedup).
+  std::size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Builds the normalized graph; the builder is left empty.
+  Graph Build();
+
+ private:
+  std::size_t num_vertices_ = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_GRAPH_GRAPH_H_

@@ -1,0 +1,179 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace cexplorer {
+
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << content;
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Graph> ParseEdgeList(const std::string& text) {
+  GraphBuilder builder;
+  std::size_t line_no = 0;
+  for (const auto& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    auto fields = SplitWhitespace(line);
+    if (fields.size() != 2) {
+      return Status::ParseError("edge list line " + std::to_string(line_no) +
+                                ": expected 'u v'");
+    }
+    std::int64_t u = 0;
+    std::int64_t v = 0;
+    if (!ParseInt64(fields[0], &u) || !ParseInt64(fields[1], &v) || u < 0 ||
+        v < 0) {
+      return Status::ParseError("edge list line " + std::to_string(line_no) +
+                                ": invalid vertex id");
+    }
+    builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return builder.Build();
+}
+
+Result<Graph> LoadEdgeList(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseEdgeList(text.value());
+}
+
+std::string ToEdgeList(const Graph& g) {
+  std::string out;
+  out += "# vertices " + std::to_string(g.num_vertices()) + " edges " +
+         std::to_string(g.num_edges()) + "\n";
+  for (const auto& [u, v] : g.Edges()) {
+    out += std::to_string(u);
+    out += ' ';
+    out += std::to_string(v);
+    out += '\n';
+  }
+  return out;
+}
+
+Status SaveEdgeList(const Graph& g, const std::string& path) {
+  return WriteFile(path, ToEdgeList(g));
+}
+
+Result<AttributedGraph> ParseAttributed(const std::string& text) {
+  struct PendingVertex {
+    std::string name;
+    std::vector<std::string> keywords;
+    bool seen = false;
+  };
+  std::vector<PendingVertex> vertices;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+
+  std::size_t line_no = 0;
+  for (const auto& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    auto fields = Split(line, '\t');
+    const std::string where = "attributed line " + std::to_string(line_no);
+    if (fields[0] == "v") {
+      if (fields.size() < 3 || fields.size() > 4) {
+        return Status::ParseError(where + ": expected 'v<TAB>id<TAB>name[<TAB>keywords]'");
+      }
+      std::int64_t id = 0;
+      if (!ParseInt64(fields[1], &id) || id < 0) {
+        return Status::ParseError(where + ": invalid vertex id");
+      }
+      if (vertices.size() <= static_cast<std::size_t>(id)) {
+        vertices.resize(static_cast<std::size_t>(id) + 1);
+      }
+      PendingVertex& pv = vertices[static_cast<std::size_t>(id)];
+      if (pv.seen) return Status::ParseError(where + ": duplicate vertex id");
+      pv.seen = true;
+      pv.name = fields[2];
+      if (fields.size() == 4) pv.keywords = SplitWhitespace(fields[3]);
+    } else if (fields[0] == "e") {
+      if (fields.size() != 3) {
+        return Status::ParseError(where + ": expected 'e<TAB>u<TAB>v'");
+      }
+      std::int64_t u = 0;
+      std::int64_t v = 0;
+      if (!ParseInt64(fields[1], &u) || !ParseInt64(fields[2], &v) || u < 0 ||
+          v < 0) {
+        return Status::ParseError(where + ": invalid edge endpoint");
+      }
+      edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    } else {
+      return Status::ParseError(where + ": unknown record type '" +
+                                std::string(fields[0]) + "'");
+    }
+  }
+
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    if (!vertices[i].seen) {
+      return Status::ParseError("vertex id " + std::to_string(i) +
+                                " never declared (ids must be dense)");
+    }
+  }
+
+  AttributedGraphBuilder builder;
+  for (auto& pv : vertices) {
+    builder.AddVertex(std::move(pv.name), pv.keywords);
+  }
+  for (const auto& [u, v] : edges) {
+    CEXPLORER_RETURN_IF_ERROR(builder.AddEdge(u, v));
+  }
+  return builder.Build();
+}
+
+Result<AttributedGraph> LoadAttributed(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return ParseAttributed(text.value());
+}
+
+std::string ToAttributedText(const AttributedGraph& g) {
+  std::string out;
+  out += "# attributed graph: " + std::to_string(g.num_vertices()) +
+         " vertices, " + std::to_string(g.graph().num_edges()) + " edges\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out += "v\t";
+    out += std::to_string(v);
+    out += '\t';
+    out += g.Name(v);
+    auto kws = g.KeywordStrings(v);
+    if (!kws.empty()) {
+      out += '\t';
+      out += Join(kws, " ");
+    }
+    out += '\n';
+  }
+  for (const auto& [u, v] : g.graph().Edges()) {
+    out += "e\t";
+    out += std::to_string(u);
+    out += '\t';
+    out += std::to_string(v);
+    out += '\n';
+  }
+  return out;
+}
+
+Status SaveAttributed(const AttributedGraph& g, const std::string& path) {
+  return WriteFile(path, ToAttributedText(g));
+}
+
+}  // namespace cexplorer

@@ -1,0 +1,48 @@
+// Text formats for plain and attributed graphs.
+//
+// Edge-list format (SNAP style): one "u v" pair per line, '#' comments.
+//
+// Attributed format (tab-separated):
+//   v<TAB>id<TAB>name<TAB>kw1 kw2 kw3 ...
+//   e<TAB>u<TAB>v
+// Vertex ids must be dense 0..n-1; lines may appear in any order as long as
+// every edge endpoint is declared by some 'v' line.
+
+#ifndef CEXPLORER_GRAPH_IO_H_
+#define CEXPLORER_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/attributed_graph.h"
+#include "graph/graph.h"
+
+namespace cexplorer {
+
+/// Parses an edge list from a string buffer.
+Result<Graph> ParseEdgeList(const std::string& text);
+
+/// Loads an edge list file.
+Result<Graph> LoadEdgeList(const std::string& path);
+
+/// Renders a graph as an edge list.
+std::string ToEdgeList(const Graph& g);
+
+/// Saves a graph as an edge list file.
+Status SaveEdgeList(const Graph& g, const std::string& path);
+
+/// Parses the attributed format from a string buffer.
+Result<AttributedGraph> ParseAttributed(const std::string& text);
+
+/// Loads an attributed graph file.
+Result<AttributedGraph> LoadAttributed(const std::string& path);
+
+/// Renders an attributed graph in the attributed format.
+std::string ToAttributedText(const AttributedGraph& g);
+
+/// Saves an attributed graph file.
+Status SaveAttributed(const AttributedGraph& g, const std::string& path);
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_GRAPH_IO_H_

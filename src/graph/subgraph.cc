@@ -1,0 +1,66 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+#include "common/bitset.h"
+
+namespace cexplorer {
+
+VertexId Subgraph::ToLocal(VertexId parent_vertex) const {
+  auto it = std::lower_bound(to_parent.begin(), to_parent.end(), parent_vertex);
+  if (it == to_parent.end() || *it != parent_vertex) return kInvalidVertex;
+  return static_cast<VertexId>(it - to_parent.begin());
+}
+
+Subgraph InducedSubgraph(const Graph& g, VertexList vertices) {
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+
+  Subgraph sub;
+  sub.to_parent = std::move(vertices);
+
+  Bitset member(g.num_vertices());
+  for (VertexId v : sub.to_parent) member.Set(v);
+
+  GraphBuilder builder(sub.to_parent.size());
+  for (std::size_t local = 0; local < sub.to_parent.size(); ++local) {
+    VertexId parent = sub.to_parent[local];
+    for (VertexId w : g.Neighbors(parent)) {
+      if (w > parent && member.Test(w)) {
+        builder.AddEdge(static_cast<VertexId>(local), sub.ToLocal(w));
+      }
+    }
+  }
+  sub.graph = builder.Build();
+  return sub;
+}
+
+std::size_t CountInducedEdges(const Graph& g, const VertexList& vertices) {
+  Bitset member(g.num_vertices());
+  for (VertexId v : vertices) member.Set(v);
+  std::size_t count = 0;
+  for (VertexId v : vertices) {
+    for (VertexId w : g.Neighbors(v)) {
+      if (w > v && member.Test(w)) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<std::size_t> InducedDegrees(const Graph& g, VertexList* vertices) {
+  std::sort(vertices->begin(), vertices->end());
+  vertices->erase(std::unique(vertices->begin(), vertices->end()),
+                  vertices->end());
+  Bitset member(g.num_vertices());
+  for (VertexId v : *vertices) member.Set(v);
+  std::vector<std::size_t> degrees(vertices->size(), 0);
+  for (std::size_t i = 0; i < vertices->size(); ++i) {
+    for (VertexId w : g.Neighbors((*vertices)[i])) {
+      if (member.Test(w)) ++degrees[i];
+    }
+  }
+  return degrees;
+}
+
+}  // namespace cexplorer

@@ -1,0 +1,42 @@
+// Induced subgraph extraction with bidirectional vertex mapping.
+
+#ifndef CEXPLORER_GRAPH_SUBGRAPH_H_
+#define CEXPLORER_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cexplorer {
+
+/// A materialized induced subgraph. Local vertex i corresponds to parent
+/// vertex to_parent[i]; to_parent is sorted ascending.
+struct Subgraph {
+  Graph graph;
+  VertexList to_parent;
+
+  /// Maps a parent vertex to its local id, or kInvalidVertex if absent
+  /// (binary search over to_parent).
+  VertexId ToLocal(VertexId parent_vertex) const;
+
+  /// Number of vertices in the subgraph.
+  std::size_t num_vertices() const { return to_parent.size(); }
+};
+
+/// Materializes the subgraph of `g` induced by `vertices`.
+/// `vertices` need not be sorted; duplicates are ignored.
+Subgraph InducedSubgraph(const Graph& g, VertexList vertices);
+
+/// Number of edges of `g` with both endpoints in `vertices` (no
+/// materialization; O(sum of degrees) with a bitset).
+std::size_t CountInducedEdges(const Graph& g, const VertexList& vertices);
+
+/// Degree of each vertex of `vertices` counting only neighbours inside
+/// `vertices`; result is aligned with the sorted unique vertex list, which
+/// is written back to `vertices`.
+std::vector<std::size_t> InducedDegrees(const Graph& g, VertexList* vertices);
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_GRAPH_SUBGRAPH_H_

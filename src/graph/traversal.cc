@@ -1,0 +1,120 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cexplorer {
+
+VertexList ComponentLabels::ComponentVertices(std::uint32_t c) const {
+  VertexList out;
+  for (std::size_t v = 0; v < label.size(); ++v) {
+    if (label[v] == c) out.push_back(static_cast<VertexId>(v));
+  }
+  return out;
+}
+
+std::size_t ComponentLabels::LargestComponentSize() const {
+  std::vector<std::size_t> sizes(num_components, 0);
+  for (std::uint32_t l : label) ++sizes[l];
+  std::size_t best = 0;
+  for (std::size_t s : sizes) best = std::max(best, s);
+  return best;
+}
+
+ComponentLabels ConnectedComponents(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  ComponentLabels result;
+  result.label.assign(n, std::numeric_limits<std::uint32_t>::max());
+  std::vector<VertexId> queue;
+  for (VertexId start = 0; start < n; ++start) {
+    if (result.label[start] != std::numeric_limits<std::uint32_t>::max()) {
+      continue;
+    }
+    const std::uint32_t comp = result.num_components++;
+    result.label[start] = comp;
+    queue.clear();
+    queue.push_back(start);
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      VertexId u = queue[head++];
+      for (VertexId w : g.Neighbors(u)) {
+        if (result.label[w] == std::numeric_limits<std::uint32_t>::max()) {
+          result.label[w] = comp;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+VertexList ReachableFrom(const Graph& g, VertexId source) {
+  Bitset all(g.num_vertices());
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) all.Set(v);
+  return ReachableWithin(g, source, all);
+}
+
+VertexList ReachableWithin(const Graph& g, VertexId source,
+                           const Bitset& allowed) {
+  VertexList out;
+  if (source >= g.num_vertices() || !allowed.Test(source)) return out;
+  Bitset visited(g.num_vertices());
+  std::vector<VertexId> queue{source};
+  visited.Set(source);
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    VertexId u = queue[head++];
+    for (VertexId w : g.Neighbors(u)) {
+      if (allowed.Test(w) && !visited.Test(w)) {
+        visited.Set(w);
+        queue.push_back(w);
+      }
+    }
+  }
+  out = queue;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint32_t> BfsDistances(const Graph& g, VertexId source) {
+  constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreached);
+  if (source >= g.num_vertices()) return dist;
+  std::vector<VertexId> queue{source};
+  dist[source] = 0;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    VertexId u = queue[head++];
+    for (VertexId w : g.Neighbors(u)) {
+      if (dist[w] == kUnreached) {
+        dist[w] = dist[u] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t DoubleSweepDiameter(const Graph& g, VertexId source) {
+  if (g.num_vertices() == 0) return 0;
+  auto first = BfsDistances(g, source);
+  VertexId far = source;
+  std::uint32_t best = 0;
+  for (std::size_t v = 0; v < first.size(); ++v) {
+    if (first[v] != std::numeric_limits<std::uint32_t>::max() &&
+        first[v] > best) {
+      best = first[v];
+      far = static_cast<VertexId>(v);
+    }
+  }
+  auto second = BfsDistances(g, far);
+  std::uint32_t diameter = 0;
+  for (std::uint32_t d : second) {
+    if (d != std::numeric_limits<std::uint32_t>::max()) {
+      diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+}  // namespace cexplorer

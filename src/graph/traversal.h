@@ -1,0 +1,53 @@
+// Breadth-first traversal, connected components, and filtered reachability.
+//
+// The "filtered" variants restrict the walk to an allowed vertex set; the
+// community-search algorithms use them to extract the connected component of
+// a query vertex inside a k-core without materializing the induced subgraph.
+
+#ifndef CEXPLORER_GRAPH_TRAVERSAL_H_
+#define CEXPLORER_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cexplorer {
+
+/// Result of a full connected-components labelling.
+struct ComponentLabels {
+  /// Component id per vertex, in [0, num_components).
+  std::vector<std::uint32_t> label;
+  /// Number of components.
+  std::uint32_t num_components = 0;
+
+  /// Vertices of component `c`, ascending.
+  VertexList ComponentVertices(std::uint32_t c) const;
+
+  /// Size of the largest component.
+  std::size_t LargestComponentSize() const;
+};
+
+/// Labels all connected components of `g` (BFS, O(n + m)).
+ComponentLabels ConnectedComponents(const Graph& g);
+
+/// Vertices reachable from `source`, ascending (BFS).
+VertexList ReachableFrom(const Graph& g, VertexId source);
+
+/// Vertices reachable from `source` through vertices allowed by `allowed`
+/// (source must be allowed; otherwise returns empty), ascending.
+VertexList ReachableWithin(const Graph& g, VertexId source,
+                           const Bitset& allowed);
+
+/// BFS hop distance from `source` to every vertex; unreachable = UINT32_MAX.
+std::vector<std::uint32_t> BfsDistances(const Graph& g, VertexId source);
+
+/// Eccentricity lower bound by double-sweep BFS from `source`: the distance
+/// between the two farthest vertices found. A standard diameter estimate.
+std::uint32_t DoubleSweepDiameter(const Graph& g, VertexId source);
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_GRAPH_TRAVERSAL_H_

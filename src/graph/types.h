@@ -1,0 +1,35 @@
+// Fundamental identifier types shared by all graph modules.
+
+#ifndef CEXPLORER_GRAPH_TYPES_H_
+#define CEXPLORER_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace cexplorer {
+
+/// Dense vertex identifier in [0, num_vertices).
+using VertexId = std::uint32_t;
+
+/// Interned keyword identifier in [0, vocabulary size).
+using KeywordId = std::uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Sentinel for "no keyword".
+inline constexpr KeywordId kInvalidKeyword =
+    std::numeric_limits<KeywordId>::max();
+
+/// A set of vertices, kept sorted ascending and duplicate-free by the
+/// functions that produce it.
+using VertexList = std::vector<VertexId>;
+
+/// A set of keywords, kept sorted ascending and duplicate-free.
+using KeywordList = std::vector<KeywordId>;
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_GRAPH_TYPES_H_

@@ -1,0 +1,126 @@
+#include "layout/ascii_canvas.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace cexplorer {
+
+AsciiCanvas::AsciiCanvas(std::size_t cols, std::size_t rows)
+    : cols_(cols), rows_(rows), cells_(rows, std::string(cols, ' ')) {}
+
+void AsciiCanvas::Put(std::size_t col, std::size_t row, char c) {
+  if (row >= rows_ || col >= cols_) return;
+  cells_[row][col] = c;
+}
+
+void AsciiCanvas::Label(std::size_t col, std::size_t row,
+                        const std::string& text) {
+  if (row >= rows_) return;
+  for (std::size_t i = 0; i < text.size() && col + i < cols_; ++i) {
+    cells_[row][col + i] = text[i];
+  }
+}
+
+void AsciiCanvas::Line(std::size_t col0, std::size_t row0, std::size_t col1,
+                       std::size_t row1) {
+  // Bresenham over signed coordinates.
+  long x0 = static_cast<long>(col0);
+  long y0 = static_cast<long>(row0);
+  long x1 = static_cast<long>(col1);
+  long y1 = static_cast<long>(row1);
+  long dx = std::labs(x1 - x0);
+  long dy = -std::labs(y1 - y0);
+  long sx = x0 < x1 ? 1 : -1;
+  long sy = y0 < y1 ? 1 : -1;
+  long err = dx + dy;
+  for (;;) {
+    if (x0 >= 0 && y0 >= 0 && static_cast<std::size_t>(x0) < cols_ &&
+        static_cast<std::size_t>(y0) < rows_ &&
+        cells_[static_cast<std::size_t>(y0)][static_cast<std::size_t>(x0)] ==
+            ' ') {
+      cells_[static_cast<std::size_t>(y0)][static_cast<std::size_t>(x0)] = '.';
+    }
+    if (x0 == x1 && y0 == y1) break;
+    long e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+std::string AsciiCanvas::ToString() const {
+  std::string out;
+  out.reserve((cols_ + 1) * rows_);
+  for (const auto& row : cells_) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RenderCommunity(const Graph& g, const Layout& layout,
+                            const std::vector<std::string>& labels,
+                            std::size_t cols, std::size_t rows, double zoom) {
+  AsciiCanvas canvas(cols, rows);
+  if (layout.size() != g.num_vertices()) return canvas.ToString();
+
+  // Map layout coordinates onto the character grid, then apply the zoom
+  // about the canvas centre (clipping handles what falls outside).
+  Layout scaled = layout;
+  FitToBox(&scaled, static_cast<double>(cols - 1),
+           static_cast<double>(rows - 1));
+  if (zoom != 1.0) {
+    const double cx = static_cast<double>(cols - 1) / 2.0;
+    const double cy = static_cast<double>(rows - 1) / 2.0;
+    for (auto& p : scaled) {
+      p.x = cx + (p.x - cx) * zoom;
+      p.y = cy + (p.y - cy) * zoom;
+    }
+  }
+  auto in_canvas = [cols, rows](double x, double y) {
+    return x >= 0.0 && y >= 0.0 && x <= static_cast<double>(cols - 1) &&
+           y <= static_cast<double>(rows - 1);
+  };
+  auto cell = [](double value) {
+    return static_cast<std::size_t>(std::llround(std::max(0.0, value)));
+  };
+
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (v <= u) continue;
+      if (!in_canvas(scaled[u].x, scaled[u].y) &&
+          !in_canvas(scaled[v].x, scaled[v].y)) {
+        continue;  // fully outside the zoomed viewport
+      }
+      canvas.Line(cell(scaled[u].x), cell(scaled[u].y), cell(scaled[v].x),
+                  cell(scaled[v].y));
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!in_canvas(scaled[v].x, scaled[v].y)) continue;
+    std::size_t col = cell(scaled[v].x);
+    std::size_t row = cell(scaled[v].y);
+    canvas.Put(col, row, '*');
+    std::string label =
+        v < labels.size() && !labels[v].empty() ? labels[v] : std::to_string(v);
+    if (label.size() > 14) label.resize(14);
+    // Place the label to the right of the marker; flip to the left side
+    // when it would clip at the right edge.
+    if (col + 1 + label.size() <= cols) {
+      canvas.Label(col + 1, row, label);
+    } else if (col >= label.size()) {
+      canvas.Label(col - label.size(), row, label);
+    } else {
+      canvas.Label(0, row, label);
+    }
+  }
+  return canvas.ToString();
+}
+
+}  // namespace cexplorer

@@ -1,0 +1,55 @@
+// Terminal rendering of laid-out communities: the browser view of the
+// C-Explorer demo, reduced to ASCII so examples and benches can show the
+// Figure 1 / Figure 6(b) panels in a terminal.
+
+#ifndef CEXPLORER_LAYOUT_ASCII_CANVAS_H_
+#define CEXPLORER_LAYOUT_ASCII_CANVAS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "layout/layout.h"
+
+namespace cexplorer {
+
+/// Character-cell canvas with painter-style primitives.
+class AsciiCanvas {
+ public:
+  AsciiCanvas(std::size_t cols, std::size_t rows);
+
+  std::size_t cols() const { return cols_; }
+  std::size_t rows() const { return rows_; }
+
+  /// Puts a character; out-of-range coordinates are ignored.
+  void Put(std::size_t col, std::size_t row, char c);
+
+  /// Writes a label starting at (col, row), clipped at the right edge.
+  void Label(std::size_t col, std::size_t row, const std::string& text);
+
+  /// Draws a line of '.' cells between two points (Bresenham).
+  void Line(std::size_t col0, std::size_t row0, std::size_t col1,
+            std::size_t row1);
+
+  /// The canvas as newline-separated rows.
+  std::string ToString() const;
+
+ private:
+  std::size_t cols_;
+  std::size_t rows_;
+  std::vector<std::string> cells_;
+};
+
+/// Renders a laid-out graph: edges as dotted lines, vertices as '*' with
+/// labels (truncated). `labels` may be empty (vertex ids used instead) but
+/// otherwise must align with the graph's vertices. `zoom` scales the view
+/// about the canvas centre after fitting; vertices pushed outside the
+/// viewport are clipped (the zoom-in behaviour of the browser panel).
+std::string RenderCommunity(const Graph& g, const Layout& layout,
+                            const std::vector<std::string>& labels,
+                            std::size_t cols = 78, std::size_t rows = 24,
+                            double zoom = 1.0);
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_LAYOUT_ASCII_CANVAS_H_

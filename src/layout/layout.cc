@@ -1,0 +1,140 @@
+#include "layout/layout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace cexplorer {
+
+Layout ForceDirectedLayout(const Graph& g, const ForceLayoutOptions& options) {
+  const std::size_t n = g.num_vertices();
+  Layout pos(n);
+  if (n == 0) return pos;
+  if (n == 1) {
+    pos[0] = {options.width / 2.0, options.height / 2.0};
+    return pos;
+  }
+
+  Rng rng(options.seed);
+  for (auto& p : pos) {
+    p.x = rng.UniformDouble() * options.width;
+    p.y = rng.UniformDouble() * options.height;
+  }
+
+  const double area = options.width * options.height;
+  const double k = std::sqrt(area / static_cast<double>(n));  // ideal length
+  double temperature = options.width / 10.0;
+  const double cooling =
+      temperature / static_cast<double>(options.iterations + 1);
+
+  std::vector<Point> disp(n);
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    for (auto& d : disp) d = {0.0, 0.0};
+
+    // Repulsion between all pairs: f_r(d) = k^2 / d.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double dx = pos[i].x - pos[j].x;
+        double dy = pos[i].y - pos[j].y;
+        double dist2 = dx * dx + dy * dy;
+        if (dist2 < 1e-9) {
+          // Nudge coincident vertices apart deterministically.
+          dx = 1e-3 * (1.0 + static_cast<double>(i - j));
+          dy = 1e-3;
+          dist2 = dx * dx + dy * dy;
+        }
+        double dist = std::sqrt(dist2);
+        double force = k * k / dist;
+        double fx = dx / dist * force;
+        double fy = dy / dist * force;
+        disp[i].x += fx;
+        disp[i].y += fy;
+        disp[j].x -= fx;
+        disp[j].y -= fy;
+      }
+    }
+    // Attraction along edges: f_a(d) = d^2 / k.
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v : g.Neighbors(u)) {
+        if (v <= u) continue;
+        double dx = pos[u].x - pos[v].x;
+        double dy = pos[u].y - pos[v].y;
+        double dist = std::sqrt(dx * dx + dy * dy);
+        if (dist < 1e-9) continue;
+        double force = dist * dist / k;
+        double fx = dx / dist * force;
+        double fy = dy / dist * force;
+        disp[u].x -= fx;
+        disp[u].y -= fy;
+        disp[v].x += fx;
+        disp[v].y += fy;
+      }
+    }
+    // Move, clamped by the current temperature.
+    for (std::size_t i = 0; i < n; ++i) {
+      double len = std::sqrt(disp[i].x * disp[i].x + disp[i].y * disp[i].y);
+      if (len < 1e-12) continue;
+      double step = std::min(len, temperature);
+      pos[i].x += disp[i].x / len * step;
+      pos[i].y += disp[i].y / len * step;
+    }
+    temperature = std::max(0.0, temperature - cooling);
+  }
+
+  FitToBox(&pos, options.width, options.height);
+  return pos;
+}
+
+Layout CircleLayout(std::size_t num_vertices, double width, double height) {
+  Layout pos(num_vertices);
+  if (num_vertices == 0) return pos;
+  const double cx = width / 2.0;
+  const double cy = height / 2.0;
+  const double r = 0.45 * std::min(width, height);
+  for (std::size_t i = 0; i < num_vertices; ++i) {
+    double angle =
+        2.0 * M_PI * static_cast<double>(i) / static_cast<double>(num_vertices);
+    pos[i] = {cx + r * std::cos(angle), cy + r * std::sin(angle)};
+  }
+  return pos;
+}
+
+Layout GridLayout(std::size_t num_vertices, double width, double height) {
+  Layout pos(num_vertices);
+  if (num_vertices == 0) return pos;
+  const std::size_t cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_vertices))));
+  const std::size_t rows = (num_vertices + cols - 1) / cols;
+  for (std::size_t i = 0; i < num_vertices; ++i) {
+    std::size_t r = i / cols;
+    std::size_t c = i % cols;
+    pos[i] = {
+        (static_cast<double>(c) + 0.5) * width / static_cast<double>(cols),
+        (static_cast<double>(r) + 0.5) * height / static_cast<double>(rows)};
+  }
+  return pos;
+}
+
+void FitToBox(Layout* layout, double width, double height) {
+  if (layout->empty()) return;
+  double min_x = layout->front().x;
+  double max_x = min_x;
+  double min_y = layout->front().y;
+  double max_y = min_y;
+  for (const auto& p : *layout) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double margin = 0.05;
+  const double span_x = std::max(max_x - min_x, 1e-9);
+  const double span_y = std::max(max_y - min_y, 1e-9);
+  for (auto& p : *layout) {
+    p.x = (margin + (p.x - min_x) / span_x * (1.0 - 2.0 * margin)) * width;
+    p.y = (margin + (p.y - min_y) / span_y * (1.0 - 2.0 * margin)) * height;
+  }
+}
+
+}  // namespace cexplorer

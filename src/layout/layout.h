@@ -1,0 +1,57 @@
+// Community layout for visualization — the display() stage of the paper's
+// API. Replaces the JUNG layout library used by the Java system with
+// deterministic C++ implementations: Fruchterman-Reingold force-directed
+// placement (JUNG's default for community views), circle, and grid layouts,
+// all normalized into a caller-supplied bounding box.
+
+#ifndef CEXPLORER_LAYOUT_LAYOUT_H_
+#define CEXPLORER_LAYOUT_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cexplorer {
+
+/// A 2-D position.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Vertex positions aligned with the vertex order of the laid-out
+/// (sub)graph.
+using Layout = std::vector<Point>;
+
+/// Options for force-directed layout.
+struct ForceLayoutOptions {
+  /// Simulation iterations; the temperature decays linearly to zero.
+  std::size_t iterations = 150;
+  /// Target drawing area width/height (positions normalized into it).
+  double width = 100.0;
+  double height = 100.0;
+  /// Seed of the initial random placement.
+  std::uint64_t seed = 1;
+};
+
+/// Fruchterman-Reingold force-directed layout of `g` (typically a small
+/// induced community subgraph). Deterministic for a fixed seed.
+Layout ForceDirectedLayout(const Graph& g, const ForceLayoutOptions& options = {});
+
+/// Vertices evenly spaced on a circle inscribed in width x height.
+Layout CircleLayout(std::size_t num_vertices, double width = 100.0,
+                    double height = 100.0);
+
+/// Row-major grid layout.
+Layout GridLayout(std::size_t num_vertices, double width = 100.0,
+                  double height = 100.0);
+
+/// Scales and translates `layout` to fit [0,width] x [0,height] with a
+/// small margin; no-op for empty layouts.
+void FitToBox(Layout* layout, double width, double height);
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_LAYOUT_LAYOUT_H_

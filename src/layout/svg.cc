@@ -1,0 +1,101 @@
+#include "layout/svg.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace cexplorer {
+
+namespace {
+
+/// Escapes the five XML special characters.
+std::string XmlEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void Append(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string RenderCommunitySvg(const Graph& g, const Layout& layout,
+                               const std::vector<std::string>& labels,
+                               const SvgOptions& options) {
+  std::string out;
+  Append(&out,
+         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" "
+         "height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n",
+         options.width, options.height, options.width, options.height);
+  out += "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  if (layout.size() != g.num_vertices()) {
+    out += "</svg>\n";
+    return out;
+  }
+  Layout scaled = layout;
+  FitToBox(&scaled, options.width, options.height);
+
+  // Edges first so vertices draw on top.
+  out += "  <g stroke=\"#9db4c0\" stroke-width=\"1\">\n";
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (v <= u) continue;
+      Append(&out,
+             "    <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\"/>\n",
+             scaled[u].x, scaled[u].y, scaled[v].x, scaled[v].y);
+    }
+  }
+  out += "  </g>\n";
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const bool highlighted = v == options.highlight;
+    Append(&out,
+           "  <circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"%s\" "
+           "stroke=\"#1d3557\"/>\n",
+           scaled[v].x, scaled[v].y,
+           highlighted ? options.vertex_radius * 1.5 : options.vertex_radius,
+           highlighted ? "#e63946" : "#a8dadc");
+    if (options.show_labels) {
+      std::string label =
+          v < labels.size() && !labels[v].empty() ? labels[v]
+                                                  : std::to_string(v);
+      Append(&out,
+             "  <text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" "
+             "font-family=\"sans-serif\" fill=\"#1d3557\">%s</text>\n",
+             scaled[v].x + options.vertex_radius + 2.0, scaled[v].y + 4.0,
+             XmlEscape(label).c_str());
+    }
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace cexplorer

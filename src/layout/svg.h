@@ -1,0 +1,36 @@
+// SVG export of laid-out communities — the "save the community into a
+// file / print it" feature of the demo (Section 4), emitted as a vector
+// format instead of the paper's .jpg.
+
+#ifndef CEXPLORER_LAYOUT_SVG_H_
+#define CEXPLORER_LAYOUT_SVG_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "layout/layout.h"
+
+namespace cexplorer {
+
+/// Rendering options for the SVG exporter.
+struct SvgOptions {
+  double width = 800.0;
+  double height = 600.0;
+  double vertex_radius = 6.0;
+  bool show_labels = true;
+  /// Local index of a vertex to highlight (the query vertex), or
+  /// kInvalidVertex for none.
+  VertexId highlight = kInvalidVertex;
+};
+
+/// Renders a laid-out graph as a standalone SVG document. `labels` may be
+/// empty (ids used) but otherwise must align with the graph's vertices.
+std::string RenderCommunitySvg(const Graph& g, const Layout& layout,
+                               const std::vector<std::string>& labels,
+                               const SvgOptions& options = {});
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_LAYOUT_SVG_H_

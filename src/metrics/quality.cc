@@ -1,0 +1,77 @@
+#include "metrics/quality.h"
+
+#include "common/rng.h"
+
+namespace cexplorer {
+
+double KeywordJaccard(const AttributedGraph& g, VertexId a, VertexId b) {
+  auto ka = g.Keywords(a);
+  auto kb = g.Keywords(b);
+  if (ka.empty() && kb.empty()) return 0.0;
+  std::size_t inter = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ka.size() && j < kb.size()) {
+    if (ka[i] < kb[j]) {
+      ++i;
+    } else if (ka[i] > kb[j]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  std::size_t uni = ka.size() + kb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double Cpj(const AttributedGraph& g, const VertexList& community) {
+  if (community.size() < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < community.size(); ++i) {
+    for (std::size_t j = i + 1; j < community.size(); ++j) {
+      total += KeywordJaccard(g, community[i], community[j]);
+    }
+  }
+  const double pairs =
+      static_cast<double>(community.size()) *
+      static_cast<double>(community.size() - 1) / 2.0;
+  return total / pairs;
+}
+
+double CpjSampled(const AttributedGraph& g, const VertexList& community,
+                  std::size_t max_pairs, std::uint64_t seed) {
+  if (community.size() < 2) return 0.0;
+  const double pairs = static_cast<double>(community.size()) *
+                       static_cast<double>(community.size() - 1) / 2.0;
+  if (pairs <= static_cast<double>(max_pairs)) return Cpj(g, community);
+
+  Rng rng(seed);
+  double total = 0.0;
+  const std::uint32_t n = static_cast<std::uint32_t>(community.size());
+  for (std::size_t s = 0; s < max_pairs; ++s) {
+    VertexId a = community[rng.UniformU32(n)];
+    VertexId b = community[rng.UniformU32(n)];
+    while (b == a) b = community[rng.UniformU32(n)];
+    total += KeywordJaccard(g, a, b);
+  }
+  return total / static_cast<double>(max_pairs);
+}
+
+double Cmf(const AttributedGraph& g, const VertexList& community, VertexId q) {
+  if (community.empty()) return 0.0;
+  auto wq = g.Keywords(q);
+  if (wq.empty()) return 0.0;
+  double total = 0.0;
+  for (VertexId v : community) {
+    std::size_t hits = 0;
+    for (KeywordId kw : wq) {
+      if (g.HasKeyword(v, kw)) ++hits;
+    }
+    total += static_cast<double>(hits) / static_cast<double>(wq.size());
+  }
+  return total / static_cast<double>(community.size());
+}
+
+}  // namespace cexplorer

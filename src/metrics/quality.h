@@ -1,0 +1,35 @@
+// Community quality metrics of the C-Explorer comparison-analysis module:
+// CPJ and CMF (Fang et al., PVLDB 2016), plus keyword-set Jaccard helpers.
+// Higher CPJ / CMF indicate better keyword cohesiveness.
+
+#ifndef CEXPLORER_METRICS_QUALITY_H_
+#define CEXPLORER_METRICS_QUALITY_H_
+
+#include "graph/attributed_graph.h"
+#include "graph/types.h"
+
+namespace cexplorer {
+
+/// Jaccard similarity of the keyword sets of vertices a and b.
+double KeywordJaccard(const AttributedGraph& g, VertexId a, VertexId b);
+
+/// CPJ (community pair-wise Jaccard): the average keyword-set Jaccard
+/// similarity over all unordered member pairs. 0 for communities with
+/// fewer than two members.
+double Cpj(const AttributedGraph& g, const VertexList& community);
+
+/// CPJ estimate for large communities: exact when the pair count is at
+/// most `max_pairs`, otherwise a Monte Carlo mean over `max_pairs` sampled
+/// pairs (deterministic in `seed`). Global's communities can span tens of
+/// thousands of vertices, where the exact O(|C|^2) sum is prohibitive.
+double CpjSampled(const AttributedGraph& g, const VertexList& community,
+                  std::size_t max_pairs = 200000, std::uint64_t seed = 1);
+
+/// CMF (community member frequency): the average, over members v, of the
+/// fraction of the query vertex's keywords W(q) present in W(v).
+/// 0 when q has no keywords or the community is empty.
+double Cmf(const AttributedGraph& g, const VertexList& community, VertexId q);
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_METRICS_QUALITY_H_

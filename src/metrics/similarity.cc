@@ -1,0 +1,115 @@
+#include "metrics/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace cexplorer {
+
+namespace {
+
+std::size_t SortedIntersectionSize(const VertexList& a, const VertexList& b) {
+  std::size_t inter = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  return inter;
+}
+
+}  // namespace
+
+double VertexJaccard(const VertexList& a, const VertexList& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::size_t inter = SortedIntersectionSize(a, b);
+  std::size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double VertexF1(const VertexList& predicted, const VertexList& truth) {
+  if (predicted.empty() || truth.empty()) return 0.0;
+  std::size_t inter = SortedIntersectionSize(predicted, truth);
+  if (inter == 0) return 0.0;
+  double precision =
+      static_cast<double>(inter) / static_cast<double>(predicted.size());
+  double recall =
+      static_cast<double>(inter) / static_cast<double>(truth.size());
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double Nmi(const Clustering& a, const Clustering& b) {
+  const std::size_t n = a.assignment.size();
+  if (n == 0 || n != b.assignment.size()) return 0.0;
+
+  // Confusion counts.
+  std::vector<double> pa(a.num_clusters, 0.0), pb(b.num_clusters, 0.0);
+  std::unordered_map<std::uint64_t, double> joint;
+  for (std::size_t v = 0; v < n; ++v) {
+    std::uint32_t ca = a.assignment[v];
+    std::uint32_t cb = b.assignment[v];
+    pa[ca] += 1.0;
+    pb[cb] += 1.0;
+    joint[(static_cast<std::uint64_t>(ca) << 32) | cb] += 1.0;
+  }
+  const double dn = static_cast<double>(n);
+  double mutual = 0.0;
+  for (const auto& [key, count] : joint) {
+    std::uint32_t ca = static_cast<std::uint32_t>(key >> 32);
+    std::uint32_t cb = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+    double pxy = count / dn;
+    double px = pa[ca] / dn;
+    double py = pb[cb] / dn;
+    mutual += pxy * std::log(pxy / (px * py));
+  }
+  double ha = 0.0;
+  for (double c : pa) {
+    if (c > 0) ha -= (c / dn) * std::log(c / dn);
+  }
+  double hb = 0.0;
+  for (double c : pb) {
+    if (c > 0) hb -= (c / dn) * std::log(c / dn);
+  }
+  if (ha == 0.0 && hb == 0.0) return 1.0;  // both single-cluster: identical
+  double denom = std::sqrt(ha * hb);
+  if (denom == 0.0) return 0.0;
+  return mutual / denom;
+}
+
+double AverageF1(const Clustering& predicted, const Clustering& truth) {
+  auto one_direction = [](const Clustering& from, const Clustering& to) {
+    // For each cluster of `from`, the best F1 against clusters of `to`,
+    // weighted by cluster size.
+    std::vector<VertexList> from_members(from.num_clusters);
+    std::vector<VertexList> to_members(to.num_clusters);
+    for (std::size_t v = 0; v < from.assignment.size(); ++v) {
+      from_members[from.assignment[v]].push_back(static_cast<VertexId>(v));
+      to_members[to.assignment[v]].push_back(static_cast<VertexId>(v));
+    }
+    double total = 0.0;
+    std::size_t weight = 0;
+    for (const auto& cluster : from_members) {
+      if (cluster.empty()) continue;
+      double best = 0.0;
+      for (const auto& other : to_members) {
+        best = std::max(best, VertexF1(cluster, other));
+      }
+      total += best * static_cast<double>(cluster.size());
+      weight += cluster.size();
+    }
+    return weight == 0 ? 0.0 : total / static_cast<double>(weight);
+  };
+  return 0.5 * (one_direction(predicted, truth) +
+                one_direction(truth, predicted));
+}
+
+}  // namespace cexplorer

@@ -1,0 +1,31 @@
+// Set- and clustering-level similarity measures used by the comparison
+// module: member-set overlap between communities found by different
+// algorithms, and ground-truth agreement for community detection.
+
+#ifndef CEXPLORER_METRICS_SIMILARITY_H_
+#define CEXPLORER_METRICS_SIMILARITY_H_
+
+#include "algos/clusterers.h"
+#include "graph/types.h"
+
+namespace cexplorer {
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| of two sorted vertex lists.
+double VertexJaccard(const VertexList& a, const VertexList& b);
+
+/// F1 score of a predicted member set against a ground-truth set
+/// (harmonic mean of precision and recall); both lists sorted.
+double VertexF1(const VertexList& predicted, const VertexList& truth);
+
+/// Normalized mutual information between two clusterings of the same
+/// vertex set, in [0, 1]; 1 means identical partitions.
+double Nmi(const Clustering& a, const Clustering& b);
+
+/// Average best-match F1: for each truth cluster, the best F1 over
+/// predicted clusters, averaged (weighted by truth cluster size); then
+/// symmetrized by swapping roles and averaging the two directions.
+double AverageF1(const Clustering& predicted, const Clustering& truth);
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_METRICS_SIMILARITY_H_

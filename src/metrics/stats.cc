@@ -1,0 +1,37 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+
+namespace cexplorer {
+
+CommunityStats ComputeStats(const Graph& g, const VertexList& community) {
+  CommunityStats stats;
+  if (community.empty()) return stats;
+
+  Subgraph sub = InducedSubgraph(g, community);
+  stats.num_vertices = sub.num_vertices();
+  stats.num_edges = sub.graph.num_edges();
+  stats.average_degree = sub.graph.AverageDegree();
+
+  std::size_t min_deg = sub.graph.Degree(0);
+  std::size_t max_deg = 0;
+  for (VertexId v = 0; v < sub.num_vertices(); ++v) {
+    min_deg = std::min(min_deg, sub.graph.Degree(v));
+    max_deg = std::max(max_deg, sub.graph.Degree(v));
+  }
+  stats.min_degree = min_deg;
+  stats.max_degree = max_deg;
+
+  if (stats.num_vertices >= 2) {
+    const double pairs = static_cast<double>(stats.num_vertices) *
+                         static_cast<double>(stats.num_vertices - 1) / 2.0;
+    stats.density = static_cast<double>(stats.num_edges) / pairs;
+  }
+  stats.diameter = DoubleSweepDiameter(sub.graph, 0);
+  return stats;
+}
+
+}  // namespace cexplorer

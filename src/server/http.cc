@@ -1,0 +1,117 @@
+#include "server/http.h"
+
+#include <cctype>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace cexplorer {
+
+const std::string& HttpRequest::Param(const std::string& key) const {
+  static const std::string kEmpty;
+  auto it = params.find(key);
+  return it == params.end() ? kEmpty : it->second;
+}
+
+std::int64_t HttpRequest::IntParam(const std::string& key,
+                                   std::int64_t fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  std::int64_t value = 0;
+  if (!ParseInt64(it->second, &value)) return fallback;
+  return value;
+}
+
+HttpResponse HttpResponse::Ok(std::string json) {
+  HttpResponse r;
+  r.code = 200;
+  r.body = std::move(json);
+  return r;
+}
+
+HttpResponse HttpResponse::Error(int code, std::string_view message) {
+  HttpResponse r;
+  r.code = code;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("error");
+  w.String(message);
+  w.EndObject();
+  r.body = w.TakeString();
+  return r;
+}
+
+std::string UrlDecode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%' && i + 2 < text.size() &&
+               std::isxdigit(static_cast<unsigned char>(text[i + 1])) &&
+               std::isxdigit(static_cast<unsigned char>(text[i + 2]))) {
+      auto hex = [](char h) {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        return h - 'A' + 10;
+      };
+      out += static_cast<char>(hex(text[i + 1]) * 16 + hex(text[i + 2]));
+      i += 2;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string UrlEncode(std::string_view text) {
+  std::string out;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' ||
+        c == '.' || c == '~') {
+      out += c;
+    } else if (c == ' ') {
+      out += '+';
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+Result<HttpRequest> ParseRequest(std::string_view line) {
+  auto fields = SplitWhitespace(Trim(line));
+  if (fields.size() != 2) {
+    return Status::ParseError("expected 'METHOD /path[?query]'");
+  }
+  HttpRequest req;
+  req.method = fields[0];
+  if (req.method != "GET") {
+    return Status::ParseError("only GET is supported");
+  }
+  std::string_view target = fields[1];
+  if (target.empty() || target[0] != '/') {
+    return Status::ParseError("path must start with '/'");
+  }
+  auto question = target.find('?');
+  req.path = std::string(target.substr(0, question));
+  if (question != std::string_view::npos) {
+    for (const auto& pair : Split(target.substr(question + 1), '&')) {
+      if (pair.empty()) continue;
+      auto eq = pair.find('=');
+      if (eq == std::string::npos) {
+        req.params[UrlDecode(pair)] = "";
+      } else {
+        req.params[UrlDecode(std::string_view(pair).substr(0, eq))] =
+            UrlDecode(std::string_view(pair).substr(eq + 1));
+      }
+    }
+  }
+  return req;
+}
+
+}  // namespace cexplorer

@@ -1,0 +1,51 @@
+// Minimal HTTP-like request/response types for the in-process server that
+// stands in for the paper's JSP/Tomcat deployment. Requests are single
+// lines ("GET /search?name=jim+gray&k=4"); responses carry a status code
+// and a JSON body. No sockets: the browser loop of the demo is simulated
+// by calling Handle() directly (see examples/server_session.cc).
+
+#ifndef CEXPLORER_SERVER_HTTP_H_
+#define CEXPLORER_SERVER_HTTP_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace cexplorer {
+
+/// A parsed request: path plus decoded query parameters.
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string path;    // "/search"
+  std::map<std::string, std::string> params;
+
+  /// Parameter value or empty string.
+  const std::string& Param(const std::string& key) const;
+
+  /// Parameter as integer with fallback.
+  std::int64_t IntParam(const std::string& key, std::int64_t fallback) const;
+};
+
+/// A response: status code (HTTP semantics) and a JSON body.
+struct HttpResponse {
+  int code = 200;
+  std::string body;
+
+  static HttpResponse Ok(std::string json);
+  static HttpResponse Error(int code, std::string_view message);
+};
+
+/// Parses "METHOD /path?k=v&k2=v2" with %XX and '+' decoding.
+Result<HttpRequest> ParseRequest(std::string_view line);
+
+/// Decodes %XX escapes and '+' spaces.
+std::string UrlDecode(std::string_view text);
+
+/// Encodes a string for use in a query value.
+std::string UrlEncode(std::string_view text);
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_SERVER_HTTP_H_

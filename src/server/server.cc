@@ -1,0 +1,543 @@
+#include "server/server.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace cexplorer {
+
+namespace {
+
+/// Serializes one community (members with names, shared keywords). Very
+/// large communities get their member list truncated, flagged by the
+/// "members_truncated" field.
+void WriteCommunity(JsonWriter* w, const Explorer& explorer,
+                    const Community& community,
+                    std::size_t max_members = 2000) {
+  w->BeginObject();
+  w->Key("method");
+  w->String(community.method);
+  w->Key("size");
+  w->UInt(community.vertices.size());
+  const std::size_t shown = std::min(community.vertices.size(), max_members);
+  w->Key("members");
+  w->BeginArray();
+  for (std::size_t i = 0; i < shown; ++i) {
+    VertexId v = community.vertices[i];
+    w->BeginObject();
+    w->Key("id");
+    w->UInt(v);
+    w->Key("name");
+    w->String(explorer.graph().Name(v));
+    w->EndObject();
+  }
+  w->EndArray();
+  if (shown < community.vertices.size()) {
+    w->Key("members_truncated");
+    w->Bool(true);
+  }
+  w->Key("theme");
+  w->BeginArray();
+  for (KeywordId kw : community.shared_keywords) {
+    w->String(explorer.graph().vocabulary().Word(kw));
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+
+HttpResponse CExplorerServer::Handle(std::string_view request_line) {
+  auto request = ParseRequest(request_line);
+  if (!request.ok()) {
+    return HttpResponse::Error(400, request.status().message());
+  }
+  return Dispatch(request.value());
+}
+
+HttpResponse CExplorerServer::Dispatch(const HttpRequest& request) {
+  if (request.path == "/") return HandleIndex(request);
+  if (request.path == "/upload") return HandleUpload(request);
+  if (request.path == "/search") return HandleSearch(request);
+  if (request.path == "/community") return HandleCommunity(request);
+  if (request.path == "/profile") return HandleProfile(request);
+  if (request.path == "/explore") return HandleExplore(request);
+  if (request.path == "/compare") return HandleCompare(request);
+  if (request.path == "/history") return HandleHistory(request);
+  if (request.path == "/detect") return HandleDetect(request);
+  if (request.path == "/cluster") return HandleCluster(request);
+  if (request.path == "/author") return HandleAuthor(request);
+  if (request.path == "/export") return HandleExport(request);
+  if (request.path == "/save_index") return HandleSaveIndex(request);
+  if (request.path == "/load_index") return HandleLoadIndex(request);
+  return HttpResponse::Error(404, "no route for " + request.path);
+}
+
+HttpResponse CExplorerServer::HandleIndex(const HttpRequest&) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("system");
+  w.String("C-Explorer");
+  w.Key("graph_loaded");
+  w.Bool(explorer_.has_graph());
+  if (explorer_.has_graph()) {
+    w.Key("vertices");
+    w.UInt(explorer_.graph().num_vertices());
+    w.Key("edges");
+    w.UInt(explorer_.graph().graph().num_edges());
+  }
+  w.Key("cs_algorithms");
+  w.BeginArray();
+  for (const auto& name : explorer_.CsAlgorithmNames()) w.String(name);
+  w.EndArray();
+  w.Key("cd_algorithms");
+  w.BeginArray();
+  for (const auto& name : explorer_.CdAlgorithmNames()) w.String(name);
+  w.EndArray();
+  w.EndObject();
+  return HttpResponse::Ok(w.TakeString());
+}
+
+HttpResponse CExplorerServer::HandleUpload(const HttpRequest& request) {
+  const std::string& path = request.Param("path");
+  if (path.empty()) return HttpResponse::Error(400, "missing ?path=");
+  Status st = explorer_.Upload(path);
+  if (!st.ok()) return HttpResponse::Error(400, st.ToString());
+  current_communities_.clear();
+  history_.clear();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("uploaded");
+  w.String(path);
+  w.Key("vertices");
+  w.UInt(explorer_.graph().num_vertices());
+  w.Key("edges");
+  w.UInt(explorer_.graph().graph().num_edges());
+  w.EndObject();
+  return HttpResponse::Ok(w.TakeString());
+}
+
+HttpResponse CExplorerServer::RunSearch(const std::string& algo,
+                                        const Query& query) {
+  auto communities = explorer_.Search(algo, query);
+  if (!communities.ok()) {
+    int code = communities.status().code() == StatusCode::kNotFound ? 404 : 400;
+    return HttpResponse::Error(code, communities.status().ToString());
+  }
+  current_communities_ = std::move(communities.value());
+  last_query_ = query;
+
+  std::string who = query.name;
+  if (who.empty() && !query.vertices.empty()) {
+    who = explorer_.graph().Name(query.vertices.front());
+  }
+  history_.push_back(algo + ":" + who + ":k=" + std::to_string(query.k));
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("algorithm");
+  w.String(algo);
+  w.Key("num_communities");
+  w.UInt(current_communities_.size());
+  w.Key("communities");
+  w.BeginArray();
+  for (const auto& community : current_communities_) {
+    WriteCommunity(&w, explorer_, community);
+  }
+  w.EndArray();
+  w.EndObject();
+  return HttpResponse::Ok(w.TakeString());
+}
+
+HttpResponse CExplorerServer::HandleSearch(const HttpRequest& request) {
+  if (!explorer_.has_graph()) {
+    return HttpResponse::Error(409, "no graph uploaded");
+  }
+  Query query;
+  query.name = request.Param("name");
+  query.k = static_cast<std::uint32_t>(request.IntParam("k", 4));
+  const std::string& kws = request.Param("keywords");
+  if (!kws.empty()) {
+    for (auto& word : Split(kws, ',')) {
+      if (!word.empty()) query.keywords.push_back(std::move(word));
+    }
+  }
+  const std::string& vertex = request.Param("vertex");
+  if (!vertex.empty()) {
+    std::int64_t v = request.IntParam("vertex", -1);
+    if (v < 0) return HttpResponse::Error(400, "bad ?vertex=");
+    query.vertices.push_back(static_cast<VertexId>(v));
+  }
+  std::string algo = request.Param("algo");
+  if (algo.empty()) algo = "ACQ";
+  if (query.name.empty() && query.vertices.empty()) {
+    return HttpResponse::Error(400, "missing ?name= or ?vertex=");
+  }
+  return RunSearch(algo, query);
+}
+
+HttpResponse CExplorerServer::HandleCommunity(const HttpRequest& request) {
+  std::int64_t id = request.IntParam("id", 0);
+  if (id < 0 || static_cast<std::size_t>(id) >= current_communities_.size()) {
+    return HttpResponse::Error(404, "no cached community with that id");
+  }
+  const Community& community = current_communities_[static_cast<std::size_t>(id)];
+  auto display = explorer_.Display(community);
+  if (!display.ok()) return HttpResponse::Error(500, display.status().ToString());
+  auto analysis = explorer_.Analyze(community);
+  if (!analysis.ok()) {
+    return HttpResponse::Error(500, analysis.status().ToString());
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("community");
+  WriteCommunity(&w, explorer_, community);
+  w.Key("stats");
+  w.BeginObject();
+  w.Key("vertices");
+  w.UInt(analysis->stats.num_vertices);
+  w.Key("edges");
+  w.UInt(analysis->stats.num_edges);
+  w.Key("avg_degree");
+  w.Double(analysis->stats.average_degree);
+  w.Key("cpj");
+  w.Double(analysis->cpj);
+  w.EndObject();
+  w.Key("layout");
+  w.BeginArray();
+  for (std::size_t i = 0; i < display->layout.size(); ++i) {
+    w.BeginObject();
+    w.Key("id");
+    w.UInt(community.vertices[i]);
+    w.Key("x");
+    w.Double(display->layout[i].x);
+    w.Key("y");
+    w.Double(display->layout[i].y);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("ascii");
+  w.String(display->ascii);
+  w.EndObject();
+  return HttpResponse::Ok(w.TakeString());
+}
+
+HttpResponse CExplorerServer::HandleProfile(const HttpRequest& request) {
+  if (!explorer_.has_graph()) {
+    return HttpResponse::Error(409, "no graph uploaded");
+  }
+  VertexId v = kInvalidVertex;
+  if (!request.Param("name").empty()) {
+    v = explorer_.graph().FindByName(request.Param("name"));
+  } else {
+    std::int64_t id = request.IntParam("vertex", -1);
+    if (id >= 0) v = static_cast<VertexId>(id);
+  }
+  if (v == kInvalidVertex || v >= explorer_.graph().num_vertices()) {
+    return HttpResponse::Error(404, "author not found");
+  }
+  auto profile = explorer_.Profile(v);
+  if (!profile.ok()) return HttpResponse::Error(500, profile.status().ToString());
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.UInt(v);
+  w.Key("name");
+  w.String(profile->name);
+  w.Key("institute");
+  w.String(profile->institute);
+  w.Key("areas");
+  w.BeginArray();
+  for (const auto& area : profile->areas) w.String(area);
+  w.EndArray();
+  w.Key("interests");
+  w.BeginArray();
+  for (const auto& interest : profile->interests) w.String(interest);
+  w.EndArray();
+  w.Key("keywords");
+  w.BeginArray();
+  for (const auto& kw : explorer_.graph().KeywordStrings(v)) w.String(kw);
+  w.EndArray();
+  w.EndObject();
+  return HttpResponse::Ok(w.TakeString());
+}
+
+HttpResponse CExplorerServer::HandleExplore(const HttpRequest& request) {
+  if (!explorer_.has_graph()) {
+    return HttpResponse::Error(409, "no graph uploaded");
+  }
+  std::int64_t id = request.IntParam("vertex", -1);
+  if (id < 0 ||
+      static_cast<std::size_t>(id) >= explorer_.graph().num_vertices()) {
+    return HttpResponse::Error(404, "vertex not found");
+  }
+  Query query;
+  query.vertices.push_back(static_cast<VertexId>(id));
+  query.k = static_cast<std::uint32_t>(
+      request.IntParam("k", static_cast<std::int64_t>(last_query_.k)));
+  std::string algo = request.Param("algo");
+  if (algo.empty()) algo = "ACQ";
+  return RunSearch(algo, query);
+}
+
+HttpResponse CExplorerServer::HandleCompare(const HttpRequest& request) {
+  if (!explorer_.has_graph()) {
+    return HttpResponse::Error(409, "no graph uploaded");
+  }
+  Query query;
+  query.name = request.Param("name");
+  query.k = static_cast<std::uint32_t>(request.IntParam("k", 4));
+  const std::string& kws = request.Param("keywords");
+  if (!kws.empty()) {
+    for (auto& word : Split(kws, ',')) {
+      if (!word.empty()) query.keywords.push_back(std::move(word));
+    }
+  }
+  if (query.name.empty()) return HttpResponse::Error(400, "missing ?name=");
+
+  std::vector<std::string> algos;
+  const std::string& list = request.Param("algos");
+  if (list.empty()) {
+    algos = {"Global", "Local", "CODICIL", "ACQ"};
+  } else {
+    for (auto& name : Split(list, ',')) {
+      if (!name.empty()) algos.push_back(std::move(name));
+    }
+  }
+  auto report = explorer_.Compare(query, algos);
+  if (!report.ok()) {
+    int code = report.status().code() == StatusCode::kNotFound ? 404 : 400;
+    return HttpResponse::Error(code, report.status().ToString());
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("query");
+  w.String(query.name);
+  w.Key("k");
+  w.UInt(query.k);
+  w.Key("rows");
+  w.BeginArray();
+  for (const auto& row : report->rows) {
+    w.BeginObject();
+    w.Key("method");
+    w.String(row.method);
+    w.Key("communities");
+    w.UInt(row.num_communities);
+    w.Key("vertices");
+    w.Double(row.avg_vertices);
+    w.Key("edges");
+    w.Double(row.avg_edges);
+    w.Key("degree");
+    w.Double(row.avg_degree);
+    w.Key("cpj");
+    w.Double(row.cpj);
+    w.Key("cmf");
+    w.Double(row.cmf);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("table");
+  w.String(report->ToTable());
+  w.EndObject();
+  return HttpResponse::Ok(w.TakeString());
+}
+
+HttpResponse CExplorerServer::HandleDetect(const HttpRequest& request) {
+  if (!explorer_.has_graph()) {
+    return HttpResponse::Error(409, "no graph uploaded");
+  }
+  std::string algo = request.Param("algo");
+  if (algo.empty()) algo = "CODICIL";
+  auto clustering = explorer_.Detect(algo);
+  if (!clustering.ok()) {
+    int code = clustering.status().code() == StatusCode::kNotFound ? 404 : 400;
+    return HttpResponse::Error(code, clustering.status().ToString());
+  }
+  last_detection_ = std::move(clustering.value());
+  last_detection_algo_ = algo;
+  history_.push_back("detect:" + algo);
+
+  // Cluster-size histogram: how many clusters of each magnitude.
+  auto sizes = last_detection_.Sizes();
+  std::size_t singletons = 0;
+  std::size_t small = 0;   // 2..9
+  std::size_t medium = 0;  // 10..99
+  std::size_t large = 0;   // 100+
+  std::size_t largest = 0;
+  for (std::size_t s : sizes) {
+    largest = std::max(largest, s);
+    if (s <= 1) {
+      ++singletons;
+    } else if (s < 10) {
+      ++small;
+    } else if (s < 100) {
+      ++medium;
+    } else {
+      ++large;
+    }
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("algorithm");
+  w.String(algo);
+  w.Key("num_clusters");
+  w.UInt(last_detection_.num_clusters);
+  w.Key("modularity");
+  w.Double(Modularity(explorer_.graph().graph(), last_detection_));
+  w.Key("largest_cluster");
+  w.UInt(largest);
+  w.Key("size_histogram");
+  w.BeginObject();
+  w.Key("singleton");
+  w.UInt(singletons);
+  w.Key("small_2_9");
+  w.UInt(small);
+  w.Key("medium_10_99");
+  w.UInt(medium);
+  w.Key("large_100_plus");
+  w.UInt(large);
+  w.EndObject();
+  w.EndObject();
+  return HttpResponse::Ok(w.TakeString());
+}
+
+HttpResponse CExplorerServer::HandleCluster(const HttpRequest& request) {
+  if (last_detection_.assignment.empty()) {
+    return HttpResponse::Error(404, "no detection result cached; GET /detect first");
+  }
+  std::int64_t id = request.IntParam("id", 0);
+  if (id < 0 || static_cast<std::uint32_t>(id) >= last_detection_.num_clusters) {
+    return HttpResponse::Error(404, "cluster id out of range");
+  }
+  Community community;
+  community.method = last_detection_algo_;
+  community.vertices =
+      last_detection_.Members(static_cast<std::uint32_t>(id));
+  auto analysis = explorer_.Analyze(community);
+  if (!analysis.ok()) {
+    return HttpResponse::Error(500, analysis.status().ToString());
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("cluster");
+  w.Int(id);
+  w.Key("community");
+  WriteCommunity(&w, explorer_, community, /*max_members=*/500);
+  w.Key("stats");
+  w.BeginObject();
+  w.Key("vertices");
+  w.UInt(analysis->stats.num_vertices);
+  w.Key("edges");
+  w.UInt(analysis->stats.num_edges);
+  w.Key("avg_degree");
+  w.Double(analysis->stats.average_degree);
+  w.Key("cpj");
+  w.Double(analysis->cpj);
+  w.EndObject();
+  w.EndObject();
+  return HttpResponse::Ok(w.TakeString());
+}
+
+HttpResponse CExplorerServer::HandleAuthor(const HttpRequest& request) {
+  // Populates the query form of Figure 1: after the user types a name, the
+  // UI shows "a list of degree constraints, and a set of keywords of this
+  // author".
+  if (!explorer_.has_graph()) {
+    return HttpResponse::Error(409, "no graph uploaded");
+  }
+  const std::string& name = request.Param("name");
+  if (name.empty()) return HttpResponse::Error(400, "missing ?name=");
+  VertexId v = explorer_.graph().FindByName(name);
+  if (v == kInvalidVertex) {
+    return HttpResponse::Error(404, "author not found");
+  }
+  const std::uint32_t core = explorer_.core_numbers()[v];
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.UInt(v);
+  w.Key("name");
+  w.String(explorer_.graph().Name(v));
+  w.Key("degree");
+  w.UInt(explorer_.graph().graph().Degree(v));
+  // Feasible "degree >= k" values: any k up to the author's core number.
+  w.Key("degree_constraints");
+  w.BeginArray();
+  for (std::uint32_t k = 1; k <= core; ++k) w.UInt(k);
+  w.EndArray();
+  w.Key("keywords");
+  w.BeginArray();
+  for (const auto& kw : explorer_.graph().KeywordStrings(v)) w.String(kw);
+  w.EndArray();
+  w.EndObject();
+  return HttpResponse::Ok(w.TakeString());
+}
+
+HttpResponse CExplorerServer::HandleExport(const HttpRequest& request) {
+  std::int64_t id = request.IntParam("id", 0);
+  if (id < 0 || static_cast<std::size_t>(id) >= current_communities_.size()) {
+    return HttpResponse::Error(404, "no cached community with that id");
+  }
+  VertexId q = last_query_.vertices.empty()
+                   ? explorer_.graph().FindByName(last_query_.name)
+                   : last_query_.vertices.front();
+  auto svg = explorer_.ExportSvg(
+      current_communities_[static_cast<std::size_t>(id)], q);
+  if (!svg.ok()) return HttpResponse::Error(500, svg.status().ToString());
+  HttpResponse response;
+  response.code = 200;
+  response.body = std::move(svg.value());  // image/svg+xml payload
+  return response;
+}
+
+HttpResponse CExplorerServer::HandleSaveIndex(const HttpRequest& request) {
+  const std::string& path = request.Param("path");
+  if (path.empty()) return HttpResponse::Error(400, "missing ?path=");
+  Status st = explorer_.SaveIndex(path);
+  if (!st.ok()) {
+    return HttpResponse::Error(
+        st.code() == StatusCode::kFailedPrecondition ? 409 : 400,
+        st.ToString());
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("saved");
+  w.String(path);
+  w.EndObject();
+  return HttpResponse::Ok(w.TakeString());
+}
+
+HttpResponse CExplorerServer::HandleLoadIndex(const HttpRequest& request) {
+  const std::string& path = request.Param("path");
+  if (path.empty()) return HttpResponse::Error(400, "missing ?path=");
+  Status st = explorer_.LoadIndex(path);
+  if (!st.ok()) {
+    return HttpResponse::Error(
+        st.code() == StatusCode::kFailedPrecondition ? 409 : 400,
+        st.ToString());
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("loaded");
+  w.String(path);
+  w.EndObject();
+  return HttpResponse::Ok(w.TakeString());
+}
+
+HttpResponse CExplorerServer::HandleHistory(const HttpRequest&) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("history");
+  w.BeginArray();
+  for (const auto& entry : history_) w.String(entry);
+  w.EndArray();
+  w.EndObject();
+  return HttpResponse::Ok(w.TakeString());
+}
+
+}  // namespace cexplorer

@@ -1,0 +1,86 @@
+// The C-Explorer server: routes browser requests to the Explorer engine and
+// renders JSON responses — the Server side of the paper's Figure 3
+// framework (Community Search + Comparison Analysis + Indexing), with the
+// session state that supports the click-through exploration loop of
+// Figures 1-2 (search -> view -> profile -> explore member).
+//
+// Endpoints:
+//   GET /                    system summary (graph size, algorithms)
+//   GET /upload?path=P       load an attributed graph file
+//   GET /search?name=N&k=K&keywords=a,b&algo=ACQ
+//                            run a CS algorithm; communities cached in the
+//                            session for /community and /explore
+//   GET /community?id=I      one cached community, with layout + rendering
+//   GET /profile?vertex=V    author profile popup (or ?name=N)
+//   GET /explore?vertex=V&k=K
+//                            continue exploration from a community member
+//   GET /compare?name=N&k=K&algos=Global,Local,CODICIL,ACQ
+//                            Figure 6(a) table + CPJ/CMF series
+//   GET /history             exploration chain of this session
+//   GET /detect?algo=A       run a CD algorithm on the whole graph; cluster
+//                            summary cached in the session
+//   GET /cluster?id=I        one cluster of the cached detection result
+//   GET /author?name=N       query-form population: the degree constraints
+//                            and keyword list shown in the left panel
+//   GET /export?id=I         cached community as an SVG document
+//   GET /save_index?path=P   persist the CL-tree (offline Indexing module)
+//   GET /load_index?path=P   restore a saved CL-tree for the loaded graph
+
+#ifndef CEXPLORER_SERVER_SERVER_H_
+#define CEXPLORER_SERVER_SERVER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "explorer/explorer.h"
+#include "server/http.h"
+
+namespace cexplorer {
+
+/// One browser session bound to an Explorer engine.
+class CExplorerServer {
+ public:
+  /// The server owns its Explorer.
+  CExplorerServer() = default;
+
+  /// Direct engine access (e.g. to UploadGraph an in-memory dataset).
+  Explorer* explorer() { return &explorer_; }
+
+  /// Parses and dispatches one request line.
+  HttpResponse Handle(std::string_view request_line);
+
+  /// Dispatches a parsed request.
+  HttpResponse Dispatch(const HttpRequest& request);
+
+ private:
+  HttpResponse HandleIndex(const HttpRequest& request);
+  HttpResponse HandleUpload(const HttpRequest& request);
+  HttpResponse HandleSearch(const HttpRequest& request);
+  HttpResponse HandleCommunity(const HttpRequest& request);
+  HttpResponse HandleProfile(const HttpRequest& request);
+  HttpResponse HandleExplore(const HttpRequest& request);
+  HttpResponse HandleCompare(const HttpRequest& request);
+  HttpResponse HandleHistory(const HttpRequest& request);
+  HttpResponse HandleDetect(const HttpRequest& request);
+  HttpResponse HandleCluster(const HttpRequest& request);
+  HttpResponse HandleAuthor(const HttpRequest& request);
+  HttpResponse HandleExport(const HttpRequest& request);
+  HttpResponse HandleSaveIndex(const HttpRequest& request);
+  HttpResponse HandleLoadIndex(const HttpRequest& request);
+
+  /// Runs a search and caches the result in the session.
+  HttpResponse RunSearch(const std::string& algo, const Query& query);
+
+  Explorer explorer_;
+  // Session state.
+  std::vector<Community> current_communities_;
+  Query last_query_;
+  std::vector<std::string> history_;
+  Clustering last_detection_;
+  std::string last_detection_algo_;
+};
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_SERVER_SERVER_H_

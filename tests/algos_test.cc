@@ -1,0 +1,509 @@
+// Tests for the competing CR algorithms: Global (vs the literal greedy-peel
+// oracle), Local, Louvain / label propagation, CODICIL, and truss
+// decomposition (vs a naive oracle).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "algos/clusterers.h"
+#include "algos/codicil.h"
+#include "algos/global.h"
+#include "algos/local.h"
+#include "algos/truss.h"
+#include "common/rng.h"
+#include "core/kcore.h"
+#include "data/planted.h"
+#include "graph/fixtures.h"
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+#include "metrics/similarity.h"
+
+namespace cexplorer {
+namespace {
+
+Graph RandomGraph(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    b.AddEdge(rng.UniformU32(static_cast<std::uint32_t>(n)),
+              rng.UniformU32(static_cast<std::uint32_t>(n)));
+  }
+  return b.Build();
+}
+
+// --------------------------------------------------------------------------
+// Global
+// --------------------------------------------------------------------------
+
+/// Literal Sozio-Gionis greedy: repeatedly delete a global minimum-degree
+/// vertex; answer = the component of q with the best minimum degree seen.
+VertexList GreedyPeelOracle(const Graph& g, VertexId q) {
+  VertexList alive(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) alive[v] = v;
+
+  VertexList best;
+  std::uint32_t best_min_degree = 0;
+  while (true) {
+    Subgraph sub = InducedSubgraph(g, alive);
+    VertexId local_q = sub.ToLocal(q);
+    if (local_q == kInvalidVertex) break;
+    // Component of q and its min degree.
+    auto cc = ConnectedComponents(sub.graph);
+    VertexList comp_local = cc.ComponentVertices(cc.label[local_q]);
+    std::uint32_t min_degree = static_cast<std::uint32_t>(-1);
+    Bitset in_comp(sub.num_vertices());
+    for (VertexId v : comp_local) in_comp.Set(v);
+    for (VertexId v : comp_local) {
+      std::uint32_t d = 0;
+      for (VertexId w : sub.graph.Neighbors(v)) {
+        if (in_comp.Test(w)) ++d;
+      }
+      min_degree = std::min(min_degree, d);
+    }
+    if (comp_local.size() > 0 &&
+        (best.empty() || min_degree > best_min_degree)) {
+      best_min_degree = min_degree;
+      best.clear();
+      for (VertexId v : comp_local) best.push_back(sub.to_parent[v]);
+      std::sort(best.begin(), best.end());
+    }
+    // Remove one globally minimum-degree vertex (lowest id tie-break).
+    VertexId victim = kInvalidVertex;
+    std::size_t victim_degree = g.num_vertices() + 1;
+    for (VertexId v = 0; v < sub.num_vertices(); ++v) {
+      if (sub.graph.Degree(v) < victim_degree) {
+        victim_degree = sub.graph.Degree(v);
+        victim = sub.to_parent[v];
+      }
+    }
+    if (victim == kInvalidVertex) break;
+    alive.erase(std::find(alive.begin(), alive.end(), victim));
+  }
+  return best;
+}
+
+TEST(GlobalTest, KarateConnectedKCore) {
+  Graph g = KarateClub();
+  auto core = CoreDecomposition(g);
+  GlobalResult r = GlobalSearch(g, core, kKarateInstructor, 4);
+  ASSERT_FALSE(r.vertices.empty());
+  EXPECT_GE(r.min_degree, 4u);
+  // The karate 4-core is {0,1,2,3,7,13,33,32,8,30}-ish; check invariants.
+  VertexList copy = r.vertices;
+  for (std::size_t d : InducedDegrees(g, &copy)) EXPECT_GE(d, 4u);
+  Subgraph sub = InducedSubgraph(g, r.vertices);
+  EXPECT_EQ(ConnectedComponents(sub.graph).num_components, 1u);
+}
+
+TEST(GlobalTest, EmptyWhenCoreTooSmall) {
+  Graph g = KarateClub();
+  auto core = CoreDecomposition(g);
+  EXPECT_TRUE(GlobalSearch(g, core, 11, 2).vertices.empty());  // deg(11)=1
+  EXPECT_TRUE(GlobalSearch(g, core, 0, 5).vertices.empty());   // max core 4
+}
+
+class MaxMinDegreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxMinDegreeTest, MatchesGreedyPeelOracle) {
+  const int seed = GetParam();
+  Graph g = RandomGraph(30, 70, static_cast<std::uint64_t>(seed) * 53 + 11);
+  Rng rng(seed);
+  for (int trial = 0; trial < 4; ++trial) {
+    VertexId q = rng.UniformU32(static_cast<std::uint32_t>(g.num_vertices()));
+    GlobalResult fast = MaximizeMinDegree(g, q);
+    VertexList oracle = GreedyPeelOracle(g, q);
+    EXPECT_EQ(fast.vertices, oracle) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MaxMinDegreeTest, ::testing::Range(0, 8));
+
+// --------------------------------------------------------------------------
+// Local
+// --------------------------------------------------------------------------
+
+class LocalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LocalTest, AgreesWithGlobalOnExistence) {
+  const int seed = GetParam();
+  Graph g = RandomGraph(60, 150, static_cast<std::uint64_t>(seed) * 97 + 7);
+  auto core = CoreDecomposition(g);
+  Rng rng(seed + 1000);
+  for (int trial = 0; trial < 5; ++trial) {
+    VertexId q = rng.UniformU32(static_cast<std::uint32_t>(g.num_vertices()));
+    std::uint32_t k = 1 + rng.UniformU32(4);
+    LocalResult local = LocalSearch(g, q, k);
+    GlobalResult global = GlobalSearch(g, core, q, k);
+    EXPECT_EQ(local.vertices.empty(), global.vertices.empty())
+        << "q=" << q << " k=" << k;
+    if (!local.vertices.empty()) {
+      // Local community is a subset of Global's (the maximal one).
+      EXPECT_TRUE(std::includes(global.vertices.begin(), global.vertices.end(),
+                                local.vertices.begin(), local.vertices.end()));
+      // Contains q, min degree >= k, connected.
+      EXPECT_TRUE(std::binary_search(local.vertices.begin(),
+                                     local.vertices.end(), q));
+      VertexList copy = local.vertices;
+      for (std::size_t d : InducedDegrees(g, &copy)) EXPECT_GE(d, k);
+      Subgraph sub = InducedSubgraph(g, local.vertices);
+      EXPECT_EQ(ConnectedComponents(sub.graph).num_components, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LocalTest, ::testing::Range(0, 8));
+
+TEST(LocalTest, TypicallySmallerThanGlobal) {
+  // On the karate club with k=2, Local from a peripheral vertex should not
+  // need the whole 2-core.
+  Graph g = KarateClub();
+  auto core = CoreDecomposition(g);
+  LocalResult local = LocalSearch(g, 4, 2);  // vertex 5 region
+  GlobalResult global = GlobalSearch(g, core, 4, 2);
+  ASSERT_FALSE(local.vertices.empty());
+  ASSERT_FALSE(global.vertices.empty());
+  EXPECT_LT(local.vertices.size(), global.vertices.size());
+}
+
+TEST(LocalTest, DegreeTooSmallReturnsEmptyFast) {
+  Graph g = KarateClub();
+  LocalResult r = LocalSearch(g, 11, 5);  // deg(11) = 1
+  EXPECT_TRUE(r.vertices.empty());
+  EXPECT_EQ(r.candidates_explored, 0u);
+}
+
+TEST(LocalTest, CapLimitsExploration) {
+  Graph g = KarateClub();
+  LocalOptions options;
+  options.max_candidates = 5;
+  LocalResult r = LocalSearch(g, 0, 4, options);
+  EXPECT_LE(r.candidates_explored, 6u);
+}
+
+// --------------------------------------------------------------------------
+// Clusterers
+// --------------------------------------------------------------------------
+
+TEST(ClusteringTest, MembersAndSizes) {
+  Clustering c;
+  c.assignment = {0, 1, 0, 2, 1};
+  c.num_clusters = 3;
+  EXPECT_EQ(c.Members(0), (VertexList{0, 2}));
+  EXPECT_EQ(c.Members(2), (VertexList{3}));
+  EXPECT_EQ(c.Sizes(), (std::vector<std::size_t>{2, 2, 1}));
+}
+
+TEST(ClusteringTest, NormalizeMakesDense) {
+  Clustering c;
+  c.assignment = {5, 9, 5, 2};
+  c.Normalize();
+  EXPECT_EQ(c.num_clusters, 3u);
+  EXPECT_EQ(c.assignment, (std::vector<std::uint32_t>{0, 1, 0, 2}));
+}
+
+TEST(ModularityTest, SingleClusterIsZero) {
+  Graph g = KarateClub();
+  Clustering c;
+  c.assignment.assign(g.num_vertices(), 0);
+  c.num_clusters = 1;
+  EXPECT_NEAR(Modularity(g, c), 0.0, 1e-12);
+}
+
+TEST(ModularityTest, KnownKarateSplit) {
+  // Zachary's observed factions: Q ~ 0.3715 for the 2-community split.
+  Graph g = KarateClub();
+  static const int kFaction[34] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0,
+                                   0, 0, 1, 1, 0, 0, 1, 0, 1, 0, 1, 1,
+                                   1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  Clustering c;
+  c.assignment.assign(34, 0);
+  for (int i = 0; i < 34; ++i) c.assignment[i] = kFaction[i];
+  c.num_clusters = 2;
+  EXPECT_NEAR(Modularity(g, c), 0.3715, 0.01);
+}
+
+TEST(LouvainTest, KarateModularityHigh) {
+  Graph g = KarateClub();
+  Clustering c = Louvain(g);
+  EXPECT_GE(c.num_clusters, 2u);
+  EXPECT_LE(c.num_clusters, 8u);
+  EXPECT_GT(Modularity(g, c), 0.35);
+}
+
+TEST(LouvainTest, DeterministicForSeed) {
+  Graph g = KarateClub();
+  LouvainOptions options;
+  options.seed = 33;
+  Clustering a = Louvain(g, options);
+  Clustering b = Louvain(g, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(LouvainTest, DisconnectedComponentsSeparated) {
+  GraphBuilder b;
+  // Two triangles.
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(3, 5);
+  Clustering c = Louvain(b.Build());
+  EXPECT_EQ(c.num_clusters, 2u);
+  EXPECT_EQ(c.assignment[0], c.assignment[1]);
+  EXPECT_EQ(c.assignment[3], c.assignment[4]);
+  EXPECT_NE(c.assignment[0], c.assignment[3]);
+}
+
+TEST(LabelPropagationTest, CliquesGetOwnLabels) {
+  GraphBuilder b;
+  // Two K4s joined by one edge.
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) {
+      b.AddEdge(u, v);
+      b.AddEdge(u + 4, v + 4);
+    }
+  }
+  b.AddEdge(3, 4);
+  Clustering c = LabelPropagation(b.Build());
+  EXPECT_EQ(c.assignment[0], c.assignment[1]);
+  EXPECT_EQ(c.assignment[0], c.assignment[2]);
+  EXPECT_EQ(c.assignment[4], c.assignment[5]);
+}
+
+TEST(LabelPropagationTest, IsolatedVerticesKeepOwnLabel) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  Clustering c = LabelPropagation(b.Build());
+  EXPECT_EQ(c.assignment[0], c.assignment[1]);
+  EXPECT_NE(c.assignment[2], c.assignment[0]);
+}
+
+// --------------------------------------------------------------------------
+// CODICIL
+// --------------------------------------------------------------------------
+
+TEST(CodicilTest, RejectsBadOptions) {
+  PlantedGraph planted = GeneratePlanted({});
+  CodicilOptions bad;
+  bad.content_edges_per_vertex = 0;
+  EXPECT_FALSE(RunCodicil(planted.graph, bad).ok());
+  bad = CodicilOptions{};
+  bad.alpha = 1.5;
+  EXPECT_FALSE(RunCodicil(planted.graph, bad).ok());
+}
+
+TEST(CodicilTest, RecoversPlantedCommunities) {
+  PlantedOptions po;
+  po.num_vertices = 400;
+  po.num_communities = 8;
+  po.internal_degree = 10.0;
+  po.external_degree = 2.0;
+  PlantedGraph planted = GeneratePlanted(po);
+  auto result = RunCodicil(planted.graph);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->content_edges, 0u);
+  EXPECT_GE(result->union_edges, planted.graph.graph().num_edges());
+  EXPECT_LE(result->sampled_edges, result->union_edges);
+
+  Clustering truth;
+  truth.assignment = planted.truth;
+  truth.num_clusters = planted.num_communities;
+  double nmi = Nmi(result->clustering, truth);
+  EXPECT_GT(nmi, 0.6) << "CODICIL should largely recover planted blocks";
+}
+
+TEST(CodicilTest, ContentEdgesHelpWhenStructureWeak) {
+  // Weak structure, strong content: CODICIL (content+links) should beat
+  // structure-only Louvain on the same graph.
+  PlantedOptions po;
+  po.num_vertices = 300;
+  po.num_communities = 6;
+  po.internal_degree = 4.0;
+  po.external_degree = 3.0;
+  po.keywords_per_vertex = 8;
+  po.shared_keywords = 2;
+  PlantedGraph planted = GeneratePlanted(po);
+
+  Clustering truth;
+  truth.assignment = planted.truth;
+  truth.num_clusters = planted.num_communities;
+
+  auto codicil = RunCodicil(planted.graph);
+  ASSERT_TRUE(codicil.ok());
+  Clustering structure_only = Louvain(planted.graph.graph());
+
+  double nmi_codicil = Nmi(codicil->clustering, truth);
+  double nmi_structure = Nmi(structure_only, truth);
+  EXPECT_GT(nmi_codicil, nmi_structure - 0.05)
+      << "content should not hurt; codicil=" << nmi_codicil
+      << " structure=" << nmi_structure;
+}
+
+TEST(CodicilTest, CommunityOfReturnsOwnCluster) {
+  PlantedGraph planted = GeneratePlanted({});
+  auto result = RunCodicil(planted.graph);
+  ASSERT_TRUE(result.ok());
+  VertexList community = result->CommunityOf(0);
+  EXPECT_TRUE(std::binary_search(community.begin(), community.end(), 0u));
+}
+
+TEST(CodicilTest, LabelPropagationBackendRuns) {
+  PlantedGraph planted = GeneratePlanted({});
+  CodicilOptions options;
+  options.clusterer = CodicilClusterer::kLabelPropagation;
+  auto result = RunCodicil(planted.graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->clustering.num_clusters, 1u);
+}
+
+// --------------------------------------------------------------------------
+// Truss
+// --------------------------------------------------------------------------
+
+/// Naive trussness oracle: for k = 3, 4, ... iteratively delete edges with
+/// fewer than k-2 triangles; edges removed at level k have trussness k-1...
+/// recorded directly as "max k such that edge survives the k-truss".
+std::vector<std::uint32_t> NaiveTrussness(const Graph& g) {
+  auto edges = g.Edges();
+  std::vector<std::uint32_t> trussness(edges.size(), 2);
+  std::set<std::pair<VertexId, VertexId>> alive(edges.begin(), edges.end());
+
+  auto triangles_of = [&alive](const std::pair<VertexId, VertexId>& e) {
+    // Count common neighbours of the endpoints within the alive edge set.
+    std::size_t count = 0;
+    std::set<VertexId> nu, nv;
+    for (const auto& [a, b] : alive) {
+      if (a == e.first) nu.insert(b);
+      if (b == e.first) nu.insert(a);
+      if (a == e.second) nv.insert(b);
+      if (b == e.second) nv.insert(a);
+    }
+    for (VertexId w : nu) {
+      if (nv.count(w)) ++count;
+    }
+    return count;
+  };
+
+  for (std::uint32_t k = 3; !alive.empty(); ++k) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (auto it = alive.begin(); it != alive.end();) {
+        if (triangles_of(*it) < k - 2) {
+          auto idx = static_cast<std::size_t>(
+              std::lower_bound(edges.begin(), edges.end(), *it) -
+              edges.begin());
+          trussness[idx] = k - 1;
+          it = alive.erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  return trussness;
+}
+
+TEST(TrussTest, TriangleHasTrussnessThree) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  TrussDecomposition td = TrussDecompose(b.Build());
+  for (std::uint32_t t : td.trussness) EXPECT_EQ(t, 3u);
+  EXPECT_EQ(td.max_trussness, 3u);
+}
+
+TEST(TrussTest, K4HasTrussnessFour) {
+  GraphBuilder b;
+  for (VertexId u = 0; u < 4; ++u) {
+    for (VertexId v = u + 1; v < 4; ++v) b.AddEdge(u, v);
+  }
+  TrussDecomposition td = TrussDecompose(b.Build());
+  for (std::uint32_t t : td.trussness) EXPECT_EQ(t, 4u);
+}
+
+TEST(TrussTest, TriangleFreeGraphIsTwoTruss) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  TrussDecomposition td = TrussDecompose(b.Build());
+  for (std::uint32_t t : td.trussness) EXPECT_EQ(t, 2u);
+}
+
+class TrussRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrussRandomTest, MatchesNaiveOracle) {
+  const int seed = GetParam();
+  Graph g = RandomGraph(18, 50, static_cast<std::uint64_t>(seed) * 211 + 13);
+  TrussDecomposition fast = TrussDecompose(g);
+  EXPECT_EQ(fast.trussness, NaiveTrussness(g)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TrussRandomTest, ::testing::Range(0, 8));
+
+TEST(TrussCommunityTest, EdgeIndexLookup) {
+  Graph g = KarateClub();
+  TrussDecomposition td = TrussDecompose(g);
+  EXPECT_NE(td.EdgeIndex(0, 1), std::numeric_limits<std::size_t>::max());
+  EXPECT_EQ(td.EdgeIndex(0, 1), td.EdgeIndex(1, 0));
+  EXPECT_EQ(td.EdgeIndex(11, 15), std::numeric_limits<std::size_t>::max());
+}
+
+TEST(TrussCommunityTest, CommunityEdgesSatisfySupport) {
+  Graph g = KarateClub();
+  TrussDecomposition td = TrussDecompose(g);
+  const std::uint32_t k = 4;
+  auto communities = KTrussCommunities(g, td, kKarateInstructor, k);
+  ASSERT_FALSE(communities.empty());
+  for (const auto& community : communities) {
+    // Every edge inside the community participates in >= k-2 triangles
+    // within the community.
+    Subgraph sub = InducedSubgraph(g, community.vertices);
+    TrussDecomposition sub_td = TrussDecompose(sub.graph);
+    std::uint32_t min_truss = sub_td.max_trussness;
+    // Only count edges that belong to the community's k-truss edge set.
+    for (std::size_t e = 0; e < sub_td.edges.size(); ++e) {
+      auto [lu, lv] = sub_td.edges[e];
+      std::size_t parent_e =
+          td.EdgeIndex(sub.to_parent[lu], sub.to_parent[lv]);
+      if (td.trussness[parent_e] >= k) {
+        min_truss = std::min(min_truss, sub_td.trussness[e]);
+      }
+    }
+    EXPECT_GE(min_truss, k);
+  }
+}
+
+TEST(TrussCommunityTest, NoCommunityWhenTrussTooHigh) {
+  Graph g = KarateClub();
+  TrussDecomposition td = TrussDecompose(g);
+  auto communities =
+      KTrussCommunities(g, td, kKarateInstructor, td.max_trussness + 1);
+  EXPECT_TRUE(communities.empty());
+}
+
+TEST(TrussCommunityTest, DisjointTrianglesSeparateCommunities) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);  // bridge
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  b.AddEdge(3, 5);
+  Graph g = b.Build();
+  TrussDecomposition td = TrussDecompose(g);
+  auto communities = KTrussCommunities(g, td, 2, 3);
+  // Vertex 2 touches only the first triangle's 3-truss component.
+  ASSERT_EQ(communities.size(), 1u);
+  EXPECT_EQ(communities[0].vertices, (VertexList{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace cexplorer

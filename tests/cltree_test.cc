@@ -1,0 +1,279 @@
+// Tests for the CL-tree index: structure invariants, equivalence of the
+// basic and advanced builders, query correctness against direct
+// computation, and serialization.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cltree/cltree.h"
+#include "common/rng.h"
+#include "core/kcore.h"
+#include "graph/fixtures.h"
+#include "graph/traversal.h"
+
+namespace cexplorer {
+namespace {
+
+/// Random attributed graph for property tests: G(n, m) edges plus keywords
+/// drawn from a small vocabulary.
+AttributedGraph RandomAttributed(std::size_t n, std::size_t m,
+                                 std::size_t vocab, std::uint64_t seed) {
+  Rng rng(seed);
+  AttributedGraphBuilder b;
+  for (std::size_t v = 0; v < n; ++v) {
+    std::vector<KeywordId> kws;
+    std::size_t count = 1 + rng.UniformU32(4);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string word = "kw";
+      word += std::to_string(rng.UniformU32(static_cast<std::uint32_t>(vocab)));
+      kws.push_back(b.mutable_vocabulary()->Intern(word));
+    }
+    std::string name = "v";
+    name += std::to_string(v);
+    b.AddVertexWithIds(std::move(name), std::move(kws));
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    (void)b.AddEdge(rng.UniformU32(static_cast<std::uint32_t>(n)),
+                    rng.UniformU32(static_cast<std::uint32_t>(n)));
+  }
+  return b.Build();
+}
+
+/// Structural equality of two finalized trees (ids are canonical, so this
+/// is plain array comparison).
+void ExpectTreesEqual(const ClTree& a, const ClTree& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (ClNodeId i = 0; i < a.num_nodes(); ++i) {
+    EXPECT_EQ(a.node(i).core, b.node(i).core) << "node " << i;
+    EXPECT_EQ(a.node(i).parent, b.node(i).parent) << "node " << i;
+    EXPECT_EQ(a.node(i).children, b.node(i).children) << "node " << i;
+    EXPECT_EQ(a.node(i).vertices, b.node(i).vertices) << "node " << i;
+    EXPECT_EQ(a.node(i).subtree_end, b.node(i).subtree_end) << "node " << i;
+  }
+}
+
+TEST(ClTreeTest, EmptyGraphEmptyTree) {
+  AttributedGraph g;
+  ClTree tree = ClTree::Build(g);
+  EXPECT_EQ(tree.num_nodes(), 0u);
+  EXPECT_EQ(tree.root(), kInvalidClNode);
+}
+
+TEST(ClTreeTest, Figure5StructureMatchesPaper) {
+  // Expected tree (paper Figure 5b): root(0):{J} -> 1:{F,G} -> 2:{E} ->
+  // 3:{A,B,C,D}, plus root -> 1:{H,I}.
+  AttributedGraph g = Figure5Graph();
+  ClTree tree = ClTree::Build(g);
+  ASSERT_EQ(tree.num_nodes(), 5u);
+
+  const ClTreeNode& root = tree.node(0);
+  EXPECT_EQ(root.core, 0u);
+  EXPECT_EQ(root.vertices, (VertexList{9}));  // J
+  ASSERT_EQ(root.children.size(), 2u);
+
+  // Children ordered by minimum subtree vertex: {A..G} side first.
+  const ClTreeNode& n1 = tree.node(root.children[0]);
+  EXPECT_EQ(n1.core, 1u);
+  EXPECT_EQ(n1.vertices, (VertexList{5, 6}));  // F, G
+  ASSERT_EQ(n1.children.size(), 1u);
+
+  const ClTreeNode& n2 = tree.node(n1.children[0]);
+  EXPECT_EQ(n2.core, 2u);
+  EXPECT_EQ(n2.vertices, (VertexList{4}));  // E
+  ASSERT_EQ(n2.children.size(), 1u);
+
+  const ClTreeNode& n3 = tree.node(n2.children[0]);
+  EXPECT_EQ(n3.core, 3u);
+  EXPECT_EQ(n3.vertices, (VertexList{0, 1, 2, 3}));  // A,B,C,D
+  EXPECT_TRUE(n3.children.empty());
+
+  const ClTreeNode& hi = tree.node(root.children[1]);
+  EXPECT_EQ(hi.core, 1u);
+  EXPECT_EQ(hi.vertices, (VertexList{7, 8}));  // H, I
+  EXPECT_TRUE(hi.children.empty());
+}
+
+TEST(ClTreeTest, Figure5VertexNodeMap) {
+  AttributedGraph g = Figure5Graph();
+  ClTree tree = ClTree::Build(g);
+  auto core = CoreDecomposition(g.graph());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(tree.CoreOf(v), core[v]) << "vertex " << v;
+    const ClTreeNode& node = tree.node(tree.NodeOf(v));
+    EXPECT_TRUE(std::binary_search(node.vertices.begin(), node.vertices.end(), v));
+  }
+}
+
+TEST(ClTreeTest, InvertedListsCoverAnchoredKeywords) {
+  AttributedGraph g = Figure5Graph();
+  ClTree tree = ClTree::Build(g);
+  for (ClNodeId i = 0; i < tree.num_nodes(); ++i) {
+    const ClTreeNode& node = tree.node(i);
+    // Every anchored vertex's keyword appears in the node's postings.
+    for (VertexId v : node.vertices) {
+      for (KeywordId kw : g.Keywords(v)) {
+        auto postings = node.Postings(kw);
+        EXPECT_TRUE(std::binary_search(postings.begin(), postings.end(), v));
+      }
+    }
+    // Postings only contain anchored vertices.
+    for (std::size_t k = 0; k < node.inv_keywords.size(); ++k) {
+      for (VertexId v : node.inv_postings[k]) {
+        EXPECT_TRUE(
+            std::binary_search(node.vertices.begin(), node.vertices.end(), v));
+        EXPECT_TRUE(g.HasKeyword(v, node.inv_keywords[k]));
+      }
+    }
+  }
+}
+
+class ClTreeRandomTest : public ::testing::TestWithParam<int> {
+ protected:
+  AttributedGraph graph_ = RandomAttributed(
+      40 + GetParam() * 13, 80 + GetParam() * 29, 8,
+      static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+};
+
+TEST_P(ClTreeRandomTest, BasicAndAdvancedBuildersAgree) {
+  ClTree basic = ClTree::Build(graph_, ClTreeBuildMethod::kBasic);
+  ClTree advanced = ClTree::Build(graph_, ClTreeBuildMethod::kAdvanced);
+  ExpectTreesEqual(basic, advanced);
+}
+
+TEST_P(ClTreeRandomTest, EveryVertexAnchoredExactlyOnceAtItsCore) {
+  ClTree tree = ClTree::Build(graph_);
+  auto core = CoreDecomposition(graph_.graph());
+  std::vector<int> anchored(graph_.num_vertices(), 0);
+  for (ClNodeId i = 0; i < tree.num_nodes(); ++i) {
+    for (VertexId v : tree.node(i).vertices) {
+      ++anchored[v];
+      EXPECT_EQ(tree.node(i).core, core[v]) << "vertex " << v;
+    }
+  }
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    EXPECT_EQ(anchored[v], 1) << "vertex " << v;
+  }
+}
+
+TEST_P(ClTreeRandomTest, ChildCoresStrictlyIncrease) {
+  ClTree tree = ClTree::Build(graph_);
+  for (ClNodeId i = 0; i < tree.num_nodes(); ++i) {
+    for (ClNodeId child : tree.node(i).children) {
+      EXPECT_GT(tree.node(child).core, tree.node(i).core);
+      EXPECT_EQ(tree.node(child).parent, i);
+    }
+  }
+}
+
+TEST_P(ClTreeRandomTest, SubtreeRangesArePreorderConsistent) {
+  ClTree tree = ClTree::Build(graph_);
+  for (ClNodeId i = 0; i < tree.num_nodes(); ++i) {
+    const ClTreeNode& node = tree.node(i);
+    EXPECT_GT(node.subtree_end, i);
+    EXPECT_LE(node.subtree_end, tree.num_nodes());
+    for (ClNodeId child : node.children) {
+      EXPECT_GT(child, i);
+      EXPECT_LT(child, node.subtree_end);
+      EXPECT_LE(tree.node(child).subtree_end, node.subtree_end);
+    }
+    EXPECT_EQ(tree.SubtreeVertices(i).size(), tree.SubtreeSize(i));
+  }
+}
+
+TEST_P(ClTreeRandomTest, LocateKCoreMatchesDirectComputation) {
+  ClTree tree = ClTree::Build(graph_);
+  auto core = CoreDecomposition(graph_.graph());
+  const std::uint32_t kmax = MaxCoreNumber(core);
+  for (VertexId q = 0; q < graph_.num_vertices(); ++q) {
+    for (std::uint32_t k = 1; k <= kmax + 1; ++k) {
+      ClNodeId node = tree.LocateKCore(q, k);
+      VertexList expected = ConnectedKCore(graph_.graph(), core, q, k);
+      if (expected.empty()) {
+        EXPECT_EQ(node, kInvalidClNode) << "q=" << q << " k=" << k;
+      } else {
+        ASSERT_NE(node, kInvalidClNode) << "q=" << q << " k=" << k;
+        EXPECT_EQ(tree.SubtreeVertices(node), expected)
+            << "q=" << q << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST_P(ClTreeRandomTest, CollectWithKeywordsMatchesScan) {
+  ClTree tree = ClTree::Build(graph_);
+  Rng rng(GetParam() * 31 + 5);
+  for (int trial = 0; trial < 10; ++trial) {
+    ClNodeId node = static_cast<ClNodeId>(
+        rng.UniformU32(static_cast<std::uint32_t>(tree.num_nodes())));
+    KeywordList kws;
+    std::size_t count = 1 + rng.UniformU32(3);
+    for (std::size_t i = 0; i < count; ++i) {
+      kws.push_back(rng.UniformU32(
+          static_cast<std::uint32_t>(graph_.vocabulary().size())));
+    }
+    std::sort(kws.begin(), kws.end());
+    kws.erase(std::unique(kws.begin(), kws.end()), kws.end());
+
+    VertexList expected;
+    for (VertexId v : tree.SubtreeVertices(node)) {
+      if (graph_.HasAllKeywords(v, kws)) expected.push_back(v);
+    }
+    EXPECT_EQ(tree.CollectWithKeywords(node, kws), expected);
+  }
+}
+
+TEST_P(ClTreeRandomTest, CountKeywordMatchesScan) {
+  ClTree tree = ClTree::Build(graph_);
+  for (KeywordId kw = 0; kw < graph_.vocabulary().size(); ++kw) {
+    std::size_t expected = 0;
+    for (VertexId v : tree.SubtreeVertices(tree.root())) {
+      if (graph_.HasKeyword(v, kw)) ++expected;
+    }
+    EXPECT_EQ(tree.CountKeyword(tree.root(), kw), expected);
+  }
+}
+
+TEST_P(ClTreeRandomTest, SerializationRoundTrip) {
+  ClTree tree = ClTree::Build(graph_);
+  auto restored = ClTree::Deserialize(graph_, tree.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ExpectTreesEqual(tree, restored.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ClTreeRandomTest, ::testing::Range(0, 10));
+
+TEST(ClTreeSerializeTest, RejectsCorruptDocuments) {
+  AttributedGraph g = Figure5Graph();
+  ClTree tree = ClTree::Build(g);
+  EXPECT_FALSE(ClTree::Deserialize(g, "").ok());
+  EXPECT_FALSE(ClTree::Deserialize(g, "bogus 1 2\n").ok());
+  EXPECT_FALSE(ClTree::Deserialize(g, "cltree 1 10\nn 0 5\n").ok());  // parent
+  // Vertex anchored twice.
+  EXPECT_FALSE(
+      ClTree::Deserialize(g, "cltree 2 10\nn 0 - 0 1 2 3 4 5 6 7 8 9\nn 1 0 0\n")
+          .ok());
+  // Wrong graph (vertex count mismatch).
+  AttributedGraphBuilder b;
+  b.AddVertex("solo", {});
+  AttributedGraph tiny = b.Build();
+  EXPECT_FALSE(ClTree::Deserialize(tiny, tree.Serialize()).ok());
+}
+
+TEST(ClTreeSerializeTest, MissingVertexRejected) {
+  AttributedGraph g = Figure5Graph();
+  // A document anchoring only one vertex.
+  EXPECT_FALSE(ClTree::Deserialize(g, "cltree 1 10\nn 0 - 0\n").ok());
+}
+
+TEST(ClTreeMemoryTest, MemoryGrowsWithGraph) {
+  AttributedGraph small = RandomAttributed(50, 100, 8, 1);
+  AttributedGraph large = RandomAttributed(500, 1000, 8, 1);
+  ClTree ts = ClTree::Build(small);
+  ClTree tl = ClTree::Build(large);
+  EXPECT_GT(tl.MemoryBytes(), ts.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace cexplorer

@@ -1,0 +1,313 @@
+// Tests for the synthetic data generators: the DBLP co-authorship network
+// (the paper's dataset substitute) and planted-partition graphs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "data/dblp.h"
+#include "data/names.h"
+#include "data/planted.h"
+#include "graph/traversal.h"
+
+namespace cexplorer {
+namespace {
+
+DblpOptions SmallDblp(std::uint64_t seed = 42) {
+  DblpOptions o;
+  o.num_authors = 3000;
+  o.num_areas = 12;
+  o.vocabulary_size = 600;
+  o.seed = seed;
+  return o;
+}
+
+// --------------------------------------------------------------------------
+// NameGenerator / profiles
+// --------------------------------------------------------------------------
+
+TEST(NameGeneratorTest, NamesUniqueAndNonEmpty) {
+  Rng rng(1);
+  NameGenerator gen;
+  std::set<std::string> seen;
+  for (int i = 0; i < 5000; ++i) {
+    std::string name = gen.Next(&rng);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate: " << name;
+  }
+}
+
+TEST(NameGeneratorTest, FirstNamesLookLikeNames) {
+  Rng rng(2);
+  NameGenerator gen;
+  std::string name = gen.Next(&rng);
+  EXPECT_NE(name.find(' '), std::string::npos);
+  for (char c : name) {
+    EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)) || c == ' ' ||
+                c == '.' || std::isdigit(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(ProfileTest, BuiltFromKeywords) {
+  Rng rng(3);
+  AuthorProfile profile =
+      MakeProfile("jim gray", {"transaction", "data", "system"}, &rng);
+  EXPECT_EQ(profile.name, "jim gray");
+  EXPECT_FALSE(profile.institute.empty());
+  EXPECT_FALSE(profile.areas.empty());
+  ASSERT_EQ(profile.interests.size(), 3u);
+  EXPECT_EQ(profile.interests[0], "transaction");
+  std::string text = profile.ToString();
+  EXPECT_NE(text.find("jim gray"), std::string::npos);
+  EXPECT_NE(text.find("Institute:"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// DBLP generator
+// --------------------------------------------------------------------------
+
+TEST(DblpTest, DeterministicForSeed) {
+  DblpDataset a = GenerateDblp(SmallDblp());
+  DblpDataset b = GenerateDblp(SmallDblp());
+  EXPECT_EQ(a.graph.num_vertices(), b.graph.num_vertices());
+  EXPECT_EQ(a.graph.graph().num_edges(), b.graph.graph().num_edges());
+  EXPECT_EQ(a.graph.graph().Edges(), b.graph.graph().Edges());
+  for (VertexId v = 0; v < a.graph.num_vertices(); v += 97) {
+    EXPECT_EQ(a.graph.Name(v), b.graph.Name(v));
+    auto ka = a.graph.Keywords(v);
+    auto kb = b.graph.Keywords(v);
+    EXPECT_TRUE(std::equal(ka.begin(), ka.end(), kb.begin(), kb.end()));
+  }
+}
+
+TEST(DblpTest, DifferentSeedsDiffer) {
+  DblpDataset a = GenerateDblp(SmallDblp(1));
+  DblpDataset b = GenerateDblp(SmallDblp(2));
+  EXPECT_NE(a.graph.graph().Edges(), b.graph.graph().Edges());
+}
+
+class DblpFixture : public ::testing::Test {
+ protected:
+  static const DblpDataset& Data() {
+    static const DblpDataset* data = new DblpDataset(GenerateDblp(SmallDblp()));
+    return *data;
+  }
+};
+
+TEST_F(DblpFixture, RequestedSize) {
+  EXPECT_EQ(Data().graph.num_vertices(), 3000u);
+  EXPECT_GT(Data().num_papers, 0u);
+}
+
+TEST_F(DblpFixture, DensityNearPaperTarget) {
+  // The paper's DBLP sample has average degree ~7 (3.43M edges / 977k
+  // vertices). The generator should land in the same regime.
+  double avg_degree = Data().graph.graph().AverageDegree();
+  EXPECT_GT(avg_degree, 3.0);
+  EXPECT_LT(avg_degree, 14.0);
+}
+
+TEST_F(DblpFixture, KeywordSetsBoundedAndNonEmpty) {
+  const auto& g = Data().graph;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto kws = g.Keywords(v);
+    EXPECT_GE(kws.size(), 1u) << "vertex " << v;
+    EXPECT_LE(kws.size(), 20u) << "vertex " << v;
+    EXPECT_TRUE(std::is_sorted(kws.begin(), kws.end()));
+  }
+}
+
+TEST_F(DblpFixture, HeavyTailedDegrees) {
+  const Graph& g = Data().graph.graph();
+  EXPECT_GT(static_cast<double>(g.MaxDegree()), 4.0 * g.AverageDegree());
+}
+
+TEST_F(DblpFixture, ClusteredLikeCoauthorship) {
+  // Papers are cliques, so many triangles: most length-2 paths from a
+  // sampled vertex should close far more often than in a random graph.
+  const Graph& g = Data().graph.graph();
+  Rng rng(5);
+  std::size_t closed = 0;
+  std::size_t open = 0;
+  for (int trial = 0; trial < 4000; ++trial) {
+    VertexId v = rng.UniformU32(static_cast<std::uint32_t>(g.num_vertices()));
+    auto nbrs = g.Neighbors(v);
+    if (nbrs.size() < 2) continue;
+    VertexId a = nbrs[rng.UniformU32(static_cast<std::uint32_t>(nbrs.size()))];
+    VertexId b = nbrs[rng.UniformU32(static_cast<std::uint32_t>(nbrs.size()))];
+    if (a == b) continue;
+    if (g.HasEdge(a, b)) {
+      ++closed;
+    } else {
+      ++open;
+    }
+  }
+  ASSERT_GT(closed + open, 100u);
+  double clustering =
+      static_cast<double>(closed) / static_cast<double>(closed + open);
+  EXPECT_GT(clustering, 0.15) << "co-authorship graphs are highly clustered";
+}
+
+TEST_F(DblpFixture, AreaLocalityInEdges) {
+  // Most edges connect same-area authors (cross_area_fraction is small).
+  const auto& data = Data();
+  std::size_t intra = 0;
+  std::size_t inter = 0;
+  for (const auto& [u, v] : data.graph.graph().Edges()) {
+    if (data.author_area[u] == data.author_area[v]) {
+      ++intra;
+    } else {
+      ++inter;
+    }
+  }
+  EXPECT_GT(intra, inter * 2);
+}
+
+TEST_F(DblpFixture, KeywordLocalityWithinAreas) {
+  // Co-authors (same paper -> same title words) share keywords much more
+  // than random pairs.
+  const auto& g = Data().graph;
+  Rng rng(11);
+  auto share = [&g](VertexId a, VertexId b) {
+    for (KeywordId kw : g.Keywords(a)) {
+      if (g.HasKeyword(b, kw)) return true;
+    }
+    return false;
+  };
+  std::size_t adjacent_share = 0;
+  std::size_t adjacent_total = 0;
+  std::size_t random_share = 0;
+  std::size_t random_total = 0;
+  auto edges = g.graph().Edges();
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto& [u, v] =
+        edges[rng.UniformU32(static_cast<std::uint32_t>(edges.size()))];
+    ++adjacent_total;
+    if (share(u, v)) ++adjacent_share;
+    VertexId a = rng.UniformU32(static_cast<std::uint32_t>(g.num_vertices()));
+    VertexId b = rng.UniformU32(static_cast<std::uint32_t>(g.num_vertices()));
+    ++random_total;
+    if (share(a, b)) ++random_share;
+  }
+  double adjacent_rate = static_cast<double>(adjacent_share) /
+                         static_cast<double>(adjacent_total);
+  double random_rate =
+      static_cast<double>(random_share) / static_cast<double>(random_total);
+  EXPECT_GT(adjacent_rate, random_rate + 0.2);
+}
+
+TEST_F(DblpFixture, NamesResolvable) {
+  const auto& g = Data().graph;
+  for (VertexId v = 0; v < 50; ++v) {
+    EXPECT_EQ(g.FindByName(g.Name(v)), v);
+  }
+}
+
+TEST_F(DblpFixture, SeedWordsAreFrequent) {
+  // Global noise words come from the head of the vocabulary, which holds
+  // the real CS words; "data" should be among the most frequent keywords.
+  const auto& g = Data().graph;
+  KeywordId data_kw = g.vocabulary().Find("data");
+  ASSERT_NE(data_kw, kInvalidKeyword);
+  std::size_t count = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.HasKeyword(v, data_kw)) ++count;
+  }
+  EXPECT_GT(count, g.num_vertices() / 50);
+}
+
+TEST(DblpTest, LargestComponentDominates) {
+  DblpDataset data = GenerateDblp(SmallDblp());
+  auto cc = ConnectedComponents(data.graph.graph());
+  EXPECT_GT(cc.LargestComponentSize(), data.graph.num_vertices() / 2);
+}
+
+// --------------------------------------------------------------------------
+// Planted partition
+// --------------------------------------------------------------------------
+
+TEST(PlantedTest, BalancedCommunities) {
+  PlantedOptions po;
+  po.num_vertices = 600;
+  po.num_communities = 6;
+  PlantedGraph planted = GeneratePlanted(po);
+  EXPECT_EQ(planted.truth.size(), 600u);
+  EXPECT_EQ(planted.num_communities, 6u);
+  std::vector<std::size_t> sizes(6, 0);
+  for (auto c : planted.truth) ++sizes[c];
+  for (std::size_t s : sizes) EXPECT_EQ(s, 100u);
+}
+
+TEST(PlantedTest, IntraEdgesDominate) {
+  PlantedGraph planted = GeneratePlanted({});
+  std::size_t intra = 0;
+  std::size_t inter = 0;
+  for (const auto& [u, v] : planted.graph.graph().Edges()) {
+    if (planted.truth[u] == planted.truth[v]) {
+      ++intra;
+    } else {
+      ++inter;
+    }
+  }
+  EXPECT_GT(intra, inter);
+}
+
+TEST(PlantedTest, ExpectedDegreesApproximate) {
+  PlantedOptions po;
+  po.num_vertices = 2000;
+  po.num_communities = 10;
+  po.internal_degree = 8.0;
+  po.external_degree = 2.0;
+  PlantedGraph planted = GeneratePlanted(po);
+  double avg = planted.graph.graph().AverageDegree();
+  EXPECT_NEAR(avg, 10.0, 1.5);
+}
+
+TEST(PlantedTest, KeywordsFollowCommunities) {
+  PlantedGraph planted = GeneratePlanted({});
+  const auto& g = planted.graph;
+  // Same-community pairs share keywords more often than cross pairs.
+  Rng rng(13);
+  auto share = [&g](VertexId a, VertexId b) {
+    for (KeywordId kw : g.Keywords(a)) {
+      if (g.HasKeyword(b, kw)) return true;
+    }
+    return false;
+  };
+  std::size_t same_hits = 0;
+  std::size_t same_total = 0;
+  std::size_t cross_hits = 0;
+  std::size_t cross_total = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    VertexId a = rng.UniformU32(static_cast<std::uint32_t>(g.num_vertices()));
+    VertexId b = rng.UniformU32(static_cast<std::uint32_t>(g.num_vertices()));
+    if (a == b) continue;
+    if (planted.truth[a] == planted.truth[b]) {
+      ++same_total;
+      if (share(a, b)) ++same_hits;
+    } else {
+      ++cross_total;
+      if (share(a, b)) ++cross_hits;
+    }
+  }
+  ASSERT_GT(same_total, 50u);
+  ASSERT_GT(cross_total, 50u);
+  double same_rate =
+      static_cast<double>(same_hits) / static_cast<double>(same_total);
+  double cross_rate =
+      static_cast<double>(cross_hits) / static_cast<double>(cross_total);
+  EXPECT_GT(same_rate, cross_rate + 0.2);
+}
+
+TEST(PlantedTest, DeterministicForSeed) {
+  PlantedGraph a = GeneratePlanted({});
+  PlantedGraph b = GeneratePlanted({});
+  EXPECT_EQ(a.graph.graph().Edges(), b.graph.graph().Edges());
+  EXPECT_EQ(a.truth, b.truth);
+}
+
+}  // namespace
+}  // namespace cexplorer

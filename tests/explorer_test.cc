@@ -1,0 +1,272 @@
+// Tests for the Explorer facade: the five API functions of the paper's
+// Figure 4, the plug-in registry, comparison analysis, and profiles.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/planted.h"
+#include "explorer/builtin.h"
+#include "explorer/explorer.h"
+#include "graph/fixtures.h"
+#include "graph/io.h"
+
+namespace cexplorer {
+namespace {
+
+class ExplorerFixture : public ::testing::Test {
+ protected:
+  ExplorerFixture() {
+    EXPECT_TRUE(explorer_.UploadGraph(Figure5Graph()).ok());
+  }
+  Explorer explorer_;
+};
+
+// --------------------------------------------------------------------------
+// Upload
+// --------------------------------------------------------------------------
+
+TEST(ExplorerTest, OperationsFailBeforeUpload) {
+  Explorer explorer;
+  EXPECT_FALSE(explorer.has_graph());
+  Query query;
+  query.name = "a";
+  EXPECT_EQ(explorer.Search("ACQ", query).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(explorer.Detect("CODICIL").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(explorer.Analyze(Community{}).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(explorer.Display(Community{}).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(explorer.Profile(0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ExplorerTest, UploadFromFile) {
+  const std::string path = ::testing::TempDir() + "/fig5_explorer.attr";
+  ASSERT_TRUE(SaveAttributed(Figure5Graph(), path).ok());
+  Explorer explorer;
+  ASSERT_TRUE(explorer.Upload(path).ok());
+  EXPECT_TRUE(explorer.has_graph());
+  EXPECT_EQ(explorer.graph().num_vertices(), 10u);
+  EXPECT_FALSE(explorer.Upload("/nonexistent.attr").ok());
+}
+
+TEST_F(ExplorerFixture, UploadRebuildsIndex) {
+  EXPECT_EQ(explorer_.index().num_nodes(), 5u);
+  EXPECT_EQ(explorer_.core_numbers()[0], 3u);
+}
+
+// --------------------------------------------------------------------------
+// Search
+// --------------------------------------------------------------------------
+
+TEST_F(ExplorerFixture, AcqSearchPaperExample) {
+  Query query;
+  query.name = "a";
+  query.k = 2;
+  query.keywords = {"w", "x", "y"};
+  auto communities = explorer_.Search("ACQ", query);
+  ASSERT_TRUE(communities.ok()) << communities.status();
+  ASSERT_EQ(communities->size(), 1u);
+  EXPECT_EQ((*communities)[0].method, "ACQ");
+  EXPECT_EQ((*communities)[0].vertices, (VertexList{0, 2, 3}));
+}
+
+TEST_F(ExplorerFixture, GlobalAndLocalSearch) {
+  Query query;
+  query.name = "a";
+  query.k = 2;
+  auto global = explorer_.Search("Global", query);
+  ASSERT_TRUE(global.ok());
+  ASSERT_EQ(global->size(), 1u);
+  EXPECT_EQ((*global)[0].vertices, (VertexList{0, 1, 2, 3, 4}));
+
+  auto local = explorer_.Search("Local", query);
+  ASSERT_TRUE(local.ok());
+  ASSERT_EQ(local->size(), 1u);
+  EXPECT_TRUE(std::includes(
+      (*global)[0].vertices.begin(), (*global)[0].vertices.end(),
+      (*local)[0].vertices.begin(), (*local)[0].vertices.end()));
+}
+
+TEST_F(ExplorerFixture, UnknownAlgorithmAndAuthor) {
+  Query query;
+  query.name = "a";
+  EXPECT_EQ(explorer_.Search("NoSuchAlgo", query).status().code(),
+            StatusCode::kNotFound);
+  query.name = "nobody";
+  EXPECT_EQ(explorer_.Search("ACQ", query).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ExplorerFixture, SearchByExplicitVertices) {
+  Query query;
+  query.vertices = {0, 3};
+  query.k = 2;
+  query.keywords = {"x", "y"};
+  auto communities = explorer_.Search("ACQ", query);
+  ASSERT_TRUE(communities.ok());
+  ASSERT_EQ(communities->size(), 1u);
+  EXPECT_EQ((*communities)[0].vertices, (VertexList{0, 2, 3}));
+}
+
+// --------------------------------------------------------------------------
+// Detect
+// --------------------------------------------------------------------------
+
+TEST(ExplorerDetectTest, CodicilPartitionsPlantedGraph) {
+  Explorer explorer;
+  PlantedGraph planted = GeneratePlanted({});
+  ASSERT_TRUE(explorer.UploadGraph(std::move(planted.graph)).ok());
+  auto clustering = explorer.Detect("CODICIL");
+  ASSERT_TRUE(clustering.ok());
+  EXPECT_EQ(clustering->assignment.size(), explorer.graph().num_vertices());
+  EXPECT_GT(clustering->num_clusters, 1u);
+}
+
+// --------------------------------------------------------------------------
+// Analyze / Display
+// --------------------------------------------------------------------------
+
+TEST_F(ExplorerFixture, AnalyzeComputesStatsAndQuality) {
+  Community community;
+  community.vertices = {0, 2, 3};  // {A, C, D}
+  auto analysis = explorer_.Analyze(community, 0);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis->stats.num_vertices, 3u);
+  EXPECT_EQ(analysis->stats.num_edges, 3u);
+  EXPECT_DOUBLE_EQ(analysis->stats.average_degree, 2.0);
+  EXPECT_GT(analysis->cpj, 0.5);  // keyword-coherent triangle
+  EXPECT_GT(analysis->cmf, 0.5);
+  // Analyze without a query vertex: CMF omitted.
+  auto no_q = explorer_.Analyze(community);
+  ASSERT_TRUE(no_q.ok());
+  EXPECT_DOUBLE_EQ(no_q->cmf, 0.0);
+}
+
+TEST_F(ExplorerFixture, AnalyzeValidatesVertices) {
+  Community community;
+  community.vertices = {0, 99};
+  EXPECT_EQ(explorer_.Analyze(community).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExplorerFixture, DisplayProducesLayoutAndAscii) {
+  Community community;
+  community.vertices = {0, 1, 2, 3};
+  auto display = explorer_.Display(community);
+  ASSERT_TRUE(display.ok());
+  EXPECT_EQ(display->layout.size(), 4u);
+  EXPECT_NE(display->ascii.find('*'), std::string::npos);
+  EXPECT_NE(display->ascii.find('A'), std::string::npos);
+  // Deterministic.
+  auto again = explorer_.Display(community);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(display->ascii, again->ascii);
+}
+
+// --------------------------------------------------------------------------
+// Registry / plug-ins
+// --------------------------------------------------------------------------
+
+/// Toy plug-in used by the registry tests: returns q's neighbourhood.
+class NeighborhoodAlgorithm : public CsAlgorithm {
+ public:
+  std::string name() const override { return "Neighborhood"; }
+  Result<std::vector<Community>> Search(const ExplorerContext& ctx,
+                                        const Query& query) override {
+    auto vertices = ResolveQueryVertices(ctx, query);
+    if (!vertices.ok()) return vertices.status();
+    VertexId q = vertices->front();
+    Community c;
+    c.method = name();
+    c.vertices.push_back(q);
+    for (VertexId w : ctx.graph->graph().Neighbors(q)) {
+      c.vertices.push_back(w);
+    }
+    std::sort(c.vertices.begin(), c.vertices.end());
+    return std::vector<Community>{std::move(c)};
+  }
+};
+
+TEST_F(ExplorerFixture, PluginRegistrationAndDispatch) {
+  ASSERT_TRUE(explorer_.RegisterCs(std::make_unique<NeighborhoodAlgorithm>()).ok());
+  auto names = explorer_.CsAlgorithmNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "Neighborhood"), names.end());
+
+  Query query;
+  query.name = "a";
+  auto communities = explorer_.Search("Neighborhood", query);
+  ASSERT_TRUE(communities.ok());
+  ASSERT_EQ(communities->size(), 1u);
+  EXPECT_EQ((*communities)[0].vertices, (VertexList{0, 1, 2, 3, 4}));
+}
+
+TEST_F(ExplorerFixture, DuplicateRegistrationRejected) {
+  EXPECT_EQ(explorer_.RegisterCs(std::make_unique<GlobalCsAlgorithm>())
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(explorer_.RegisterCd(std::make_unique<CodicilCdAlgorithm>())
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ExplorerFixture, BuiltinsRegistered) {
+  auto cs = explorer_.CsAlgorithmNames();
+  EXPECT_EQ(cs, (std::vector<std::string>{"ACQ", "CODICIL", "Global", "Local"}));
+  auto cd = explorer_.CdAlgorithmNames();
+  EXPECT_EQ(cd, (std::vector<std::string>{"CODICIL", "GirvanNewman", "LabelProp",
+                                          "Louvain"}));
+}
+
+// --------------------------------------------------------------------------
+// Compare (Figure 6a)
+// --------------------------------------------------------------------------
+
+TEST_F(ExplorerFixture, CompareBuildsRowsForAllMethods) {
+  Query query;
+  query.name = "a";
+  query.k = 2;
+  query.keywords = {"x", "y"};
+  auto report = explorer_.Compare(query, {"Global", "Local", "ACQ"});
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->rows.size(), 3u);
+  EXPECT_EQ(report->rows[0].method, "Global");
+  EXPECT_EQ(report->rows[2].method, "ACQ");
+  // Global's community (5 vertices) is at least as large as ACQ's (3).
+  EXPECT_GE(report->rows[0].avg_vertices, report->rows[2].avg_vertices);
+  // ACQ is more keyword-cohesive.
+  EXPECT_GE(report->rows[2].cpj, report->rows[0].cpj);
+  // Table rendering mentions every method.
+  std::string table = report->ToTable();
+  EXPECT_NE(table.find("Global"), std::string::npos);
+  EXPECT_NE(table.find("ACQ"), std::string::npos);
+  EXPECT_NE(table.find("CPJ"), std::string::npos);
+}
+
+TEST_F(ExplorerFixture, CompareUnknownAlgorithmFails) {
+  Query query;
+  query.name = "a";
+  EXPECT_FALSE(explorer_.Compare(query, {"Global", "Bogus"}).ok());
+}
+
+// --------------------------------------------------------------------------
+// Profiles
+// --------------------------------------------------------------------------
+
+TEST_F(ExplorerFixture, ProfileDeterministicAndCached) {
+  auto p1 = explorer_.Profile(0);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p1->name, "A");
+  EXPECT_FALSE(p1->institute.empty());
+  auto p2 = explorer_.Profile(0);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1->institute, p2->institute);
+  EXPECT_EQ(p1->areas, p2->areas);
+  EXPECT_FALSE(explorer_.Profile(999).ok());
+}
+
+}  // namespace
+}  // namespace cexplorer

@@ -1,0 +1,218 @@
+// Tests for the layout engine and ASCII renderer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/fixtures.h"
+#include "graph/subgraph.h"
+#include "layout/ascii_canvas.h"
+#include "layout/layout.h"
+
+namespace cexplorer {
+namespace {
+
+Graph Path(std::size_t n) {
+  GraphBuilder b;
+  for (VertexId v = 0; v + 1 < n; ++v) b.AddEdge(v, v + 1);
+  return b.Build();
+}
+
+// --------------------------------------------------------------------------
+// ForceDirectedLayout
+// --------------------------------------------------------------------------
+
+TEST(ForceLayoutTest, EmptyAndSingleton) {
+  Graph empty;
+  EXPECT_TRUE(ForceDirectedLayout(empty).empty());
+  GraphBuilder b;
+  b.EnsureVertices(1);
+  Layout single = ForceDirectedLayout(b.Build());
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0].x, 50.0);
+  EXPECT_DOUBLE_EQ(single[0].y, 50.0);
+}
+
+TEST(ForceLayoutTest, DeterministicForSeed) {
+  Graph g = KarateClub();
+  ForceLayoutOptions options;
+  options.seed = 42;
+  Layout a = ForceDirectedLayout(g, options);
+  Layout b = ForceDirectedLayout(g, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+  }
+}
+
+TEST(ForceLayoutTest, AllPositionsFiniteAndInBox) {
+  Graph g = KarateClub();
+  ForceLayoutOptions options;
+  options.width = 200.0;
+  options.height = 80.0;
+  Layout layout = ForceDirectedLayout(g, options);
+  for (const auto& p : layout) {
+    EXPECT_TRUE(std::isfinite(p.x));
+    EXPECT_TRUE(std::isfinite(p.y));
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 200.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 80.0);
+  }
+}
+
+TEST(ForceLayoutTest, AdjacentVerticesCloserThanFarPairs) {
+  // On a long path, layout distance between path-adjacent vertices should
+  // be far below the end-to-end distance.
+  Graph g = Path(12);
+  Layout layout = ForceDirectedLayout(g);
+  auto dist = [&layout](VertexId a, VertexId b) {
+    double dx = layout[a].x - layout[b].x;
+    double dy = layout[a].y - layout[b].y;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  EXPECT_LT(dist(5, 6), dist(0, 11));
+}
+
+TEST(ForceLayoutTest, CoincidentStartsSeparate) {
+  // Two isolated vertices start randomly but repulsion must keep them
+  // distinct.
+  GraphBuilder b;
+  b.EnsureVertices(2);
+  Layout layout = ForceDirectedLayout(b.Build());
+  double dx = layout[0].x - layout[1].x;
+  double dy = layout[0].y - layout[1].y;
+  EXPECT_GT(dx * dx + dy * dy, 1.0);
+}
+
+// --------------------------------------------------------------------------
+// Circle / grid layouts and FitToBox
+// --------------------------------------------------------------------------
+
+TEST(CircleLayoutTest, PointsOnCircle) {
+  Layout layout = CircleLayout(8, 100.0, 100.0);
+  ASSERT_EQ(layout.size(), 8u);
+  for (const auto& p : layout) {
+    double r = std::hypot(p.x - 50.0, p.y - 50.0);
+    EXPECT_NEAR(r, 45.0, 1e-9);
+  }
+}
+
+TEST(CircleLayoutTest, DistinctAngles) {
+  Layout layout = CircleLayout(4, 100.0, 100.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      double d = std::hypot(layout[i].x - layout[j].x,
+                            layout[i].y - layout[j].y);
+      EXPECT_GT(d, 1.0);
+    }
+  }
+}
+
+TEST(GridLayoutTest, CoversRows) {
+  Layout layout = GridLayout(10, 100.0, 60.0);
+  ASSERT_EQ(layout.size(), 10u);
+  for (const auto& p : layout) {
+    EXPECT_GT(p.x, 0.0);
+    EXPECT_LT(p.x, 100.0);
+    EXPECT_GT(p.y, 0.0);
+    EXPECT_LT(p.y, 60.0);
+  }
+  // 10 vertices -> 4 columns x 3 rows: three distinct y values.
+  std::set<double> ys;
+  for (const auto& p : layout) ys.insert(p.y);
+  EXPECT_EQ(ys.size(), 3u);
+}
+
+TEST(FitToBoxTest, NormalizesRange) {
+  Layout layout{{-10.0, 5.0}, {30.0, 5.0}, {10.0, 45.0}};
+  FitToBox(&layout, 100.0, 50.0);
+  for (const auto& p : layout) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 100.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 50.0);
+  }
+  // Margins respected: extremes land at 5% and 95%.
+  EXPECT_NEAR(layout[0].x, 5.0, 1e-9);
+  EXPECT_NEAR(layout[1].x, 95.0, 1e-9);
+}
+
+TEST(FitToBoxTest, EmptyIsNoop) {
+  Layout layout;
+  FitToBox(&layout, 10, 10);  // must not crash
+  EXPECT_TRUE(layout.empty());
+}
+
+// --------------------------------------------------------------------------
+// AsciiCanvas / RenderCommunity
+// --------------------------------------------------------------------------
+
+TEST(AsciiCanvasTest, PutAndClip) {
+  AsciiCanvas canvas(10, 3);
+  canvas.Put(0, 0, 'A');
+  canvas.Put(9, 2, 'B');
+  canvas.Put(10, 0, 'X');  // out of range: ignored
+  canvas.Put(0, 3, 'Y');   // out of range: ignored
+  std::string s = canvas.ToString();
+  auto lines = std::vector<std::string>{};
+  std::string line;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0][0], 'A');
+  EXPECT_EQ(lines[2][9], 'B');
+}
+
+TEST(AsciiCanvasTest, LabelClipsAtRightEdge) {
+  AsciiCanvas canvas(6, 1);
+  canvas.Label(3, 0, "abcdef");
+  EXPECT_EQ(canvas.ToString(), "   abc\n");
+}
+
+TEST(AsciiCanvasTest, LineDrawsDots) {
+  AsciiCanvas canvas(5, 5);
+  canvas.Line(0, 0, 4, 4);
+  std::string s = canvas.ToString();
+  EXPECT_NE(s.find('.'), std::string::npos);
+}
+
+TEST(RenderCommunityTest, ContainsVertexMarkersAndLabels) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  Graph g = b.Build();
+  Layout layout = CircleLayout(3, 70, 20);
+  std::string out =
+      RenderCommunity(g, layout, {"jim gray", "mike", "pat"}, 70, 20);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("jim gray"), std::string::npos);
+  EXPECT_NE(out.find("mike"), std::string::npos);
+}
+
+TEST(RenderCommunityTest, MismatchedLayoutProducesBlankCanvas) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  std::string out = RenderCommunity(g, Layout{}, {}, 10, 2);
+  EXPECT_EQ(out, std::string(10, ' ') + "\n" + std::string(10, ' ') + "\n");
+}
+
+TEST(RenderCommunityTest, FallsBackToIdsWithoutLabels) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  Graph g = b.Build();
+  std::string out = RenderCommunity(g, CircleLayout(2, 30, 6), {}, 30, 6);
+  EXPECT_NE(out.find('0'), std::string::npos);
+  EXPECT_NE(out.find('1'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cexplorer

@@ -1,0 +1,255 @@
+// Tests for the comparison-analysis metrics: CPJ, CMF, community
+// statistics, set similarity, NMI, and average F1.
+
+#include <gtest/gtest.h>
+
+#include "algos/clusterers.h"
+#include "common/rng.h"
+#include "graph/fixtures.h"
+#include "metrics/quality.h"
+#include "metrics/similarity.h"
+#include "metrics/stats.h"
+
+namespace cexplorer {
+namespace {
+
+AttributedGraph SmallAttributed() {
+  AttributedGraphBuilder b;
+  b.AddVertex("p", {"x", "y"});      // 0
+  b.AddVertex("q", {"x", "y"});      // 1
+  b.AddVertex("r", {"x"});           // 2
+  b.AddVertex("s", {"a", "b", "c"});  // 3
+  (void)b.AddEdge(0, 1);
+  (void)b.AddEdge(1, 2);
+  (void)b.AddEdge(2, 3);
+  return b.Build();
+}
+
+// --------------------------------------------------------------------------
+// Keyword Jaccard / CPJ
+// --------------------------------------------------------------------------
+
+TEST(KeywordJaccardTest, HandComputedValues) {
+  AttributedGraph g = SmallAttributed();
+  EXPECT_DOUBLE_EQ(KeywordJaccard(g, 0, 1), 1.0);        // {x,y} vs {x,y}
+  EXPECT_DOUBLE_EQ(KeywordJaccard(g, 0, 2), 0.5);        // {x,y} vs {x}
+  EXPECT_DOUBLE_EQ(KeywordJaccard(g, 0, 3), 0.0);        // disjoint
+}
+
+TEST(KeywordJaccardTest, EmptySetsGiveZero) {
+  AttributedGraphBuilder b;
+  b.AddVertex("a", {});
+  b.AddVertex("b", {});
+  AttributedGraph g = b.Build();
+  EXPECT_DOUBLE_EQ(KeywordJaccard(g, 0, 1), 0.0);
+}
+
+TEST(CpjTest, HandComputedAverage) {
+  AttributedGraph g = SmallAttributed();
+  // Pairs (0,1)=1, (0,2)=.5, (1,2)=.5 -> mean 2/3.
+  EXPECT_NEAR(Cpj(g, {0, 1, 2}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CpjTest, DegenerateCommunities) {
+  AttributedGraph g = SmallAttributed();
+  EXPECT_DOUBLE_EQ(Cpj(g, {}), 0.0);
+  EXPECT_DOUBLE_EQ(Cpj(g, {0}), 0.0);
+}
+
+TEST(CpjTest, BoundedByOne) {
+  AttributedGraph g = Figure5Graph();
+  VertexList all;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) all.push_back(v);
+  double cpj = Cpj(g, all);
+  EXPECT_GE(cpj, 0.0);
+  EXPECT_LE(cpj, 1.0);
+}
+
+TEST(CpjSampledTest, ExactForSmallCommunities) {
+  AttributedGraph g = SmallAttributed();
+  EXPECT_DOUBLE_EQ(CpjSampled(g, {0, 1, 2}), Cpj(g, {0, 1, 2}));
+}
+
+TEST(CpjSampledTest, EstimateNearExactForLarge) {
+  // Build a community large enough to trigger sampling with a known
+  // structure: half the vertices share {x}, half share {y}.
+  AttributedGraphBuilder b;
+  VertexList community;
+  for (int i = 0; i < 300; ++i) {
+    std::string name = "v";
+    name += std::to_string(i);
+    community.push_back(b.AddVertex(name, {i % 2 == 0 ? "x" : "y"}));
+  }
+  AttributedGraph g = b.Build();
+  double exact = Cpj(g, community);
+  double sampled = CpjSampled(g, community, /*max_pairs=*/5000, /*seed=*/7);
+  EXPECT_NEAR(sampled, exact, 0.03);
+}
+
+TEST(CpjSampledTest, DeterministicForSeed) {
+  AttributedGraphBuilder b;
+  VertexList community;
+  for (int i = 0; i < 200; ++i) {
+    std::string name = "v";
+    name += std::to_string(i);
+    std::string keyword = "k";
+    keyword += std::to_string(i % 7);
+    community.push_back(b.AddVertex(name, {keyword}));
+  }
+  AttributedGraph g = b.Build();
+  EXPECT_DOUBLE_EQ(CpjSampled(g, community, 1000, 3),
+                   CpjSampled(g, community, 1000, 3));
+}
+
+// --------------------------------------------------------------------------
+// CMF
+// --------------------------------------------------------------------------
+
+TEST(CmfTest, HandComputedValues) {
+  AttributedGraph g = SmallAttributed();
+  // q=0, W(q)={x,y}. v0: 2/2, v1: 2/2, v2: 1/2 -> mean 5/6.
+  EXPECT_NEAR(Cmf(g, {0, 1, 2}, 0), 5.0 / 6.0, 1e-12);
+  // Against q=3 (disjoint keywords): members share nothing -> 0.
+  EXPECT_DOUBLE_EQ(Cmf(g, {0, 1, 2}, 3), 1.0 / 9.0 * 0.0);
+}
+
+TEST(CmfTest, PerfectWhenAllMembersCarryAllQueryKeywords) {
+  AttributedGraph g = SmallAttributed();
+  EXPECT_DOUBLE_EQ(Cmf(g, {0, 1}, 0), 1.0);
+}
+
+TEST(CmfTest, DegenerateInputs) {
+  AttributedGraph g = SmallAttributed();
+  EXPECT_DOUBLE_EQ(Cmf(g, {}, 0), 0.0);
+  AttributedGraphBuilder b;
+  b.AddVertex("empty", {});
+  AttributedGraph g2 = b.Build();
+  EXPECT_DOUBLE_EQ(Cmf(g2, {0}, 0), 0.0);  // W(q) empty
+}
+
+// --------------------------------------------------------------------------
+// CommunityStats
+// --------------------------------------------------------------------------
+
+TEST(StatsTest, KarateWholeGraph) {
+  Graph g = KarateClub();
+  VertexList all;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) all.push_back(v);
+  CommunityStats stats = ComputeStats(g, all);
+  EXPECT_EQ(stats.num_vertices, 34u);
+  EXPECT_EQ(stats.num_edges, 78u);
+  EXPECT_NEAR(stats.average_degree, 2.0 * 78 / 34, 1e-9);
+  EXPECT_EQ(stats.min_degree, 1u);
+  EXPECT_EQ(stats.max_degree, 17u);
+  EXPECT_GE(stats.diameter, 4u);  // known diameter 5; double sweep >= 4
+  EXPECT_GT(stats.density, 0.0);
+  EXPECT_LT(stats.density, 1.0);
+}
+
+TEST(StatsTest, TriangleCommunity) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  CommunityStats stats = ComputeStats(b.Build(), {0, 1, 2});
+  EXPECT_EQ(stats.num_vertices, 3u);
+  EXPECT_EQ(stats.num_edges, 3u);
+  EXPECT_DOUBLE_EQ(stats.average_degree, 2.0);
+  EXPECT_DOUBLE_EQ(stats.density, 1.0);
+  EXPECT_EQ(stats.diameter, 1u);
+}
+
+TEST(StatsTest, EmptyCommunity) {
+  Graph g = KarateClub();
+  CommunityStats stats = ComputeStats(g, {});
+  EXPECT_EQ(stats.num_vertices, 0u);
+  EXPECT_EQ(stats.num_edges, 0u);
+}
+
+TEST(StatsTest, SubsetCountsOnlyInducedEdges) {
+  Graph g = KarateClub();
+  CommunityStats stats = ComputeStats(g, {0, 33});  // hubs, not adjacent
+  EXPECT_EQ(stats.num_vertices, 2u);
+  EXPECT_EQ(stats.num_edges, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Vertex set similarity
+// --------------------------------------------------------------------------
+
+TEST(VertexJaccardTest, Values) {
+  EXPECT_DOUBLE_EQ(VertexJaccard({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(VertexJaccard({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(VertexJaccard({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(VertexJaccard({}, {}), 0.0);
+}
+
+TEST(VertexF1Test, Values) {
+  // predicted {1,2,3,4} vs truth {3,4,5}: P=0.5, R=2/3, F1=4/7.
+  EXPECT_NEAR(VertexF1({1, 2, 3, 4}, {3, 4, 5}), 4.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(VertexF1({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(VertexF1({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(VertexF1({}, {1}), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// NMI / AverageF1
+// --------------------------------------------------------------------------
+
+Clustering MakeClustering(std::vector<std::uint32_t> assignment) {
+  Clustering c;
+  c.assignment = std::move(assignment);
+  c.Normalize();
+  return c;
+}
+
+TEST(NmiTest, IdenticalPartitionsScoreOne) {
+  Clustering a = MakeClustering({0, 0, 1, 1, 2, 2});
+  EXPECT_NEAR(Nmi(a, a), 1.0, 1e-9);
+}
+
+TEST(NmiTest, RelabelledPartitionsScoreOne) {
+  Clustering a = MakeClustering({0, 0, 1, 1, 2, 2});
+  Clustering b = MakeClustering({2, 2, 0, 0, 1, 1});
+  EXPECT_NEAR(Nmi(a, b), 1.0, 1e-9);
+}
+
+TEST(NmiTest, SymmetricAndBounded) {
+  Rng rng(3);
+  std::vector<std::uint32_t> x(64), y(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    x[i] = rng.UniformU32(4);
+    y[i] = rng.UniformU32(4);
+  }
+  Clustering a = MakeClustering(x);
+  Clustering b = MakeClustering(y);
+  double ab = Nmi(a, b);
+  double ba = Nmi(b, a);
+  EXPECT_NEAR(ab, ba, 1e-12);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0 + 1e-12);
+  // Independent random labels: low agreement.
+  EXPECT_LT(ab, 0.4);
+}
+
+TEST(NmiTest, MismatchedSizesGiveZero) {
+  Clustering a = MakeClustering({0, 1});
+  Clustering b = MakeClustering({0, 1, 1});
+  EXPECT_DOUBLE_EQ(Nmi(a, b), 0.0);
+}
+
+TEST(AverageF1Test, IdenticalPartitionsScoreOne) {
+  Clustering a = MakeClustering({0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(AverageF1(a, a), 1.0);
+}
+
+TEST(AverageF1Test, CoarserPartitionScoresBelowOne) {
+  Clustering truth = MakeClustering({0, 0, 1, 1});
+  Clustering merged = MakeClustering({0, 0, 0, 0});
+  double f1 = AverageF1(merged, truth);
+  EXPECT_GT(f1, 0.0);
+  EXPECT_LT(f1, 1.0);
+}
+
+}  // namespace
+}  // namespace cexplorer

@@ -1,0 +1,202 @@
+// Tests for the browser-server simulation: request parsing, routing, the
+// exploration session loop of Figures 1-2, and the comparison endpoint of
+// Figure 6.
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "graph/fixtures.h"
+#include "graph/io.h"
+#include "server/http.h"
+#include "server/server.h"
+
+namespace cexplorer {
+namespace {
+
+// --------------------------------------------------------------------------
+// URL / request parsing
+// --------------------------------------------------------------------------
+
+TEST(UrlCodecTest, DecodeBasics) {
+  EXPECT_EQ(UrlDecode("jim+gray"), "jim gray");
+  EXPECT_EQ(UrlDecode("a%20b"), "a b");
+  EXPECT_EQ(UrlDecode("%2Fpath"), "/path");
+  EXPECT_EQ(UrlDecode("plain"), "plain");
+  EXPECT_EQ(UrlDecode("bad%2"), "bad%2");  // truncated escape left as-is
+}
+
+TEST(UrlCodecTest, EncodeDecodeRoundTrip) {
+  const std::string original = "jim gray & co/sons #1";
+  EXPECT_EQ(UrlDecode(UrlEncode(original)), original);
+}
+
+TEST(ParseRequestTest, PathAndParams) {
+  auto req = ParseRequest("GET /search?name=jim+gray&k=4&keywords=data,web");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->path, "/search");
+  EXPECT_EQ(req->Param("name"), "jim gray");
+  EXPECT_EQ(req->IntParam("k", 0), 4);
+  EXPECT_EQ(req->Param("keywords"), "data,web");
+  EXPECT_EQ(req->Param("missing"), "");
+  EXPECT_EQ(req->IntParam("missing", 7), 7);
+}
+
+TEST(ParseRequestTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("GET").ok());
+  EXPECT_FALSE(ParseRequest("POST /x").ok());
+  EXPECT_FALSE(ParseRequest("GET nopath").ok());
+  EXPECT_FALSE(ParseRequest("GET /x extra").ok());
+}
+
+TEST(ParseRequestTest, EmptyAndValuelessParams) {
+  auto req = ParseRequest("GET /x?flag&k=");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->Param("flag"), "");
+  EXPECT_EQ(req->Param("k"), "");
+}
+
+// --------------------------------------------------------------------------
+// Server routing
+// --------------------------------------------------------------------------
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  ServerFixture() {
+    EXPECT_TRUE(server_.explorer()->UploadGraph(Figure5Graph()).ok());
+  }
+
+  JsonValue GetJson(const std::string& request, int expected_code = 200) {
+    HttpResponse response = server_.Handle(request);
+    EXPECT_EQ(response.code, expected_code) << request << " -> "
+                                            << response.body;
+    auto parsed = JsonValue::Parse(response.body);
+    EXPECT_TRUE(parsed.ok()) << response.body;
+    return parsed.value_or(JsonValue{});
+  }
+
+  CExplorerServer server_;
+};
+
+TEST_F(ServerFixture, IndexListsAlgorithms) {
+  JsonValue v = GetJson("GET /");
+  EXPECT_EQ(v.Get("system").AsString(), "C-Explorer");
+  EXPECT_TRUE(v.Get("graph_loaded").AsBool());
+  EXPECT_EQ(v.Get("vertices").AsInt(), 10);
+  EXPECT_EQ(v.Get("edges").AsInt(), 11);
+  EXPECT_EQ(v.Get("cs_algorithms").Items().size(), 4u);
+}
+
+TEST_F(ServerFixture, UnknownRouteIs404) {
+  HttpResponse r = server_.Handle("GET /nope");
+  EXPECT_EQ(r.code, 404);
+  auto v = JsonValue::Parse(r.body);
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->Get("error").AsString().empty());
+}
+
+TEST_F(ServerFixture, BadRequestLineIs400) {
+  EXPECT_EQ(server_.Handle("garbage").code, 400);
+}
+
+TEST_F(ServerFixture, SearchFlowReturnsCommunities) {
+  JsonValue v = GetJson("GET /search?name=a&k=2&keywords=w,x,y&algo=ACQ");
+  EXPECT_EQ(v.Get("algorithm").AsString(), "ACQ");
+  EXPECT_EQ(v.Get("num_communities").AsInt(), 1);
+  const auto& communities = v.Get("communities").Items();
+  ASSERT_EQ(communities.size(), 1u);
+  const auto& members = communities[0].Get("members").Items();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].Get("name").AsString(), "A");
+  // Theme = shared keywords {x, y}.
+  EXPECT_EQ(communities[0].Get("theme").Items().size(), 2u);
+}
+
+TEST_F(ServerFixture, SearchErrors) {
+  EXPECT_EQ(server_.Handle("GET /search?k=2").code, 400);          // no name
+  EXPECT_EQ(server_.Handle("GET /search?name=zzz&k=2").code, 404);  // unknown
+  EXPECT_EQ(server_.Handle("GET /search?name=a&algo=Nope").code, 404);
+}
+
+TEST_F(ServerFixture, CommunityViewHasLayoutAndAscii) {
+  GetJson("GET /search?name=a&k=2&keywords=x,y&algo=ACQ");
+  JsonValue v = GetJson("GET /community?id=0");
+  EXPECT_EQ(v.Get("community").Get("size").AsInt(), 3);
+  const auto& layout = v.Get("layout").Items();
+  ASSERT_EQ(layout.size(), 3u);
+  for (const auto& p : layout) {
+    EXPECT_GE(p.Get("x").AsDouble(), 0.0);
+    EXPECT_GE(p.Get("y").AsDouble(), 0.0);
+  }
+  EXPECT_NE(v.Get("ascii").AsString().find('*'), std::string::npos);
+  EXPECT_GT(v.Get("stats").Get("avg_degree").AsDouble(), 1.9);
+}
+
+TEST_F(ServerFixture, CommunityViewWithoutSearchIs404) {
+  EXPECT_EQ(server_.Handle("GET /community?id=0").code, 404);
+}
+
+TEST_F(ServerFixture, ProfilePopup) {
+  JsonValue v = GetJson("GET /profile?name=a");
+  EXPECT_EQ(v.Get("name").AsString(), "A");
+  EXPECT_FALSE(v.Get("institute").AsString().empty());
+  EXPECT_EQ(v.Get("keywords").Items().size(), 3u);  // {w,x,y}
+  // By vertex id too.
+  JsonValue v2 = GetJson("GET /profile?vertex=0");
+  EXPECT_EQ(v2.Get("name").AsString(), "A");
+  EXPECT_EQ(server_.Handle("GET /profile?name=zzz").code, 404);
+  EXPECT_EQ(server_.Handle("GET /profile?vertex=99").code, 404);
+}
+
+TEST_F(ServerFixture, ExplorationLoopFigures1And2) {
+  // Figure 1: search for 'a'.
+  GetJson("GET /search?name=a&k=2&keywords=x,y&algo=ACQ");
+  // Figure 2: open the profile of member C (vertex 2), then explore C.
+  JsonValue profile = GetJson("GET /profile?vertex=2");
+  EXPECT_EQ(profile.Get("name").AsString(), "C");
+  JsonValue explored = GetJson("GET /explore?vertex=2&k=2");
+  EXPECT_GE(explored.Get("num_communities").AsInt(), 1);
+  // History recorded both steps.
+  JsonValue history = GetJson("GET /history");
+  EXPECT_EQ(history.Get("history").Items().size(), 2u);
+}
+
+TEST_F(ServerFixture, ExploreValidatesVertex) {
+  EXPECT_EQ(server_.Handle("GET /explore?vertex=99").code, 404);
+  EXPECT_EQ(server_.Handle("GET /explore").code, 404);
+}
+
+TEST_F(ServerFixture, CompareEndpointFigure6) {
+  JsonValue v =
+      GetJson("GET /compare?name=a&k=2&keywords=x,y&algos=Global,Local,ACQ");
+  const auto& rows = v.Get("rows").Items();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].Get("method").AsString(), "Global");
+  EXPECT_GE(rows[0].Get("vertices").AsDouble(),
+            rows[2].Get("vertices").AsDouble());
+  EXPECT_NE(v.Get("table").AsString().find("CPJ"), std::string::npos);
+}
+
+TEST_F(ServerFixture, CompareRequiresName) {
+  EXPECT_EQ(server_.Handle("GET /compare?k=2").code, 400);
+}
+
+TEST(ServerUploadTest, UploadEndpointLoadsFile) {
+  const std::string path = ::testing::TempDir() + "/fig5_server.attr";
+  ASSERT_TRUE(SaveAttributed(Figure5Graph(), path).ok());
+  CExplorerServer server;
+  HttpResponse before = server.Handle("GET /search?name=a");
+  EXPECT_EQ(before.code, 409);  // no graph yet
+  HttpResponse up = server.Handle("GET /upload?path=" + UrlEncode(path));
+  EXPECT_EQ(up.code, 200);
+  auto v = JsonValue::Parse(up.body);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Get("vertices").AsInt(), 10);
+  EXPECT_EQ(server.Handle("GET /search?name=a&k=2").code, 200);
+  EXPECT_EQ(server.Handle("GET /upload?path=%2Fnope").code, 400);
+  EXPECT_EQ(server.Handle("GET /upload").code, 400);
+}
+
+}  // namespace
+}  // namespace cexplorer
