@@ -109,17 +109,17 @@ void RunCommand(CliState* state, const std::string& line);
 
 void RunDemo(CliState* state) {
   // Pick the best-embedded author and drive the Figure 1-2 flow.
-  const auto& explorer = *state->server.explorer();
-  if (!explorer.has_graph()) {
+  DatasetPtr dataset = state->server.dataset();
+  if (dataset == nullptr) {
     std::printf("  no graph loaded\n");
     return;
   }
   VertexId q = 0;
-  for (VertexId v = 1; v < explorer.graph().num_vertices(); ++v) {
-    if (explorer.core_numbers()[v] > explorer.core_numbers()[q]) q = v;
+  for (VertexId v = 1; v < dataset->graph().num_vertices(); ++v) {
+    if (dataset->core_numbers()[v] > dataset->core_numbers()[q]) q = v;
   }
-  const std::string name = explorer.graph().Name(q);
-  auto kws = explorer.graph().KeywordStrings(q);
+  const std::string name = dataset->graph().Name(q);
+  auto kws = dataset->graph().KeywordStrings(q);
   std::string keyword_list;
   for (std::size_t i = 0; i < kws.size() && i < 4; ++i) {
     if (i) keyword_list += ',';
@@ -240,7 +240,7 @@ int main(int argc, char** argv) {
 
   if (argc > 1) {
     std::printf("loading %s...\n", argv[1]);
-    Status st = state.server.explorer()->Upload(argv[1]);
+    Status st = state.server.Upload(argv[1]);
     if (!st.ok()) {
       std::printf("upload failed: %s\n", st.ToString().c_str());
       return 1;
@@ -251,11 +251,11 @@ int main(int argc, char** argv) {
     options.num_authors = 10000;
     options.seed = 2017;
     DblpDataset data = GenerateDblp(options);
-    (void)state.server.explorer()->UploadGraph(std::move(data.graph));
+    (void)state.server.UploadGraph(std::move(data.graph));
   }
   std::printf("C-Explorer CLI — %zu vertices, %zu edges. Type 'help'.\n",
-              state.server.explorer()->graph().num_vertices(),
-              state.server.explorer()->graph().graph().num_edges());
+              state.server.dataset()->graph().num_vertices(),
+              state.server.dataset()->graph().graph().num_edges());
 
   std::string line;
   while (std::printf("cexplorer> "), std::fflush(stdout),

@@ -7,9 +7,9 @@
 #include <cstdio>
 
 #include "acq/acq.h"
-#include "cltree/cltree.h"
 #include "common/strings.h"
 #include "data/dblp.h"
+#include "explorer/dataset.h"
 
 int main() {
   using namespace cexplorer;
@@ -19,13 +19,21 @@ int main() {
   options.num_areas = 20;
   options.seed = 2017;
   DblpDataset data = GenerateDblp(options);
-  const AttributedGraph& graph = data.graph;
+  // Build the shared, immutable dataset (graph + CL-tree + core numbers);
+  // any number of engines/sessions can borrow it concurrently.
+  auto built = Dataset::Build(std::move(data.graph));
+  if (!built.ok()) {
+    std::printf("dataset build failed: %s\n",
+                built.status().ToString().c_str());
+    return 1;
+  }
+  DatasetPtr dataset = built.value();
+  const AttributedGraph& graph = dataset->graph();
   std::printf("synthetic DBLP: %s authors, %s edges\n\n",
               FormatWithCommas(graph.num_vertices()).c_str(),
               FormatWithCommas(graph.graph().num_edges()).c_str());
 
-  ClTree index = ClTree::Build(graph);
-  AcqEngine engine(&graph, &index);
+  AcqEngine engine(&graph, &dataset->index());
 
   // Pick a pair of frequent co-authors with shared keywords: scan for an
   // edge whose endpoints share >= 3 keywords.

@@ -1,7 +1,10 @@
 // A scripted browser session against the in-process C-Explorer server —
 // the browser-server loop of the paper's Figure 3 without Tomcat. Each
 // request line is printed with its JSON response, walking through the
-// whole demo: upload, search, view, profile, explore, compare, history.
+// whole demo: upload, search, view, profile, explore, compare, history —
+// then a second act: two sessions created via /session/new interleave their
+// own explorations of the same shared dataset (the graph is indexed exactly
+// once, at upload).
 //
 //   $ ./server_session
 
@@ -10,8 +13,25 @@
 #include <vector>
 
 #include "data/dblp.h"
+#include "explorer/dataset.h"
 #include "server/http.h"
 #include "server/server.h"
+
+namespace {
+
+void Show(cexplorer::CExplorerServer* server, const std::string& request) {
+  cexplorer::HttpResponse response = server->Handle(request);
+  std::printf(">>> %s\n<<< [%d] ", request.c_str(), response.code);
+  // Truncate very long bodies for readability.
+  if (response.body.size() > 900) {
+    std::printf("%s... (%zu bytes)\n\n", response.body.substr(0, 900).c_str(),
+                response.body.size());
+  } else {
+    std::printf("%s\n\n", response.body.c_str());
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace cexplorer;
@@ -25,18 +45,18 @@ int main() {
   options.vocabulary_size = 800;
   options.seed = 2017;
   DblpDataset data = GenerateDblp(options);
-  if (Status st = server.explorer()->UploadGraph(std::move(data.graph));
+  if (Status st = server.UploadGraph(std::move(data.graph));
       !st.ok()) {
     std::printf("upload failed: %s\n", st.ToString().c_str());
     return 1;
   }
 
   // Choose the demo author (best embedded).
-  const AttributedGraph& graph = server.explorer()->graph();
+  DatasetPtr dataset = server.dataset();
+  const AttributedGraph& graph = dataset->graph();
   VertexId q = 0;
   for (VertexId v = 1; v < graph.num_vertices(); ++v) {
-    if (server.explorer()->core_numbers()[v] >
-        server.explorer()->core_numbers()[q]) {
+    if (dataset->core_numbers()[v] > dataset->core_numbers()[q]) {
       q = v;
     }
   }
@@ -60,16 +80,41 @@ int main() {
       "GET /no_such_route",
   };
 
-  for (const auto& request : session) {
-    HttpResponse response = server.Handle(request);
-    std::printf(">>> %s\n<<< [%d] ", request.c_str(), response.code);
-    // Truncate very long bodies for readability.
-    if (response.body.size() > 900) {
-      std::printf("%s... (%zu bytes)\n\n",
-                  response.body.substr(0, 900).c_str(), response.body.size());
-    } else {
-      std::printf("%s\n\n", response.body.c_str());
+  for (const auto& request : session) Show(&server, request);
+
+  // --- Act two: concurrent sessions over the shared dataset ---------------
+  // Each /session/new is a cheap view onto the same immutable snapshot;
+  // note the index was built once, at upload, no matter how many sessions
+  // join (index builds so far are visible in Dataset::TotalIndexBuilds()).
+  std::printf("---- multi-session: two browsers share one dataset ----\n\n");
+  const std::uint64_t builds = Dataset::TotalIndexBuilds();
+
+  auto session_id = [&server](const char* route) -> std::string {
+    auto response = server.Handle(route);
+    // Tiny extraction; a 200 body is {"session":"sN"}.
+    auto start = response.body.find("\"session\":\"");
+    if (response.code != 200 || start == std::string::npos) {
+      std::printf("session creation failed: [%d] %s\n", response.code,
+                  response.body.c_str());
+      std::exit(1);
     }
-  }
+    start += 11;
+    return response.body.substr(start, response.body.find('"', start) - start);
+  };
+  const std::string alice = session_id("GET /session/new");
+  const std::string bob = session_id("GET /session/new");
+
+  Show(&server, "GET /search?name=" + name + "&k=4&keywords=" + keywords +
+                    "&algo=ACQ&session=" + alice);
+  Show(&server, "GET /explore?vertex=" + std::to_string(q) +
+                    "&k=3&algo=Global&session=" + bob);
+  Show(&server, "GET /history?session=" + alice);
+  Show(&server, "GET /history?session=" + bob);
+  Show(&server, "GET /sessions");
+
+  std::printf("index builds during the multi-session act: %llu (dataset "
+              "shared, built once at upload)\n",
+              static_cast<unsigned long long>(Dataset::TotalIndexBuilds() -
+                                              builds));
   return 0;
 }

@@ -1,0 +1,105 @@
+#include "explorer/dataset.h"
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/rng.h"
+#include "core/kcore.h"
+#include "graph/io.h"
+
+namespace cexplorer {
+
+namespace {
+
+/// Monotonic snapshot ids, process-wide. Starts at 1 so 0 can serve as a
+/// "no dataset" tag in session caches.
+std::atomic<std::uint64_t> g_next_dataset_id{1};
+
+/// CL-tree constructions performed by this process.
+std::atomic<std::uint64_t> g_index_builds{0};
+
+}  // namespace
+
+Result<DatasetPtr> Dataset::Build(AttributedGraph graph) {
+  auto dataset = std::shared_ptr<Dataset>(new Dataset());
+  dataset->graph_ =
+      std::make_shared<const AttributedGraph>(std::move(graph));
+  dataset->core_numbers_ = std::make_shared<const std::vector<std::uint32_t>>(
+      CoreDecomposition(dataset->graph_->graph()));
+  dataset->index_ = ClTree::Build(*dataset->graph_);
+  g_index_builds.fetch_add(1, std::memory_order_relaxed);
+  dataset->id_ = g_next_dataset_id.fetch_add(1, std::memory_order_relaxed);
+  dataset->graph_epoch_ = dataset->id_;  // a fresh graph is a fresh epoch
+  return DatasetPtr(std::move(dataset));
+}
+
+Result<DatasetPtr> Dataset::FromFile(const std::string& file_path) {
+  auto graph = LoadAttributed(file_path);
+  if (!graph.ok()) return graph.status();
+  return Build(std::move(graph.value()));
+}
+
+DatasetPtr Dataset::WithIndex(ClTree index) const {
+  auto dataset = std::shared_ptr<Dataset>(new Dataset());
+  dataset->graph_ = graph_;
+  dataset->core_numbers_ = core_numbers_;
+  dataset->index_ = std::move(index);
+  dataset->id_ = g_next_dataset_id.fetch_add(1, std::memory_order_relaxed);
+  dataset->graph_epoch_ = graph_epoch_;  // same graph, same epoch
+  return DatasetPtr(std::move(dataset));
+}
+
+Result<DatasetPtr> Dataset::WithIndexFromFile(const std::string& path) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto tree = ClTree::Deserialize(*graph_, buffer.str());
+  if (!tree.ok()) return tree.status();
+  return WithIndex(std::move(tree.value()));
+}
+
+ExplorerContext Dataset::Context() const {
+  ExplorerContext ctx;
+  ctx.graph = graph_.get();
+  ctx.index = &index_;
+  ctx.core_numbers = core_numbers_.get();
+  ctx.graph_epoch = graph_epoch_;
+  return ctx;
+}
+
+Result<AuthorProfile> Dataset::Profile(VertexId v) const {
+  if (v >= graph_->num_vertices()) {
+    return Status::InvalidArgument("vertex out of range");
+  }
+  {
+    std::lock_guard<std::mutex> lock(profiles_mu_);
+    auto it = profiles_.find(v);
+    if (it != profiles_.end()) return it->second;
+  }
+  // Generate outside the lock so cold-cache misses on distinct vertices
+  // don't serialize across sessions. Deterministic per vertex (the rng is
+  // seeded with the id), so a racing loser adopting the winner's entry is
+  // indistinguishable from its own.
+  Rng rng(0x9e3779b97f4a7c15ULL ^ v);
+  AuthorProfile profile =
+      MakeProfile(graph_->Name(v), graph_->KeywordStrings(v), &rng);
+  std::lock_guard<std::mutex> lock(profiles_mu_);
+  return profiles_.emplace(v, std::move(profile)).first->second;
+}
+
+Status Dataset::SaveIndex(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << index_.Serialize();
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
+
+std::uint64_t Dataset::TotalIndexBuilds() {
+  return g_index_builds.load(std::memory_order_relaxed);
+}
+
+}  // namespace cexplorer

@@ -1,0 +1,111 @@
+// The immutable, shareable half of the C-Explorer engine: one uploaded
+// attributed graph together with everything derived from it offline — the
+// CL-tree index, the core decomposition, and the author-profile store.
+//
+// A Dataset is built once per upload (the offline Indexing module of the
+// paper's Figure 3) and then shared read-only by any number of concurrent
+// Explorer sessions via std::shared_ptr<const Dataset>. Swapping in a new
+// upload is a pointer swap: sessions still holding the old snapshot keep it
+// alive, so a query can never observe a half-replaced graph/index pair.
+//
+// Every Dataset carries a process-unique id (serving order) and a graph
+// epoch that changes only when the graph itself changes. Session-level
+// caches (the browser's community list, detection results, plug-in state)
+// are tagged with the graph epoch they were computed against — stale-cache
+// bugs become a simple integer comparison, while index-only snapshots
+// (same epoch, new id) keep those caches valid.
+
+#ifndef CEXPLORER_EXPLORER_DATASET_H_
+#define CEXPLORER_EXPLORER_DATASET_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cltree/cltree.h"
+#include "common/status.h"
+#include "data/names.h"
+#include "explorer/algorithm.h"
+#include "graph/attributed_graph.h"
+
+namespace cexplorer {
+
+class Dataset;
+
+/// How datasets are held everywhere: immutable and shared.
+using DatasetPtr = std::shared_ptr<const Dataset>;
+
+/// An uploaded graph plus its offline-built index artifacts. Immutable
+/// after construction (the lazily-populated profile store is internally
+/// synchronized), so it is safe to share across threads without locking.
+class Dataset {
+ public:
+  /// Builds a dataset from an in-memory graph: core decomposition +
+  /// CL-tree construction (the expensive offline step).
+  static Result<DatasetPtr> Build(AttributedGraph graph);
+
+  /// Loads an attributed graph file (graph/io.h format) and builds.
+  static Result<DatasetPtr> FromFile(const std::string& file_path);
+
+  /// A new dataset snapshot sharing this graph and core numbers but using
+  /// `index` (the /load_index path). The result has a fresh id.
+  DatasetPtr WithIndex(ClTree index) const;
+
+  /// Restores an index previously saved for this exact graph (validated)
+  /// and returns the resulting snapshot.
+  Result<DatasetPtr> WithIndexFromFile(const std::string& path) const;
+
+  // --- Read-only views ----------------------------------------------------
+
+  const AttributedGraph& graph() const { return *graph_; }
+  const ClTree& index() const { return index_; }
+  const std::vector<std::uint32_t>& core_numbers() const {
+    return *core_numbers_;
+  }
+
+  /// Process-unique snapshot id. Monotonic in creation order; session
+  /// caches are tagged with it.
+  std::uint64_t id() const { return id_; }
+
+  /// The algorithm-facing graph epoch: changes only when the *graph*
+  /// changes, so index-only snapshots (WithIndex) keep the epoch and
+  /// per-graph algorithm caches (e.g. CODICIL's clustering) stay valid.
+  std::uint64_t graph_epoch() const { return graph_epoch_; }
+
+  /// The read-only view handed to CR algorithms. Pointers are valid as
+  /// long as this dataset is alive.
+  ExplorerContext Context() const;
+
+  /// The author profile popup of Figure 2; generated deterministically per
+  /// vertex on first access, cached, and shared by all sessions.
+  /// Thread-safe.
+  Result<AuthorProfile> Profile(VertexId v) const;
+
+  /// Writes the CL-tree to a file; reloading via WithIndexFromFile skips
+  /// the index build for the same graph.
+  Status SaveIndex(const std::string& path) const;
+
+  /// Total number of CL-tree builds performed by this process (Build and
+  /// FromFile increment it; WithIndex* do not). Lets tests assert that N
+  /// sessions sharing a dataset triggered exactly one build.
+  static std::uint64_t TotalIndexBuilds();
+
+ private:
+  Dataset() = default;
+
+  std::shared_ptr<const AttributedGraph> graph_;
+  std::shared_ptr<const std::vector<std::uint32_t>> core_numbers_;
+  ClTree index_;
+  std::uint64_t id_ = 0;
+  std::uint64_t graph_epoch_ = 0;
+
+  mutable std::mutex profiles_mu_;
+  mutable std::map<VertexId, AuthorProfile> profiles_;
+};
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_EXPLORER_DATASET_H_

@@ -1,13 +1,9 @@
 #include "explorer/explorer.h"
 
 #include <algorithm>
-#include <fstream>
-#include <sstream>
 
 #include "common/strings.h"
-#include "core/kcore.h"
 #include "explorer/builtin.h"
-#include "graph/io.h"
 #include "graph/subgraph.h"
 #include "layout/ascii_canvas.h"
 #include "layout/svg.h"
@@ -26,34 +22,38 @@ Explorer::Explorer() {
   (void)RegisterCd(std::make_unique<GirvanNewmanCdAlgorithm>());
 }
 
-ExplorerContext Explorer::Context() const {
-  ExplorerContext ctx;
-  ctx.graph = &graph_;
-  ctx.index = &index_;
-  ctx.core_numbers = &core_numbers_;
-  ctx.graph_epoch = graph_epoch_;
-  return ctx;
+const AttributedGraph& Explorer::graph() const {
+  static const AttributedGraph kEmptyGraph;
+  return dataset_ ? dataset_->graph() : kEmptyGraph;
+}
+
+const ClTree& Explorer::index() const {
+  static const ClTree kEmptyIndex;
+  return dataset_ ? dataset_->index() : kEmptyIndex;
+}
+
+const std::vector<std::uint32_t>& Explorer::core_numbers() const {
+  static const std::vector<std::uint32_t> kEmptyCores;
+  return dataset_ ? dataset_->core_numbers() : kEmptyCores;
 }
 
 Status Explorer::Upload(const std::string& file_path) {
-  auto graph = LoadAttributed(file_path);
-  if (!graph.ok()) return graph.status();
-  return UploadGraph(std::move(graph.value()));
+  auto dataset = Dataset::FromFile(file_path);
+  if (!dataset.ok()) return dataset.status();
+  dataset_ = std::move(dataset.value());
+  return Status::Ok();
 }
 
 Status Explorer::UploadGraph(AttributedGraph graph) {
-  graph_ = std::move(graph);
-  core_numbers_ = CoreDecomposition(graph_.graph());
-  index_ = ClTree::Build(graph_);
-  profiles_.clear();
-  has_graph_ = true;
-  ++graph_epoch_;
+  auto dataset = Dataset::Build(std::move(graph));
+  if (!dataset.ok()) return dataset.status();
+  dataset_ = std::move(dataset.value());
   return Status::Ok();
 }
 
 Result<std::vector<Community>> Explorer::Search(const std::string& algorithm,
                                                 const Query& query) {
-  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
+  if (!dataset_) return Status::FailedPrecondition("no graph uploaded");
   auto it = cs_.find(algorithm);
   if (it == cs_.end()) {
     return Status::NotFound("no CS algorithm named '" + algorithm + "'");
@@ -62,7 +62,7 @@ Result<std::vector<Community>> Explorer::Search(const std::string& algorithm,
 }
 
 Result<Clustering> Explorer::Detect(const std::string& algorithm) {
-  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
+  if (!dataset_) return Status::FailedPrecondition("no graph uploaded");
   auto it = cd_.find(algorithm);
   if (it == cd_.end()) {
     return Status::NotFound("no CD algorithm named '" + algorithm + "'");
@@ -72,36 +72,36 @@ Result<Clustering> Explorer::Detect(const std::string& algorithm) {
 
 Result<CommunityAnalysis> Explorer::Analyze(const Community& community,
                                             VertexId q) const {
-  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
+  if (!dataset_) return Status::FailedPrecondition("no graph uploaded");
   for (VertexId v : community.vertices) {
-    if (v >= graph_.num_vertices()) {
+    if (v >= graph().num_vertices()) {
       return Status::InvalidArgument("community vertex out of range");
     }
   }
   CommunityAnalysis analysis;
-  analysis.stats = ComputeStats(graph_.graph(), community.vertices);
+  analysis.stats = ComputeStats(graph().graph(), community.vertices);
   // Exact CPJ for normal communities; Monte Carlo estimate once the pair
   // count explodes (Global can return 10^4+ member components).
-  analysis.cpj = CpjSampled(graph_, community.vertices);
-  if (q != kInvalidVertex && q < graph_.num_vertices()) {
-    analysis.cmf = Cmf(graph_, community.vertices, q);
+  analysis.cpj = CpjSampled(graph(), community.vertices);
+  if (q != kInvalidVertex && q < graph().num_vertices()) {
+    analysis.cmf = Cmf(graph(), community.vertices, q);
   }
   return analysis;
 }
 
 Result<DisplayResult> Explorer::Display(const Community& community,
                                         const DisplayOptions& options) const {
-  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
+  if (!dataset_) return Status::FailedPrecondition("no graph uploaded");
   if (options.zoom <= 0.0) {
     return Status::InvalidArgument("zoom must be positive");
   }
   for (VertexId v : community.vertices) {
-    if (v >= graph_.num_vertices()) {
+    if (v >= graph().num_vertices()) {
       return Status::InvalidArgument("community vertex out of range");
     }
   }
   DisplayResult display;
-  Subgraph sub = InducedSubgraph(graph_.graph(), community.vertices);
+  Subgraph sub = InducedSubgraph(graph().graph(), community.vertices);
   ForceLayoutOptions layout_options;
   layout_options.seed = 7;
   display.layout = ForceDirectedLayout(sub.graph, layout_options);
@@ -109,7 +109,7 @@ Result<DisplayResult> Explorer::Display(const Community& community,
   std::vector<std::string> labels;
   labels.reserve(sub.num_vertices());
   for (VertexId local = 0; local < sub.num_vertices(); ++local) {
-    labels.push_back(graph_.Name(sub.to_parent[local]));
+    labels.push_back(graph().Name(sub.to_parent[local]));
   }
   // The renderer applies the zoom about the viewport centre and clips;
   // the returned coordinates get the same scaling (about the centroid) so
@@ -135,19 +135,19 @@ Result<DisplayResult> Explorer::Display(const Community& community,
 
 Result<std::string> Explorer::ExportSvg(const Community& community,
                                         VertexId query_vertex) const {
-  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
+  if (!dataset_) return Status::FailedPrecondition("no graph uploaded");
   for (VertexId v : community.vertices) {
-    if (v >= graph_.num_vertices()) {
+    if (v >= graph().num_vertices()) {
       return Status::InvalidArgument("community vertex out of range");
     }
   }
-  Subgraph sub = InducedSubgraph(graph_.graph(), community.vertices);
+  Subgraph sub = InducedSubgraph(graph().graph(), community.vertices);
   ForceLayoutOptions layout_options;
   layout_options.seed = 7;
   Layout layout = ForceDirectedLayout(sub.graph, layout_options);
   std::vector<std::string> labels;
   for (VertexId local = 0; local < sub.num_vertices(); ++local) {
-    labels.push_back(graph_.Name(sub.to_parent[local]));
+    labels.push_back(graph().Name(sub.to_parent[local]));
   }
   SvgOptions svg_options;
   if (query_vertex != kInvalidVertex) {
@@ -157,23 +157,15 @@ Result<std::string> Explorer::ExportSvg(const Community& community,
 }
 
 Status Explorer::SaveIndex(const std::string& path) const {
-  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out << index_.Serialize();
-  if (!out) return Status::IoError("short write to " + path);
-  return Status::Ok();
+  if (!dataset_) return Status::FailedPrecondition("no graph uploaded");
+  return dataset_->SaveIndex(path);
 }
 
 Status Explorer::LoadIndex(const std::string& path) {
-  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  auto tree = ClTree::Deserialize(graph_, buffer.str());
-  if (!tree.ok()) return tree.status();
-  index_ = std::move(tree.value());
+  if (!dataset_) return Status::FailedPrecondition("no graph uploaded");
+  auto dataset = dataset_->WithIndexFromFile(path);
+  if (!dataset.ok()) return dataset.status();
+  dataset_ = std::move(dataset.value());
   return Status::Ok();
 }
 
@@ -209,7 +201,7 @@ std::vector<std::string> Explorer::CdAlgorithmNames() const {
 
 Result<ComparisonReport> Explorer::Compare(
     const Query& query, const std::vector<std::string>& algorithms) {
-  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
+  if (!dataset_) return Status::FailedPrecondition("no graph uploaded");
 
   // The CMF reference vertex.
   auto resolved = ResolveQueryVertices(Context(), query);
@@ -284,20 +276,9 @@ std::string ComparisonReport::ToTsv() const {
   return out;
 }
 
-Result<AuthorProfile> Explorer::Profile(VertexId v) {
-  if (!has_graph_) return Status::FailedPrecondition("no graph uploaded");
-  if (v >= graph_.num_vertices()) {
-    return Status::InvalidArgument("vertex out of range");
-  }
-  auto it = profiles_.find(v);
-  if (it == profiles_.end()) {
-    // Deterministic per vertex: seed the profile generator with the id.
-    Rng rng(0x9e3779b97f4a7c15ULL ^ v);
-    AuthorProfile profile =
-        MakeProfile(graph_.Name(v), graph_.KeywordStrings(v), &rng);
-    it = profiles_.emplace(v, std::move(profile)).first;
-  }
-  return it->second;
+Result<AuthorProfile> Explorer::Profile(VertexId v) const {
+  if (!dataset_) return Status::FailedPrecondition("no graph uploaded");
+  return dataset_->Profile(v);
 }
 
 }  // namespace cexplorer

@@ -25,6 +25,7 @@
 #include "data/names.h"
 #include "explorer/algorithm.h"
 #include "explorer/community.h"
+#include "explorer/dataset.h"
 #include "graph/attributed_graph.h"
 #include "layout/layout.h"
 #include "metrics/stats.h"
@@ -80,7 +81,14 @@ struct ComparisonReport {
   std::string ToTsv() const;
 };
 
-/// The C-Explorer engine. Not thread-safe (one session per instance).
+/// One C-Explorer session: a slim, cheap-to-create view over an immutable
+/// shared Dataset. The session owns only mutable per-user state — the
+/// plug-in registry (algorithms may cache per-graph scratch data) — while
+/// the graph, CL-tree, core numbers and profile store live in the Dataset
+/// and are shared by all concurrent sessions with zero copying.
+///
+/// One instance serves one session; run concurrent sessions as separate
+/// Explorer instances attached (AttachDataset) to the same DatasetPtr.
 class Explorer {
  public:
   /// Constructs with the built-in algorithms (ACQ, Global, Local, CODICIL)
@@ -89,12 +97,16 @@ class Explorer {
 
   // --- The five API functions of Figure 4 -------------------------------
 
-  /// Loads an attributed graph file (graph/io.h format) and rebuilds the
-  /// index.
+  /// Loads an attributed graph file (graph/io.h format) and builds a fresh
+  /// private Dataset (standalone, single-session use).
   Status Upload(const std::string& file_path);
 
   /// In-memory upload variant.
   Status UploadGraph(AttributedGraph graph);
+
+  /// Attaches an existing shared dataset snapshot. The cheap path: no
+  /// core decomposition, no index build — the whole point of the split.
+  void AttachDataset(DatasetPtr dataset) { dataset_ = std::move(dataset); }
 
   /// Runs the named community-search algorithm.
   Result<std::vector<Community>> Search(const std::string& algorithm,
@@ -124,8 +136,9 @@ class Explorer {
   /// next upload of the same graph.
   Status SaveIndex(const std::string& path) const;
 
-  /// Replaces the current index with one previously saved for this exact
-  /// graph (validated).
+  /// Replaces this session's dataset with a snapshot carrying an index
+  /// previously saved for this exact graph (validated). Other sessions
+  /// sharing the old snapshot are unaffected.
   Status LoadIndex(const std::string& path);
 
   // --- Plug-in registry ---------------------------------------------------
@@ -152,31 +165,30 @@ class Explorer {
 
   // --- Accessors -----------------------------------------------------------
 
-  /// True iff a graph has been uploaded.
-  bool has_graph() const { return has_graph_; }
+  /// True iff a dataset is attached (uploaded or shared).
+  bool has_graph() const { return dataset_ != nullptr; }
 
-  const AttributedGraph& graph() const { return graph_; }
-  const ClTree& index() const { return index_; }
-  const std::vector<std::uint32_t>& core_numbers() const {
-    return core_numbers_;
-  }
+  /// The attached snapshot (nullptr before any upload/attach). Holding the
+  /// returned pointer keeps the snapshot alive across later swaps.
+  const DatasetPtr& dataset() const { return dataset_; }
+
+  /// Safe before any upload/attach: empty sentinels are returned, matching
+  /// the pre-split behavior of default-constructed members.
+  const AttributedGraph& graph() const;
+  const ClTree& index() const;
+  const std::vector<std::uint32_t>& core_numbers() const;
 
   /// The author profile popup of Figure 2; generated deterministically per
-  /// vertex on first access and cached.
-  Result<AuthorProfile> Profile(VertexId v);
+  /// vertex on first access and cached in the shared Dataset.
+  Result<AuthorProfile> Profile(VertexId v) const;
 
  private:
-  ExplorerContext Context() const;
+  ExplorerContext Context() const { return dataset_->Context(); }
 
-  bool has_graph_ = false;
-  AttributedGraph graph_;
-  ClTree index_;
-  std::vector<std::uint32_t> core_numbers_;
-  std::uint64_t graph_epoch_ = 0;
+  DatasetPtr dataset_;
 
   std::map<std::string, std::unique_ptr<CsAlgorithm>> cs_;
   std::map<std::string, std::unique_ptr<CdAlgorithm>> cd_;
-  std::map<VertexId, AuthorProfile> profiles_;
 };
 
 }  // namespace cexplorer

@@ -1,9 +1,12 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <mutex>
+#include <utility>
 
 #include "common/json.h"
 #include "common/strings.h"
+#include "metrics/quality.h"
 
 namespace cexplorer {
 
@@ -12,7 +15,7 @@ namespace {
 /// Serializes one community (members with names, shared keywords). Very
 /// large communities get their member list truncated, flagged by the
 /// "members_truncated" field.
-void WriteCommunity(JsonWriter* w, const Explorer& explorer,
+void WriteCommunity(JsonWriter* w, const AttributedGraph& graph,
                     const Community& community,
                     std::size_t max_members = 2000) {
   w->BeginObject();
@@ -29,7 +32,7 @@ void WriteCommunity(JsonWriter* w, const Explorer& explorer,
     w->Key("id");
     w->UInt(v);
     w->Key("name");
-    w->String(explorer.graph().Name(v));
+    w->String(graph.Name(v));
     w->EndObject();
   }
   w->EndArray();
@@ -40,13 +43,91 @@ void WriteCommunity(JsonWriter* w, const Explorer& explorer,
   w->Key("theme");
   w->BeginArray();
   for (KeywordId kw : community.shared_keywords) {
-    w->String(explorer.graph().vocabulary().Word(kw));
+    w->String(graph.vocabulary().Word(kw));
   }
   w->EndArray();
   w->EndObject();
 }
 
 }  // namespace
+
+Status CExplorerServer::UploadGraph(AttributedGraph graph) {
+  auto dataset = Dataset::Build(std::move(graph));
+  if (!dataset.ok()) return dataset.status();
+  SwapDataset(std::move(dataset.value()));
+  return Status::Ok();
+}
+
+Status CExplorerServer::Upload(const std::string& path) {
+  auto dataset = Dataset::FromFile(path);
+  if (!dataset.ok()) return dataset.status();
+  SwapDataset(std::move(dataset.value()));
+  return Status::Ok();
+}
+
+bool CExplorerServer::AttachDataset(DatasetPtr dataset) {
+  return SwapDataset(std::move(dataset));
+}
+
+DatasetPtr CExplorerServer::dataset() const {
+  std::shared_lock<std::shared_mutex> lock(dataset_mu_);
+  return dataset_;
+}
+
+bool CExplorerServer::SwapDataset(DatasetPtr dataset) {
+  std::unique_lock<std::shared_mutex> lock(dataset_mu_);
+  // Serving only moves forward in snapshot-id order: concurrent
+  // programmatic uploads linearize to the newest dataset, keeping the
+  // monotonic-id invariant the per-session late-attach relies on.
+  if (dataset == nullptr ||
+      (dataset_ != nullptr && dataset->id() < dataset_->id())) {
+    return false;
+  }
+  dataset_ = std::move(dataset);
+  return true;
+}
+
+bool CExplorerServer::PublishDataset(RequestContext& ctx, DatasetPtr fresh) {
+  {
+    std::unique_lock<std::shared_mutex> lock(dataset_mu_);
+    if (dataset_ != ctx.dataset) return false;  // lost the race; don't revert
+    dataset_ = fresh;
+  }
+  ctx.dataset = std::move(fresh);
+  return true;
+}
+
+void CExplorerServer::AttachLocked(RequestContext& ctx, bool adopt_newer,
+                                   bool clear_history) {
+  // History clears unconditionally: a successful upload resets the
+  // session's exploration chain even if a still-newer snapshot already
+  // landed meanwhile.
+  if (clear_history) ctx.session->history.clear();
+  const DatasetPtr& attached = ctx.session->explorer.dataset();
+  if (attached != nullptr && ctx.dataset != nullptr &&
+      attached->id() > ctx.dataset->id()) {
+    // A newer snapshot already landed on this session while this request
+    // (or publish) was in flight; never move a session backwards, and
+    // don't wipe the state its clients built against the newer snapshot.
+    if (adopt_newer) ctx.dataset = attached;
+    return;
+  }
+  if (ctx.dataset != nullptr && attached != ctx.dataset) {
+    // Caches derived from the same graph survive index-only swaps; a new
+    // graph epoch invalidates them.
+    const bool epoch_changed =
+        attached == nullptr ||
+        attached->graph_epoch() != ctx.dataset->graph_epoch();
+    ctx.session->explorer.AttachDataset(ctx.dataset);
+    if (epoch_changed) ctx.session->InvalidateCaches();
+  }
+}
+
+void CExplorerServer::AttachToSession(RequestContext& ctx,
+                                      bool clear_history) {
+  std::lock_guard<std::mutex> lock(ctx.session->mu);
+  AttachLocked(ctx, /*adopt_newer=*/false, clear_history);
+}
 
 HttpResponse CExplorerServer::Handle(std::string_view request_line) {
   auto request = ParseRequest(request_line);
@@ -57,101 +138,249 @@ HttpResponse CExplorerServer::Handle(std::string_view request_line) {
 }
 
 HttpResponse CExplorerServer::Dispatch(const HttpRequest& request) {
-  if (request.path == "/") return HandleIndex(request);
-  if (request.path == "/upload") return HandleUpload(request);
-  if (request.path == "/search") return HandleSearch(request);
-  if (request.path == "/community") return HandleCommunity(request);
-  if (request.path == "/profile") return HandleProfile(request);
-  if (request.path == "/explore") return HandleExplore(request);
-  if (request.path == "/compare") return HandleCompare(request);
-  if (request.path == "/history") return HandleHistory(request);
-  if (request.path == "/detect") return HandleDetect(request);
-  if (request.path == "/cluster") return HandleCluster(request);
-  if (request.path == "/author") return HandleAuthor(request);
-  if (request.path == "/export") return HandleExport(request);
-  if (request.path == "/save_index") return HandleSaveIndex(request);
-  if (request.path == "/load_index") return HandleLoadIndex(request);
-  return HttpResponse::Error(404, "no route for " + request.path);
+  // Session management first: these never touch a session's state.
+  if (request.path == "/session/new") return HandleSessionNew(request);
+  if (request.path == "/session/delete") return HandleSessionDelete(request);
+  if (request.path == "/sessions") return HandleSessions(request);
+
+  // One table drives both route membership and dispatch. `locked` routes
+  // run under the session mutex after the late attach; the admin paths
+  // (upload/load_index/save_index) run outside it — the swaps do their
+  // expensive dataset build first (locking the session only to attach the
+  // result) and /save_index reads nothing session-mutable, so a
+  // multi-second build or index write never stalls same-session queries.
+  using Handler = HttpResponse (CExplorerServer::*)(RequestContext&,
+                                                    const HttpRequest&);
+  struct Route {
+    std::string_view path;
+    Handler handler;
+    bool locked;
+  };
+  static constexpr Route kRoutes[] = {
+      {"/", &CExplorerServer::HandleIndex, true},
+      {"/upload", &CExplorerServer::HandleUpload, false},
+      {"/load_index", &CExplorerServer::HandleLoadIndex, false},
+      {"/save_index", &CExplorerServer::HandleSaveIndex, false},
+      {"/search", &CExplorerServer::HandleSearch, true},
+      {"/community", &CExplorerServer::HandleCommunity, true},
+      {"/profile", &CExplorerServer::HandleProfile, true},
+      {"/explore", &CExplorerServer::HandleExplore, true},
+      {"/compare", &CExplorerServer::HandleCompare, true},
+      {"/history", &CExplorerServer::HandleHistory, true},
+      {"/detect", &CExplorerServer::HandleDetect, true},
+      {"/cluster", &CExplorerServer::HandleCluster, true},
+      {"/author", &CExplorerServer::HandleAuthor, true},
+      {"/export", &CExplorerServer::HandleExport, true},
+  };
+
+  // Reject unknown routes before touching any session state, so route
+  // typos neither instantiate the default session nor contend for a
+  // session mutex.
+  const Route* route = nullptr;
+  for (const Route& candidate : kRoutes) {
+    if (candidate.path == request.path) {
+      route = &candidate;
+      break;
+    }
+  }
+  if (route == nullptr) {
+    return HttpResponse::Error(404, "no route for " + request.path);
+  }
+
+  // Resolve the session. Requests without ?session= share the implicit
+  // "default" session (the single-browser demo of the paper).
+  const std::string& session_id = request.Param("session");
+  std::shared_ptr<Session> session;
+  if (session_id.empty()) {
+    session = sessions_.GetOrCreate("default");
+  } else {
+    session = sessions_.Get(session_id);
+    if (session == nullptr) {
+      return HttpResponse::Error(
+          404, "unknown session '" + session_id + "'; GET /session/new first");
+    }
+  }
+
+  RequestContext ctx;
+  ctx.session = std::move(session);
+  {
+    // Shared lock just long enough to copy the pointer: the snapshot stays
+    // alive for the whole request even if /upload swaps it out meanwhile.
+    std::shared_lock<std::shared_mutex> lock(dataset_mu_);
+    ctx.dataset = dataset_;
+  }
+
+  if (!route->locked) return (this->*route->handler)(ctx, request);
+
+  // One request at a time per session; sessions run in parallel.
+  std::lock_guard<std::mutex> session_lock(ctx.session->mu);
+
+  // Late attach: the session moves forward to the newest snapshot it has
+  // seen (ids are monotonic in publish order). Caches survive index-only
+  // swaps (same graph epoch) and are dropped when the graph itself
+  // changed; they are additionally tagged with their graph epoch, so a
+  // result from a previous graph can never be served by accident.
+  AttachLocked(ctx, /*adopt_newer=*/true, /*clear_history=*/false);
+
+  return (this->*route->handler)(ctx, request);
 }
 
-HttpResponse CExplorerServer::HandleIndex(const HttpRequest&) {
+HttpResponse CExplorerServer::HandleSessionNew(const HttpRequest&) {
+  auto session = sessions_.Create();
+  if (session == nullptr) {
+    return HttpResponse::Error(503, "session limit reached");
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("session");
+  w.String(session->id);
+  w.EndObject();
+  return HttpResponse::Ok(w.TakeString());
+}
+
+HttpResponse CExplorerServer::HandleSessionDelete(const HttpRequest& request) {
+  const std::string& id = request.Param("id");
+  if (id.empty()) return HttpResponse::Error(400, "missing ?id=");
+  if (!sessions_.Remove(id)) {
+    return HttpResponse::Error(404, "unknown session '" + id + "'");
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("deleted");
+  w.String(id);
+  w.EndObject();
+  return HttpResponse::Ok(w.TakeString());
+}
+
+HttpResponse CExplorerServer::HandleSessions(const HttpRequest&) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("sessions");
+  w.BeginArray();
+  for (const auto& session : sessions_.List()) {
+    // try_lock: a session stuck in a long query shows as busy instead of
+    // stalling the whole listing.
+    std::unique_lock<std::mutex> lock(session->mu, std::try_to_lock);
+    w.BeginObject();
+    w.Key("id");
+    w.String(session->id);
+    if (lock.owns_lock()) {
+      w.Key("cached_communities");
+      w.UInt(session->communities.size());
+      w.Key("history_length");
+      w.UInt(session->history.size());
+      const DatasetPtr& snapshot = session->explorer.dataset();
+      w.Key("dataset_id");
+      w.UInt(snapshot == nullptr ? 0 : snapshot->id());
+    } else {
+      w.Key("busy");
+      w.Bool(true);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return HttpResponse::Ok(w.TakeString());
+}
+
+HttpResponse CExplorerServer::HandleIndex(RequestContext& ctx,
+                                          const HttpRequest&) {
+  const Explorer& explorer = ctx.session->explorer;
   JsonWriter w;
   w.BeginObject();
   w.Key("system");
   w.String("C-Explorer");
+  w.Key("session");
+  w.String(ctx.session->id);
+  w.Key("num_sessions");
+  w.UInt(sessions_.size());
   w.Key("graph_loaded");
-  w.Bool(explorer_.has_graph());
-  if (explorer_.has_graph()) {
+  w.Bool(ctx.dataset != nullptr);
+  if (ctx.dataset != nullptr) {
+    w.Key("dataset_id");
+    w.UInt(ctx.dataset->id());
     w.Key("vertices");
-    w.UInt(explorer_.graph().num_vertices());
+    w.UInt(ctx.dataset->graph().num_vertices());
     w.Key("edges");
-    w.UInt(explorer_.graph().graph().num_edges());
+    w.UInt(ctx.dataset->graph().graph().num_edges());
   }
   w.Key("cs_algorithms");
   w.BeginArray();
-  for (const auto& name : explorer_.CsAlgorithmNames()) w.String(name);
+  for (const auto& name : explorer.CsAlgorithmNames()) w.String(name);
   w.EndArray();
   w.Key("cd_algorithms");
   w.BeginArray();
-  for (const auto& name : explorer_.CdAlgorithmNames()) w.String(name);
+  for (const auto& name : explorer.CdAlgorithmNames()) w.String(name);
   w.EndArray();
   w.EndObject();
   return HttpResponse::Ok(w.TakeString());
 }
 
-HttpResponse CExplorerServer::HandleUpload(const HttpRequest& request) {
+HttpResponse CExplorerServer::HandleUpload(RequestContext& ctx,
+                                           const HttpRequest& request) {
   const std::string& path = request.Param("path");
   if (path.empty()) return HttpResponse::Error(400, "missing ?path=");
-  Status st = explorer_.Upload(path);
-  if (!st.ok()) return HttpResponse::Error(400, st.ToString());
-  current_communities_.clear();
-  history_.clear();
+  // Build outside all locks: queries keep flowing against the old snapshot
+  // while the core decomposition and CL-tree run.
+  auto dataset = Dataset::FromFile(path);
+  if (!dataset.ok()) return HttpResponse::Error(400, dataset.status().ToString());
+  if (!PublishDataset(ctx, std::move(dataset.value()))) {
+    return HttpResponse::Error(
+        409, "dataset changed while this upload was building; retry");
+  }
+  AttachToSession(ctx, /*clear_history=*/true);
   JsonWriter w;
   w.BeginObject();
   w.Key("uploaded");
   w.String(path);
+  w.Key("dataset_id");
+  w.UInt(ctx.dataset->id());
   w.Key("vertices");
-  w.UInt(explorer_.graph().num_vertices());
+  w.UInt(ctx.dataset->graph().num_vertices());
   w.Key("edges");
-  w.UInt(explorer_.graph().graph().num_edges());
+  w.UInt(ctx.dataset->graph().graph().num_edges());
   w.EndObject();
   return HttpResponse::Ok(w.TakeString());
 }
 
-HttpResponse CExplorerServer::RunSearch(const std::string& algo,
+HttpResponse CExplorerServer::RunSearch(RequestContext& ctx,
+                                        const std::string& algo,
                                         const Query& query) {
-  auto communities = explorer_.Search(algo, query);
+  Session& session = *ctx.session;
+  auto communities = session.explorer.Search(algo, query);
   if (!communities.ok()) {
     int code = communities.status().code() == StatusCode::kNotFound ? 404 : 400;
     return HttpResponse::Error(code, communities.status().ToString());
   }
-  current_communities_ = std::move(communities.value());
-  last_query_ = query;
+  session.communities = std::move(communities.value());
+  session.communities_epoch = ctx.dataset->graph_epoch();
+  session.last_query = query;
 
   std::string who = query.name;
   if (who.empty() && !query.vertices.empty()) {
-    who = explorer_.graph().Name(query.vertices.front());
+    who = ctx.dataset->graph().Name(query.vertices.front());
   }
-  history_.push_back(algo + ":" + who + ":k=" + std::to_string(query.k));
+  session.history.push_back(algo + ":" + who + ":k=" + std::to_string(query.k));
 
   JsonWriter w;
   w.BeginObject();
   w.Key("algorithm");
   w.String(algo);
   w.Key("num_communities");
-  w.UInt(current_communities_.size());
+  w.UInt(session.communities.size());
   w.Key("communities");
   w.BeginArray();
-  for (const auto& community : current_communities_) {
-    WriteCommunity(&w, explorer_, community);
+  for (const auto& community : session.communities) {
+    WriteCommunity(&w, ctx.dataset->graph(), community);
   }
   w.EndArray();
   w.EndObject();
   return HttpResponse::Ok(w.TakeString());
 }
 
-HttpResponse CExplorerServer::HandleSearch(const HttpRequest& request) {
-  if (!explorer_.has_graph()) {
+HttpResponse CExplorerServer::HandleSearch(RequestContext& ctx,
+                                           const HttpRequest& request) {
+  if (ctx.dataset == nullptr) {
     return HttpResponse::Error(409, "no graph uploaded");
   }
   Query query;
@@ -174,18 +403,28 @@ HttpResponse CExplorerServer::HandleSearch(const HttpRequest& request) {
   if (query.name.empty() && query.vertices.empty()) {
     return HttpResponse::Error(400, "missing ?name= or ?vertex=");
   }
-  return RunSearch(algo, query);
+  return RunSearch(ctx, algo, query);
 }
 
-HttpResponse CExplorerServer::HandleCommunity(const HttpRequest& request) {
+HttpResponse CExplorerServer::HandleCommunity(RequestContext& ctx,
+                                              const HttpRequest& request) {
+  Session& session = *ctx.session;
   std::int64_t id = request.IntParam("id", 0);
-  if (id < 0 || static_cast<std::size_t>(id) >= current_communities_.size()) {
+  if (id < 0 || static_cast<std::size_t>(id) >= session.communities.size()) {
     return HttpResponse::Error(404, "no cached community with that id");
   }
-  const Community& community = current_communities_[static_cast<std::size_t>(id)];
-  auto display = explorer_.Display(community);
-  if (!display.ok()) return HttpResponse::Error(500, display.status().ToString());
-  auto analysis = explorer_.Analyze(community);
+  if (ctx.dataset == nullptr ||
+      session.communities_epoch != ctx.dataset->graph_epoch()) {
+    return HttpResponse::Error(
+        409, "cached communities are stale (graph was reloaded); /search again");
+  }
+  const Community& community =
+      session.communities[static_cast<std::size_t>(id)];
+  auto display = session.explorer.Display(community);
+  if (!display.ok()) {
+    return HttpResponse::Error(500, display.status().ToString());
+  }
+  auto analysis = session.explorer.Analyze(community);
   if (!analysis.ok()) {
     return HttpResponse::Error(500, analysis.status().ToString());
   }
@@ -193,7 +432,7 @@ HttpResponse CExplorerServer::HandleCommunity(const HttpRequest& request) {
   JsonWriter w;
   w.BeginObject();
   w.Key("community");
-  WriteCommunity(&w, explorer_, community);
+  WriteCommunity(&w, ctx.dataset->graph(), community);
   w.Key("stats");
   w.BeginObject();
   w.Key("vertices");
@@ -224,22 +463,26 @@ HttpResponse CExplorerServer::HandleCommunity(const HttpRequest& request) {
   return HttpResponse::Ok(w.TakeString());
 }
 
-HttpResponse CExplorerServer::HandleProfile(const HttpRequest& request) {
-  if (!explorer_.has_graph()) {
+HttpResponse CExplorerServer::HandleProfile(RequestContext& ctx,
+                                            const HttpRequest& request) {
+  if (ctx.dataset == nullptr) {
     return HttpResponse::Error(409, "no graph uploaded");
   }
+  const AttributedGraph& graph = ctx.dataset->graph();
   VertexId v = kInvalidVertex;
   if (!request.Param("name").empty()) {
-    v = explorer_.graph().FindByName(request.Param("name"));
+    v = graph.FindByName(request.Param("name"));
   } else {
     std::int64_t id = request.IntParam("vertex", -1);
     if (id >= 0) v = static_cast<VertexId>(id);
   }
-  if (v == kInvalidVertex || v >= explorer_.graph().num_vertices()) {
+  if (v == kInvalidVertex || v >= graph.num_vertices()) {
     return HttpResponse::Error(404, "author not found");
   }
-  auto profile = explorer_.Profile(v);
-  if (!profile.ok()) return HttpResponse::Error(500, profile.status().ToString());
+  auto profile = ctx.dataset->Profile(v);
+  if (!profile.ok()) {
+    return HttpResponse::Error(500, profile.status().ToString());
+  }
 
   JsonWriter w;
   w.BeginObject();
@@ -259,32 +502,34 @@ HttpResponse CExplorerServer::HandleProfile(const HttpRequest& request) {
   w.EndArray();
   w.Key("keywords");
   w.BeginArray();
-  for (const auto& kw : explorer_.graph().KeywordStrings(v)) w.String(kw);
+  for (const auto& kw : graph.KeywordStrings(v)) w.String(kw);
   w.EndArray();
   w.EndObject();
   return HttpResponse::Ok(w.TakeString());
 }
 
-HttpResponse CExplorerServer::HandleExplore(const HttpRequest& request) {
-  if (!explorer_.has_graph()) {
+HttpResponse CExplorerServer::HandleExplore(RequestContext& ctx,
+                                            const HttpRequest& request) {
+  if (ctx.dataset == nullptr) {
     return HttpResponse::Error(409, "no graph uploaded");
   }
   std::int64_t id = request.IntParam("vertex", -1);
   if (id < 0 ||
-      static_cast<std::size_t>(id) >= explorer_.graph().num_vertices()) {
+      static_cast<std::size_t>(id) >= ctx.dataset->graph().num_vertices()) {
     return HttpResponse::Error(404, "vertex not found");
   }
   Query query;
   query.vertices.push_back(static_cast<VertexId>(id));
-  query.k = static_cast<std::uint32_t>(
-      request.IntParam("k", static_cast<std::int64_t>(last_query_.k)));
+  query.k = static_cast<std::uint32_t>(request.IntParam(
+      "k", static_cast<std::int64_t>(ctx.session->last_query.k)));
   std::string algo = request.Param("algo");
   if (algo.empty()) algo = "ACQ";
-  return RunSearch(algo, query);
+  return RunSearch(ctx, algo, query);
 }
 
-HttpResponse CExplorerServer::HandleCompare(const HttpRequest& request) {
-  if (!explorer_.has_graph()) {
+HttpResponse CExplorerServer::HandleCompare(RequestContext& ctx,
+                                            const HttpRequest& request) {
+  if (ctx.dataset == nullptr) {
     return HttpResponse::Error(409, "no graph uploaded");
   }
   Query query;
@@ -307,7 +552,7 @@ HttpResponse CExplorerServer::HandleCompare(const HttpRequest& request) {
       if (!name.empty()) algos.push_back(std::move(name));
     }
   }
-  auto report = explorer_.Compare(query, algos);
+  auto report = ctx.session->explorer.Compare(query, algos);
   if (!report.ok()) {
     int code = report.status().code() == StatusCode::kNotFound ? 404 : 400;
     return HttpResponse::Error(code, report.status().ToString());
@@ -346,23 +591,26 @@ HttpResponse CExplorerServer::HandleCompare(const HttpRequest& request) {
   return HttpResponse::Ok(w.TakeString());
 }
 
-HttpResponse CExplorerServer::HandleDetect(const HttpRequest& request) {
-  if (!explorer_.has_graph()) {
+HttpResponse CExplorerServer::HandleDetect(RequestContext& ctx,
+                                           const HttpRequest& request) {
+  if (ctx.dataset == nullptr) {
     return HttpResponse::Error(409, "no graph uploaded");
   }
+  Session& session = *ctx.session;
   std::string algo = request.Param("algo");
   if (algo.empty()) algo = "CODICIL";
-  auto clustering = explorer_.Detect(algo);
+  auto clustering = session.explorer.Detect(algo);
   if (!clustering.ok()) {
     int code = clustering.status().code() == StatusCode::kNotFound ? 404 : 400;
     return HttpResponse::Error(code, clustering.status().ToString());
   }
-  last_detection_ = std::move(clustering.value());
-  last_detection_algo_ = algo;
-  history_.push_back("detect:" + algo);
+  session.detection = std::move(clustering.value());
+  session.detection_algo = algo;
+  session.detection_epoch = ctx.dataset->graph_epoch();
+  session.history.push_back("detect:" + algo);
 
   // Cluster-size histogram: how many clusters of each magnitude.
-  auto sizes = last_detection_.Sizes();
+  auto sizes = session.detection.Sizes();
   std::size_t singletons = 0;
   std::size_t small = 0;   // 2..9
   std::size_t medium = 0;  // 10..99
@@ -386,9 +634,9 @@ HttpResponse CExplorerServer::HandleDetect(const HttpRequest& request) {
   w.Key("algorithm");
   w.String(algo);
   w.Key("num_clusters");
-  w.UInt(last_detection_.num_clusters);
+  w.UInt(session.detection.num_clusters);
   w.Key("modularity");
-  w.Double(Modularity(explorer_.graph().graph(), last_detection_));
+  w.Double(Modularity(ctx.dataset->graph().graph(), session.detection));
   w.Key("largest_cluster");
   w.UInt(largest);
   w.Key("size_histogram");
@@ -406,19 +654,27 @@ HttpResponse CExplorerServer::HandleDetect(const HttpRequest& request) {
   return HttpResponse::Ok(w.TakeString());
 }
 
-HttpResponse CExplorerServer::HandleCluster(const HttpRequest& request) {
-  if (last_detection_.assignment.empty()) {
-    return HttpResponse::Error(404, "no detection result cached; GET /detect first");
+HttpResponse CExplorerServer::HandleCluster(RequestContext& ctx,
+                                            const HttpRequest& request) {
+  Session& session = *ctx.session;
+  if (session.detection.assignment.empty()) {
+    return HttpResponse::Error(404,
+                               "no detection result cached; GET /detect first");
+  }
+  if (ctx.dataset == nullptr ||
+      session.detection_epoch != ctx.dataset->graph_epoch()) {
+    return HttpResponse::Error(
+        409, "cached detection is stale (graph was reloaded); /detect again");
   }
   std::int64_t id = request.IntParam("id", 0);
-  if (id < 0 || static_cast<std::uint32_t>(id) >= last_detection_.num_clusters) {
+  if (id < 0 ||
+      static_cast<std::uint64_t>(id) >= session.detection.num_clusters) {
     return HttpResponse::Error(404, "cluster id out of range");
   }
   Community community;
-  community.method = last_detection_algo_;
-  community.vertices =
-      last_detection_.Members(static_cast<std::uint32_t>(id));
-  auto analysis = explorer_.Analyze(community);
+  community.method = session.detection_algo;
+  community.vertices = session.detection.Members(static_cast<std::uint32_t>(id));
+  auto analysis = session.explorer.Analyze(community);
   if (!analysis.ok()) {
     return HttpResponse::Error(500, analysis.status().ToString());
   }
@@ -427,7 +683,7 @@ HttpResponse CExplorerServer::HandleCluster(const HttpRequest& request) {
   w.Key("cluster");
   w.Int(id);
   w.Key("community");
-  WriteCommunity(&w, explorer_, community, /*max_members=*/500);
+  WriteCommunity(&w, ctx.dataset->graph(), community, /*max_members=*/500);
   w.Key("stats");
   w.BeginObject();
   w.Key("vertices");
@@ -443,28 +699,30 @@ HttpResponse CExplorerServer::HandleCluster(const HttpRequest& request) {
   return HttpResponse::Ok(w.TakeString());
 }
 
-HttpResponse CExplorerServer::HandleAuthor(const HttpRequest& request) {
+HttpResponse CExplorerServer::HandleAuthor(RequestContext& ctx,
+                                           const HttpRequest& request) {
   // Populates the query form of Figure 1: after the user types a name, the
   // UI shows "a list of degree constraints, and a set of keywords of this
   // author".
-  if (!explorer_.has_graph()) {
+  if (ctx.dataset == nullptr) {
     return HttpResponse::Error(409, "no graph uploaded");
   }
+  const AttributedGraph& graph = ctx.dataset->graph();
   const std::string& name = request.Param("name");
   if (name.empty()) return HttpResponse::Error(400, "missing ?name=");
-  VertexId v = explorer_.graph().FindByName(name);
+  VertexId v = graph.FindByName(name);
   if (v == kInvalidVertex) {
     return HttpResponse::Error(404, "author not found");
   }
-  const std::uint32_t core = explorer_.core_numbers()[v];
+  const std::uint32_t core = ctx.dataset->core_numbers()[v];
   JsonWriter w;
   w.BeginObject();
   w.Key("id");
   w.UInt(v);
   w.Key("name");
-  w.String(explorer_.graph().Name(v));
+  w.String(graph.Name(v));
   w.Key("degree");
-  w.UInt(explorer_.graph().graph().Degree(v));
+  w.UInt(graph.graph().Degree(v));
   // Feasible "degree >= k" values: any k up to the author's core number.
   w.Key("degree_constraints");
   w.BeginArray();
@@ -472,22 +730,29 @@ HttpResponse CExplorerServer::HandleAuthor(const HttpRequest& request) {
   w.EndArray();
   w.Key("keywords");
   w.BeginArray();
-  for (const auto& kw : explorer_.graph().KeywordStrings(v)) w.String(kw);
+  for (const auto& kw : graph.KeywordStrings(v)) w.String(kw);
   w.EndArray();
   w.EndObject();
   return HttpResponse::Ok(w.TakeString());
 }
 
-HttpResponse CExplorerServer::HandleExport(const HttpRequest& request) {
+HttpResponse CExplorerServer::HandleExport(RequestContext& ctx,
+                                           const HttpRequest& request) {
+  Session& session = *ctx.session;
   std::int64_t id = request.IntParam("id", 0);
-  if (id < 0 || static_cast<std::size_t>(id) >= current_communities_.size()) {
+  if (id < 0 || static_cast<std::size_t>(id) >= session.communities.size()) {
     return HttpResponse::Error(404, "no cached community with that id");
   }
-  VertexId q = last_query_.vertices.empty()
-                   ? explorer_.graph().FindByName(last_query_.name)
-                   : last_query_.vertices.front();
-  auto svg = explorer_.ExportSvg(
-      current_communities_[static_cast<std::size_t>(id)], q);
+  if (ctx.dataset == nullptr ||
+      session.communities_epoch != ctx.dataset->graph_epoch()) {
+    return HttpResponse::Error(
+        409, "cached communities are stale (graph was reloaded); /search again");
+  }
+  VertexId q = session.last_query.vertices.empty()
+                   ? ctx.dataset->graph().FindByName(session.last_query.name)
+                   : session.last_query.vertices.front();
+  auto svg = session.explorer.ExportSvg(
+      session.communities[static_cast<std::size_t>(id)], q);
   if (!svg.ok()) return HttpResponse::Error(500, svg.status().ToString());
   HttpResponse response;
   response.code = 200;
@@ -495,15 +760,15 @@ HttpResponse CExplorerServer::HandleExport(const HttpRequest& request) {
   return response;
 }
 
-HttpResponse CExplorerServer::HandleSaveIndex(const HttpRequest& request) {
+HttpResponse CExplorerServer::HandleSaveIndex(RequestContext& ctx,
+                                              const HttpRequest& request) {
   const std::string& path = request.Param("path");
   if (path.empty()) return HttpResponse::Error(400, "missing ?path=");
-  Status st = explorer_.SaveIndex(path);
-  if (!st.ok()) {
-    return HttpResponse::Error(
-        st.code() == StatusCode::kFailedPrecondition ? 409 : 400,
-        st.ToString());
+  if (ctx.dataset == nullptr) {
+    return HttpResponse::Error(409, "no graph uploaded");
   }
+  Status st = ctx.dataset->SaveIndex(path);
+  if (!st.ok()) return HttpResponse::Error(400, st.ToString());
   JsonWriter w;
   w.BeginObject();
   w.Key("saved");
@@ -512,29 +777,45 @@ HttpResponse CExplorerServer::HandleSaveIndex(const HttpRequest& request) {
   return HttpResponse::Ok(w.TakeString());
 }
 
-HttpResponse CExplorerServer::HandleLoadIndex(const HttpRequest& request) {
+HttpResponse CExplorerServer::HandleLoadIndex(RequestContext& ctx,
+                                              const HttpRequest& request) {
   const std::string& path = request.Param("path");
   if (path.empty()) return HttpResponse::Error(400, "missing ?path=");
-  Status st = explorer_.LoadIndex(path);
-  if (!st.ok()) {
-    return HttpResponse::Error(
-        st.code() == StatusCode::kFailedPrecondition ? 409 : 400,
-        st.ToString());
+  if (ctx.dataset == nullptr) {
+    return HttpResponse::Error(409, "no graph uploaded");
   }
+  // Deserialize against the current snapshot, then swap server-wide: the
+  // graph and core numbers are shared, only the index is replaced. The
+  // publish is conditional — if another upload landed meanwhile, installing
+  // an index for the old graph would silently revert it.
+  auto dataset = ctx.dataset->WithIndexFromFile(path);
+  if (!dataset.ok()) {
+    return HttpResponse::Error(400, dataset.status().ToString());
+  }
+  if (!PublishDataset(ctx, std::move(dataset.value()))) {
+    return HttpResponse::Error(
+        409, "dataset changed while the index was loading; retry");
+  }
+  AttachToSession(ctx, /*clear_history=*/false);
   JsonWriter w;
   w.BeginObject();
   w.Key("loaded");
   w.String(path);
+  w.Key("dataset_id");
+  w.UInt(ctx.dataset->id());
   w.EndObject();
   return HttpResponse::Ok(w.TakeString());
 }
 
-HttpResponse CExplorerServer::HandleHistory(const HttpRequest&) {
+HttpResponse CExplorerServer::HandleHistory(RequestContext& ctx,
+                                            const HttpRequest&) {
   JsonWriter w;
   w.BeginObject();
+  w.Key("session");
+  w.String(ctx.session->id);
   w.Key("history");
   w.BeginArray();
-  for (const auto& entry : history_) w.String(entry);
+  for (const auto& entry : ctx.session->history) w.String(entry);
   w.EndArray();
   w.EndObject();
   return HttpResponse::Ok(w.TakeString());

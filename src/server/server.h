@@ -1,12 +1,28 @@
-// The C-Explorer server: routes browser requests to the Explorer engine and
-// renders JSON responses — the Server side of the paper's Figure 3
-// framework (Community Search + Comparison Analysis + Indexing), with the
-// session state that supports the click-through exploration loop of
-// Figures 1-2 (search -> view -> profile -> explore member).
+// The C-Explorer server: routes browser requests to per-session Explorer
+// views over one shared immutable Dataset and renders JSON responses — the
+// Server side of the paper's Figure 3 framework (Community Search +
+// Comparison Analysis + Indexing), now multi-session: the graph is uploaded
+// and indexed once, and any number of concurrent browser sessions query it
+// with zero copying.
 //
-// Endpoints:
-//   GET /                    system summary (graph size, algorithms)
-//   GET /upload?path=P       load an attributed graph file
+// Concurrency model: the current DatasetPtr is guarded by a shared_mutex —
+// queries take a shared lock just long enough to copy the pointer;
+// /upload and /load_index build the new dataset outside the lock and take
+// the exclusive lock only for the pointer swap. A session that is mid-query
+// during a swap keeps its old snapshot alive via shared_ptr, so it can
+// never observe a half-replaced graph/index pair. Requests within one
+// session are serialized by the session's own mutex; requests of different
+// sessions run in parallel.
+//
+// Endpoints (all accept an optional &session=ID; without it they use the
+// shared "default" session):
+//   GET /                    system summary (graph size, algorithms, sessions)
+//   GET /session/new         create a session; returns its id (503 once the
+//                            session limit is reached)
+//   GET /session/delete?id=I delete a session, freeing its slot
+//   GET /sessions            list live sessions and their cache state
+//   GET /upload?path=P       load an attributed graph file and swap it in
+//                            for ALL sessions (index built exactly once)
 //   GET /search?name=N&k=K&keywords=a,b&algo=ACQ
 //                            run a CS algorithm; communities cached in the
 //                            session for /community and /explore
@@ -24,61 +40,120 @@
 //                            and keyword list shown in the left panel
 //   GET /export?id=I         cached community as an SVG document
 //   GET /save_index?path=P   persist the CL-tree (offline Indexing module)
-//   GET /load_index?path=P   restore a saved CL-tree for the loaded graph
+//   GET /load_index?path=P   swap in a saved CL-tree for the loaded graph
 
 #ifndef CEXPLORER_SERVER_SERVER_H_
 #define CEXPLORER_SERVER_SERVER_H_
 
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "explorer/dataset.h"
 #include "explorer/explorer.h"
 #include "server/http.h"
+#include "server/session.h"
 
 namespace cexplorer {
 
-/// One browser session bound to an Explorer engine.
+/// The multi-session C-Explorer server. Thread-safe: Handle() may be called
+/// concurrently from any number of threads.
 class CExplorerServer {
  public:
-  /// The server owns its Explorer.
   CExplorerServer() = default;
 
-  /// Direct engine access (e.g. to UploadGraph an in-memory dataset).
-  Explorer* explorer() { return &explorer_; }
+  /// Builds a dataset from an in-memory graph and swaps it in for all
+  /// sessions (the programmatic twin of GET /upload).
+  Status UploadGraph(AttributedGraph graph);
 
-  /// Parses and dispatches one request line.
+  /// File variant of UploadGraph.
+  Status Upload(const std::string& path);
+
+  /// Attaches an already-built dataset (shared with other servers or
+  /// embedders; no index build). Serving only moves forward in snapshot-id
+  /// order: returns false (and serves the existing dataset unchanged) when
+  /// `dataset` is older than the currently served snapshot — to roll back
+  /// to old data, rebuild it (Dataset::Build assigns a fresh id).
+  bool AttachDataset(DatasetPtr dataset);
+
+  /// The current dataset snapshot (nullptr before any upload).
+  DatasetPtr dataset() const;
+
+  /// Live session count.
+  std::size_t num_sessions() const { return sessions_.size(); }
+
+  /// Parses and dispatches one request line. Thread-safe.
   HttpResponse Handle(std::string_view request_line);
 
-  /// Dispatches a parsed request.
+  /// Dispatches a parsed request. Thread-safe.
   HttpResponse Dispatch(const HttpRequest& request);
 
  private:
-  HttpResponse HandleIndex(const HttpRequest& request);
-  HttpResponse HandleUpload(const HttpRequest& request);
-  HttpResponse HandleSearch(const HttpRequest& request);
-  HttpResponse HandleCommunity(const HttpRequest& request);
-  HttpResponse HandleProfile(const HttpRequest& request);
-  HttpResponse HandleExplore(const HttpRequest& request);
-  HttpResponse HandleCompare(const HttpRequest& request);
-  HttpResponse HandleHistory(const HttpRequest& request);
-  HttpResponse HandleDetect(const HttpRequest& request);
-  HttpResponse HandleCluster(const HttpRequest& request);
-  HttpResponse HandleAuthor(const HttpRequest& request);
-  HttpResponse HandleExport(const HttpRequest& request);
-  HttpResponse HandleSaveIndex(const HttpRequest& request);
-  HttpResponse HandleLoadIndex(const HttpRequest& request);
+  /// Everything a handler needs: the session (locked by the caller for the
+  /// duration of the handler) and the dataset snapshot this request runs
+  /// against (session->explorer is attached to it).
+  struct RequestContext {
+    std::shared_ptr<Session> session;
+    DatasetPtr dataset;
+  };
+
+  /// Swaps the served dataset (exclusive lock, pointer swap only) unless
+  /// the candidate is older than what is already served — serving only
+  /// moves forward in snapshot-id order. Returns whether the swap was
+  /// performed. Programmatic path; the HTTP paths use PublishDataset.
+  bool SwapDataset(DatasetPtr dataset);
+
+  /// Compare-and-swap publish for the HTTP admin paths: installs `fresh`
+  /// only if the served dataset is still the snapshot this request started
+  /// from (ctx.dataset); otherwise returns false and the caller reports a
+  /// conflict. Prevents a slow /upload or /load_index from silently
+  /// reverting a newer snapshot published meanwhile. On success updates
+  /// ctx.dataset to `fresh`.
+  bool PublishDataset(RequestContext& ctx, DatasetPtr fresh);
+
+  /// Attaches ctx.dataset to ctx.session (locking the session) and drops
+  /// the session's dataset-derived caches.
+  void AttachToSession(RequestContext& ctx, bool clear_history);
+
+  HttpResponse HandleSessionNew(const HttpRequest& request);
+  HttpResponse HandleSessionDelete(const HttpRequest& request);
+  HttpResponse HandleSessions(const HttpRequest& request);
+
+  /// Shared core of the two attach sites. Requires ctx.session->mu held.
+  /// Moves the session forward to ctx.dataset (dropping graph-derived
+  /// caches only when the graph epoch changed); never moves it backwards —
+  /// when the session is already on a newer snapshot, `adopt_newer` makes
+  /// the request run against that snapshot instead.
+  static void AttachLocked(RequestContext& ctx, bool adopt_newer,
+                           bool clear_history);
+
+  HttpResponse HandleIndex(RequestContext& ctx, const HttpRequest& request);
+  HttpResponse HandleUpload(RequestContext& ctx, const HttpRequest& request);
+  HttpResponse HandleSearch(RequestContext& ctx, const HttpRequest& request);
+  HttpResponse HandleCommunity(RequestContext& ctx, const HttpRequest& request);
+  HttpResponse HandleProfile(RequestContext& ctx, const HttpRequest& request);
+  HttpResponse HandleExplore(RequestContext& ctx, const HttpRequest& request);
+  HttpResponse HandleCompare(RequestContext& ctx, const HttpRequest& request);
+  HttpResponse HandleHistory(RequestContext& ctx, const HttpRequest& request);
+  HttpResponse HandleDetect(RequestContext& ctx, const HttpRequest& request);
+  HttpResponse HandleCluster(RequestContext& ctx, const HttpRequest& request);
+  HttpResponse HandleAuthor(RequestContext& ctx, const HttpRequest& request);
+  HttpResponse HandleExport(RequestContext& ctx, const HttpRequest& request);
+  HttpResponse HandleSaveIndex(RequestContext& ctx,
+                               const HttpRequest& request);
+  HttpResponse HandleLoadIndex(RequestContext& ctx,
+                               const HttpRequest& request);
 
   /// Runs a search and caches the result in the session.
-  HttpResponse RunSearch(const std::string& algo, const Query& query);
+  HttpResponse RunSearch(RequestContext& ctx, const std::string& algo,
+                         const Query& query);
 
-  Explorer explorer_;
-  // Session state.
-  std::vector<Community> current_communities_;
-  Query last_query_;
-  std::vector<std::string> history_;
-  Clustering last_detection_;
-  std::string last_detection_algo_;
+  mutable std::shared_mutex dataset_mu_;
+  DatasetPtr dataset_;
+
+  SessionManager sessions_;
 };
 
 }  // namespace cexplorer

@@ -1,0 +1,50 @@
+#include "server/session.h"
+
+namespace cexplorer {
+
+std::shared_ptr<Session> SessionManager::Create() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.size() >= max_sessions_) return nullptr;
+  std::string id;
+  do {
+    id = "s" + std::to_string(++next_id_);
+  } while (sessions_.count(id) > 0);  // skip ids taken via GetOrCreate
+  auto session = std::make_shared<Session>(id);
+  sessions_.emplace(id, session);
+  return session;
+}
+
+std::shared_ptr<Session> SessionManager::Get(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+bool SessionManager::Remove(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.erase(id) > 0;
+}
+
+std::shared_ptr<Session> SessionManager::GetOrCreate(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    it = sessions_.emplace(id, std::make_shared<Session>(id)).first;
+  }
+  return it->second;
+}
+
+std::vector<std::shared_ptr<Session>> SessionManager::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<Session>> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) out.push_back(session);
+  return out;
+}
+
+std::size_t SessionManager::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace cexplorer

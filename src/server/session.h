@@ -1,0 +1,116 @@
+// Per-browser-session state and the registry that owns it.
+//
+// A Session is everything one browser tab accumulates while walking the
+// exploration loop of Figures 1-2: its Explorer view (plug-in registry +
+// attached dataset snapshot), the communities cached by the last /search,
+// the last /detect result, and the exploration history. Sessions are cheap:
+// they borrow the shared Dataset and copy nothing.
+//
+// Cached results are tagged with the graph epoch of the dataset snapshot
+// they were computed against (index-only snapshots share the epoch of the
+// graph they index). After /upload swaps in a new graph, a stale tag makes
+// /community and /cluster refuse to serve vertex ids from the previous
+// graph instead of silently returning garbage; after /load_index the
+// caches remain valid and are kept.
+//
+// Locking: SessionManager's map is guarded by its own mutex; each Session
+// carries a mutex serializing the requests of that one session. Requests of
+// different sessions run fully in parallel (they only share the immutable
+// Dataset).
+
+#ifndef CEXPLORER_SERVER_SESSION_H_
+#define CEXPLORER_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "algos/clusterers.h"
+#include "explorer/community.h"
+#include "explorer/explorer.h"
+
+namespace cexplorer {
+
+/// One browser session. Lock `mu` while reading or writing any other field.
+struct Session {
+  explicit Session(std::string session_id) : id(std::move(session_id)) {}
+
+  const std::string id;
+
+  std::mutex mu;
+
+  /// The per-session engine view (plug-ins + dataset snapshot).
+  Explorer explorer;
+
+  // --- Browser cache of the Figures 1-2 loop ------------------------------
+
+  /// Communities returned by the last /search or /explore.
+  std::vector<Community> communities;
+  /// Graph epoch the cache was computed against (0 = none).
+  std::uint64_t communities_epoch = 0;
+  /// Query behind `communities` (k is reused by /explore, the query vertex
+  /// by /export).
+  Query last_query;
+
+  /// Result of the last /detect.
+  Clustering detection;
+  std::string detection_algo;
+  std::uint64_t detection_epoch = 0;
+
+  /// Exploration chain ("ACQ:jim gray:k=4", ...).
+  std::vector<std::string> history;
+
+  /// Drops all graph-derived caches (on graph swap).
+  void InvalidateCaches() {
+    communities.clear();
+    communities_epoch = 0;
+    detection = Clustering{};
+    detection_algo.clear();
+    detection_epoch = 0;
+  }
+};
+
+/// Thread-safe registry of live sessions.
+class SessionManager {
+ public:
+  /// Default bound on live sessions (resource backstop: sessions pin
+  /// dataset snapshots and hold result caches).
+  static constexpr std::size_t kDefaultMaxSessions = 1024;
+
+  explicit SessionManager(std::size_t max_sessions = kDefaultMaxSessions)
+      : max_sessions_(max_sessions) {}
+
+  /// Creates a fresh session with a generated id ("s1", "s2", ...), or
+  /// nullptr when the session limit is reached.
+  std::shared_ptr<Session> Create();
+
+  /// Looks up a session, or nullptr if unknown.
+  std::shared_ptr<Session> Get(const std::string& id) const;
+
+  /// Removes a session, freeing its slot (its snapshot and caches die with
+  /// the last reference). Returns false if unknown.
+  bool Remove(const std::string& id);
+
+  /// Looks up a session, creating it if absent (the implicit default
+  /// session of clients that never call /session/new). The implicit
+  /// session is exempt from the limit.
+  std::shared_ptr<Session> GetOrCreate(const std::string& id);
+
+  /// All sessions, ordered by id.
+  std::vector<std::shared_ptr<Session>> List() const;
+
+  std::size_t size() const;
+
+ private:
+  const std::size_t max_sessions_;
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 0;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_SERVER_SESSION_H_

@@ -1,0 +1,212 @@
+// Threaded tests for the shared-dataset, multi-session server: many
+// sessions querying one immutable Dataset in parallel while another thread
+// swaps in fresh uploads. Designed to run under -fsanitize=thread (see the
+// CEXPLORER_SANITIZE CMake option); without TSan it still checks the
+// functional guarantees: sessions never observe a half-swapped snapshot,
+// stale caches are refused, and the CL-tree is built exactly once per
+// upload no matter how many sessions share it.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "data/dblp.h"
+#include "explorer/dataset.h"
+#include "server/http.h"
+#include "server/server.h"
+
+namespace cexplorer {
+namespace {
+
+DblpOptions SmallDblp(std::uint64_t seed) {
+  DblpOptions options;
+  options.num_authors = 1200;
+  options.num_areas = 8;
+  options.vocabulary_size = 300;
+  options.seed = seed;
+  return options;
+}
+
+std::string NewSession(CExplorerServer* server) {
+  HttpResponse response = server->Handle("GET /session/new");
+  EXPECT_EQ(response.code, 200) << response.body;
+  auto v = JsonValue::Parse(response.body);
+  EXPECT_TRUE(v.ok());
+  return v->Get("session").AsString();
+}
+
+// The acceptance scenario: two sessions created via /session/new interleave
+// /search and /explore against one uploaded graph without re-uploading, and
+// the CL-tree is built exactly once.
+TEST(ConcurrencyTest, TwoSessionsInterleaveWithOneIndexBuild) {
+  CExplorerServer server;
+  const std::uint64_t builds_before = Dataset::TotalIndexBuilds();
+  ASSERT_TRUE(server.UploadGraph(GenerateDblp(SmallDblp(2017)).graph).ok());
+  EXPECT_EQ(Dataset::TotalIndexBuilds(), builds_before + 1);
+
+  const std::string s1 = NewSession(&server);
+  const std::string s2 = NewSession(&server);
+  ASSERT_NE(s1, s2);
+
+  const std::size_t n = server.dataset()->graph().num_vertices();
+  for (VertexId v = 0; v < 6; ++v) {
+    const std::string vertex = std::to_string(v % n);
+    // s1 searches, s2 explores, interleaved request by request.
+    HttpResponse search = server.Handle(
+        "GET /search?vertex=" + vertex + "&k=3&algo=Global&session=" + s1);
+    EXPECT_EQ(search.code, 200) << search.body;
+    HttpResponse explore = server.Handle(
+        "GET /explore?vertex=" + vertex + "&k=2&algo=Local&session=" + s2);
+    EXPECT_EQ(explore.code, 200) << explore.body;
+  }
+
+  // Per-session history: 6 searches in s1, 6 explores in s2.
+  auto h1 = JsonValue::Parse(server.Handle("GET /history?session=" + s1).body);
+  auto h2 = JsonValue::Parse(server.Handle("GET /history?session=" + s2).body);
+  ASSERT_TRUE(h1.ok() && h2.ok());
+  EXPECT_EQ(h1->Get("history").Items().size(), 6u);
+  EXPECT_EQ(h2->Get("history").Items().size(), 6u);
+
+  // All of it reused the single build from the upload.
+  EXPECT_EQ(Dataset::TotalIndexBuilds(), builds_before + 1);
+}
+
+// Eight sessions hammer /search, /compare and /profile in parallel while
+// another thread swaps in new uploads. Every response must be a clean
+// outcome (success, not-found, or stale-cache conflict) and every 200 body
+// must parse; after the dust settles all sessions work against the final
+// snapshot.
+TEST(ConcurrencyTest, ParallelQueriesAcrossDatasetSwaps) {
+  constexpr int kSessions = 8;
+  constexpr int kIterations = 30;
+  constexpr int kSwaps = 3;
+
+  CExplorerServer server;
+  ASSERT_TRUE(server.UploadGraph(GenerateDblp(SmallDblp(1)).graph).ok());
+  const std::uint64_t builds_before = Dataset::TotalIndexBuilds();
+  const std::size_t n = server.dataset()->graph().num_vertices();
+  // A query name from the first snapshot; after a swap it may legitimately
+  // stop resolving (different synthetic names), which must surface as 404,
+  // never as a crash or a community from the wrong graph.
+  const std::string name = UrlEncode(server.dataset()->graph().Name(0));
+
+  std::vector<std::string> ids;
+  for (int i = 0; i < kSessions; ++i) ids.push_back(NewSession(&server));
+
+  std::atomic<int> bad_codes{0};
+  std::atomic<int> bad_bodies{0};
+
+  auto worker = [&](int which) {
+    const std::string& id = ids[static_cast<std::size_t>(which)];
+    for (int it = 0; it < kIterations; ++it) {
+      const std::string vertex =
+          std::to_string((which * kIterations + it * 7) % n);
+      std::string request;
+      switch (it % 4) {
+        case 0:
+          request = "GET /search?vertex=" + vertex +
+                    "&k=3&algo=Global&session=" + id;
+          break;
+        case 1:
+          request = "GET /profile?vertex=" + vertex + "&session=" + id;
+          break;
+        case 2:
+          request = "GET /compare?name=" + name +
+                    "&k=3&algos=Global,Local&session=" + id;
+          break;
+        default:
+          request = "GET /community?id=0&session=" + id;
+          break;
+      }
+      HttpResponse response = server.Handle(request);
+      if (response.code != 200 && response.code != 404 &&
+          response.code != 409) {
+        ++bad_codes;
+      }
+      if (response.code == 200 && !JsonValue::Parse(response.body).ok()) {
+        ++bad_bodies;
+      }
+    }
+  };
+
+  std::thread swapper([&] {
+    for (int i = 0; i < kSwaps; ++i) {
+      // Build happens outside the exclusive lock; queries keep running
+      // against the previous snapshot until the pointer swap.
+      ASSERT_TRUE(
+          server
+              .UploadGraph(
+                  GenerateDblp(SmallDblp(static_cast<std::uint64_t>(100 + i)))
+                      .graph)
+              .ok());
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kSessions; ++i) workers.emplace_back(worker, i);
+  for (auto& t : workers) t.join();
+  swapper.join();
+
+  EXPECT_EQ(bad_codes.load(), 0);
+  EXPECT_EQ(bad_bodies.load(), 0);
+  // Exactly one CL-tree build per swap, regardless of session count.
+  EXPECT_EQ(Dataset::TotalIndexBuilds(), builds_before + kSwaps);
+
+  // Every session converges on the final snapshot.
+  const std::uint64_t final_id = server.dataset()->id();
+  for (const auto& id : ids) {
+    HttpResponse search =
+        server.Handle("GET /search?vertex=0&k=2&algo=Global&session=" + id);
+    EXPECT_EQ(search.code, 200) << search.body;
+  }
+  auto sessions = JsonValue::Parse(server.Handle("GET /sessions").body);
+  ASSERT_TRUE(sessions.ok());
+  for (const auto& s : sessions->Get("sessions").Items()) {
+    if (s.Get("id").AsString() == "default") continue;
+    EXPECT_EQ(static_cast<std::uint64_t>(s.Get("dataset_id").AsInt()),
+              final_id);
+  }
+}
+
+// Dataset-level sharing without the server: Explorer views are cheap and
+// independent, and the shared profile store is thread-safe.
+TEST(ConcurrencyTest, ExplorerViewsShareDatasetAndProfiles) {
+  auto built = Dataset::Build(GenerateDblp(SmallDblp(7)).graph);
+  ASSERT_TRUE(built.ok());
+  DatasetPtr dataset = built.value();
+
+  constexpr int kViews = 8;
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kViews; ++i) {
+    threads.emplace_back([&dataset, &errors, i] {
+      Explorer view;
+      view.AttachDataset(dataset);
+      Query query;
+      query.vertices.push_back(static_cast<VertexId>(i));
+      query.k = 2;
+      if (!view.Search("Global", query).ok()) ++errors;
+      // All views hit the same lazily-built profile entries.
+      for (VertexId v = 0; v < 32; ++v) {
+        if (!view.Profile(v).ok()) ++errors;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+
+  // Profiles are deterministic and shared: one more view sees cached data.
+  Explorer view;
+  view.AttachDataset(dataset);
+  auto p0 = view.Profile(0);
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(p0->name, dataset->graph().Name(0));
+}
+
+}  // namespace
+}  // namespace cexplorer

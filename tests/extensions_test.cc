@@ -335,7 +335,7 @@ TEST(IndexPersistenceTest, ErrorsWithoutGraphOrFile) {
 class EndpointFixture : public ::testing::Test {
  protected:
   EndpointFixture() {
-    EXPECT_TRUE(server_.explorer()->UploadGraph(Figure5Graph()).ok());
+    EXPECT_TRUE(server_.UploadGraph(Figure5Graph()).ok());
   }
   CExplorerServer server_;
 };

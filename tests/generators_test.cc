@@ -123,7 +123,7 @@ class DetectFixture : public ::testing::Test {
     po.num_vertices = 300;
     po.num_communities = 6;
     PlantedGraph planted = GeneratePlanted(po);
-    EXPECT_TRUE(server_.explorer()->UploadGraph(std::move(planted.graph)).ok());
+    EXPECT_TRUE(server_.UploadGraph(std::move(planted.graph)).ok());
   }
   CExplorerServer server_;
 };

@@ -176,10 +176,10 @@ TEST_F(DblpPipeline, ServerSessionOnDblp) {
   // Run the full browser loop against a fresh server sharing the dataset.
   CExplorerServer server;
   DblpDataset data = GenerateDblp(TestScale());
-  ASSERT_TRUE(server.explorer()->UploadGraph(std::move(data.graph)).ok());
-  VertexId q = PickQueryAuthor(server.explorer()->graph(),
-                               server.explorer()->core_numbers());
-  const std::string name = server.explorer()->graph().Name(q);
+  ASSERT_TRUE(server.UploadGraph(std::move(data.graph)).ok());
+  DatasetPtr dataset = server.dataset();
+  VertexId q = PickQueryAuthor(dataset->graph(), dataset->core_numbers());
+  const std::string name = dataset->graph().Name(q);
 
   HttpResponse search = server.Handle(
       "GET /search?vertex=" + std::to_string(q) + "&k=4&algo=Global");

@@ -125,7 +125,7 @@ TEST_P(FuzzSweep, HttpParserNeverCrashes) {
 
 TEST_P(FuzzSweep, ServerSurvivesArbitraryRequests) {
   CExplorerServer server;
-  ASSERT_TRUE(server.explorer()->UploadGraph(Figure5Graph()).ok());
+  ASSERT_TRUE(server.UploadGraph(Figure5Graph()).ok());
   Rng rng(GetParam() * 997 + 6);
   const std::string seed_doc = "GET /search?name=a&k=2&keywords=x,y&algo=ACQ";
   for (int trial = 0; trial < 100; ++trial) {

@@ -64,7 +64,7 @@ TEST(ParseRequestTest, EmptyAndValuelessParams) {
 class ServerFixture : public ::testing::Test {
  protected:
   ServerFixture() {
-    EXPECT_TRUE(server_.explorer()->UploadGraph(Figure5Graph()).ok());
+    EXPECT_TRUE(server_.UploadGraph(Figure5Graph()).ok());
   }
 
   JsonValue GetJson(const std::string& request, int expected_code = 200) {
@@ -180,6 +180,148 @@ TEST_F(ServerFixture, CompareEndpointFigure6) {
 
 TEST_F(ServerFixture, CompareRequiresName) {
   EXPECT_EQ(server_.Handle("GET /compare?k=2").code, 400);
+}
+
+// --------------------------------------------------------------------------
+// Multi-session routing over one shared dataset
+// --------------------------------------------------------------------------
+
+TEST_F(ServerFixture, SessionNewCreatesIsolatedSessions) {
+  JsonValue s1 = GetJson("GET /session/new");
+  JsonValue s2 = GetJson("GET /session/new");
+  const std::string id1 = s1.Get("session").AsString();
+  const std::string id2 = s2.Get("session").AsString();
+  EXPECT_FALSE(id1.empty());
+  EXPECT_NE(id1, id2);
+
+  // Both sessions interleave search/explore against the one uploaded graph.
+  GetJson("GET /search?name=a&k=2&keywords=x,y&algo=ACQ&session=" + id1);
+  GetJson("GET /search?name=b&k=3&algo=Global&session=" + id2);
+  GetJson("GET /explore?vertex=2&k=2&session=" + id1);
+
+  // Community caches and history are per-session.
+  JsonValue h1 = GetJson("GET /history?session=" + id1);
+  JsonValue h2 = GetJson("GET /history?session=" + id2);
+  EXPECT_EQ(h1.Get("history").Items().size(), 2u);
+  EXPECT_EQ(h2.Get("history").Items().size(), 1u);
+  EXPECT_EQ(GetJson("GET /community?id=0&session=" + id2)
+                .Get("community")
+                .Get("method")
+                .AsString(),
+            "Global");
+
+  // The default session (no ?session=) is yet another isolated session.
+  EXPECT_EQ(server_.Handle("GET /community?id=0").code, 404);
+}
+
+TEST_F(ServerFixture, UnknownSessionIs404) {
+  EXPECT_EQ(server_.Handle("GET /search?name=a&session=nope").code, 404);
+}
+
+TEST_F(ServerFixture, SessionsEndpointListsState) {
+  const std::string id = GetJson("GET /session/new").Get("session").AsString();
+  GetJson("GET /search?name=a&k=2&keywords=x,y&session=" + id);
+  JsonValue v = GetJson("GET /sessions");
+  const auto& sessions = v.Get("sessions").Items();
+  ASSERT_GE(sessions.size(), 1u);
+  bool found = false;
+  for (const auto& s : sessions) {
+    if (s.Get("id").AsString() != id) continue;
+    found = true;
+    EXPECT_EQ(s.Get("cached_communities").AsInt(), 1);
+    EXPECT_EQ(s.Get("history_length").AsInt(), 1);
+    EXPECT_GT(s.Get("dataset_id").AsInt(), 0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ServerFixture, UploadInvalidatesCachedCommunitiesAcrossSessions) {
+  const std::string id = GetJson("GET /session/new").Get("session").AsString();
+  GetJson("GET /search?name=a&k=2&keywords=x,y&session=" + id);
+  GetJson("GET /detect?algo=CODICIL&session=" + id);
+  GetJson("GET /community?id=0&session=" + id);
+  GetJson("GET /cluster?id=0&session=" + id);
+
+  // Another session re-uploads the graph: the dataset pointer is swapped.
+  const std::string path = ::testing::TempDir() + "/fig5_reload.attr";
+  ASSERT_TRUE(SaveAttributed(Figure5Graph(), path).ok());
+  GetJson("GET /upload?path=" + UrlEncode(path));
+
+  // The first session's cached results were computed against the old
+  // snapshot and must not be served against the new one.
+  EXPECT_EQ(server_.Handle("GET /community?id=0&session=" + id).code, 404);
+  EXPECT_EQ(server_.Handle("GET /cluster?id=0&session=" + id).code, 404);
+  EXPECT_EQ(server_.Handle("GET /export?id=0&session=" + id).code, 404);
+
+  // A fresh search against the new snapshot works again.
+  GetJson("GET /search?name=a&k=2&keywords=x,y&session=" + id);
+  GetJson("GET /community?id=0&session=" + id);
+}
+
+TEST_F(ServerFixture, LoadIndexSwapsSnapshotForAllSessions) {
+  const std::string path = ::testing::TempDir() + "/fig5_server_index.cl";
+  GetJson("GET /save_index?path=" + UrlEncode(path));
+  const std::uint64_t before =
+      static_cast<std::uint64_t>(GetJson("GET /").Get("dataset_id").AsInt());
+  const std::uint64_t epoch_before = server_.dataset()->graph_epoch();
+  // Session caches computed before the index reload...
+  GetJson("GET /search?name=a&k=2&keywords=x,y");
+  JsonValue loaded = GetJson("GET /load_index?path=" + UrlEncode(path));
+  EXPECT_GT(static_cast<std::uint64_t>(loaded.Get("dataset_id").AsInt()),
+            before);
+  // Same graph: the algorithm-facing epoch is preserved so per-graph
+  // plug-in caches (e.g. CODICIL's clustering) survive an index reload...
+  EXPECT_EQ(server_.dataset()->graph_epoch(), epoch_before);
+  // ...and so do the session's cached communities: the vertex ids are
+  // still valid, only the index snapshot changed.
+  GetJson("GET /community?id=0");
+  // Same graph, fresh snapshot: queries still work.
+  GetJson("GET /search?name=a&k=2&keywords=x,y");
+}
+
+TEST(ServerSessionTest, SessionLimitAndRemoval) {
+  SessionManager manager(/*max_sessions=*/2);
+  auto first = manager.Create();
+  EXPECT_NE(first, nullptr);
+  EXPECT_NE(manager.Create(), nullptr);
+  EXPECT_EQ(manager.Create(), nullptr);  // at the cap
+  // Deleting frees a slot.
+  EXPECT_TRUE(manager.Remove(first->id));
+  EXPECT_FALSE(manager.Remove(first->id));
+  EXPECT_NE(manager.Create(), nullptr);
+  // The implicit default session bypasses the cap check.
+  EXPECT_EQ(manager.Create(), nullptr);
+  EXPECT_NE(manager.GetOrCreate("default"), nullptr);
+}
+
+TEST_F(ServerFixture, SessionDeleteEndpoint) {
+  const std::string id = GetJson("GET /session/new").Get("session").AsString();
+  GetJson("GET /search?name=a&k=2&keywords=x,y&session=" + id);
+  JsonValue deleted = GetJson("GET /session/delete?id=" + id);
+  EXPECT_EQ(deleted.Get("deleted").AsString(), id);
+  // The session is gone: routed requests 404, re-delete 404.
+  EXPECT_EQ(server_.Handle("GET /search?name=a&session=" + id).code, 404);
+  EXPECT_EQ(server_.Handle("GET /session/delete?id=" + id).code, 404);
+  EXPECT_EQ(server_.Handle("GET /session/delete").code, 400);
+}
+
+TEST(ServerSessionTest, SessionsShareOneIndexBuild) {
+  CExplorerServer server;
+  const std::uint64_t builds_before = Dataset::TotalIndexBuilds();
+  ASSERT_TRUE(server.UploadGraph(Figure5Graph()).ok());
+  // Creating sessions and querying must not rebuild the CL-tree.
+  for (int i = 0; i < 8; ++i) {
+    HttpResponse created = server.Handle("GET /session/new");
+    ASSERT_EQ(created.code, 200);
+    auto v = JsonValue::Parse(created.body);
+    ASSERT_TRUE(v.ok());
+    const std::string id = v->Get("session").AsString();
+    EXPECT_EQ(
+        server.Handle("GET /search?name=a&k=2&algo=Global&session=" + id).code,
+        200);
+  }
+  EXPECT_EQ(Dataset::TotalIndexBuilds(), builds_before + 1);
+  EXPECT_EQ(server.num_sessions(), 8u);
 }
 
 TEST(ServerUploadTest, UploadEndpointLoadsFile) {
