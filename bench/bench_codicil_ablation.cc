@@ -16,6 +16,7 @@
 #include "algos/clusterers.h"
 #include "algos/codicil.h"
 #include "bench/bench_common.h"
+#include "common/timer.h"
 #include "data/planted.h"
 #include "metrics/similarity.h"
 
@@ -138,9 +139,13 @@ BENCHMARK(BM_LabelPropagationOnPlanted)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  cexplorer::Timer timer;
   PrintContentVsLinks();
   PrintClustererBackends();
   PrintContentBudget();
+  cexplorer::bench::EmitJsonLine("codicil_ablation_tables", 0, 0,
+                                 cexplorer::DefaultThreadCount(),
+                                 timer.ElapsedMillis());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/parallel.h"
 #include "core/kcore.h"
 #include "data/dblp.h"
 #include "graph/attributed_graph.h"
@@ -51,6 +52,21 @@ inline VertexId PickQueryAuthor(const AttributedGraph& g,
     }
   }
   return best;
+}
+
+/// Emits one machine-readable result line so benchmark trajectories can be
+/// recorded across commits:
+///   BENCH_JSON {"name":"...","n":...,"m":...,"threads":...,"ms":...}
+/// One line per (benchmark, configuration); drivers collect them by
+/// grepping stdout for the BENCH_JSON prefix and appending to BENCH_*.json
+/// files. `name` must be a plain identifier (no JSON escaping applied);
+/// `threads` is 1 for sequential measurements.
+inline void EmitJsonLine(const char* name, std::size_t n, std::size_t m,
+                         std::size_t threads, double ms) {
+  std::printf(
+      "BENCH_JSON {\"name\":\"%s\",\"n\":%zu,\"m\":%zu,\"threads\":%zu,"
+      "\"ms\":%.3f}\n",
+      name, n, m, threads, ms);
 }
 
 /// Prints the standard reproduction banner.

@@ -45,6 +45,9 @@ void PrintDatasetTable() {
                 FormatWithCommas(data.graph.graph().num_edges()).c_str(),
                 data.graph.graph().AverageDegree(),
                 data.graph.graph().MaxDegree(), MaxCoreNumber(core), gen_s);
+    cexplorer::bench::EmitJsonLine("dblp_generate", data.graph.num_vertices(),
+                                   data.graph.graph().num_edges(), 1,
+                                   gen_s * 1e3);
   }
   std::printf(
       "\npaper      %12s %12s %8.2f   (paper's DBLP sample, for reference)\n",

@@ -76,6 +76,9 @@ void PrintLatencyTable() {
   auto communities = s.explorer->Search("ACQ", s.query);
   double search_ms = timer.ElapsedMillis();
   std::printf("%-34s %12.3f\n", "ACQ search (Dec, CL-tree)", search_ms);
+  cexplorer::bench::EmitJsonLine("fig1_acq_search", g.num_vertices(),
+                                 g.graph().num_edges(),
+                                 cexplorer::DefaultThreadCount(), search_ms);
 
   if (communities.ok() && !communities->empty()) {
     timer.Restart();

@@ -76,6 +76,10 @@ void PrintLinearityTable() {
                 FormatWithCommas(static_cast<std::uint64_t>(nm / secs)).c_str(),
                 static_cast<double>(tree.MemoryBytes()) / 1e6,
                 static_cast<double>(tree.MemoryBytes()) / nm);
+    cexplorer::bench::EmitJsonLine("fig5_cltree_build",
+                                   data.graph.num_vertices(),
+                                   data.graph.graph().num_edges(), 1,
+                                   secs * 1e3);
   }
   std::printf("\nShape check: throughput ((n+m)/s) and bytes/(n+m) stay flat\n"
               "as the graph grows -> linear time and space, as claimed.\n\n");

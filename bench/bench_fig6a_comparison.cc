@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "bench/bench_common.h"
+#include "common/timer.h"
 #include "common/strings.h"
 #include "explorer/explorer.h"
 
@@ -152,7 +153,11 @@ BENCHMARK(BM_AnalyzeCommunity)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  cexplorer::Timer timer;
   PrintComparisonTable();
+  cexplorer::bench::EmitJsonLine("fig6a_comparison_table", 0, 0,
+                                 cexplorer::DefaultThreadCount(),
+                                 timer.ElapsedMillis());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

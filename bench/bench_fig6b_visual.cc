@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "bench/bench_common.h"
+#include "common/timer.h"
 #include "common/strings.h"
 #include "explorer/explorer.h"
 #include "graph/subgraph.h"
@@ -170,7 +171,11 @@ BENCHMARK(BM_CircleVsForce)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  cexplorer::Timer timer;
   PrintVisualComparison();
+  cexplorer::bench::EmitJsonLine("fig6b_visual_comparison", 0, 0,
+                                 cexplorer::DefaultThreadCount(),
+                                 timer.ElapsedMillis());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

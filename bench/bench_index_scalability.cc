@@ -118,6 +118,12 @@ void PrintScalabilityTable() {
     std::printf("%-10s %12s %14.1f %16.2f\n", FormatWithCommas(n).c_str(),
                 FormatWithCommas(data.graph.graph().num_edges()).c_str(),
                 build_ms, query_ms);
+    cexplorer::bench::EmitJsonLine("scalability_index_build", n,
+                                   data.graph.graph().num_edges(), 1,
+                                   build_ms);
+    cexplorer::bench::EmitJsonLine("scalability_dec_query", n,
+                                   data.graph.graph().num_edges(),
+                                   DefaultThreadCount(), query_ms);
   }
   std::printf("\nShape check: query latency stays interactive as the graph\n"
               "grows; index build is a one-off linear cost.\n\n");

@@ -99,6 +99,21 @@ void PrintSweepTable() {
       }
       std::printf("%-4u %-4zu %12.2f %12.2f %12.2f %16s\n", k, num_kws,
                   total_ms[0], total_ms[1], total_ms[2], names[fastest]);
+      if (k == 4 && num_kws == 4) {
+        // One stable headline configuration per algorithm.
+        cexplorer::bench::EmitJsonLine("query_incs_k4_s4",
+                                       w.graph.num_vertices(),
+                                       w.graph.graph().num_edges(),
+                                       DefaultThreadCount(), total_ms[0]);
+        cexplorer::bench::EmitJsonLine("query_inct_k4_s4",
+                                       w.graph.num_vertices(),
+                                       w.graph.graph().num_edges(),
+                                       DefaultThreadCount(), total_ms[1]);
+        cexplorer::bench::EmitJsonLine("query_dec_k4_s4",
+                                       w.graph.num_vertices(),
+                                       w.graph.graph().num_edges(),
+                                       DefaultThreadCount(), total_ms[2]);
+      }
     }
   }
 

@@ -27,6 +27,7 @@ namespace {
 struct QueryContext {
   const AttributedGraph* g = nullptr;
   const ClTree* index = nullptr;  // null for the brute-force oracle
+  ThreadPool* pool = nullptr;     // null -> sequential verification
   VertexList query_vertices;      // non-empty; [0] is the anchor
   std::uint32_t k = 0;
   KeywordList keywords;  // S, sorted
@@ -47,15 +48,47 @@ bool ContainsAllQueryVertices(const QueryContext& ctx,
 }
 
 /// Peels `candidates` to the k-core component of the anchor and checks that
-/// all query vertices survived. Empty return means "not qualified".
-VertexList PeelAndCheck(QueryContext* ctx, VertexList candidates) {
-  ++ctx->stats.candidates_verified;
-  VertexList community = PeelToKCore(ctx->g->graph(), std::move(candidates),
-                                     ctx->k, ctx->query_vertices[0]);
-  if (community.empty() || !ContainsAllQueryVertices(*ctx, community)) {
+/// all query vertices survived. Empty return means "not qualified". Counts
+/// into `stats` (per-thread when called from a parallel verify pass).
+VertexList PeelAndCheck(const QueryContext& ctx, VertexList candidates,
+                        AcqStats* stats) {
+  ++stats->candidates_verified;
+  VertexList community = PeelToKCore(ctx.g->graph(), std::move(candidates),
+                                     ctx.k, ctx.query_vertices[0]);
+  if (community.empty() || !ContainsAllQueryVertices(ctx, community)) {
     return {};
   }
   return community;
+}
+
+/// Verifies one lattice level's candidate vertex lists, concurrently when
+/// the context carries a pool: result[i] is the qualified community for
+/// `gathered[i]` (empty when unqualified). Candidates are independent, so
+/// chunks only touch their own slots; the per-chunk counters are merged
+/// into ctx->stats in chunk order, matching the sequential totals exactly.
+std::vector<VertexList> VerifyLevel(QueryContext* ctx,
+                                    std::vector<VertexList> gathered) {
+  std::vector<VertexList> communities(gathered.size());
+  AcqStats merged = ParallelReduce<AcqStats>(
+      0, gathered.size(), AcqStats{},
+      [&](std::size_t lo, std::size_t hi) {
+        AcqStats local;
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (gathered[i].size() < ctx->k + 1) {
+            ++local.support_pruned;
+            continue;
+          }
+          communities[i] = PeelAndCheck(*ctx, std::move(gathered[i]), &local);
+        }
+        return local;
+      },
+      [](AcqStats acc, const AcqStats& part) {
+        acc.Merge(part);
+        return acc;
+      },
+      ctx->pool, /*grain=*/1);
+  ctx->stats.Merge(merged);
+  return communities;
 }
 
 /// Candidate vertices for keyword set `cand`, gathered by scanning a vertex
@@ -129,7 +162,7 @@ std::vector<AttributedCommunity> RunBruteForce(QueryContext* ctx) {
     ForEachSubset(ctx->keywords, size, [&](const KeywordList& cand) {
       ++ctx->stats.candidates_generated;
       VertexList gather = GatherByScan(*ctx, universe, cand);
-      VertexList community = PeelAndCheck(ctx, std::move(gather));
+      VertexList community = PeelAndCheck(*ctx, std::move(gather), &ctx->stats);
       if (!community.empty()) {
         found.push_back({std::move(community), cand});
       }
@@ -224,27 +257,26 @@ std::vector<AttributedCommunity> RunIncremental(QueryContext* ctx,
     std::sort(frontier.begin(), frontier.end());
     ctx->stats.candidates_generated += frontier.size();
 
-    std::vector<VertexList> gathered;
+    std::vector<VertexList> gathered(frontier.size());
     if (tree_batched) {
       gathered = BatchCollect(*ctx, frontier);
     } else {
-      gathered.reserve(frontier.size());
-      for (const KeywordList& cand : frontier) {
-        gathered.push_back(GatherByScan(*ctx, ctx->component, cand));
-      }
+      // Per-candidate scans are independent: fan them across the pool.
+      ParallelFor(
+          0, frontier.size(), ctx->pool,
+          [&](std::size_t i) {
+            gathered[i] = GatherByScan(*ctx, ctx->component, frontier[i]);
+          },
+          /*grain=*/1);
     }
 
+    std::vector<VertexList> communities = VerifyLevel(ctx, std::move(gathered));
     std::vector<KeywordList> qualified;
     std::vector<AttributedCommunity> level_communities;
     for (std::size_t i = 0; i < frontier.size(); ++i) {
-      if (gathered[i].size() < ctx->k + 1) {
-        ++ctx->stats.support_pruned;
-        continue;
-      }
-      VertexList community = PeelAndCheck(ctx, std::move(gathered[i]));
-      if (!community.empty()) {
+      if (!communities[i].empty()) {
         qualified.push_back(frontier[i]);
-        level_communities.push_back({std::move(community), frontier[i]});
+        level_communities.push_back({std::move(communities[i]), frontier[i]});
       }
     }
     if (qualified.empty()) break;
@@ -277,21 +309,27 @@ std::vector<AttributedCommunity> RunDec(QueryContext* ctx) {
   std::vector<KeywordList> frontier{effective};
   while (!frontier.empty()) {
     ctx->stats.candidates_generated += frontier.size();
+    // Gather (independent CL-tree walks) and verify concurrently; the
+    // lattice expansion below stays sequential (set arithmetic, not graph
+    // work).
+    std::vector<VertexList> gathered(frontier.size());
+    ParallelFor(
+        0, frontier.size(), ctx->pool,
+        [&](std::size_t i) {
+          gathered[i] = ctx->index->CollectWithKeywords(ctx->node, frontier[i]);
+        },
+        /*grain=*/1);
+    std::vector<VertexList> communities = VerifyLevel(ctx, std::move(gathered));
+
     std::vector<AttributedCommunity> qualified;
     std::set<KeywordList> next;
-    for (const KeywordList& cand : frontier) {
-      VertexList gather = ctx->index->CollectWithKeywords(ctx->node, cand);
-      bool ok = false;
-      if (gather.size() < ctx->k + 1) {
-        ++ctx->stats.support_pruned;
-      } else {
-        VertexList community = PeelAndCheck(ctx, std::move(gather));
-        if (!community.empty()) {
-          qualified.push_back({std::move(community), cand});
-          ok = true;
-        }
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const KeywordList& cand = frontier[i];
+      if (!communities[i].empty()) {
+        qualified.push_back({std::move(communities[i]), cand});
+        continue;
       }
-      if (!ok && cand.size() > 1) {
+      if (cand.size() > 1) {
         for (std::size_t drop = 0; drop < cand.size(); ++drop) {
           KeywordList sub;
           sub.reserve(cand.size() - 1);
@@ -312,11 +350,13 @@ std::vector<AttributedCommunity> RunDec(QueryContext* ctx) {
 }
 
 Result<QueryContext> MakeContext(const AttributedGraph& g, const ClTree* index,
-                                 VertexList query_vertices, std::uint32_t k,
-                                 KeywordList keywords, bool need_index) {
+                                 ThreadPool* pool, VertexList query_vertices,
+                                 std::uint32_t k, KeywordList keywords,
+                                 bool need_index) {
   QueryContext ctx;
   ctx.g = &g;
   ctx.index = index;
+  ctx.pool = pool;
   ctx.k = k;
 
   if (query_vertices.empty()) {
@@ -369,13 +409,14 @@ Result<QueryContext> MakeContext(const AttributedGraph& g, const ClTree* index,
 }
 
 Result<AcqResult> RunQuery(const AttributedGraph& g, const ClTree* index,
-                           VertexList query_vertices, std::uint32_t k,
-                           KeywordList keywords, AcqAlgorithm algo) {
+                           ThreadPool* pool, VertexList query_vertices,
+                           std::uint32_t k, KeywordList keywords,
+                           AcqAlgorithm algo) {
   const bool need_index = algo != AcqAlgorithm::kBruteForce;
   if (need_index && index == nullptr) {
     return Status::FailedPrecondition("indexed algorithm requires a CL-tree");
   }
-  auto ctx_or = MakeContext(g, index, std::move(query_vertices), k,
+  auto ctx_or = MakeContext(g, index, pool, std::move(query_vertices), k,
                             std::move(keywords), need_index);
   if (!ctx_or.ok()) return ctx_or.status();
   QueryContext ctx = std::move(ctx_or.value());
@@ -427,7 +468,7 @@ KeywordList SharedKeywords(const AttributedGraph& g,
 Result<AcqResult> AcqEngine::Search(VertexId q, std::uint32_t k,
                                     KeywordList keywords,
                                     AcqAlgorithm algo) const {
-  return RunQuery(*g_, index_, {q}, k, std::move(keywords), algo);
+  return RunQuery(*g_, index_, pool_, {q}, k, std::move(keywords), algo);
 }
 
 Result<AcqResult> AcqEngine::SearchByName(
@@ -451,7 +492,8 @@ Result<AcqResult> AcqEngine::SearchByName(
 Result<AcqResult> AcqEngine::SearchMulti(const VertexList& query_vertices,
                                          std::uint32_t k, KeywordList keywords,
                                          AcqAlgorithm algo) const {
-  return RunQuery(*g_, index_, query_vertices, k, std::move(keywords), algo);
+  return RunQuery(*g_, index_, pool_, query_vertices, k, std::move(keywords),
+                  algo);
 }
 
 }  // namespace cexplorer

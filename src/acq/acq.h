@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cltree/cltree.h"
+#include "common/parallel.h"
 #include "common/status.h"
 #include "graph/attributed_graph.h"
 #include "graph/types.h"
@@ -53,11 +54,20 @@ struct AttributedCommunity {
                          const AttributedCommunity&) = default;
 };
 
-/// Work counters for benchmarking the query algorithms.
+/// Work counters for benchmarking the query algorithms. Purely additive,
+/// so per-thread counters from a parallel verification pass merge into the
+/// same totals the sequential pass produces.
 struct AcqStats {
   std::size_t candidates_generated = 0;  ///< keyword sets considered
   std::size_t candidates_verified = 0;   ///< peel computations performed
   std::size_t support_pruned = 0;        ///< sets rejected before peeling
+
+  /// Accumulates another thread's (or chunk's) counters into this one.
+  void Merge(const AcqStats& other) {
+    candidates_generated += other.candidates_generated;
+    candidates_verified += other.candidates_verified;
+    support_pruned += other.support_pruned;
+  }
 };
 
 /// The answer to one ACQ query. Communities are sorted by shared keyword
@@ -76,10 +86,17 @@ KeywordList SharedKeywords(const AttributedGraph& g,
 
 /// ACQ query engine bound to a graph and its CL-tree index.
 /// Both must outlive the engine.
+///
+/// With a non-null `pool`, the Inc-S/Inc-T/Dec algorithms gather and
+/// verify the independent keyword candidates of each lattice level
+/// concurrently (per-thread AcqStats merged at the end); results and
+/// stats are identical to the sequential run. The engine itself holds no
+/// mutable state, so one engine may serve concurrent callers.
 class AcqEngine {
  public:
-  AcqEngine(const AttributedGraph* graph, const ClTree* index)
-      : g_(graph), index_(index) {}
+  AcqEngine(const AttributedGraph* graph, const ClTree* index,
+            ThreadPool* pool = nullptr)
+      : g_(graph), index_(index), pool_(pool) {}
 
   /// Runs an ACQ query.
   ///
@@ -107,6 +124,7 @@ class AcqEngine {
  private:
   const AttributedGraph* g_;
   const ClTree* index_;
+  ThreadPool* pool_;
 };
 
 }  // namespace cexplorer

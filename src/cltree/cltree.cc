@@ -272,19 +272,21 @@ std::span<const VertexId> ClTreeNode::Postings(KeywordId kw) const {
   return {list.data(), list.size()};
 }
 
-ClTree ClTree::Build(const AttributedGraph& g, ClTreeBuildMethod method) {
+ClTree ClTree::Build(const AttributedGraph& g, ClTreeBuildMethod method,
+                     ThreadPool* pool) {
   ClTree tree;
   if (g.num_vertices() == 0) return tree;
-  std::vector<std::uint32_t> core = CoreDecomposition(g.graph());
+  std::vector<std::uint32_t> core = CoreDecomposition(g.graph(), pool);
   RawTree raw = method == ClTreeBuildMethod::kBasic
                     ? BuildBasicTree(g.graph(), core)
                     : BuildAdvancedTree(g.graph(), core);
-  tree.Finalize(g, std::move(raw.nodes), raw.root);
+  tree.Finalize(g, std::move(raw.nodes), raw.root, pool);
   return tree;
 }
 
 void ClTree::Finalize(const AttributedGraph& g,
-                      std::vector<ClTreeNode> raw_nodes, ClNodeId raw_root) {
+                      std::vector<ClTreeNode> raw_nodes, ClNodeId raw_root,
+                      ThreadPool* pool) {
   const std::size_t num_raw = raw_nodes.size();
 
   // Pass 1 (post-order): minimum vertex in each subtree, for canonical
@@ -369,31 +371,40 @@ void ClTree::Finalize(const AttributedGraph& g,
     }
   }
 
-  // Vertex -> node map.
+  // Vertex -> node map, then the per-node inverted lists. Nodes are
+  // independent (every vertex is anchored at exactly one node), so both
+  // passes parallelize over the node array without synchronization; the
+  // output per node depends only on that node's anchored vertices, keeping
+  // the parallel build byte-identical to the sequential one.
   vertex_node_.assign(g.num_vertices(), kInvalidClNode);
-  for (std::size_t i = 0; i < num_raw; ++i) {
-    for (VertexId v : nodes_[i].vertices) {
-      vertex_node_[v] = static_cast<ClNodeId>(i);
-    }
-  }
-
-  // Inverted lists per node over anchored vertices.
-  for (auto& node : nodes_) {
-    std::vector<std::pair<KeywordId, VertexId>> pairs;
-    for (VertexId v : node.vertices) {
-      for (KeywordId kw : g.Keywords(v)) pairs.emplace_back(kw, v);
-    }
-    std::sort(pairs.begin(), pairs.end());
-    node.inv_keywords.clear();
-    node.inv_postings.clear();
-    for (const auto& [kw, v] : pairs) {
-      if (node.inv_keywords.empty() || node.inv_keywords.back() != kw) {
-        node.inv_keywords.push_back(kw);
-        node.inv_postings.emplace_back();
-      }
-      node.inv_postings.back().push_back(v);
-    }
-  }
+  ParallelFor(
+      0, num_raw, pool,
+      [&](std::size_t i) {
+        for (VertexId v : nodes_[i].vertices) {
+          vertex_node_[v] = static_cast<ClNodeId>(i);
+        }
+      },
+      /*grain=*/256);
+  ParallelFor(
+      0, num_raw, pool,
+      [&](std::size_t i) {
+        ClTreeNode& node = nodes_[i];
+        std::vector<std::pair<KeywordId, VertexId>> pairs;
+        for (VertexId v : node.vertices) {
+          for (KeywordId kw : g.Keywords(v)) pairs.emplace_back(kw, v);
+        }
+        std::sort(pairs.begin(), pairs.end());
+        node.inv_keywords.clear();
+        node.inv_postings.clear();
+        for (const auto& [kw, v] : pairs) {
+          if (node.inv_keywords.empty() || node.inv_keywords.back() != kw) {
+            node.inv_keywords.push_back(kw);
+            node.inv_postings.emplace_back();
+          }
+          node.inv_postings.back().push_back(v);
+        }
+      },
+      /*grain=*/16);
 }
 
 ClNodeId ClTree::LocateKCore(VertexId q, std::uint32_t k) const {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "graph/attributed_graph.h"
 #include "graph/types.h"
@@ -84,8 +85,16 @@ class ClTree {
   ClTree() = default;
 
   /// Builds the index. The graph must outlive the tree (not owned).
+  ///
+  /// With a non-null `pool`, the core decomposition runs the parallel
+  /// frontier peel and Finalize builds the per-node inverted lists and
+  /// vertex map concurrently (nodes are independent). The result is
+  /// byte-identical to the sequential build for every pool size — node
+  /// ids are canonical preorder positions and each node's lists depend
+  /// only on its own anchored vertices.
   static ClTree Build(const AttributedGraph& g,
-                      ClTreeBuildMethod method = ClTreeBuildMethod::kAdvanced);
+                      ClTreeBuildMethod method = ClTreeBuildMethod::kAdvanced,
+                      ThreadPool* pool = nullptr);
 
   /// Number of nodes.
   std::size_t num_nodes() const { return nodes_.size(); }
@@ -137,9 +146,10 @@ class ClTree {
   friend class ClTreeBuilder;
 
   /// Reorders an arbitrarily-built tree into canonical preorder, fills
-  /// subtree_end / subtree_sizes_ / vertex_node_ and the inverted lists.
+  /// subtree_end / subtree_sizes_ / vertex_node_ and the inverted lists
+  /// (per-node, in parallel when `pool` is non-null).
   void Finalize(const AttributedGraph& g, std::vector<ClTreeNode> raw_nodes,
-                ClNodeId raw_root);
+                ClNodeId raw_root, ThreadPool* pool = nullptr);
 
   std::vector<ClTreeNode> nodes_;       // preorder
   std::vector<ClNodeId> vertex_node_;   // vertex -> anchoring node

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
@@ -19,6 +20,15 @@ namespace cexplorer {
 /// Core number of every vertex, computed by Batagelj-Zaversnik bucket
 /// peeling in O(n + m) time and O(n) extra space.
 std::vector<std::uint32_t> CoreDecomposition(const Graph& g);
+
+/// Parallel core decomposition: level-synchronous frontier peeling (the
+/// ParK scheme) — for each level k, all vertices whose residual degree has
+/// dropped to <= k are peeled together in parallel sub-rounds with atomic
+/// degree decrements. Core numbers are a function of the graph alone, so
+/// the result is identical to CoreDecomposition(g) for every pool size;
+/// a null/empty `pool` (or a tiny graph) falls back to the sequential
+/// bucket peel.
+std::vector<std::uint32_t> CoreDecomposition(const Graph& g, ThreadPool* pool);
 
 /// Reference implementation: iterative min-degree peeling with explicit
 /// subgraph recomputation, O(n * m) worst case. Used as a test oracle only.

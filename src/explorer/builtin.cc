@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "algos/girvan_newman.h"
+#include "common/parallel.h"
 #include "algos/global.h"
 #include "algos/local.h"
 
@@ -46,7 +47,9 @@ Result<std::vector<Community>> AcqCsAlgorithm::Search(
     keyword_ids.push_back(kw);
   }
 
-  AcqEngine engine(ctx.graph, ctx.index);
+  // Candidate verification fans across the shared default pool; results
+  // are identical to the sequential engine, so every caller gets it.
+  AcqEngine engine(ctx.graph, ctx.index, DefaultPool());
   auto result = engine.SearchMulti(vertices.value(), query.k,
                                    std::move(keyword_ids), variant_);
   if (!result.ok()) return result.status();

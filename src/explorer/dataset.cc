@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "core/kcore.h"
 #include "graph/io.h"
@@ -26,9 +27,14 @@ Result<DatasetPtr> Dataset::Build(AttributedGraph graph) {
   auto dataset = std::shared_ptr<Dataset>(new Dataset());
   dataset->graph_ =
       std::make_shared<const AttributedGraph>(std::move(graph));
+  // The expensive offline step runs on the shared pool (sized by
+  // CEXPLORER_THREADS); both parallel paths are bit-identical to the
+  // sequential ones, so snapshots are reproducible across pool sizes.
+  ThreadPool* pool = DefaultPool();
   dataset->core_numbers_ = std::make_shared<const std::vector<std::uint32_t>>(
-      CoreDecomposition(dataset->graph_->graph()));
-  dataset->index_ = ClTree::Build(*dataset->graph_);
+      CoreDecomposition(dataset->graph_->graph(), pool));
+  dataset->index_ =
+      ClTree::Build(*dataset->graph_, ClTreeBuildMethod::kAdvanced, pool);
   g_index_builds.fetch_add(1, std::memory_order_relaxed);
   dataset->id_ = g_next_dataset_id.fetch_add(1, std::memory_order_relaxed);
   dataset->graph_epoch_ = dataset->id_;  // a fresh graph is a fresh epoch

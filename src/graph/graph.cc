@@ -51,14 +51,18 @@ void GraphBuilder::EnsureVertices(std::size_t n) {
 }
 
 Graph GraphBuilder::Build() {
-  std::sort(edges_.begin(), edges_.end());
-  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
-
+  // AddEdge already normalized every record (u < v, no self-loops), so the
+  // old global sort-of-pairs — the O(m log m) term — is unnecessary:
+  // counting-sort the half-edges straight into CSR position, then sort and
+  // dedup each adjacency list locally. Duplicate records land as adjacent
+  // duplicates in BOTH endpoint lists and are removed symmetrically, which
+  // is all the global pair-dedup achieved. Total cost O(n + m + sum of
+  // d log d), and the edge buffer is never reordered or copied.
   Graph g;
   const std::size_t n = num_vertices_;
   g.offsets_.assign(n + 1, 0);
 
-  // Count degrees, then prefix-sum into offsets, then fill.
+  // Count degrees (with duplicates), prefix-sum into offsets, scatter.
   for (const auto& [u, v] : edges_) {
     ++g.offsets_[u + 1];
     ++g.offsets_[v + 1];
@@ -71,14 +75,31 @@ Graph GraphBuilder::Build() {
     g.adjacency_[cursor[u]++] = v;
     g.adjacency_[cursor[v]++] = u;
   }
-  // Edges were globally sorted by (u, v); each u's neighbours v>u arrive
-  // sorted, but neighbours v<u were appended in order of v's pass too.
-  // A per-vertex sort keeps the invariant simple and costs O(m log d).
+
+  // Per-vertex sort + dedup, compacting in place. The write head never
+  // passes the read head (removal only shrinks), so the forward copy is
+  // safe; offsets are rewritten to the compacted positions as we go.
+  std::uint64_t write = 0;
+  std::uint64_t read_lo = 0;
   for (VertexId u = 0; u < n; ++u) {
-    auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u]);
-    auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[u + 1]);
+    const std::uint64_t read_hi = g.offsets_[u + 1];
+    auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(read_lo);
+    auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(read_hi);
     std::sort(begin, end);
+    auto unique_end = std::unique(begin, end);
+    const std::uint64_t degree =
+        static_cast<std::uint64_t>(unique_end - begin);
+    if (write != read_lo) {
+      std::move(begin, unique_end,
+                g.adjacency_.begin() + static_cast<std::ptrdiff_t>(write));
+    }
+    g.offsets_[u] = write;  // offsets_[u] was read_lo; rewrite after use
+    write += degree;
+    read_lo = read_hi;
   }
+  g.offsets_[n] = write;
+  g.adjacency_.resize(write);
+  g.adjacency_.shrink_to_fit();
 
   num_vertices_ = 0;
   edges_.clear();

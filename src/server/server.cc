@@ -158,6 +158,7 @@ HttpResponse CExplorerServer::Dispatch(const HttpRequest& request) {
   };
   static constexpr Route kRoutes[] = {
       {"/", &CExplorerServer::HandleIndex, true},
+      {"/batch", &CExplorerServer::HandleBatch, false},
       {"/upload", &CExplorerServer::HandleUpload, false},
       {"/load_index", &CExplorerServer::HandleLoadIndex, false},
       {"/save_index", &CExplorerServer::HandleSaveIndex, false},
@@ -805,6 +806,149 @@ HttpResponse CExplorerServer::HandleLoadIndex(RequestContext& ctx,
   w.UInt(ctx.dataset->id());
   w.EndObject();
   return HttpResponse::Ok(w.TakeString());
+}
+
+ThreadPool* CExplorerServer::Workers() {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  if (workers_ == nullptr) {
+    workers_ = std::make_unique<ThreadPool>(DefaultThreadCount());
+  }
+  return workers_.get();
+}
+
+void CExplorerServer::ConfigureWorkers(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  workers_ = std::make_unique<ThreadPool>(threads);
+}
+
+std::size_t CExplorerServer::num_workers() const {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  return workers_ == nullptr ? 0 : workers_->num_threads();
+}
+
+std::future<HttpResponse> CExplorerServer::SubmitAsync(
+    std::string request_line) {
+  auto task = std::make_shared<std::packaged_task<HttpResponse()>>(
+      [this, line = std::move(request_line)] { return Handle(line); });
+  std::future<HttpResponse> future = task->get_future();
+  ThreadPool* workers = Workers();
+  if (workers->num_threads() == 0) {
+    (*task)();  // a zero-thread executor degenerates to synchronous serving
+  } else {
+    workers->Submit([task] { (*task)(); });
+  }
+  return future;
+}
+
+HttpResponse CExplorerServer::HandleBatch(RequestContext& ctx,
+                                          const HttpRequest& request) {
+  if (ctx.dataset == nullptr) {
+    return HttpResponse::Error(409, "no graph uploaded");
+  }
+  const std::string& raw = request.Param("requests");
+  if (raw.empty()) return HttpResponse::Error(400, "missing ?requests=");
+  auto parsed = JsonValue::Parse(raw);
+  if (!parsed.ok() || !parsed->is_array()) {
+    return HttpResponse::Error(400, "?requests= must be a JSON array");
+  }
+  const std::vector<JsonValue>& items = parsed->Items();
+
+  // Decode every query up front so a malformed entry is reported per-slot
+  // rather than failing the whole batch.
+  struct BatchItem {
+    Query query;
+    std::string algo;
+    std::string error;  // non-empty -> skip execution
+  };
+  std::vector<BatchItem> batch(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const JsonValue& item = items[i];
+    BatchItem& decoded = batch[i];
+    if (!item.is_object()) {
+      decoded.error = "entry is not an object";
+      continue;
+    }
+    if (item.Has("name")) decoded.query.name = item.Get("name").AsString();
+    if (item.Has("vertex")) {
+      const std::int64_t v = item.Get("vertex").AsInt(-1);
+      if (v < 0) {
+        decoded.error = "bad vertex";
+        continue;
+      }
+      decoded.query.vertices.push_back(static_cast<VertexId>(v));
+    }
+    if (decoded.query.name.empty() && decoded.query.vertices.empty()) {
+      decoded.error = "entry needs a name or a vertex";
+      continue;
+    }
+    decoded.query.k =
+        static_cast<std::uint32_t>(item.Get("k").AsInt(/*fallback=*/4));
+    const JsonValue& kws = item.Get("keywords");
+    if (kws.is_array()) {
+      for (const JsonValue& kw : kws.Items()) {
+        if (!kw.AsString().empty()) {
+          decoded.query.keywords.push_back(kw.AsString());
+        }
+      }
+    } else if (!kws.AsString().empty()) {
+      for (auto& word : Split(kws.AsString(), ',')) {
+        if (!word.empty()) decoded.query.keywords.push_back(std::move(word));
+      }
+    }
+    decoded.algo = item.Get("algo").AsString();
+    if (decoded.algo.empty()) decoded.algo = "ACQ";
+  }
+
+  // Fan the decoded queries across the worker pool. Every entry runs
+  // against the one snapshot this request captured at dispatch — a
+  // concurrent /upload cannot split the batch across two graphs. Each
+  // entry gets its own Explorer view (views are cheap and confine any
+  // per-algorithm scratch state to the entry), and renders into its own
+  // slot, so entries share only the immutable dataset.
+  const DatasetPtr snapshot = ctx.dataset;
+  std::vector<std::string> fragments(batch.size());
+  ParallelFor(
+      0, batch.size(), Workers(),
+      [&](std::size_t i) {
+        JsonWriter w;
+        w.BeginObject();
+        if (!batch[i].error.empty()) {
+          w.Key("error");
+          w.String(batch[i].error);
+        } else {
+          Explorer view;
+          view.AttachDataset(snapshot);
+          auto communities = view.Search(batch[i].algo, batch[i].query);
+          if (!communities.ok()) {
+            w.Key("error");
+            w.String(communities.status().ToString());
+          } else {
+            w.Key("algorithm");
+            w.String(batch[i].algo);
+            w.Key("num_communities");
+            w.UInt(communities->size());
+            w.Key("communities");
+            w.BeginArray();
+            for (const auto& community : communities.value()) {
+              WriteCommunity(&w, snapshot->graph(), community);
+            }
+            w.EndArray();
+          }
+        }
+        w.EndObject();
+        fragments[i] = w.TakeString();
+      },
+      /*grain=*/1);
+
+  std::string body = "{\"dataset_id\":" + std::to_string(snapshot->id()) +
+                     ",\"count\":" + std::to_string(fragments.size()) +
+                     ",\"results\":[";
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    if (i > 0) body += ',';
+    body += fragments[i];
+  }
+  body += "]}";
+  return HttpResponse::Ok(std::move(body));
 }
 
 HttpResponse CExplorerServer::HandleHistory(RequestContext& ctx,

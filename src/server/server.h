@@ -41,16 +41,23 @@
 //   GET /export?id=I         cached community as an SVG document
 //   GET /save_index?path=P   persist the CL-tree (offline Indexing module)
 //   GET /load_index?path=P   swap in a saved CL-tree for the loaded graph
+//   GET /batch?requests=J    J = url-encoded JSON array of search queries
+//                            ({"name"|"vertex", "k", "keywords", "algo"});
+//                            all entries run against ONE dataset snapshot,
+//                            fanned across the worker pool, and the
+//                            response array preserves request order
 
 #ifndef CEXPLORER_SERVER_SERVER_H_
 #define CEXPLORER_SERVER_SERVER_H_
 
+#include <future>
 #include <memory>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/parallel.h"
 #include "explorer/dataset.h"
 #include "explorer/explorer.h"
 #include "server/http.h"
@@ -89,6 +96,24 @@ class CExplorerServer {
 
   /// Dispatches a parsed request. Thread-safe.
   HttpResponse Dispatch(const HttpRequest& request);
+
+  // --- Bounded worker-pool executor ---------------------------------------
+  //
+  // Handle() runs on the caller's thread, so request concurrency used to be
+  // whatever the caller spawned. The executor makes it a server knob: at
+  // most `threads` requests execute at once, later submissions queue in
+  // FIFO order. /batch fans its sub-queries over the same pool.
+
+  /// Sizes the worker pool (default: DefaultThreadCount()). Must not be
+  /// called while submitted requests are still pending.
+  void ConfigureWorkers(std::size_t threads);
+
+  /// Enqueues a request line on the worker pool and returns a future that
+  /// completes when a worker has dispatched it. Thread-safe.
+  std::future<HttpResponse> SubmitAsync(std::string request_line);
+
+  /// Worker threads currently configured (0 before first use).
+  std::size_t num_workers() const;
 
  private:
   /// Everything a handler needs: the session (locked by the caller for the
@@ -145,13 +170,21 @@ class CExplorerServer {
                                const HttpRequest& request);
   HttpResponse HandleLoadIndex(RequestContext& ctx,
                                const HttpRequest& request);
+  HttpResponse HandleBatch(RequestContext& ctx, const HttpRequest& request);
 
   /// Runs a search and caches the result in the session.
   HttpResponse RunSearch(RequestContext& ctx, const std::string& algo,
                          const Query& query);
 
+  /// The worker pool, creating it with DefaultThreadCount() threads on
+  /// first use.
+  ThreadPool* Workers();
+
   mutable std::shared_mutex dataset_mu_;
   DatasetPtr dataset_;
+
+  mutable std::mutex workers_mu_;
+  std::unique_ptr<ThreadPool> workers_;
 
   SessionManager sessions_;
 };

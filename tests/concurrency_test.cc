@@ -173,6 +173,103 @@ TEST(ConcurrencyTest, ParallelQueriesAcrossDatasetSwaps) {
   }
 }
 
+// /batch requests hammered from several threads while uploads swap the
+// dataset: every response is a clean outcome, every 200 body parses, and
+// each batch's entries all ran under ONE snapshot (the response's
+// dataset_id is a valid published snapshot — never a mix).
+TEST(ConcurrencyTest, BatchQueriesAcrossDatasetSwaps) {
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 12;
+  constexpr int kSwaps = 2;
+
+  CExplorerServer server;
+  server.ConfigureWorkers(4);
+  ASSERT_TRUE(server.UploadGraph(GenerateDblp(SmallDblp(11)).graph).ok());
+  const std::size_t n = server.dataset()->graph().num_vertices();
+  const std::uint64_t first_id = server.dataset()->id();
+
+  // One request: three vertex queries with mixed algorithms.
+  auto batch_request = [n](int salt) {
+    JsonWriter array;
+    array.BeginArray();
+    for (int j = 0; j < 3; ++j) {
+      array.BeginObject();
+      array.Key("vertex");
+      array.UInt(static_cast<std::uint64_t>((salt * 37 + j * 11) %
+                                            static_cast<int>(n)));
+      array.Key("k");
+      array.UInt(2);
+      array.Key("algo");
+      array.String(j % 2 == 0 ? "Global" : "Local");
+      array.EndObject();
+    }
+    array.EndArray();
+    return "GET /batch?requests=" + UrlEncode(array.TakeString());
+  };
+
+  std::atomic<int> bad{0};
+  auto worker = [&](int which) {
+    for (int it = 0; it < kIterations; ++it) {
+      HttpResponse response =
+          server.Handle(batch_request(which * kIterations + it));
+      if (response.code != 200) {
+        ++bad;
+        continue;
+      }
+      auto parsed = JsonValue::Parse(response.body);
+      if (!parsed.ok()) {
+        ++bad;
+        continue;
+      }
+      // One snapshot per batch, and a published one.
+      const std::uint64_t dataset_id =
+          static_cast<std::uint64_t>(parsed->Get("dataset_id").AsInt());
+      if (dataset_id < first_id || dataset_id > first_id + kSwaps + 1) ++bad;
+      if (parsed->Get("results").Items().size() != 3u) ++bad;
+      for (const auto& entry : parsed->Get("results").Items()) {
+        // Every entry is an object with either communities or an error.
+        if (!entry.is_object()) ++bad;
+      }
+    }
+  };
+
+  std::thread swapper([&] {
+    for (int i = 0; i < kSwaps; ++i) {
+      ASSERT_TRUE(
+          server
+              .UploadGraph(
+                  GenerateDblp(SmallDblp(static_cast<std::uint64_t>(200 + i)))
+                      .graph)
+              .ok());
+    }
+  });
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kThreads; ++i) workers.emplace_back(worker, i);
+  for (auto& t : workers) t.join();
+  swapper.join();
+  EXPECT_EQ(bad.load(), 0);
+
+  // The async executor path serves the same batches.
+  auto future = server.SubmitAsync(batch_request(0));
+  HttpResponse async_response = future.get();
+  EXPECT_EQ(async_response.code, 200) << async_response.body;
+  EXPECT_TRUE(JsonValue::Parse(async_response.body).ok());
+  EXPECT_EQ(server.num_workers(), 4u);
+
+  // Malformed batches are clean 400s, and bad entries fail per-slot.
+  EXPECT_EQ(server.Handle("GET /batch").code, 400);
+  EXPECT_EQ(server.Handle("GET /batch?requests=notjson").code, 400);
+  HttpResponse mixed = server.Handle(
+      "GET /batch?requests=" +
+      UrlEncode("[{\"vertex\":0,\"k\":2,\"algo\":\"Global\"},{\"k\":2}]"));
+  ASSERT_EQ(mixed.code, 200) << mixed.body;
+  auto mixed_parsed = JsonValue::Parse(mixed.body);
+  ASSERT_TRUE(mixed_parsed.ok());
+  ASSERT_EQ(mixed_parsed->Get("results").Items().size(), 2u);
+  EXPECT_FALSE(mixed_parsed->Get("results").Items()[0].Has("error"));
+  EXPECT_TRUE(mixed_parsed->Get("results").Items()[1].Has("error"));
+}
+
 // Dataset-level sharing without the server: Explorer views are cheap and
 // independent, and the shared profile store is thread-safe.
 TEST(ConcurrencyTest, ExplorerViewsShareDatasetAndProfiles) {
