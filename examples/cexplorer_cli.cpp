@@ -1,8 +1,10 @@
 // cexplorer_cli: an interactive terminal browser for C-Explorer — the
 // closest thing to the paper's web UI that fits in a terminal. Commands
-// are translated to server requests, so the CLI exercises exactly the
-// browser-server path of Figure 3. Reads commands from stdin, so it works
-// both interactively and scripted:
+// are translated into typed QueryService requests, so the CLI exercises
+// exactly the facade behind the /v1 HTTP routes (same validation, same
+// session semantics, same JSON bodies — the HTTP server is a thin binder
+// over the identical calls). Reads commands from stdin, so it works both
+// interactively and scripted:
 //
 //   $ ./cexplorer_cli                          # synthetic DBLP, 10k authors
 //   $ ./cexplorer_cli graph.attr               # your own attributed graph
@@ -13,10 +15,11 @@
 //   author <name>              show the query form data for an author
 //   search <name> [k] [kw,..]  run ACQ (use 'algo <name>' to switch)
 //   algo <Global|Local|CODICIL|ACQ>
-//   view <i>                   display community i (ASCII)
+//   view <i> [limit] [cursor]  display community i (ASCII; paged when a
+//                              limit or cursor is given)
 //   zoom <factor>              set the view zoom
 //   profile <name|#id>         author profile popup
-//   explore <#id> [k]          continue from a community member
+//   explore <#id> [k]          continue exploration from a community member
 //   compare <name> [k]         Figure 6(a) table
 //   detect [algo]              community detection summary
 //   export <i> <file.svg>      save community i as SVG
@@ -24,7 +27,7 @@
 //   help / quit
 //
 // (This file is deliberately a thin shell: every feature goes through the
-// public server API.)
+// public QueryService API.)
 
 #include <cstdio>
 #include <fstream>
@@ -33,25 +36,26 @@
 #include <string>
 #include <vector>
 
+#include "api/query_service.h"
 #include "common/json.h"
 #include "common/strings.h"
 #include "data/dblp.h"
-#include "server/http.h"
-#include "server/server.h"
 
 namespace {
 
 using namespace cexplorer;
 
-/// Pretty-prints the interesting parts of a JSON response.
-void ShowResponse(const HttpResponse& response) {
-  if (response.code != 200) {
-    std::printf("  [%d] %s\n", response.code, response.body.c_str());
+/// Pretty-prints the interesting parts of a JSON response body.
+void ShowResponse(const api::ApiResult<std::string>& result) {
+  if (!result.ok()) {
+    std::printf("  [%d] %s\n", api::HttpStatus(result.error().code),
+                result.error().ToJson().c_str());
     return;
   }
-  auto v = JsonValue::Parse(response.body);
+  const std::string& body = result.value();
+  auto v = JsonValue::Parse(body);
   if (!v.ok()) {
-    std::printf("%s\n", response.body.c_str());
+    std::printf("%s\n", body.c_str());
     return;
   }
   // Render a few well-known shapes nicely; fall back to raw JSON.
@@ -70,6 +74,23 @@ void ShowResponse(const HttpResponse& response) {
       std::printf("\n");
     }
     std::printf("  (view <i> to display, export <i> <file.svg> to save)\n");
+  } else if (v->Has("page")) {
+    const auto& members = v->Get("community").Get("members").Items();
+    const auto& page = v->Get("page");
+    std::printf("  members %lld..%lld of %lld:\n",
+                static_cast<long long>(page.Get("offset").AsInt()),
+                static_cast<long long>(page.Get("offset").AsInt() +
+                                       page.Get("returned").AsInt()),
+                static_cast<long long>(page.Get("total").AsInt()));
+    for (const auto& m : members) {
+      std::printf("   #%lld %s\n", static_cast<long long>(m.Get("id").AsInt()),
+                  m.Get("name").AsString().c_str());
+    }
+    if (page.Has("next_cursor")) {
+      std::printf("  (next page: view <i> %lld %s)\n",
+                  static_cast<long long>(page.Get("limit").AsInt()),
+                  page.Get("next_cursor").AsString().c_str());
+    }
   } else if (v->Has("ascii")) {
     std::printf("%s", v->Get("ascii").AsString().c_str());
   } else if (v->Has("table")) {
@@ -94,12 +115,12 @@ void ShowResponse(const HttpResponse& response) {
     }
     std::printf("\n");
   } else {
-    std::printf("  %s\n", response.body.c_str());
+    std::printf("  %s\n", body.c_str());
   }
 }
 
 struct CliState {
-  CExplorerServer server;
+  api::QueryService service;
   std::string algo = "ACQ";
   double zoom = 1.0;
   std::string last_author;
@@ -109,7 +130,7 @@ void RunCommand(CliState* state, const std::string& line);
 
 void RunDemo(CliState* state) {
   // Pick the best-embedded author and drive the Figure 1-2 flow.
-  DatasetPtr dataset = state->server.dataset();
+  DatasetPtr dataset = state->service.dataset();
   if (dataset == nullptr) {
     std::printf("  no graph loaded\n");
     return;
@@ -146,12 +167,14 @@ void RunCommand(CliState* state, const std::string& line) {
   };
 
   if (cmd == "open" && words.size() >= 2) {
-    ShowResponse(state->server.Handle("GET /upload?path=" +
-                                      UrlEncode(rest_from(1))));
+    api::DatasetRequest request;
+    request.path = rest_from(1);
+    ShowResponse(state->service.UploadFile(request));
   } else if (cmd == "author" && words.size() >= 2) {
     state->last_author = rest_from(1);
-    ShowResponse(
-        state->server.Handle("GET /author?name=" + UrlEncode(rest_from(1))));
+    api::AuthorRequest request;
+    request.name = rest_from(1);
+    ShowResponse(state->service.Author(request));
   } else if (cmd == "algo" && words.size() == 2) {
     state->algo = words[1];
     std::printf("  algorithm = %s\n", state->algo.c_str());
@@ -175,12 +198,25 @@ void RunCommand(CliState* state, const std::string& line) {
       name += words[i];
     }
     state->last_author = name;
-    std::string request = "GET /search?name=" + UrlEncode(name) +
-                          "&k=" + std::to_string(k) + "&algo=" + state->algo;
-    if (!keywords.empty()) request += "&keywords=" + UrlEncode(keywords);
-    ShowResponse(state->server.Handle(request));
-  } else if (cmd == "view" && words.size() == 2) {
-    ShowResponse(state->server.Handle("GET /community?id=" + words[1]));
+    api::SearchRequest request;
+    request.name = name;
+    request.k = static_cast<std::uint32_t>(k);
+    request.algo = state->algo;
+    request.keywords = SplitNonEmpty(keywords, ',');
+    ShowResponse(state->service.Search(request));
+  } else if (cmd == "view" && words.size() >= 2) {
+    api::CommunityRequest request;
+    std::int64_t id = 0;
+    ParseInt64(words[1], &id);
+    request.id = id;
+    if (words.size() >= 3) {
+      std::int64_t limit = 0;
+      if (ParseInt64(words[2], &limit) && limit > 0) {
+        request.page.limit = static_cast<std::uint64_t>(limit);
+      }
+    }
+    if (words.size() >= 4) request.page.cursor = words[3];
+    ShowResponse(state->service.Community(request));
   } else if (cmd == "zoom" && words.size() == 2) {
     double z = 1.0;
     if (ParseDouble(words[1], &z) && z > 0) {
@@ -190,35 +226,50 @@ void RunCommand(CliState* state, const std::string& line) {
       std::printf("  bad zoom factor\n");
     }
   } else if (cmd == "profile" && words.size() >= 2) {
+    api::ProfileRequest request;
     if (words[1][0] == '#') {
-      ShowResponse(state->server.Handle("GET /profile?vertex=" +
-                                        words[1].substr(1)));
+      std::int64_t id = -1;
+      ParseInt64(words[1].substr(1), &id);
+      request.vertex = id;
     } else {
-      ShowResponse(state->server.Handle("GET /profile?name=" +
-                                        UrlEncode(rest_from(1))));
+      request.name = rest_from(1);
     }
+    ShowResponse(state->service.Profile(request));
   } else if (cmd == "explore" && words.size() >= 2 && words[1][0] == '#') {
-    std::string request = "GET /explore?vertex=" + words[1].substr(1) +
-                          "&algo=" + state->algo;
-    if (words.size() >= 3) request += "&k=" + words[2];
-    ShowResponse(state->server.Handle(request));
+    std::int64_t vertex = -1;
+    if (!ParseInt64(words[1].substr(1), &vertex) || vertex < 0) {
+      std::printf("  bad vertex id\n");
+      return;
+    }
+    api::ExploreRequest request;
+    request.vertex = static_cast<VertexId>(vertex);
+    request.algo = state->algo;
+    if (words.size() >= 3) {
+      std::int64_t k = -1;
+      if (ParseInt64(words[2], &k)) request.k = k;
+    }
+    ShowResponse(state->service.Explore(request));
   } else if (cmd == "compare" && words.size() >= 2) {
-    std::string name = rest_from(1);
-    std::int64_t k = 4;
-    ShowResponse(state->server.Handle("GET /compare?name=" + UrlEncode(name) +
-                                      "&k=" + std::to_string(k)));
+    api::CompareRequest request;
+    request.name = rest_from(1);
+    ShowResponse(state->service.Compare(request));
   } else if (cmd == "detect") {
-    std::string algo = words.size() >= 2 ? words[1] : "CODICIL";
-    ShowResponse(state->server.Handle("GET /detect?algo=" + algo));
+    api::DetectRequest request;
+    if (words.size() >= 2) request.algo = words[1];
+    ShowResponse(state->service.Detect(request));
   } else if (cmd == "export" && words.size() == 3) {
-    HttpResponse response = state->server.Handle("GET /export?id=" + words[1]);
-    if (response.code != 200) {
-      ShowResponse(response);
+    api::ExportRequest request;
+    std::int64_t id = 0;
+    ParseInt64(words[1], &id);
+    request.id = id;
+    auto svg = state->service.ExportSvg(request);
+    if (!svg.ok()) {
+      ShowResponse(svg);
       return;
     }
     std::ofstream out(words[2], std::ios::binary | std::ios::trunc);
-    out << response.body;
-    std::printf("  wrote %zu bytes to %s\n", response.body.size(),
+    out << svg.value();
+    std::printf("  wrote %zu bytes to %s\n", svg.value().size(),
                 words[2].c_str());
   } else if (cmd == "demo") {
     RunDemo(state);
@@ -240,7 +291,7 @@ int main(int argc, char** argv) {
 
   if (argc > 1) {
     std::printf("loading %s...\n", argv[1]);
-    Status st = state.server.Upload(argv[1]);
+    Status st = state.service.Upload(argv[1]);
     if (!st.ok()) {
       std::printf("upload failed: %s\n", st.ToString().c_str());
       return 1;
@@ -251,11 +302,11 @@ int main(int argc, char** argv) {
     options.num_authors = 10000;
     options.seed = 2017;
     DblpDataset data = GenerateDblp(options);
-    (void)state.server.UploadGraph(std::move(data.graph));
+    (void)state.service.UploadGraph(std::move(data.graph));
   }
   std::printf("C-Explorer CLI — %zu vertices, %zu edges. Type 'help'.\n",
-              state.server.dataset()->graph().num_vertices(),
-              state.server.dataset()->graph().graph().num_edges());
+              state.service.dataset()->graph().num_vertices(),
+              state.service.dataset()->graph().graph().num_edges());
 
   std::string line;
   while (std::printf("cexplorer> "), std::fflush(stdout),

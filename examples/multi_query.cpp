@@ -2,11 +2,16 @@
 // Figure 1 UI lets a user name several authors; the returned communities
 // must contain all of them and share a maximal keyword set with all of them.
 //
+// Queries go through the typed QueryService facade — the same front door
+// the /v1 HTTP routes bind to — with a SearchRequest carrying several
+// query vertices.
+//
 //   $ ./multi_query
 
 #include <cstdio>
 
-#include "acq/acq.h"
+#include "api/query_service.h"
+#include "common/json.h"
 #include "common/strings.h"
 #include "data/dblp.h"
 #include "explorer/dataset.h"
@@ -33,7 +38,8 @@ int main() {
               FormatWithCommas(graph.num_vertices()).c_str(),
               FormatWithCommas(graph.graph().num_edges()).c_str());
 
-  AcqEngine engine(&graph, &dataset->index());
+  api::QueryService service;
+  service.AttachDataset(dataset);
 
   // Pick a pair of frequent co-authors with shared keywords: scan for an
   // edge whose endpoints share >= 3 keywords.
@@ -62,27 +68,41 @@ int main() {
   std::printf("query authors: '%s' + '%s'\n", graph.Name(a).c_str(),
               graph.Name(b).c_str());
   std::printf("shared query keywords:");
+  std::vector<std::string> keywords;
   for (KeywordId kw : shared) {
-    std::printf(" %s", graph.vocabulary().Word(kw).c_str());
+    keywords.push_back(graph.vocabulary().Word(kw));
+    std::printf(" %s", keywords.back().c_str());
   }
   std::printf("\n\n");
 
   for (std::uint32_t k = 2; k <= 5; ++k) {
-    auto result = engine.SearchMulti({a, b}, k, shared);
+    api::SearchRequest request;
+    request.algo = "ACQ";
+    request.vertices = {a, b};
+    request.k = k;
+    request.keywords = keywords;
+    auto result = service.Search(request);
     if (!result.ok()) {
-      std::printf("k=%u: error: %s\n", k, result.status().ToString().c_str());
+      std::printf("k=%u: [%s] %s\n", k, api::ApiCodeName(result.error().code),
+                  result.error().message.c_str());
       continue;
     }
-    if (result->communities.empty()) {
+    auto body = JsonValue::Parse(result.value());
+    if (!body.ok()) {
+      std::printf("k=%u: unparseable response\n", k);
+      continue;
+    }
+    const auto& communities = body->Get("communities").Items();
+    if (communities.empty()) {
       std::printf("k=%u: no community contains both authors\n", k);
       continue;
     }
-    for (const auto& community : result->communities) {
-      std::printf("k=%u: community of %zu authors, theme {", k,
-                  community.vertices.size());
-      for (std::size_t i = 0; i < community.shared_keywords.size(); ++i) {
-        std::printf("%s%s", i ? ", " : "",
-                    graph.vocabulary().Word(community.shared_keywords[i]).c_str());
+    for (const auto& community : communities) {
+      std::printf("k=%u: community of %lld authors, theme {", k,
+                  static_cast<long long>(community.Get("size").AsInt()));
+      const auto& theme = community.Get("theme").Items();
+      for (std::size_t i = 0; i < theme.size(); ++i) {
+        std::printf("%s%s", i ? ", " : "", theme[i].AsString().c_str());
       }
       std::printf("}\n");
     }

@@ -68,15 +68,23 @@ int main() {
     keywords += UrlEncode(kws[i]);
   }
 
+  // The /v1 routes and their legacy unversioned aliases return identical
+  // success bodies; the mix below exercises both. GET /v1/api describes
+  // every route and its parameter schema, and /v1/batch accepts a POST
+  // body (a JSON array of search entries).
   const std::vector<std::string> session = {
+      "GET /v1/api",
       "GET /",
-      "GET /search?name=" + name + "&k=4&keywords=" + keywords + "&algo=ACQ",
-      "GET /community?id=0",
+      "GET /v1/search?name=" + name + "&k=4&keywords=" + keywords +
+          "&algo=ACQ",
+      "GET /v1/community?id=0&limit=5",
       "GET /profile?vertex=" + std::to_string(q),
       "GET /explore?vertex=" + std::to_string(q) + "&k=3&algo=Global",
       "GET /compare?name=" + name + "&k=4&keywords=" + keywords +
           "&algos=Global,Local,ACQ",
-      "GET /history",
+      "GET /v1/history",
+      "POST /v1/batch\n\n[{\"vertex\": " + std::to_string(q) +
+          ", \"k\": 4}, {\"name\": \"nobody\"}]",
       "GET /no_such_route",
   };
 

@@ -1,0 +1,92 @@
+#include "api/error.h"
+
+#include "common/json.h"
+
+namespace cexplorer {
+namespace api {
+
+const char* ApiCodeName(ApiCode code) {
+  switch (code) {
+    case ApiCode::kOk:
+      return "OK";
+    case ApiCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ApiCode::kNotFound:
+      return "NOT_FOUND";
+    case ApiCode::kConflict:
+      return "CONFLICT";
+    case ApiCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ApiCode::kInternal:
+      return "INTERNAL";
+  }
+  return "INTERNAL";
+}
+
+int HttpStatus(ApiCode code) {
+  switch (code) {
+    case ApiCode::kOk:
+      return 200;
+    case ApiCode::kInvalidArgument:
+      return 400;
+    case ApiCode::kNotFound:
+      return 404;
+    case ApiCode::kConflict:
+      return 409;
+    case ApiCode::kUnavailable:
+      return 503;
+    case ApiCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+std::string ApiError::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("error");
+  w.BeginObject();
+  w.Key("code");
+  w.String(ApiCodeName(code));
+  w.Key("message");
+  w.String(message);
+  if (!detail.empty()) {
+    w.Key("detail");
+    w.String(detail);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiError FromStatus(const Status& status) {
+  ApiCode code;
+  switch (status.code()) {
+    case StatusCode::kOk:
+      code = ApiCode::kOk;
+      break;
+    case StatusCode::kNotFound:
+      code = ApiCode::kNotFound;
+      break;
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kFailedPrecondition:
+      code = ApiCode::kConflict;
+      break;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kParseError:
+    case StatusCode::kIoError:
+    // A query shape an algorithm does not support is an argument problem
+    // from the caller's point of view, not a server fault.
+    case StatusCode::kNotImplemented:
+      code = ApiCode::kInvalidArgument;
+      break;
+    default:
+      code = ApiCode::kInternal;
+      break;
+  }
+  return {code, status.message(), StatusCodeName(status.code())};
+}
+
+}  // namespace api
+}  // namespace cexplorer

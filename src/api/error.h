@@ -1,0 +1,114 @@
+// The structured error taxonomy of the versioned query API.
+//
+// Every consumer-visible failure is an ApiError: a machine-readable code
+// drawn from a small, stable taxonomy, a human-readable message, and an
+// optional detail string. The HTTP layer renders an ApiError as the
+// envelope
+//
+//   {"error": {"code": "INVALID_ARGUMENT", "message": "...", "detail": "..."}}
+//
+// with the HTTP status implied by the code, so embedders, the CLI, batch
+// slots, and HTTP clients all see one error shape. Library-level Status
+// values are mapped into the taxonomy at the API boundary (FromStatus);
+// internal StatusCode distinctions that clients cannot act on (kIoError vs
+// kParseError, ...) collapse into the closest API code.
+
+#ifndef CEXPLORER_API_ERROR_H_
+#define CEXPLORER_API_ERROR_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace cexplorer {
+namespace api {
+
+/// Machine-readable error category of the /v1 API. The wire names
+/// (ApiCodeName) and HTTP mappings (HttpStatus) are a public contract:
+/// codes may be added, never renamed or remapped.
+enum class ApiCode {
+  kOk = 0,
+  /// A parameter is missing, malformed, of the wrong type, or unknown.
+  kInvalidArgument,
+  /// The named entity (route, session, author, vertex, cached result)
+  /// does not exist.
+  kNotFound,
+  /// The request depends on state that is missing or superseded: no graph
+  /// uploaded yet, the dataset was swapped while an upload built, a cursor
+  /// or cached result refers to a superseded snapshot or result set.
+  /// Retrying against fresh state usually succeeds.
+  kConflict,
+  /// A capacity limit is exhausted (session limit reached).
+  kUnavailable,
+  /// An invariant broke server-side; nothing the client can fix.
+  kInternal,
+};
+
+/// Stable wire name of a code ("INVALID_ARGUMENT", ...).
+const char* ApiCodeName(ApiCode code);
+
+/// The HTTP status an ApiCode renders as (400, 404, 409, 503, 500).
+int HttpStatus(ApiCode code);
+
+/// One consumer-visible error: code + message (+ optional detail).
+struct ApiError {
+  ApiCode code = ApiCode::kInternal;
+  std::string message;
+  std::string detail;
+
+  static ApiError InvalidArgument(std::string message,
+                                  std::string detail = {}) {
+    return {ApiCode::kInvalidArgument, std::move(message), std::move(detail)};
+  }
+  static ApiError NotFound(std::string message, std::string detail = {}) {
+    return {ApiCode::kNotFound, std::move(message), std::move(detail)};
+  }
+  static ApiError Conflict(std::string message, std::string detail = {}) {
+    return {ApiCode::kConflict, std::move(message), std::move(detail)};
+  }
+  static ApiError Unavailable(std::string message, std::string detail = {}) {
+    return {ApiCode::kUnavailable, std::move(message), std::move(detail)};
+  }
+  static ApiError Internal(std::string message, std::string detail = {}) {
+    return {ApiCode::kInternal, std::move(message), std::move(detail)};
+  }
+
+  /// Renders the {"error":{...}} envelope body.
+  std::string ToJson() const;
+};
+
+/// Maps a library Status into the API taxonomy. kNotFound stays kNotFound;
+/// kAlreadyExists/kFailedPrecondition become kConflict; the argument-shaped
+/// codes (kInvalidArgument, kParseError, kOutOfRange, kIoError) become
+/// kInvalidArgument; everything else is kInternal.
+ApiError FromStatus(const Status& status);
+
+/// A value of type T or an ApiError — the return type of every
+/// QueryService method.
+template <typename T>
+class ApiResult {
+ public:
+  ApiResult(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  ApiResult(ApiError error) : data_(std::move(error)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const ApiError& error() const { return std::get<ApiError>(data_); }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T* operator->() const { return &value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, ApiError> data_;
+};
+
+}  // namespace api
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_API_ERROR_H_

@@ -1,0 +1,1050 @@
+#include "api/query_service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "explorer/explorer.h"
+#include "metrics/quality.h"
+
+namespace cexplorer {
+namespace api {
+
+namespace {
+
+/// Default page size when a cursor is presented without an explicit limit.
+constexpr std::uint64_t kDefaultPageLimit = 100;
+
+/// Process-unique result-set generation, assigned whenever a session's
+/// cached communities or detection are replaced. Uniqueness across ALL
+/// sessions (not a per-session counter) is what makes cursors
+/// session-bound: a cursor replayed in a different session can never find
+/// a matching generation and answers kConflict instead of silently paging
+/// someone else's result set.
+std::uint64_t NextResultGeneration() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+
+/// Serializes the members[begin, end) window of a community as the
+/// {"id","name"} objects shared by every response shape (full, truncated,
+/// paginated) — one loop, so the shapes can never drift apart.
+void WriteMembers(JsonWriter* w, const AttributedGraph& graph,
+                  const cexplorer::Community& community, std::size_t begin,
+                  std::size_t end) {
+  w->Key("members");
+  w->BeginArray();
+  for (std::size_t i = begin; i < end; ++i) {
+    VertexId v = community.vertices[i];
+    w->BeginObject();
+    w->Key("id");
+    w->UInt(v);
+    w->Key("name");
+    w->String(graph.Name(v));
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+void WriteTheme(JsonWriter* w, const AttributedGraph& graph,
+                const cexplorer::Community& community) {
+  w->Key("theme");
+  w->BeginArray();
+  for (KeywordId kw : community.shared_keywords) {
+    w->String(graph.vocabulary().Word(kw));
+  }
+  w->EndArray();
+}
+
+/// Serializes one community (members with names, shared keywords) in the
+/// legacy full shape. Very large communities get their member list
+/// truncated, flagged by the "members_truncated" field.
+void WriteCommunity(JsonWriter* w, const AttributedGraph& graph,
+                    const cexplorer::Community& community,
+                    std::size_t max_members = 2000) {
+  w->BeginObject();
+  w->Key("method");
+  w->String(community.method);
+  w->Key("size");
+  w->UInt(community.vertices.size());
+  const std::size_t shown = std::min(community.vertices.size(), max_members);
+  WriteMembers(w, graph, community, 0, shown);
+  if (shown < community.vertices.size()) {
+    w->Key("members_truncated");
+    w->Bool(true);
+  }
+  WriteTheme(w, graph, community);
+  w->EndObject();
+}
+
+/// Serializes one page of a community's member list plus the "page" object
+/// with the continuation cursor (present only when members remain).
+void WriteCommunityPage(JsonWriter* w, const AttributedGraph& graph,
+                        const cexplorer::Community& community,
+                        std::uint64_t offset, std::uint64_t limit,
+                        const PageToken& next) {
+  const std::uint64_t total = community.vertices.size();
+  const std::uint64_t begin = std::min(offset, total);
+  const std::uint64_t end = std::min(begin + limit, total);
+  w->Key("community");
+  w->BeginObject();
+  w->Key("method");
+  w->String(community.method);
+  w->Key("size");
+  w->UInt(total);
+  WriteMembers(w, graph, community, begin, end);
+  WriteTheme(w, graph, community);
+  w->EndObject();
+  w->Key("page");
+  w->BeginObject();
+  w->Key("offset");
+  w->UInt(begin);
+  w->Key("limit");
+  w->UInt(limit);
+  w->Key("returned");
+  w->UInt(end - begin);
+  w->Key("total");
+  w->UInt(total);
+  if (end < total) {
+    PageToken token = next;
+    token.offset = end;
+    w->Key("next_cursor");
+    w->String(token.Encode());
+  }
+  w->EndObject();
+}
+
+/// Writes the inner error object of the envelope ({"code","message"}), used
+/// for per-slot batch errors.
+void WriteErrorValue(JsonWriter* w, ApiCode code, const std::string& message) {
+  w->BeginObject();
+  w->Key("code");
+  w->String(ApiCodeName(code));
+  w->Key("message");
+  w->String(message);
+  w->EndObject();
+}
+
+void WriteStats(JsonWriter* w, const CommunityAnalysis& analysis) {
+  w->Key("stats");
+  w->BeginObject();
+  w->Key("vertices");
+  w->UInt(analysis.stats.num_vertices);
+  w->Key("edges");
+  w->UInt(analysis.stats.num_edges);
+  w->Key("avg_degree");
+  w->Double(analysis.stats.average_degree);
+  w->Key("cpj");
+  w->Double(analysis.cpj);
+  w->EndObject();
+}
+
+/// Resolved pagination window. When `paginated` is false the endpoint
+/// renders its legacy full shape.
+struct PageWindow {
+  bool paginated = false;
+  std::uint64_t offset = 0;
+  std::uint64_t limit = 0;
+};
+
+/// Applies the cursor contract: a cursor must decode, must have been minted
+/// by the same endpoint family for the same `object_id`, and must carry the
+/// current graph epoch and result-set generation — an /upload or a new
+/// search/detect in between makes it kConflict, because the member lists it
+/// pointed into are gone.
+ApiResult<PageWindow> ResolvePage(const PageParams& page, std::uint64_t epoch,
+                                  PageToken::Kind kind,
+                                  std::uint64_t object_id,
+                                  std::uint64_t generation) {
+  PageWindow window;
+  if (page.cursor.empty() && page.limit == 0) return window;  // legacy shape
+  window.paginated = true;
+  window.limit = page.limit == 0 ? kDefaultPageLimit : page.limit;
+  if (!page.cursor.empty()) {
+    auto token = PageToken::Decode(page.cursor);
+    if (!token.ok()) return token.error();
+    if (token->kind != kind || token->object_id != object_id) {
+      return ApiError::InvalidArgument(
+          "cursor was minted for a different object (id " +
+          std::to_string(token->object_id) + ")");
+    }
+    if (token->graph_epoch != epoch) {
+      return ApiError::Conflict(
+          "cursor refers to a superseded graph snapshot; restart pagination");
+    }
+    if (token->generation != generation) {
+      return ApiError::Conflict(
+          "cursor refers to a result set replaced by a newer search; "
+          "restart pagination");
+    }
+    window.offset = token->offset;
+  }
+  return window;
+}
+
+}  // namespace
+
+Status QueryService::UploadGraph(AttributedGraph graph) {
+  auto dataset = Dataset::Build(std::move(graph));
+  if (!dataset.ok()) return dataset.status();
+  SwapDataset(std::move(dataset.value()));
+  return Status::Ok();
+}
+
+Status QueryService::Upload(const std::string& path) {
+  auto dataset = Dataset::FromFile(path);
+  if (!dataset.ok()) return dataset.status();
+  SwapDataset(std::move(dataset.value()));
+  return Status::Ok();
+}
+
+bool QueryService::AttachDataset(DatasetPtr dataset) {
+  return SwapDataset(std::move(dataset));
+}
+
+DatasetPtr QueryService::dataset() const {
+  std::shared_lock<std::shared_mutex> lock(dataset_mu_);
+  return dataset_;
+}
+
+bool QueryService::SwapDataset(DatasetPtr dataset) {
+  std::unique_lock<std::shared_mutex> lock(dataset_mu_);
+  // Serving only moves forward in snapshot-id order: concurrent
+  // programmatic uploads linearize to the newest dataset, keeping the
+  // monotonic-id invariant the per-session late-attach relies on.
+  if (dataset == nullptr ||
+      (dataset_ != nullptr && dataset->id() < dataset_->id())) {
+    return false;
+  }
+  dataset_ = std::move(dataset);
+  return true;
+}
+
+bool QueryService::PublishDataset(RequestContext& ctx, DatasetPtr fresh) {
+  {
+    std::unique_lock<std::shared_mutex> lock(dataset_mu_);
+    if (dataset_ != ctx.dataset) return false;  // lost the race; don't revert
+    dataset_ = fresh;
+  }
+  ctx.dataset = std::move(fresh);
+  return true;
+}
+
+void QueryService::AttachLocked(RequestContext& ctx, bool adopt_newer,
+                                bool clear_history) {
+  // History clears unconditionally: a successful upload resets the
+  // session's exploration chain even if a still-newer snapshot already
+  // landed meanwhile.
+  if (clear_history) ctx.session->history.clear();
+  const DatasetPtr& attached = ctx.session->explorer.dataset();
+  if (attached != nullptr && ctx.dataset != nullptr &&
+      attached->id() > ctx.dataset->id()) {
+    // A newer snapshot already landed on this session while this request
+    // (or publish) was in flight; never move a session backwards, and
+    // don't wipe the state its clients built against the newer snapshot.
+    if (adopt_newer) ctx.dataset = attached;
+    return;
+  }
+  if (ctx.dataset != nullptr && attached != ctx.dataset) {
+    // Caches derived from the same graph survive index-only swaps; a new
+    // graph epoch invalidates them.
+    const bool epoch_changed =
+        attached == nullptr ||
+        attached->graph_epoch() != ctx.dataset->graph_epoch();
+    ctx.session->explorer.AttachDataset(ctx.dataset);
+    if (epoch_changed) ctx.session->InvalidateCaches();
+  }
+}
+
+void QueryService::AttachToSession(RequestContext& ctx, bool clear_history) {
+  std::lock_guard<std::mutex> lock(ctx.session->mu);
+  AttachLocked(ctx, /*adopt_newer=*/false, clear_history);
+}
+
+ApiResult<QueryService::RequestContext> QueryService::Begin(
+    const std::string& session_id) {
+  RequestContext ctx;
+  // Requests without a session share the implicit "default" session (the
+  // single-browser demo of the paper).
+  if (session_id.empty()) {
+    ctx.session = sessions_.GetOrCreate("default");
+  } else {
+    ctx.session = sessions_.Get(session_id);
+    if (ctx.session == nullptr) {
+      return ApiError::NotFound("unknown session '" + session_id +
+                                "'; create one via /v1/session/new first");
+    }
+  }
+  {
+    // Shared lock just long enough to copy the pointer: the snapshot stays
+    // alive for the whole request even if an upload swaps it out meanwhile.
+    std::shared_lock<std::shared_mutex> lock(dataset_mu_);
+    ctx.dataset = dataset_;
+  }
+  return ctx;
+}
+
+ApiResult<std::string> QueryService::CreateSession() {
+  auto session = sessions_.Create();
+  if (session == nullptr) {
+    return ApiError::Unavailable("session limit reached");
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("session");
+  w.String(session->id);
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::DeleteSession(const std::string& id) {
+  if (id.empty()) return ApiError::InvalidArgument("missing session id");
+  if (!sessions_.Remove(id)) {
+    return ApiError::NotFound("unknown session '" + id + "'");
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("deleted");
+  w.String(id);
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::ListSessions() {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("sessions");
+  w.BeginArray();
+  for (const auto& session : sessions_.List()) {
+    // try_lock: a session stuck in a long query shows as busy instead of
+    // stalling the whole listing.
+    std::unique_lock<std::mutex> lock(session->mu, std::try_to_lock);
+    w.BeginObject();
+    w.Key("id");
+    w.String(session->id);
+    if (lock.owns_lock()) {
+      w.Key("cached_communities");
+      w.UInt(session->communities.size());
+      w.Key("history_length");
+      w.UInt(session->history.size());
+      const DatasetPtr& snapshot = session->explorer.dataset();
+      w.Key("dataset_id");
+      w.UInt(snapshot == nullptr ? 0 : snapshot->id());
+    } else {
+      w.Key("busy");
+      w.Bool(true);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::Summary(const std::string& session) {
+  auto begun = Begin(session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  std::lock_guard<std::mutex> lock(ctx.session->mu);
+  AttachLocked(ctx, /*adopt_newer=*/true, /*clear_history=*/false);
+  const Explorer& explorer = ctx.session->explorer;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("system");
+  w.String("C-Explorer");
+  w.Key("session");
+  w.String(ctx.session->id);
+  w.Key("num_sessions");
+  w.UInt(sessions_.size());
+  w.Key("graph_loaded");
+  w.Bool(ctx.dataset != nullptr);
+  if (ctx.dataset != nullptr) {
+    w.Key("dataset_id");
+    w.UInt(ctx.dataset->id());
+    w.Key("vertices");
+    w.UInt(ctx.dataset->graph().num_vertices());
+    w.Key("edges");
+    w.UInt(ctx.dataset->graph().graph().num_edges());
+  }
+  w.Key("cs_algorithms");
+  w.BeginArray();
+  for (const auto& name : explorer.CsAlgorithmNames()) w.String(name);
+  w.EndArray();
+  w.Key("cd_algorithms");
+  w.BeginArray();
+  for (const auto& name : explorer.CdAlgorithmNames()) w.String(name);
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::RunSearch(RequestContext& ctx,
+                                               const std::string& algo,
+                                               const Query& query) {
+  Session& session = *ctx.session;
+  auto communities = session.explorer.Search(algo, query);
+  if (!communities.ok()) return FromStatus(communities.status());
+  session.communities = std::move(communities.value());
+  session.communities_epoch = ctx.dataset->graph_epoch();
+  // Invalidates outstanding page cursors, including across sessions.
+  session.communities_generation = NextResultGeneration();
+  session.last_query = query;
+
+  std::string who = query.name;
+  if (who.empty() && !query.vertices.empty()) {
+    who = ctx.dataset->graph().Name(query.vertices.front());
+  }
+  session.history.push_back(algo + ":" + who + ":k=" + std::to_string(query.k));
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("algorithm");
+  w.String(algo);
+  w.Key("num_communities");
+  w.UInt(session.communities.size());
+  w.Key("communities");
+  w.BeginArray();
+  for (const auto& community : session.communities) {
+    WriteCommunity(&w, ctx.dataset->graph(), community);
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::Search(const SearchRequest& request) {
+  auto begun = Begin(request.session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  std::lock_guard<std::mutex> lock(ctx.session->mu);
+  AttachLocked(ctx, /*adopt_newer=*/true, /*clear_history=*/false);
+  if (ctx.dataset == nullptr) {
+    return ApiError::Conflict("no graph uploaded");
+  }
+  if (request.name.empty() && request.vertices.empty()) {
+    return ApiError::InvalidArgument("search needs a 'name' or a 'vertex'");
+  }
+  Query query;
+  query.name = request.name;
+  query.vertices = request.vertices;
+  query.k = request.k;
+  query.keywords = request.keywords;
+  return RunSearch(ctx, request.algo.empty() ? "ACQ" : request.algo, query);
+}
+
+ApiResult<std::string> QueryService::Explore(const ExploreRequest& request) {
+  auto begun = Begin(request.session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  std::lock_guard<std::mutex> lock(ctx.session->mu);
+  AttachLocked(ctx, /*adopt_newer=*/true, /*clear_history=*/false);
+  if (ctx.dataset == nullptr) {
+    return ApiError::Conflict("no graph uploaded");
+  }
+  if (request.vertex >= ctx.dataset->graph().num_vertices()) {
+    return ApiError::NotFound("vertex not found");
+  }
+  Query query;
+  query.vertices.push_back(request.vertex);
+  query.k = request.k >= 0 ? static_cast<std::uint32_t>(request.k)
+                           : ctx.session->last_query.k;
+  return RunSearch(ctx, request.algo.empty() ? "ACQ" : request.algo, query);
+}
+
+ApiResult<std::string> QueryService::Compare(const CompareRequest& request) {
+  auto begun = Begin(request.session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  std::lock_guard<std::mutex> lock(ctx.session->mu);
+  AttachLocked(ctx, /*adopt_newer=*/true, /*clear_history=*/false);
+  if (ctx.dataset == nullptr) {
+    return ApiError::Conflict("no graph uploaded");
+  }
+  if (request.name.empty()) {
+    return ApiError::InvalidArgument("compare needs a 'name'");
+  }
+  Query query;
+  query.name = request.name;
+  query.k = request.k;
+  query.keywords = request.keywords;
+  std::vector<std::string> algos = request.algos;
+  if (algos.empty()) algos = {"Global", "Local", "CODICIL", "ACQ"};
+  auto report = ctx.session->explorer.Compare(query, algos);
+  if (!report.ok()) return FromStatus(report.status());
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("query");
+  w.String(query.name);
+  w.Key("k");
+  w.UInt(query.k);
+  w.Key("rows");
+  w.BeginArray();
+  for (const auto& row : report->rows) {
+    w.BeginObject();
+    w.Key("method");
+    w.String(row.method);
+    w.Key("communities");
+    w.UInt(row.num_communities);
+    w.Key("vertices");
+    w.Double(row.avg_vertices);
+    w.Key("edges");
+    w.Double(row.avg_edges);
+    w.Key("degree");
+    w.Double(row.avg_degree);
+    w.Key("cpj");
+    w.Double(row.cpj);
+    w.Key("cmf");
+    w.Double(row.cmf);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("table");
+  w.String(report->ToTable());
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::Detect(const DetectRequest& request) {
+  auto begun = Begin(request.session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  std::lock_guard<std::mutex> lock(ctx.session->mu);
+  AttachLocked(ctx, /*adopt_newer=*/true, /*clear_history=*/false);
+  if (ctx.dataset == nullptr) {
+    return ApiError::Conflict("no graph uploaded");
+  }
+  Session& session = *ctx.session;
+  const std::string algo = request.algo.empty() ? "CODICIL" : request.algo;
+  auto clustering = session.explorer.Detect(algo);
+  if (!clustering.ok()) return FromStatus(clustering.status());
+  session.detection = std::move(clustering.value());
+  session.detection_algo = algo;
+  session.detection_epoch = ctx.dataset->graph_epoch();
+  // Invalidates outstanding page cursors, including across sessions.
+  session.detection_generation = NextResultGeneration();
+  session.history.push_back("detect:" + algo);
+
+  // Cluster-size histogram: how many clusters of each magnitude.
+  auto sizes = session.detection.Sizes();
+  std::size_t singletons = 0;
+  std::size_t small = 0;   // 2..9
+  std::size_t medium = 0;  // 10..99
+  std::size_t large = 0;   // 100+
+  std::size_t largest = 0;
+  for (std::size_t s : sizes) {
+    largest = std::max(largest, s);
+    if (s <= 1) {
+      ++singletons;
+    } else if (s < 10) {
+      ++small;
+    } else if (s < 100) {
+      ++medium;
+    } else {
+      ++large;
+    }
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("algorithm");
+  w.String(algo);
+  w.Key("num_clusters");
+  w.UInt(session.detection.num_clusters);
+  w.Key("modularity");
+  w.Double(Modularity(ctx.dataset->graph().graph(), session.detection));
+  w.Key("largest_cluster");
+  w.UInt(largest);
+  w.Key("size_histogram");
+  w.BeginObject();
+  w.Key("singleton");
+  w.UInt(singletons);
+  w.Key("small_2_9");
+  w.UInt(small);
+  w.Key("medium_10_99");
+  w.UInt(medium);
+  w.Key("large_100_plus");
+  w.UInt(large);
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::Community(
+    const CommunityRequest& request) {
+  auto begun = Begin(request.session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  std::lock_guard<std::mutex> lock(ctx.session->mu);
+  AttachLocked(ctx, /*adopt_newer=*/true, /*clear_history=*/false);
+  Session& session = *ctx.session;
+  if (request.id < 0 ||
+      static_cast<std::size_t>(request.id) >= session.communities.size()) {
+    return ApiError::NotFound("no cached community with that id");
+  }
+  if (ctx.dataset == nullptr ||
+      session.communities_epoch != ctx.dataset->graph_epoch()) {
+    return ApiError::Conflict(
+        "cached communities are stale (graph was reloaded); search again");
+  }
+  const cexplorer::Community& community =
+      session.communities[static_cast<std::size_t>(request.id)];
+
+  auto window = ResolvePage(request.page, ctx.dataset->graph_epoch(),
+                            PageToken::Kind::kCommunity,
+                            static_cast<std::uint64_t>(request.id),
+                            session.communities_generation);
+  if (!window.ok()) return window.error();
+
+  if (window->paginated) {
+    // Paginated shape: the requested member window, plus stats on the
+    // first page only — Analyze scans the whole induced subgraph, and
+    // recomputing it for every follow-up page would make each page as
+    // expensive as the unpaginated request. The layout and ASCII
+    // rendering cover the WHOLE community and are only produced in the
+    // legacy full shape.
+    PageToken next{ctx.dataset->graph_epoch(), PageToken::Kind::kCommunity,
+                   static_cast<std::uint64_t>(request.id),
+                   session.communities_generation, 0};
+    JsonWriter w;
+    w.BeginObject();
+    WriteCommunityPage(&w, ctx.dataset->graph(), community, window->offset,
+                       window->limit, next);
+    if (window->offset == 0) {
+      auto analysis = session.explorer.Analyze(community);
+      if (!analysis.ok()) {
+        return ApiError::Internal(analysis.status().ToString());
+      }
+      WriteStats(&w, *analysis);
+    }
+    w.EndObject();
+    return w.TakeString();
+  }
+
+  auto analysis = session.explorer.Analyze(community);
+  if (!analysis.ok()) {
+    return ApiError::Internal(analysis.status().ToString());
+  }
+  auto display = session.explorer.Display(community);
+  if (!display.ok()) {
+    return ApiError::Internal(display.status().ToString());
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("community");
+  WriteCommunity(&w, ctx.dataset->graph(), community);
+  WriteStats(&w, *analysis);
+  w.Key("layout");
+  w.BeginArray();
+  for (std::size_t i = 0; i < display->layout.size(); ++i) {
+    w.BeginObject();
+    w.Key("id");
+    w.UInt(community.vertices[i]);
+    w.Key("x");
+    w.Double(display->layout[i].x);
+    w.Key("y");
+    w.Double(display->layout[i].y);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("ascii");
+  w.String(display->ascii);
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::Cluster(const ClusterRequest& request) {
+  auto begun = Begin(request.session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  std::lock_guard<std::mutex> lock(ctx.session->mu);
+  AttachLocked(ctx, /*adopt_newer=*/true, /*clear_history=*/false);
+  Session& session = *ctx.session;
+  if (session.detection.assignment.empty()) {
+    return ApiError::NotFound("no detection result cached; run detect first");
+  }
+  if (ctx.dataset == nullptr ||
+      session.detection_epoch != ctx.dataset->graph_epoch()) {
+    return ApiError::Conflict(
+        "cached detection is stale (graph was reloaded); detect again");
+  }
+  if (request.id < 0 || static_cast<std::uint64_t>(request.id) >=
+                            session.detection.num_clusters) {
+    return ApiError::NotFound("cluster id out of range");
+  }
+  cexplorer::Community community;
+  community.method = session.detection_algo;
+  community.vertices =
+      session.detection.Members(static_cast<std::uint32_t>(request.id));
+
+  auto window = ResolvePage(request.page, ctx.dataset->graph_epoch(),
+                            PageToken::Kind::kCluster,
+                            static_cast<std::uint64_t>(request.id),
+                            session.detection_generation);
+  if (!window.ok()) return window.error();
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("cluster");
+  w.Int(request.id);
+  if (window->paginated) {
+    PageToken next{ctx.dataset->graph_epoch(), PageToken::Kind::kCluster,
+                   static_cast<std::uint64_t>(request.id),
+                   session.detection_generation, 0};
+    WriteCommunityPage(&w, ctx.dataset->graph(), community, window->offset,
+                       window->limit, next);
+  } else {
+    w.Key("community");
+    WriteCommunity(&w, ctx.dataset->graph(), community, /*max_members=*/500);
+  }
+  // Stats scan the whole cluster's induced subgraph; on paginated reads
+  // they are served with the first page only (see Community()).
+  if (!window->paginated || window->offset == 0) {
+    auto analysis = session.explorer.Analyze(community);
+    if (!analysis.ok()) {
+      return ApiError::Internal(analysis.status().ToString());
+    }
+    WriteStats(&w, *analysis);
+  }
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::Profile(const ProfileRequest& request) {
+  auto begun = Begin(request.session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  std::lock_guard<std::mutex> lock(ctx.session->mu);
+  AttachLocked(ctx, /*adopt_newer=*/true, /*clear_history=*/false);
+  if (ctx.dataset == nullptr) {
+    return ApiError::Conflict("no graph uploaded");
+  }
+  const AttributedGraph& graph = ctx.dataset->graph();
+  VertexId v = kInvalidVertex;
+  if (!request.name.empty()) {
+    v = graph.FindByName(request.name);
+  } else if (request.vertex >= 0) {
+    v = static_cast<VertexId>(request.vertex);
+  }
+  if (v == kInvalidVertex || v >= graph.num_vertices()) {
+    return ApiError::NotFound("author not found");
+  }
+  auto profile = ctx.dataset->Profile(v);
+  if (!profile.ok()) {
+    return ApiError::Internal(profile.status().ToString());
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.UInt(v);
+  w.Key("name");
+  w.String(profile->name);
+  w.Key("institute");
+  w.String(profile->institute);
+  w.Key("areas");
+  w.BeginArray();
+  for (const auto& area : profile->areas) w.String(area);
+  w.EndArray();
+  w.Key("interests");
+  w.BeginArray();
+  for (const auto& interest : profile->interests) w.String(interest);
+  w.EndArray();
+  w.Key("keywords");
+  w.BeginArray();
+  for (const auto& kw : graph.KeywordStrings(v)) w.String(kw);
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::Author(const AuthorRequest& request) {
+  // Populates the query form of Figure 1: after the user types a name, the
+  // UI shows "a list of degree constraints, and a set of keywords of this
+  // author".
+  auto begun = Begin(request.session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  std::lock_guard<std::mutex> lock(ctx.session->mu);
+  AttachLocked(ctx, /*adopt_newer=*/true, /*clear_history=*/false);
+  if (ctx.dataset == nullptr) {
+    return ApiError::Conflict("no graph uploaded");
+  }
+  if (request.name.empty()) {
+    return ApiError::InvalidArgument("missing author name");
+  }
+  const AttributedGraph& graph = ctx.dataset->graph();
+  VertexId v = graph.FindByName(request.name);
+  if (v == kInvalidVertex) {
+    return ApiError::NotFound("author not found");
+  }
+  const std::uint32_t core = ctx.dataset->core_numbers()[v];
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.UInt(v);
+  w.Key("name");
+  w.String(graph.Name(v));
+  w.Key("degree");
+  w.UInt(graph.graph().Degree(v));
+  // Feasible "degree >= k" values: any k up to the author's core number.
+  w.Key("degree_constraints");
+  w.BeginArray();
+  for (std::uint32_t k = 1; k <= core; ++k) w.UInt(k);
+  w.EndArray();
+  w.Key("keywords");
+  w.BeginArray();
+  for (const auto& kw : graph.KeywordStrings(v)) w.String(kw);
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::History(const std::string& session) {
+  auto begun = Begin(session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  std::lock_guard<std::mutex> lock(ctx.session->mu);
+  AttachLocked(ctx, /*adopt_newer=*/true, /*clear_history=*/false);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("session");
+  w.String(ctx.session->id);
+  w.Key("history");
+  w.BeginArray();
+  for (const auto& entry : ctx.session->history) w.String(entry);
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::ExportSvg(const ExportRequest& request) {
+  auto begun = Begin(request.session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  std::lock_guard<std::mutex> lock(ctx.session->mu);
+  AttachLocked(ctx, /*adopt_newer=*/true, /*clear_history=*/false);
+  Session& session = *ctx.session;
+  if (request.id < 0 ||
+      static_cast<std::size_t>(request.id) >= session.communities.size()) {
+    return ApiError::NotFound("no cached community with that id");
+  }
+  if (ctx.dataset == nullptr ||
+      session.communities_epoch != ctx.dataset->graph_epoch()) {
+    return ApiError::Conflict(
+        "cached communities are stale (graph was reloaded); search again");
+  }
+  VertexId q = session.last_query.vertices.empty()
+                   ? ctx.dataset->graph().FindByName(session.last_query.name)
+                   : session.last_query.vertices.front();
+  auto svg = session.explorer.ExportSvg(
+      session.communities[static_cast<std::size_t>(request.id)], q);
+  if (!svg.ok()) return ApiError::Internal(svg.status().ToString());
+  return std::move(svg).value();
+}
+
+ApiResult<std::string> QueryService::UploadFile(const DatasetRequest& request) {
+  auto begun = Begin(request.session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  if (request.path.empty()) {
+    return ApiError::InvalidArgument("missing dataset path");
+  }
+  // Build outside all locks: queries keep flowing against the old snapshot
+  // while the core decomposition and CL-tree run.
+  auto dataset = Dataset::FromFile(request.path);
+  if (!dataset.ok()) return FromStatus(dataset.status());
+  if (!PublishDataset(ctx, std::move(dataset.value()))) {
+    return ApiError::Conflict(
+        "dataset changed while this upload was building; retry");
+  }
+  AttachToSession(ctx, /*clear_history=*/true);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("uploaded");
+  w.String(request.path);
+  w.Key("dataset_id");
+  w.UInt(ctx.dataset->id());
+  w.Key("vertices");
+  w.UInt(ctx.dataset->graph().num_vertices());
+  w.Key("edges");
+  w.UInt(ctx.dataset->graph().graph().num_edges());
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::SaveIndex(const DatasetRequest& request) {
+  auto begun = Begin(request.session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  if (request.path.empty()) {
+    return ApiError::InvalidArgument("missing index path");
+  }
+  if (ctx.dataset == nullptr) {
+    return ApiError::Conflict("no graph uploaded");
+  }
+  Status st = ctx.dataset->SaveIndex(request.path);
+  if (!st.ok()) return FromStatus(st);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("saved");
+  w.String(request.path);
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::LoadIndex(const DatasetRequest& request) {
+  auto begun = Begin(request.session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  if (request.path.empty()) {
+    return ApiError::InvalidArgument("missing index path");
+  }
+  if (ctx.dataset == nullptr) {
+    return ApiError::Conflict("no graph uploaded");
+  }
+  // Deserialize against the current snapshot, then swap server-wide: the
+  // graph and core numbers are shared, only the index is replaced. The
+  // publish is conditional — if another upload landed meanwhile, installing
+  // an index for the old graph would silently revert it.
+  auto dataset = ctx.dataset->WithIndexFromFile(request.path);
+  if (!dataset.ok()) return FromStatus(dataset.status());
+  if (!PublishDataset(ctx, std::move(dataset.value()))) {
+    return ApiError::Conflict(
+        "dataset changed while the index was loading; retry");
+  }
+  AttachToSession(ctx, /*clear_history=*/false);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("loaded");
+  w.String(request.path);
+  w.Key("dataset_id");
+  w.UInt(ctx.dataset->id());
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<BatchRequest> QueryService::ParseBatch(const std::string& json) {
+  auto parsed = JsonValue::Parse(json);
+  if (!parsed.ok() || !parsed->is_array()) {
+    return ApiError::InvalidArgument("'requests' must be a JSON array");
+  }
+  const std::vector<JsonValue>& items = parsed->Items();
+  BatchRequest batch;
+  batch.entries.resize(items.size());
+  // Decode every entry up front so a malformed one is reported per-slot
+  // rather than failing the whole batch.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const JsonValue& item = items[i];
+    BatchRequest::Entry& decoded = batch.entries[i];
+    if (!item.is_object()) {
+      decoded.error = "entry is not an object";
+      continue;
+    }
+    if (item.Has("name")) decoded.search.name = item.Get("name").AsString();
+    if (item.Has("vertex")) {
+      const std::int64_t v = item.Get("vertex").AsInt(-1);
+      if (v < 0) {
+        decoded.error = "bad vertex";
+        continue;
+      }
+      decoded.search.vertices.push_back(static_cast<VertexId>(v));
+    }
+    if (decoded.search.name.empty() && decoded.search.vertices.empty()) {
+      decoded.error = "entry needs a name or a vertex";
+      continue;
+    }
+    decoded.search.k =
+        static_cast<std::uint32_t>(item.Get("k").AsInt(/*fallback=*/4));
+    const JsonValue& kws = item.Get("keywords");
+    if (kws.is_array()) {
+      for (const JsonValue& kw : kws.Items()) {
+        if (!kw.AsString().empty()) {
+          decoded.search.keywords.push_back(kw.AsString());
+        }
+      }
+    } else if (!kws.AsString().empty()) {
+      decoded.search.keywords = SplitNonEmpty(kws.AsString(), ',');
+    }
+    decoded.search.algo = item.Get("algo").AsString();
+    if (decoded.search.algo.empty()) decoded.search.algo = "ACQ";
+  }
+  return batch;
+}
+
+ApiResult<std::string> QueryService::Batch(const BatchRequest& request,
+                                           ThreadPool* pool) {
+  auto begun = Begin(request.session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  if (ctx.dataset == nullptr) {
+    return ApiError::Conflict("no graph uploaded");
+  }
+
+  // Fan the decoded queries across the worker pool. Every entry runs
+  // against the one snapshot this request captured at dispatch — a
+  // concurrent upload cannot split the batch across two graphs. Each
+  // entry gets its own Explorer view (views are cheap and confine any
+  // per-algorithm scratch state to the entry), and renders into its own
+  // slot, so entries share only the immutable dataset.
+  const DatasetPtr snapshot = ctx.dataset;
+  const std::vector<BatchRequest::Entry>& entries = request.entries;
+  std::vector<std::string> fragments(entries.size());
+  ParallelFor(
+      0, entries.size(), pool,
+      [&](std::size_t i) {
+        JsonWriter w;
+        w.BeginObject();
+        if (!entries[i].error.empty()) {
+          w.Key("error");
+          WriteErrorValue(&w, ApiCode::kInvalidArgument, entries[i].error);
+        } else {
+          const SearchRequest& req = entries[i].search;
+          Query query;
+          query.name = req.name;
+          query.vertices = req.vertices;
+          query.k = req.k;
+          query.keywords = req.keywords;
+          const std::string algo = req.algo.empty() ? "ACQ" : req.algo;
+          Explorer view;
+          view.AttachDataset(snapshot);
+          auto communities = view.Search(algo, query);
+          if (!communities.ok()) {
+            const ApiError error = FromStatus(communities.status());
+            w.Key("error");
+            WriteErrorValue(&w, error.code, error.message);
+          } else {
+            w.Key("algorithm");
+            w.String(algo);
+            w.Key("num_communities");
+            w.UInt(communities->size());
+            w.Key("communities");
+            w.BeginArray();
+            for (const auto& community : communities.value()) {
+              WriteCommunity(&w, snapshot->graph(), community);
+            }
+            w.EndArray();
+          }
+        }
+        w.EndObject();
+        fragments[i] = w.TakeString();
+      },
+      /*grain=*/1);
+
+  std::string body = "{\"dataset_id\":" + std::to_string(snapshot->id()) +
+                     ",\"count\":" + std::to_string(fragments.size()) +
+                     ",\"results\":[";
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    if (i > 0) body += ',';
+    body += fragments[i];
+  }
+  body += "]}";
+  return body;
+}
+
+}  // namespace api
+}  // namespace cexplorer

@@ -1,0 +1,152 @@
+// QueryService — the one front door of the C-Explorer engine.
+//
+// Every consumer (the HTTP route table in src/server/server.cc, the
+// interactive CLI, /v1/batch slots, embedders linking the library) fills a
+// typed request struct (api/types.h) and calls the matching method here.
+// The service owns ALL request semantics in one place:
+//
+//   * validation and defaults beyond per-parameter typing (cross-field
+//     rules like "search needs a name or a vertex");
+//   * session resolution (empty id -> the implicit "default" session) and
+//     the snapshot discipline of the multi-session engine: each request
+//     pins one immutable Dataset snapshot, sessions only ever move forward
+//     in snapshot order, and caches are invalidated by graph epoch;
+//   * pagination of community / cluster member lists via stable PageToken
+//     cursors (stale cursor -> kConflict, foreign cursor ->
+//     kInvalidArgument);
+//   * the structured ApiError taxonomy — no consumer ever sees a raw
+//     library Status.
+//
+// Methods return the rendered JSON body (ExportSvg: the SVG document).
+// Rendering here rather than in the HTTP layer is what makes the legacy
+// aliases byte-identical to their /v1 twins for free.
+//
+// Concurrency model (inherited from the pre-split server, unchanged): the
+// served DatasetPtr is guarded by a shared_mutex — requests take a shared
+// lock just long enough to copy the pointer; Upload/LoadIndex build the
+// replacement outside the lock and install it with a compare-and-swap
+// publish (kConflict for the loser). One request at a time per session;
+// different sessions run fully in parallel. Thread-safe throughout.
+
+#ifndef CEXPLORER_API_QUERY_SERVICE_H_
+#define CEXPLORER_API_QUERY_SERVICE_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "api/error.h"
+#include "api/types.h"
+#include "common/parallel.h"
+#include "explorer/dataset.h"
+#include "server/session.h"
+
+namespace cexplorer {
+namespace api {
+
+class QueryService {
+ public:
+  QueryService() = default;
+
+  // --- Dataset lifecycle (programmatic twins of /v1/upload) ---------------
+
+  /// Builds a dataset from an in-memory graph and swaps it in for all
+  /// sessions.
+  Status UploadGraph(AttributedGraph graph);
+
+  /// File variant of UploadGraph.
+  Status Upload(const std::string& path);
+
+  /// Attaches an already-built dataset (shared with other services or
+  /// embedders; no index build). Serving only moves forward in snapshot-id
+  /// order: returns false (and keeps serving the existing dataset) when
+  /// `dataset` is older than the currently served snapshot.
+  bool AttachDataset(DatasetPtr dataset);
+
+  /// The current dataset snapshot (nullptr before any upload).
+  DatasetPtr dataset() const;
+
+  // --- Sessions ------------------------------------------------------------
+
+  ApiResult<std::string> CreateSession();
+  ApiResult<std::string> DeleteSession(const std::string& id);
+  ApiResult<std::string> ListSessions();
+  std::size_t num_sessions() const { return sessions_.size(); }
+
+  // --- Queries -------------------------------------------------------------
+
+  /// System summary (graph size, algorithms, session count) — "/".
+  ApiResult<std::string> Summary(const std::string& session);
+
+  ApiResult<std::string> Search(const SearchRequest& request);
+  ApiResult<std::string> Explore(const ExploreRequest& request);
+  ApiResult<std::string> Compare(const CompareRequest& request);
+  ApiResult<std::string> Detect(const DetectRequest& request);
+  ApiResult<std::string> Community(const CommunityRequest& request);
+  ApiResult<std::string> Cluster(const ClusterRequest& request);
+  ApiResult<std::string> Profile(const ProfileRequest& request);
+  ApiResult<std::string> Author(const AuthorRequest& request);
+  ApiResult<std::string> History(const std::string& session);
+
+  /// Returns the SVG document (image/svg+xml), not JSON.
+  ApiResult<std::string> ExportSvg(const ExportRequest& request);
+
+  ApiResult<std::string> UploadFile(const DatasetRequest& request);
+  ApiResult<std::string> SaveIndex(const DatasetRequest& request);
+  ApiResult<std::string> LoadIndex(const DatasetRequest& request);
+
+  /// Runs every entry against ONE dataset snapshot, fanned across `pool`
+  /// (nullptr: sequential). Per-entry failures land in their result slot
+  /// as {"error":{...}} envelopes; the batch itself only fails on
+  /// service-level problems (no dataset, unknown session).
+  ApiResult<std::string> Batch(const BatchRequest& request, ThreadPool* pool);
+
+  /// Decodes the JSON wire form of a batch ([{"name"|"vertex", "k",
+  /// "keywords", "algo"}, ...]) into typed entries; malformed entries get
+  /// their `error` field set (reported per-slot) instead of failing the
+  /// batch.
+  static ApiResult<BatchRequest> ParseBatch(const std::string& json);
+
+ private:
+  /// Everything one request needs: the resolved session and the dataset
+  /// snapshot it runs against.
+  struct RequestContext {
+    std::shared_ptr<Session> session;
+    DatasetPtr dataset;
+  };
+
+  /// Resolves the session (empty -> implicit "default") and pins the
+  /// current snapshot. kNotFound for an unknown explicit session id.
+  ApiResult<RequestContext> Begin(const std::string& session_id);
+
+  bool SwapDataset(DatasetPtr dataset);
+
+  /// Compare-and-swap publish for Upload/LoadIndex: installs `fresh` only
+  /// if the served dataset is still the snapshot this request started
+  /// from; otherwise returns false (the caller reports kConflict).
+  bool PublishDataset(RequestContext& ctx, DatasetPtr fresh);
+
+  /// Attaches ctx.dataset to ctx.session (locking the session) and drops
+  /// the session's dataset-derived caches when the graph changed.
+  void AttachToSession(RequestContext& ctx, bool clear_history);
+
+  /// Shared core of the attach sites. Requires ctx.session->mu held.
+  static void AttachLocked(RequestContext& ctx, bool adopt_newer,
+                           bool clear_history);
+
+  /// Runs a search, caches the result in the session, renders the body.
+  ApiResult<std::string> RunSearch(RequestContext& ctx,
+                                   const std::string& algo,
+                                   const Query& query);
+
+  mutable std::shared_mutex dataset_mu_;
+  DatasetPtr dataset_;
+
+  SessionManager sessions_;
+};
+
+}  // namespace api
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_API_QUERY_SERVICE_H_

@@ -1,0 +1,313 @@
+#include "api/routes.h"
+
+#include <string_view>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace cexplorer {
+namespace api {
+
+namespace {
+
+constexpr ParamSpec kNoParams[] = {
+    {"", ParamType::kString, false, "", ""}};  // placeholder, num_params = 0
+
+constexpr ParamSpec kSessionDeleteParams[] = {
+    {"id", ParamType::kString, true, "", "session id to delete"},
+};
+
+constexpr ParamSpec kPathParams[] = {
+    {"path", ParamType::kString, true, "", "file path on the server"},
+};
+
+constexpr ParamSpec kSearchParams[] = {
+    {"name", ParamType::kString, false, "",
+     "query author name (this or 'vertex' is required)"},
+    {"vertex", ParamType::kInt, false, "",
+     "query vertex id (this or 'name' is required)"},
+    {"k", ParamType::kInt, false, "4", "minimum degree constraint"},
+    {"keywords", ParamType::kString, false, "",
+     "comma-separated query keywords (ACQ only)"},
+    {"algo", ParamType::kString, false, "ACQ",
+     "community-search algorithm name"},
+};
+
+constexpr ParamSpec kCommunityParams[] = {
+    {"id", ParamType::kInt, false, "0", "cached community id"},
+    {"limit", ParamType::kInt, false, "",
+     "page size for the member list; omit for the full legacy shape"},
+    {"cursor", ParamType::kString, false, "",
+     "opaque continuation cursor from a previous page"},
+};
+
+constexpr ParamSpec kProfileParams[] = {
+    {"name", ParamType::kString, false, "",
+     "author name (this or 'vertex' is required)"},
+    {"vertex", ParamType::kInt, false, "",
+     "vertex id (this or 'name' is required)"},
+};
+
+constexpr ParamSpec kExploreParams[] = {
+    {"vertex", ParamType::kInt, true, "", "community member to explore from"},
+    {"k", ParamType::kInt, false, "",
+     "minimum degree; defaults to the session's last query k"},
+    {"algo", ParamType::kString, false, "ACQ",
+     "community-search algorithm name"},
+};
+
+constexpr ParamSpec kCompareParams[] = {
+    {"name", ParamType::kString, true, "", "query author name"},
+    {"k", ParamType::kInt, false, "4", "minimum degree constraint"},
+    {"keywords", ParamType::kString, false, "",
+     "comma-separated query keywords (ACQ only)"},
+    {"algos", ParamType::kString, false, "Global,Local,CODICIL,ACQ",
+     "comma-separated algorithm names"},
+};
+
+constexpr ParamSpec kDetectParams[] = {
+    {"algo", ParamType::kString, false, "CODICIL",
+     "community-detection algorithm name"},
+};
+
+constexpr ParamSpec kClusterParams[] = {
+    {"id", ParamType::kInt, false, "0", "cluster id of the cached detection"},
+    {"limit", ParamType::kInt, false, "",
+     "page size for the member list; omit for the full legacy shape"},
+    {"cursor", ParamType::kString, false, "",
+     "opaque continuation cursor from a previous page"},
+};
+
+constexpr ParamSpec kAuthorParams[] = {
+    {"name", ParamType::kString, true, "", "author name"},
+};
+
+constexpr ParamSpec kExportParams[] = {
+    {"id", ParamType::kInt, false, "0", "cached community id"},
+};
+
+constexpr ParamSpec kBatchParams[] = {
+    {"requests", ParamType::kJson, false, "",
+     "JSON array of search entries ({\"name\"|\"vertex\",\"k\",\"keywords\","
+     "\"algo\"}); on POST the request body is used instead"},
+};
+
+constexpr RouteSpec kRoutes[] = {
+    {"api", "/api", false, kNoParams, 0,
+     "this document: every route with its parameter schema"},
+    {"index", "/", false, kNoParams, 0,
+     "system summary: graph size, algorithms, session count"},
+    {"session/new", "/session/new", false, kNoParams, 0,
+     "create a session; 503 once the session limit is reached"},
+    {"session/delete", "/session/delete", false, kSessionDeleteParams, 1,
+     "delete a session, freeing its slot"},
+    {"sessions", "/sessions", false, kNoParams, 0,
+     "list live sessions and their cache state"},
+    {"upload", "/upload", false, kPathParams, 1,
+     "load an attributed graph file and swap it in for ALL sessions"},
+    {"search", "/search", false, kSearchParams, 5,
+     "run a community-search algorithm; results cached in the session"},
+    {"community", "/community", false, kCommunityParams, 3,
+     "one cached community with stats (+ layout/ASCII in the full shape)"},
+    {"profile", "/profile", false, kProfileParams, 2,
+     "author profile popup"},
+    {"explore", "/explore", false, kExploreParams, 3,
+     "continue exploration from a community member"},
+    {"compare", "/compare", false, kCompareParams, 4,
+     "multi-algorithm comparison table (Figure 6a) with CPJ/CMF"},
+    {"history", "/history", false, kNoParams, 0,
+     "exploration chain of this session"},
+    {"detect", "/detect", false, kDetectParams, 1,
+     "run a community-detection algorithm on the whole graph"},
+    {"cluster", "/cluster", false, kClusterParams, 3,
+     "one cluster of the cached detection result"},
+    {"author", "/author", false, kAuthorParams, 1,
+     "query-form population: degree constraints and keywords of an author"},
+    {"export", "/export", false, kExportParams, 1,
+     "cached community as an SVG document"},
+    {"save_index", "/save_index", false, kPathParams, 1,
+     "persist the CL-tree (offline Indexing module)"},
+    {"load_index", "/load_index", false, kPathParams, 1,
+     "swap in a saved CL-tree for the loaded graph"},
+    {"batch", "/batch", true, kBatchParams, 1,
+     "answer many search entries under ONE dataset snapshot, fanned across "
+     "the worker pool"},
+};
+
+constexpr std::size_t kNumRoutes = sizeof(kRoutes) / sizeof(kRoutes[0]);
+
+}  // namespace
+
+const char* ParamTypeName(ParamType type) {
+  switch (type) {
+    case ParamType::kString:
+      return "string";
+    case ParamType::kInt:
+      return "int";
+    case ParamType::kJson:
+      return "json";
+  }
+  return "string";
+}
+
+const RouteSpec* Routes(std::size_t* count) {
+  *count = kNumRoutes;
+  return kRoutes;
+}
+
+const RouteSpec* FindRoute(const std::string& path, bool* is_v1) {
+  // Allocation-free hot path: a "/v1/" prefix means the suffix is the
+  // route name; anything else is matched against the legacy aliases.
+  const std::string_view sv(path);
+  if (sv.rfind("/v1/", 0) == 0) {
+    const std::string_view name = sv.substr(4);
+    for (const RouteSpec& route : kRoutes) {
+      if (name == route.name) {
+        *is_v1 = true;
+        return &route;
+      }
+    }
+    return nullptr;
+  }
+  for (const RouteSpec& route : kRoutes) {
+    if (sv == route.legacy_path) {
+      *is_v1 = false;
+      return &route;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<ApiError> ValidateParams(const RouteSpec& route,
+                                       const HttpRequest& request,
+                                       bool strict) {
+  for (std::size_t i = 0; i < route.num_params; ++i) {
+    const ParamSpec& spec = route.params[i];
+    const auto it = request.params.find(spec.name);
+    const bool present = it != request.params.end() && !it->second.empty();
+    if (!present) {
+      if (spec.required) {
+        return ApiError::InvalidArgument(
+            std::string("missing required parameter '") + spec.name + "'");
+      }
+      continue;
+    }
+    if (!strict) continue;  // legacy aliases keep pre-v1 fallback semantics
+    switch (spec.type) {
+      case ParamType::kString:
+        break;
+      case ParamType::kInt: {
+        std::int64_t value = 0;
+        if (!ParseInt64(it->second, &value)) {
+          return ApiError::InvalidArgument(
+              std::string("parameter '") + spec.name +
+              "' must be an integer, got '" + it->second + "'");
+        }
+        break;
+      }
+      case ParamType::kJson:
+        // Documented as JSON in /v1/api, but validated by the handler's
+        // own parse (which produces the same INVALID_ARGUMENT envelope) —
+        // pre-parsing here would double the parse cost of every batch.
+        break;
+    }
+  }
+  if (strict) {
+    // Unknown parameters are rejected on /v1 paths: a typoed parameter
+    // silently falling back to a default is exactly the legacy behavior
+    // the versioned surface retires.
+    for (const auto& [key, value] : request.params) {
+      if (key == "session") continue;  // universal
+      bool declared = false;
+      for (std::size_t i = 0; i < route.num_params; ++i) {
+        if (key == route.params[i].name) {
+          declared = true;
+          break;
+        }
+      }
+      if (!declared) {
+        return ApiError::InvalidArgument("unknown parameter '" + key + "'");
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string DescribeApi() {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("version");
+  w.String("v1");
+  w.Key("error_codes");
+  w.BeginArray();
+  for (ApiCode code :
+       {ApiCode::kInvalidArgument, ApiCode::kNotFound, ApiCode::kConflict,
+        ApiCode::kUnavailable, ApiCode::kInternal}) {
+    w.BeginObject();
+    w.Key("code");
+    w.String(ApiCodeName(code));
+    w.Key("http_status");
+    w.Int(HttpStatus(code));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("common_params");
+  w.BeginArray();
+  w.BeginObject();
+  w.Key("name");
+  w.String("session");
+  w.Key("type");
+  w.String("string");
+  w.Key("required");
+  w.Bool(false);
+  w.Key("doc");
+  w.String("session id from /v1/session/new; omit for the shared default "
+           "session");
+  w.EndObject();
+  w.EndArray();
+  w.Key("routes");
+  w.BeginArray();
+  for (const RouteSpec& route : kRoutes) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(route.name);
+    w.Key("path");
+    w.String(route.V1Path());
+    w.Key("legacy_alias");
+    w.String(route.legacy_path);
+    w.Key("methods");
+    w.BeginArray();
+    w.String("GET");
+    if (route.allow_post) w.String("POST");
+    w.EndArray();
+    w.Key("doc");
+    w.String(route.doc);
+    w.Key("params");
+    w.BeginArray();
+    for (std::size_t i = 0; i < route.num_params; ++i) {
+      const ParamSpec& spec = route.params[i];
+      w.BeginObject();
+      w.Key("name");
+      w.String(spec.name);
+      w.Key("type");
+      w.String(ParamTypeName(spec.type));
+      w.Key("required");
+      w.Bool(spec.required);
+      if (spec.default_value[0] != '\0') {
+        w.Key("default");
+        w.String(spec.default_value);
+      }
+      w.Key("doc");
+      w.String(spec.doc);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace api
+}  // namespace cexplorer

@@ -1,0 +1,79 @@
+// The declarative route table of the /v1 HTTP surface.
+//
+// One static table declares every endpoint: its name (the path is always
+// "/v1/<name>"), its legacy unversioned alias, whether it accepts a POST
+// body, and its parameter schema (name, type, required, default, doc).
+// From this single source of truth the server derives
+//
+//   * route lookup for both the /v1 path and the legacy alias,
+//   * automatic parameter validation (missing required params, type
+//     mismatches, and — on /v1 paths only — unknown parameters are
+//     kInvalidArgument before any handler runs; legacy aliases stay
+//     lenient so pre-v1 clients keep their byte-identical behavior),
+//   * the GET /v1/api self-description document.
+//
+// Adding an endpoint means adding one table row and one binder in
+// server.cc; there is no other registration.
+
+#ifndef CEXPLORER_API_ROUTES_H_
+#define CEXPLORER_API_ROUTES_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "api/error.h"
+#include "server/http.h"
+
+namespace cexplorer {
+namespace api {
+
+enum class ParamType { kString, kInt, kJson };
+
+/// Wire name of a parameter type ("string", "int", "json").
+const char* ParamTypeName(ParamType type);
+
+struct ParamSpec {
+  const char* name;
+  ParamType type;
+  bool required;           ///< must be present and non-empty
+  const char* default_value;  ///< documented default; "" = none
+  const char* doc;
+};
+
+struct RouteSpec {
+  const char* name;         ///< route name; the v1 path is "/v1/<name>"
+  const char* legacy_path;  ///< unversioned alias ("/search"); never null
+  bool allow_post;          ///< POST with a body allowed (else GET only)
+  const ParamSpec* params;
+  std::size_t num_params;
+  const char* doc;
+
+  std::string V1Path() const { return std::string("/v1/") + name; }
+};
+
+/// The full route table, in documentation order. `count` receives its size.
+const RouteSpec* Routes(std::size_t* count);
+
+/// Looks a path up as a /v1 path or a legacy alias. Returns nullptr when
+/// unknown; `is_v1` reports which form matched (strict validation applies
+/// only to the /v1 form).
+const RouteSpec* FindRoute(const std::string& path, bool* is_v1);
+
+/// Validates a parsed request against the schema. In strict (/v1) mode,
+/// required params must be present and non-empty, typed params must parse,
+/// and any parameter not in the schema (other than the universal "session")
+/// is rejected. Lenient (legacy-alias) mode only enforces required
+/// presence, preserving the pre-v1 fallback behavior for everything else.
+/// Returns nullopt when the request is valid.
+std::optional<ApiError> ValidateParams(const RouteSpec& route,
+                                       const HttpRequest& request,
+                                       bool strict);
+
+/// Renders the GET /v1/api self-description document from the table.
+std::string DescribeApi();
+
+}  // namespace api
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_API_ROUTES_H_

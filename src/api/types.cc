@@ -1,0 +1,50 @@
+#include "api/types.h"
+
+#include "common/strings.h"
+
+namespace cexplorer {
+namespace api {
+
+std::string PageToken::Encode() const {
+  return "g" + std::to_string(graph_epoch) + "-t" +
+         std::to_string(static_cast<unsigned>(kind)) + "-i" +
+         std::to_string(object_id) + "-r" + std::to_string(generation) +
+         "-o" + std::to_string(offset);
+}
+
+ApiResult<PageToken> PageToken::Decode(const std::string& text) {
+  const ApiError bad =
+      ApiError::InvalidArgument("malformed cursor '" + text + "'");
+  if (text.empty() || text[0] != 'g') return bad;
+  const auto dash_t = text.find("-t", 1);
+  if (dash_t == std::string::npos) return bad;
+  const auto dash_i = text.find("-i", dash_t + 2);
+  if (dash_i == std::string::npos) return bad;
+  const auto dash_r = text.find("-r", dash_i + 2);
+  if (dash_r == std::string::npos) return bad;
+  const auto dash_o = text.find("-o", dash_r + 2);
+  if (dash_o == std::string::npos) return bad;
+  std::int64_t epoch = 0;
+  std::int64_t kind = 0;
+  std::int64_t id = 0;
+  std::int64_t generation = 0;
+  std::int64_t offset = 0;
+  if (!ParseInt64(text.substr(1, dash_t - 1), &epoch) ||
+      !ParseInt64(text.substr(dash_t + 2, dash_i - dash_t - 2), &kind) ||
+      !ParseInt64(text.substr(dash_i + 2, dash_r - dash_i - 2), &id) ||
+      !ParseInt64(text.substr(dash_r + 2, dash_o - dash_r - 2), &generation) ||
+      !ParseInt64(text.substr(dash_o + 2), &offset) || epoch < 0 || kind < 0 ||
+      kind > 1 || id < 0 || generation < 0 || offset < 0) {
+    return bad;
+  }
+  PageToken token;
+  token.graph_epoch = static_cast<std::uint64_t>(epoch);
+  token.kind = static_cast<Kind>(kind);
+  token.object_id = static_cast<std::uint64_t>(id);
+  token.generation = static_cast<std::uint64_t>(generation);
+  token.offset = static_cast<std::uint64_t>(offset);
+  return token;
+}
+
+}  // namespace api
+}  // namespace cexplorer

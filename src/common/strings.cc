@@ -19,11 +19,24 @@ std::vector<std::string> Split(std::string_view text, char sep) {
   return out;
 }
 
+std::vector<std::string> SplitNonEmpty(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      if (i > start) out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
 std::vector<std::string> SplitWhitespace(std::string_view text) {
   std::vector<std::string> out;
   std::size_t i = 0;
   while (i < text.size()) {
-    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
       ++i;
     }
     std::size_t start = i;
@@ -55,7 +68,9 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
 
 std::string ToLower(std::string_view text) {
   std::string out(text);
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
   return out;
 }
 
@@ -72,7 +87,8 @@ bool EndsWith(std::string_view text, std::string_view suffix) {
 bool ParseInt64(std::string_view text, std::int64_t* out) {
   text = Trim(text);
   if (text.empty()) return false;
-  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), *out);
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
   return ec == std::errc() && ptr == text.data() + text.size();
 }
 

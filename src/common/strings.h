@@ -12,6 +12,10 @@ namespace cexplorer {
 /// Splits `text` on `sep`, keeping empty fields.
 std::vector<std::string> Split(std::string_view text, char sep);
 
+/// Splits `text` on `sep`, dropping empty fields — the shape of every
+/// comma-separated API parameter (keywords, algorithm lists).
+std::vector<std::string> SplitNonEmpty(std::string_view text, char sep);
+
 /// Splits `text` on any run of whitespace, dropping empty fields.
 std::vector<std::string> SplitWhitespace(std::string_view text);
 

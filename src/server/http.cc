@@ -2,7 +2,7 @@
 
 #include <cctype>
 
-#include "common/json.h"
+#include "api/error.h"
 #include "common/strings.h"
 
 namespace cexplorer {
@@ -32,35 +32,78 @@ HttpResponse HttpResponse::Ok(std::string json) {
 HttpResponse HttpResponse::Error(int code, std::string_view message) {
   HttpResponse r;
   r.code = code;
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("error");
-  w.String(message);
-  w.EndObject();
-  r.body = w.TakeString();
+  // Derive the envelope from the one taxonomy definition (api/error.h) so
+  // parse-level errors carry the same code names as QueryService errors.
+  // 405 has no taxonomy code of its own; it renders as INVALID_ARGUMENT.
+  api::ApiCode api_code;
+  switch (code) {
+    case 400:
+    case 405:
+      api_code = api::ApiCode::kInvalidArgument;
+      break;
+    case 404:
+      api_code = api::ApiCode::kNotFound;
+      break;
+    case 409:
+      api_code = api::ApiCode::kConflict;
+      break;
+    case 503:
+      api_code = api::ApiCode::kUnavailable;
+      break;
+    default:
+      api_code = api::ApiCode::kInternal;
+      break;
+  }
+  r.body = api::ApiError{api_code, std::string(message), {}}.ToJson();
   return r;
 }
 
-std::string UrlDecode(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
+namespace {
+
+/// Shared %XX / '+' decoding loop. In strict mode a malformed escape stops
+/// the decode and reports failure; in lenient mode it is copied through.
+bool DecodeInto(std::string_view text, bool strict, std::string* out) {
+  out->reserve(text.size());
   for (std::size_t i = 0; i < text.size(); ++i) {
     char c = text[i];
     if (c == '+') {
-      out += ' ';
-    } else if (c == '%' && i + 2 < text.size() &&
-               std::isxdigit(static_cast<unsigned char>(text[i + 1])) &&
-               std::isxdigit(static_cast<unsigned char>(text[i + 2]))) {
-      auto hex = [](char h) {
-        if (h >= '0' && h <= '9') return h - '0';
-        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
-        return h - 'A' + 10;
-      };
-      out += static_cast<char>(hex(text[i + 1]) * 16 + hex(text[i + 2]));
-      i += 2;
+      *out += ' ';
+    } else if (c == '%') {
+      if (i + 2 < text.size() &&
+          std::isxdigit(static_cast<unsigned char>(text[i + 1])) &&
+          std::isxdigit(static_cast<unsigned char>(text[i + 2]))) {
+        auto hex = [](char h) {
+          if (h >= '0' && h <= '9') return h - '0';
+          if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+          return h - 'A' + 10;
+        };
+        *out += static_cast<char>(hex(text[i + 1]) * 16 + hex(text[i + 2]));
+        i += 2;
+      } else if (strict) {
+        return false;
+      } else {
+        *out += c;
+      }
     } else {
-      out += c;
+      *out += c;
     }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string UrlDecode(std::string_view text) {
+  std::string out;
+  DecodeInto(text, /*strict=*/false, &out);
+  return out;
+}
+
+Result<std::string> UrlDecodeStrict(std::string_view text) {
+  std::string out;
+  if (!DecodeInto(text, /*strict=*/true, &out)) {
+    return Status::InvalidArgument("malformed %-escape in '" +
+                                   std::string(text) + "'");
   }
   return out;
 }
@@ -83,16 +126,30 @@ std::string UrlEncode(std::string_view text) {
   return out;
 }
 
-Result<HttpRequest> ParseRequest(std::string_view line) {
+Result<HttpRequest> ParseRequest(std::string_view text) {
+  // Split the request line from the optional body: everything after the
+  // first line break is body, minus one leading blank line (the CRLF CRLF
+  // separator of real HTTP, degraded to this mini protocol).
+  std::string_view line = text;
+  std::string_view body;
+  auto newline = text.find('\n');
+  if (newline != std::string_view::npos) {
+    line = text.substr(0, newline);
+    body = text.substr(newline + 1);
+    if (!body.empty() && body.front() == '\r') body.remove_prefix(1);
+    if (!body.empty() && body.front() == '\n') body.remove_prefix(1);
+  }
+
   auto fields = SplitWhitespace(Trim(line));
   if (fields.size() != 2) {
     return Status::ParseError("expected 'METHOD /path[?query]'");
   }
   HttpRequest req;
   req.method = fields[0];
-  if (req.method != "GET") {
-    return Status::ParseError("only GET is supported");
+  if (req.method != "GET" && req.method != "POST") {
+    return Status::ParseError("only GET and POST are supported");
   }
+  req.body = std::string(body);
   std::string_view target = fields[1];
   if (target.empty() || target[0] != '/') {
     return Status::ParseError("path must start with '/'");
@@ -100,14 +157,22 @@ Result<HttpRequest> ParseRequest(std::string_view line) {
   auto question = target.find('?');
   req.path = std::string(target.substr(0, question));
   if (question != std::string_view::npos) {
+    // Empty query ("/x?") and empty pairs ("a=1&&b=2&") are fine; duplicate
+    // keys are last-wins (operator[] assignment); malformed %-escapes are
+    // a parse error rather than silently decoded garbage.
     for (const auto& pair : Split(target.substr(question + 1), '&')) {
       if (pair.empty()) continue;
       auto eq = pair.find('=');
+      auto key = UrlDecodeStrict(
+          std::string_view(pair).substr(0, eq == std::string::npos ? pair.size()
+                                                                   : eq));
+      if (!key.ok()) return key.status();
       if (eq == std::string::npos) {
-        req.params[UrlDecode(pair)] = "";
+        req.params[key.value()] = "";
       } else {
-        req.params[UrlDecode(std::string_view(pair).substr(0, eq))] =
-            UrlDecode(std::string_view(pair).substr(eq + 1));
+        auto value = UrlDecodeStrict(std::string_view(pair).substr(eq + 1));
+        if (!value.ok()) return value.status();
+        req.params[std::move(key).value()] = std::move(value).value();
       }
     }
   }

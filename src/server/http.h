@@ -1,8 +1,17 @@
 // Minimal HTTP-like request/response types for the in-process server that
-// stands in for the paper's JSP/Tomcat deployment. Requests are single
-// lines ("GET /search?name=jim+gray&k=4"); responses carry a status code
-// and a JSON body. No sockets: the browser loop of the demo is simulated
-// by calling Handle() directly (see examples/server_session.cc).
+// stands in for the paper's JSP/Tomcat deployment. A request is a request
+// line ("GET /search?name=jim+gray&k=4") optionally followed by a body
+// ("POST /v1/batch" + newline(s) + JSON payload); responses carry a status
+// code and a JSON body. No sockets: the browser loop of the demo is
+// simulated by calling Handle() directly (see examples/server_session.cc).
+//
+// Query-string semantics (the documented contract of ParseRequest):
+//   * duplicate keys: the LAST occurrence wins ("?k=1&k=2" -> k=2);
+//   * an empty query ("/x?") and empty pairs ("/x?a=1&&b=2&") are allowed
+//     and the empty pairs are skipped;
+//   * a key without '=' is a flag with empty value ("/x?verbose");
+//   * malformed %-escapes ("%zz", truncated "%4") are rejected with
+//     kInvalidArgument instead of being decoded as garbage.
 
 #ifndef CEXPLORER_SERVER_HTTP_H_
 #define CEXPLORER_SERVER_HTTP_H_
@@ -15,11 +24,13 @@
 
 namespace cexplorer {
 
-/// A parsed request: path plus decoded query parameters.
+/// A parsed request: method, path, decoded query parameters, and the raw
+/// body (POST only; empty for GET).
 struct HttpRequest {
-  std::string method;  // "GET"
+  std::string method;  // "GET" or "POST"
   std::string path;    // "/search"
   std::map<std::string, std::string> params;
+  std::string body;  // text after the request line, blank line stripped
 
   /// Parameter value or empty string.
   const std::string& Param(const std::string& key) const;
@@ -34,14 +45,27 @@ struct HttpResponse {
   std::string body;
 
   static HttpResponse Ok(std::string json);
+
+  /// An error response carrying the structured envelope
+  /// {"error":{"code":"...","message":"..."}}; the code string is derived
+  /// from the HTTP status (400 -> INVALID_ARGUMENT, 404 -> NOT_FOUND,
+  /// 405 -> INVALID_ARGUMENT, 409 -> CONFLICT, 503 -> UNAVAILABLE,
+  /// otherwise INTERNAL).
   static HttpResponse Error(int code, std::string_view message);
 };
 
-/// Parses "METHOD /path?k=v&k2=v2" with %XX and '+' decoding.
-Result<HttpRequest> ParseRequest(std::string_view line);
+/// Parses "METHOD /path?k=v&k2=v2" with %XX and '+' decoding, per the
+/// query-string contract documented at the top of this header. Everything
+/// after the first line break is the request body (one leading blank line,
+/// LF or CRLF, is stripped); only GET and POST are accepted.
+Result<HttpRequest> ParseRequest(std::string_view text);
 
-/// Decodes %XX escapes and '+' spaces.
+/// Decodes %XX escapes and '+' spaces leniently: malformed escapes are
+/// copied through verbatim. Prefer UrlDecodeStrict for request parsing.
 std::string UrlDecode(std::string_view text);
+
+/// Strict variant: malformed %-escapes are an error (kInvalidArgument).
+Result<std::string> UrlDecodeStrict(std::string_view text);
 
 /// Encodes a string for use in a query value.
 std::string UrlEncode(std::string_view text);

@@ -1,136 +1,46 @@
 #include "server/server.h"
 
-#include <algorithm>
-#include <mutex>
 #include <utility>
 
-#include "common/json.h"
 #include "common/strings.h"
-#include "metrics/quality.h"
 
 namespace cexplorer {
 
 namespace {
 
-/// Serializes one community (members with names, shared keywords). Very
-/// large communities get their member list truncated, flagged by the
-/// "members_truncated" field.
-void WriteCommunity(JsonWriter* w, const AttributedGraph& graph,
-                    const Community& community,
-                    std::size_t max_members = 2000) {
-  w->BeginObject();
-  w->Key("method");
-  w->String(community.method);
-  w->Key("size");
-  w->UInt(community.vertices.size());
-  const std::size_t shown = std::min(community.vertices.size(), max_members);
-  w->Key("members");
-  w->BeginArray();
-  for (std::size_t i = 0; i < shown; ++i) {
-    VertexId v = community.vertices[i];
-    w->BeginObject();
-    w->Key("id");
-    w->UInt(v);
-    w->Key("name");
-    w->String(graph.Name(v));
-    w->EndObject();
+using api::ApiResult;
+
+/// Renders an ApiResult as an HTTP response: 200 with the body on success,
+/// the {"error":{...}} envelope with the taxonomy-implied status otherwise.
+HttpResponse ToResponse(ApiResult<std::string> result) {
+  if (!result.ok()) {
+    HttpResponse response;
+    response.code = api::HttpStatus(result.error().code);
+    response.body = result.error().ToJson();
+    return response;
   }
-  w->EndArray();
-  if (shown < community.vertices.size()) {
-    w->Key("members_truncated");
-    w->Bool(true);
+  return HttpResponse::Ok(std::move(result).value());
+}
+
+/// Binds limit/cursor. A negative limit is rejected rather than silently
+/// degrading to the unpaginated shape (limit=0 or absent means "legacy
+/// full response" by contract).
+api::ApiResult<api::PageParams> PageParamsOf(const HttpRequest& request) {
+  const std::int64_t limit = request.IntParam("limit", 0);
+  if (limit < 0) {
+    return api::ApiError::InvalidArgument(
+        "parameter 'limit' must be non-negative");
   }
-  w->Key("theme");
-  w->BeginArray();
-  for (KeywordId kw : community.shared_keywords) {
-    w->String(graph.vocabulary().Word(kw));
-  }
-  w->EndArray();
-  w->EndObject();
+  api::PageParams page;
+  page.limit = static_cast<std::uint64_t>(limit);
+  page.cursor = request.Param("cursor");
+  return page;
 }
 
 }  // namespace
 
-Status CExplorerServer::UploadGraph(AttributedGraph graph) {
-  auto dataset = Dataset::Build(std::move(graph));
-  if (!dataset.ok()) return dataset.status();
-  SwapDataset(std::move(dataset.value()));
-  return Status::Ok();
-}
-
-Status CExplorerServer::Upload(const std::string& path) {
-  auto dataset = Dataset::FromFile(path);
-  if (!dataset.ok()) return dataset.status();
-  SwapDataset(std::move(dataset.value()));
-  return Status::Ok();
-}
-
-bool CExplorerServer::AttachDataset(DatasetPtr dataset) {
-  return SwapDataset(std::move(dataset));
-}
-
-DatasetPtr CExplorerServer::dataset() const {
-  std::shared_lock<std::shared_mutex> lock(dataset_mu_);
-  return dataset_;
-}
-
-bool CExplorerServer::SwapDataset(DatasetPtr dataset) {
-  std::unique_lock<std::shared_mutex> lock(dataset_mu_);
-  // Serving only moves forward in snapshot-id order: concurrent
-  // programmatic uploads linearize to the newest dataset, keeping the
-  // monotonic-id invariant the per-session late-attach relies on.
-  if (dataset == nullptr ||
-      (dataset_ != nullptr && dataset->id() < dataset_->id())) {
-    return false;
-  }
-  dataset_ = std::move(dataset);
-  return true;
-}
-
-bool CExplorerServer::PublishDataset(RequestContext& ctx, DatasetPtr fresh) {
-  {
-    std::unique_lock<std::shared_mutex> lock(dataset_mu_);
-    if (dataset_ != ctx.dataset) return false;  // lost the race; don't revert
-    dataset_ = fresh;
-  }
-  ctx.dataset = std::move(fresh);
-  return true;
-}
-
-void CExplorerServer::AttachLocked(RequestContext& ctx, bool adopt_newer,
-                                   bool clear_history) {
-  // History clears unconditionally: a successful upload resets the
-  // session's exploration chain even if a still-newer snapshot already
-  // landed meanwhile.
-  if (clear_history) ctx.session->history.clear();
-  const DatasetPtr& attached = ctx.session->explorer.dataset();
-  if (attached != nullptr && ctx.dataset != nullptr &&
-      attached->id() > ctx.dataset->id()) {
-    // A newer snapshot already landed on this session while this request
-    // (or publish) was in flight; never move a session backwards, and
-    // don't wipe the state its clients built against the newer snapshot.
-    if (adopt_newer) ctx.dataset = attached;
-    return;
-  }
-  if (ctx.dataset != nullptr && attached != ctx.dataset) {
-    // Caches derived from the same graph survive index-only swaps; a new
-    // graph epoch invalidates them.
-    const bool epoch_changed =
-        attached == nullptr ||
-        attached->graph_epoch() != ctx.dataset->graph_epoch();
-    ctx.session->explorer.AttachDataset(ctx.dataset);
-    if (epoch_changed) ctx.session->InvalidateCaches();
-  }
-}
-
-void CExplorerServer::AttachToSession(RequestContext& ctx,
-                                      bool clear_history) {
-  std::lock_guard<std::mutex> lock(ctx.session->mu);
-  AttachLocked(ctx, /*adopt_newer=*/false, clear_history);
-}
-
-HttpResponse CExplorerServer::Handle(std::string_view request_line) {
-  auto request = ParseRequest(request_line);
+HttpResponse CExplorerServer::Handle(std::string_view request_text) {
+  auto request = ParseRequest(request_text);
   if (!request.ok()) {
     return HttpResponse::Error(400, request.status().message());
   }
@@ -138,674 +48,208 @@ HttpResponse CExplorerServer::Handle(std::string_view request_line) {
 }
 
 HttpResponse CExplorerServer::Dispatch(const HttpRequest& request) {
-  // Session management first: these never touch a session's state.
-  if (request.path == "/session/new") return HandleSessionNew(request);
-  if (request.path == "/session/delete") return HandleSessionDelete(request);
-  if (request.path == "/sessions") return HandleSessions(request);
-
-  // One table drives both route membership and dispatch. `locked` routes
-  // run under the session mutex after the late attach; the admin paths
-  // (upload/load_index/save_index) run outside it — the swaps do their
-  // expensive dataset build first (locking the session only to attach the
-  // result) and /save_index reads nothing session-mutable, so a
-  // multi-second build or index write never stalls same-session queries.
-  using Handler = HttpResponse (CExplorerServer::*)(RequestContext&,
-                                                    const HttpRequest&);
-  struct Route {
-    std::string_view path;
-    Handler handler;
-    bool locked;
-  };
-  static constexpr Route kRoutes[] = {
-      {"/", &CExplorerServer::HandleIndex, true},
-      {"/batch", &CExplorerServer::HandleBatch, false},
-      {"/upload", &CExplorerServer::HandleUpload, false},
-      {"/load_index", &CExplorerServer::HandleLoadIndex, false},
-      {"/save_index", &CExplorerServer::HandleSaveIndex, false},
-      {"/search", &CExplorerServer::HandleSearch, true},
-      {"/community", &CExplorerServer::HandleCommunity, true},
-      {"/profile", &CExplorerServer::HandleProfile, true},
-      {"/explore", &CExplorerServer::HandleExplore, true},
-      {"/compare", &CExplorerServer::HandleCompare, true},
-      {"/history", &CExplorerServer::HandleHistory, true},
-      {"/detect", &CExplorerServer::HandleDetect, true},
-      {"/cluster", &CExplorerServer::HandleCluster, true},
-      {"/author", &CExplorerServer::HandleAuthor, true},
-      {"/export", &CExplorerServer::HandleExport, true},
-  };
-
-  // Reject unknown routes before touching any session state, so route
-  // typos neither instantiate the default session nor contend for a
-  // session mutex.
-  const Route* route = nullptr;
-  for (const Route& candidate : kRoutes) {
-    if (candidate.path == request.path) {
-      route = &candidate;
-      break;
-    }
-  }
+  // The declarative table drives everything: membership (both the /v1 path
+  // and the legacy alias), method policy, and parameter validation. Binders
+  // below only convert validated parameters into typed requests.
+  bool is_v1 = false;
+  const api::RouteSpec* route = api::FindRoute(request.path, &is_v1);
   if (route == nullptr) {
     return HttpResponse::Error(404, "no route for " + request.path);
   }
-
-  // Resolve the session. Requests without ?session= share the implicit
-  // "default" session (the single-browser demo of the paper).
-  const std::string& session_id = request.Param("session");
-  std::shared_ptr<Session> session;
-  if (session_id.empty()) {
-    session = sessions_.GetOrCreate("default");
-  } else {
-    session = sessions_.Get(session_id);
-    if (session == nullptr) {
-      return HttpResponse::Error(
-          404, "unknown session '" + session_id + "'; GET /session/new first");
-    }
+  if (request.method == "POST" && !route->allow_post) {
+    return HttpResponse::Error(405, std::string("POST not allowed on ") +
+                                        request.path);
+  }
+  if (auto invalid = api::ValidateParams(*route, request, is_v1)) {
+    HttpResponse response;
+    response.code = api::HttpStatus(invalid->code);
+    response.body = invalid->ToJson();
+    return response;
   }
 
-  RequestContext ctx;
-  ctx.session = std::move(session);
-  {
-    // Shared lock just long enough to copy the pointer: the snapshot stays
-    // alive for the whole request even if /upload swaps it out meanwhile.
-    std::shared_lock<std::shared_mutex> lock(dataset_mu_);
-    ctx.dataset = dataset_;
+  struct Binder {
+    std::string_view name;
+    HttpResponse (CExplorerServer::*bind)(const HttpRequest&);
+  };
+  static constexpr Binder kBinders[] = {
+      {"api", &CExplorerServer::BindApi},
+      {"index", &CExplorerServer::BindIndex},
+      {"session/new", &CExplorerServer::BindSessionNew},
+      {"session/delete", &CExplorerServer::BindSessionDelete},
+      {"sessions", &CExplorerServer::BindSessions},
+      {"upload", &CExplorerServer::BindUpload},
+      {"search", &CExplorerServer::BindSearch},
+      {"community", &CExplorerServer::BindCommunity},
+      {"profile", &CExplorerServer::BindProfile},
+      {"explore", &CExplorerServer::BindExplore},
+      {"compare", &CExplorerServer::BindCompare},
+      {"history", &CExplorerServer::BindHistory},
+      {"detect", &CExplorerServer::BindDetect},
+      {"cluster", &CExplorerServer::BindCluster},
+      {"author", &CExplorerServer::BindAuthor},
+      {"export", &CExplorerServer::BindExport},
+      {"save_index", &CExplorerServer::BindSaveIndex},
+      {"load_index", &CExplorerServer::BindLoadIndex},
+      {"batch", &CExplorerServer::BindBatch},
+  };
+  for (const Binder& binder : kBinders) {
+    if (binder.name == route->name) return (this->*binder.bind)(request);
   }
-
-  if (!route->locked) return (this->*route->handler)(ctx, request);
-
-  // One request at a time per session; sessions run in parallel.
-  std::lock_guard<std::mutex> session_lock(ctx.session->mu);
-
-  // Late attach: the session moves forward to the newest snapshot it has
-  // seen (ids are monotonic in publish order). Caches survive index-only
-  // swaps (same graph epoch) and are dropped when the graph itself
-  // changed; they are additionally tagged with their graph epoch, so a
-  // result from a previous graph can never be served by accident.
-  AttachLocked(ctx, /*adopt_newer=*/true, /*clear_history=*/false);
-
-  return (this->*route->handler)(ctx, request);
+  return HttpResponse::Error(500, std::string("route '") + route->name +
+                                      "' has no binder");
 }
 
-HttpResponse CExplorerServer::HandleSessionNew(const HttpRequest&) {
-  auto session = sessions_.Create();
-  if (session == nullptr) {
-    return HttpResponse::Error(503, "session limit reached");
-  }
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("session");
-  w.String(session->id);
-  w.EndObject();
-  return HttpResponse::Ok(w.TakeString());
+HttpResponse CExplorerServer::BindApi(const HttpRequest&) {
+  return HttpResponse::Ok(api::DescribeApi());
 }
 
-HttpResponse CExplorerServer::HandleSessionDelete(const HttpRequest& request) {
-  const std::string& id = request.Param("id");
-  if (id.empty()) return HttpResponse::Error(400, "missing ?id=");
-  if (!sessions_.Remove(id)) {
-    return HttpResponse::Error(404, "unknown session '" + id + "'");
-  }
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("deleted");
-  w.String(id);
-  w.EndObject();
-  return HttpResponse::Ok(w.TakeString());
+HttpResponse CExplorerServer::BindIndex(const HttpRequest& request) {
+  return ToResponse(service_.Summary(request.Param("session")));
 }
 
-HttpResponse CExplorerServer::HandleSessions(const HttpRequest&) {
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("sessions");
-  w.BeginArray();
-  for (const auto& session : sessions_.List()) {
-    // try_lock: a session stuck in a long query shows as busy instead of
-    // stalling the whole listing.
-    std::unique_lock<std::mutex> lock(session->mu, std::try_to_lock);
-    w.BeginObject();
-    w.Key("id");
-    w.String(session->id);
-    if (lock.owns_lock()) {
-      w.Key("cached_communities");
-      w.UInt(session->communities.size());
-      w.Key("history_length");
-      w.UInt(session->history.size());
-      const DatasetPtr& snapshot = session->explorer.dataset();
-      w.Key("dataset_id");
-      w.UInt(snapshot == nullptr ? 0 : snapshot->id());
-    } else {
-      w.Key("busy");
-      w.Bool(true);
-    }
-    w.EndObject();
-  }
-  w.EndArray();
-  w.EndObject();
-  return HttpResponse::Ok(w.TakeString());
+HttpResponse CExplorerServer::BindSessionNew(const HttpRequest&) {
+  return ToResponse(service_.CreateSession());
 }
 
-HttpResponse CExplorerServer::HandleIndex(RequestContext& ctx,
-                                          const HttpRequest&) {
-  const Explorer& explorer = ctx.session->explorer;
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("system");
-  w.String("C-Explorer");
-  w.Key("session");
-  w.String(ctx.session->id);
-  w.Key("num_sessions");
-  w.UInt(sessions_.size());
-  w.Key("graph_loaded");
-  w.Bool(ctx.dataset != nullptr);
-  if (ctx.dataset != nullptr) {
-    w.Key("dataset_id");
-    w.UInt(ctx.dataset->id());
-    w.Key("vertices");
-    w.UInt(ctx.dataset->graph().num_vertices());
-    w.Key("edges");
-    w.UInt(ctx.dataset->graph().graph().num_edges());
-  }
-  w.Key("cs_algorithms");
-  w.BeginArray();
-  for (const auto& name : explorer.CsAlgorithmNames()) w.String(name);
-  w.EndArray();
-  w.Key("cd_algorithms");
-  w.BeginArray();
-  for (const auto& name : explorer.CdAlgorithmNames()) w.String(name);
-  w.EndArray();
-  w.EndObject();
-  return HttpResponse::Ok(w.TakeString());
+HttpResponse CExplorerServer::BindSessionDelete(const HttpRequest& request) {
+  return ToResponse(service_.DeleteSession(request.Param("id")));
 }
 
-HttpResponse CExplorerServer::HandleUpload(RequestContext& ctx,
-                                           const HttpRequest& request) {
-  const std::string& path = request.Param("path");
-  if (path.empty()) return HttpResponse::Error(400, "missing ?path=");
-  // Build outside all locks: queries keep flowing against the old snapshot
-  // while the core decomposition and CL-tree run.
-  auto dataset = Dataset::FromFile(path);
-  if (!dataset.ok()) return HttpResponse::Error(400, dataset.status().ToString());
-  if (!PublishDataset(ctx, std::move(dataset.value()))) {
+HttpResponse CExplorerServer::BindSessions(const HttpRequest&) {
+  return ToResponse(service_.ListSessions());
+}
+
+HttpResponse CExplorerServer::BindUpload(const HttpRequest& request) {
+  api::DatasetRequest typed;
+  typed.session = request.Param("session");
+  typed.path = request.Param("path");
+  return ToResponse(service_.UploadFile(typed));
+}
+
+HttpResponse CExplorerServer::BindSearch(const HttpRequest& request) {
+  api::SearchRequest typed;
+  typed.session = request.Param("session");
+  typed.name = request.Param("name");
+  typed.k = static_cast<std::uint32_t>(request.IntParam("k", 4));
+  typed.keywords = SplitNonEmpty(request.Param("keywords"), ',');
+  if (!request.Param("vertex").empty()) {
+    const std::int64_t v = request.IntParam("vertex", -1);
+    if (v < 0) return HttpResponse::Error(400, "bad 'vertex'");
+    typed.vertices.push_back(static_cast<VertexId>(v));
+  }
+  if (!request.Param("algo").empty()) typed.algo = request.Param("algo");
+  return ToResponse(service_.Search(typed));
+}
+
+HttpResponse CExplorerServer::BindCommunity(const HttpRequest& request) {
+  auto page = PageParamsOf(request);
+  if (!page.ok()) return ToResponse(page.error());
+  api::CommunityRequest typed;
+  typed.session = request.Param("session");
+  typed.id = request.IntParam("id", 0);
+  typed.page = std::move(page).value();
+  return ToResponse(service_.Community(typed));
+}
+
+HttpResponse CExplorerServer::BindProfile(const HttpRequest& request) {
+  api::ProfileRequest typed;
+  typed.session = request.Param("session");
+  typed.name = request.Param("name");
+  typed.vertex = request.IntParam("vertex", -1);
+  return ToResponse(service_.Profile(typed));
+}
+
+HttpResponse CExplorerServer::BindExplore(const HttpRequest& request) {
+  const std::int64_t vertex = request.IntParam("vertex", -1);
+  if (vertex < 0) return HttpResponse::Error(400, "bad 'vertex'");
+  api::ExploreRequest typed;
+  typed.session = request.Param("session");
+  typed.vertex = static_cast<VertexId>(vertex);
+  typed.k = request.IntParam("k", -1);
+  if (!request.Param("algo").empty()) typed.algo = request.Param("algo");
+  return ToResponse(service_.Explore(typed));
+}
+
+HttpResponse CExplorerServer::BindCompare(const HttpRequest& request) {
+  api::CompareRequest typed;
+  typed.session = request.Param("session");
+  typed.name = request.Param("name");
+  typed.k = static_cast<std::uint32_t>(request.IntParam("k", 4));
+  typed.keywords = SplitNonEmpty(request.Param("keywords"), ',');
+  typed.algos = SplitNonEmpty(request.Param("algos"), ',');
+  return ToResponse(service_.Compare(typed));
+}
+
+HttpResponse CExplorerServer::BindHistory(const HttpRequest& request) {
+  return ToResponse(service_.History(request.Param("session")));
+}
+
+HttpResponse CExplorerServer::BindDetect(const HttpRequest& request) {
+  api::DetectRequest typed;
+  typed.session = request.Param("session");
+  if (!request.Param("algo").empty()) typed.algo = request.Param("algo");
+  return ToResponse(service_.Detect(typed));
+}
+
+HttpResponse CExplorerServer::BindCluster(const HttpRequest& request) {
+  auto page = PageParamsOf(request);
+  if (!page.ok()) return ToResponse(page.error());
+  api::ClusterRequest typed;
+  typed.session = request.Param("session");
+  typed.id = request.IntParam("id", 0);
+  typed.page = std::move(page).value();
+  return ToResponse(service_.Cluster(typed));
+}
+
+HttpResponse CExplorerServer::BindAuthor(const HttpRequest& request) {
+  api::AuthorRequest typed;
+  typed.session = request.Param("session");
+  typed.name = request.Param("name");
+  return ToResponse(service_.Author(typed));
+}
+
+HttpResponse CExplorerServer::BindExport(const HttpRequest& request) {
+  api::ExportRequest typed;
+  typed.session = request.Param("session");
+  typed.id = request.IntParam("id", 0);
+  // The body is an image/svg+xml document, not JSON.
+  return ToResponse(service_.ExportSvg(typed));
+}
+
+HttpResponse CExplorerServer::BindSaveIndex(const HttpRequest& request) {
+  api::DatasetRequest typed;
+  typed.session = request.Param("session");
+  typed.path = request.Param("path");
+  return ToResponse(service_.SaveIndex(typed));
+}
+
+HttpResponse CExplorerServer::BindLoadIndex(const HttpRequest& request) {
+  api::DatasetRequest typed;
+  typed.session = request.Param("session");
+  typed.path = request.Param("path");
+  return ToResponse(service_.LoadIndex(typed));
+}
+
+HttpResponse CExplorerServer::BindBatch(const HttpRequest& request) {
+  // POST carries the JSON array as the request body; the legacy GET alias
+  // (and GET /v1/batch) takes it url-encoded in ?requests=.
+  const std::string& payload = request.method == "POST" &&
+                                       !request.body.empty()
+                                   ? request.body
+                                   : request.Param("requests");
+  if (payload.empty()) {
     return HttpResponse::Error(
-        409, "dataset changed while this upload was building; retry");
+        400, "missing batch payload: POST a JSON array or pass ?requests=");
   }
-  AttachToSession(ctx, /*clear_history=*/true);
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("uploaded");
-  w.String(path);
-  w.Key("dataset_id");
-  w.UInt(ctx.dataset->id());
-  w.Key("vertices");
-  w.UInt(ctx.dataset->graph().num_vertices());
-  w.Key("edges");
-  w.UInt(ctx.dataset->graph().graph().num_edges());
-  w.EndObject();
-  return HttpResponse::Ok(w.TakeString());
-}
-
-HttpResponse CExplorerServer::RunSearch(RequestContext& ctx,
-                                        const std::string& algo,
-                                        const Query& query) {
-  Session& session = *ctx.session;
-  auto communities = session.explorer.Search(algo, query);
-  if (!communities.ok()) {
-    int code = communities.status().code() == StatusCode::kNotFound ? 404 : 400;
-    return HttpResponse::Error(code, communities.status().ToString());
+  auto batch = api::QueryService::ParseBatch(payload);
+  if (!batch.ok()) {
+    HttpResponse response;
+    response.code = api::HttpStatus(batch.error().code);
+    response.body = batch.error().ToJson();
+    return response;
   }
-  session.communities = std::move(communities.value());
-  session.communities_epoch = ctx.dataset->graph_epoch();
-  session.last_query = query;
-
-  std::string who = query.name;
-  if (who.empty() && !query.vertices.empty()) {
-    who = ctx.dataset->graph().Name(query.vertices.front());
-  }
-  session.history.push_back(algo + ":" + who + ":k=" + std::to_string(query.k));
-
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("algorithm");
-  w.String(algo);
-  w.Key("num_communities");
-  w.UInt(session.communities.size());
-  w.Key("communities");
-  w.BeginArray();
-  for (const auto& community : session.communities) {
-    WriteCommunity(&w, ctx.dataset->graph(), community);
-  }
-  w.EndArray();
-  w.EndObject();
-  return HttpResponse::Ok(w.TakeString());
-}
-
-HttpResponse CExplorerServer::HandleSearch(RequestContext& ctx,
-                                           const HttpRequest& request) {
-  if (ctx.dataset == nullptr) {
-    return HttpResponse::Error(409, "no graph uploaded");
-  }
-  Query query;
-  query.name = request.Param("name");
-  query.k = static_cast<std::uint32_t>(request.IntParam("k", 4));
-  const std::string& kws = request.Param("keywords");
-  if (!kws.empty()) {
-    for (auto& word : Split(kws, ',')) {
-      if (!word.empty()) query.keywords.push_back(std::move(word));
-    }
-  }
-  const std::string& vertex = request.Param("vertex");
-  if (!vertex.empty()) {
-    std::int64_t v = request.IntParam("vertex", -1);
-    if (v < 0) return HttpResponse::Error(400, "bad ?vertex=");
-    query.vertices.push_back(static_cast<VertexId>(v));
-  }
-  std::string algo = request.Param("algo");
-  if (algo.empty()) algo = "ACQ";
-  if (query.name.empty() && query.vertices.empty()) {
-    return HttpResponse::Error(400, "missing ?name= or ?vertex=");
-  }
-  return RunSearch(ctx, algo, query);
-}
-
-HttpResponse CExplorerServer::HandleCommunity(RequestContext& ctx,
-                                              const HttpRequest& request) {
-  Session& session = *ctx.session;
-  std::int64_t id = request.IntParam("id", 0);
-  if (id < 0 || static_cast<std::size_t>(id) >= session.communities.size()) {
-    return HttpResponse::Error(404, "no cached community with that id");
-  }
-  if (ctx.dataset == nullptr ||
-      session.communities_epoch != ctx.dataset->graph_epoch()) {
-    return HttpResponse::Error(
-        409, "cached communities are stale (graph was reloaded); /search again");
-  }
-  const Community& community =
-      session.communities[static_cast<std::size_t>(id)];
-  auto display = session.explorer.Display(community);
-  if (!display.ok()) {
-    return HttpResponse::Error(500, display.status().ToString());
-  }
-  auto analysis = session.explorer.Analyze(community);
-  if (!analysis.ok()) {
-    return HttpResponse::Error(500, analysis.status().ToString());
-  }
-
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("community");
-  WriteCommunity(&w, ctx.dataset->graph(), community);
-  w.Key("stats");
-  w.BeginObject();
-  w.Key("vertices");
-  w.UInt(analysis->stats.num_vertices);
-  w.Key("edges");
-  w.UInt(analysis->stats.num_edges);
-  w.Key("avg_degree");
-  w.Double(analysis->stats.average_degree);
-  w.Key("cpj");
-  w.Double(analysis->cpj);
-  w.EndObject();
-  w.Key("layout");
-  w.BeginArray();
-  for (std::size_t i = 0; i < display->layout.size(); ++i) {
-    w.BeginObject();
-    w.Key("id");
-    w.UInt(community.vertices[i]);
-    w.Key("x");
-    w.Double(display->layout[i].x);
-    w.Key("y");
-    w.Double(display->layout[i].y);
-    w.EndObject();
-  }
-  w.EndArray();
-  w.Key("ascii");
-  w.String(display->ascii);
-  w.EndObject();
-  return HttpResponse::Ok(w.TakeString());
-}
-
-HttpResponse CExplorerServer::HandleProfile(RequestContext& ctx,
-                                            const HttpRequest& request) {
-  if (ctx.dataset == nullptr) {
-    return HttpResponse::Error(409, "no graph uploaded");
-  }
-  const AttributedGraph& graph = ctx.dataset->graph();
-  VertexId v = kInvalidVertex;
-  if (!request.Param("name").empty()) {
-    v = graph.FindByName(request.Param("name"));
-  } else {
-    std::int64_t id = request.IntParam("vertex", -1);
-    if (id >= 0) v = static_cast<VertexId>(id);
-  }
-  if (v == kInvalidVertex || v >= graph.num_vertices()) {
-    return HttpResponse::Error(404, "author not found");
-  }
-  auto profile = ctx.dataset->Profile(v);
-  if (!profile.ok()) {
-    return HttpResponse::Error(500, profile.status().ToString());
-  }
-
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("id");
-  w.UInt(v);
-  w.Key("name");
-  w.String(profile->name);
-  w.Key("institute");
-  w.String(profile->institute);
-  w.Key("areas");
-  w.BeginArray();
-  for (const auto& area : profile->areas) w.String(area);
-  w.EndArray();
-  w.Key("interests");
-  w.BeginArray();
-  for (const auto& interest : profile->interests) w.String(interest);
-  w.EndArray();
-  w.Key("keywords");
-  w.BeginArray();
-  for (const auto& kw : graph.KeywordStrings(v)) w.String(kw);
-  w.EndArray();
-  w.EndObject();
-  return HttpResponse::Ok(w.TakeString());
-}
-
-HttpResponse CExplorerServer::HandleExplore(RequestContext& ctx,
-                                            const HttpRequest& request) {
-  if (ctx.dataset == nullptr) {
-    return HttpResponse::Error(409, "no graph uploaded");
-  }
-  std::int64_t id = request.IntParam("vertex", -1);
-  if (id < 0 ||
-      static_cast<std::size_t>(id) >= ctx.dataset->graph().num_vertices()) {
-    return HttpResponse::Error(404, "vertex not found");
-  }
-  Query query;
-  query.vertices.push_back(static_cast<VertexId>(id));
-  query.k = static_cast<std::uint32_t>(request.IntParam(
-      "k", static_cast<std::int64_t>(ctx.session->last_query.k)));
-  std::string algo = request.Param("algo");
-  if (algo.empty()) algo = "ACQ";
-  return RunSearch(ctx, algo, query);
-}
-
-HttpResponse CExplorerServer::HandleCompare(RequestContext& ctx,
-                                            const HttpRequest& request) {
-  if (ctx.dataset == nullptr) {
-    return HttpResponse::Error(409, "no graph uploaded");
-  }
-  Query query;
-  query.name = request.Param("name");
-  query.k = static_cast<std::uint32_t>(request.IntParam("k", 4));
-  const std::string& kws = request.Param("keywords");
-  if (!kws.empty()) {
-    for (auto& word : Split(kws, ',')) {
-      if (!word.empty()) query.keywords.push_back(std::move(word));
-    }
-  }
-  if (query.name.empty()) return HttpResponse::Error(400, "missing ?name=");
-
-  std::vector<std::string> algos;
-  const std::string& list = request.Param("algos");
-  if (list.empty()) {
-    algos = {"Global", "Local", "CODICIL", "ACQ"};
-  } else {
-    for (auto& name : Split(list, ',')) {
-      if (!name.empty()) algos.push_back(std::move(name));
-    }
-  }
-  auto report = ctx.session->explorer.Compare(query, algos);
-  if (!report.ok()) {
-    int code = report.status().code() == StatusCode::kNotFound ? 404 : 400;
-    return HttpResponse::Error(code, report.status().ToString());
-  }
-
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("query");
-  w.String(query.name);
-  w.Key("k");
-  w.UInt(query.k);
-  w.Key("rows");
-  w.BeginArray();
-  for (const auto& row : report->rows) {
-    w.BeginObject();
-    w.Key("method");
-    w.String(row.method);
-    w.Key("communities");
-    w.UInt(row.num_communities);
-    w.Key("vertices");
-    w.Double(row.avg_vertices);
-    w.Key("edges");
-    w.Double(row.avg_edges);
-    w.Key("degree");
-    w.Double(row.avg_degree);
-    w.Key("cpj");
-    w.Double(row.cpj);
-    w.Key("cmf");
-    w.Double(row.cmf);
-    w.EndObject();
-  }
-  w.EndArray();
-  w.Key("table");
-  w.String(report->ToTable());
-  w.EndObject();
-  return HttpResponse::Ok(w.TakeString());
-}
-
-HttpResponse CExplorerServer::HandleDetect(RequestContext& ctx,
-                                           const HttpRequest& request) {
-  if (ctx.dataset == nullptr) {
-    return HttpResponse::Error(409, "no graph uploaded");
-  }
-  Session& session = *ctx.session;
-  std::string algo = request.Param("algo");
-  if (algo.empty()) algo = "CODICIL";
-  auto clustering = session.explorer.Detect(algo);
-  if (!clustering.ok()) {
-    int code = clustering.status().code() == StatusCode::kNotFound ? 404 : 400;
-    return HttpResponse::Error(code, clustering.status().ToString());
-  }
-  session.detection = std::move(clustering.value());
-  session.detection_algo = algo;
-  session.detection_epoch = ctx.dataset->graph_epoch();
-  session.history.push_back("detect:" + algo);
-
-  // Cluster-size histogram: how many clusters of each magnitude.
-  auto sizes = session.detection.Sizes();
-  std::size_t singletons = 0;
-  std::size_t small = 0;   // 2..9
-  std::size_t medium = 0;  // 10..99
-  std::size_t large = 0;   // 100+
-  std::size_t largest = 0;
-  for (std::size_t s : sizes) {
-    largest = std::max(largest, s);
-    if (s <= 1) {
-      ++singletons;
-    } else if (s < 10) {
-      ++small;
-    } else if (s < 100) {
-      ++medium;
-    } else {
-      ++large;
-    }
-  }
-
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("algorithm");
-  w.String(algo);
-  w.Key("num_clusters");
-  w.UInt(session.detection.num_clusters);
-  w.Key("modularity");
-  w.Double(Modularity(ctx.dataset->graph().graph(), session.detection));
-  w.Key("largest_cluster");
-  w.UInt(largest);
-  w.Key("size_histogram");
-  w.BeginObject();
-  w.Key("singleton");
-  w.UInt(singletons);
-  w.Key("small_2_9");
-  w.UInt(small);
-  w.Key("medium_10_99");
-  w.UInt(medium);
-  w.Key("large_100_plus");
-  w.UInt(large);
-  w.EndObject();
-  w.EndObject();
-  return HttpResponse::Ok(w.TakeString());
-}
-
-HttpResponse CExplorerServer::HandleCluster(RequestContext& ctx,
-                                            const HttpRequest& request) {
-  Session& session = *ctx.session;
-  if (session.detection.assignment.empty()) {
-    return HttpResponse::Error(404,
-                               "no detection result cached; GET /detect first");
-  }
-  if (ctx.dataset == nullptr ||
-      session.detection_epoch != ctx.dataset->graph_epoch()) {
-    return HttpResponse::Error(
-        409, "cached detection is stale (graph was reloaded); /detect again");
-  }
-  std::int64_t id = request.IntParam("id", 0);
-  if (id < 0 ||
-      static_cast<std::uint64_t>(id) >= session.detection.num_clusters) {
-    return HttpResponse::Error(404, "cluster id out of range");
-  }
-  Community community;
-  community.method = session.detection_algo;
-  community.vertices = session.detection.Members(static_cast<std::uint32_t>(id));
-  auto analysis = session.explorer.Analyze(community);
-  if (!analysis.ok()) {
-    return HttpResponse::Error(500, analysis.status().ToString());
-  }
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("cluster");
-  w.Int(id);
-  w.Key("community");
-  WriteCommunity(&w, ctx.dataset->graph(), community, /*max_members=*/500);
-  w.Key("stats");
-  w.BeginObject();
-  w.Key("vertices");
-  w.UInt(analysis->stats.num_vertices);
-  w.Key("edges");
-  w.UInt(analysis->stats.num_edges);
-  w.Key("avg_degree");
-  w.Double(analysis->stats.average_degree);
-  w.Key("cpj");
-  w.Double(analysis->cpj);
-  w.EndObject();
-  w.EndObject();
-  return HttpResponse::Ok(w.TakeString());
-}
-
-HttpResponse CExplorerServer::HandleAuthor(RequestContext& ctx,
-                                           const HttpRequest& request) {
-  // Populates the query form of Figure 1: after the user types a name, the
-  // UI shows "a list of degree constraints, and a set of keywords of this
-  // author".
-  if (ctx.dataset == nullptr) {
-    return HttpResponse::Error(409, "no graph uploaded");
-  }
-  const AttributedGraph& graph = ctx.dataset->graph();
-  const std::string& name = request.Param("name");
-  if (name.empty()) return HttpResponse::Error(400, "missing ?name=");
-  VertexId v = graph.FindByName(name);
-  if (v == kInvalidVertex) {
-    return HttpResponse::Error(404, "author not found");
-  }
-  const std::uint32_t core = ctx.dataset->core_numbers()[v];
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("id");
-  w.UInt(v);
-  w.Key("name");
-  w.String(graph.Name(v));
-  w.Key("degree");
-  w.UInt(graph.graph().Degree(v));
-  // Feasible "degree >= k" values: any k up to the author's core number.
-  w.Key("degree_constraints");
-  w.BeginArray();
-  for (std::uint32_t k = 1; k <= core; ++k) w.UInt(k);
-  w.EndArray();
-  w.Key("keywords");
-  w.BeginArray();
-  for (const auto& kw : graph.KeywordStrings(v)) w.String(kw);
-  w.EndArray();
-  w.EndObject();
-  return HttpResponse::Ok(w.TakeString());
-}
-
-HttpResponse CExplorerServer::HandleExport(RequestContext& ctx,
-                                           const HttpRequest& request) {
-  Session& session = *ctx.session;
-  std::int64_t id = request.IntParam("id", 0);
-  if (id < 0 || static_cast<std::size_t>(id) >= session.communities.size()) {
-    return HttpResponse::Error(404, "no cached community with that id");
-  }
-  if (ctx.dataset == nullptr ||
-      session.communities_epoch != ctx.dataset->graph_epoch()) {
-    return HttpResponse::Error(
-        409, "cached communities are stale (graph was reloaded); /search again");
-  }
-  VertexId q = session.last_query.vertices.empty()
-                   ? ctx.dataset->graph().FindByName(session.last_query.name)
-                   : session.last_query.vertices.front();
-  auto svg = session.explorer.ExportSvg(
-      session.communities[static_cast<std::size_t>(id)], q);
-  if (!svg.ok()) return HttpResponse::Error(500, svg.status().ToString());
-  HttpResponse response;
-  response.code = 200;
-  response.body = std::move(svg.value());  // image/svg+xml payload
-  return response;
-}
-
-HttpResponse CExplorerServer::HandleSaveIndex(RequestContext& ctx,
-                                              const HttpRequest& request) {
-  const std::string& path = request.Param("path");
-  if (path.empty()) return HttpResponse::Error(400, "missing ?path=");
-  if (ctx.dataset == nullptr) {
-    return HttpResponse::Error(409, "no graph uploaded");
-  }
-  Status st = ctx.dataset->SaveIndex(path);
-  if (!st.ok()) return HttpResponse::Error(400, st.ToString());
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("saved");
-  w.String(path);
-  w.EndObject();
-  return HttpResponse::Ok(w.TakeString());
-}
-
-HttpResponse CExplorerServer::HandleLoadIndex(RequestContext& ctx,
-                                              const HttpRequest& request) {
-  const std::string& path = request.Param("path");
-  if (path.empty()) return HttpResponse::Error(400, "missing ?path=");
-  if (ctx.dataset == nullptr) {
-    return HttpResponse::Error(409, "no graph uploaded");
-  }
-  // Deserialize against the current snapshot, then swap server-wide: the
-  // graph and core numbers are shared, only the index is replaced. The
-  // publish is conditional — if another upload landed meanwhile, installing
-  // an index for the old graph would silently revert it.
-  auto dataset = ctx.dataset->WithIndexFromFile(path);
-  if (!dataset.ok()) {
-    return HttpResponse::Error(400, dataset.status().ToString());
-  }
-  if (!PublishDataset(ctx, std::move(dataset.value()))) {
-    return HttpResponse::Error(
-        409, "dataset changed while the index was loading; retry");
-  }
-  AttachToSession(ctx, /*clear_history=*/false);
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("loaded");
-  w.String(path);
-  w.Key("dataset_id");
-  w.UInt(ctx.dataset->id());
-  w.EndObject();
-  return HttpResponse::Ok(w.TakeString());
+  batch.value().session = request.Param("session");
+  return ToResponse(service_.Batch(batch.value(), Workers()));
 }
 
 ThreadPool* CExplorerServer::Workers() {
@@ -827,9 +271,9 @@ std::size_t CExplorerServer::num_workers() const {
 }
 
 std::future<HttpResponse> CExplorerServer::SubmitAsync(
-    std::string request_line) {
+    std::string request_text) {
   auto task = std::make_shared<std::packaged_task<HttpResponse()>>(
-      [this, line = std::move(request_line)] { return Handle(line); });
+      [this, text = std::move(request_text)] { return Handle(text); });
   std::future<HttpResponse> future = task->get_future();
   ThreadPool* workers = Workers();
   if (workers->num_threads() == 0) {
@@ -838,131 +282,6 @@ std::future<HttpResponse> CExplorerServer::SubmitAsync(
     workers->Submit([task] { (*task)(); });
   }
   return future;
-}
-
-HttpResponse CExplorerServer::HandleBatch(RequestContext& ctx,
-                                          const HttpRequest& request) {
-  if (ctx.dataset == nullptr) {
-    return HttpResponse::Error(409, "no graph uploaded");
-  }
-  const std::string& raw = request.Param("requests");
-  if (raw.empty()) return HttpResponse::Error(400, "missing ?requests=");
-  auto parsed = JsonValue::Parse(raw);
-  if (!parsed.ok() || !parsed->is_array()) {
-    return HttpResponse::Error(400, "?requests= must be a JSON array");
-  }
-  const std::vector<JsonValue>& items = parsed->Items();
-
-  // Decode every query up front so a malformed entry is reported per-slot
-  // rather than failing the whole batch.
-  struct BatchItem {
-    Query query;
-    std::string algo;
-    std::string error;  // non-empty -> skip execution
-  };
-  std::vector<BatchItem> batch(items.size());
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    const JsonValue& item = items[i];
-    BatchItem& decoded = batch[i];
-    if (!item.is_object()) {
-      decoded.error = "entry is not an object";
-      continue;
-    }
-    if (item.Has("name")) decoded.query.name = item.Get("name").AsString();
-    if (item.Has("vertex")) {
-      const std::int64_t v = item.Get("vertex").AsInt(-1);
-      if (v < 0) {
-        decoded.error = "bad vertex";
-        continue;
-      }
-      decoded.query.vertices.push_back(static_cast<VertexId>(v));
-    }
-    if (decoded.query.name.empty() && decoded.query.vertices.empty()) {
-      decoded.error = "entry needs a name or a vertex";
-      continue;
-    }
-    decoded.query.k =
-        static_cast<std::uint32_t>(item.Get("k").AsInt(/*fallback=*/4));
-    const JsonValue& kws = item.Get("keywords");
-    if (kws.is_array()) {
-      for (const JsonValue& kw : kws.Items()) {
-        if (!kw.AsString().empty()) {
-          decoded.query.keywords.push_back(kw.AsString());
-        }
-      }
-    } else if (!kws.AsString().empty()) {
-      for (auto& word : Split(kws.AsString(), ',')) {
-        if (!word.empty()) decoded.query.keywords.push_back(std::move(word));
-      }
-    }
-    decoded.algo = item.Get("algo").AsString();
-    if (decoded.algo.empty()) decoded.algo = "ACQ";
-  }
-
-  // Fan the decoded queries across the worker pool. Every entry runs
-  // against the one snapshot this request captured at dispatch — a
-  // concurrent /upload cannot split the batch across two graphs. Each
-  // entry gets its own Explorer view (views are cheap and confine any
-  // per-algorithm scratch state to the entry), and renders into its own
-  // slot, so entries share only the immutable dataset.
-  const DatasetPtr snapshot = ctx.dataset;
-  std::vector<std::string> fragments(batch.size());
-  ParallelFor(
-      0, batch.size(), Workers(),
-      [&](std::size_t i) {
-        JsonWriter w;
-        w.BeginObject();
-        if (!batch[i].error.empty()) {
-          w.Key("error");
-          w.String(batch[i].error);
-        } else {
-          Explorer view;
-          view.AttachDataset(snapshot);
-          auto communities = view.Search(batch[i].algo, batch[i].query);
-          if (!communities.ok()) {
-            w.Key("error");
-            w.String(communities.status().ToString());
-          } else {
-            w.Key("algorithm");
-            w.String(batch[i].algo);
-            w.Key("num_communities");
-            w.UInt(communities->size());
-            w.Key("communities");
-            w.BeginArray();
-            for (const auto& community : communities.value()) {
-              WriteCommunity(&w, snapshot->graph(), community);
-            }
-            w.EndArray();
-          }
-        }
-        w.EndObject();
-        fragments[i] = w.TakeString();
-      },
-      /*grain=*/1);
-
-  std::string body = "{\"dataset_id\":" + std::to_string(snapshot->id()) +
-                     ",\"count\":" + std::to_string(fragments.size()) +
-                     ",\"results\":[";
-  for (std::size_t i = 0; i < fragments.size(); ++i) {
-    if (i > 0) body += ',';
-    body += fragments[i];
-  }
-  body += "]}";
-  return HttpResponse::Ok(std::move(body));
-}
-
-HttpResponse CExplorerServer::HandleHistory(RequestContext& ctx,
-                                            const HttpRequest&) {
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("session");
-  w.String(ctx.session->id);
-  w.Key("history");
-  w.BeginArray();
-  for (const auto& entry : ctx.session->history) w.String(entry);
-  w.EndArray();
-  w.EndObject();
-  return HttpResponse::Ok(w.TakeString());
 }
 
 }  // namespace cexplorer

@@ -1,67 +1,57 @@
-// The C-Explorer server: routes browser requests to per-session Explorer
-// views over one shared immutable Dataset and renders JSON responses — the
-// Server side of the paper's Figure 3 framework (Community Search +
-// Comparison Analysis + Indexing), now multi-session: the graph is uploaded
-// and indexed once, and any number of concurrent browser sessions query it
-// with zero copying.
+// The C-Explorer HTTP front end: a thin adapter that binds the declarative
+// /v1 route table (api/routes.h) to the QueryService facade
+// (api/query_service.h), which owns every request semantic — validation
+// beyond per-parameter typing, session resolution, snapshot discipline,
+// pagination, and the structured error taxonomy.
 //
-// Concurrency model: the current DatasetPtr is guarded by a shared_mutex —
-// queries take a shared lock just long enough to copy the pointer;
-// /upload and /load_index build the new dataset outside the lock and take
-// the exclusive lock only for the pointer swap. A session that is mid-query
-// during a swap keeps its old snapshot alive via shared_ptr, so it can
-// never observe a half-replaced graph/index pair. Requests within one
-// session are serialized by the session's own mutex; requests of different
-// sessions run in parallel.
+// Dispatch is table-driven: the path is looked up as "/v1/<name>" or as the
+// legacy unversioned alias, the parameter schema is auto-validated (strict
+// on /v1: typed params must parse and unknown params are rejected; lenient
+// on aliases so pre-v1 clients keep byte-identical behavior), and a
+// per-route binder converts the validated parameters into the typed request
+// struct for the service. GET /v1/api returns the generated
+// self-description of every route and its schema. Every error is the
+// envelope {"error":{"code","message"[,"detail"]}} with the HTTP status
+// implied by the code.
 //
-// Endpoints (all accept an optional &session=ID; without it they use the
-// shared "default" session):
-//   GET /                    system summary (graph size, algorithms, sessions)
-//   GET /session/new         create a session; returns its id (503 once the
-//                            session limit is reached)
-//   GET /session/delete?id=I delete a session, freeing its slot
-//   GET /sessions            list live sessions and their cache state
-//   GET /upload?path=P       load an attributed graph file and swap it in
-//                            for ALL sessions (index built exactly once)
-//   GET /search?name=N&k=K&keywords=a,b&algo=ACQ
-//                            run a CS algorithm; communities cached in the
-//                            session for /community and /explore
-//   GET /community?id=I      one cached community, with layout + rendering
-//   GET /profile?vertex=V    author profile popup (or ?name=N)
-//   GET /explore?vertex=V&k=K
-//                            continue exploration from a community member
-//   GET /compare?name=N&k=K&algos=Global,Local,CODICIL,ACQ
-//                            Figure 6(a) table + CPJ/CMF series
-//   GET /history             exploration chain of this session
-//   GET /detect?algo=A       run a CD algorithm on the whole graph; cluster
-//                            summary cached in the session
-//   GET /cluster?id=I        one cluster of the cached detection result
-//   GET /author?name=N       query-form population: the degree constraints
-//                            and keyword list shown in the left panel
-//   GET /export?id=I         cached community as an SVG document
-//   GET /save_index?path=P   persist the CL-tree (offline Indexing module)
-//   GET /load_index?path=P   swap in a saved CL-tree for the loaded graph
-//   GET /batch?requests=J    J = url-encoded JSON array of search queries
-//                            ({"name"|"vertex", "k", "keywords", "algo"});
-//                            all entries run against ONE dataset snapshot,
-//                            fanned across the worker pool, and the
-//                            response array preserves request order
+// Endpoints (all reachable as /v1/<name> and as the legacy alias; all
+// accept an optional &session=ID; GET unless noted):
+//   /v1/api             the self-description document (schema of every route)
+//   /v1/index           system summary                       (alias /)
+//   /v1/session/new     create a session            (alias /session/new)
+//   /v1/session/delete  delete a session            (alias /session/delete)
+//   /v1/sessions        list live sessions                   (alias /sessions)
+//   /v1/upload          load a graph file for ALL sessions   (alias /upload)
+//   /v1/search          run a CS algorithm                   (alias /search)
+//   /v1/community       one cached community; supports limit/cursor paging
+//   /v1/profile         author profile popup                 (alias /profile)
+//   /v1/explore         continue exploration from a member   (alias /explore)
+//   /v1/compare         Figure 6(a) comparison table         (alias /compare)
+//   /v1/history         exploration chain                    (alias /history)
+//   /v1/detect          run a CD algorithm                   (alias /detect)
+//   /v1/cluster         one cluster; supports limit/cursor paging
+//   /v1/author          query-form population                (alias /author)
+//   /v1/export          cached community as SVG              (alias /export)
+//   /v1/save_index      persist the CL-tree               (alias /save_index)
+//   /v1/load_index      swap in a saved CL-tree           (alias /load_index)
+//   /v1/batch           POST a JSON array of search entries; all entries
+//                       run under ONE snapshot on the worker pool
+//                       (alias: GET /batch?requests=<url-encoded JSON>)
 
 #ifndef CEXPLORER_SERVER_SERVER_H_
 #define CEXPLORER_SERVER_SERVER_H_
 
 #include <future>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
 #include <string>
 #include <string_view>
-#include <vector>
 
+#include "api/query_service.h"
+#include "api/routes.h"
 #include "common/parallel.h"
 #include "explorer/dataset.h"
-#include "explorer/explorer.h"
 #include "server/http.h"
-#include "server/session.h"
 
 namespace cexplorer {
 
@@ -71,28 +61,36 @@ class CExplorerServer {
  public:
   CExplorerServer() = default;
 
+  /// The underlying facade, for embedders that want the typed API with the
+  /// same session/dataset state the HTTP surface serves.
+  api::QueryService& service() { return service_; }
+
   /// Builds a dataset from an in-memory graph and swaps it in for all
-  /// sessions (the programmatic twin of GET /upload).
-  Status UploadGraph(AttributedGraph graph);
+  /// sessions (the programmatic twin of /v1/upload).
+  Status UploadGraph(AttributedGraph graph) {
+    return service_.UploadGraph(std::move(graph));
+  }
 
   /// File variant of UploadGraph.
-  Status Upload(const std::string& path);
+  Status Upload(const std::string& path) { return service_.Upload(path); }
 
   /// Attaches an already-built dataset (shared with other servers or
   /// embedders; no index build). Serving only moves forward in snapshot-id
   /// order: returns false (and serves the existing dataset unchanged) when
-  /// `dataset` is older than the currently served snapshot — to roll back
-  /// to old data, rebuild it (Dataset::Build assigns a fresh id).
-  bool AttachDataset(DatasetPtr dataset);
+  /// `dataset` is older than the currently served snapshot.
+  bool AttachDataset(DatasetPtr dataset) {
+    return service_.AttachDataset(std::move(dataset));
+  }
 
   /// The current dataset snapshot (nullptr before any upload).
-  DatasetPtr dataset() const;
+  DatasetPtr dataset() const { return service_.dataset(); }
 
   /// Live session count.
-  std::size_t num_sessions() const { return sessions_.size(); }
+  std::size_t num_sessions() const { return service_.num_sessions(); }
 
-  /// Parses and dispatches one request line. Thread-safe.
-  HttpResponse Handle(std::string_view request_line);
+  /// Parses and dispatches one request (a request line, optionally followed
+  /// by a POST body). Thread-safe.
+  HttpResponse Handle(std::string_view request_text);
 
   /// Dispatches a parsed request. Thread-safe.
   HttpResponse Dispatch(const HttpRequest& request);
@@ -102,91 +100,50 @@ class CExplorerServer {
   // Handle() runs on the caller's thread, so request concurrency used to be
   // whatever the caller spawned. The executor makes it a server knob: at
   // most `threads` requests execute at once, later submissions queue in
-  // FIFO order. /batch fans its sub-queries over the same pool.
+  // FIFO order. /v1/batch fans its sub-queries over the same pool.
 
   /// Sizes the worker pool (default: DefaultThreadCount()). Must not be
   /// called while submitted requests are still pending.
   void ConfigureWorkers(std::size_t threads);
 
-  /// Enqueues a request line on the worker pool and returns a future that
+  /// Enqueues a request on the worker pool and returns a future that
   /// completes when a worker has dispatched it. Thread-safe.
-  std::future<HttpResponse> SubmitAsync(std::string request_line);
+  std::future<HttpResponse> SubmitAsync(std::string request_text);
 
   /// Worker threads currently configured (0 before first use).
   std::size_t num_workers() const;
 
  private:
-  /// Everything a handler needs: the session (locked by the caller for the
-  /// duration of the handler) and the dataset snapshot this request runs
-  /// against (session->explorer is attached to it).
-  struct RequestContext {
-    std::shared_ptr<Session> session;
-    DatasetPtr dataset;
-  };
-
-  /// Swaps the served dataset (exclusive lock, pointer swap only) unless
-  /// the candidate is older than what is already served — serving only
-  /// moves forward in snapshot-id order. Returns whether the swap was
-  /// performed. Programmatic path; the HTTP paths use PublishDataset.
-  bool SwapDataset(DatasetPtr dataset);
-
-  /// Compare-and-swap publish for the HTTP admin paths: installs `fresh`
-  /// only if the served dataset is still the snapshot this request started
-  /// from (ctx.dataset); otherwise returns false and the caller reports a
-  /// conflict. Prevents a slow /upload or /load_index from silently
-  /// reverting a newer snapshot published meanwhile. On success updates
-  /// ctx.dataset to `fresh`.
-  bool PublishDataset(RequestContext& ctx, DatasetPtr fresh);
-
-  /// Attaches ctx.dataset to ctx.session (locking the session) and drops
-  /// the session's dataset-derived caches.
-  void AttachToSession(RequestContext& ctx, bool clear_history);
-
-  HttpResponse HandleSessionNew(const HttpRequest& request);
-  HttpResponse HandleSessionDelete(const HttpRequest& request);
-  HttpResponse HandleSessions(const HttpRequest& request);
-
-  /// Shared core of the two attach sites. Requires ctx.session->mu held.
-  /// Moves the session forward to ctx.dataset (dropping graph-derived
-  /// caches only when the graph epoch changed); never moves it backwards —
-  /// when the session is already on a newer snapshot, `adopt_newer` makes
-  /// the request run against that snapshot instead.
-  static void AttachLocked(RequestContext& ctx, bool adopt_newer,
-                           bool clear_history);
-
-  HttpResponse HandleIndex(RequestContext& ctx, const HttpRequest& request);
-  HttpResponse HandleUpload(RequestContext& ctx, const HttpRequest& request);
-  HttpResponse HandleSearch(RequestContext& ctx, const HttpRequest& request);
-  HttpResponse HandleCommunity(RequestContext& ctx, const HttpRequest& request);
-  HttpResponse HandleProfile(RequestContext& ctx, const HttpRequest& request);
-  HttpResponse HandleExplore(RequestContext& ctx, const HttpRequest& request);
-  HttpResponse HandleCompare(RequestContext& ctx, const HttpRequest& request);
-  HttpResponse HandleHistory(RequestContext& ctx, const HttpRequest& request);
-  HttpResponse HandleDetect(RequestContext& ctx, const HttpRequest& request);
-  HttpResponse HandleCluster(RequestContext& ctx, const HttpRequest& request);
-  HttpResponse HandleAuthor(RequestContext& ctx, const HttpRequest& request);
-  HttpResponse HandleExport(RequestContext& ctx, const HttpRequest& request);
-  HttpResponse HandleSaveIndex(RequestContext& ctx,
-                               const HttpRequest& request);
-  HttpResponse HandleLoadIndex(RequestContext& ctx,
-                               const HttpRequest& request);
-  HttpResponse HandleBatch(RequestContext& ctx, const HttpRequest& request);
-
-  /// Runs a search and caches the result in the session.
-  HttpResponse RunSearch(RequestContext& ctx, const std::string& algo,
-                         const Query& query);
+  /// Per-route binders: convert validated parameters into the typed request
+  /// struct and call the facade.
+  HttpResponse BindApi(const HttpRequest& request);
+  HttpResponse BindIndex(const HttpRequest& request);
+  HttpResponse BindSessionNew(const HttpRequest& request);
+  HttpResponse BindSessionDelete(const HttpRequest& request);
+  HttpResponse BindSessions(const HttpRequest& request);
+  HttpResponse BindUpload(const HttpRequest& request);
+  HttpResponse BindSearch(const HttpRequest& request);
+  HttpResponse BindCommunity(const HttpRequest& request);
+  HttpResponse BindProfile(const HttpRequest& request);
+  HttpResponse BindExplore(const HttpRequest& request);
+  HttpResponse BindCompare(const HttpRequest& request);
+  HttpResponse BindHistory(const HttpRequest& request);
+  HttpResponse BindDetect(const HttpRequest& request);
+  HttpResponse BindCluster(const HttpRequest& request);
+  HttpResponse BindAuthor(const HttpRequest& request);
+  HttpResponse BindExport(const HttpRequest& request);
+  HttpResponse BindSaveIndex(const HttpRequest& request);
+  HttpResponse BindLoadIndex(const HttpRequest& request);
+  HttpResponse BindBatch(const HttpRequest& request);
 
   /// The worker pool, creating it with DefaultThreadCount() threads on
   /// first use.
   ThreadPool* Workers();
 
-  mutable std::shared_mutex dataset_mu_;
-  DatasetPtr dataset_;
+  api::QueryService service_;
 
   mutable std::mutex workers_mu_;
   std::unique_ptr<ThreadPool> workers_;
-
-  SessionManager sessions_;
 };
 
 }  // namespace cexplorer

@@ -51,6 +51,11 @@ struct Session {
   std::vector<Community> communities;
   /// Graph epoch the cache was computed against (0 = none).
   std::uint64_t communities_epoch = 0;
+  /// Process-unique generation assigned every time `communities` is
+  /// replaced; pagination cursors carry the generation they were minted
+  /// against, so a cursor from a previous search — or from another
+  /// session — cannot silently page into a different result set.
+  std::uint64_t communities_generation = 0;
   /// Query behind `communities` (k is reused by /explore, the query vertex
   /// by /export).
   Query last_query;
@@ -59,6 +64,9 @@ struct Session {
   Clustering detection;
   std::string detection_algo;
   std::uint64_t detection_epoch = 0;
+  /// Process-unique generation assigned every time `detection` is
+  /// replaced (see communities_generation).
+  std::uint64_t detection_generation = 0;
 
   /// Exploration chain ("ACQ:jim gray:k=4", ...).
   std::vector<std::string> history;

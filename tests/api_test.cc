@@ -1,0 +1,495 @@
+// Tests for the typed, versioned query API: the /v1 route table and its
+// schema validation, the GET /v1/api self-description, structured error
+// envelopes, legacy-alias equivalence, member-list pagination with stable
+// cursors, the POST /v1/batch body, and the QueryService facade used
+// directly as a typed embedder API.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/query_service.h"
+#include "api/routes.h"
+#include "common/json.h"
+#include "graph/fixtures.h"
+#include "graph/io.h"
+#include "server/http.h"
+#include "server/server.h"
+
+namespace cexplorer {
+namespace {
+
+class ApiFixture : public ::testing::Test {
+ protected:
+  ApiFixture() { EXPECT_TRUE(server_.UploadGraph(Figure5Graph()).ok()); }
+
+  HttpResponse Get(const std::string& request, int expected_code = 200) {
+    HttpResponse response = server_.Handle(request);
+    EXPECT_EQ(response.code, expected_code)
+        << request << " -> " << response.body;
+    return response;
+  }
+
+  JsonValue GetJson(const std::string& request, int expected_code = 200) {
+    HttpResponse response = Get(request, expected_code);
+    auto parsed = JsonValue::Parse(response.body);
+    EXPECT_TRUE(parsed.ok()) << response.body;
+    return parsed.value_or(JsonValue{});
+  }
+
+  /// The error code string of an error envelope response.
+  std::string ErrorCode(const std::string& request, int expected_code) {
+    return GetJson(request, expected_code)
+        .Get("error")
+        .Get("code")
+        .AsString();
+  }
+
+  CExplorerServer server_;
+};
+
+// --------------------------------------------------------------------------
+// GET /v1/api self-description
+// --------------------------------------------------------------------------
+
+TEST_F(ApiFixture, SelfDescriptionListsEveryRoute) {
+  JsonValue v = GetJson("GET /v1/api");
+  EXPECT_EQ(v.Get("version").AsString(), "v1");
+
+  std::size_t count = 0;
+  const api::RouteSpec* table = api::Routes(&count);
+  const auto& routes = v.Get("routes").Items();
+  ASSERT_EQ(routes.size(), count);
+
+  std::set<std::string> described;
+  for (const auto& route : routes) {
+    described.insert(route.Get("path").AsString());
+    EXPECT_FALSE(route.Get("doc").AsString().empty());
+    EXPECT_FALSE(route.Get("legacy_alias").AsString().empty());
+    EXPECT_GE(route.Get("methods").Items().size(), 1u);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_TRUE(described.count(table[i].V1Path()))
+        << table[i].V1Path() << " missing from /v1/api";
+  }
+
+  // The error taxonomy is part of the self-description.
+  const auto& codes = v.Get("error_codes").Items();
+  std::set<std::string> names;
+  for (const auto& code : codes) names.insert(code.Get("code").AsString());
+  EXPECT_TRUE(names.count("INVALID_ARGUMENT"));
+  EXPECT_TRUE(names.count("NOT_FOUND"));
+  EXPECT_TRUE(names.count("CONFLICT"));
+  EXPECT_TRUE(names.count("UNAVAILABLE"));
+}
+
+TEST_F(ApiFixture, SelfDescriptionSchemaDetails) {
+  JsonValue v = GetJson("GET /v1/api");
+  for (const auto& route : v.Get("routes").Items()) {
+    if (route.Get("name").AsString() != "search") continue;
+    bool saw_k = false;
+    for (const auto& param : route.Get("params").Items()) {
+      if (param.Get("name").AsString() != "k") continue;
+      saw_k = true;
+      EXPECT_EQ(param.Get("type").AsString(), "int");
+      EXPECT_FALSE(param.Get("required").AsBool());
+      EXPECT_EQ(param.Get("default").AsString(), "4");
+    }
+    EXPECT_TRUE(saw_k);
+  }
+}
+
+TEST_F(ApiFixture, EveryTableRouteIsReachable) {
+  // A request to each declared /v1 path must be recognized by the router:
+  // whatever the handler decides, it is never the "no route" 404.
+  std::size_t count = 0;
+  const api::RouteSpec* table = api::Routes(&count);
+  for (std::size_t i = 0; i < count; ++i) {
+    HttpResponse r = server_.Handle("GET " + table[i].V1Path());
+    auto v = JsonValue::Parse(r.body);
+    if (r.code == 404) {
+      ASSERT_TRUE(v.ok());
+      EXPECT_EQ(v->Get("error").Get("message").AsString().rfind("no route", 0),
+                std::string::npos)
+          << table[i].V1Path();
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Schema validation on /v1 (strict) vs legacy aliases (lenient)
+// --------------------------------------------------------------------------
+
+TEST_F(ApiFixture, MissingRequiredParams) {
+  EXPECT_EQ(ErrorCode("GET /v1/author", 400), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("GET /v1/upload", 400), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("GET /v1/save_index", 400), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("GET /v1/load_index", 400), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("GET /v1/session/delete", 400), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("GET /v1/explore", 400), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("GET /v1/compare", 400), "INVALID_ARGUMENT");
+  // An empty value does not satisfy a required parameter.
+  EXPECT_EQ(ErrorCode("GET /v1/author?name=", 400), "INVALID_ARGUMENT");
+}
+
+TEST_F(ApiFixture, TypedWrongParams) {
+  EXPECT_EQ(ErrorCode("GET /v1/search?name=a&k=abc", 400), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("GET /v1/community?id=xyz", 400), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("GET /v1/explore?vertex=two", 400), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("GET /v1/batch?requests=notjson", 400),
+            "INVALID_ARGUMENT");
+  // The legacy alias keeps its lenient fallback behavior for the same
+  // request (k falls back to its default).
+  EXPECT_EQ(Get("GET /search?name=a&k=abc&keywords=x,y").code, 200);
+}
+
+TEST_F(ApiFixture, UnknownParamsRejectedOnV1Only) {
+  EXPECT_EQ(ErrorCode("GET /v1/search?name=a&bogus=1", 400),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("GET /v1/history?extra=param", 400), "INVALID_ARGUMENT");
+  // 'session' is universal and always accepted.
+  EXPECT_EQ(Get("GET /v1/history?session=").code, 200);
+  // Legacy aliases ignore unknown parameters, as they always did.
+  EXPECT_EQ(Get("GET /search?name=a&k=2&bogus=1").code, 200);
+}
+
+TEST_F(ApiFixture, MethodPolicy) {
+  EXPECT_EQ(ErrorCode("POST /v1/search?name=a", 405), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("POST /search?name=a", 405), "INVALID_ARGUMENT");
+}
+
+// --------------------------------------------------------------------------
+// Structured error envelopes with correct HTTP statuses
+// --------------------------------------------------------------------------
+
+TEST_F(ApiFixture, ErrorEnvelopeTaxonomy) {
+  EXPECT_EQ(ErrorCode("GET /v1/search?name=zzz", 404), "NOT_FOUND");
+  EXPECT_EQ(ErrorCode("GET /v1/search?name=a&algo=Nope", 404), "NOT_FOUND");
+  EXPECT_EQ(ErrorCode("GET /v1/community?id=7", 404), "NOT_FOUND");
+  EXPECT_EQ(ErrorCode("GET /v1/search?name=a&session=nope", 404), "NOT_FOUND");
+  EXPECT_EQ(ErrorCode("GET /nope", 404), "NOT_FOUND");
+  EXPECT_EQ(ErrorCode("GET /v1/search?k=4", 400), "INVALID_ARGUMENT");
+
+  CExplorerServer empty;
+  HttpResponse r = empty.Handle("GET /v1/search?name=a");
+  EXPECT_EQ(r.code, 409);
+  auto v = JsonValue::Parse(r.body);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Get("error").Get("code").AsString(), "CONFLICT");
+  EXPECT_FALSE(v->Get("error").Get("message").AsString().empty());
+}
+
+// --------------------------------------------------------------------------
+// Legacy-alias equivalence: byte-identical success payloads
+// --------------------------------------------------------------------------
+
+TEST_F(ApiFixture, AliasEquivalence) {
+  // Each pair runs back-to-back on the same session, so even the routes
+  // that mutate session state (search, explore, detect append history)
+  // produce identical bodies for the alias and its /v1 twin.
+  const std::string search = "/search?name=a&k=2&keywords=x,y&algo=ACQ";
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"GET /", "GET /v1/index"},
+      {"GET " + search, "GET /v1" + search},
+      {"GET /community?id=0", "GET /v1/community?id=0"},
+      {"GET /profile?vertex=0", "GET /v1/profile?vertex=0"},
+      {"GET /explore?vertex=2&k=2", "GET /v1/explore?vertex=2&k=2"},
+      {"GET /compare?name=a&k=2&keywords=x,y&algos=Global,ACQ",
+       "GET /v1/compare?name=a&k=2&keywords=x,y&algos=Global,ACQ"},
+      {"GET /detect?algo=CODICIL", "GET /v1/detect?algo=CODICIL"},
+      {"GET /cluster?id=0", "GET /v1/cluster?id=0"},
+      {"GET /author?name=a", "GET /v1/author?name=a"},
+      {"GET /export?id=0", "GET /v1/export?id=0"},
+      {"GET /history", "GET /v1/history"},
+      {"GET /sessions", "GET /v1/sessions"},
+  };
+  for (const auto& [legacy, v1] : pairs) {
+    HttpResponse a = server_.Handle(legacy);
+    HttpResponse b = server_.Handle(v1);
+    EXPECT_EQ(a.code, 200) << legacy << " -> " << a.body;
+    EXPECT_EQ(a.code, b.code) << legacy;
+    EXPECT_EQ(a.body, b.body) << legacy << " vs " << v1;
+  }
+}
+
+TEST_F(ApiFixture, AliasEquivalenceForAdminRoutes) {
+  // upload/save_index/load_index responses embed the (monotonic) dataset
+  // id, so the twin calls are compared structurally.
+  const std::string graph_path = ::testing::TempDir() + "/api_alias.attr";
+  const std::string index_path = ::testing::TempDir() + "/api_alias.cl";
+  ASSERT_TRUE(SaveAttributed(Figure5Graph(), graph_path).ok());
+
+  JsonValue up_legacy = GetJson("GET /upload?path=" + UrlEncode(graph_path));
+  JsonValue up_v1 = GetJson("GET /v1/upload?path=" + UrlEncode(graph_path));
+  EXPECT_EQ(up_legacy.Get("uploaded").AsString(),
+            up_v1.Get("uploaded").AsString());
+  EXPECT_EQ(up_legacy.Get("vertices").AsInt(), up_v1.Get("vertices").AsInt());
+  EXPECT_EQ(up_v1.Get("dataset_id").AsInt(),
+            up_legacy.Get("dataset_id").AsInt() + 1);
+
+  HttpResponse save_legacy =
+      Get("GET /save_index?path=" + UrlEncode(index_path));
+  HttpResponse save_v1 =
+      Get("GET /v1/save_index?path=" + UrlEncode(index_path));
+  EXPECT_EQ(save_legacy.body, save_v1.body);
+
+  JsonValue load_legacy =
+      GetJson("GET /load_index?path=" + UrlEncode(index_path));
+  JsonValue load_v1 =
+      GetJson("GET /v1/load_index?path=" + UrlEncode(index_path));
+  EXPECT_EQ(load_legacy.Get("loaded").AsString(),
+            load_v1.Get("loaded").AsString());
+  EXPECT_EQ(load_v1.Get("dataset_id").AsInt(),
+            load_legacy.Get("dataset_id").AsInt() + 1);
+}
+
+// --------------------------------------------------------------------------
+// Pagination: /v1/community and /v1/cluster with limit/cursor
+// --------------------------------------------------------------------------
+
+TEST_F(ApiFixture, CommunityPaginationRoundTrip) {
+  GetJson("GET /v1/search?name=a&k=2&keywords=x,y&algo=ACQ");
+  JsonValue full = GetJson("GET /v1/community?id=0");
+  const auto& all = full.Get("community").Get("members").Items();
+  ASSERT_EQ(all.size(), 3u);
+
+  // Page through with limit=2: 2 + 1 members, in the same stable order.
+  JsonValue page0 = GetJson("GET /v1/community?id=0&limit=2");
+  EXPECT_EQ(page0.Get("page").Get("offset").AsInt(), 0);
+  EXPECT_EQ(page0.Get("page").Get("returned").AsInt(), 2);
+  EXPECT_EQ(page0.Get("page").Get("total").AsInt(), 3);
+  ASSERT_TRUE(page0.Get("page").Has("next_cursor"));
+  const std::string cursor = page0.Get("page").Get("next_cursor").AsString();
+
+  JsonValue page1 =
+      GetJson("GET /v1/community?id=0&limit=2&cursor=" + UrlEncode(cursor));
+  EXPECT_EQ(page1.Get("page").Get("offset").AsInt(), 2);
+  EXPECT_EQ(page1.Get("page").Get("returned").AsInt(), 1);
+  EXPECT_FALSE(page1.Get("page").Has("next_cursor"));
+
+  std::vector<std::string> paged;
+  for (const auto& m : page0.Get("community").Get("members").Items()) {
+    paged.push_back(m.Get("name").AsString());
+  }
+  for (const auto& m : page1.Get("community").Get("members").Items()) {
+    paged.push_back(m.Get("name").AsString());
+  }
+  ASSERT_EQ(paged.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(paged[i], all[i].Get("name").AsString());
+  }
+
+  // The paginated shape skips the whole-community layout/ascii rendering.
+  EXPECT_FALSE(page0.Has("layout"));
+  EXPECT_TRUE(full.Has("layout"));
+}
+
+TEST_F(ApiFixture, CursorStabilityAcrossIdenticalSnapshots) {
+  GetJson("GET /v1/search?name=a&k=2&keywords=x,y&algo=ACQ");
+  JsonValue page0 = GetJson("GET /v1/community?id=0&limit=1");
+  const std::string cursor = page0.Get("page").Get("next_cursor").AsString();
+  // Replaying the same cursor against the same snapshot returns the same
+  // page, byte for byte.
+  HttpResponse a =
+      Get("GET /v1/community?id=0&limit=1&cursor=" + UrlEncode(cursor));
+  HttpResponse b =
+      Get("GET /v1/community?id=0&limit=1&cursor=" + UrlEncode(cursor));
+  EXPECT_EQ(a.body, b.body);
+}
+
+TEST_F(ApiFixture, CursorValidation) {
+  GetJson("GET /v1/search?name=a&k=2&keywords=x,y&algo=ACQ");
+  EXPECT_EQ(ErrorCode("GET /v1/community?id=0&cursor=garbage", 400),
+            "INVALID_ARGUMENT");
+
+  JsonValue page0 = GetJson("GET /v1/community?id=0&limit=1");
+  const std::string cursor = page0.Get("page").Get("next_cursor").AsString();
+
+  // A cursor minted for a different community id is rejected.
+  auto token = api::PageToken::Decode(cursor);
+  ASSERT_TRUE(token.ok());
+  api::PageToken foreign = token.value();
+  foreign.object_id = 1;
+  EXPECT_EQ(ErrorCode("GET /v1/community?id=0&cursor=" +
+                          UrlEncode(foreign.Encode()),
+                      400),
+            "INVALID_ARGUMENT");
+
+  // A community cursor cannot page a cluster, even with matching ids.
+  GetJson("GET /v1/detect?algo=CODICIL");
+  EXPECT_EQ(
+      ErrorCode("GET /v1/cluster?id=0&cursor=" + UrlEncode(cursor), 400),
+      "INVALID_ARGUMENT");
+
+  // A negative limit is rejected instead of silently degrading to the
+  // unpaginated full response.
+  EXPECT_EQ(ErrorCode("GET /v1/community?id=0&limit=-5", 400),
+            "INVALID_ARGUMENT");
+}
+
+TEST_F(ApiFixture, CursorConflictAfterNewSearch) {
+  GetJson("GET /v1/search?name=a&k=2&keywords=x,y&algo=ACQ");
+  JsonValue page0 = GetJson("GET /v1/community?id=0&limit=1");
+  const std::string cursor = page0.Get("page").Get("next_cursor").AsString();
+
+  // A second search replaces the session's cached result set (same graph,
+  // same epoch). The outstanding cursor must not silently page into the
+  // new communities: it answers kConflict.
+  GetJson("GET /v1/search?name=b&k=2&algo=Global");
+  EXPECT_EQ(
+      ErrorCode("GET /v1/community?id=0&cursor=" + UrlEncode(cursor), 409),
+      "CONFLICT");
+
+  // Fresh pagination of the new result set works.
+  EXPECT_EQ(Get("GET /v1/community?id=0&limit=1").code, 200);
+}
+
+TEST_F(ApiFixture, CursorConflictAfterUpload) {
+  GetJson("GET /v1/search?name=a&k=2&keywords=x,y&algo=ACQ");
+  JsonValue page0 = GetJson("GET /v1/community?id=0&limit=1");
+  const std::string stale = page0.Get("page").Get("next_cursor").AsString();
+
+  // Swap the graph (new graph epoch), then rebuild the session cache.
+  const std::string path = ::testing::TempDir() + "/api_cursor_reload.attr";
+  ASSERT_TRUE(SaveAttributed(Figure5Graph(), path).ok());
+  GetJson("GET /v1/upload?path=" + UrlEncode(path));
+  GetJson("GET /v1/search?name=a&k=2&keywords=x,y&algo=ACQ");
+
+  // The fresh cache serves fresh pages, but the pre-upload cursor refers
+  // to a superseded snapshot: kConflict, not silently wrong members.
+  EXPECT_EQ(Get("GET /v1/community?id=0&limit=1").code, 200);
+  EXPECT_EQ(
+      ErrorCode("GET /v1/community?id=0&cursor=" + UrlEncode(stale), 409),
+      "CONFLICT");
+}
+
+TEST_F(ApiFixture, ClusterPagination) {
+  GetJson("GET /v1/detect?algo=CODICIL");
+  JsonValue full = GetJson("GET /v1/cluster?id=0");
+  const auto& all = full.Get("community").Get("members").Items();
+  ASSERT_GE(all.size(), 1u);
+
+  std::vector<std::string> paged;
+  std::string request = "GET /v1/cluster?id=0&limit=1";
+  for (;;) {
+    JsonValue page = GetJson(request);
+    for (const auto& m : page.Get("community").Get("members").Items()) {
+      paged.push_back(m.Get("name").AsString());
+    }
+    if (!page.Get("page").Has("next_cursor")) break;
+    request = "GET /v1/cluster?id=0&limit=1&cursor=" +
+              UrlEncode(page.Get("page").Get("next_cursor").AsString());
+  }
+  ASSERT_EQ(paged.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(paged[i], all[i].Get("name").AsString());
+  }
+}
+
+// --------------------------------------------------------------------------
+// POST /v1/batch with a JSON body
+// --------------------------------------------------------------------------
+
+TEST_F(ApiFixture, BatchPostBody) {
+  const std::string body =
+      "[{\"name\": \"a\", \"k\": 2, \"keywords\": [\"x\", \"y\"]},"
+      " {\"name\": \"nobody\"}]";
+  HttpResponse post = Get("POST /v1/batch\n\n" + body);
+  auto v = JsonValue::Parse(post.body);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Get("count").AsInt(), 2);
+  const auto& results = v->Get("results").Items();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].Get("num_communities").AsInt(), 1);
+  // Per-slot failures carry the structured envelope value.
+  EXPECT_EQ(results[1].Get("error").Get("code").AsString(), "NOT_FOUND");
+
+  // The GET form (legacy alias and /v1 twin) is byte-identical: the same
+  // snapshot, the same entries.
+  HttpResponse get_legacy =
+      Get("GET /batch?requests=" + UrlEncode(body));
+  HttpResponse get_v1 = Get("GET /v1/batch?requests=" + UrlEncode(body));
+  EXPECT_EQ(post.body, get_legacy.body);
+  EXPECT_EQ(post.body, get_v1.body);
+
+  // An empty payload is an invalid argument on every form.
+  EXPECT_EQ(ErrorCode("POST /v1/batch", 400), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("GET /batch", 400), "INVALID_ARGUMENT");
+}
+
+// --------------------------------------------------------------------------
+// QueryService as the typed embedder API
+// --------------------------------------------------------------------------
+
+TEST(QueryServiceTest, TypedRequestsSharedWithHttp) {
+  api::QueryService service;
+  ASSERT_TRUE(service.UploadGraph(Figure5Graph()).ok());
+
+  api::SearchRequest search;
+  search.name = "a";
+  search.k = 2;
+  search.keywords = {"x", "y"};
+  auto result = service.Search(search);
+  ASSERT_TRUE(result.ok());
+  auto v = JsonValue::Parse(result.value());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Get("num_communities").AsInt(), 1);
+
+  // Multi-vertex queries are first-class in the typed API.
+  api::SearchRequest multi;
+  multi.vertices = {0, 2};
+  multi.k = 2;
+  multi.keywords = {"x", "y"};
+  ASSERT_TRUE(service.Search(multi).ok());
+
+  // Cross-field validation lives in the facade, not the HTTP layer.
+  auto invalid = service.Search(api::SearchRequest{});
+  ASSERT_FALSE(invalid.ok());
+  EXPECT_EQ(invalid.error().code, api::ApiCode::kInvalidArgument);
+
+  api::SearchRequest ghost;
+  ghost.name = "a";
+  ghost.session = "nope";
+  auto unknown = service.Search(ghost);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.error().code, api::ApiCode::kNotFound);
+}
+
+TEST(QueryServiceTest, PageTokenRoundTrip) {
+  api::PageToken token;
+  token.graph_epoch = 42;
+  token.kind = api::PageToken::Kind::kCluster;
+  token.object_id = 7;
+  token.generation = 3;
+  token.offset = 1900;
+  auto decoded = api::PageToken::Decode(token.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->graph_epoch, 42u);
+  EXPECT_EQ(decoded->kind, api::PageToken::Kind::kCluster);
+  EXPECT_EQ(decoded->object_id, 7u);
+  EXPECT_EQ(decoded->generation, 3u);
+  EXPECT_EQ(decoded->offset, 1900u);
+
+  EXPECT_FALSE(api::PageToken::Decode("").ok());
+  EXPECT_FALSE(api::PageToken::Decode("g1-t0-i2").ok());
+  EXPECT_FALSE(api::PageToken::Decode("g1-t0-i2-o3").ok());  // no generation
+  EXPECT_FALSE(api::PageToken::Decode("gx-t0-iy-r1-oz").ok());
+  EXPECT_FALSE(api::PageToken::Decode("g1-t9-i2-r1-o3").ok());  // bad kind
+  EXPECT_FALSE(api::PageToken::Decode("g1-t0-i2-r1-o-3").ok());
+}
+
+TEST(QueryServiceTest, ErrorEnvelopeJson) {
+  api::ApiError error =
+      api::ApiError::Conflict("snapshot superseded", "retry the request");
+  auto v = JsonValue::Parse(error.ToJson());
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Get("error").Get("code").AsString(), "CONFLICT");
+  EXPECT_EQ(v->Get("error").Get("message").AsString(), "snapshot superseded");
+  EXPECT_EQ(v->Get("error").Get("detail").AsString(), "retry the request");
+  EXPECT_EQ(api::HttpStatus(api::ApiCode::kConflict), 409);
+}
+
+}  // namespace
+}  // namespace cexplorer

@@ -45,7 +45,7 @@ TEST(ParseRequestTest, PathAndParams) {
 TEST(ParseRequestTest, RejectsMalformed) {
   EXPECT_FALSE(ParseRequest("").ok());
   EXPECT_FALSE(ParseRequest("GET").ok());
-  EXPECT_FALSE(ParseRequest("POST /x").ok());
+  EXPECT_FALSE(ParseRequest("PUT /x").ok());
   EXPECT_FALSE(ParseRequest("GET nopath").ok());
   EXPECT_FALSE(ParseRequest("GET /x extra").ok());
 }
@@ -55,6 +55,44 @@ TEST(ParseRequestTest, EmptyAndValuelessParams) {
   ASSERT_TRUE(req.ok());
   EXPECT_EQ(req->Param("flag"), "");
   EXPECT_EQ(req->Param("k"), "");
+}
+
+TEST(ParseRequestTest, QueryEdgeCases) {
+  // Empty query and trailing/duplicate '&' separators are fine.
+  EXPECT_TRUE(ParseRequest("GET /x?").ok());
+  auto req = ParseRequest("GET /x?a=1&&b=2&");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->Param("a"), "1");
+  EXPECT_EQ(req->Param("b"), "2");
+  // Duplicate keys: the last occurrence wins (documented contract).
+  auto dup = ParseRequest("GET /x?k=1&k=2&k=3");
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(dup->Param("k"), "3");
+}
+
+TEST(ParseRequestTest, RejectsMalformedEscapes) {
+  // Malformed %-escapes are a parse error, not silently decoded garbage.
+  EXPECT_FALSE(ParseRequest("GET /x?name=%zz").ok());
+  EXPECT_FALSE(ParseRequest("GET /x?name=bad%2").ok());
+  EXPECT_FALSE(ParseRequest("GET /x?%GG=1").ok());
+  // The lenient decoder used for display keeps its pass-through behavior.
+  EXPECT_EQ(UrlDecode("bad%2"), "bad%2");
+  // Strict decoding surfaces the error directly.
+  EXPECT_FALSE(UrlDecodeStrict("bad%zz").ok());
+  EXPECT_EQ(UrlDecodeStrict("a%20b").value(), "a b");
+}
+
+TEST(ParseRequestTest, PostBody) {
+  auto req = ParseRequest("POST /v1/batch\n\n[{\"vertex\": 3}]");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->method, "POST");
+  EXPECT_EQ(req->path, "/v1/batch");
+  EXPECT_EQ(req->body, "[{\"vertex\": 3}]");
+  // CRLF separator and no blank line both work.
+  EXPECT_EQ(ParseRequest("POST /x\r\n\r\nhello")->body, "hello");
+  EXPECT_EQ(ParseRequest("POST /x\nhello")->body, "hello");
+  // GET requests simply carry no body.
+  EXPECT_EQ(ParseRequest("GET /x")->body, "");
 }
 
 // --------------------------------------------------------------------------
@@ -93,7 +131,9 @@ TEST_F(ServerFixture, UnknownRouteIs404) {
   EXPECT_EQ(r.code, 404);
   auto v = JsonValue::Parse(r.body);
   ASSERT_TRUE(v.ok());
-  EXPECT_FALSE(v->Get("error").AsString().empty());
+  // Structured error envelope: {"error":{"code","message"}}.
+  EXPECT_EQ(v->Get("error").Get("code").AsString(), "NOT_FOUND");
+  EXPECT_FALSE(v->Get("error").Get("message").AsString().empty());
 }
 
 TEST_F(ServerFixture, BadRequestLineIs400) {
@@ -164,7 +204,10 @@ TEST_F(ServerFixture, ExplorationLoopFigures1And2) {
 
 TEST_F(ServerFixture, ExploreValidatesVertex) {
   EXPECT_EQ(server_.Handle("GET /explore?vertex=99").code, 404);
-  EXPECT_EQ(server_.Handle("GET /explore").code, 404);
+  // 'vertex' is declared required in the route schema: missing it is an
+  // invalid argument on the alias and the /v1 path alike.
+  EXPECT_EQ(server_.Handle("GET /explore").code, 400);
+  EXPECT_EQ(server_.Handle("GET /v1/explore").code, 400);
 }
 
 TEST_F(ServerFixture, CompareEndpointFigure6) {
