@@ -1,15 +1,16 @@
-// Plugging a custom CR algorithm into C-Explorer through the public API —
-// the extension point Section 3.1 of the paper describes for third-party
-// developers. The plug-in implements k-truss community search (Huang et
-// al., SIGMOD 2014), registers under the name "KTruss", and then runs
-// through the same Search/Compare machinery as the built-ins.
+// Plugging a custom CR algorithm into C-Explorer through the
+// self-describing registry API — the extension point Section 3.1 of the
+// paper describes for third-party developers. The plug-in implements
+// degree-filtered egonet search, declares its parameter schema
+// (min_degree, with a range) and capabilities (supports cancellation), and
+// then runs through the same Search / Run machinery as the built-ins —
+// including parameter validation and the /v1/api self-description.
 //
 //   $ ./plugin_algorithm
 
 #include <cstdio>
 #include <memory>
 
-#include "algos/truss.h"
 #include "explorer/builtin.h"
 #include "explorer/explorer.h"
 #include "graph/fixtures.h"
@@ -18,37 +19,52 @@ namespace {
 
 using namespace cexplorer;
 
-/// CS plug-in: k-truss communities of the query vertex. Caches the truss
-/// decomposition per graph epoch, like CODICIL's CS adapter does.
-class KTrussAlgorithm : public CsAlgorithm {
+/// CS plug-in: the query vertex plus every neighbour of degree >=
+/// min_degree. Small enough to read in one sitting, but it exercises the
+/// whole plug-in surface: schema, capability flags, typed parameter access
+/// and the cooperative checkpoint.
+class EgonetAlgorithm : public Algorithm {
  public:
-  std::string name() const override { return "KTruss"; }
+  EgonetAlgorithm() {
+    descriptor_.name = "Egonet";
+    descriptor_.kind = AlgorithmKind::kCommunitySearch;
+    descriptor_.doc =
+        "the query vertex plus its neighbours of degree >= min_degree";
+    descriptor_.params = {
+        {"min_degree", AlgoParamType::kInt, "1", true, 0.0, 1e6,
+         "drop neighbours with fewer connections than this"},
+    };
+    descriptor_.caps.cancel = true;
+  }
 
-  Result<std::vector<Community>> Search(const ExplorerContext& ctx,
-                                        const Query& query) override {
-    auto vertices = ResolveQueryVertices(ctx, query);
+  const AlgorithmDescriptor& descriptor() const override {
+    return descriptor_;
+  }
+
+  Result<AlgorithmOutput> Run(ExecContext& ctx) override {
+    auto vertices = ResolveQueryVertices(ctx.view, ctx.query);
     if (!vertices.ok()) return vertices.status();
-    if (cached_epoch_ != ctx.graph_epoch) {
-      truss_ = TrussDecompose(ctx.graph->graph());
-      cached_epoch_ = ctx.graph_epoch;
+    const Graph& g = ctx.view.graph->graph();
+    const std::uint32_t min_degree =
+        static_cast<std::uint32_t>(ctx.params.Int("min_degree", 1));
+
+    Community c;
+    c.method = descriptor_.name;
+    c.vertices.push_back(vertices->front());
+    for (VertexId w : g.Neighbors(vertices->front())) {
+      // Declared caps.cancel means long loops checkpoint; here the loop is
+      // tiny, but the pattern is what a real plug-in follows.
+      if (Status st = ctx.Check(); !st.ok()) return st;
+      if (g.Degree(w) >= min_degree) c.vertices.push_back(w);
     }
-    // Interpret the UI's "degree >= k" as trussness >= k+1 (a k-truss has
-    // minimum degree k-1).
-    std::uint32_t k = query.k + 1;
-    std::vector<Community> out;
-    for (const auto& tc :
-         KTrussCommunities(ctx.graph->graph(), truss_, vertices->front(), k)) {
-      Community c;
-      c.method = name();
-      c.vertices = tc.vertices;
-      out.push_back(std::move(c));
-    }
+    std::sort(c.vertices.begin(), c.vertices.end());
+    AlgorithmOutput out;
+    out.communities.push_back(std::move(c));
     return out;
   }
 
  private:
-  TrussDecomposition truss_;
-  std::uint64_t cached_epoch_ = ~0ULL;
+  AlgorithmDescriptor descriptor_;
 };
 
 }  // namespace
@@ -71,9 +87,9 @@ int main() {
     return 1;
   }
 
-  // Register the plug-in. Duplicate names are rejected, so this is the
-  // whole integration surface.
-  if (Status st = explorer.RegisterCs(std::make_unique<KTrussAlgorithm>());
+  // Register the plug-in. Duplicate (kind, name) pairs are rejected, so
+  // this is the whole integration surface.
+  if (Status st = explorer.Register(std::make_unique<EgonetAlgorithm>());
       !st.ok()) {
     std::printf("registration failed: %s\n", st.ToString().c_str());
     return 1;
@@ -82,23 +98,40 @@ int main() {
   for (const auto& name : explorer.CsAlgorithmNames()) {
     std::printf(" %s", name.c_str());
   }
+  std::printf("\n");
+
+  // The registry is self-describing: the schema the /v1/api endpoint
+  // serves comes straight from the descriptor.
+  const AlgorithmDescriptor* self =
+      explorer.Describe(AlgorithmKind::kCommunitySearch, "Egonet");
+  std::printf("Egonet schema:");
+  for (const auto& param : self->params) {
+    std::printf(" %s:%s=%s", param.name, AlgoParamTypeName(param.type),
+                param.default_value);
+  }
   std::printf("\n\n");
 
-  // Query the instructor's communities with the new algorithm and compare
-  // against the built-in Global.
+  // Query the instructor's community with the new algorithm (through the
+  // parameterized Run path) and compare against the built-ins.
   Query query;
   query.vertices = {kKarateInstructor};
   query.k = 3;
 
-  for (const char* algo : {"KTruss", "Global"}) {
-    auto communities = explorer.Search(algo, query);
-    if (!communities.ok()) {
+  for (const char* algo : {"Egonet", "KTruss", "Global"}) {
+    Explorer::RunOptions options;
+    options.query = query;
+    // Parameters are validated against each algorithm's schema; only the
+    // plug-in declares min_degree, so only it receives the knob.
+    if (std::string(algo) == "Egonet") options.params["min_degree"] = "4";
+    auto output =
+        explorer.Run(AlgorithmKind::kCommunitySearch, algo, options);
+    if (!output.ok()) {
       std::printf("%s failed: %s\n", algo,
-                  communities.status().ToString().c_str());
+                  output.status().ToString().c_str());
       continue;
     }
-    std::printf("%s: %zu communities\n", algo, communities->size());
-    for (const auto& c : *communities) {
+    std::printf("%s: %zu communities\n", algo, output->communities.size());
+    for (const auto& c : output->communities) {
       auto analysis = explorer.Analyze(c, kKarateInstructor);
       std::printf("  %zu vertices, %zu edges, avg degree %.1f:",
                   analysis->stats.num_vertices, analysis->stats.num_edges,

@@ -8,8 +8,10 @@
 //
 //   $ ./server_session
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/dblp.h"
@@ -121,8 +123,53 @@ int main() {
   Show(&server, "GET /sessions");
 
   std::printf("index builds during the multi-session act: %llu (dataset "
-              "shared, built once at upload)\n",
+              "shared, built once at upload)\n\n",
               static_cast<unsigned long long>(Dataset::TotalIndexBuilds() -
                                               builds));
+
+  // --- Act three: asynchronous jobs ---------------------------------------
+  // Long algorithms run as jobs on the worker pool: submit pins the
+  // current snapshot, progress/state are observable while it runs, DELETE
+  // cancels cooperatively (the worker is freed at the algorithm's next
+  // checkpoint), and a finished job serves its result through the cursor
+  // machinery.
+  std::printf("---- jobs: submit, observe, cancel ----\n\n");
+
+  auto job_id = [&server](const std::string& spec) -> std::string {
+    auto response = server.Handle("POST /v1/jobs\n\n" + spec);
+    auto start = response.body.find("\"id\":\"");
+    if (response.code != 200 || start == std::string::npos) {
+      std::printf("job submit failed: [%d] %s\n", response.code,
+                  response.body.c_str());
+      std::exit(1);
+    }
+    start += 6;
+    return response.body.substr(start, response.body.find('"', start) - start);
+  };
+
+  // A Girvan-Newman detection would run for minutes on this graph; watch
+  // it start, then cancel it and observe the CANCELLED terminal state.
+  const std::string gn = job_id(
+      "{\"algo\": \"GirvanNewman\", \"params\": {\"max_edges\": \"100000\"}}");
+  Show(&server, "GET /v1/jobs/" + gn);
+  Show(&server, "DELETE /v1/jobs/" + gn);
+  // The cancel lands at the next betweenness-source checkpoint.
+  for (int i = 0; i < 1000; ++i) {
+    auto state = server.Handle("GET /v1/jobs/" + gn);
+    if (state.body.find("\"state\":\"CANCELLED\"") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  Show(&server, "GET /v1/jobs/" + gn);
+
+  // A tractable detection runs to DONE; its result pages like /v1/cluster.
+  const std::string louvain = job_id("{\"algo\": \"Louvain\"}");
+  for (int i = 0; i < 5000; ++i) {
+    auto state = server.Handle("GET /v1/jobs/" + louvain);
+    if (state.body.find("\"state\":\"DONE\"") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  Show(&server, "GET /v1/jobs/" + louvain);
+  Show(&server, "GET /v1/jobs/" + louvain + "/result?member_of=0&limit=5");
+  Show(&server, "GET /v1/jobs");
   return 0;
 }

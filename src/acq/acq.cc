@@ -29,6 +29,7 @@ struct QueryContext {
   const ClTree* index = nullptr;  // null for the brute-force oracle
   ThreadPool* pool = nullptr;     // null -> sequential verification
   VertexList query_vertices;      // non-empty; [0] is the anchor
+  const ExecControl* control = nullptr;  // checked once per lattice level
   std::uint32_t k = 0;
   KeywordList keywords;  // S, sorted
   ClNodeId node = kInvalidClNode;
@@ -153,11 +154,12 @@ void ForEachSubset(const KeywordList& S, std::size_t size, Fn&& fn) {
   }
 }
 
-std::vector<AttributedCommunity> RunBruteForce(QueryContext* ctx) {
+Result<std::vector<AttributedCommunity>> RunBruteForce(QueryContext* ctx) {
   VertexList universe(ctx->g->num_vertices());
   for (VertexId v = 0; v < universe.size(); ++v) universe[v] = v;
 
   for (std::size_t size = ctx->keywords.size(); size >= 1; --size) {
+    CEXPLORER_RETURN_IF_ERROR(CheckControl(ctx->control));
     std::vector<AttributedCommunity> found;
     ForEachSubset(ctx->keywords, size, [&](const KeywordList& cand) {
       ++ctx->stats.candidates_generated;
@@ -247,13 +249,14 @@ std::vector<VertexList> BatchCollect(const QueryContext& ctx,
   return out;
 }
 
-std::vector<AttributedCommunity> RunIncremental(QueryContext* ctx,
-                                                bool tree_batched) {
+Result<std::vector<AttributedCommunity>> RunIncremental(QueryContext* ctx,
+                                                        bool tree_batched) {
   std::vector<KeywordList> frontier;
   for (KeywordId kw : ctx->keywords) frontier.push_back({kw});
 
   std::vector<AttributedCommunity> best;
   while (!frontier.empty()) {
+    CEXPLORER_RETURN_IF_ERROR(CheckControl(ctx->control));
     std::sort(frontier.begin(), frontier.end());
     ctx->stats.candidates_generated += frontier.size();
 
@@ -293,7 +296,7 @@ std::vector<AttributedCommunity> RunIncremental(QueryContext* ctx,
 // Dec: decremental descent from the largest support-feasible keyword set.
 // ---------------------------------------------------------------------------
 
-std::vector<AttributedCommunity> RunDec(QueryContext* ctx) {
+Result<std::vector<AttributedCommunity>> RunDec(QueryContext* ctx) {
   // Per-keyword support within the component; keywords that cannot reach
   // k+1 supporting vertices can never appear in a qualified set.
   KeywordList effective;
@@ -308,6 +311,7 @@ std::vector<AttributedCommunity> RunDec(QueryContext* ctx) {
 
   std::vector<KeywordList> frontier{effective};
   while (!frontier.empty()) {
+    CEXPLORER_RETURN_IF_ERROR(CheckControl(ctx->control));
     ctx->stats.candidates_generated += frontier.size();
     // Gather (independent CL-tree walks) and verify concurrently; the
     // lattice expansion below stays sequential (set arithmetic, not graph
@@ -352,11 +356,13 @@ std::vector<AttributedCommunity> RunDec(QueryContext* ctx) {
 Result<QueryContext> MakeContext(const AttributedGraph& g, const ClTree* index,
                                  ThreadPool* pool, VertexList query_vertices,
                                  std::uint32_t k, KeywordList keywords,
-                                 bool need_index) {
+                                 bool need_index,
+                                 const ExecControl* control) {
   QueryContext ctx;
   ctx.g = &g;
   ctx.index = index;
   ctx.pool = pool;
+  ctx.control = control;
   ctx.k = k;
 
   if (query_vertices.empty()) {
@@ -411,13 +417,13 @@ Result<QueryContext> MakeContext(const AttributedGraph& g, const ClTree* index,
 Result<AcqResult> RunQuery(const AttributedGraph& g, const ClTree* index,
                            ThreadPool* pool, VertexList query_vertices,
                            std::uint32_t k, KeywordList keywords,
-                           AcqAlgorithm algo) {
+                           AcqAlgorithm algo, const ExecControl* control) {
   const bool need_index = algo != AcqAlgorithm::kBruteForce;
   if (need_index && index == nullptr) {
     return Status::FailedPrecondition("indexed algorithm requires a CL-tree");
   }
   auto ctx_or = MakeContext(g, index, pool, std::move(query_vertices), k,
-                            std::move(keywords), need_index);
+                            std::move(keywords), need_index, control);
   if (!ctx_or.ok()) return ctx_or.status();
   QueryContext ctx = std::move(ctx_or.value());
 
@@ -428,20 +434,24 @@ Result<AcqResult> RunQuery(const AttributedGraph& g, const ClTree* index,
     return result;
   }
 
+  Result<std::vector<AttributedCommunity>> communities =
+      std::vector<AttributedCommunity>{};
   switch (algo) {
     case AcqAlgorithm::kBruteForce:
-      result.communities = RunBruteForce(&ctx);
+      communities = RunBruteForce(&ctx);
       break;
     case AcqAlgorithm::kIncS:
-      result.communities = RunIncremental(&ctx, /*tree_batched=*/false);
+      communities = RunIncremental(&ctx, /*tree_batched=*/false);
       break;
     case AcqAlgorithm::kIncT:
-      result.communities = RunIncremental(&ctx, /*tree_batched=*/true);
+      communities = RunIncremental(&ctx, /*tree_batched=*/true);
       break;
     case AcqAlgorithm::kDec:
-      result.communities = RunDec(&ctx);
+      communities = RunDec(&ctx);
       break;
   }
+  if (!communities.ok()) return communities.status();
+  result.communities = std::move(communities.value());
   result.stats = ctx.stats;
   return result;
 }
@@ -466,9 +476,10 @@ KeywordList SharedKeywords(const AttributedGraph& g,
 }
 
 Result<AcqResult> AcqEngine::Search(VertexId q, std::uint32_t k,
-                                    KeywordList keywords,
-                                    AcqAlgorithm algo) const {
-  return RunQuery(*g_, index_, pool_, {q}, k, std::move(keywords), algo);
+                                    KeywordList keywords, AcqAlgorithm algo,
+                                    const ExecControl* control) const {
+  return RunQuery(*g_, index_, pool_, {q}, k, std::move(keywords), algo,
+                  control);
 }
 
 Result<AcqResult> AcqEngine::SearchByName(
@@ -491,9 +502,10 @@ Result<AcqResult> AcqEngine::SearchByName(
 
 Result<AcqResult> AcqEngine::SearchMulti(const VertexList& query_vertices,
                                          std::uint32_t k, KeywordList keywords,
-                                         AcqAlgorithm algo) const {
+                                         AcqAlgorithm algo,
+                                         const ExecControl* control) const {
   return RunQuery(*g_, index_, pool_, query_vertices, k, std::move(keywords),
-                  algo);
+                  algo, control);
 }
 
 }  // namespace cexplorer

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cltree/cltree.h"
+#include "common/cancel.h"
 #include "common/parallel.h"
 #include "common/status.h"
 #include "graph/attributed_graph.h"
@@ -98,13 +99,15 @@ class AcqEngine {
             ThreadPool* pool = nullptr)
       : g_(graph), index_(index), pool_(pool) {}
 
-  /// Runs an ACQ query.
+  /// Runs an ACQ query. With a `control`, the lattice walk checkpoints at
+  /// every level and the query aborts with kCancelled / kDeadlineExceeded.
   ///
   /// Errors: InvalidArgument if q is out of range or S is not a subset of
   /// W(q). A structurally impossible query (core(q) < k) is not an error:
   /// it returns an empty community list.
   Result<AcqResult> Search(VertexId q, std::uint32_t k, KeywordList keywords,
-                           AcqAlgorithm algo = AcqAlgorithm::kDec) const;
+                           AcqAlgorithm algo = AcqAlgorithm::kDec,
+                           const ExecControl* control = nullptr) const;
 
   /// Convenience overload resolving a vertex name and keyword strings.
   Result<AcqResult> SearchByName(
@@ -116,7 +119,8 @@ class AcqEngine {
   /// vertex of Q. S must be shared by all query vertices.
   Result<AcqResult> SearchMulti(const VertexList& query_vertices,
                                 std::uint32_t k, KeywordList keywords,
-                                AcqAlgorithm algo = AcqAlgorithm::kDec) const;
+                                AcqAlgorithm algo = AcqAlgorithm::kDec,
+                                const ExecControl* control = nullptr) const;
 
   const AttributedGraph& graph() const { return *g_; }
   const ClTree& index() const { return *index_; }

@@ -110,6 +110,7 @@ std::pair<std::vector<std::uint32_t>, bool> LouvainLevel(
   bool any_move = false;
   std::unordered_map<std::uint32_t, double> links_to;  // community -> weight
   for (std::size_t sweep = 0; sweep < options.max_sweeps_per_level; ++sweep) {
+    if (!CheckControl(options.control).ok()) break;
     std::size_t moves = 0;
     for (VertexId v : order) {
       const std::uint32_t old_c = community[v];
@@ -209,6 +210,7 @@ Clustering Louvain(const Graph& g, const LouvainOptions& options) {
   }
 
   for (std::size_t level = 0; level < options.max_levels; ++level) {
+    if (!CheckControl(options.control).ok()) break;
     auto [community, moved] = LouvainLevel(wg, options, &rng);
     std::uint32_t num_communities = 0;
     for (std::uint32_t c : community) {
@@ -241,6 +243,7 @@ Clustering LabelPropagation(const Graph& g,
 
   std::unordered_map<std::uint32_t, std::uint32_t> counts;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (!CheckControl(options.control).ok()) break;
     rng.Shuffle(&order);
     std::size_t changes = 0;
     for (VertexId v : order) {

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/rng.h"
 #include "graph/graph.h"
 #include "graph/types.h"
@@ -43,6 +44,10 @@ struct LouvainOptions {
   std::size_t max_levels = 16;
   /// Seed for the vertex visiting order.
   std::uint64_t seed = 1;
+  /// Cooperative stop control, checked once per local-move sweep (nullptr =
+  /// run to completion). On stop the current partition is returned early;
+  /// callers distinguish it by re-checking the control.
+  const ExecControl* control = nullptr;
 };
 
 /// Louvain community detection (Blondel et al. 2008): greedy modularity
@@ -55,6 +60,9 @@ struct LabelPropagationOptions {
   std::size_t max_iterations = 32;
   /// Seed for the per-pass vertex order and tie-breaking.
   std::uint64_t seed = 1;
+  /// Cooperative stop control, checked once per pass (nullptr = run to
+  /// completion); on stop the current labelling is returned early.
+  const ExecControl* control = nullptr;
 };
 
 /// Asynchronous label propagation (Raghavan et al. 2007): every vertex

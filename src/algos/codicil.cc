@@ -124,10 +124,21 @@ Result<CodicilResult> RunCodicil(const AttributedGraph& g,
   GraphBuilder fused_builder(n);
   for (const auto& [u, v] : g.graph().Edges()) fused_builder.AddEdge(u, v);
 
+  // Stage weights for the progress gauge: content edges dominate the cost,
+  // sampling is second, the final clusterer gets the remainder.
+  constexpr double kContentShare = 0.5;
+  constexpr double kSampleShare = 0.35;
+
   {
     std::unordered_map<VertexId, double> scores;
     std::vector<std::pair<double, VertexId>> ranked;
     for (VertexId v = 0; v < n; ++v) {
+      if ((v & 0xFF) == 0) {
+        CEXPLORER_RETURN_IF_ERROR(CheckControl(options.control));
+        ReportProgress(options.control, kContentShare *
+                                            static_cast<double>(v) /
+                                            static_cast<double>(n));
+      }
       scores.clear();
       for (KeywordId kw : g.Keywords(v)) {
         if (tfidf.df[kw] > stop_df) continue;
@@ -166,6 +177,12 @@ Result<CodicilResult> RunCodicil(const AttributedGraph& g,
   {
     std::vector<std::pair<double, VertexId>> ranked;
     for (VertexId v = 0; v < n; ++v) {
+      if ((v & 0xFF) == 0) {
+        CEXPLORER_RETURN_IF_ERROR(CheckControl(options.control));
+        ReportProgress(options.control,
+                       kContentShare + kSampleShare * static_cast<double>(v) /
+                                           static_cast<double>(n));
+      }
       auto nbrs = fused.Neighbors(v);
       if (nbrs.empty()) continue;
       ranked.clear();
@@ -191,16 +208,23 @@ Result<CodicilResult> RunCodicil(const AttributedGraph& g,
   Graph sampled = sampled_builder.Build();
   result.sampled_edges = sampled.num_edges();
 
-  // Stage 4: cluster the sampled graph.
+  // Stage 4: cluster the sampled graph. The clusterers stop cooperatively
+  // but return their partial partition; re-check afterwards so a stopped
+  // run surfaces as an error, not a half-converged clustering.
+  ReportProgress(options.control, kContentShare + kSampleShare);
   if (options.clusterer == CodicilClusterer::kLouvain) {
     LouvainOptions lo;
     lo.seed = options.seed;
+    lo.control = options.control;
     result.clustering = Louvain(sampled, lo);
   } else {
     LabelPropagationOptions lp;
     lp.seed = options.seed;
+    lp.control = options.control;
     result.clustering = LabelPropagation(sampled, lp);
   }
+  CEXPLORER_RETURN_IF_ERROR(CheckControl(options.control));
+  ReportProgress(options.control, 1.0);
   return result;
 }
 

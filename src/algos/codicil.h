@@ -22,6 +22,7 @@
 #include <cstdint>
 
 #include "algos/clusterers.h"
+#include "common/cancel.h"
 #include "common/status.h"
 #include "graph/attributed_graph.h"
 #include "graph/types.h"
@@ -49,6 +50,11 @@ struct CodicilOptions {
 
   /// Seed forwarded to the clusterer.
   std::uint64_t seed = 1;
+
+  /// Cooperative stop/progress control, checked inside every pipeline stage
+  /// and forwarded to the final clusterer (nullptr = run to completion).
+  /// On stop RunCodicil returns kCancelled / kDeadlineExceeded.
+  const ExecControl* control = nullptr;
 };
 
 /// Output of the CODICIL pipeline.

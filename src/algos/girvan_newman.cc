@@ -6,7 +6,8 @@
 
 namespace cexplorer {
 
-std::vector<double> EdgeBetweenness(const Graph& g) {
+std::vector<double> EdgeBetweenness(const Graph& g,
+                                    const ExecControl* control) {
   const std::size_t n = g.num_vertices();
   const auto edges = g.Edges();
   std::vector<double> betweenness(edges.size(), 0.0);
@@ -25,6 +26,9 @@ std::vector<double> EdgeBetweenness(const Graph& g) {
 
   for (VertexId s = 0; s < n; ++s) {
     if (g.Degree(s) == 0) continue;
+    // One checkpoint per source bounds cancellation latency to a single
+    // O(m) BFS+accumulation pass.
+    if (!CheckControl(control).ok()) break;
     // BFS phase: shortest-path counts.
     constexpr std::uint32_t kUnseen = 0xFFFFFFFFu;
     std::fill(dist.begin(), dist.end(), kUnseen);
@@ -85,11 +89,19 @@ GirvanNewmanResult GirvanNewman(const Graph& g,
   }
 
   while (!alive.empty() && removed < removal_cap) {
+    if (!CheckControl(options.control).ok()) {
+      result.interrupted = true;
+      return result;
+    }
     GraphBuilder builder(n);
     for (const auto& [u, v] : alive) builder.AddEdge(u, v);
     Graph current = builder.Build();
 
-    std::vector<double> betweenness = EdgeBetweenness(current);
+    std::vector<double> betweenness = EdgeBetweenness(current, options.control);
+    if (!CheckControl(options.control).ok()) {
+      result.interrupted = true;  // the sweep above returned partial scores
+      return result;
+    }
     // current.Edges() equals `alive` sorted; alive is kept sorted.
     std::size_t victim = 0;
     for (std::size_t e = 1; e < betweenness.size(); ++e) {
@@ -97,6 +109,8 @@ GirvanNewmanResult GirvanNewman(const Graph& g,
     }
     alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(victim));
     ++removed;
+    ReportProgress(options.control, static_cast<double>(removed) /
+                                        static_cast<double>(removal_cap));
 
     GraphBuilder next_builder(n);
     for (const auto& [u, v] : alive) next_builder.AddEdge(u, v);

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "algos/clusterers.h"
+#include "common/cancel.h"
 #include "graph/graph.h"
 
 namespace cexplorer {
@@ -26,6 +27,10 @@ struct GirvanNewmanOptions {
 
   /// Safety cap on edge removals (0 = all edges).
   std::size_t max_removals = 0;
+
+  /// Cooperative stop/progress control, checked once per betweenness source
+  /// and per removal round (nullptr = run to completion).
+  const ExecControl* control = nullptr;
 };
 
 /// Result of a Girvan-Newman run.
@@ -37,16 +42,24 @@ struct GirvanNewmanResult {
   double modularity = 0.0;
   /// Edges removed before the selected partition appeared.
   std::size_t edges_removed = 0;
+  /// Set when the run stopped at a control checkpoint (cancel/deadline);
+  /// the partition is the best seen so far, not the converged answer.
+  bool interrupted = false;
 };
 
-/// Runs Girvan-Newman on `g`.
+/// Runs Girvan-Newman on `g`. Progress is reported as the fraction of edge
+/// removals performed.
 GirvanNewmanResult GirvanNewman(const Graph& g,
                                 const GirvanNewmanOptions& options = {});
 
 /// Edge betweenness centrality of every edge of `g`, aligned with
 /// Graph::Edges() order. Shortest-path counts over unweighted BFS from all
 /// sources; each undirected edge's score counts both directions once.
-std::vector<double> EdgeBetweenness(const Graph& g);
+/// With a control, the all-sources sweep aborts at the first failed
+/// per-source checkpoint and returns the partial accumulation (callers must
+/// re-check the control to distinguish it from a converged result).
+std::vector<double> EdgeBetweenness(const Graph& g,
+                                    const ExecControl* control = nullptr);
 
 }  // namespace cexplorer
 

@@ -66,7 +66,8 @@ std::size_t TrussDecomposition::EdgeIndex(VertexId u, VertexId v) const {
   return static_cast<std::size_t>(it - edges.begin());
 }
 
-TrussDecomposition TrussDecompose(const Graph& g) {
+TrussDecomposition TrussDecompose(const Graph& g,
+                                  const ExecControl* control) {
   TrussDecomposition td;
   td.edges = g.Edges();
   const std::size_t m = td.edges.size();
@@ -79,6 +80,7 @@ TrussDecomposition TrussDecompose(const Graph& g) {
   // Triangle support per edge: enumerate ordered triangles u < v < w.
   std::vector<std::uint32_t> support(m, 0);
   for (std::size_t e = 0; e < m; ++e) {
+    if ((e & 0xFFF) == 0 && !CheckControl(control).ok()) return td;
     const auto [u, v] = td.edges[e];
     auto nu = g.Neighbors(u);
     auto nv = g.Neighbors(v);
@@ -135,6 +137,11 @@ TrussDecomposition TrussDecompose(const Graph& g) {
   };
 
   for (std::size_t idx = 0; idx < m; ++idx) {
+    if ((idx & 0xFFF) == 0) {
+      if (!CheckControl(control).ok()) return td;
+      ReportProgress(control,
+                     static_cast<double>(idx) / static_cast<double>(m));
+    }
     std::size_t e = order[idx];
     const std::uint32_t s = support[e];
     td.trussness[e] = s + 2;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
@@ -36,8 +37,12 @@ struct TrussDecomposition {
 };
 
 /// Computes the truss decomposition by support peeling:
-/// O(m^1.5) triangle enumeration plus near-linear peeling.
-TrussDecomposition TrussDecompose(const Graph& g);
+/// O(m^1.5) triangle enumeration plus near-linear peeling. With a control,
+/// the triangle-count and peel loops checkpoint every few thousand edges
+/// and abort early, returning the partial decomposition — callers must
+/// re-check the control to tell it apart from a finished one.
+TrussDecomposition TrussDecompose(const Graph& g,
+                                  const ExecControl* control = nullptr);
 
 /// One k-truss community (vertex view of a triangle-connected edge set).
 struct TrussCommunity {

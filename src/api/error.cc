@@ -19,6 +19,10 @@ const char* ApiCodeName(ApiCode code) {
       return "UNAVAILABLE";
     case ApiCode::kInternal:
       return "INTERNAL";
+    case ApiCode::kCancelled:
+      return "CANCELLED";
+    case ApiCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "INTERNAL";
 }
@@ -37,6 +41,12 @@ int HttpStatus(ApiCode code) {
       return 503;
     case ApiCode::kInternal:
       return 500;
+    // 499 ("client closed request") is the de-facto cancellation status;
+    // 504 is the gateway-timeout family a missed deadline belongs to.
+    case ApiCode::kCancelled:
+      return 499;
+    case ApiCode::kDeadlineExceeded:
+      return 504;
   }
   return 500;
 }
@@ -80,6 +90,12 @@ ApiError FromStatus(const Status& status) {
     // from the caller's point of view, not a server fault.
     case StatusCode::kNotImplemented:
       code = ApiCode::kInvalidArgument;
+      break;
+    case StatusCode::kCancelled:
+      code = ApiCode::kCancelled;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      code = ApiCode::kDeadlineExceeded;
       break;
     default:
       code = ApiCode::kInternal;

@@ -40,16 +40,21 @@ enum class ApiCode {
   /// or cached result refers to a superseded snapshot or result set.
   /// Retrying against fresh state usually succeeds.
   kConflict,
-  /// A capacity limit is exhausted (session limit reached).
+  /// A capacity limit is exhausted (session limit reached, job queue full).
   kUnavailable,
   /// An invariant broke server-side; nothing the client can fix.
   kInternal,
+  /// The caller cancelled the operation (DELETE /v1/jobs/<id>).
+  kCancelled,
+  /// The operation ran past its deadline and was cooperatively aborted.
+  kDeadlineExceeded,
 };
 
 /// Stable wire name of a code ("INVALID_ARGUMENT", ...).
 const char* ApiCodeName(ApiCode code);
 
-/// The HTTP status an ApiCode renders as (400, 404, 409, 503, 500).
+/// The HTTP status an ApiCode renders as (400, 404, 409, 503, 500, 499,
+/// 504).
 int HttpStatus(ApiCode code);
 
 /// One consumer-visible error: code + message (+ optional detail).
@@ -74,6 +79,14 @@ struct ApiError {
   static ApiError Internal(std::string message, std::string detail = {}) {
     return {ApiCode::kInternal, std::move(message), std::move(detail)};
   }
+  static ApiError Cancelled(std::string message, std::string detail = {}) {
+    return {ApiCode::kCancelled, std::move(message), std::move(detail)};
+  }
+  static ApiError DeadlineExceeded(std::string message,
+                                   std::string detail = {}) {
+    return {ApiCode::kDeadlineExceeded, std::move(message),
+            std::move(detail)};
+  }
 
   /// Renders the {"error":{...}} envelope body.
   std::string ToJson() const;
@@ -82,7 +95,8 @@ struct ApiError {
 /// Maps a library Status into the API taxonomy. kNotFound stays kNotFound;
 /// kAlreadyExists/kFailedPrecondition become kConflict; the argument-shaped
 /// codes (kInvalidArgument, kParseError, kOutOfRange, kIoError) become
-/// kInvalidArgument; everything else is kInternal.
+/// kInvalidArgument; kCancelled and kDeadlineExceeded map to their
+/// same-named API codes; everything else is kInternal.
 ApiError FromStatus(const Status& status);
 
 /// A value of type T or an ApiError — the return type of every

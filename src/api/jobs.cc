@@ -1,0 +1,214 @@
+#include "api/jobs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "api/types.h"
+#include "explorer/explorer.h"
+
+namespace cexplorer {
+namespace api {
+
+namespace {
+
+std::int64_t MillisBetween(ExecControl::Clock::time_point from,
+                           ExecControl::Clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(to - from)
+      .count();
+}
+
+}  // namespace
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "QUEUED";
+    case JobState::kRunning:
+      return "RUNNING";
+    case JobState::kDone:
+      return "DONE";
+    case JobState::kFailed:
+      return "FAILED";
+    case JobState::kCancelled:
+      return "CANCELLED";
+  }
+  return "FAILED";
+}
+
+bool IsTerminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+Job::Job(std::string job_id, JobSpec job_spec, DatasetPtr snapshot)
+    : id_(std::move(job_id)),
+      spec_(std::move(job_spec)),
+      dataset_id_(snapshot == nullptr ? 0 : snapshot->id()),
+      graph_epoch_(snapshot == nullptr ? 0 : snapshot->graph_epoch()),
+      dataset_(std::move(snapshot)) {
+  submitted_ = ExecControl::Clock::now();
+  if (spec_.deadline_ms > 0) {
+    control_.set_deadline(submitted_ +
+                          std::chrono::milliseconds(spec_.deadline_ms));
+  }
+}
+
+DatasetPtr Job::dataset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dataset_;
+}
+
+Job::Snapshot Job::Read() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snapshot;
+  snapshot.id = id_;
+  snapshot.algo = spec_.algo;
+  snapshot.kind = spec_.kind;
+  snapshot.state = state_;
+  snapshot.progress =
+      state_ == JobState::kDone ? 1.0 : control_.progress();
+  snapshot.dataset_id = dataset_id_;
+  snapshot.graph_epoch = graph_epoch_;
+  snapshot.deadline_ms = spec_.deadline_ms;
+  snapshot.error = error_;
+  const auto now = ExecControl::Clock::now();
+  switch (state_) {
+    case JobState::kQueued:
+      snapshot.runtime_ms = 0;
+      break;
+    case JobState::kRunning:
+      snapshot.runtime_ms = MillisBetween(started_, now);
+      break;
+    default:
+      snapshot.runtime_ms =
+          started_ == ExecControl::Clock::time_point{}
+              ? 0  // cancelled while still queued
+              : MillisBetween(started_, finished_);
+      break;
+  }
+  return snapshot;
+}
+
+JobPtr JobManager::Submit(JobSpec spec, DatasetPtr snapshot,
+                          ThreadPool* pool) {
+  JobPtr job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (jobs_.size() >= max_jobs_) {
+      // Evict terminal jobs, oldest admission first, to make room.
+      std::vector<Job*> terminal;
+      for (auto& [id, retained] : jobs_) {
+        std::lock_guard<std::mutex> job_lock(retained->mu_);
+        if (IsTerminal(retained->state_)) terminal.push_back(retained.get());
+      }
+      std::sort(terminal.begin(), terminal.end(),
+                [](const Job* a, const Job* b) {
+                  return a->sequence_ < b->sequence_;
+                });
+      std::size_t need = jobs_.size() - max_jobs_ + 1;
+      for (Job* victim : terminal) {
+        if (need == 0) break;
+        // Copy the id: erasing may destroy the Job the reference points
+        // into.
+        const std::string victim_id = victim->id();
+        jobs_.erase(victim_id);
+        --need;
+      }
+      if (jobs_.size() >= max_jobs_) return nullptr;  // all still live
+    }
+    const std::uint64_t sequence = ++next_id_;
+    job = std::make_shared<Job>("j" + std::to_string(sequence),
+                                std::move(spec), std::move(snapshot));
+    job->sequence_ = sequence;
+    jobs_.emplace(job->id(), job);
+  }
+  if (pool == nullptr || pool->num_threads() == 0) {
+    Execute(job);  // degenerate synchronous execution
+  } else {
+    pool->Submit([job] { Execute(job); });
+  }
+  return job;
+}
+
+JobPtr JobManager::Get(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+bool JobManager::Cancel(const std::string& id) {
+  JobPtr job = Get(id);
+  if (job == nullptr) return false;
+  // Fire the token first: a job that transitions to RUNNING between our
+  // state read and the store still observes the cancellation at its first
+  // checkpoint.
+  job->control_.cancel().Cancel();
+  std::lock_guard<std::mutex> lock(job->mu_);
+  if (job->state_ == JobState::kQueued) {
+    // Execute() will observe the terminal state and return immediately.
+    job->state_ = JobState::kCancelled;
+    job->error_ = Status::Cancelled("cancelled before execution started");
+    job->finished_ = ExecControl::Clock::now();
+    job->dataset_.reset();  // a dead job must not pin the snapshot
+  }
+  return true;
+}
+
+std::vector<JobPtr> JobManager::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobPtr> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(job);
+  std::sort(out.begin(), out.end(), [](const JobPtr& a, const JobPtr& b) {
+    return a->sequence_ < b->sequence_;
+  });
+  return out;
+}
+
+std::size_t JobManager::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+void JobManager::Execute(const JobPtr& job) {
+  DatasetPtr snapshot;
+  {
+    std::lock_guard<std::mutex> lock(job->mu_);
+    if (job->state_ != JobState::kQueued) return;  // cancelled while queued
+    job->state_ = JobState::kRunning;
+    job->started_ = ExecControl::Clock::now();
+    snapshot = job->dataset_;
+  }
+  // A fresh Explorer view per job: plug-in scratch state (cached CODICIL
+  // clusterings, truss decompositions) stays confined to this execution,
+  // and the pinned snapshot is the only shared data.
+  Explorer view;
+  view.AttachDataset(std::move(snapshot));
+  Explorer::RunOptions options;
+  options.query = job->spec_.query;
+  options.params = job->spec_.params;
+  options.control = &job->control_;
+  auto output = view.Run(job->spec_.kind, job->spec_.algo, options);
+
+  std::lock_guard<std::mutex> lock(job->mu_);
+  job->finished_ = ExecControl::Clock::now();
+  if (!output.ok()) {
+    const Status status = output.status();
+    job->state_ = status.code() == StatusCode::kCancelled
+                      ? JobState::kCancelled
+                      : JobState::kFailed;
+    job->error_ = status;
+    // Only DONE jobs need the snapshot (result rendering reads vertex
+    // names from it); a failed/cancelled job releasing it means dead jobs
+    // never pin superseded graphs in memory.
+    job->dataset_.reset();
+    return;
+  }
+  job->output_ = std::move(output.value());
+  job->generation_ = NextResultGeneration();
+  job->state_ = JobState::kDone;
+}
+
+}  // namespace api
+}  // namespace cexplorer

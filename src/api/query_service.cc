@@ -5,6 +5,7 @@
 #include <mutex>
 #include <utility>
 
+#include "api/routes.h"
 #include "common/json.h"
 #include "common/strings.h"
 #include "explorer/explorer.h"
@@ -15,19 +16,11 @@ namespace api {
 
 namespace {
 
+/// Server version reported by /v1/version. Bump on releases.
+constexpr const char* kServerVersion = "0.4.0";
+
 /// Default page size when a cursor is presented without an explicit limit.
 constexpr std::uint64_t kDefaultPageLimit = 100;
-
-/// Process-unique result-set generation, assigned whenever a session's
-/// cached communities or detection are replaced. Uniqueness across ALL
-/// sessions (not a per-session counter) is what makes cursors
-/// session-bound: a cursor replayed in a different session can never find
-/// a matching generation and answers kConflict instead of silently paging
-/// someone else's result set.
-std::uint64_t NextResultGeneration() {
-  static std::atomic<std::uint64_t> counter{0};
-  return ++counter;
-}
 
 /// Serializes the members[begin, end) window of a community as the
 /// {"id","name"} objects shared by every response shape (full, truncated,
@@ -128,6 +121,163 @@ void WriteErrorValue(JsonWriter* w, ApiCode code, const std::string& message) {
   w->EndObject();
 }
 
+/// Writes the fields of the /v1/detect response shape (algorithm, cluster
+/// count, modularity, size histogram) into the currently open object —
+/// shared between the synchronous endpoint and finished detection jobs.
+void WriteDetectionFields(JsonWriter* w, const Graph& graph,
+                          const Clustering& clustering,
+                          const std::string& algo) {
+  // Cluster-size histogram: how many clusters of each magnitude.
+  auto sizes = clustering.Sizes();
+  std::size_t singletons = 0;
+  std::size_t small = 0;   // 2..9
+  std::size_t medium = 0;  // 10..99
+  std::size_t large = 0;   // 100+
+  std::size_t largest = 0;
+  for (std::size_t s : sizes) {
+    largest = std::max(largest, s);
+    if (s <= 1) {
+      ++singletons;
+    } else if (s < 10) {
+      ++small;
+    } else if (s < 100) {
+      ++medium;
+    } else {
+      ++large;
+    }
+  }
+
+  w->Key("algorithm");
+  w->String(algo);
+  w->Key("num_clusters");
+  w->UInt(clustering.num_clusters);
+  w->Key("modularity");
+  w->Double(Modularity(graph, clustering));
+  w->Key("largest_cluster");
+  w->UInt(largest);
+  w->Key("size_histogram");
+  w->BeginObject();
+  w->Key("singleton");
+  w->UInt(singletons);
+  w->Key("small_2_9");
+  w->UInt(small);
+  w->Key("medium_10_99");
+  w->UInt(medium);
+  w->Key("large_100_plus");
+  w->UInt(large);
+  w->EndObject();
+}
+
+/// Writes one search-result shape (algorithm, count, full community list)
+/// into the currently open object — shared between the synchronous /search
+/// path and finished search jobs.
+void WriteSearchFields(JsonWriter* w, const AttributedGraph& graph,
+                       const std::string& algo,
+                       const std::vector<cexplorer::Community>& communities) {
+  w->Key("algorithm");
+  w->String(algo);
+  w->Key("num_communities");
+  w->UInt(communities.size());
+  w->Key("communities");
+  w->BeginArray();
+  for (const auto& community : communities) {
+    WriteCommunity(w, graph, community);
+  }
+  w->EndArray();
+}
+
+/// Writes one job document ({"id","algo","kind","state","progress",...}).
+void WriteJobObject(JsonWriter* w, const Job::Snapshot& snapshot) {
+  w->BeginObject();
+  w->Key("id");
+  w->String(snapshot.id);
+  w->Key("algo");
+  w->String(snapshot.algo);
+  w->Key("kind");
+  w->String(AlgorithmKindName(snapshot.kind));
+  w->Key("state");
+  w->String(JobStateName(snapshot.state));
+  w->Key("progress");
+  w->Double(snapshot.progress);
+  w->Key("dataset_id");
+  w->UInt(snapshot.dataset_id);
+  w->Key("runtime_ms");
+  w->Int(snapshot.runtime_ms);
+  if (snapshot.deadline_ms > 0) {
+    w->Key("deadline_ms");
+    w->Int(snapshot.deadline_ms);
+  }
+  if (!snapshot.error.ok()) {
+    const ApiError error = FromStatus(snapshot.error);
+    w->Key("error");
+    WriteErrorValue(w, error.code, error.message);
+  }
+  w->EndObject();
+}
+
+/// Renders a JSON scalar as the string form ParamBag expects.
+std::string ScalarToParamString(const JsonValue& value) {
+  switch (value.type()) {
+    case JsonValue::Type::kString:
+      return value.AsString();
+    case JsonValue::Type::kBool:
+      return value.AsBool() ? "true" : "false";
+    default:
+      return value.Dump();
+  }
+}
+
+/// Decodes the POST /v1/jobs body into a JobSpec (kind not yet resolved —
+/// the caller matches it against the registry). `kind_text` receives the
+/// raw "kind" field ("" when absent).
+ApiResult<JobSpec> ParseJobSpec(const std::string& body,
+                                std::string* kind_text) {
+  auto parsed = JsonValue::Parse(body);
+  if (!parsed.ok() || !parsed->is_object()) {
+    return ApiError::InvalidArgument(
+        "job spec must be a JSON object "
+        "({\"algo\",\"kind\",\"params\",...})");
+  }
+  JobSpec spec;
+  spec.algo = parsed->Get("algo").AsString();
+  if (spec.algo.empty()) {
+    return ApiError::InvalidArgument("job spec needs an 'algo'");
+  }
+  *kind_text = parsed->Get("kind").AsString();
+  if (parsed->Has("name")) spec.query.name = parsed->Get("name").AsString();
+  if (parsed->Has("vertex")) {
+    const std::int64_t v = parsed->Get("vertex").AsInt(-1);
+    if (v < 0) return ApiError::InvalidArgument("bad 'vertex'");
+    spec.query.vertices.push_back(static_cast<VertexId>(v));
+  }
+  spec.query.k =
+      static_cast<std::uint32_t>(parsed->Get("k").AsInt(/*fallback=*/4));
+  const JsonValue& kws = parsed->Get("keywords");
+  if (kws.is_array()) {
+    for (const JsonValue& kw : kws.Items()) {
+      if (!kw.AsString().empty()) {
+        spec.query.keywords.push_back(kw.AsString());
+      }
+    }
+  } else if (!kws.AsString().empty()) {
+    spec.query.keywords = SplitNonEmpty(kws.AsString(), ',');
+  }
+  const JsonValue& params = parsed->Get("params");
+  if (!params.is_null()) {
+    if (!params.is_object()) {
+      return ApiError::InvalidArgument("'params' must be a JSON object");
+    }
+    for (const auto& [name, value] : params.Members()) {
+      spec.params[name] = ScalarToParamString(value);
+    }
+  }
+  spec.deadline_ms = parsed->Get("deadline_ms").AsInt(0);
+  if (spec.deadline_ms < 0) {
+    return ApiError::InvalidArgument("'deadline_ms' must be non-negative");
+  }
+  return spec;
+}
+
 void WriteStats(JsonWriter* w, const CommunityAnalysis& analysis) {
   w->Key("stats");
   w->BeginObject();
@@ -186,6 +336,16 @@ ApiResult<PageWindow> ResolvePage(const PageParams& page, std::uint64_t epoch,
 }
 
 }  // namespace
+
+QueryService::QueryService() : start_time_(ExecControl::Clock::now()) {}
+
+const ExecControl* QueryService::ArmSyncDeadline(ExecControl* control) const {
+  const std::int64_t ms = sync_deadline_ms_.load(std::memory_order_relaxed);
+  if (ms <= 0) return nullptr;
+  control->set_deadline(ExecControl::Clock::now() +
+                        std::chrono::milliseconds(ms));
+  return control;
+}
 
 Status QueryService::UploadGraph(AttributedGraph graph) {
   auto dataset = Dataset::Build(std::move(graph));
@@ -383,9 +543,10 @@ ApiResult<std::string> QueryService::Summary(const std::string& session) {
 
 ApiResult<std::string> QueryService::RunSearch(RequestContext& ctx,
                                                const std::string& algo,
-                                               const Query& query) {
+                                               const Query& query,
+                                               const ExecControl* control) {
   Session& session = *ctx.session;
-  auto communities = session.explorer.Search(algo, query);
+  auto communities = session.explorer.Search(algo, query, control);
   if (!communities.ok()) return FromStatus(communities.status());
   session.communities = std::move(communities.value());
   session.communities_epoch = ctx.dataset->graph_epoch();
@@ -401,16 +562,7 @@ ApiResult<std::string> QueryService::RunSearch(RequestContext& ctx,
 
   JsonWriter w;
   w.BeginObject();
-  w.Key("algorithm");
-  w.String(algo);
-  w.Key("num_communities");
-  w.UInt(session.communities.size());
-  w.Key("communities");
-  w.BeginArray();
-  for (const auto& community : session.communities) {
-    WriteCommunity(&w, ctx.dataset->graph(), community);
-  }
-  w.EndArray();
+  WriteSearchFields(&w, ctx.dataset->graph(), algo, session.communities);
   w.EndObject();
   return w.TakeString();
 }
@@ -432,7 +584,9 @@ ApiResult<std::string> QueryService::Search(const SearchRequest& request) {
   query.vertices = request.vertices;
   query.k = request.k;
   query.keywords = request.keywords;
-  return RunSearch(ctx, request.algo.empty() ? "ACQ" : request.algo, query);
+  ExecControl control;
+  return RunSearch(ctx, request.algo.empty() ? "ACQ" : request.algo, query,
+                   ArmSyncDeadline(&control));
 }
 
 ApiResult<std::string> QueryService::Explore(const ExploreRequest& request) {
@@ -451,7 +605,9 @@ ApiResult<std::string> QueryService::Explore(const ExploreRequest& request) {
   query.vertices.push_back(request.vertex);
   query.k = request.k >= 0 ? static_cast<std::uint32_t>(request.k)
                            : ctx.session->last_query.k;
-  return RunSearch(ctx, request.algo.empty() ? "ACQ" : request.algo, query);
+  ExecControl control;
+  return RunSearch(ctx, request.algo.empty() ? "ACQ" : request.algo, query,
+                   ArmSyncDeadline(&control));
 }
 
 ApiResult<std::string> QueryService::Compare(const CompareRequest& request) {
@@ -472,7 +628,9 @@ ApiResult<std::string> QueryService::Compare(const CompareRequest& request) {
   query.keywords = request.keywords;
   std::vector<std::string> algos = request.algos;
   if (algos.empty()) algos = {"Global", "Local", "CODICIL", "ACQ"};
-  auto report = ctx.session->explorer.Compare(query, algos);
+  ExecControl control;
+  auto report = ctx.session->explorer.Compare(query, algos,
+                                              ArmSyncDeadline(&control));
   if (!report.ok()) return FromStatus(report.status());
 
   JsonWriter w;
@@ -519,7 +677,8 @@ ApiResult<std::string> QueryService::Detect(const DetectRequest& request) {
   }
   Session& session = *ctx.session;
   const std::string algo = request.algo.empty() ? "CODICIL" : request.algo;
-  auto clustering = session.explorer.Detect(algo);
+  ExecControl control;
+  auto clustering = session.explorer.Detect(algo, ArmSyncDeadline(&control));
   if (!clustering.ok()) return FromStatus(clustering.status());
   session.detection = std::move(clustering.value());
   session.detection_algo = algo;
@@ -528,47 +687,10 @@ ApiResult<std::string> QueryService::Detect(const DetectRequest& request) {
   session.detection_generation = NextResultGeneration();
   session.history.push_back("detect:" + algo);
 
-  // Cluster-size histogram: how many clusters of each magnitude.
-  auto sizes = session.detection.Sizes();
-  std::size_t singletons = 0;
-  std::size_t small = 0;   // 2..9
-  std::size_t medium = 0;  // 10..99
-  std::size_t large = 0;   // 100+
-  std::size_t largest = 0;
-  for (std::size_t s : sizes) {
-    largest = std::max(largest, s);
-    if (s <= 1) {
-      ++singletons;
-    } else if (s < 10) {
-      ++small;
-    } else if (s < 100) {
-      ++medium;
-    } else {
-      ++large;
-    }
-  }
-
   JsonWriter w;
   w.BeginObject();
-  w.Key("algorithm");
-  w.String(algo);
-  w.Key("num_clusters");
-  w.UInt(session.detection.num_clusters);
-  w.Key("modularity");
-  w.Double(Modularity(ctx.dataset->graph().graph(), session.detection));
-  w.Key("largest_cluster");
-  w.UInt(largest);
-  w.Key("size_histogram");
-  w.BeginObject();
-  w.Key("singleton");
-  w.UInt(singletons);
-  w.Key("small_2_9");
-  w.UInt(small);
-  w.Key("medium_10_99");
-  w.UInt(medium);
-  w.Key("large_100_plus");
-  w.UInt(large);
-  w.EndObject();
+  WriteDetectionFields(&w, ctx.dataset->graph().graph(), session.detection,
+                       algo);
   w.EndObject();
   return w.TakeString();
 }
@@ -924,6 +1046,305 @@ ApiResult<std::string> QueryService::LoadIndex(const DatasetRequest& request) {
   w.String(request.path);
   w.Key("dataset_id");
   w.UInt(ctx.dataset->id());
+  w.EndObject();
+  return w.TakeString();
+}
+
+namespace {
+
+/// The built-in registry, for descriptor lookups that must not depend on
+/// (or wait for) any session: job-spec resolution and the /v1/api fallback.
+/// Read-only after construction, so concurrent readers are safe.
+const Explorer& BuiltinExplorer() {
+  static const Explorer kBuiltins;
+  return kBuiltins;
+}
+
+}  // namespace
+
+ApiResult<std::string> QueryService::DescribeApi(const std::string& session) {
+  auto begun = Begin(session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  // try_lock: discovery must answer immediately even while this session is
+  // deep in a long synchronous query (its mutex is held for the whole
+  // run). A busy session falls back to the built-in registry — identical
+  // unless the session registered extra plug-ins.
+  std::unique_lock<std::mutex> lock(ctx.session->mu, std::try_to_lock);
+  if (lock.owns_lock()) {
+    return api::DescribeApi(ctx.session->explorer.Descriptors());
+  }
+  return api::DescribeApi(BuiltinExplorer().Descriptors());
+}
+
+ApiResult<std::string> QueryService::Healthz() {
+  const DatasetPtr snapshot = dataset();
+  const std::int64_t uptime_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          ExecControl::Clock::now() - start_time_)
+          .count();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("status");
+  w.String("ok");
+  w.Key("uptime_ms");
+  w.Int(uptime_ms);
+  w.Key("graph_loaded");
+  w.Bool(snapshot != nullptr);
+  if (snapshot != nullptr) {
+    w.Key("dataset_id");
+    w.UInt(snapshot->id());
+    w.Key("graph_epoch");
+    w.UInt(snapshot->graph_epoch());
+  }
+  w.Key("sessions");
+  w.UInt(sessions_.size());
+  w.Key("jobs");
+  w.UInt(jobs_.size());
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::Version() {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("server");
+  w.String("C-Explorer");
+  w.Key("version");
+  w.String(kServerVersion);
+  w.Key("api_version");
+  w.String("v1");
+  w.Key("build");
+  w.BeginObject();
+  w.Key("compiler");
+  w.String(__VERSION__);
+  w.Key("cxx_standard");
+  w.Int(__cplusplus / 100);
+  w.Key("date");
+  w.String(__DATE__);
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::SubmitJob(const JobSubmitRequest& request,
+                                               ThreadPool* pool) {
+  auto begun = Begin(request.session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  if (ctx.dataset == nullptr) {
+    return ApiError::Conflict("no graph uploaded");
+  }
+  if (request.body.empty()) {
+    return ApiError::InvalidArgument(
+        "missing job spec: POST a JSON object or pass ?request=");
+  }
+  std::string kind_text;
+  auto spec = ParseJobSpec(request.body, &kind_text);
+  if (!spec.ok()) return spec.error();
+
+  // Resolve the algorithm against the registry jobs execute with (the
+  // built-ins; session plug-ins are session-local scratch state and do not
+  // participate in background jobs).
+  const Explorer& probe = BuiltinExplorer();
+  const AlgorithmDescriptor* search_descriptor =
+      probe.Describe(AlgorithmKind::kCommunitySearch, spec->algo);
+  const AlgorithmDescriptor* detect_descriptor =
+      probe.Describe(AlgorithmKind::kCommunityDetection, spec->algo);
+  const AlgorithmDescriptor* descriptor = nullptr;
+  if (kind_text == "search") {
+    descriptor = search_descriptor;
+  } else if (kind_text == "detect") {
+    descriptor = detect_descriptor;
+  } else if (!kind_text.empty()) {
+    return ApiError::InvalidArgument("unknown job kind '" + kind_text +
+                                     "' (want 'search' or 'detect')");
+  } else if (search_descriptor != nullptr && detect_descriptor != nullptr) {
+    return ApiError::InvalidArgument(
+        "algorithm '" + spec->algo +
+        "' is registered for both kinds; pass \"kind\":\"search\"|\"detect\"");
+  } else {
+    descriptor =
+        search_descriptor != nullptr ? search_descriptor : detect_descriptor;
+  }
+  if (descriptor == nullptr) {
+    return ApiError::NotFound(
+        "no built-in algorithm named '" + spec->algo + "'",
+        "jobs run the built-in registry; session-registered plug-ins serve "
+        "only their session's synchronous routes");
+  }
+  spec.value().kind = descriptor->kind;
+
+  // Fail fast on bad parameters and an unresolvable query — a job that
+  // would die at its first instruction should be a 400 now, not a FAILED
+  // state later.
+  auto params = ParamBag::Build(*descriptor, spec->params);
+  if (!params.ok()) return FromStatus(params.status());
+  if (descriptor->kind == AlgorithmKind::kCommunitySearch &&
+      spec->query.name.empty() && spec->query.vertices.empty()) {
+    return ApiError::InvalidArgument(
+        "search job needs a 'name' or a 'vertex'");
+  }
+
+  JobPtr job = jobs_.Submit(std::move(spec).value(), ctx.dataset, pool);
+  if (job == nullptr) {
+    return ApiError::Unavailable("job registry is full of live jobs");
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("job");
+  WriteJobObject(&w, job->Read());
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::ListJobs() {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("jobs");
+  w.BeginArray();
+  for (const JobPtr& job : jobs_.List()) {
+    WriteJobObject(&w, job->Read());
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::JobStatus(const JobRequest& request) {
+  JobPtr job = jobs_.Get(request.id);
+  if (job == nullptr) {
+    return ApiError::NotFound("no job '" + request.id + "'");
+  }
+  const Job::Snapshot snapshot = job->Read();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("job");
+  WriteJobObject(&w, snapshot);
+  if (snapshot.state == JobState::kDone) {
+    // Partial result statistics without the member payload; the full body
+    // is one /result call away.
+    w.Key("result");
+    w.BeginObject();
+    if (snapshot.kind == AlgorithmKind::kCommunitySearch) {
+      w.Key("num_communities");
+      w.UInt(job->output().communities.size());
+    } else {
+      w.Key("num_clusters");
+      w.UInt(job->output().clustering.num_clusters);
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::CancelJob(const JobRequest& request) {
+  if (!jobs_.Cancel(request.id)) {
+    return ApiError::NotFound("no job '" + request.id + "'");
+  }
+  JobPtr job = jobs_.Get(request.id);
+  if (job == nullptr) {
+    // Evicted between the cancel and this read; the cancel itself held.
+    return ApiError::NotFound("job '" + request.id + "' already evicted");
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("job");
+  WriteJobObject(&w, job->Read());
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::JobResult(const JobResultRequest& request) {
+  JobPtr job = jobs_.Get(request.id);
+  if (job == nullptr) {
+    return ApiError::NotFound("no job '" + request.id + "'");
+  }
+  const Job::Snapshot snapshot = job->Read();
+  switch (snapshot.state) {
+    case JobState::kQueued:
+    case JobState::kRunning:
+      return ApiError::Conflict("job '" + request.id + "' is " +
+                                JobStateName(snapshot.state) +
+                                "; poll /v1/jobs/" + request.id +
+                                " until DONE");
+    case JobState::kFailed:
+    case JobState::kCancelled:
+      // The result of a failed/cancelled job IS its error.
+      return FromStatus(snapshot.error);
+    case JobState::kDone:
+      break;
+  }
+
+  // DONE jobs keep their snapshot pinned exactly for this rendering.
+  const DatasetPtr pinned = job->dataset();
+  if (pinned == nullptr) {
+    return ApiError::Internal("finished job lost its dataset snapshot");
+  }
+  const AttributedGraph& graph = pinned->graph();
+  const AlgorithmOutput& output = job->output();
+
+  if (request.member_of < 0) {
+    // Whole result, in the synchronous response shape plus the job id.
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("job");
+    w.String(snapshot.id);
+    if (snapshot.kind == AlgorithmKind::kCommunitySearch) {
+      WriteSearchFields(&w, graph, snapshot.algo, output.communities);
+    } else {
+      WriteDetectionFields(&w, graph.graph(), output.clustering,
+                           snapshot.algo);
+    }
+    w.EndObject();
+    return w.TakeString();
+  }
+
+  // One member list, paged through the standard cursor machinery. The
+  // cursor binds to this job's snapshot epoch and result generation, so it
+  // survives dataset swaps (the job result is pinned) but can never page
+  // another job's result.
+  cexplorer::Community community;
+  if (snapshot.kind == AlgorithmKind::kCommunitySearch) {
+    if (static_cast<std::size_t>(request.member_of) >=
+        output.communities.size()) {
+      return ApiError::NotFound("job has no community " +
+                                std::to_string(request.member_of));
+    }
+    community =
+        output.communities[static_cast<std::size_t>(request.member_of)];
+  } else {
+    if (static_cast<std::uint64_t>(request.member_of) >=
+        output.clustering.num_clusters) {
+      return ApiError::NotFound("job has no cluster " +
+                                std::to_string(request.member_of));
+    }
+    community.method = snapshot.algo;
+    community.vertices = output.clustering.Members(
+        static_cast<std::uint32_t>(request.member_of));
+  }
+
+  const std::uint64_t epoch = snapshot.graph_epoch;
+  auto window = ResolvePage(request.page, epoch, PageToken::Kind::kJob,
+                            static_cast<std::uint64_t>(request.member_of),
+                            job->generation());
+  if (!window.ok()) return window.error();
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("job");
+  w.String(snapshot.id);
+  if (window->paginated) {
+    PageToken next{epoch, PageToken::Kind::kJob,
+                   static_cast<std::uint64_t>(request.member_of),
+                   job->generation(), 0};
+    WriteCommunityPage(&w, graph, community, window->offset, window->limit,
+                       next);
+  } else {
+    w.Key("community");
+    WriteCommunity(&w, graph, community);
+  }
   w.EndObject();
   return w.TakeString();
 }

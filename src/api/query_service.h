@@ -31,13 +31,17 @@
 #ifndef CEXPLORER_API_QUERY_SERVICE_H_
 #define CEXPLORER_API_QUERY_SERVICE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "api/error.h"
+#include "api/jobs.h"
 #include "api/types.h"
+#include "common/cancel.h"
 #include "common/parallel.h"
 #include "explorer/dataset.h"
 #include "server/session.h"
@@ -47,7 +51,17 @@ namespace api {
 
 class QueryService {
  public:
-  QueryService() = default;
+  QueryService();
+
+  // --- Execution policy ----------------------------------------------------
+
+  /// Deadline applied to every synchronous Search / Detect / Explore /
+  /// Compare (the blocking twins of the job path). Algorithms overrunning
+  /// it unwind at their next checkpoint and the request answers
+  /// DEADLINE_EXCEEDED instead of occupying its worker indefinitely.
+  /// 0 disables the bound. Default: 60000 ms.
+  void set_sync_deadline_ms(std::int64_t ms) { sync_deadline_ms_ = ms; }
+  std::int64_t sync_deadline_ms() const { return sync_deadline_ms_; }
 
   // --- Dataset lifecycle (programmatic twins of /v1/upload) ---------------
 
@@ -78,6 +92,42 @@ class QueryService {
 
   /// System summary (graph size, algorithms, session count) — "/".
   ApiResult<std::string> Summary(const std::string& session);
+
+  /// GET /v1/api: the route table plus the session's registered algorithm
+  /// descriptors (built-ins + any plug-ins registered on that session).
+  ApiResult<std::string> DescribeApi(const std::string& session);
+
+  /// GET /v1/healthz: liveness, uptime, served snapshot, session/job
+  /// counts.
+  ApiResult<std::string> Healthz();
+
+  /// GET /v1/version: API + build version information.
+  ApiResult<std::string> Version();
+
+  // --- Jobs (the asynchronous execution path) ------------------------------
+
+  /// POST /v1/jobs: decodes the body, validates the algorithm and its
+  /// parameters against the registry, pins the current snapshot, and
+  /// enqueues on `pool`.
+  ApiResult<std::string> SubmitJob(const JobSubmitRequest& request,
+                                   ThreadPool* pool);
+
+  /// GET /v1/jobs.
+  ApiResult<std::string> ListJobs();
+
+  /// GET /v1/jobs/<id>: state, progress, runtime, error.
+  ApiResult<std::string> JobStatus(const JobRequest& request);
+
+  /// DELETE /v1/jobs/<id>: fires the cancel token; the worker unwinds at
+  /// the next algorithm checkpoint. Terminal jobs are left untouched.
+  ApiResult<std::string> CancelJob(const JobRequest& request);
+
+  /// GET /v1/jobs/<id>/result: the finished result, optionally paging one
+  /// community / cluster member list through the cursor machinery.
+  ApiResult<std::string> JobResult(const JobResultRequest& request);
+
+  /// The job registry (tests and embedders).
+  JobManager& jobs() { return jobs_; }
 
   ApiResult<std::string> Search(const SearchRequest& request);
   ApiResult<std::string> Explore(const ExploreRequest& request);
@@ -136,14 +186,23 @@ class QueryService {
                            bool clear_history);
 
   /// Runs a search, caches the result in the session, renders the body.
+  /// `control` bounds the execution (sync deadline); may be null.
   ApiResult<std::string> RunSearch(RequestContext& ctx,
-                                   const std::string& algo,
-                                   const Query& query);
+                                   const std::string& algo, const Query& query,
+                                   const ExecControl* control);
+
+  /// Arms `control` with the synchronous deadline; returns the pointer to
+  /// pass down (null when the bound is disabled).
+  const ExecControl* ArmSyncDeadline(ExecControl* control) const;
 
   mutable std::shared_mutex dataset_mu_;
   DatasetPtr dataset_;
 
   SessionManager sessions_;
+  JobManager jobs_;
+
+  std::atomic<std::int64_t> sync_deadline_ms_{60000};
+  ExecControl::Clock::time_point start_time_;
 };
 
 }  // namespace api

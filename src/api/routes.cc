@@ -92,49 +92,115 @@ constexpr ParamSpec kBatchParams[] = {
      "\"algo\"}); on POST the request body is used instead"},
 };
 
+constexpr ParamSpec kJobsParams[] = {
+    {"request", ParamType::kJson, false, "",
+     "job spec ({\"algo\",\"kind\",\"params\",\"name\"|\"vertex\",\"k\","
+     "\"keywords\",\"deadline_ms\"}); on POST the request body is used "
+     "instead"},
+};
+
+constexpr ParamSpec kJobIdParams[] = {
+    {"id", ParamType::kString, true, "", "job id (path segment)"},
+};
+
+constexpr ParamSpec kJobResultParams[] = {
+    {"id", ParamType::kString, true, "", "job id (path segment)"},
+    {"member_of", ParamType::kInt, false, "",
+     "community index (search jobs) / cluster id (detection jobs) whose "
+     "member list to page; omit for the whole result"},
+    {"limit", ParamType::kInt, false, "",
+     "page size for the selected member list"},
+    {"cursor", ParamType::kString, false, "",
+     "opaque continuation cursor from a previous page"},
+};
+
+constexpr unsigned kGet = kMethodGet;
+constexpr unsigned kGetPost = kMethodGet | kMethodPost;
+constexpr unsigned kGetDelete = kMethodGet | kMethodDelete;
+
 constexpr RouteSpec kRoutes[] = {
-    {"api", "/api", false, kNoParams, 0,
-     "this document: every route with its parameter schema"},
-    {"index", "/", false, kNoParams, 0,
+    {"api", "/api", kGet, kNoParams, 0,
+     "this document: every route and registered algorithm with its schema"},
+    {"healthz", "", kGet, kNoParams, 0,
+     "liveness probe: status, uptime, served snapshot, session/job counts"},
+    {"version", "", kGet, kNoParams, 0,
+     "API and build version information"},
+    {"index", "/", kGet, kNoParams, 0,
      "system summary: graph size, algorithms, session count"},
-    {"session/new", "/session/new", false, kNoParams, 0,
+    {"session/new", "/session/new", kGet, kNoParams, 0,
      "create a session; 503 once the session limit is reached"},
-    {"session/delete", "/session/delete", false, kSessionDeleteParams, 1,
+    {"session/delete", "/session/delete", kGet, kSessionDeleteParams, 1,
      "delete a session, freeing its slot"},
-    {"sessions", "/sessions", false, kNoParams, 0,
+    {"sessions", "/sessions", kGet, kNoParams, 0,
      "list live sessions and their cache state"},
-    {"upload", "/upload", false, kPathParams, 1,
+    {"upload", "/upload", kGet, kPathParams, 1,
      "load an attributed graph file and swap it in for ALL sessions"},
-    {"search", "/search", false, kSearchParams, 5,
+    {"search", "/search", kGet, kSearchParams, 5,
      "run a community-search algorithm; results cached in the session"},
-    {"community", "/community", false, kCommunityParams, 3,
+    {"community", "/community", kGet, kCommunityParams, 3,
      "one cached community with stats (+ layout/ASCII in the full shape)"},
-    {"profile", "/profile", false, kProfileParams, 2,
+    {"profile", "/profile", kGet, kProfileParams, 2,
      "author profile popup"},
-    {"explore", "/explore", false, kExploreParams, 3,
+    {"explore", "/explore", kGet, kExploreParams, 3,
      "continue exploration from a community member"},
-    {"compare", "/compare", false, kCompareParams, 4,
+    {"compare", "/compare", kGet, kCompareParams, 4,
      "multi-algorithm comparison table (Figure 6a) with CPJ/CMF"},
-    {"history", "/history", false, kNoParams, 0,
+    {"history", "/history", kGet, kNoParams, 0,
      "exploration chain of this session"},
-    {"detect", "/detect", false, kDetectParams, 1,
+    {"detect", "/detect", kGet, kDetectParams, 1,
      "run a community-detection algorithm on the whole graph"},
-    {"cluster", "/cluster", false, kClusterParams, 3,
+    {"cluster", "/cluster", kGet, kClusterParams, 3,
      "one cluster of the cached detection result"},
-    {"author", "/author", false, kAuthorParams, 1,
+    {"author", "/author", kGet, kAuthorParams, 1,
      "query-form population: degree constraints and keywords of an author"},
-    {"export", "/export", false, kExportParams, 1,
+    {"export", "/export", kGet, kExportParams, 1,
      "cached community as an SVG document"},
-    {"save_index", "/save_index", false, kPathParams, 1,
+    {"save_index", "/save_index", kGet, kPathParams, 1,
      "persist the CL-tree (offline Indexing module)"},
-    {"load_index", "/load_index", false, kPathParams, 1,
+    {"load_index", "/load_index", kGet, kPathParams, 1,
      "swap in a saved CL-tree for the loaded graph"},
-    {"batch", "/batch", true, kBatchParams, 1,
+    {"batch", "/batch", kGetPost, kBatchParams, 1,
      "answer many search entries under ONE dataset snapshot, fanned across "
      "the worker pool"},
+    {"jobs", "", kGetPost, kJobsParams, 1,
+     "POST: submit a registered algorithm as an asynchronous job pinned to "
+     "the current snapshot; GET: list jobs"},
+    {"jobs/<id>", "", kGetDelete, kJobIdParams, 1,
+     "GET: job state, progress and runtime; DELETE: cancel (the worker "
+     "unwinds at the algorithm's next checkpoint)"},
+    {"jobs/<id>/result", "", kGet, kJobResultParams, 4,
+     "finished result; member_of/limit/cursor page one member list through "
+     "the standard cursor machinery"},
 };
 
 constexpr std::size_t kNumRoutes = sizeof(kRoutes) / sizeof(kRoutes[0]);
+
+/// Matches a "<param>"-bearing route name against a path suffix,
+/// capturing bracketed segments. Both are '/'-separated.
+bool MatchPattern(std::string_view pattern, std::string_view path,
+                  std::map<std::string, std::string>* captures) {
+  while (true) {
+    const auto pattern_slash = pattern.find('/');
+    const auto path_slash = path.find('/');
+    const std::string_view pattern_seg = pattern.substr(0, pattern_slash);
+    const std::string_view path_seg = path.substr(0, path_slash);
+    if (pattern_seg.size() >= 2 && pattern_seg.front() == '<' &&
+        pattern_seg.back() == '>') {
+      if (path_seg.empty()) return false;
+      if (captures != nullptr) {
+        const std::string name(pattern_seg.substr(1, pattern_seg.size() - 2));
+        (*captures)[name] = std::string(path_seg);
+      }
+    } else if (pattern_seg != path_seg) {
+      return false;
+    }
+    const bool pattern_done = pattern_slash == std::string_view::npos;
+    const bool path_done = path_slash == std::string_view::npos;
+    if (pattern_done || path_done) return pattern_done && path_done;
+    pattern.remove_prefix(pattern_slash + 1);
+    path.remove_prefix(path_slash + 1);
+  }
+}
 
 }  // namespace
 
@@ -150,12 +216,20 @@ const char* ParamTypeName(ParamType type) {
   return "string";
 }
 
+unsigned MethodBit(const std::string& method) {
+  if (method == "GET") return kMethodGet;
+  if (method == "POST") return kMethodPost;
+  if (method == "DELETE") return kMethodDelete;
+  return 0;
+}
+
 const RouteSpec* Routes(std::size_t* count) {
   *count = kNumRoutes;
   return kRoutes;
 }
 
-const RouteSpec* FindRoute(const std::string& path, bool* is_v1) {
+const RouteSpec* FindRoute(const std::string& path, bool* is_v1,
+                           std::map<std::string, std::string>* path_params) {
   // Allocation-free hot path: a "/v1/" prefix means the suffix is the
   // route name; anything else is matched against the legacy aliases.
   const std::string_view sv(path);
@@ -167,10 +241,20 @@ const RouteSpec* FindRoute(const std::string& path, bool* is_v1) {
         return &route;
       }
     }
+    // Pattern routes ("jobs/<id>") are rarer: second pass.
+    for (const RouteSpec& route : kRoutes) {
+      if (std::string_view(route.name).find('<') == std::string_view::npos) {
+        continue;
+      }
+      if (MatchPattern(route.name, name, path_params)) {
+        *is_v1 = true;
+        return &route;
+      }
+    }
     return nullptr;
   }
   for (const RouteSpec& route : kRoutes) {
-    if (sv == route.legacy_path) {
+    if (route.legacy_path[0] != '\0' && sv == route.legacy_path) {
       *is_v1 = false;
       return &route;
     }
@@ -233,7 +317,8 @@ std::optional<ApiError> ValidateParams(const RouteSpec& route,
   return std::nullopt;
 }
 
-std::string DescribeApi() {
+std::string DescribeApi(
+    const std::vector<const AlgorithmDescriptor*>& algorithms) {
   JsonWriter w;
   w.BeginObject();
   w.Key("version");
@@ -242,7 +327,8 @@ std::string DescribeApi() {
   w.BeginArray();
   for (ApiCode code :
        {ApiCode::kInvalidArgument, ApiCode::kNotFound, ApiCode::kConflict,
-        ApiCode::kUnavailable, ApiCode::kInternal}) {
+        ApiCode::kUnavailable, ApiCode::kInternal, ApiCode::kCancelled,
+        ApiCode::kDeadlineExceeded}) {
     w.BeginObject();
     w.Key("code");
     w.String(ApiCodeName(code));
@@ -273,12 +359,15 @@ std::string DescribeApi() {
     w.String(route.name);
     w.Key("path");
     w.String(route.V1Path());
-    w.Key("legacy_alias");
-    w.String(route.legacy_path);
+    if (route.legacy_path[0] != '\0') {
+      w.Key("legacy_alias");
+      w.String(route.legacy_path);
+    }
     w.Key("methods");
     w.BeginArray();
-    w.String("GET");
-    if (route.allow_post) w.String("POST");
+    if (route.methods & kMethodGet) w.String("GET");
+    if (route.methods & kMethodPost) w.String("POST");
+    if (route.methods & kMethodDelete) w.String("DELETE");
     w.EndArray();
     w.Key("doc");
     w.String(route.doc);
@@ -299,6 +388,51 @@ std::string DescribeApi() {
       }
       w.Key("doc");
       w.String(spec.doc);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  // The algorithm registry: every registered algorithm's self-description,
+  // straight from its descriptor — discoverable without reading a header.
+  w.Key("algorithms");
+  w.BeginArray();
+  for (const AlgorithmDescriptor* descriptor : algorithms) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(descriptor->name);
+    w.Key("kind");
+    w.String(AlgorithmKindName(descriptor->kind));
+    w.Key("doc");
+    w.String(descriptor->doc);
+    w.Key("capabilities");
+    w.BeginObject();
+    w.Key("cancel");
+    w.Bool(descriptor->caps.cancel);
+    w.Key("progress");
+    w.Bool(descriptor->caps.progress);
+    w.Key("indexed");
+    w.Bool(descriptor->caps.indexed);
+    w.EndObject();
+    w.Key("params");
+    w.BeginArray();
+    for (const AlgoParamSpec& param : descriptor->params) {
+      w.BeginObject();
+      w.Key("name");
+      w.String(param.name);
+      w.Key("type");
+      w.String(AlgoParamTypeName(param.type));
+      w.Key("default");
+      w.String(param.default_value);
+      if (param.has_range) {
+        w.Key("min");
+        w.Double(param.min_value);
+        w.Key("max");
+        w.Double(param.max_value);
+      }
+      w.Key("doc");
+      w.String(param.doc);
       w.EndObject();
     }
     w.EndArray();

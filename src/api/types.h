@@ -35,7 +35,7 @@ namespace api {
 struct PageToken {
   /// What the cursor pages, so a cursor minted by one endpoint cannot be
   /// replayed against another.
-  enum class Kind : std::uint8_t { kCommunity = 0, kCluster = 1 };
+  enum class Kind : std::uint8_t { kCommunity = 0, kCluster = 1, kJob = 2 };
 
   std::uint64_t graph_epoch = 0;  ///< snapshot generation the cursor is for
   Kind kind = Kind::kCommunity;   ///< endpoint family that minted it
@@ -49,9 +49,17 @@ struct PageToken {
 
   std::string Encode() const;
 
-  /// Parses a cursor produced by Encode. kInvalidArgument on any deviation.
+  /// Parses a cursor produced by Encode. kInvalidArgument on any deviation,
+  /// including whitespace or trailing bytes after the offset field — every
+  /// accepted token round-trips byte-identically through Encode.
   static ApiResult<PageToken> Decode(const std::string& text);
 };
+
+/// Process-unique result-set generation. A fresh value is minted whenever a
+/// result set that cursors can page into is created (a session's search /
+/// detect cache is replaced, a job completes), so a cursor can never page
+/// into any result set other than the one it was minted against.
+std::uint64_t NextResultGeneration();
 
 /// Page selection for member-list endpoints. limit == 0 means "legacy
 /// mode": the full (truncation-capped) list, byte-identical to the
@@ -134,6 +142,34 @@ struct ExportRequest {
 struct DatasetRequest {
   std::string session;
   std::string path;
+};
+
+/// POST /v1/jobs — submit an algorithm run as an asynchronous job. The
+/// JSON body carries the algorithm selection, the query (search kinds),
+/// algorithm-specific parameters, and an optional deadline:
+///   {"algo": "GirvanNewman", "kind": "detect",
+///    "params": {"target_communities": "4"}, "deadline_ms": 5000}
+struct JobSubmitRequest {
+  std::string session;
+  /// Raw JSON body (decoded by QueryService).
+  std::string body;
+};
+
+/// GET /v1/jobs/<id> (status) and DELETE /v1/jobs/<id> (cancel).
+struct JobRequest {
+  std::string session;
+  std::string id;
+};
+
+/// GET /v1/jobs/<id>/result — the finished result; `member_of` selects one
+/// community (search jobs) or cluster (detection jobs) whose member list is
+/// paged with the standard cursor machinery.
+struct JobResultRequest {
+  std::string session;
+  std::string id;
+  /// < 0: the whole result in the search/detect response shape.
+  std::int64_t member_of = -1;
+  PageParams page;
 };
 
 /// /v1/batch — many searches answered under ONE dataset snapshot.

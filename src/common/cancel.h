@@ -1,0 +1,112 @@
+// Cooperative execution control: cancellation, deadlines, and progress.
+//
+// Long-running algorithms accept a `const ExecControl*` (nullptr = run to
+// completion) and call Check() at the top of their outer loops — once per
+// betweenness source, per peeling round, per lattice level. Check() returns
+// kCancelled once the attached CancelToken fires, or kDeadlineExceeded once
+// the deadline passes; the algorithm unwinds within one loop iteration, so
+// a cancelled job frees its worker thread in the time of a single
+// checkpoint interval, not a full run.
+//
+// Progress flows the other way: algorithms that know their total work call
+// ReportProgress(fraction) and observers read progress() concurrently. The
+// store is a monotonic max (compare-exchange), so concurrent reporters and
+// cross-thread polls always observe a non-decreasing value.
+//
+// Everything here is thread-safe: tokens are shared atomic flags, and one
+// ExecControl may be read by the executing thread while another thread
+// cancels it.
+
+#ifndef CEXPLORER_COMMON_CANCEL_H_
+#define CEXPLORER_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/status.h"
+
+namespace cexplorer {
+
+/// A shared cancellation flag. Copies refer to the same flag, so the
+/// submitter keeps one handle and the executing algorithm another.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation. Idempotent; safe from any thread.
+  void Cancel() const { flag_->store(true, std::memory_order_relaxed); }
+
+  /// True once Cancel() was called on any copy of this token.
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// The control block handed to a running algorithm: a cancel token, an
+/// optional deadline, and a monotonic progress gauge.
+class ExecControl {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ExecControl() = default;
+
+  void set_cancel(CancelToken token) { cancel_ = std::move(token); }
+  const CancelToken& cancel() const { return cancel_; }
+
+  /// Absolute deadline; unset by default.
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  bool has_deadline() const { return has_deadline_; }
+
+  /// The cooperative checkpoint. OK while the computation may continue;
+  /// Cancelled / DeadlineExceeded once it must unwind.
+  Status Check() const {
+    if (cancel_.cancelled()) {
+      return Status::Cancelled("cancelled by caller");
+    }
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      return Status::DeadlineExceeded("deadline exceeded");
+    }
+    return Status::Ok();
+  }
+
+  /// Records completion as a fraction in [0, 1]. Monotonic: a report lower
+  /// than the current value is ignored, so concurrent reporters and pollers
+  /// always see a non-decreasing gauge.
+  void ReportProgress(double fraction) const {
+    if (fraction < 0.0) fraction = 0.0;
+    if (fraction > 1.0) fraction = 1.0;
+    double seen = progress_.load(std::memory_order_relaxed);
+    while (fraction > seen &&
+           !progress_.compare_exchange_weak(seen, fraction,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+
+  /// The latest reported fraction (0 when the algorithm never reports).
+  double progress() const { return progress_.load(std::memory_order_relaxed); }
+
+ private:
+  CancelToken cancel_;
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  mutable std::atomic<double> progress_{0.0};
+};
+
+/// Nullptr-friendly checkpoint for the algorithm side.
+inline Status CheckControl(const ExecControl* control) {
+  return control == nullptr ? Status::Ok() : control->Check();
+}
+
+/// Nullptr-friendly progress report for the algorithm side.
+inline void ReportProgress(const ExecControl* control, double fraction) {
+  if (control != nullptr) control->ReportProgress(fraction);
+}
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_COMMON_CANCEL_H_

@@ -403,6 +403,11 @@ const std::vector<JsonValue>& JsonValue::Items() const {
   return type_ == Type::kArray ? array_ : EmptyArray();
 }
 
+const std::map<std::string, JsonValue>& JsonValue::Members() const {
+  static const std::map<std::string, JsonValue> kEmpty;
+  return type_ == Type::kObject ? object_ : kEmpty;
+}
+
 const JsonValue& JsonValue::Get(const std::string& key) const {
   if (type_ != Type::kObject) return NullValue();
   auto it = object_.find(key);

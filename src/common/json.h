@@ -89,6 +89,9 @@ class JsonValue {
   const JsonValue& Get(const std::string& key) const;
   bool Has(const std::string& key) const;
 
+  /// All object members, key-sorted; empty map on mismatch.
+  const std::map<std::string, JsonValue>& Members() const;
+
   /// Serializes back to compact JSON.
   std::string Dump() const;
 

@@ -26,6 +26,8 @@ enum class StatusCode : std::uint8_t {
   kParseError,
   kInternal,
   kNotImplemented,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Human-readable name of a status code ("OK", "InvalidArgument", ...).
@@ -71,6 +73,12 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff this status represents success.

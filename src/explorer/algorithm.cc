@@ -1,0 +1,153 @@
+#include "explorer/algorithm.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace cexplorer {
+
+const char* AlgorithmKindName(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kCommunitySearch:
+      return "search";
+    case AlgorithmKind::kCommunityDetection:
+      return "detect";
+  }
+  return "search";
+}
+
+const char* AlgoParamTypeName(AlgoParamType type) {
+  switch (type) {
+    case AlgoParamType::kInt:
+      return "int";
+    case AlgoParamType::kDouble:
+      return "double";
+    case AlgoParamType::kString:
+      return "string";
+  }
+  return "string";
+}
+
+const AlgoParamSpec* AlgorithmDescriptor::FindParam(
+    std::string_view param_name) const {
+  for (const AlgoParamSpec& spec : params) {
+    if (param_name == spec.name) return &spec;
+  }
+  return nullptr;
+}
+
+Result<ParamBag> ParamBag::Build(
+    const AlgorithmDescriptor& descriptor,
+    const std::map<std::string, std::string>& values) {
+  ParamBag bag;
+  for (const auto& [name, value] : values) {
+    const AlgoParamSpec* spec = descriptor.FindParam(name);
+    if (spec == nullptr) {
+      return Status::InvalidArgument("algorithm '" + descriptor.name +
+                                     "' has no parameter '" + name + "'");
+    }
+    switch (spec->type) {
+      case AlgoParamType::kInt: {
+        std::int64_t parsed = 0;
+        if (!ParseInt64(value, &parsed)) {
+          return Status::InvalidArgument("parameter '" + name +
+                                         "' must be an integer, got '" +
+                                         value + "'");
+        }
+        if (spec->has_range && (static_cast<double>(parsed) < spec->min_value ||
+                                static_cast<double>(parsed) > spec->max_value)) {
+          return Status::OutOfRange(
+              "parameter '" + name + "' = " + value + " outside [" +
+              FormatDouble(spec->min_value, 0) + ", " +
+              FormatDouble(spec->max_value, 0) + "]");
+        }
+        break;
+      }
+      case AlgoParamType::kDouble: {
+        double parsed = 0.0;
+        if (!ParseDouble(value, &parsed)) {
+          return Status::InvalidArgument("parameter '" + name +
+                                         "' must be a number, got '" + value +
+                                         "'");
+        }
+        if (spec->has_range &&
+            (parsed < spec->min_value || parsed > spec->max_value)) {
+          return Status::OutOfRange(
+              "parameter '" + name + "' = " + value + " outside [" +
+              FormatDouble(spec->min_value, 2) + ", " +
+              FormatDouble(spec->max_value, 2) + "]");
+        }
+        break;
+      }
+      case AlgoParamType::kString:
+        break;
+    }
+    bag.values_.emplace(name, value);
+  }
+  return bag;
+}
+
+bool ParamBag::Has(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::int64_t ParamBag::Int(std::string_view name, std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::int64_t parsed = 0;
+  return ParseInt64(it->second, &parsed) ? parsed : fallback;
+}
+
+double ParamBag::Double(std::string_view name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  double parsed = 0.0;
+  return ParseDouble(it->second, &parsed) ? parsed : fallback;
+}
+
+std::string ParamBag::Str(std::string_view name, std::string fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Status AlgorithmRegistry::Register(std::unique_ptr<Algorithm> algorithm) {
+  const AlgorithmDescriptor& descriptor = algorithm->descriptor();
+  if (descriptor.name.empty()) {
+    return Status::InvalidArgument("algorithm descriptor has no name");
+  }
+  auto key = std::make_pair(static_cast<std::uint8_t>(descriptor.kind),
+                            descriptor.name);
+  if (algorithms_.count(key) > 0) {
+    return Status::AlreadyExists(
+        std::string(AlgorithmKindName(descriptor.kind)) + " algorithm '" +
+        descriptor.name + "' already registered");
+  }
+  algorithms_.emplace(std::move(key), std::move(algorithm));
+  return Status::Ok();
+}
+
+Algorithm* AlgorithmRegistry::Find(AlgorithmKind kind,
+                                   std::string_view name) const {
+  auto it = algorithms_.find(
+      std::make_pair(static_cast<std::uint8_t>(kind), std::string(name)));
+  return it == algorithms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const AlgorithmDescriptor*> AlgorithmRegistry::Describe() const {
+  std::vector<const AlgorithmDescriptor*> out;
+  out.reserve(algorithms_.size());
+  for (const auto& [key, algorithm] : algorithms_) {
+    out.push_back(&algorithm->descriptor());
+  }
+  return out;
+}
+
+std::vector<std::string> AlgorithmRegistry::Names(AlgorithmKind kind) const {
+  std::vector<std::string> out;
+  for (const auto& [key, algorithm] : algorithms_) {
+    if (key.first == static_cast<std::uint8_t>(kind)) out.push_back(key.second);
+  }
+  return out;
+}
+
+}  // namespace cexplorer

@@ -1,109 +1,176 @@
-// Built-in CR algorithms wrapped behind the plug-in interfaces: ACQ (Dec by
-// default), Global, Local, and CODICIL (as both a CD algorithm and a CS
-// adapter that answers "the cluster containing q"). Explorer registers all
-// of these at construction.
+// Built-in CR algorithms behind the self-describing plug-in interface:
+// ACQ (Dec by default, variant-selectable), Global, Local, KTruss, and
+// CODICIL-as-search on the search side; CODICIL, Louvain, label propagation
+// and Girvan-Newman on the detection side. Explorer registers all of these
+// at construction via RegisterBuiltins.
 
 #ifndef CEXPLORER_EXPLORER_BUILTIN_H_
 #define CEXPLORER_EXPLORER_BUILTIN_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "acq/acq.h"
 #include "algos/codicil.h"
+#include "algos/truss.h"
 #include "explorer/algorithm.h"
 
 namespace cexplorer {
 
-/// ACQ community search backed by the CL-tree index.
-class AcqCsAlgorithm : public CsAlgorithm {
+/// ACQ community search backed by the CL-tree index. The `variant`
+/// parameter selects the query algorithm (Dec | Inc-S | Inc-T |
+/// BruteForce); `default_variant` is what an unparameterized Run uses.
+class AcqSearchAlgorithm : public Algorithm {
  public:
-  explicit AcqCsAlgorithm(AcqAlgorithm variant = AcqAlgorithm::kDec)
-      : variant_(variant) {}
+  explicit AcqSearchAlgorithm(AcqAlgorithm default_variant = AcqAlgorithm::kDec);
 
-  std::string name() const override { return "ACQ"; }
-  Result<std::vector<Community>> Search(const ExplorerContext& ctx,
-                                        const Query& query) override;
+  const AlgorithmDescriptor& descriptor() const override {
+    return descriptor_;
+  }
+  Result<AlgorithmOutput> Run(ExecContext& ctx) override;
 
  private:
-  AcqAlgorithm variant_;
+  AlgorithmDescriptor descriptor_;
+  AcqAlgorithm default_variant_;
 };
 
 /// Global: connected k-core component of the query vertex.
-class GlobalCsAlgorithm : public CsAlgorithm {
+class GlobalSearchAlgorithm : public Algorithm {
  public:
-  std::string name() const override { return "Global"; }
-  Result<std::vector<Community>> Search(const ExplorerContext& ctx,
-                                        const Query& query) override;
+  GlobalSearchAlgorithm();
+
+  const AlgorithmDescriptor& descriptor() const override {
+    return descriptor_;
+  }
+  Result<AlgorithmOutput> Run(ExecContext& ctx) override;
+
+ private:
+  AlgorithmDescriptor descriptor_;
 };
 
 /// Local: local-expansion k-core search.
-class LocalCsAlgorithm : public CsAlgorithm {
+class LocalSearchAlgorithm : public Algorithm {
  public:
-  std::string name() const override { return "Local"; }
-  Result<std::vector<Community>> Search(const ExplorerContext& ctx,
-                                        const Query& query) override;
-};
+  LocalSearchAlgorithm();
 
-/// CODICIL as community detection.
-class CodicilCdAlgorithm : public CdAlgorithm {
- public:
-  explicit CodicilCdAlgorithm(CodicilOptions options = {})
-      : options_(options) {}
-
-  std::string name() const override { return "CODICIL"; }
-  Result<Clustering> Detect(const ExplorerContext& ctx) override;
+  const AlgorithmDescriptor& descriptor() const override {
+    return descriptor_;
+  }
+  Result<AlgorithmOutput> Run(ExecContext& ctx) override;
 
  private:
+  AlgorithmDescriptor descriptor_;
+};
+
+/// KTruss: triangle-connected k-truss communities of the query vertex
+/// (Huang et al., SIGMOD 2014). The UI's "degree >= k" is interpreted as
+/// trussness >= k + 1 (a k-truss has minimum degree k - 1). Caches the
+/// truss decomposition per graph epoch.
+class KTrussSearchAlgorithm : public Algorithm {
+ public:
+  KTrussSearchAlgorithm();
+
+  const AlgorithmDescriptor& descriptor() const override {
+    return descriptor_;
+  }
+  Result<AlgorithmOutput> Run(ExecContext& ctx) override;
+
+ private:
+  AlgorithmDescriptor descriptor_;
+  TrussDecomposition truss_;
+  std::uint64_t cached_epoch_ = ~0ULL;
+};
+
+/// Shared CODICIL option plumbing of the search and detection adapters.
+CodicilOptions CodicilOptionsFromParams(const ParamBag& params,
+                                        const CodicilOptions& base);
+
+/// CODICIL as community detection.
+class CodicilDetectAlgorithm : public Algorithm {
+ public:
+  explicit CodicilDetectAlgorithm(CodicilOptions options = {});
+
+  const AlgorithmDescriptor& descriptor() const override {
+    return descriptor_;
+  }
+  Result<AlgorithmOutput> Run(ExecContext& ctx) override;
+
+ private:
+  AlgorithmDescriptor descriptor_;
   CodicilOptions options_;
 };
 
 /// CODICIL as community search: lazily clusters the graph once per epoch
-/// and returns the cluster containing the query vertex ("no parameter" in
-/// the UI — k is ignored).
-class CodicilCsAlgorithm : public CsAlgorithm {
+/// (and parameterization) and returns the cluster containing the query
+/// vertex ("no parameter" in the UI — k is ignored).
+class CodicilSearchAlgorithm : public Algorithm {
  public:
-  explicit CodicilCsAlgorithm(CodicilOptions options = {})
-      : options_(options) {}
+  explicit CodicilSearchAlgorithm(CodicilOptions options = {});
 
-  std::string name() const override { return "CODICIL"; }
-  Result<std::vector<Community>> Search(const ExplorerContext& ctx,
-                                        const Query& query) override;
+  const AlgorithmDescriptor& descriptor() const override {
+    return descriptor_;
+  }
+  Result<AlgorithmOutput> Run(ExecContext& ctx) override;
 
  private:
+  AlgorithmDescriptor descriptor_;
   CodicilOptions options_;
   std::uint64_t cached_epoch_ = ~0ULL;
+  std::string cached_params_;
   Clustering cached_;
 };
 
 /// Louvain modularity clustering as community detection.
-class LouvainCdAlgorithm : public CdAlgorithm {
+class LouvainDetectAlgorithm : public Algorithm {
  public:
-  std::string name() const override { return "Louvain"; }
-  Result<Clustering> Detect(const ExplorerContext& ctx) override;
+  LouvainDetectAlgorithm();
+
+  const AlgorithmDescriptor& descriptor() const override {
+    return descriptor_;
+  }
+  Result<AlgorithmOutput> Run(ExecContext& ctx) override;
+
+ private:
+  AlgorithmDescriptor descriptor_;
 };
 
 /// Label propagation as community detection.
-class LabelPropagationCdAlgorithm : public CdAlgorithm {
+class LabelPropagationDetectAlgorithm : public Algorithm {
  public:
-  std::string name() const override { return "LabelProp"; }
-  Result<Clustering> Detect(const ExplorerContext& ctx) override;
+  LabelPropagationDetectAlgorithm();
+
+  const AlgorithmDescriptor& descriptor() const override {
+    return descriptor_;
+  }
+  Result<AlgorithmOutput> Run(ExecContext& ctx) override;
+
+ private:
+  AlgorithmDescriptor descriptor_;
 };
 
 /// Girvan-Newman as community detection. Divisive edge-betweenness
-/// clustering is O(n * m^2): graphs beyond `max_edges` are rejected with
-/// FailedPrecondition instead of hanging the server.
-class GirvanNewmanCdAlgorithm : public CdAlgorithm {
+/// clustering is O(n * m^2): graphs beyond the `max_edges` parameter are
+/// rejected with FailedPrecondition instead of hanging the server; runs
+/// checkpoint per betweenness source, so cancellation frees the worker
+/// within one BFS pass.
+class GirvanNewmanDetectAlgorithm : public Algorithm {
  public:
-  explicit GirvanNewmanCdAlgorithm(std::size_t max_edges = 20000)
-      : max_edges_(max_edges) {}
+  explicit GirvanNewmanDetectAlgorithm(std::size_t default_max_edges = 20000);
 
-  std::string name() const override { return "GirvanNewman"; }
-  Result<Clustering> Detect(const ExplorerContext& ctx) override;
+  const AlgorithmDescriptor& descriptor() const override {
+    return descriptor_;
+  }
+  Result<AlgorithmOutput> Run(ExecContext& ctx) override;
 
  private:
-  std::size_t max_edges_;
+  AlgorithmDescriptor descriptor_;
+  std::size_t default_max_edges_;
 };
+
+/// Registers every built-in algorithm into `registry`.
+void RegisterBuiltins(AlgorithmRegistry* registry);
 
 /// Resolves query.name / query.vertices to concrete vertex ids.
 Result<VertexList> ResolveQueryVertices(const ExplorerContext& ctx,

@@ -11,16 +11,7 @@
 
 namespace cexplorer {
 
-Explorer::Explorer() {
-  (void)RegisterCs(std::make_unique<AcqCsAlgorithm>());
-  (void)RegisterCs(std::make_unique<GlobalCsAlgorithm>());
-  (void)RegisterCs(std::make_unique<LocalCsAlgorithm>());
-  (void)RegisterCs(std::make_unique<CodicilCsAlgorithm>());
-  (void)RegisterCd(std::make_unique<CodicilCdAlgorithm>());
-  (void)RegisterCd(std::make_unique<LouvainCdAlgorithm>());
-  (void)RegisterCd(std::make_unique<LabelPropagationCdAlgorithm>());
-  (void)RegisterCd(std::make_unique<GirvanNewmanCdAlgorithm>());
-}
+Explorer::Explorer() { RegisterBuiltins(&registry_); }
 
 const AttributedGraph& Explorer::graph() const {
   static const AttributedGraph kEmptyGraph;
@@ -51,23 +42,44 @@ Status Explorer::UploadGraph(AttributedGraph graph) {
   return Status::Ok();
 }
 
-Result<std::vector<Community>> Explorer::Search(const std::string& algorithm,
-                                                const Query& query) {
+Result<AlgorithmOutput> Explorer::Run(AlgorithmKind kind,
+                                      const std::string& algorithm,
+                                      const RunOptions& options) {
   if (!dataset_) return Status::FailedPrecondition("no graph uploaded");
-  auto it = cs_.find(algorithm);
-  if (it == cs_.end()) {
-    return Status::NotFound("no CS algorithm named '" + algorithm + "'");
+  Algorithm* algo = registry_.Find(kind, algorithm);
+  if (algo == nullptr) {
+    return Status::NotFound(std::string("no ") + AlgorithmKindName(kind) +
+                            " algorithm named '" + algorithm + "'");
   }
-  return it->second->Search(Context(), query);
+  auto params = ParamBag::Build(algo->descriptor(), options.params);
+  if (!params.ok()) return params.status();
+  ExecContext ctx;
+  ctx.view = Context();
+  ctx.query = options.query;
+  ctx.params = std::move(params.value());
+  ctx.control = options.control;
+  CEXPLORER_RETURN_IF_ERROR(CheckControl(ctx.control));
+  return algo->Run(ctx);
 }
 
-Result<Clustering> Explorer::Detect(const std::string& algorithm) {
-  if (!dataset_) return Status::FailedPrecondition("no graph uploaded");
-  auto it = cd_.find(algorithm);
-  if (it == cd_.end()) {
-    return Status::NotFound("no CD algorithm named '" + algorithm + "'");
-  }
-  return it->second->Detect(Context());
+Result<std::vector<Community>> Explorer::Search(const std::string& algorithm,
+                                                const Query& query,
+                                                const ExecControl* control) {
+  RunOptions options;
+  options.query = query;
+  options.control = control;
+  auto out = Run(AlgorithmKind::kCommunitySearch, algorithm, options);
+  if (!out.ok()) return out.status();
+  return std::move(out->communities);
+}
+
+Result<Clustering> Explorer::Detect(const std::string& algorithm,
+                                    const ExecControl* control) {
+  RunOptions options;
+  options.control = control;
+  auto out = Run(AlgorithmKind::kCommunityDetection, algorithm, options);
+  if (!out.ok()) return out.status();
+  return std::move(out->clustering);
 }
 
 Result<CommunityAnalysis> Explorer::Analyze(const Community& community,
@@ -169,38 +181,19 @@ Status Explorer::LoadIndex(const std::string& path) {
   return Status::Ok();
 }
 
-Status Explorer::RegisterCs(std::unique_ptr<CsAlgorithm> algorithm) {
-  const std::string name = algorithm->name();
-  if (cs_.count(name) > 0) {
-    return Status::AlreadyExists("CS algorithm '" + name + "' already registered");
-  }
-  cs_.emplace(name, std::move(algorithm));
-  return Status::Ok();
+Status Explorer::Register(std::unique_ptr<Algorithm> algorithm) {
+  return registry_.Register(std::move(algorithm));
 }
 
-Status Explorer::RegisterCd(std::unique_ptr<CdAlgorithm> algorithm) {
-  const std::string name = algorithm->name();
-  if (cd_.count(name) > 0) {
-    return Status::AlreadyExists("CD algorithm '" + name + "' already registered");
-  }
-  cd_.emplace(name, std::move(algorithm));
-  return Status::Ok();
-}
-
-std::vector<std::string> Explorer::CsAlgorithmNames() const {
-  std::vector<std::string> names;
-  for (const auto& [name, algo] : cs_) names.push_back(name);
-  return names;
-}
-
-std::vector<std::string> Explorer::CdAlgorithmNames() const {
-  std::vector<std::string> names;
-  for (const auto& [name, algo] : cd_) names.push_back(name);
-  return names;
+const AlgorithmDescriptor* Explorer::Describe(AlgorithmKind kind,
+                                              const std::string& name) const {
+  Algorithm* algo = registry_.Find(kind, name);
+  return algo == nullptr ? nullptr : &algo->descriptor();
 }
 
 Result<ComparisonReport> Explorer::Compare(
-    const Query& query, const std::vector<std::string>& algorithms) {
+    const Query& query, const std::vector<std::string>& algorithms,
+    const ExecControl* control) {
   if (!dataset_) return Status::FailedPrecondition("no graph uploaded");
 
   // The CMF reference vertex.
@@ -210,7 +203,7 @@ Result<ComparisonReport> Explorer::Compare(
 
   ComparisonReport report;
   for (const std::string& name : algorithms) {
-    auto communities = Search(name, query);
+    auto communities = Search(name, query, control);
     if (!communities.ok()) return communities.status();
 
     ComparisonRow row;

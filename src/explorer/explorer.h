@@ -91,11 +91,23 @@ struct ComparisonReport {
 /// Explorer instances attached (AttachDataset) to the same DatasetPtr.
 class Explorer {
  public:
-  /// Constructs with the built-in algorithms (ACQ, Global, Local, CODICIL)
-  /// registered.
+  /// Constructs with the built-in algorithms registered (ACQ, Global,
+  /// Local, KTruss and CODICIL for search; CODICIL, Louvain, LabelProp and
+  /// GirvanNewman for detection).
   Explorer();
 
   // --- The five API functions of Figure 4 -------------------------------
+
+  /// Per-run execution options of the Run entry point.
+  struct RunOptions {
+    /// The resolved user query (search algorithms; ignored by detection).
+    Query query;
+    /// Algorithm-specific parameters, validated against the descriptor's
+    /// schema before execution.
+    std::map<std::string, std::string> params;
+    /// Cooperative cancel/deadline/progress control (nullptr = none).
+    const ExecControl* control = nullptr;
+  };
 
   /// Loads an attributed graph file (graph/io.h format) and builds a fresh
   /// private Dataset (standalone, single-session use).
@@ -108,12 +120,21 @@ class Explorer {
   /// core decomposition, no index build — the whole point of the split.
   void AttachDataset(DatasetPtr dataset) { dataset_ = std::move(dataset); }
 
-  /// Runs the named community-search algorithm.
-  Result<std::vector<Community>> Search(const std::string& algorithm,
-                                        const Query& query);
+  /// The uniform execution path every consumer (sync routes, jobs, CLI)
+  /// funnels through: validates `options.params` against the algorithm's
+  /// schema, assembles the ExecContext on the attached snapshot, and runs.
+  Result<AlgorithmOutput> Run(AlgorithmKind kind, const std::string& algorithm,
+                              const RunOptions& options);
 
-  /// Runs the named community-detection algorithm on the whole graph.
-  Result<Clustering> Detect(const std::string& algorithm);
+  /// Runs the named community-search algorithm (Run sugar).
+  Result<std::vector<Community>> Search(const std::string& algorithm,
+                                        const Query& query,
+                                        const ExecControl* control = nullptr);
+
+  /// Runs the named community-detection algorithm on the whole graph
+  /// (Run sugar).
+  Result<Clustering> Detect(const std::string& algorithm,
+                            const ExecControl* control = nullptr);
 
   /// Computes statistics and quality metrics of a community. `q` (the
   /// query vertex) is needed for CMF; pass kInvalidVertex to skip it.
@@ -143,25 +164,39 @@ class Explorer {
 
   // --- Plug-in registry ---------------------------------------------------
 
-  /// Registers a community-search plug-in; fails on duplicate name.
-  Status RegisterCs(std::unique_ptr<CsAlgorithm> algorithm);
+  /// Registers an algorithm plug-in; fails on a duplicate (kind, name).
+  Status Register(std::unique_ptr<Algorithm> algorithm);
 
-  /// Registers a community-detection plug-in; fails on duplicate name.
-  Status RegisterCd(std::unique_ptr<CdAlgorithm> algorithm);
+  /// Descriptor of one registered algorithm, or nullptr.
+  const AlgorithmDescriptor* Describe(AlgorithmKind kind,
+                                      const std::string& name) const;
 
-  /// Names of registered CS algorithms, sorted.
-  std::vector<std::string> CsAlgorithmNames() const;
+  /// Descriptors of every registered algorithm (search first, then
+  /// detection, each sorted by name) — the source of the /v1/api
+  /// algorithms section.
+  std::vector<const AlgorithmDescriptor*> Descriptors() const {
+    return registry_.Describe();
+  }
 
-  /// Names of registered CD algorithms, sorted.
-  std::vector<std::string> CdAlgorithmNames() const;
+  /// Names of registered community-search algorithms, sorted.
+  std::vector<std::string> CsAlgorithmNames() const {
+    return registry_.Names(AlgorithmKind::kCommunitySearch);
+  }
+
+  /// Names of registered community-detection algorithms, sorted.
+  std::vector<std::string> CdAlgorithmNames() const {
+    return registry_.Names(AlgorithmKind::kCommunityDetection);
+  }
 
   // --- Comparison analysis (Figure 6) --------------------------------------
 
   /// Runs the query through several CS algorithms and assembles the
   /// statistics/quality table. Algorithms that return no community
-  /// contribute an all-zero row.
+  /// contribute an all-zero row. The control bounds the whole table
+  /// (checked between per-algorithm runs and inside each).
   Result<ComparisonReport> Compare(const Query& query,
-                                   const std::vector<std::string>& algorithms);
+                                   const std::vector<std::string>& algorithms,
+                                   const ExecControl* control = nullptr);
 
   // --- Accessors -----------------------------------------------------------
 
@@ -187,8 +222,7 @@ class Explorer {
 
   DatasetPtr dataset_;
 
-  std::map<std::string, std::unique_ptr<CsAlgorithm>> cs_;
-  std::map<std::string, std::unique_ptr<CdAlgorithm>> cd_;
+  AlgorithmRegistry registry_;
 };
 
 }  // namespace cexplorer

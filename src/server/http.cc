@@ -22,6 +22,12 @@ std::int64_t HttpRequest::IntParam(const std::string& key,
   return value;
 }
 
+const std::string& HttpResponse::Header(const std::string& name) const {
+  static const std::string kEmpty;
+  auto it = headers.find(name);
+  return it == headers.end() ? kEmpty : it->second;
+}
+
 HttpResponse HttpResponse::Ok(std::string json) {
   HttpResponse r;
   r.code = 200;
@@ -49,6 +55,12 @@ HttpResponse HttpResponse::Error(int code, std::string_view message) {
       break;
     case 503:
       api_code = api::ApiCode::kUnavailable;
+      break;
+    case 499:
+      api_code = api::ApiCode::kCancelled;
+      break;
+    case 504:
+      api_code = api::ApiCode::kDeadlineExceeded;
       break;
     default:
       api_code = api::ApiCode::kInternal;
@@ -146,8 +158,9 @@ Result<HttpRequest> ParseRequest(std::string_view text) {
   }
   HttpRequest req;
   req.method = fields[0];
-  if (req.method != "GET" && req.method != "POST") {
-    return Status::ParseError("only GET and POST are supported");
+  if (req.method != "GET" && req.method != "POST" &&
+      req.method != "DELETE") {
+    return Status::ParseError("only GET, POST and DELETE are supported");
   }
   req.body = std::string(body);
   std::string_view target = fields[1];

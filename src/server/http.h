@@ -25,9 +25,9 @@
 namespace cexplorer {
 
 /// A parsed request: method, path, decoded query parameters, and the raw
-/// body (POST only; empty for GET).
+/// body (POST only; empty for GET/DELETE).
 struct HttpRequest {
-  std::string method;  // "GET" or "POST"
+  std::string method;  // "GET", "POST" or "DELETE"
   std::string path;    // "/search"
   std::map<std::string, std::string> params;
   std::string body;  // text after the request line, blank line stripped
@@ -39,10 +39,16 @@ struct HttpRequest {
   std::int64_t IntParam(const std::string& key, std::int64_t fallback) const;
 };
 
-/// A response: status code (HTTP semantics) and a JSON body.
+/// A response: status code (HTTP semantics), response headers beyond the
+/// implied defaults (e.g. "Deprecation: true" on legacy alias routes), and
+/// a JSON body.
 struct HttpResponse {
   int code = 200;
+  std::map<std::string, std::string> headers;
   std::string body;
+
+  /// Header value, or the empty string.
+  const std::string& Header(const std::string& name) const;
 
   static HttpResponse Ok(std::string json);
 
@@ -57,7 +63,7 @@ struct HttpResponse {
 /// Parses "METHOD /path?k=v&k2=v2" with %XX and '+' decoding, per the
 /// query-string contract documented at the top of this header. Everything
 /// after the first line break is the request body (one leading blank line,
-/// LF or CRLF, is stripped); only GET and POST are accepted.
+/// LF or CRLF, is stripped); only GET, POST and DELETE are accepted.
 Result<HttpRequest> ParseRequest(std::string_view text);
 
 /// Decodes %XX escapes and '+' spaces leniently: malformed escapes are

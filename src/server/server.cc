@@ -49,18 +49,46 @@ HttpResponse CExplorerServer::Handle(std::string_view request_text) {
 
 HttpResponse CExplorerServer::Dispatch(const HttpRequest& request) {
   // The declarative table drives everything: membership (both the /v1 path
-  // and the legacy alias), method policy, and parameter validation. Binders
-  // below only convert validated parameters into typed requests.
+  // and the legacy alias), method policy, path-parameter capture, and
+  // parameter validation. Binders below only convert validated parameters
+  // into typed requests.
   bool is_v1 = false;
-  const api::RouteSpec* route = api::FindRoute(request.path, &is_v1);
+  std::map<std::string, std::string> path_params;
+  const api::RouteSpec* route =
+      api::FindRoute(request.path, &is_v1, &path_params);
   if (route == nullptr) {
     return HttpResponse::Error(404, "no route for " + request.path);
   }
-  if (request.method == "POST" && !route->allow_post) {
-    return HttpResponse::Error(405, std::string("POST not allowed on ") +
+  HttpResponse response = DispatchRoute(*route, request, is_v1, &path_params);
+  if (!is_v1) {
+    // RFC 9745 deprecation signal on every legacy unversioned alias
+    // response (validation errors included); the /v1 twin is the
+    // supported spelling.
+    response.headers["Deprecation"] = "true";
+  }
+  return response;
+}
+
+HttpResponse CExplorerServer::DispatchRoute(
+    const api::RouteSpec& route, const HttpRequest& request, bool is_v1,
+    std::map<std::string, std::string>* path_params) {
+  const unsigned method_bit = api::MethodBit(request.method);
+  if ((route.methods & method_bit) == 0) {
+    return HttpResponse::Error(405, request.method + " not allowed on " +
                                         request.path);
   }
-  if (auto invalid = api::ValidateParams(*route, request, is_v1)) {
+  // Captured path segments become parameters ("/v1/jobs/j4" -> id=j4) and
+  // override any query-string twin: the path is the authoritative spelling.
+  const HttpRequest* effective = &request;
+  HttpRequest with_captures;
+  if (!path_params->empty()) {
+    with_captures = request;
+    for (auto& [key, value] : *path_params) {
+      with_captures.params[key] = std::move(value);
+    }
+    effective = &with_captures;
+  }
+  if (auto invalid = api::ValidateParams(route, *effective, is_v1)) {
     HttpResponse response;
     response.code = api::HttpStatus(invalid->code);
     response.body = invalid->ToJson();
@@ -73,6 +101,11 @@ HttpResponse CExplorerServer::Dispatch(const HttpRequest& request) {
   };
   static constexpr Binder kBinders[] = {
       {"api", &CExplorerServer::BindApi},
+      {"healthz", &CExplorerServer::BindHealthz},
+      {"version", &CExplorerServer::BindVersion},
+      {"jobs", &CExplorerServer::BindJobs},
+      {"jobs/<id>", &CExplorerServer::BindJob},
+      {"jobs/<id>/result", &CExplorerServer::BindJobResult},
       {"index", &CExplorerServer::BindIndex},
       {"session/new", &CExplorerServer::BindSessionNew},
       {"session/delete", &CExplorerServer::BindSessionDelete},
@@ -93,14 +126,57 @@ HttpResponse CExplorerServer::Dispatch(const HttpRequest& request) {
       {"batch", &CExplorerServer::BindBatch},
   };
   for (const Binder& binder : kBinders) {
-    if (binder.name == route->name) return (this->*binder.bind)(request);
+    if (binder.name == route.name) return (this->*binder.bind)(*effective);
   }
-  return HttpResponse::Error(500, std::string("route '") + route->name +
+  return HttpResponse::Error(500, std::string("route '") + route.name +
                                       "' has no binder");
 }
 
-HttpResponse CExplorerServer::BindApi(const HttpRequest&) {
-  return HttpResponse::Ok(api::DescribeApi());
+HttpResponse CExplorerServer::BindApi(const HttpRequest& request) {
+  return ToResponse(service_.DescribeApi(request.Param("session")));
+}
+
+HttpResponse CExplorerServer::BindHealthz(const HttpRequest&) {
+  return ToResponse(service_.Healthz());
+}
+
+HttpResponse CExplorerServer::BindVersion(const HttpRequest&) {
+  return ToResponse(service_.Version());
+}
+
+HttpResponse CExplorerServer::BindJobs(const HttpRequest& request) {
+  if (request.method == "GET" && request.Param("request").empty()) {
+    return ToResponse(service_.ListJobs());
+  }
+  // POST carries the job spec as the request body; ?request= is the GET
+  // escape hatch mirroring /batch.
+  api::JobSubmitRequest typed;
+  typed.session = request.Param("session");
+  typed.body = request.method == "POST" && !request.body.empty()
+                   ? request.body
+                   : request.Param("request");
+  return ToResponse(service_.SubmitJob(typed, Workers()));
+}
+
+HttpResponse CExplorerServer::BindJob(const HttpRequest& request) {
+  api::JobRequest typed;
+  typed.session = request.Param("session");
+  typed.id = request.Param("id");
+  if (request.method == "DELETE") {
+    return ToResponse(service_.CancelJob(typed));
+  }
+  return ToResponse(service_.JobStatus(typed));
+}
+
+HttpResponse CExplorerServer::BindJobResult(const HttpRequest& request) {
+  auto page = PageParamsOf(request);
+  if (!page.ok()) return ToResponse(page.error());
+  api::JobResultRequest typed;
+  typed.session = request.Param("session");
+  typed.id = request.Param("id");
+  typed.member_of = request.IntParam("member_of", -1);
+  typed.page = std::move(page).value();
+  return ToResponse(service_.JobResult(typed));
 }
 
 HttpResponse CExplorerServer::BindIndex(const HttpRequest& request) {

@@ -14,9 +14,14 @@
 // envelope {"error":{"code","message"[,"detail"]}} with the HTTP status
 // implied by the code.
 //
-// Endpoints (all reachable as /v1/<name> and as the legacy alias; all
-// accept an optional &session=ID; GET unless noted):
-//   /v1/api             the self-description document (schema of every route)
+// Responses on a legacy alias carry a "Deprecation: true" header; the /v1
+// twin never does.
+//
+// Endpoints (reachable as /v1/<name> and, where noted, as the legacy
+// alias; all accept an optional &session=ID; GET unless noted):
+//   /v1/api             self-description: routes + algorithm registry
+//   /v1/healthz         liveness: uptime, snapshot id, session/job counts
+//   /v1/version         API + build version info
 //   /v1/index           system summary                       (alias /)
 //   /v1/session/new     create a session            (alias /session/new)
 //   /v1/session/delete  delete a session            (alias /session/delete)
@@ -37,6 +42,13 @@
 //   /v1/batch           POST a JSON array of search entries; all entries
 //                       run under ONE snapshot on the worker pool
 //                       (alias: GET /batch?requests=<url-encoded JSON>)
+//   /v1/jobs            POST a job spec to run any registered algorithm
+//                       asynchronously on the worker pool, pinned to the
+//                       current snapshot; GET lists jobs
+//   /v1/jobs/<id>        GET state/progress/runtime; DELETE cancels (the
+//                       worker unwinds at the next algorithm checkpoint)
+//   /v1/jobs/<id>/result GET the finished result; member_of/limit/cursor
+//                       page one member list via the cursor machinery
 
 #ifndef CEXPLORER_SERVER_SERVER_H_
 #define CEXPLORER_SERVER_SERVER_H_
@@ -114,9 +126,21 @@ class CExplorerServer {
   std::size_t num_workers() const;
 
  private:
+  /// Method policy, path-capture merge, schema validation, and binder
+  /// dispatch for one matched route (the Deprecation header is applied by
+  /// Dispatch so alias error responses carry it too).
+  HttpResponse DispatchRoute(const api::RouteSpec& route,
+                             const HttpRequest& request, bool is_v1,
+                             std::map<std::string, std::string>* path_params);
+
   /// Per-route binders: convert validated parameters into the typed request
   /// struct and call the facade.
   HttpResponse BindApi(const HttpRequest& request);
+  HttpResponse BindHealthz(const HttpRequest& request);
+  HttpResponse BindVersion(const HttpRequest& request);
+  HttpResponse BindJobs(const HttpRequest& request);
+  HttpResponse BindJob(const HttpRequest& request);
+  HttpResponse BindJobResult(const HttpRequest& request);
   HttpResponse BindIndex(const HttpRequest& request);
   HttpResponse BindSessionNew(const HttpRequest& request);
   HttpResponse BindSessionDelete(const HttpRequest& request);

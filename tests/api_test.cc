@@ -67,7 +67,11 @@ TEST_F(ApiFixture, SelfDescriptionListsEveryRoute) {
   for (const auto& route : routes) {
     described.insert(route.Get("path").AsString());
     EXPECT_FALSE(route.Get("doc").AsString().empty());
-    EXPECT_FALSE(route.Get("legacy_alias").AsString().empty());
+    // Versioned-only routes (healthz, version, jobs) have no legacy alias
+    // and omit the field entirely.
+    if (route.Has("legacy_alias")) {
+      EXPECT_FALSE(route.Get("legacy_alias").AsString().empty());
+    }
     EXPECT_GE(route.Get("methods").Items().size(), 1u);
   }
   for (std::size_t i = 0; i < count; ++i) {
@@ -83,6 +87,101 @@ TEST_F(ApiFixture, SelfDescriptionListsEveryRoute) {
   EXPECT_TRUE(names.count("NOT_FOUND"));
   EXPECT_TRUE(names.count("CONFLICT"));
   EXPECT_TRUE(names.count("UNAVAILABLE"));
+  EXPECT_TRUE(names.count("CANCELLED"));
+  EXPECT_TRUE(names.count("DEADLINE_EXCEEDED"));
+}
+
+TEST_F(ApiFixture, SelfDescriptionMatchesAlgorithmRegistry) {
+  // The algorithms section of /v1/api is generated from the registry's
+  // descriptors; cross-check every algorithm, parameter, and capability
+  // flag against a reference registry.
+  JsonValue v = GetJson("GET /v1/api");
+  Explorer reference;
+  const auto descriptors = reference.Descriptors();
+  const auto& described = v.Get("algorithms").Items();
+  ASSERT_EQ(described.size(), descriptors.size());
+  for (std::size_t i = 0; i < descriptors.size(); ++i) {
+    const AlgorithmDescriptor& want = *descriptors[i];
+    const JsonValue& got = described[i];
+    EXPECT_EQ(got.Get("name").AsString(), want.name);
+    EXPECT_EQ(got.Get("kind").AsString(), AlgorithmKindName(want.kind));
+    EXPECT_FALSE(got.Get("doc").AsString().empty()) << want.name;
+    EXPECT_EQ(got.Get("capabilities").Get("cancel").AsBool(),
+              want.caps.cancel);
+    EXPECT_EQ(got.Get("capabilities").Get("progress").AsBool(),
+              want.caps.progress);
+    EXPECT_EQ(got.Get("capabilities").Get("indexed").AsBool(),
+              want.caps.indexed);
+    const auto& params = got.Get("params").Items();
+    ASSERT_EQ(params.size(), want.params.size()) << want.name;
+    for (std::size_t p = 0; p < want.params.size(); ++p) {
+      EXPECT_EQ(params[p].Get("name").AsString(), want.params[p].name);
+      EXPECT_EQ(params[p].Get("type").AsString(),
+                AlgoParamTypeName(want.params[p].type));
+      EXPECT_EQ(params[p].Get("default").AsString(),
+                want.params[p].default_value);
+      EXPECT_EQ(params[p].Has("min"), want.params[p].has_range);
+    }
+  }
+
+  // A plug-in registered on a session appears in that session's /v1/api.
+  JsonValue session = GetJson("GET /v1/session/new");
+  const std::string id = session.Get("session").AsString();
+  // (Registration is programmatic; the HTTP surface only reads. Check the
+  // built-in count stays per-session-consistent instead.)
+  JsonValue scoped = GetJson("GET /v1/api?session=" + id);
+  EXPECT_EQ(scoped.Get("algorithms").Items().size(), descriptors.size());
+}
+
+// --------------------------------------------------------------------------
+// /v1/healthz and /v1/version
+// --------------------------------------------------------------------------
+
+TEST_F(ApiFixture, HealthzReportsSnapshotAndUptime) {
+  JsonValue v = GetJson("GET /v1/healthz");
+  EXPECT_EQ(v.Get("status").AsString(), "ok");
+  EXPECT_GE(v.Get("uptime_ms").AsInt(), 0);
+  EXPECT_TRUE(v.Get("graph_loaded").AsBool());
+  EXPECT_GT(v.Get("dataset_id").AsInt(), 0);
+  EXPECT_GE(v.Get("sessions").AsInt(), 0);
+  EXPECT_EQ(v.Get("jobs").AsInt(), 0);
+
+  // Liveness holds before any upload too.
+  CExplorerServer empty;
+  HttpResponse r = empty.Handle("GET /v1/healthz");
+  EXPECT_EQ(r.code, 200);
+  auto parsed = JsonValue::Parse(r.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->Get("graph_loaded").AsBool());
+}
+
+TEST_F(ApiFixture, VersionReportsApiAndBuild) {
+  JsonValue v = GetJson("GET /v1/version");
+  EXPECT_EQ(v.Get("server").AsString(), "C-Explorer");
+  EXPECT_EQ(v.Get("api_version").AsString(), "v1");
+  EXPECT_FALSE(v.Get("version").AsString().empty());
+  EXPECT_FALSE(v.Get("build").Get("compiler").AsString().empty());
+}
+
+// --------------------------------------------------------------------------
+// Deprecation header on legacy aliases
+// --------------------------------------------------------------------------
+
+TEST_F(ApiFixture, LegacyAliasesCarryDeprecationHeader) {
+  // Every legacy unversioned alias flags itself as deprecated; the /v1
+  // twin never does. Errors on the alias are flagged too.
+  for (const std::string& legacy :
+       {std::string("GET /"), std::string("GET /search?name=a&k=2"),
+        std::string("GET /history"), std::string("GET /author?name=")}) {
+    HttpResponse response = server_.Handle(legacy);
+    EXPECT_EQ(response.Header("Deprecation"), "true") << legacy;
+  }
+  for (const std::string& v1 :
+       {std::string("GET /v1/index"), std::string("GET /v1/search?name=a&k=2"),
+        std::string("GET /v1/healthz"), std::string("GET /v1/api")}) {
+    HttpResponse response = server_.Handle(v1);
+    EXPECT_EQ(response.Header("Deprecation"), "") << v1;
+  }
 }
 
 TEST_F(ApiFixture, SelfDescriptionSchemaDetails) {
@@ -478,6 +577,25 @@ TEST(QueryServiceTest, PageTokenRoundTrip) {
   EXPECT_FALSE(api::PageToken::Decode("gx-t0-iy-r1-oz").ok());
   EXPECT_FALSE(api::PageToken::Decode("g1-t9-i2-r1-o3").ok());  // bad kind
   EXPECT_FALSE(api::PageToken::Decode("g1-t0-i2-r1-o-3").ok());
+}
+
+TEST(QueryServiceTest, PageTokenRejectsTrailingAndPaddedBytes) {
+  // Regression: fields are digits-only to their exact boundaries. Bytes
+  // after the offset field (or whitespace padding anywhere) used to be
+  // silently ignored by the integer parser; every deviation is now a
+  // malformed cursor.
+  ASSERT_TRUE(api::PageToken::Decode("g1-t0-i2-r1-o3").ok());
+  EXPECT_FALSE(api::PageToken::Decode("g1-t0-i2-r1-o3 ").ok());
+  EXPECT_FALSE(api::PageToken::Decode("g1-t0-i2-r1-o3\n").ok());
+  EXPECT_FALSE(api::PageToken::Decode("g1-t0-i2-r1-o3junk").ok());
+  EXPECT_FALSE(api::PageToken::Decode("g1-t0-i2-r1-o 3").ok());
+  EXPECT_FALSE(api::PageToken::Decode(" g1-t0-i2-r1-o3").ok());
+  EXPECT_FALSE(api::PageToken::Decode("g 1-t0-i2-r1-o3").ok());
+  EXPECT_FALSE(api::PageToken::Decode("g1-t0-i2-r1-o+3").ok());
+  EXPECT_FALSE(api::PageToken::Decode("g1-t0-i2-r1-o").ok());  // empty field
+  // Overflow-sized fields are rejected, not wrapped.
+  EXPECT_FALSE(
+      api::PageToken::Decode("g1-t0-i2-r1-o99999999999999999999999").ok());
 }
 
 TEST(QueryServiceTest, ErrorEnvelopeJson) {

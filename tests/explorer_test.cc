@@ -172,27 +172,43 @@ TEST_F(ExplorerFixture, DisplayProducesLayoutAndAscii) {
 // --------------------------------------------------------------------------
 
 /// Toy plug-in used by the registry tests: returns q's neighbourhood.
-class NeighborhoodAlgorithm : public CsAlgorithm {
+class NeighborhoodAlgorithm : public Algorithm {
  public:
-  std::string name() const override { return "Neighborhood"; }
-  Result<std::vector<Community>> Search(const ExplorerContext& ctx,
-                                        const Query& query) override {
-    auto vertices = ResolveQueryVertices(ctx, query);
+  NeighborhoodAlgorithm() {
+    descriptor_.name = "Neighborhood";
+    descriptor_.kind = AlgorithmKind::kCommunitySearch;
+    descriptor_.doc = "the query vertex plus its direct neighbours";
+    descriptor_.params = {{"radius", AlgoParamType::kInt, "1", true, 1.0, 1.0,
+                           "hop radius (only 1 supported)"}};
+  }
+
+  const AlgorithmDescriptor& descriptor() const override {
+    return descriptor_;
+  }
+
+  Result<AlgorithmOutput> Run(ExecContext& ctx) override {
+    auto vertices = ResolveQueryVertices(ctx.view, ctx.query);
     if (!vertices.ok()) return vertices.status();
     VertexId q = vertices->front();
     Community c;
-    c.method = name();
+    c.method = descriptor_.name;
     c.vertices.push_back(q);
-    for (VertexId w : ctx.graph->graph().Neighbors(q)) {
+    for (VertexId w : ctx.view.graph->graph().Neighbors(q)) {
       c.vertices.push_back(w);
     }
     std::sort(c.vertices.begin(), c.vertices.end());
-    return std::vector<Community>{std::move(c)};
+    AlgorithmOutput out;
+    out.communities.push_back(std::move(c));
+    return out;
   }
+
+ private:
+  AlgorithmDescriptor descriptor_;
 };
 
 TEST_F(ExplorerFixture, PluginRegistrationAndDispatch) {
-  ASSERT_TRUE(explorer_.RegisterCs(std::make_unique<NeighborhoodAlgorithm>()).ok());
+  ASSERT_TRUE(
+      explorer_.Register(std::make_unique<NeighborhoodAlgorithm>()).ok());
   auto names = explorer_.CsAlgorithmNames();
   EXPECT_NE(std::find(names.begin(), names.end(), "Neighborhood"), names.end());
 
@@ -204,21 +220,67 @@ TEST_F(ExplorerFixture, PluginRegistrationAndDispatch) {
   EXPECT_EQ((*communities)[0].vertices, (VertexList{0, 1, 2, 3, 4}));
 }
 
+TEST_F(ExplorerFixture, PluginParamsValidatedAgainstSchema) {
+  ASSERT_TRUE(
+      explorer_.Register(std::make_unique<NeighborhoodAlgorithm>()).ok());
+  Explorer::RunOptions options;
+  options.query.name = "a";
+  options.params["radius"] = "1";
+  auto ok = explorer_.Run(AlgorithmKind::kCommunitySearch, "Neighborhood",
+                          options);
+  EXPECT_TRUE(ok.ok());
+
+  options.params["radius"] = "7";  // outside the declared [1, 1] range
+  auto out_of_range = explorer_.Run(AlgorithmKind::kCommunitySearch,
+                                    "Neighborhood", options);
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kOutOfRange);
+
+  options.params.clear();
+  options.params["bogus"] = "1";
+  auto unknown = explorer_.Run(AlgorithmKind::kCommunitySearch,
+                               "Neighborhood", options);
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST_F(ExplorerFixture, DuplicateRegistrationRejected) {
-  EXPECT_EQ(explorer_.RegisterCs(std::make_unique<GlobalCsAlgorithm>())
+  EXPECT_EQ(explorer_.Register(std::make_unique<GlobalSearchAlgorithm>())
                 .code(),
             StatusCode::kAlreadyExists);
-  EXPECT_EQ(explorer_.RegisterCd(std::make_unique<CodicilCdAlgorithm>())
+  EXPECT_EQ(explorer_.Register(std::make_unique<CodicilDetectAlgorithm>())
                 .code(),
             StatusCode::kAlreadyExists);
 }
 
 TEST_F(ExplorerFixture, BuiltinsRegistered) {
   auto cs = explorer_.CsAlgorithmNames();
-  EXPECT_EQ(cs, (std::vector<std::string>{"ACQ", "CODICIL", "Global", "Local"}));
+  EXPECT_EQ(cs, (std::vector<std::string>{"ACQ", "CODICIL", "Global",
+                                          "KTruss", "Local"}));
   auto cd = explorer_.CdAlgorithmNames();
   EXPECT_EQ(cd, (std::vector<std::string>{"CODICIL", "GirvanNewman", "LabelProp",
                                           "Louvain"}));
+}
+
+TEST_F(ExplorerFixture, DescriptorsExposeSchemaAndCaps) {
+  const AlgorithmDescriptor* acq =
+      explorer_.Describe(AlgorithmKind::kCommunitySearch, "ACQ");
+  ASSERT_NE(acq, nullptr);
+  EXPECT_TRUE(acq->caps.indexed);
+  EXPECT_TRUE(acq->caps.cancel);
+  ASSERT_NE(acq->FindParam("variant"), nullptr);
+  EXPECT_STREQ(acq->FindParam("variant")->default_value, "Dec");
+
+  const AlgorithmDescriptor* gn =
+      explorer_.Describe(AlgorithmKind::kCommunityDetection, "GirvanNewman");
+  ASSERT_NE(gn, nullptr);
+  EXPECT_TRUE(gn->caps.cancel);
+  EXPECT_TRUE(gn->caps.progress);
+  ASSERT_NE(gn->FindParam("max_edges"), nullptr);
+
+  // Descriptors() lists every registered algorithm exactly once.
+  auto all = explorer_.Descriptors();
+  EXPECT_EQ(all.size(),
+            explorer_.CsAlgorithmNames().size() +
+                explorer_.CdAlgorithmNames().size());
 }
 
 // --------------------------------------------------------------------------

@@ -123,7 +123,7 @@ TEST_F(ServerFixture, IndexListsAlgorithms) {
   EXPECT_TRUE(v.Get("graph_loaded").AsBool());
   EXPECT_EQ(v.Get("vertices").AsInt(), 10);
   EXPECT_EQ(v.Get("edges").AsInt(), 11);
-  EXPECT_EQ(v.Get("cs_algorithms").Items().size(), 4u);
+  EXPECT_EQ(v.Get("cs_algorithms").Items().size(), 5u);  // incl. KTruss
 }
 
 TEST_F(ServerFixture, UnknownRouteIs404) {
