@@ -1,0 +1,87 @@
+// Process-wide operator-new counter for the benchmark harness (declared in
+// bench_common.h). Linked into every bench binary so allocation counts can
+// be reported next to timings; the library itself is never built with this
+// TU, so production binaries keep the stock allocator untouched.
+//
+// Only the allocation entry points count (every non-throwing / aligned
+// variant funnels a real heap acquisition); deallocation is forwarded
+// unchanged. Counting is a single relaxed atomic increment, cheap enough
+// that it does not distort the timings printed alongside.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "bench/bench_common.h"
+
+namespace cexplorer {
+namespace bench {
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+std::uint64_t AllocationCount() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+inline void CountAllocation() {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace internal
+
+}  // namespace bench
+}  // namespace cexplorer
+
+// --------------------------------------------------------------------------
+// Replaceable global allocation functions ([new.delete.single] /
+// [new.delete.array]).
+// --------------------------------------------------------------------------
+
+void* operator new(std::size_t size) {
+  cexplorer::bench::internal::CountAllocation();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  cexplorer::bench::internal::CountAllocation();
+  // aligned_alloc requires a size that is a multiple of the alignment.
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  cexplorer::bench::internal::CountAllocation();
+  return std::malloc(size ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

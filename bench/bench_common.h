@@ -9,6 +9,7 @@
 #ifndef CEXPLORER_BENCH_BENCH_COMMON_H_
 #define CEXPLORER_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -28,7 +29,9 @@ inline bool FullScale() {
 }
 
 /// Default benchmark dataset options: 60k authors (laptop) or the paper's
-/// 977k (full scale).
+/// 977k (full scale). CEXPLORER_BENCH_AUTHORS overrides the author count —
+/// the CI bench-smoke job uses it to run the same binaries on a smaller
+/// fixture.
 inline DblpOptions BenchDblpOptions() {
   if (FullScale()) return DblpOptions::FullScale();
   DblpOptions o;
@@ -36,6 +39,10 @@ inline DblpOptions BenchDblpOptions() {
   o.num_areas = 60;
   o.vocabulary_size = 6000;
   o.seed = 2017;
+  if (const char* env = std::getenv("CEXPLORER_BENCH_AUTHORS")) {
+    const long authors = std::atol(env);
+    if (authors > 0) o.num_authors = static_cast<std::size_t>(authors);
+  }
   return o;
 }
 
@@ -68,6 +75,26 @@ inline void EmitJsonLine(const char* name, std::size_t n, std::size_t m,
       "\"ms\":%.3f}\n",
       name, n, m, threads, ms);
 }
+
+/// Emits one machine-readable line for a non-timing metric (allocation
+/// counts, cache hit ratios, percentile latencies):
+///   BENCH_JSON {"name":"...","n":...,"m":...,"threads":...,"<metric>":...}
+/// `metric` must be a plain identifier (no JSON escaping applied).
+inline void EmitJsonMetricLine(const char* name, std::size_t n, std::size_t m,
+                               std::size_t threads, const char* metric,
+                               double value) {
+  std::printf(
+      "BENCH_JSON {\"name\":\"%s\",\"n\":%zu,\"m\":%zu,\"threads\":%zu,"
+      "\"%s\":%.3f}\n",
+      name, n, m, threads, metric, value);
+}
+
+/// Total number of operator-new allocations performed by this process so
+/// far. The counting allocator lives in bench/alloc_counter.cc, which is
+/// linked into every bench binary (and only there — the library and the
+/// tests keep the stock allocator). Sample before and after a workload and
+/// subtract to attribute allocations to it.
+std::uint64_t AllocationCount();
 
 /// Prints the standard reproduction banner.
 inline void Banner(const char* experiment, const char* claim) {

@@ -136,6 +136,76 @@ void PrintSweepTable() {
   std::printf("\n");
 }
 
+// The zero-allocation hot-path acceptance metric: allocations per cold ACQ
+// query on a 50k-vertex graph, per algorithm, measured with the counting
+// allocator in bench/alloc_counter.cc. "Cold" means the engine-level query
+// runs in full (no server-side result cache involved); the per-thread
+// scratch is warmed by one throwaway query first so the steady state — not
+// the first-touch growth of the reusable buffers — is what gets reported.
+void PrintAllocTable() {
+  DblpOptions options = cexplorer::bench::BenchDblpOptions();
+  options.num_authors = 50000;
+  DblpDataset data = GenerateDblp(options);
+  const AttributedGraph& graph = data.graph;
+  ClTree tree = ClTree::Build(graph);
+  std::vector<VertexId> queries;
+  for (VertexId v = 0; v < graph.num_vertices() && queries.size() < 16;
+       v += 97) {
+    if (tree.CoreOf(v) >= 4 && graph.Keywords(v).size() >= 8) {
+      queries.push_back(v);
+    }
+  }
+  if (queries.empty()) {
+    std::printf("alloc sweep: no suitable query authors found\n");
+    return;
+  }
+
+  auto keywords_of = [&graph](VertexId q, std::size_t count) {
+    auto wq = graph.Keywords(q);
+    return KeywordList(wq.begin(),
+                       wq.begin() + std::min<std::size_t>(wq.size(), count));
+  };
+
+  // Sequential engine: a deterministic allocation count per query.
+  AcqEngine engine(&graph, &tree, /*pool=*/nullptr);
+  std::printf("allocations per cold query (%s authors, k=4, |S|=4):\n",
+              FormatWithCommas(graph.num_vertices()).c_str());
+  std::printf("%-8s %16s %16s\n", "algo", "allocs/query", "total");
+  const std::size_t n = graph.num_vertices();
+  const std::size_t m = graph.graph().num_edges();
+  for (AcqAlgorithm algo :
+       {AcqAlgorithm::kIncS, AcqAlgorithm::kIncT, AcqAlgorithm::kDec}) {
+    // Warm-up pass: excludes the first-touch growth of any reusable
+    // per-thread scratch from the steady-state number.
+    for (VertexId q : queries) {
+      auto warm = engine.Search(q, 4, keywords_of(q, 4), algo);
+      if (!warm.ok()) {
+        std::printf("alloc sweep query failed: %s\n",
+                    warm.status().ToString().c_str());
+        return;
+      }
+    }
+    const std::uint64_t before = cexplorer::bench::AllocationCount();
+    for (VertexId q : queries) {
+      auto result = engine.Search(q, 4, keywords_of(q, 4), algo);
+      benchmark::DoNotOptimize(result.ok());
+    }
+    const std::uint64_t total = cexplorer::bench::AllocationCount() - before;
+    const double per_query =
+        static_cast<double>(total) / static_cast<double>(queries.size());
+    std::printf("%-8s %16.1f %16llu\n", AcqAlgorithmName(algo), per_query,
+                static_cast<unsigned long long>(total));
+    const char* metric_name = algo == AcqAlgorithm::kIncS
+                                  ? "acq_allocs_incs_k4_s4"
+                                  : (algo == AcqAlgorithm::kIncT
+                                         ? "acq_allocs_inct_k4_s4"
+                                         : "acq_allocs_dec_k4_s4");
+    cexplorer::bench::EmitJsonMetricLine(metric_name, n, m, 1,
+                                         "allocs_per_query", per_query);
+  }
+  std::printf("\n");
+}
+
 void RunAlgo(benchmark::State& state, AcqAlgorithm algo) {
   Workload& w = TheWorkload();
   if (w.queries.empty()) {
@@ -181,6 +251,7 @@ BENCHMARK(BM_MultiVertexDec)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   PrintSweepTable();
+  PrintAllocTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -10,6 +10,7 @@
 // The acceptance bar for the multi-session refactor is a >= 4x throughput
 // ratio at 8 sessions.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -36,11 +37,10 @@ constexpr int kQueriesPerSession = 12;
 
 DblpOptions ThroughputOptions() {
   if (bench::FullScale()) return DblpOptions::FullScale();
-  DblpOptions options;
-  options.num_authors = 100000;
-  options.num_areas = 60;
-  options.vocabulary_size = 6000;
-  options.seed = 2017;
+  DblpOptions options = bench::BenchDblpOptions();
+  if (std::getenv("CEXPLORER_BENCH_AUTHORS") == nullptr) {
+    options.num_authors = 100000;
+  }
   return options;
 }
 
@@ -90,6 +90,96 @@ void RunScript(CExplorerServer* server, const std::vector<std::string>& script,
     HttpResponse response = server->Handle(request);
     if (response.code == 200) ++*served;
   }
+}
+
+/// Median of a latency sample (ms). Sorts in place.
+double P50(std::vector<double>* samples) {
+  if (samples->empty()) return 0.0;
+  std::sort(samples->begin(), samples->end());
+  return (*samples)[samples->size() / 2];
+}
+
+/// The repeated-query scenario of the result cache: every session re-issues
+/// the SAME handful of searches (the "everyone starts from Jim Gray"
+/// pattern), with the snapshot-keyed result cache off and then on. Reports
+/// the per-request p50; the acceptance bar for the cache is >= 2x p50.
+void RunRepeatedQueryScenario(const AttributedGraph& graph, std::size_t n,
+                              std::size_t m) {
+  constexpr int kDistinctQueries = 4;
+  constexpr int kRepeatsPerSession = 8;
+
+  CExplorerServer server;
+  if (!server.UploadGraph(graph).ok()) {
+    std::printf("upload failed\n");
+    return;
+  }
+  DatasetPtr dataset = server.dataset();
+  const VertexId anchor =
+      bench::PickQueryAuthor(dataset->graph(), dataset->core_numbers());
+
+  std::vector<std::string> queries;
+  for (int i = 0; i < kDistinctQueries; ++i) {
+    const VertexId v =
+        (anchor + static_cast<VertexId>(i * 17)) % graph.num_vertices();
+    auto kws = graph.KeywordStrings(v);
+    std::string keywords;
+    for (std::size_t k = 0; k < kws.size() && k < 2; ++k) {
+      if (k) keywords += ',';
+      keywords += UrlEncode(kws[k]);
+    }
+    queries.push_back("GET /v1/search?vertex=" + std::to_string(v) +
+                      "&k=4&algo=ACQ&keywords=" + keywords);
+  }
+
+  double p50_ms[2] = {0.0, 0.0};
+  std::uint64_t hits[2] = {0, 0};
+  for (int mode = 0; mode < 2; ++mode) {
+    const bool cache_on = mode == 1;
+    server.service().ConfigureResultCache(cache_on ? 512 : 0);
+    std::vector<double> latencies;
+    latencies.reserve(static_cast<std::size_t>(kSessions) *
+                      kRepeatsPerSession * kDistinctQueries);
+    for (int s = 0; s < kSessions; ++s) {
+      HttpResponse created = server.Handle("GET /session/new");
+      auto parsed = JsonValue::Parse(created.body);
+      if (created.code != 200 || !parsed.ok()) {
+        std::printf("session creation failed\n");
+        return;
+      }
+      const std::string suffix =
+          "&session=" + parsed->Get("session").AsString();
+      for (int r = 0; r < kRepeatsPerSession; ++r) {
+        for (const std::string& q : queries) {
+          Timer timer;
+          HttpResponse response = server.Handle(q + suffix);
+          const double ms = timer.ElapsedMillis();
+          if (response.code != 200) {
+            std::printf("repeated query failed: [%d] %s\n", response.code,
+                        response.body.c_str());
+            return;
+          }
+          latencies.push_back(ms);
+        }
+      }
+    }
+    p50_ms[mode] = P50(&latencies);
+    hits[mode] = server.service().ResultCacheStats().hits;
+  }
+
+  const double speedup = p50_ms[1] > 0 ? p50_ms[0] / p50_ms[1] : 0.0;
+  std::printf("\nrepeated-query p50 (%d sessions x %d repeats x %d queries):\n",
+              kSessions, kRepeatsPerSession, kDistinctQueries);
+  std::printf("  result cache OFF: %8.3f ms\n", p50_ms[0]);
+  std::printf("  result cache ON:  %8.3f ms  (%llu hits)\n", p50_ms[1],
+              static_cast<unsigned long long>(hits[1]));
+  std::printf("  p50 speedup: %.1fx %s\n", speedup,
+              speedup >= 2.0 ? "(>= 2x target met)" : "(BELOW 2x target)");
+  bench::EmitJsonMetricLine("server_repeated_query_p50_cache_off", n, m,
+                            kSessions, "p50_ms", p50_ms[0]);
+  bench::EmitJsonMetricLine("server_repeated_query_p50_cache_on", n, m,
+                            kSessions, "p50_ms", p50_ms[1]);
+  bench::EmitJsonMetricLine("server_repeated_query_p50_speedup", n, m,
+                            kSessions, "speedup", speedup);
 }
 
 }  // namespace
@@ -256,5 +346,7 @@ int main() {
                       rebuild_seconds * 1e3);
   bench::EmitJsonLine("server_batch_pool", n, m, DefaultThreadCount(),
                       batch_ms);
+
+  RunRepeatedQueryScenario(data.graph, n, m);
   return 0;
 }

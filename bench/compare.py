@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_JSON files and print per-metric deltas.
+
+Every bench binary emits machine-readable lines of the form
+
+    BENCH_JSON {"name":"...","n":...,"m":...,"threads":...,"ms":...}
+
+(one JSON object per line; the metric key varies — "ms", "allocs_per_query",
+"p50_ms", "speedup", ...). CI and the driver collect them into *.jsonl /
+BENCH_*.json files. This tool joins two such files by benchmark name and
+prints the delta of every shared numeric metric:
+
+    $ python3 bench/compare.py BENCH_PR5.json bench-smoke.jsonl
+
+Used manually to eyeball regressions between commits; non-gating.
+"""
+
+import json
+import sys
+
+STRUCTURAL_KEYS = {"name", "n", "m", "threads"}
+
+
+def load(path):
+    """Returns {benchmark name: {metric: value}} from a BENCH_JSON file.
+
+    Accepts raw .jsonl (one object per line) as well as bench stdout dumps
+    where lines carry the "BENCH_JSON " prefix. A name that appears twice
+    keeps its last record, matching "the freshest run wins".
+    """
+    records = {}
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line.startswith("BENCH_JSON "):
+                line = line[len("BENCH_JSON "):]
+            if not line.startswith("{"):
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            name = obj.get("name")
+            if not name:
+                continue
+            records[name] = obj
+    return records
+
+
+def fmt(value):
+    return f"{value:,.3f}" if isinstance(value, float) else f"{value:,}"
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    base = load(argv[1])
+    fresh = load(argv[2])
+
+    shared = sorted(set(base) & set(fresh))
+    only_base = sorted(set(base) - set(fresh))
+    only_fresh = sorted(set(fresh) - set(base))
+
+    if not shared:
+        print("no shared benchmark names between the two files")
+    for name in shared:
+        printed_header = False
+        for key, old in base[name].items():
+            if key in STRUCTURAL_KEYS or not isinstance(old, (int, float)):
+                continue
+            new = fresh[name].get(key)
+            if not isinstance(new, (int, float)):
+                continue
+            if not printed_header:
+                print(f"{name}:")
+                printed_header = True
+            delta = new - old
+            ratio = (new / old) if old else float("inf")
+            print(f"  {key:<18} {fmt(old):>14} -> {fmt(new):>14}  "
+                  f"({delta:+,.3f}, x{ratio:.3f})")
+
+    if only_base:
+        print("\nonly in", argv[1] + ":", ", ".join(only_base))
+    if only_fresh:
+        print("\nonly in", argv[2] + ":", ", ".join(only_fresh))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,7 +1,6 @@
 #include "acq/acq.h"
 
 #include <algorithm>
-#include <set>
 
 #include "core/kcore.h"
 
@@ -22,6 +21,22 @@ const char* AcqAlgorithmName(AcqAlgorithm algo) {
 }
 
 namespace {
+
+/// Reusable per-thread buffers of the ACQ hot path, complementing the peel
+/// scratch (core/kcore.h) the verification step already reuses. The gather
+/// buffer absorbs the growth churn of candidate collection (the final list
+/// is copied out exactly-sized), and the frontier buffer replaces the old
+/// std::set<KeywordList> lattice dedup in Dec with a flat sort + unique —
+/// no node allocations, identical (sorted, unique) frontier contents.
+struct AcqScratch {
+  VertexList gather;
+  std::vector<KeywordList> next_frontier;
+};
+
+AcqScratch& ThreadAcqScratch() {
+  thread_local AcqScratch scratch;
+  return scratch;
+}
 
 /// All state one query needs, shared by the four algorithms.
 struct QueryContext {
@@ -96,11 +111,12 @@ std::vector<VertexList> VerifyLevel(QueryContext* ctx,
 /// list and testing keyword containment directly (Inc-S / brute force).
 VertexList GatherByScan(const QueryContext& ctx, const VertexList& universe,
                         const KeywordList& cand) {
-  VertexList out;
+  VertexList& buf = ThreadAcqScratch().gather;
+  buf.clear();
   for (VertexId v : universe) {
-    if (ctx.g->HasAllKeywords(v, cand)) out.push_back(v);
+    if (ctx.g->HasAllKeywords(v, cand)) buf.push_back(v);
   }
-  return out;
+  return VertexList(buf.begin(), buf.end());  // one exact-size allocation
 }
 
 /// The fallback community (empty shared keyword set): the connected k-core
@@ -326,7 +342,11 @@ Result<std::vector<AttributedCommunity>> RunDec(QueryContext* ctx) {
     std::vector<VertexList> communities = VerifyLevel(ctx, std::move(gathered));
 
     std::vector<AttributedCommunity> qualified;
-    std::set<KeywordList> next;
+    // Flat frontier expansion: collect every one-smaller subset, then
+    // sort + unique — the same (sorted, duplicate-free) next level the old
+    // std::set produced, without a node allocation per subset probe.
+    std::vector<KeywordList>& next = ThreadAcqScratch().next_frontier;
+    next.clear();
     for (std::size_t i = 0; i < frontier.size(); ++i) {
       const KeywordList& cand = frontier[i];
       if (!communities[i].empty()) {
@@ -340,7 +360,7 @@ Result<std::vector<AttributedCommunity>> RunDec(QueryContext* ctx) {
           for (std::size_t t = 0; t < cand.size(); ++t) {
             if (t != drop) sub.push_back(cand[t]);
           }
-          next.insert(std::move(sub));
+          next.push_back(std::move(sub));
         }
       }
     }
@@ -348,7 +368,10 @@ Result<std::vector<AttributedCommunity>> RunDec(QueryContext* ctx) {
       SortCommunities(&qualified);
       return qualified;
     }
-    frontier.assign(next.begin(), next.end());
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    frontier.assign(std::make_move_iterator(next.begin()),
+                    std::make_move_iterator(next.end()));
   }
   return FallbackCommunity(ctx, ctx->component);
 }

@@ -1,9 +1,7 @@
 #include "algos/local.h"
 
 #include <algorithm>
-#include <queue>
 
-#include "common/bitset.h"
 #include "core/kcore.h"
 
 namespace cexplorer {
@@ -27,6 +25,38 @@ struct FrontierEntry {
   }
 };
 
+/// Reusable per-thread expansion state: epoch-stamped membership and link
+/// counters sized to the graph (bumping the epoch replaces the per-query
+/// O(n) zeroing), plus the frontier heap's backing store. push_heap /
+/// pop_heap are exactly what std::priority_queue runs underneath, so the
+/// absorption order is unchanged.
+struct LocalScratch {
+  std::vector<std::uint32_t> stamp_;  // in-set / links valid for this epoch
+  std::vector<std::uint32_t> links_;
+  std::vector<FrontierEntry> heap_;
+  std::uint32_t epoch_ = 0;
+
+  std::uint32_t Begin(std::size_t n) {
+    if (stamp_.size() < n) {
+      stamp_.resize(n, 0);
+      links_.resize(n, 0);
+    }
+    // The top stamp bit distinguishes "absorbed" from "frontier", so the
+    // epoch counter wraps at 2^31 to keep that bit free.
+    if (++epoch_ >= 0x80000000u) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      epoch_ = 1;
+    }
+    heap_.clear();
+    return epoch_;
+  }
+};
+
+LocalScratch& ThreadLocalScratch() {
+  thread_local LocalScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 LocalResult LocalSearch(const Graph& g, VertexId q, std::uint32_t k,
@@ -35,22 +65,28 @@ LocalResult LocalSearch(const Graph& g, VertexId q, std::uint32_t k,
   if (q >= g.num_vertices()) return result;
   if (g.Degree(q) < k) return result;  // q can never reach degree k
 
-  const std::size_t n = g.num_vertices();
-  Bitset in_set(n);
-  std::vector<std::uint32_t> links(n, 0);  // links into the candidate set
-  std::priority_queue<FrontierEntry> frontier;
+  LocalScratch& s = ThreadLocalScratch();
+  const std::uint32_t epoch = s.Begin(g.num_vertices());
+  constexpr std::uint32_t kInSetBit = 0x80000000u;
+  auto in_set = [&](VertexId v) { return s.stamp_[v] == (epoch | kInSetBit); };
+  auto links_of = [&](VertexId v) -> std::uint32_t {
+    return (s.stamp_[v] & ~kInSetBit) == epoch ? s.links_[v] : 0;
+  };
 
   VertexList candidates;
   auto absorb = [&](VertexId v) {
-    in_set.Set(v);
+    s.stamp_[v] = epoch | kInSetBit;
     candidates.push_back(v);
     ++result.candidates_explored;
     for (VertexId w : g.Neighbors(v)) {
-      if (in_set.Test(w)) continue;
-      ++links[w];
+      if (in_set(w)) continue;
+      const std::uint32_t fresh = links_of(w) + 1;
+      s.stamp_[w] = epoch;
+      s.links_[w] = fresh;
       // Lazy priority update: push a fresh entry; stale ones are skipped.
       if (g.Degree(w) >= k) {
-        frontier.push({links[w], static_cast<std::uint32_t>(g.Degree(w)), w});
+        s.heap_.push_back({fresh, static_cast<std::uint32_t>(g.Degree(w)), w});
+        std::push_heap(s.heap_.begin(), s.heap_.end());
       }
     }
   };
@@ -60,14 +96,14 @@ LocalResult LocalSearch(const Graph& g, VertexId q, std::uint32_t k,
   for (;;) {
     const bool capped = options.max_candidates != 0 &&
                         candidates.size() >= options.max_candidates;
-    if (candidates.size() >= next_test || capped || frontier.empty()) {
+    if (candidates.size() >= next_test || capped || s.heap_.empty()) {
       ++result.peel_tests;
       VertexList community = PeelToKCore(g, candidates, k, q);
       if (!community.empty()) {
         result.vertices = std::move(community);
         return result;
       }
-      if (capped || frontier.empty()) return result;
+      if (capped || s.heap_.empty()) return result;
       next_test = std::max(
           next_test + 1,
           static_cast<std::size_t>(static_cast<double>(candidates.size()) *
@@ -76,11 +112,12 @@ LocalResult LocalSearch(const Graph& g, VertexId q, std::uint32_t k,
 
     // Pop the best non-stale frontier vertex.
     VertexId chosen = kInvalidVertex;
-    while (!frontier.empty()) {
-      FrontierEntry top = frontier.top();
-      frontier.pop();
-      if (in_set.Test(top.vertex)) continue;           // already absorbed
-      if (top.links_into_set != links[top.vertex]) continue;  // stale
+    while (!s.heap_.empty()) {
+      FrontierEntry top = s.heap_.front();
+      std::pop_heap(s.heap_.begin(), s.heap_.end());
+      s.heap_.pop_back();
+      if (in_set(top.vertex)) continue;                      // already absorbed
+      if (top.links_into_set != links_of(top.vertex)) continue;  // stale
       chosen = top.vertex;
       break;
     }

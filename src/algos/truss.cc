@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <limits>
 
-#include "common/bitset.h"
 
 namespace cexplorer {
 
@@ -177,6 +176,47 @@ TrussDecomposition TrussDecompose(const Graph& g,
   return td;
 }
 
+namespace {
+
+/// Reusable per-thread buffers of the k-truss query path: epoch-stamped
+/// edge-visited and vertex-member arrays (sized to the decomposition /
+/// graph once per thread) plus the BFS worklist, replacing the per-query
+/// O(m) + per-community O(n) zero-fills. The two stamp arrays carry
+/// independent epoch counters: edge visits live for a whole query, member
+/// stamps for one component.
+struct TrussScratch {
+  std::vector<std::uint32_t> edge_visited_;
+  std::vector<std::uint32_t> member_;
+  std::vector<std::size_t> queue_;
+  std::uint32_t edge_epoch_ = 0;
+  std::uint32_t member_epoch_ = 0;
+
+  std::uint32_t BeginQuery(std::size_t num_edges, std::size_t num_vertices) {
+    if (edge_visited_.size() < num_edges) edge_visited_.resize(num_edges, 0);
+    if (member_.size() < num_vertices) member_.resize(num_vertices, 0);
+    if (++edge_epoch_ == 0) {
+      std::fill(edge_visited_.begin(), edge_visited_.end(), 0);
+      edge_epoch_ = 1;
+    }
+    return edge_epoch_;
+  }
+
+  std::uint32_t BeginComponent() {
+    if (++member_epoch_ == 0) {
+      std::fill(member_.begin(), member_.end(), 0);
+      member_epoch_ = 1;
+    }
+    return member_epoch_;
+  }
+};
+
+TrussScratch& ThreadTrussScratch() {
+  thread_local TrussScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
 std::vector<TrussCommunity> KTrussCommunities(const Graph& g,
                                               const TrussDecomposition& td,
                                               VertexId q, std::uint32_t k) {
@@ -185,23 +225,36 @@ std::vector<TrussCommunity> KTrussCommunities(const Graph& g,
 
   auto edge_alive = [&](std::size_t e) { return td.trussness[e] >= k; };
 
-  std::vector<bool> visited(td.edges.size(), false);
+  TrussScratch& s = ThreadTrussScratch();
+  const std::uint32_t query_epoch =
+      s.BeginQuery(td.edges.size(), g.num_vertices());
+  auto visited = [&](std::size_t e) {
+    return s.edge_visited_[e] == query_epoch;
+  };
   for (VertexId v0 : g.Neighbors(q)) {
     std::size_t seed = td.EdgeIndex(q, v0);
-    if (!edge_alive(seed) || visited[seed]) continue;
+    if (!edge_alive(seed) || visited(seed)) continue;
 
     // BFS across triangle-connected alive edges.
-    std::vector<std::size_t> queue{seed};
-    visited[seed] = true;
+    const std::uint32_t member_epoch = s.BeginComponent();
+    s.queue_.clear();
+    s.queue_.push_back(seed);
+    s.edge_visited_[seed] = query_epoch;
     std::size_t head = 0;
-    Bitset members(g.num_vertices());
+    VertexList member_list;
     std::size_t edge_count = 0;
-    while (head < queue.size()) {
-      std::size_t e = queue[head++];
+    while (head < s.queue_.size()) {
+      std::size_t e = s.queue_[head++];
       ++edge_count;
       const auto [u, v] = td.edges[e];
-      members.Set(u);
-      members.Set(v);
+      if (s.member_[u] != member_epoch) {
+        s.member_[u] = member_epoch;
+        member_list.push_back(u);
+      }
+      if (s.member_[v] != member_epoch) {
+        s.member_[v] = member_epoch;
+        member_list.push_back(v);
+      }
       auto nu = g.Neighbors(u);
       auto nv = g.Neighbors(v);
       std::size_t i = 0;
@@ -216,13 +269,13 @@ std::vector<TrussCommunity> KTrussCommunities(const Graph& g,
           std::size_t e1 = td.EdgeIndex(u, w);
           std::size_t e2 = td.EdgeIndex(v, w);
           if (edge_alive(e1) && edge_alive(e2)) {
-            if (!visited[e1]) {
-              visited[e1] = true;
-              queue.push_back(e1);
+            if (!visited(e1)) {
+              s.edge_visited_[e1] = query_epoch;
+              s.queue_.push_back(e1);
             }
-            if (!visited[e2]) {
-              visited[e2] = true;
-              queue.push_back(e2);
+            if (!visited(e2)) {
+              s.edge_visited_[e2] = query_epoch;
+              s.queue_.push_back(e2);
             }
           }
           ++i;
@@ -232,8 +285,8 @@ std::vector<TrussCommunity> KTrussCommunities(const Graph& g,
     }
     TrussCommunity community;
     community.num_edges = edge_count;
-    auto member_list = members.ToVector();
-    community.vertices.assign(member_list.begin(), member_list.end());
+    std::sort(member_list.begin(), member_list.end());
+    community.vertices = std::move(member_list);
     out.push_back(std::move(community));
   }
   std::sort(out.begin(), out.end(),

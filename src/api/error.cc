@@ -52,7 +52,7 @@ int HttpStatus(ApiCode code) {
 }
 
 std::string ApiError::ToJson() const {
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("error");
   w.BeginObject();

@@ -335,9 +335,85 @@ ApiResult<PageWindow> ResolvePage(const PageParams& page, std::uint64_t epoch,
   return window;
 }
 
+/// The built-in registry, for descriptor lookups that must not depend on
+/// (or wait for) any session: job-spec resolution, the /v1/api fallback,
+/// and the result cache's "is this algorithm shared across sessions"
+/// test. Read-only after construction, so concurrent readers are safe.
+const Explorer& BuiltinExplorer() {
+  static const Explorer kBuiltins;
+  return kBuiltins;
+}
+
+/// Only built-in search algorithms are cacheable across sessions: their
+/// names cannot be re-registered (the registry rejects duplicate keys), so
+/// one name means one deterministic algorithm for every session. A
+/// session-local plug-in gets its own execution every time.
+bool CacheableSearchAlgo(const std::string& algo) {
+  return BuiltinExplorer().Describe(AlgorithmKind::kCommunitySearch, algo) !=
+         nullptr;
+}
+
+/// The snapshot-keyed cache key: graph epoch, algorithm, and the
+/// canonicalized query. Keywords are sorted and deduplicated (every
+/// built-in treats S as a set — ACQ sorts internally, the others ignore
+/// it); vertices keep their order (Global/Local anchor on the first).
+/// Free-form fields (name, keywords) are length-prefixed so no byte an
+/// uploaded vocabulary or a %-escaped query can contain forges a field or
+/// item boundary — two distinct queries can never share a key.
+std::string SearchCacheKey(std::uint64_t epoch, const std::string& algo,
+                           const Query& query) {
+  constexpr char kField = '\x1e';
+  std::string key;
+  key.reserve(64 + query.name.size());
+  auto append_sized = [&key](const std::string& text) {
+    key += std::to_string(text.size());
+    key += ':';
+    key += text;
+  };
+  key += std::to_string(epoch);
+  key += kField;
+  key += algo;
+  key += kField;
+  key += std::to_string(query.k);
+  key += kField;
+  append_sized(query.name);
+  key += kField;
+  for (VertexId v : query.vertices) {
+    key += std::to_string(v);
+    key += ',';
+  }
+  key += kField;
+  std::vector<std::string> keywords = query.keywords;
+  std::sort(keywords.begin(), keywords.end());
+  keywords.erase(std::unique(keywords.begin(), keywords.end()), keywords.end());
+  for (const std::string& kw : keywords) {
+    append_sized(kw);
+  }
+  return key;
+}
+
 }  // namespace
 
-QueryService::QueryService() : start_time_(ExecControl::Clock::now()) {}
+QueryService::QueryService()
+    : result_cache_(std::make_shared<ResultCache>()),
+      start_time_(ExecControl::Clock::now()) {}
+
+void QueryService::ConfigureResultCache(std::size_t capacity,
+                                        std::size_t shards,
+                                        std::size_t max_bytes) {
+  auto fresh = std::make_shared<ResultCache>(capacity, shards, max_bytes);
+  std::lock_guard<std::mutex> lock(result_cache_mu_);
+  result_cache_ = std::move(fresh);
+}
+
+std::shared_ptr<ResultCache> QueryService::result_cache() const {
+  std::lock_guard<std::mutex> lock(result_cache_mu_);
+  return result_cache_;
+}
+
+ResultCache::Stats QueryService::ResultCacheStats() const {
+  return result_cache()->GetStats();
+}
 
 const ExecControl* QueryService::ArmSyncDeadline(ExecControl* control) const {
   const std::int64_t ms = sync_deadline_ms_.load(std::memory_order_relaxed);
@@ -371,24 +447,37 @@ DatasetPtr QueryService::dataset() const {
 }
 
 bool QueryService::SwapDataset(DatasetPtr dataset) {
-  std::unique_lock<std::shared_mutex> lock(dataset_mu_);
-  // Serving only moves forward in snapshot-id order: concurrent
-  // programmatic uploads linearize to the newest dataset, keeping the
-  // monotonic-id invariant the per-session late-attach relies on.
-  if (dataset == nullptr ||
-      (dataset_ != nullptr && dataset->id() < dataset_->id())) {
-    return false;
+  bool epoch_changed = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(dataset_mu_);
+    // Serving only moves forward in snapshot-id order: concurrent
+    // programmatic uploads linearize to the newest dataset, keeping the
+    // monotonic-id invariant the per-session late-attach relies on.
+    if (dataset == nullptr ||
+        (dataset_ != nullptr && dataset->id() < dataset_->id())) {
+      return false;
+    }
+    epoch_changed = dataset_ == nullptr ||
+                    dataset_->graph_epoch() != dataset->graph_epoch();
+    dataset_ = std::move(dataset);
   }
-  dataset_ = std::move(dataset);
+  // Keys carry the epoch, so stale entries could never *hit*; clearing on a
+  // graph swap just stops them from occupying capacity. Index-only swaps
+  // keep the epoch and the cache stays warm.
+  if (epoch_changed) result_cache()->Clear();
   return true;
 }
 
 bool QueryService::PublishDataset(RequestContext& ctx, DatasetPtr fresh) {
+  bool epoch_changed = false;
   {
     std::unique_lock<std::shared_mutex> lock(dataset_mu_);
     if (dataset_ != ctx.dataset) return false;  // lost the race; don't revert
+    epoch_changed = dataset_ == nullptr ||
+                    dataset_->graph_epoch() != fresh->graph_epoch();
     dataset_ = fresh;
   }
+  if (epoch_changed) result_cache()->Clear();
   ctx.dataset = std::move(fresh);
   return true;
 }
@@ -452,7 +541,7 @@ ApiResult<std::string> QueryService::CreateSession() {
   if (session == nullptr) {
     return ApiError::Unavailable("session limit reached");
   }
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("session");
   w.String(session->id);
@@ -465,7 +554,7 @@ ApiResult<std::string> QueryService::DeleteSession(const std::string& id) {
   if (!sessions_.Remove(id)) {
     return ApiError::NotFound("unknown session '" + id + "'");
   }
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("deleted");
   w.String(id);
@@ -474,7 +563,7 @@ ApiResult<std::string> QueryService::DeleteSession(const std::string& id) {
 }
 
 ApiResult<std::string> QueryService::ListSessions() {
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("sessions");
   w.BeginArray();
@@ -511,7 +600,7 @@ ApiResult<std::string> QueryService::Summary(const std::string& session) {
   std::lock_guard<std::mutex> lock(ctx.session->mu);
   AttachLocked(ctx, /*adopt_newer=*/true, /*clear_history=*/false);
   const Explorer& explorer = ctx.session->explorer;
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("system");
   w.String("C-Explorer");
@@ -546,25 +635,52 @@ ApiResult<std::string> QueryService::RunSearch(RequestContext& ctx,
                                                const Query& query,
                                                const ExecControl* control) {
   Session& session = *ctx.session;
+
+  auto record_in_session = [&](const Query& q) {
+    session.communities_epoch = ctx.dataset->graph_epoch();
+    // Invalidates outstanding page cursors, including across sessions.
+    session.communities_generation = NextResultGeneration();
+    session.last_query = q;
+    std::string who = q.name;
+    if (who.empty() && !q.vertices.empty()) {
+      who = ctx.dataset->graph().Name(q.vertices.front());
+    }
+    session.history.push_back(algo + ":" + who + ":k=" + std::to_string(q.k));
+  };
+
+  // Identical searches (any session) are answered from the shared result
+  // cache: no algorithm execution, no rendering — the cached communities
+  // still re-populate this session's browser cache so /community, /export
+  // and /explore behave exactly as after a real run.
+  const std::shared_ptr<ResultCache> cache = result_cache();
+  const bool cacheable = cache->enabled() && CacheableSearchAlgo(algo);
+  std::string cache_key;
+  if (cacheable) {
+    cache_key = SearchCacheKey(ctx.dataset->graph_epoch(), algo, query);
+    if (CachedSearchPtr hit = cache->Get(cache_key)) {
+      session.communities = hit->communities;
+      record_in_session(query);
+      return hit->body;
+    }
+  }
+
   auto communities = session.explorer.Search(algo, query, control);
   if (!communities.ok()) return FromStatus(communities.status());
   session.communities = std::move(communities.value());
-  session.communities_epoch = ctx.dataset->graph_epoch();
-  // Invalidates outstanding page cursors, including across sessions.
-  session.communities_generation = NextResultGeneration();
-  session.last_query = query;
+  record_in_session(query);
 
-  std::string who = query.name;
-  if (who.empty() && !query.vertices.empty()) {
-    who = ctx.dataset->graph().Name(query.vertices.front());
-  }
-  session.history.push_back(algo + ":" + who + ":k=" + std::to_string(query.k));
-
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   WriteSearchFields(&w, ctx.dataset->graph(), algo, session.communities);
   w.EndObject();
-  return w.TakeString();
+  std::string body = w.TakeString();
+  if (cacheable) {
+    auto value = std::make_shared<CachedSearch>();
+    value->communities = session.communities;
+    value->body = body;
+    cache->Put(cache_key, std::move(value));
+  }
+  return body;
 }
 
 ApiResult<std::string> QueryService::Search(const SearchRequest& request) {
@@ -633,7 +749,7 @@ ApiResult<std::string> QueryService::Compare(const CompareRequest& request) {
                                               ArmSyncDeadline(&control));
   if (!report.ok()) return FromStatus(report.status());
 
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("query");
   w.String(query.name);
@@ -687,7 +803,7 @@ ApiResult<std::string> QueryService::Detect(const DetectRequest& request) {
   session.detection_generation = NextResultGeneration();
   session.history.push_back("detect:" + algo);
 
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   WriteDetectionFields(&w, ctx.dataset->graph().graph(), session.detection,
                        algo);
@@ -731,7 +847,7 @@ ApiResult<std::string> QueryService::Community(
     PageToken next{ctx.dataset->graph_epoch(), PageToken::Kind::kCommunity,
                    static_cast<std::uint64_t>(request.id),
                    session.communities_generation, 0};
-    JsonWriter w;
+    JsonWriter w = JsonWriter::Recycled();
     w.BeginObject();
     WriteCommunityPage(&w, ctx.dataset->graph(), community, window->offset,
                        window->limit, next);
@@ -755,7 +871,7 @@ ApiResult<std::string> QueryService::Community(
     return ApiError::Internal(display.status().ToString());
   }
 
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("community");
   WriteCommunity(&w, ctx.dataset->graph(), community);
@@ -809,7 +925,7 @@ ApiResult<std::string> QueryService::Cluster(const ClusterRequest& request) {
                             session.detection_generation);
   if (!window.ok()) return window.error();
 
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("cluster");
   w.Int(request.id);
@@ -860,7 +976,7 @@ ApiResult<std::string> QueryService::Profile(const ProfileRequest& request) {
     return ApiError::Internal(profile.status().ToString());
   }
 
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("id");
   w.UInt(v);
@@ -905,7 +1021,7 @@ ApiResult<std::string> QueryService::Author(const AuthorRequest& request) {
     return ApiError::NotFound("author not found");
   }
   const std::uint32_t core = ctx.dataset->core_numbers()[v];
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("id");
   w.UInt(v);
@@ -932,7 +1048,7 @@ ApiResult<std::string> QueryService::History(const std::string& session) {
   RequestContext ctx = std::move(begun).value();
   std::lock_guard<std::mutex> lock(ctx.session->mu);
   AttachLocked(ctx, /*adopt_newer=*/true, /*clear_history=*/false);
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("session");
   w.String(ctx.session->id);
@@ -985,7 +1101,7 @@ ApiResult<std::string> QueryService::UploadFile(const DatasetRequest& request) {
         "dataset changed while this upload was building; retry");
   }
   AttachToSession(ctx, /*clear_history=*/true);
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("uploaded");
   w.String(request.path);
@@ -1011,7 +1127,7 @@ ApiResult<std::string> QueryService::SaveIndex(const DatasetRequest& request) {
   }
   Status st = ctx.dataset->SaveIndex(request.path);
   if (!st.ok()) return FromStatus(st);
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("saved");
   w.String(request.path);
@@ -1040,7 +1156,7 @@ ApiResult<std::string> QueryService::LoadIndex(const DatasetRequest& request) {
         "dataset changed while the index was loading; retry");
   }
   AttachToSession(ctx, /*clear_history=*/false);
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("loaded");
   w.String(request.path);
@@ -1049,18 +1165,6 @@ ApiResult<std::string> QueryService::LoadIndex(const DatasetRequest& request) {
   w.EndObject();
   return w.TakeString();
 }
-
-namespace {
-
-/// The built-in registry, for descriptor lookups that must not depend on
-/// (or wait for) any session: job-spec resolution and the /v1/api fallback.
-/// Read-only after construction, so concurrent readers are safe.
-const Explorer& BuiltinExplorer() {
-  static const Explorer kBuiltins;
-  return kBuiltins;
-}
-
-}  // namespace
 
 ApiResult<std::string> QueryService::DescribeApi(const std::string& session) {
   auto begun = Begin(session);
@@ -1083,7 +1187,7 @@ ApiResult<std::string> QueryService::Healthz() {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           ExecControl::Clock::now() - start_time_)
           .count();
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("status");
   w.String("ok");
@@ -1106,7 +1210,7 @@ ApiResult<std::string> QueryService::Healthz() {
 }
 
 ApiResult<std::string> QueryService::Version() {
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("server");
   w.String("C-Explorer");
@@ -1123,6 +1227,50 @@ ApiResult<std::string> QueryService::Version() {
   w.Key("date");
   w.String(__DATE__);
   w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::Stats() {
+  const ResultCache::Stats cache_stats = result_cache()->GetStats();
+  const DatasetPtr snapshot = dataset();
+  JsonWriter w = JsonWriter::Recycled();
+  w.BeginObject();
+  w.Key("result_cache");
+  w.BeginObject();
+  w.Key("enabled");
+  w.Bool(cache_stats.capacity > 0);
+  w.Key("capacity");
+  w.UInt(cache_stats.capacity);
+  w.Key("shards");
+  w.UInt(cache_stats.shards);
+  w.Key("entries");
+  w.UInt(cache_stats.entries);
+  w.Key("bytes");
+  w.UInt(cache_stats.bytes);
+  w.Key("max_bytes");
+  w.UInt(cache_stats.max_bytes);
+  w.Key("hits");
+  w.UInt(cache_stats.hits);
+  w.Key("misses");
+  w.UInt(cache_stats.misses);
+  w.Key("insertions");
+  w.UInt(cache_stats.insertions);
+  w.Key("evictions");
+  w.UInt(cache_stats.evictions);
+  w.EndObject();
+  w.Key("sessions");
+  w.UInt(sessions_.size());
+  w.Key("jobs");
+  w.UInt(jobs_.size());
+  w.Key("graph_loaded");
+  w.Bool(snapshot != nullptr);
+  if (snapshot != nullptr) {
+    w.Key("dataset_id");
+    w.UInt(snapshot->id());
+    w.Key("graph_epoch");
+    w.UInt(snapshot->graph_epoch());
+  }
   w.EndObject();
   return w.TakeString();
 }
@@ -1190,7 +1338,7 @@ ApiResult<std::string> QueryService::SubmitJob(const JobSubmitRequest& request,
   if (job == nullptr) {
     return ApiError::Unavailable("job registry is full of live jobs");
   }
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("job");
   WriteJobObject(&w, job->Read());
@@ -1199,7 +1347,7 @@ ApiResult<std::string> QueryService::SubmitJob(const JobSubmitRequest& request,
 }
 
 ApiResult<std::string> QueryService::ListJobs() {
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("jobs");
   w.BeginArray();
@@ -1217,7 +1365,7 @@ ApiResult<std::string> QueryService::JobStatus(const JobRequest& request) {
     return ApiError::NotFound("no job '" + request.id + "'");
   }
   const Job::Snapshot snapshot = job->Read();
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("job");
   WriteJobObject(&w, snapshot);
@@ -1248,7 +1396,7 @@ ApiResult<std::string> QueryService::CancelJob(const JobRequest& request) {
     // Evicted between the cancel and this read; the cancel itself held.
     return ApiError::NotFound("job '" + request.id + "' already evicted");
   }
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("job");
   WriteJobObject(&w, job->Read());
@@ -1287,7 +1435,7 @@ ApiResult<std::string> QueryService::JobResult(const JobResultRequest& request) 
 
   if (request.member_of < 0) {
     // Whole result, in the synchronous response shape plus the job id.
-    JsonWriter w;
+    JsonWriter w = JsonWriter::Recycled();
     w.BeginObject();
     w.Key("job");
     w.String(snapshot.id);
@@ -1331,7 +1479,7 @@ ApiResult<std::string> QueryService::JobResult(const JobResultRequest& request) 
                             job->generation());
   if (!window.ok()) return window.error();
 
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("job");
   w.String(snapshot.id);
@@ -1413,17 +1561,13 @@ ApiResult<std::string> QueryService::Batch(const BatchRequest& request,
   // per-algorithm scratch state to the entry), and renders into its own
   // slot, so entries share only the immutable dataset.
   const DatasetPtr snapshot = ctx.dataset;
+  const std::shared_ptr<ResultCache> cache = result_cache();
   const std::vector<BatchRequest::Entry>& entries = request.entries;
   std::vector<std::string> fragments(entries.size());
   ParallelFor(
       0, entries.size(), pool,
       [&](std::size_t i) {
-        JsonWriter w;
-        w.BeginObject();
-        if (!entries[i].error.empty()) {
-          w.Key("error");
-          WriteErrorValue(&w, ApiCode::kInvalidArgument, entries[i].error);
-        } else {
+        if (entries[i].error.empty()) {
           const SearchRequest& req = entries[i].search;
           Query query;
           query.name = req.name;
@@ -1431,34 +1575,69 @@ ApiResult<std::string> QueryService::Batch(const BatchRequest& request,
           query.k = req.k;
           query.keywords = req.keywords;
           const std::string algo = req.algo.empty() ? "ACQ" : req.algo;
+          // Batch entries share the result cache with /v1/search: the
+          // success fragment is the same WriteSearchFields object, so a
+          // hit from either path serves both.
+          const bool cacheable = cache->enabled() && CacheableSearchAlgo(algo);
+          std::string cache_key;
+          if (cacheable) {
+            cache_key = SearchCacheKey(snapshot->graph_epoch(), algo, query);
+            if (CachedSearchPtr hit = cache->Get(cache_key)) {
+              fragments[i] = hit->body;
+              return;
+            }
+          }
           Explorer view;
           view.AttachDataset(snapshot);
-          auto communities = view.Search(algo, query);
-          if (!communities.ok()) {
-            const ApiError error = FromStatus(communities.status());
-            w.Key("error");
-            WriteErrorValue(&w, error.code, error.message);
-          } else {
-            w.Key("algorithm");
-            w.String(algo);
-            w.Key("num_communities");
-            w.UInt(communities->size());
-            w.Key("communities");
-            w.BeginArray();
-            for (const auto& community : communities.value()) {
-              WriteCommunity(&w, snapshot->graph(), community);
+          // Entries run under the same synchronous deadline as /v1/search,
+          // so one slow entry answers DEADLINE_EXCEEDED in its slot
+          // instead of occupying a pool worker indefinitely.
+          ExecControl control;
+          auto communities =
+              view.Search(algo, query, ArmSyncDeadline(&control));
+          if (communities.ok()) {
+            JsonWriter w = JsonWriter::Recycled();
+            w.BeginObject();
+            WriteSearchFields(&w, snapshot->graph(), algo, communities.value());
+            w.EndObject();
+            fragments[i] = w.TakeString();
+            if (cacheable) {
+              auto value = std::make_shared<CachedSearch>();
+              value->communities = std::move(communities).value();
+              value->body = fragments[i];
+              cache->Put(cache_key, std::move(value));
             }
-            w.EndArray();
+            return;
           }
+          const ApiError error = FromStatus(communities.status());
+          JsonWriter w = JsonWriter::Recycled();
+          w.BeginObject();
+          w.Key("error");
+          WriteErrorValue(&w, error.code, error.message);
+          w.EndObject();
+          fragments[i] = w.TakeString();
+          return;
         }
+        JsonWriter w = JsonWriter::Recycled();
+        w.BeginObject();
+        w.Key("error");
+        WriteErrorValue(&w, ApiCode::kInvalidArgument, entries[i].error);
         w.EndObject();
         fragments[i] = w.TakeString();
       },
       /*grain=*/1);
 
-  std::string body = "{\"dataset_id\":" + std::to_string(snapshot->id()) +
-                     ",\"count\":" + std::to_string(fragments.size()) +
-                     ",\"results\":[";
+  const std::string head = "{\"dataset_id\":" + std::to_string(snapshot->id()) +
+                           ",\"count\":" + std::to_string(fragments.size()) +
+                           ",\"results\":[";
+  // Reserve the final body exactly from the fragment lengths: joining a
+  // large batch is one allocation, not a quadratic chain of regrowths.
+  std::size_t total = head.size() + 2;  // "]}"
+  for (const std::string& fragment : fragments) total += fragment.size();
+  if (!fragments.empty()) total += fragments.size() - 1;  // commas
+  std::string body;
+  body.reserve(total);
+  body += head;
   for (std::size_t i = 0; i < fragments.size(); ++i) {
     if (i > 0) body += ',';
     body += fragments[i];

@@ -40,6 +40,7 @@
 
 #include "api/error.h"
 #include "api/jobs.h"
+#include "api/result_cache.h"
 #include "api/types.h"
 #include "common/cancel.h"
 #include "common/parallel.h"
@@ -62,6 +63,18 @@ class QueryService {
   /// 0 disables the bound. Default: 60000 ms.
   void set_sync_deadline_ms(std::int64_t ms) { sync_deadline_ms_ = ms; }
   std::int64_t sync_deadline_ms() const { return sync_deadline_ms_; }
+
+  /// Replaces the shared result cache (see api/result_cache.h) with one of
+  /// the given capacity, shard count and byte budget. Capacity 0 disables
+  /// result caching. Safe to call at any time; in-flight requests finish
+  /// against the cache they started with.
+  void ConfigureResultCache(
+      std::size_t capacity, std::size_t shards = ResultCache::kDefaultShards,
+      std::size_t max_bytes = ResultCache::kDefaultMaxBytes);
+
+  /// Counters of the shared result cache (tests and embedders; /v1/stats
+  /// renders the same numbers).
+  ResultCache::Stats ResultCacheStats() const;
 
   // --- Dataset lifecycle (programmatic twins of /v1/upload) ---------------
 
@@ -103,6 +116,10 @@ class QueryService {
 
   /// GET /v1/version: API + build version information.
   ApiResult<std::string> Version();
+
+  /// GET /v1/stats: serving counters — the result cache (hits, misses,
+  /// entries, capacity), session and job counts, served snapshot.
+  ApiResult<std::string> Stats();
 
   // --- Jobs (the asynchronous execution path) ------------------------------
 
@@ -195,8 +212,15 @@ class QueryService {
   /// pass down (null when the bound is disabled).
   const ExecControl* ArmSyncDeadline(ExecControl* control) const;
 
+  /// The current result cache (never null). Swapped wholesale by
+  /// ConfigureResultCache; readers pin their own reference.
+  std::shared_ptr<ResultCache> result_cache() const;
+
   mutable std::shared_mutex dataset_mu_;
   DatasetPtr dataset_;
+
+  mutable std::mutex result_cache_mu_;
+  std::shared_ptr<ResultCache> result_cache_;
 
   SessionManager sessions_;
   JobManager jobs_;

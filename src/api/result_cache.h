@@ -1,0 +1,140 @@
+// The snapshot-keyed query result cache of the QueryService.
+//
+// Identical searches are frequent in an interactive browsing system: many
+// sessions start from the same renowned author (the paper's Jim Gray demo),
+// dashboards re-poll the same query, and /batch fan-outs repeat entries.
+// The cache stores the complete outcome of a search — the communities plus
+// the rendered JSON body — keyed by
+//
+//   graph epoch | algorithm | canonicalized query (k, name, vertices,
+//   sorted+deduped keywords)
+//
+// so a repeated query skips algorithm execution AND response rendering.
+// Carrying the graph epoch in the key is the invalidation rule: an /upload
+// bumps the epoch and every old entry simply stops matching (the service
+// additionally clears the cache on a graph swap so dead entries do not
+// occupy capacity). Index-only swaps (/load_index) keep the epoch, and the
+// cache stays warm — exactly like the session-level caches.
+//
+// Concurrency: the LRU is sharded by key hash; each shard serializes its
+// own map + recency list behind one mutex held only for the lookup/insert
+// itself. Values are shared_ptr<const CachedSearch>, so a hit handed to a
+// session stays valid even if the entry is evicted a microsecond later.
+// Hit/miss/insert/evict counters are process-cheap relaxed atomics,
+// surfaced on GET /v1/stats.
+
+#ifndef CEXPLORER_API_RESULT_CACHE_H_
+#define CEXPLORER_API_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "explorer/community.h"
+
+namespace cexplorer {
+namespace api {
+
+/// One cached search outcome. `communities` re-populates the hitting
+/// session's browser cache (so /community, /export and /explore behave as
+/// if the search had run); `body` is the rendered response, byte-identical
+/// to what execution would have produced.
+struct CachedSearch {
+  std::vector<Community> communities;
+  std::string body;
+};
+
+using CachedSearchPtr = std::shared_ptr<const CachedSearch>;
+
+/// Sharded LRU over rendered search results. Thread-safe.
+class ResultCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 512;
+  static constexpr std::size_t kDefaultShards = 8;
+  /// Default byte budget across all shards. Bounds the memory a cache full
+  /// of huge communities (a Global k-core over most of a big graph) can
+  /// pin: the LRU evicts by bytes as well as by entry count.
+  static constexpr std::size_t kDefaultMaxBytes = 64u << 20;  // 64 MiB
+
+  /// Aggregate counters and sizing, as reported by /v1/stats.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+    std::size_t capacity = 0;
+    std::size_t max_bytes = 0;
+    std::size_t shards = 0;
+  };
+
+  /// `capacity` bounds the total entry count (0 disables the cache);
+  /// `shards` spreads lock contention and is clamped to >= 1; `max_bytes`
+  /// bounds the approximate total payload size (body + communities).
+  explicit ResultCache(std::size_t capacity = kDefaultCapacity,
+                       std::size_t shards = kDefaultShards,
+                       std::size_t max_bytes = kDefaultMaxBytes);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// True when the cache can hold entries at all.
+  bool enabled() const { return capacity_ > 0; }
+
+  /// Looks `key` up, refreshing its recency. Counts a hit or a miss.
+  CachedSearchPtr Get(const std::string& key);
+
+  /// Inserts (or refreshes) `key`, evicting the shard's least recently
+  /// used entry when the shard is at capacity. No-op when disabled.
+  void Put(const std::string& key, CachedSearchPtr value);
+
+  /// Drops every entry (graph swap); counters are kept.
+  void Clear();
+
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    CachedSearchPtr value;
+    std::size_t bytes = 0;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+  };
+
+  Shard& ShardOf(const std::string& key);
+
+  /// Approximate payload footprint of one cached result.
+  static std::size_t PayloadBytes(const CachedSearch& value);
+
+  /// Drops LRU entries until the shard respects both budgets. Requires
+  /// shard.mu held.
+  void EvictWhileOver(Shard* shard);
+
+  std::size_t capacity_ = 0;
+  std::size_t capacity_per_shard_ = 0;
+  std::size_t max_bytes_per_shard_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace api
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_API_RESULT_CACHE_H_

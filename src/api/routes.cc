@@ -125,6 +125,9 @@ constexpr RouteSpec kRoutes[] = {
      "liveness probe: status, uptime, served snapshot, session/job counts"},
     {"version", "", kGet, kNoParams, 0,
      "API and build version information"},
+    {"stats", "", kGet, kNoParams, 0,
+     "serving counters: result-cache hits/misses/entries, session and job "
+     "counts, served snapshot"},
     {"index", "/", kGet, kNoParams, 0,
      "system summary: graph size, algorithms, session count"},
     {"session/new", "/session/new", kGet, kNoParams, 0,
@@ -319,7 +322,7 @@ std::optional<ApiError> ValidateParams(const RouteSpec& route,
 
 std::string DescribeApi(
     const std::vector<const AlgorithmDescriptor*>& algorithms) {
-  JsonWriter w;
+  JsonWriter w = JsonWriter::Recycled();
   w.BeginObject();
   w.Key("version");
   w.String("v1");

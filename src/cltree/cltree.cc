@@ -1,6 +1,7 @@
 #include "cltree/cltree.h"
 
 #include <algorithm>
+#include <cassert>
 #include <numeric>
 
 #include "common/bitset.h"
@@ -268,8 +269,7 @@ RawTree BuildAdvancedTree(const Graph& g,
 std::span<const VertexId> ClTreeNode::Postings(KeywordId kw) const {
   auto it = std::lower_bound(inv_keywords.begin(), inv_keywords.end(), kw);
   if (it == inv_keywords.end() || *it != kw) return {};
-  const auto& list = inv_postings[it - inv_keywords.begin()];
-  return {list.data(), list.size()};
+  return inv_postings[static_cast<std::size_t>(it - inv_keywords.begin())];
 }
 
 ClTree ClTree::Build(const AttributedGraph& g, ClTreeBuildMethod method,
@@ -371,8 +371,8 @@ void ClTree::Finalize(const AttributedGraph& g,
     }
   }
 
-  // Vertex -> node map, then the per-node inverted lists. Nodes are
-  // independent (every vertex is anchored at exactly one node), so both
+  // Vertex -> node map, then the inverted-list arenas. Nodes are
+  // independent (every vertex is anchored at exactly one node), so the
   // passes parallelize over the node array without synchronization; the
   // output per node depends only on that node's anchored vertices, keeping
   // the parallel build byte-identical to the sequential one.
@@ -385,26 +385,91 @@ void ClTree::Finalize(const AttributedGraph& g,
         }
       },
       /*grain=*/256);
+
+  // Counting pass: sort each node's (keyword, vertex) pairs and record its
+  // distinct-keyword and postings counts, so the arenas below are sized
+  // exactly before a single element is written.
+  std::vector<std::vector<std::pair<KeywordId, VertexId>>> pairs(num_raw);
+  std::vector<std::size_t> kw_counts(num_raw, 0);
   ParallelFor(
       0, num_raw, pool,
       [&](std::size_t i) {
-        ClTreeNode& node = nodes_[i];
-        std::vector<std::pair<KeywordId, VertexId>> pairs;
-        for (VertexId v : node.vertices) {
-          for (KeywordId kw : g.Keywords(v)) pairs.emplace_back(kw, v);
+        auto& p = pairs[i];
+        for (VertexId v : nodes_[i].vertices) {
+          for (KeywordId kw : g.Keywords(v)) p.emplace_back(kw, v);
         }
-        std::sort(pairs.begin(), pairs.end());
-        node.inv_keywords.clear();
-        node.inv_postings.clear();
-        for (const auto& [kw, v] : pairs) {
-          if (node.inv_keywords.empty() || node.inv_keywords.back() != kw) {
-            node.inv_keywords.push_back(kw);
-            node.inv_postings.emplace_back();
-          }
-          node.inv_postings.back().push_back(v);
+        std::sort(p.begin(), p.end());
+        std::size_t distinct = 0;
+        for (std::size_t j = 0; j < p.size(); ++j) {
+          if (j == 0 || p[j].first != p[j - 1].first) ++distinct;
         }
+        kw_counts[i] = distinct;
       },
       /*grain=*/16);
+
+  // Per-node arena starts (prefix sums). Postings of a node are contiguous
+  // and nodes follow preorder, so node i's final offset sentinel is node
+  // i+1's first offset — one shared offsets array of total_kws + 1 entries.
+  std::vector<std::size_t> kw_begin(num_raw + 1, 0);
+  std::vector<std::size_t> post_begin(num_raw + 1, 0);
+  for (std::size_t i = 0; i < num_raw; ++i) {
+    kw_begin[i + 1] = kw_begin[i] + kw_counts[i];
+    post_begin[i + 1] = post_begin[i] + pairs[i].size();
+  }
+  const std::size_t total_kws = kw_begin[num_raw];
+  const std::size_t total_posts = post_begin[num_raw];
+
+  // Exact-size reservation from the counted totals; the fill below only
+  // writes in place, so the buffers must never move again.
+  inv_keyword_arena_.reserve(total_kws);
+  inv_offset_arena_.reserve(total_kws + 1);
+  inv_posting_arena_.reserve(total_posts);
+#ifndef NDEBUG
+  const KeywordId* kw_base = inv_keyword_arena_.data();
+  const std::uint32_t* offset_base = inv_offset_arena_.data();
+  const VertexId* post_base = inv_posting_arena_.data();
+#endif
+  inv_keyword_arena_.resize(total_kws);
+  inv_offset_arena_.resize(total_kws + 1);
+  inv_posting_arena_.resize(total_posts);
+  inv_offset_arena_[total_kws] = static_cast<std::uint32_t>(total_posts);
+
+  // Fill pass: every node writes its own disjoint arena slices.
+  ParallelFor(
+      0, num_raw, pool,
+      [&](std::size_t i) {
+        auto& p = pairs[i];
+        std::size_t kw_cursor = kw_begin[i];
+        std::size_t post_cursor = post_begin[i];
+        for (std::size_t j = 0; j < p.size(); ++j) {
+          if (j == 0 || p[j].first != p[j - 1].first) {
+            inv_keyword_arena_[kw_cursor] = p[j].first;
+            inv_offset_arena_[kw_cursor] =
+                static_cast<std::uint32_t>(post_cursor);
+            ++kw_cursor;
+          }
+          inv_posting_arena_[post_cursor++] = p[j].second;
+        }
+        p = {};  // release the temporary pairs eagerly
+      },
+      /*grain=*/16);
+  // Offset slots of keyword-less nodes collapse onto the next non-empty
+  // node's first slot, which that node wrote with the same value; only the
+  // global sentinel has no owner and was set above.
+
+#ifndef NDEBUG
+  assert(inv_keyword_arena_.data() == kw_base &&
+         inv_offset_arena_.data() == offset_base &&
+         inv_posting_arena_.data() == post_base &&
+         "inverted-list arenas must not reallocate after the counting pass");
+#endif
+
+  for (std::size_t i = 0; i < num_raw; ++i) {
+    nodes_[i].inv_keywords = {inv_keyword_arena_.data() + kw_begin[i],
+                              kw_counts[i]};
+    nodes_[i].inv_postings = {inv_offset_arena_.data() + kw_begin[i],
+                              inv_posting_arena_.data(), kw_counts[i]};
+  }
 }
 
 ClNodeId ClTree::LocateKCore(VertexId q, std::uint32_t k) const {
@@ -481,15 +546,13 @@ std::size_t ClTree::CountKeyword(ClNodeId id, KeywordId kw) const {
 std::size_t ClTree::MemoryBytes() const {
   std::size_t bytes = nodes_.capacity() * sizeof(ClTreeNode) +
                       vertex_node_.capacity() * sizeof(ClNodeId) +
-                      subtree_sizes_.capacity() * sizeof(std::size_t);
+                      subtree_sizes_.capacity() * sizeof(std::size_t) +
+                      inv_keyword_arena_.capacity() * sizeof(KeywordId) +
+                      inv_offset_arena_.capacity() * sizeof(std::uint32_t) +
+                      inv_posting_arena_.capacity() * sizeof(VertexId);
   for (const auto& node : nodes_) {
     bytes += node.children.capacity() * sizeof(ClNodeId);
     bytes += node.vertices.capacity() * sizeof(VertexId);
-    bytes += node.inv_keywords.capacity() * sizeof(KeywordId);
-    bytes += node.inv_postings.capacity() * sizeof(VertexList);
-    for (const auto& postings : node.inv_postings) {
-      bytes += postings.capacity() * sizeof(VertexId);
-    }
   }
   return bytes;
 }

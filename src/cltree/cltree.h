@@ -38,6 +38,23 @@ using ClNodeId = std::uint32_t;
 inline constexpr ClNodeId kInvalidClNode =
     std::numeric_limits<std::uint32_t>::max();
 
+/// Indexed view of one node's posting lists inside the tree-wide CSR
+/// arenas: postings[i] (the anchored vertices containing inv_keywords[i])
+/// is the arena slice [offsets[i], offsets[i + 1]). Offsets are absolute
+/// positions in the postings arena, and `offsets` points at this node's
+/// slice of the shared offsets array (size() + 1 entries are readable).
+struct ClTreePostingsView {
+  const std::uint32_t* offsets = nullptr;
+  const VertexId* arena = nullptr;
+  std::size_t count = 0;
+
+  std::size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  std::span<const VertexId> operator[](std::size_t i) const {
+    return {arena + offsets[i], offsets[i + 1] - offsets[i]};
+  }
+};
+
 /// One CL-tree node: a connected component of the `core`-core, minus the
 /// components of deeper cores (those live in child subtrees).
 struct ClTreeNode {
@@ -59,11 +76,13 @@ struct ClTreeNode {
   /// the subtree of node i is exactly nodes [i, subtree_end).
   ClNodeId subtree_end = 0;
 
-  /// Inverted list over anchored vertices: parallel arrays, keywords sorted
-  /// ascending; postings[i] lists the anchored vertices containing
-  /// keywords[i], ascending.
-  std::vector<KeywordId> inv_keywords;
-  std::vector<VertexList> inv_postings;
+  /// Inverted list over anchored vertices, viewing the tree-wide CSR
+  /// arenas (keywords sorted ascending; inv_postings[i] lists the anchored
+  /// vertices containing inv_keywords[i], ascending). Because nodes are
+  /// laid out in preorder, a subtree walk over the postings of its nodes
+  /// is one contiguous forward scan of the arenas.
+  std::span<const KeywordId> inv_keywords;
+  ClTreePostingsView inv_postings;
 
   /// Posting list for `kw` among anchored vertices (empty if absent).
   std::span<const VertexId> Postings(KeywordId kw) const;
@@ -83,6 +102,14 @@ enum class ClTreeBuildMethod {
 class ClTree {
  public:
   ClTree() = default;
+
+  // Nodes hold span views into the arenas below. Vector moves keep their
+  // heap buffers, so moving a ClTree preserves every view; copying would
+  // leave the copy's views aliasing the source, so copies are disallowed.
+  ClTree(ClTree&&) = default;
+  ClTree& operator=(ClTree&&) = default;
+  ClTree(const ClTree&) = delete;
+  ClTree& operator=(const ClTree&) = delete;
 
   /// Builds the index. The graph must outlive the tree (not owned).
   ///
@@ -154,6 +181,15 @@ class ClTree {
   std::vector<ClTreeNode> nodes_;       // preorder
   std::vector<ClNodeId> vertex_node_;   // vertex -> anchoring node
   std::vector<std::size_t> subtree_sizes_;
+
+  // Tree-wide inverted-list arenas in preorder node order (CSR layout):
+  // one keyword entry per (node, distinct keyword), one offset per keyword
+  // entry plus a final sentinel, and one postings entry per (anchored
+  // vertex, keyword) pair. Nodes view their slices through inv_keywords /
+  // inv_postings; sized exactly from the Finalize counting pass.
+  std::vector<KeywordId> inv_keyword_arena_;
+  std::vector<std::uint32_t> inv_offset_arena_;
+  std::vector<VertexId> inv_posting_arena_;
 };
 
 }  // namespace cexplorer

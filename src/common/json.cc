@@ -12,6 +12,61 @@ namespace cexplorer {
 // JsonWriter
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// The per-thread recycled render buffer behind JsonWriter::Recycled().
+/// One slot suffices: nested recycled writers on the same thread simply
+/// find the slot empty and grow a fresh buffer, and the largest buffer
+/// wins the slot back on release.
+thread_local std::string t_render_buffer;
+
+void ReleaseRenderBuffer(std::string&& buffer) {
+  if (buffer.capacity() > t_render_buffer.capacity()) {
+    t_render_buffer = std::move(buffer);
+    t_render_buffer.clear();
+  }
+}
+
+}  // namespace
+
+JsonWriter JsonWriter::Recycled() {
+  JsonWriter w;
+  w.out_ = std::move(t_render_buffer);
+  w.out_.clear();
+  w.recycled_ = true;
+  return w;
+}
+
+JsonWriter::~JsonWriter() {
+  if (recycled_) ReleaseRenderBuffer(std::move(out_));
+}
+
+JsonWriter::JsonWriter(JsonWriter&& other) noexcept
+    : out_(std::move(other.out_)),
+      needs_comma_(std::move(other.needs_comma_)),
+      pending_key_(other.pending_key_),
+      recycled_(other.recycled_) {
+  other.out_.clear();
+  other.needs_comma_.clear();
+  other.pending_key_ = false;
+  other.recycled_ = false;
+}
+
+JsonWriter& JsonWriter::operator=(JsonWriter&& other) noexcept {
+  if (this != &other) {
+    if (recycled_) ReleaseRenderBuffer(std::move(out_));
+    out_ = std::move(other.out_);
+    needs_comma_ = std::move(other.needs_comma_);
+    pending_key_ = other.pending_key_;
+    recycled_ = other.recycled_;
+    other.out_.clear();
+    other.needs_comma_.clear();
+    other.pending_key_ = false;
+    other.recycled_ = false;
+  }
+  return *this;
+}
+
 void JsonWriter::MaybeComma() {
   if (pending_key_) {
     pending_key_ = false;
@@ -92,7 +147,16 @@ void JsonWriter::Null() {
 }
 
 std::string JsonWriter::TakeString() {
-  std::string result = std::move(out_);
+  std::string result;
+  if (recycled_) {
+    // One exact-size copy out; the grown buffer goes back to the thread's
+    // slot so the next response starts at full capacity.
+    result.assign(out_);
+    ReleaseRenderBuffer(std::move(out_));
+    recycled_ = false;
+  } else {
+    result = std::move(out_);
+  }
   out_.clear();
   needs_comma_.clear();
   pending_key_ = false;

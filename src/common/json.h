@@ -30,6 +30,21 @@ namespace cexplorer {
 class JsonWriter {
  public:
   JsonWriter() = default;
+  ~JsonWriter();
+
+  JsonWriter(JsonWriter&& other) noexcept;
+  JsonWriter& operator=(JsonWriter&& other) noexcept;
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  /// A writer rendering into the calling thread's recycled buffer: the
+  /// buffer's capacity is retained across responses (thread-local, so
+  /// pooled per server worker), which makes steady-state rendering free of
+  /// growth reallocations — TakeString() then hands out one exact-size
+  /// copy and returns the big buffer to the thread's slot. Use for
+  /// response bodies on hot paths; the default constructor keeps the
+  /// plain own-buffer behavior.
+  static JsonWriter Recycled();
 
   void BeginObject();
   void EndObject();
@@ -59,6 +74,9 @@ class JsonWriter {
   // Stack of "needs comma before next element" flags per nesting level.
   std::vector<bool> needs_comma_;
   bool pending_key_ = false;
+  // True when out_ is borrowed from the thread-local recycled slot and
+  // must be given back (by TakeString or the destructor).
+  bool recycled_ = false;
 };
 
 /// JSON DOM node: null, bool, number, string, array, or object.

@@ -216,62 +216,128 @@ VertexList KCoreVertices(const std::vector<std::uint32_t>& core_numbers,
   return out;
 }
 
+std::uint32_t PeelScratch::Begin(std::size_t n) {
+  if (member_.size() < n) {
+    member_.resize(n, 0);
+    visited_.resize(n, 0);
+    degree_.resize(n, 0);
+  }
+  if (++epoch_ == 0) {
+    // Epoch wrap: stale stamps could collide with fresh ones; reset.
+    std::fill(member_.begin(), member_.end(), 0);
+    std::fill(visited_.begin(), visited_.end(), 0);
+    epoch_ = 1;
+  }
+  return epoch_;
+}
+
+PeelScratch& ThreadLocalPeelScratch() {
+  thread_local PeelScratch scratch;
+  return scratch;
+}
+
 VertexList ConnectedKCore(const Graph& g,
                           const std::vector<std::uint32_t>& core_numbers,
                           VertexId q, std::uint32_t k) {
   if (q >= g.num_vertices() || core_numbers[q] < k) return {};
-  Bitset allowed(g.num_vertices());
+  // BFS within the k-core on the thread's reusable stamp arrays: the only
+  // allocation left is the result itself.
+  PeelScratch& s = ThreadLocalPeelScratch();
+  const std::uint32_t epoch = s.Begin(g.num_vertices());
   for (std::size_t v = 0; v < core_numbers.size(); ++v) {
-    if (core_numbers[v] >= k) allowed.Set(v);
+    if (core_numbers[v] >= k) s.member_[v] = epoch;
   }
-  return ReachableWithin(g, q, allowed);
+  s.queue_.clear();
+  s.queue_.push_back(q);
+  s.visited_[q] = epoch;
+  std::size_t head = 0;
+  while (head < s.queue_.size()) {
+    VertexId u = s.queue_[head++];
+    for (VertexId w : g.Neighbors(u)) {
+      if (s.member_[w] == epoch && s.visited_[w] != epoch) {
+        s.visited_[w] = epoch;
+        s.queue_.push_back(w);
+      }
+    }
+  }
+  VertexList out(s.queue_.begin(), s.queue_.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 VertexList PeelToKCore(const Graph& g, VertexList candidates, std::uint32_t k,
-                       VertexId anchor) {
+                       VertexId anchor, PeelScratch* scratch) {
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
 
-  Bitset member(g.num_vertices());
-  for (VertexId v : candidates) member.Set(v);
-
-  // Induced degrees within the candidate set.
-  std::vector<std::uint32_t> degree(candidates.size(), 0);
-  auto local_index = [&candidates](VertexId v) {
-    return static_cast<std::size_t>(
-        std::lower_bound(candidates.begin(), candidates.end(), v) -
-        candidates.begin());
-  };
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    for (VertexId w : g.Neighbors(candidates[i])) {
-      if (member.Test(w)) ++degree[i];
+  PeelScratch& s = *scratch;
+  const std::uint32_t epoch = s.Begin(g.num_vertices());
+  // Membership stamps plus induced degrees within the candidate set.
+  // Stamp 0 is never a live epoch, so clearing a member is one store.
+  for (VertexId v : candidates) {
+    s.member_[v] = epoch;
+    s.degree_[v] = 0;
+  }
+  for (VertexId v : candidates) {
+    for (VertexId w : g.Neighbors(v)) {
+      if (s.member_[w] == epoch) ++s.degree_[v];
     }
   }
 
   // Queue-based peel: remove every vertex whose induced degree < k.
-  std::vector<std::size_t> queue;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    if (degree[i] < k) queue.push_back(i);
+  s.queue_.clear();
+  for (VertexId v : candidates) {
+    if (s.degree_[v] < k) s.queue_.push_back(v);
   }
   std::size_t head = 0;
-  while (head < queue.size()) {
-    std::size_t i = queue[head++];
-    VertexId v = candidates[i];
-    if (!member.Test(v)) continue;
-    member.Reset(v);
+  while (head < s.queue_.size()) {
+    VertexId v = s.queue_[head++];
+    if (s.member_[v] != epoch) continue;
+    s.member_[v] = 0;
     for (VertexId w : g.Neighbors(v)) {
-      if (!member.Test(w)) continue;
-      std::size_t j = local_index(w);
-      if (degree[j]-- == k) queue.push_back(j);
+      if (s.member_[w] != epoch) continue;
+      if (s.degree_[w]-- == k) s.queue_.push_back(w);
     }
   }
 
+  // The survivors are a subset of `candidates`, so the result compacts into
+  // the input buffer — no allocation on the success path either.
   if (anchor != kInvalidVertex) {
-    if (anchor >= g.num_vertices() || !member.Test(anchor)) return {};
-    return ReachableWithin(g, anchor, member);
+    if (anchor >= g.num_vertices() || s.member_[anchor] != epoch) {
+      candidates.clear();
+      return candidates;
+    }
+    // Keep only the anchor's connected component among the survivors.
+    s.queue_.clear();
+    s.queue_.push_back(anchor);
+    s.visited_[anchor] = epoch;
+    head = 0;
+    while (head < s.queue_.size()) {
+      VertexId u = s.queue_[head++];
+      for (VertexId w : g.Neighbors(u)) {
+        if (s.member_[w] == epoch && s.visited_[w] != epoch) {
+          s.visited_[w] = epoch;
+          s.queue_.push_back(w);
+        }
+      }
+    }
+    candidates.assign(s.queue_.begin(), s.queue_.end());
+    std::sort(candidates.begin(), candidates.end());
+    return candidates;
   }
-  return member.ToVector();
+  std::size_t out = 0;
+  for (VertexId v : candidates) {
+    if (s.member_[v] == epoch) candidates[out++] = v;
+  }
+  candidates.resize(out);
+  return candidates;
+}
+
+VertexList PeelToKCore(const Graph& g, VertexList candidates, std::uint32_t k,
+                       VertexId anchor) {
+  return PeelToKCore(g, std::move(candidates), k, anchor,
+                     &ThreadLocalPeelScratch());
 }
 
 std::uint32_t MaxCoreNumber(const std::vector<std::uint32_t>& core_numbers) {

@@ -38,6 +38,40 @@ std::vector<std::uint32_t> CoreDecompositionNaive(const Graph& g);
 VertexList KCoreVertices(const std::vector<std::uint32_t>& core_numbers,
                          std::uint32_t k);
 
+/// Reusable buffers for the candidate-set peel (PeelToKCore) and the
+/// filtered BFS behind it. The arrays are sized to the graph once and
+/// epoch-stamped: a new peel bumps the epoch instead of clearing, so the
+/// per-call cost is O(candidates), not O(n), and steady-state queries
+/// allocate nothing beyond their result. A scratch is single-owner state —
+/// share one per thread (ThreadLocalPeelScratch), never across threads.
+class PeelScratch {
+ public:
+  PeelScratch() = default;
+  PeelScratch(const PeelScratch&) = delete;
+  PeelScratch& operator=(const PeelScratch&) = delete;
+
+ private:
+  friend VertexList PeelToKCore(const Graph& g, VertexList candidates,
+                                std::uint32_t k, VertexId anchor,
+                                PeelScratch* scratch);
+  friend VertexList ConnectedKCore(const Graph& g,
+                                   const std::vector<std::uint32_t>&, VertexId,
+                                   std::uint32_t);
+
+  /// Grows the stamp arrays to n vertices and returns the fresh epoch.
+  std::uint32_t Begin(std::size_t n);
+
+  std::vector<std::uint32_t> member_;   ///< stamp: live candidate-set member
+  std::vector<std::uint32_t> visited_;  ///< stamp: reached by the final BFS
+  std::vector<std::uint32_t> degree_;   ///< induced degree, valid on members
+  std::vector<VertexId> queue_;         ///< shared peel / BFS worklist
+  std::uint32_t epoch_ = 0;
+};
+
+/// The calling thread's reusable peel scratch (one per thread, grown to the
+/// largest graph the thread has peeled on).
+PeelScratch& ThreadLocalPeelScratch();
+
 /// The connected component of `q` inside the k-core of `g`, ascending;
 /// empty if core(q) < k. This is exactly the community returned by the
 /// Global algorithm of Sozio-Gionis for parameter k.
@@ -49,9 +83,14 @@ VertexList ConnectedKCore(const Graph& g,
 /// neighbours inside the subset (peeling restricted to the candidate set).
 /// If `anchor` is not kInvalidVertex, the result is further restricted to
 /// the connected component of `anchor` (empty if the anchor was peeled).
-/// Result ascending.
+/// Result ascending. Uses the calling thread's scratch, so a steady-state
+/// call allocates nothing (the result reuses the candidate buffer).
 VertexList PeelToKCore(const Graph& g, VertexList candidates, std::uint32_t k,
                        VertexId anchor = kInvalidVertex);
+
+/// Explicit-scratch variant for callers managing their own buffers.
+VertexList PeelToKCore(const Graph& g, VertexList candidates, std::uint32_t k,
+                       VertexId anchor, PeelScratch* scratch);
 
 /// Maximum core number present in `core_numbers` (0 for empty input).
 std::uint32_t MaxCoreNumber(const std::vector<std::uint32_t>& core_numbers);

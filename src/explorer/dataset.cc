@@ -81,18 +81,19 @@ Result<AuthorProfile> Dataset::Profile(VertexId v) const {
     return Status::InvalidArgument("vertex out of range");
   }
   {
-    std::lock_guard<std::mutex> lock(profiles_mu_);
+    // Warm lookups — the common case under load — share the lock.
+    std::shared_lock<std::shared_mutex> lock(profiles_mu_);
     auto it = profiles_.find(v);
     if (it != profiles_.end()) return it->second;
   }
-  // Generate outside the lock so cold-cache misses on distinct vertices
+  // Generate outside any lock so cold-cache misses on distinct vertices
   // don't serialize across sessions. Deterministic per vertex (the rng is
   // seeded with the id), so a racing loser adopting the winner's entry is
   // indistinguishable from its own.
   Rng rng(0x9e3779b97f4a7c15ULL ^ v);
   AuthorProfile profile =
       MakeProfile(graph_->Name(v), graph_->KeywordStrings(v), &rng);
-  std::lock_guard<std::mutex> lock(profiles_mu_);
+  std::unique_lock<std::shared_mutex> lock(profiles_mu_);
   return profiles_.emplace(v, std::move(profile)).first->second;
 }
 

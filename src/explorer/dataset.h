@@ -19,10 +19,10 @@
 #define CEXPLORER_EXPLORER_DATASET_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cltree/cltree.h"
@@ -102,8 +102,12 @@ class Dataset {
   std::uint64_t id_ = 0;
   std::uint64_t graph_epoch_ = 0;
 
-  mutable std::mutex profiles_mu_;
-  mutable std::map<VertexId, AuthorProfile> profiles_;
+  // Profile popups are read-mostly after warm-up: lookups take the shared
+  // lock only, so concurrent sessions re-opening known profiles never
+  // serialize; a cold vertex generates outside any lock and upgrades to
+  // the exclusive lock just to publish.
+  mutable std::shared_mutex profiles_mu_;
+  mutable std::unordered_map<VertexId, AuthorProfile> profiles_;
 };
 
 }  // namespace cexplorer

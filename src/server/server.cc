@@ -103,6 +103,7 @@ HttpResponse CExplorerServer::DispatchRoute(
       {"api", &CExplorerServer::BindApi},
       {"healthz", &CExplorerServer::BindHealthz},
       {"version", &CExplorerServer::BindVersion},
+      {"stats", &CExplorerServer::BindStats},
       {"jobs", &CExplorerServer::BindJobs},
       {"jobs/<id>", &CExplorerServer::BindJob},
       {"jobs/<id>/result", &CExplorerServer::BindJobResult},
@@ -142,6 +143,10 @@ HttpResponse CExplorerServer::BindHealthz(const HttpRequest&) {
 
 HttpResponse CExplorerServer::BindVersion(const HttpRequest&) {
   return ToResponse(service_.Version());
+}
+
+HttpResponse CExplorerServer::BindStats(const HttpRequest&) {
+  return ToResponse(service_.Stats());
 }
 
 HttpResponse CExplorerServer::BindJobs(const HttpRequest& request) {

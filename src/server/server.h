@@ -22,6 +22,7 @@
 //   /v1/api             self-description: routes + algorithm registry
 //   /v1/healthz         liveness: uptime, snapshot id, session/job counts
 //   /v1/version         API + build version info
+//   /v1/stats           result-cache hit/miss counters, sessions, jobs
 //   /v1/index           system summary                       (alias /)
 //   /v1/session/new     create a session            (alias /session/new)
 //   /v1/session/delete  delete a session            (alias /session/delete)
@@ -138,6 +139,7 @@ class CExplorerServer {
   HttpResponse BindApi(const HttpRequest& request);
   HttpResponse BindHealthz(const HttpRequest& request);
   HttpResponse BindVersion(const HttpRequest& request);
+  HttpResponse BindStats(const HttpRequest& request);
   HttpResponse BindJobs(const HttpRequest& request);
   HttpResponse BindJob(const HttpRequest& request);
   HttpResponse BindJobResult(const HttpRequest& request);

@@ -370,6 +370,67 @@ TEST(JsonWriterTest, NonFiniteDoubleBecomesNull) {
   EXPECT_EQ(w.TakeString(), "null");
 }
 
+TEST(JsonWriterTest, RecycledProducesIdenticalDocuments) {
+  auto render = [](JsonWriter w) {
+    w.BeginObject();
+    w.Key("xs");
+    w.BeginArray();
+    for (int i = 0; i < 100; ++i) w.Int(i);
+    w.EndArray();
+    w.Key("s");
+    w.String("a\"b");
+    w.EndObject();
+    return w.TakeString();
+  };
+  EXPECT_EQ(render(JsonWriter::Recycled()), render(JsonWriter()));
+}
+
+TEST(JsonWriterTest, RecycledBufferIsReusedAcrossWriters) {
+  // Grow the thread's recycled buffer once, then confirm a later recycled
+  // writer starts with at least that capacity (no growth reallocations in
+  // steady state) and that TakeString hands out an exact-size copy.
+  std::string big;
+  {
+    JsonWriter w = JsonWriter::Recycled();
+    w.BeginArray();
+    for (int i = 0; i < 10000; ++i) w.Int(i);
+    w.EndArray();
+    big = w.TakeString();
+  }
+  JsonWriter w = JsonWriter::Recycled();
+  w.BeginArray();
+  w.Int(1);
+  w.EndArray();
+  std::string small = w.TakeString();
+  EXPECT_EQ(small, "[1]");
+  EXPECT_LT(small.capacity(), big.size());  // exact-size copy, not the slot
+}
+
+TEST(JsonWriterTest, NestedRecycledWritersStayIndependent) {
+  JsonWriter outer = JsonWriter::Recycled();
+  outer.BeginArray();
+  outer.Int(7);
+  {
+    JsonWriter inner = JsonWriter::Recycled();  // slot already borrowed
+    inner.BeginObject();
+    inner.Key("k");
+    inner.Int(8);
+    inner.EndObject();
+    EXPECT_EQ(inner.TakeString(), "{\"k\":8}");
+  }
+  outer.EndArray();
+  EXPECT_EQ(outer.TakeString(), "[7]");
+}
+
+TEST(JsonWriterTest, MoveTransfersRecycledOwnership) {
+  JsonWriter a = JsonWriter::Recycled();
+  a.BeginArray();
+  JsonWriter b = std::move(a);
+  b.Int(3);
+  b.EndArray();
+  EXPECT_EQ(b.TakeString(), "[3]");
+}
+
 TEST(JsonValueTest, ParsesScalars) {
   EXPECT_TRUE(JsonValue::Parse("null")->is_null());
   EXPECT_EQ(JsonValue::Parse("true")->AsBool(), true);

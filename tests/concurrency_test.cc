@@ -305,5 +305,92 @@ TEST(ConcurrencyTest, ExplorerViewsShareDatasetAndProfiles) {
   EXPECT_EQ(p0->name, dataset->graph().Name(0));
 }
 
+// Satellite of the profile-store rework: heavy same-vertex contention on
+// the shared_mutex read path. Every thread opens the same small profile set
+// (maximal lock sharing on warm entries) plus a private cold range, and all
+// threads must observe identical, deterministic profiles.
+TEST(ConcurrencyTest, ConcurrentProfileLookupsShareReadLock) {
+  auto built = Dataset::Build(GenerateDblp(SmallDblp(11)).graph);
+  ASSERT_TRUE(built.ok());
+  DatasetPtr dataset = built.value();
+
+  constexpr int kThreads = 8;
+  constexpr VertexId kHotProfiles = 16;
+  std::vector<std::vector<std::string>> seen(kThreads);
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dataset, &seen, &errors, t] {
+      for (int round = 0; round < 20; ++round) {
+        for (VertexId v = 0; v < kHotProfiles; ++v) {
+          auto profile = dataset->Profile(v);
+          if (!profile.ok()) {
+            ++errors;
+            continue;
+          }
+          if (round == 0) seen[t].push_back(profile->institute);
+        }
+        // A per-thread cold slice exercises the generate-then-publish path
+        // concurrently with the warm readers above.
+        const VertexId cold =
+            kHotProfiles + static_cast<VertexId>(t * 20 + round);
+        if (!dataset->Profile(cold).ok()) ++errors;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(errors.load(), 0);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]) << "thread " << t;
+  }
+}
+
+// Satellite of the result cache: concurrent identical searches (cache hits
+// and fills from many sessions) racing against dataset swaps that bump the
+// graph epoch and clear the cache. Every response must be a 200 rendered
+// against ONE snapshot; the epoch in the cache key makes a stale hit
+// structurally impossible.
+TEST(ConcurrencyTest, ResultCacheHitsDuringDatasetSwaps) {
+  CExplorerServer server;
+  server.service().ConfigureResultCache(128);
+  ASSERT_TRUE(server.UploadGraph(GenerateDblp(SmallDblp(21)).graph).ok());
+
+  constexpr int kSessions = 6;
+  constexpr int kSwaps = 4;
+  constexpr int kQueriesPerSession = 30;
+  std::atomic<int> errors{0};
+
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSessions; ++s) {
+    const std::string id = NewSession(&server);
+    threads.emplace_back([&server, &errors, id] {
+      for (int i = 0; i < kQueriesPerSession; ++i) {
+        // The same query every time: after the first fill, every session
+        // should hit the shared entry (until a swap clears it).
+        HttpResponse response = server.Handle(
+            "GET /v1/search?vertex=1&k=2&algo=Global&session=" + id);
+        if (response.code != 200) ++errors;
+        HttpResponse stats = server.Handle("GET /v1/stats");
+        if (stats.code != 200) ++errors;
+      }
+    });
+  }
+  threads.emplace_back([&server, &errors] {
+    for (int i = 0; i < kSwaps; ++i) {
+      if (!server.UploadGraph(GenerateDblp(SmallDblp(100 + i)).graph).ok()) {
+        ++errors;
+      }
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(errors.load(), 0);
+
+  auto stats = server.service().ResultCacheStats();
+  // Every search was answered by an execution (miss) or a cache hit.
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kSessions) * kQueriesPerSession);
+  EXPECT_GT(stats.hits, 0u);
+}
+
 }  // namespace
 }  // namespace cexplorer

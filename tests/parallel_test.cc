@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <set>
 #include <stdexcept>
@@ -177,8 +178,19 @@ TEST(ParallelClTreeBuildTest, InvertedListsMatchSequential) {
       ClTree::Build(data.graph, ClTreeBuildMethod::kAdvanced, &four);
   ASSERT_EQ(seq.num_nodes(), par.num_nodes());
   for (ClNodeId i = 0; i < seq.num_nodes(); ++i) {
-    ASSERT_EQ(seq.node(i).inv_keywords, par.node(i).inv_keywords) << i;
-    ASSERT_EQ(seq.node(i).inv_postings, par.node(i).inv_postings) << i;
+    // The inverted lists are span views into the tree-wide arenas; compare
+    // their contents slot by slot.
+    const auto& seq_kws = seq.node(i).inv_keywords;
+    const auto& par_kws = par.node(i).inv_keywords;
+    ASSERT_EQ(seq_kws.size(), par_kws.size()) << i;
+    for (std::size_t k = 0; k < seq_kws.size(); ++k) {
+      ASSERT_EQ(seq_kws[k], par_kws[k]) << i;
+      const auto seq_postings = seq.node(i).inv_postings[k];
+      const auto par_postings = par.node(i).inv_postings[k];
+      ASSERT_TRUE(std::equal(seq_postings.begin(), seq_postings.end(),
+                             par_postings.begin(), par_postings.end()))
+          << i;
+    }
     ASSERT_EQ(seq.node(i).vertices, par.node(i).vertices) << i;
   }
   for (VertexId v = 0; v < data.graph.num_vertices(); ++v) {

@@ -1,0 +1,188 @@
+// Tests for the snapshot-keyed result cache behind /v1/search and
+// /v1/batch: cross-session hits with byte-identical bodies, epoch-bump
+// invalidation after /upload, misses on any parameter delta, canonicalized
+// keyword order, warm survival of index-only swaps, capacity eviction, and
+// the /v1/stats counters that surface all of it.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/query_service.h"
+#include "api/result_cache.h"
+#include "common/json.h"
+#include "graph/fixtures.h"
+#include "server/http.h"
+#include "server/server.h"
+
+namespace cexplorer {
+namespace {
+
+class ResultCacheFixture : public ::testing::Test {
+ protected:
+  ResultCacheFixture() {
+    EXPECT_TRUE(server_.UploadGraph(Figure5Graph()).ok());
+  }
+
+  HttpResponse Get(const std::string& request, int expected_code = 200) {
+    HttpResponse response = server_.Handle(request);
+    EXPECT_EQ(response.code, expected_code)
+        << request << " -> " << response.body;
+    return response;
+  }
+
+  std::string NewSession() {
+    HttpResponse response = Get("GET /v1/session/new");
+    auto v = JsonValue::Parse(response.body);
+    EXPECT_TRUE(v.ok());
+    return v->Get("session").AsString();
+  }
+
+  api::ResultCache::Stats Stats() {
+    return server_.service().ResultCacheStats();
+  }
+
+  CExplorerServer server_;
+};
+
+TEST_F(ResultCacheFixture, HitAfterIdenticalSearchFromSecondSession) {
+  const std::string a = NewSession();
+  const std::string b = NewSession();
+  HttpResponse first =
+      Get("GET /v1/search?name=A&k=2&keywords=x,y&session=" + a);
+  auto after_first = Stats();
+  EXPECT_EQ(after_first.hits, 0u);
+  EXPECT_EQ(after_first.misses, 1u);
+  EXPECT_EQ(after_first.entries, 1u);
+
+  HttpResponse second =
+      Get("GET /v1/search?name=A&k=2&keywords=x,y&session=" + b);
+  auto after_second = Stats();
+  EXPECT_EQ(after_second.hits, 1u);
+  EXPECT_EQ(after_second.misses, 1u);
+  EXPECT_EQ(second.body, first.body);  // byte-identical, skipped execution
+
+  // The hitting session's browser cache was re-populated: /community works.
+  EXPECT_EQ(Get("GET /v1/community?id=0&session=" + b).code, 200);
+}
+
+TEST_F(ResultCacheFixture, KeywordOrderIsCanonicalized) {
+  Get("GET /v1/search?name=A&k=2&keywords=x,y");
+  HttpResponse reordered = Get("GET /v1/search?name=A&k=2&keywords=y,x");
+  auto stats = Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_FALSE(reordered.body.empty());
+}
+
+TEST_F(ResultCacheFixture, MissAfterUploadEpochBump) {
+  Get("GET /v1/search?name=A&k=2&keywords=x,y");
+  Get("GET /v1/search?name=A&k=2&keywords=x,y");
+  EXPECT_EQ(Stats().hits, 1u);
+
+  // A fresh upload bumps the graph epoch: the same query must re-execute.
+  ASSERT_TRUE(server_.UploadGraph(Figure5Graph()).ok());
+  EXPECT_EQ(Stats().entries, 0u);  // cleared on the swap
+  Get("GET /v1/search?name=A&k=2&keywords=x,y");
+  auto stats = Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST_F(ResultCacheFixture, MissOnParamDelta) {
+  Get("GET /v1/search?name=A&k=2&keywords=x,y");
+  Get("GET /v1/search?name=A&k=3&keywords=x,y");      // k delta
+  Get("GET /v1/search?name=A&k=2&keywords=x");        // keyword delta
+  Get("GET /v1/search?name=A&k=2&keywords=x,y&algo=Global");  // algo delta
+  Get("GET /v1/search?name=B&k=2&keywords=x");        // query delta
+  auto stats = Stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 5u);
+  EXPECT_EQ(stats.entries, 5u);
+}
+
+TEST_F(ResultCacheFixture, IndexOnlySwapKeepsCacheWarm) {
+  const std::string path = ::testing::TempDir() + "/result_cache_index.clt";
+  Get("GET /v1/search?name=A&k=2&keywords=x,y");
+  Get("GET /v1/save_index?path=" + path);
+  Get("GET /v1/load_index?path=" + path);
+  // Same graph epoch: the entry survives the snapshot swap.
+  Get("GET /v1/search?name=A&k=2&keywords=x,y");
+  auto stats = Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST_F(ResultCacheFixture, CapacityEviction) {
+  // One shard of capacity 2 makes the LRU order deterministic.
+  server_.service().ConfigureResultCache(2, 1);
+  Get("GET /v1/search?name=A&k=2&keywords=x");   // {A}
+  Get("GET /v1/search?name=B&k=2&keywords=x");   // {A, B}
+  Get("GET /v1/search?name=C&k=2&keywords=x");   // {B, C} — evicts A
+  auto stats = Stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+
+  Get("GET /v1/search?name=A&k=2&keywords=x");   // miss again
+  EXPECT_EQ(Stats().hits, 0u);
+  Get("GET /v1/search?name=C&k=2&keywords=x");   // still resident
+  EXPECT_EQ(Stats().hits, 1u);
+}
+
+TEST_F(ResultCacheFixture, ByteBudgetEvicts) {
+  // A byte budget of 1 means no real result fits: every insertion is
+  // immediately evicted, so the cache never serves a hit but also never
+  // pins more than the budget.
+  server_.service().ConfigureResultCache(64, 1, /*max_bytes=*/1);
+  Get("GET /v1/search?name=A&k=2&keywords=x,y");
+  Get("GET /v1/search?name=A&k=2&keywords=x,y");
+  auto stats = Stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_LE(stats.bytes, 1u);
+}
+
+TEST_F(ResultCacheFixture, BatchSharesEntriesWithSearch) {
+  HttpResponse search = Get("GET /v1/search?name=A&k=2&keywords=x,y");
+  HttpResponse batch = Get(
+      "GET /v1/batch?requests=%5B%7B%22name%22%3A%22A%22%2C%22k%22%3A2%2C"
+      "%22keywords%22%3A%22x%2Cy%22%7D%5D");
+  auto stats = Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  auto parsed = JsonValue::Parse(batch.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("results").Items()[0].Dump(),
+            JsonValue::Parse(search.body)->Dump());
+}
+
+TEST_F(ResultCacheFixture, DisabledCacheExecutesEveryTime) {
+  server_.service().ConfigureResultCache(0);
+  Get("GET /v1/search?name=A&k=2&keywords=x,y");
+  Get("GET /v1/search?name=A&k=2&keywords=x,y");
+  auto stats = Stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.capacity, 0u);
+}
+
+TEST_F(ResultCacheFixture, StatsEndpointSurfacesCounters) {
+  Get("GET /v1/search?name=A&k=2&keywords=x,y");
+  Get("GET /v1/search?name=A&k=2&keywords=x,y");
+  auto v = JsonValue::Parse(Get("GET /v1/stats").body);
+  ASSERT_TRUE(v.ok());
+  const JsonValue& cache = v->Get("result_cache");
+  EXPECT_TRUE(cache.Get("enabled").AsBool());
+  EXPECT_EQ(cache.Get("hits").AsInt(), 1);
+  EXPECT_EQ(cache.Get("misses").AsInt(), 1);
+  EXPECT_EQ(cache.Get("entries").AsInt(), 1);
+  EXPECT_GT(cache.Get("capacity").AsInt(), 0);
+  EXPECT_TRUE(v->Get("graph_loaded").AsBool());
+  EXPECT_GT(v->Get("sessions").AsInt(), 0);
+}
+
+}  // namespace
+}  // namespace cexplorer
