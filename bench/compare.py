@@ -10,15 +10,26 @@ Every bench binary emits machine-readable lines of the form
 BENCH_*.json files. This tool joins two such files by benchmark name and
 prints the delta of every shared numeric metric:
 
-    $ python3 bench/compare.py BENCH_PR5.json bench-smoke.jsonl
+    $ python3 bench/compare.py BENCH_PR6.json bench-smoke.jsonl
 
-Used manually to eyeball regressions between commits; non-gating.
+With --gate it becomes a CI regression gate: any shared metric that moves
+in its bad direction by more than --threshold percent fails the run with a
+non-zero exit and a table of the offending metrics. Direction is
+per-metric: latencies, allocations and byte counts regress upward;
+"speedup"/"throughput"/"qps" metrics regress downward.
+
+    $ python3 bench/compare.py --gate --threshold 25 BENCH_PR6.json fresh.jsonl
 """
 
+import argparse
 import json
 import sys
 
 STRUCTURAL_KEYS = {"name", "n", "m", "threads"}
+
+# Metric-key fragments whose values are better when HIGHER; everything else
+# (ms, allocs, bytes, ...) is treated as lower-is-better.
+HIGHER_IS_BETTER = ("speedup", "throughput", "qps", "ops_per_sec")
 
 
 def load(path):
@@ -51,17 +62,47 @@ def fmt(value):
     return f"{value:,.3f}" if isinstance(value, float) else f"{value:,}"
 
 
+def higher_is_better(key):
+    return any(token in key for token in HIGHER_IS_BETTER)
+
+
+def regression_pct(key, old, new):
+    """How far the metric moved in its bad direction, in percent of the
+    baseline (0.0 when it held steady or improved)."""
+    if old == 0:
+        return 0.0
+    moved = (new - old) if not higher_is_better(key) else (old - new)
+    return max(0.0, 100.0 * moved / abs(old))
+
+
 def main(argv):
-    if len(argv) != 3:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    base = load(argv[1])
-    fresh = load(argv[2])
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline", help="committed BENCH_*.json baseline")
+    parser.add_argument("fresh", help="freshly measured .jsonl / stdout dump")
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero when any metric regresses past --threshold",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="allowed regression in percent of the baseline (default 10)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
 
     shared = sorted(set(base) & set(fresh))
     only_base = sorted(set(base) - set(fresh))
     only_fresh = sorted(set(fresh) - set(base))
 
+    failures = []  # (name, key, old, new, pct)
     if not shared:
         print("no shared benchmark names between the two files")
     for name in shared:
@@ -79,11 +120,35 @@ def main(argv):
             ratio = (new / old) if old else float("inf")
             print(f"  {key:<18} {fmt(old):>14} -> {fmt(new):>14}  "
                   f"({delta:+,.3f}, x{ratio:.3f})")
+            pct = regression_pct(key, old, new)
+            if pct > args.threshold:
+                failures.append((name, key, old, new, pct))
 
     if only_base:
-        print("\nonly in", argv[1] + ":", ", ".join(only_base))
+        print("\nonly in", args.baseline + ":", ", ".join(only_base))
     if only_fresh:
-        print("\nonly in", argv[2] + ":", ", ".join(only_fresh))
+        print("\nonly in", args.fresh + ":", ", ".join(only_fresh))
+
+    if not args.gate:
+        return 0
+    if args.gate and not shared:
+        # A gate with nothing to compare is a broken gate, not a pass.
+        print("\nGATE ERROR: no shared metrics to compare", file=sys.stderr)
+        return 2
+    if failures:
+        print(
+            f"\nGATE FAILED: {len(failures)} metric(s) regressed more than "
+            f"{args.threshold:g}% against {args.baseline}:",
+            file=sys.stderr,
+        )
+        print(f"{'benchmark':<28} {'metric':<18} {'baseline':>12} "
+              f"{'fresh':>12} {'regression':>11}", file=sys.stderr)
+        for name, key, old, new, pct in failures:
+            direction = "higher" if not higher_is_better(key) else "lower"
+            print(f"{name:<28} {key:<18} {fmt(old):>12} {fmt(new):>12} "
+                  f"{pct:>9.1f}%  ({direction} is worse)", file=sys.stderr)
+        return 1
+    print(f"\nGATE OK: no metric regressed more than {args.threshold:g}%")
     return 0
 
 

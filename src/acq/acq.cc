@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/simd/simd.h"
 #include "core/kcore.h"
 
 namespace cexplorer {
@@ -31,6 +32,8 @@ namespace {
 struct AcqScratch {
   VertexList gather;
   std::vector<KeywordList> next_frontier;
+  std::vector<std::uint64_t> fps;  // per-candidate bloom fingerprints
+  std::vector<VertexList> batch;   // per-candidate gather lists (Inc-T)
 };
 
 AcqScratch& ThreadAcqScratch() {
@@ -66,11 +69,13 @@ bool ContainsAllQueryVertices(const QueryContext& ctx,
 /// Peels `candidates` to the k-core component of the anchor and checks that
 /// all query vertices survived. Empty return means "not qualified". Counts
 /// into `stats` (per-thread when called from a parallel verify pass).
+/// Every gather path (component scan, CL-tree batch, subtree collect)
+/// produces sorted unique lists, so the sorted peel entry point applies.
 VertexList PeelAndCheck(const QueryContext& ctx, VertexList candidates,
                         AcqStats* stats) {
   ++stats->candidates_verified;
-  VertexList community = PeelToKCore(ctx.g->graph(), std::move(candidates),
-                                     ctx.k, ctx.query_vertices[0]);
+  VertexList community = PeelToKCoreSorted(
+      ctx.g->graph(), std::move(candidates), ctx.k, ctx.query_vertices[0]);
   if (community.empty() || !ContainsAllQueryVertices(ctx, community)) {
     return {};
   }
@@ -113,10 +118,34 @@ VertexList GatherByScan(const QueryContext& ctx, const VertexList& universe,
                         const KeywordList& cand) {
   VertexList& buf = ThreadAcqScratch().gather;
   buf.clear();
+  // One-word bloom pre-test per vertex rejects most non-matches before the
+  // exact merge test (false positives only cost the exact check).
+  const std::uint64_t cand_fp = simd::BloomFingerprint(cand);
   for (VertexId v : universe) {
+    if (!simd::BloomMayContainAll(ctx.g->KeywordFingerprint(v), cand_fp)) {
+      continue;
+    }
     if (ctx.g->HasAllKeywords(v, cand)) buf.push_back(v);
   }
   return VertexList(buf.begin(), buf.end());  // one exact-size allocation
+}
+
+/// Candidate vertices for keyword set `cand`, gathered by walking the
+/// query node's CL-tree subtree (the Dec descent). Same result as
+/// ClTree::CollectWithKeywords, but the growth churn of the appends lands
+/// in the per-thread gather buffer and the result is copied out
+/// exactly-sized.
+VertexList GatherBySubtree(const QueryContext& ctx, const KeywordList& cand) {
+  VertexList& buf = ThreadAcqScratch().gather;
+  buf.clear();
+  const ClTree& tree = *ctx.index;
+  const ClNodeId end = tree.node(ctx.node).subtree_end;
+  const std::uint64_t fp = simd::BloomFingerprint(cand);
+  for (ClNodeId i = ctx.node; i < end; ++i) {
+    tree.AppendNodeMatches(i, cand, fp, &buf);
+  }
+  std::sort(buf.begin(), buf.end());
+  return VertexList(buf.begin(), buf.end());
 }
 
 /// The fallback community (empty shared keyword set): the connected k-core
@@ -124,8 +153,10 @@ VertexList GatherByScan(const QueryContext& ctx, const VertexList& universe,
 /// one such component.
 std::vector<AttributedCommunity> FallbackCommunity(QueryContext* ctx,
                                                    const VertexList& universe) {
-  VertexList community = PeelToKCore(ctx->g->graph(), universe, ctx->k,
-                                     ctx->query_vertices[0]);
+  // Both callers pass a sorted unique universe (the subtree component or
+  // the full vertex range).
+  VertexList community = PeelToKCoreSorted(ctx->g->graph(), universe, ctx->k,
+                                           ctx->query_vertices[0]);
   if (community.empty() || !ContainsAllQueryVertices(*ctx, community)) {
     return {};
   }
@@ -232,36 +263,27 @@ std::vector<VertexList> BatchCollect(const QueryContext& ctx,
   std::vector<VertexList> out(cands.size());
   const ClTree& tree = *ctx.index;
   const ClNodeId end = tree.node(ctx.node).subtree_end;
+  AcqScratch& s = ThreadAcqScratch();
+  // Per-candidate bloom fingerprints, computed once for the whole walk.
+  s.fps.clear();
+  for (const KeywordList& cand : cands) {
+    s.fps.push_back(simd::BloomFingerprint(cand));
+  }
+  // Gather into the per-thread batch buffers — they keep their capacity
+  // across lattice levels and queries, so the growth churn of the appends
+  // lands there once per thread. The caller-owned result is copied out
+  // exactly-sized, mirroring GatherByScan.
+  if (s.batch.size() < cands.size()) s.batch.resize(cands.size());
+  for (std::size_t c = 0; c < cands.size(); ++c) s.batch[c].clear();
   for (ClNodeId i = ctx.node; i < end; ++i) {
-    const ClTreeNode& node = tree.node(i);
     for (std::size_t c = 0; c < cands.size(); ++c) {
-      std::span<const VertexId> rarest;
-      bool missing = false;
-      for (KeywordId kw : cands[c]) {
-        auto postings = node.Postings(kw);
-        if (postings.empty()) {
-          missing = true;
-          break;
-        }
-        if (rarest.empty() || postings.size() < rarest.size()) {
-          rarest = postings;
-        }
-      }
-      if (missing) continue;
-      for (VertexId v : rarest) {
-        bool all = true;
-        for (KeywordId kw : cands[c]) {
-          auto postings = node.Postings(kw);
-          if (!std::binary_search(postings.begin(), postings.end(), v)) {
-            all = false;
-            break;
-          }
-        }
-        if (all) out[c].push_back(v);
-      }
+      tree.AppendNodeMatches(i, cands[c], s.fps[c], &s.batch[c]);
     }
   }
-  for (auto& list : out) std::sort(list.begin(), list.end());
+  for (std::size_t c = 0; c < cands.size(); ++c) {
+    std::sort(s.batch[c].begin(), s.batch[c].end());
+    out[c].assign(s.batch[c].begin(), s.batch[c].end());
+  }
   return out;
 }
 
@@ -336,7 +358,7 @@ Result<std::vector<AttributedCommunity>> RunDec(QueryContext* ctx) {
     ParallelFor(
         0, frontier.size(), ctx->pool,
         [&](std::size_t i) {
-          gathered[i] = ctx->index->CollectWithKeywords(ctx->node, frontier[i]);
+          gathered[i] = GatherBySubtree(*ctx, frontier[i]);
         },
         /*grain=*/1);
     std::vector<VertexList> communities = VerifyLevel(ctx, std::move(gathered));

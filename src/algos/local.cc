@@ -1,6 +1,7 @@
 #include "algos/local.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "core/kcore.h"
 
@@ -34,6 +35,9 @@ struct LocalScratch {
   std::vector<std::uint32_t> stamp_;  // in-set / links valid for this epoch
   std::vector<std::uint32_t> links_;
   std::vector<FrontierEntry> heap_;
+  std::vector<std::uint64_t> member_words_;  // absorbed set, word-packed
+  std::vector<VertexId> collect_;            // sorted candidates per test
+  std::size_t words_ = 0;                    // live words of member_words_
   std::uint32_t epoch_ = 0;
 
   std::uint32_t Begin(std::size_t n) {
@@ -41,6 +45,9 @@ struct LocalScratch {
       stamp_.resize(n, 0);
       links_.resize(n, 0);
     }
+    words_ = (n + 63) / 64;
+    if (member_words_.size() < words_) member_words_.resize(words_);
+    std::fill(member_words_.begin(), member_words_.begin() + words_, 0);
     // The top stamp bit distinguishes "absorbed" from "frontier", so the
     // epoch counter wraps at 2^31 to keep that bit free.
     if (++epoch_ >= 0x80000000u) {
@@ -49,6 +56,23 @@ struct LocalScratch {
     }
     heap_.clear();
     return epoch_;
+  }
+
+  /// Sweeps the member bitset into `collect_`, yielding the absorbed set
+  /// already sorted ascending — no per-test copy-and-sort.
+  VertexList TakeSortedMembers(std::size_t count) {
+    VertexList out = std::move(collect_);
+    out.clear();
+    out.reserve(count);
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t bits = member_words_[w];
+      while (bits != 0) {
+        const int bit = std::countr_zero(bits);
+        bits &= bits - 1;
+        out.push_back(static_cast<VertexId>(w * 64 + bit));
+      }
+    }
+    return out;
   }
 };
 
@@ -73,10 +97,11 @@ LocalResult LocalSearch(const Graph& g, VertexId q, std::uint32_t k,
     return (s.stamp_[v] & ~kInSetBit) == epoch ? s.links_[v] : 0;
   };
 
-  VertexList candidates;
+  std::size_t num_candidates = 0;
   auto absorb = [&](VertexId v) {
     s.stamp_[v] = epoch | kInSetBit;
-    candidates.push_back(v);
+    s.member_words_[v >> 6] |= 1ull << (v & 63);
+    ++num_candidates;
     ++result.candidates_explored;
     for (VertexId w : g.Neighbors(v)) {
       if (in_set(w)) continue;
@@ -95,18 +120,20 @@ LocalResult LocalSearch(const Graph& g, VertexId q, std::uint32_t k,
   std::size_t next_test = std::max<std::size_t>(k + 1, 4);
   for (;;) {
     const bool capped = options.max_candidates != 0 &&
-                        candidates.size() >= options.max_candidates;
-    if (candidates.size() >= next_test || capped || s.heap_.empty()) {
+                        num_candidates >= options.max_candidates;
+    if (num_candidates >= next_test || capped || s.heap_.empty()) {
       ++result.peel_tests;
-      VertexList community = PeelToKCore(g, candidates, k, q);
+      VertexList community = PeelToKCoreSorted(
+          g, s.TakeSortedMembers(num_candidates), k, q);
       if (!community.empty()) {
         result.vertices = std::move(community);
         return result;
       }
+      s.collect_ = std::move(community);  // recycle the buffer
       if (capped || s.heap_.empty()) return result;
       next_test = std::max(
           next_test + 1,
-          static_cast<std::size_t>(static_cast<double>(candidates.size()) *
+          static_cast<std::size_t>(static_cast<double>(num_candidates) *
                                    options.test_growth_factor));
     }
 
@@ -124,7 +151,8 @@ LocalResult LocalSearch(const Graph& g, VertexId q, std::uint32_t k,
     if (chosen == kInvalidVertex) {
       // Frontier exhausted: final test on everything reachable.
       ++result.peel_tests;
-      result.vertices = PeelToKCore(g, candidates, k, q);
+      result.vertices = PeelToKCoreSorted(
+          g, s.TakeSortedMembers(num_candidates), k, q);
       return result;
     }
     absorb(chosen);

@@ -3,10 +3,22 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/simd/simd.h"
 
 namespace cexplorer {
 
 namespace {
+
+/// Common neighbours of two adjacency lists via the SIMD intersection
+/// kernel, written into the thread's reusable triangle buffer.
+std::span<const VertexId> CommonNeighbors(std::span<const VertexId> nu,
+                                          std::span<const VertexId> nv) {
+  thread_local std::vector<VertexId> buf;
+  const std::size_t cap = std::min(nu.size(), nv.size()) + simd::kIntersectPad;
+  if (buf.size() < cap) buf.resize(cap);
+  const std::size_t cnt = simd::IntersectSorted(nu, nv, buf.data());
+  return {buf.data(), cnt};
+}
 
 /// Adjacency-aligned edge ids: edge_of[slot] is the edge index of the
 /// adjacency entry at `slot` in the CSR arrays.
@@ -81,25 +93,18 @@ TrussDecomposition TrussDecompose(const Graph& g,
   for (std::size_t e = 0; e < m; ++e) {
     if ((e & 0xFFF) == 0 && !CheckControl(control).ok()) return td;
     const auto [u, v] = td.edges[e];
+    // Only w > v closes an ordered triangle u < v < w, so clip both
+    // adjacency lists past v before intersecting.
     auto nu = g.Neighbors(u);
     auto nv = g.Neighbors(v);
-    std::size_t i = 0;
-    std::size_t j = 0;
-    while (i < nu.size() && j < nv.size()) {
-      if (nu[i] < nv[j]) {
-        ++i;
-      } else if (nu[i] > nv[j]) {
-        ++j;
-      } else {
-        VertexId w = nu[i];
-        if (w > v) {
-          ++support[e];
-          ++support[edge_id(u, w)];
-          ++support[edge_id(v, w)];
-        }
-        ++i;
-        ++j;
-      }
+    nu = nu.subspan(static_cast<std::size_t>(
+        std::upper_bound(nu.begin(), nu.end(), v) - nu.begin()));
+    nv = nv.subspan(static_cast<std::size_t>(
+        std::upper_bound(nv.begin(), nv.end(), v) - nv.begin()));
+    for (VertexId w : CommonNeighbors(nu, nv)) {
+      ++support[e];
+      ++support[edge_id(u, w)];
+      ++support[edge_id(v, w)];
     }
   }
 
@@ -148,25 +153,12 @@ TrussDecomposition TrussDecompose(const Graph& g,
     const auto [u, v] = td.edges[e];
     // Each still-alive triangle through e loses a triangle at both other
     // edges.
-    auto nu = g.Neighbors(u);
-    auto nv = g.Neighbors(v);
-    std::size_t i = 0;
-    std::size_t j = 0;
-    while (i < nu.size() && j < nv.size()) {
-      if (nu[i] < nv[j]) {
-        ++i;
-      } else if (nu[i] > nv[j]) {
-        ++j;
-      } else {
-        VertexId w = nu[i];
-        std::size_t e1 = edge_id(u, w);
-        std::size_t e2 = edge_id(v, w);
-        if (!removed[e1] && !removed[e2]) {
-          lower_support(e1, s);
-          lower_support(e2, s);
-        }
-        ++i;
-        ++j;
+    for (VertexId w : CommonNeighbors(g.Neighbors(u), g.Neighbors(v))) {
+      std::size_t e1 = edge_id(u, w);
+      std::size_t e2 = edge_id(v, w);
+      if (!removed[e1] && !removed[e2]) {
+        lower_support(e1, s);
+        lower_support(e2, s);
       }
     }
   }
@@ -183,7 +175,11 @@ namespace {
 /// graph once per thread) plus the BFS worklist, replacing the per-query
 /// O(m) + per-community O(n) zero-fills. The two stamp arrays carry
 /// independent epoch counters: edge visits live for a whole query, member
-/// stamps for one component.
+/// stamps for one component. Stamps, not bitsets, deliberately: unlike
+/// the k-core peel (core/kcore.cc), whose dense candidate sets favour
+/// word-packed frontiers, this BFS touches only the alive
+/// triangle-connected edges — a sparse slice of the edge array — so
+/// per-visit stamping beats zero-filling m/64 words per query.
 struct TrussScratch {
   std::vector<std::uint32_t> edge_visited_;
   std::vector<std::uint32_t> member_;
@@ -255,31 +251,18 @@ std::vector<TrussCommunity> KTrussCommunities(const Graph& g,
         s.member_[v] = member_epoch;
         member_list.push_back(v);
       }
-      auto nu = g.Neighbors(u);
-      auto nv = g.Neighbors(v);
-      std::size_t i = 0;
-      std::size_t j = 0;
-      while (i < nu.size() && j < nv.size()) {
-        if (nu[i] < nv[j]) {
-          ++i;
-        } else if (nu[i] > nv[j]) {
-          ++j;
-        } else {
-          VertexId w = nu[i];
-          std::size_t e1 = td.EdgeIndex(u, w);
-          std::size_t e2 = td.EdgeIndex(v, w);
-          if (edge_alive(e1) && edge_alive(e2)) {
-            if (!visited(e1)) {
-              s.edge_visited_[e1] = query_epoch;
-              s.queue_.push_back(e1);
-            }
-            if (!visited(e2)) {
-              s.edge_visited_[e2] = query_epoch;
-              s.queue_.push_back(e2);
-            }
+      for (VertexId w : CommonNeighbors(g.Neighbors(u), g.Neighbors(v))) {
+        std::size_t e1 = td.EdgeIndex(u, w);
+        std::size_t e2 = td.EdgeIndex(v, w);
+        if (edge_alive(e1) && edge_alive(e2)) {
+          if (!visited(e1)) {
+            s.edge_visited_[e1] = query_epoch;
+            s.queue_.push_back(e1);
           }
-          ++i;
-          ++j;
+          if (!visited(e2)) {
+            s.edge_visited_[e2] = query_epoch;
+            s.queue_.push_back(e2);
+          }
         }
       }
     }

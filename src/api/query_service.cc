@@ -7,6 +7,7 @@
 
 #include "api/routes.h"
 #include "common/json.h"
+#include "common/simd/simd.h"
 #include "common/strings.h"
 #include "explorer/explorer.h"
 #include "metrics/quality.h"
@@ -1271,6 +1272,18 @@ ApiResult<std::string> QueryService::Stats() {
     w.Key("graph_epoch");
     w.UInt(snapshot->graph_epoch());
   }
+  // Which kernel implementations this process resolved at startup, and the
+  // posting storage of the live index — so a deploy can verify it actually
+  // runs the vectorized paths it was built for.
+  w.Key("kernels");
+  w.BeginObject();
+  w.Key("isa");
+  w.String(simd::IsaName(simd::ActiveIsa()));
+  if (snapshot != nullptr) {
+    w.Key("posting_format");
+    w.String(PostingFormatName(snapshot->index().posting_format()));
+  }
+  w.EndObject();
   w.EndObject();
   return w.TakeString();
 }

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/bitset.h"
+#include "common/simd/simd.h"
 #include "common/strings.h"
 #include "core/kcore.h"
 
@@ -272,22 +273,33 @@ std::span<const VertexId> ClTreeNode::Postings(KeywordId kw) const {
   return inv_postings[static_cast<std::size_t>(it - inv_keywords.begin())];
 }
 
+const char* PostingFormatName(PostingFormat format) {
+  switch (format) {
+    case PostingFormat::kRaw:
+      return "raw";
+    case PostingFormat::kVarint:
+      return "varint";
+  }
+  return "?";
+}
+
 ClTree ClTree::Build(const AttributedGraph& g, ClTreeBuildMethod method,
-                     ThreadPool* pool) {
+                     ThreadPool* pool, PostingFormat format) {
   ClTree tree;
   if (g.num_vertices() == 0) return tree;
   std::vector<std::uint32_t> core = CoreDecomposition(g.graph(), pool);
   RawTree raw = method == ClTreeBuildMethod::kBasic
                     ? BuildBasicTree(g.graph(), core)
                     : BuildAdvancedTree(g.graph(), core);
-  tree.Finalize(g, std::move(raw.nodes), raw.root, pool);
+  tree.Finalize(g, std::move(raw.nodes), raw.root, pool, format);
   return tree;
 }
 
 void ClTree::Finalize(const AttributedGraph& g,
                       std::vector<ClTreeNode> raw_nodes, ClNodeId raw_root,
-                      ThreadPool* pool) {
+                      ThreadPool* pool, PostingFormat format) {
   const std::size_t num_raw = raw_nodes.size();
+  posting_format_ = format;
 
   // Pass 1 (post-order): minimum vertex in each subtree, for canonical
   // child ordering; and subtree vertex counts.
@@ -420,10 +432,13 @@ void ClTree::Finalize(const AttributedGraph& g,
   const std::size_t total_posts = post_begin[num_raw];
 
   // Exact-size reservation from the counted totals; the fill below only
-  // writes in place, so the buffers must never move again.
+  // writes in place, so the buffers must never move again. Offsets are
+  // logical value positions in both formats; the raw posting arena is only
+  // materialized in kRaw.
+  const bool raw_postings = format == PostingFormat::kRaw;
   inv_keyword_arena_.reserve(total_kws);
   inv_offset_arena_.reserve(total_kws + 1);
-  inv_posting_arena_.reserve(total_posts);
+  if (raw_postings) inv_posting_arena_.reserve(total_posts);
 #ifndef NDEBUG
   const KeywordId* kw_base = inv_keyword_arena_.data();
   const std::uint32_t* offset_base = inv_offset_arena_.data();
@@ -431,8 +446,14 @@ void ClTree::Finalize(const AttributedGraph& g,
 #endif
   inv_keyword_arena_.resize(total_kws);
   inv_offset_arena_.resize(total_kws + 1);
-  inv_posting_arena_.resize(total_posts);
+  if (raw_postings) inv_posting_arena_.resize(total_posts);
   inv_offset_arena_[total_kws] = static_cast<std::uint32_t>(total_posts);
+  node_kw_bloom_.assign(num_raw, 0);
+
+  // Per-node encoded postings of the varint format, concatenated into the
+  // byte arena after the parallel fill (the byte offsets depend on every
+  // earlier node, so the concatenation is a cheap sequential pass).
+  std::vector<std::vector<std::uint8_t>> encoded(raw_postings ? 0 : num_raw);
 
   // Fill pass: every node writes its own disjoint arena slices.
   ParallelFor(
@@ -441,15 +462,38 @@ void ClTree::Finalize(const AttributedGraph& g,
         auto& p = pairs[i];
         std::size_t kw_cursor = kw_begin[i];
         std::size_t post_cursor = post_begin[i];
+        std::uint64_t bloom = 0;
+        std::size_t run_start = 0;  // start of the current keyword's run
         for (std::size_t j = 0; j < p.size(); ++j) {
           if (j == 0 || p[j].first != p[j - 1].first) {
+            if (!raw_postings && j != 0) {
+              // Close the previous keyword's run: encode its vertex list.
+              thread_local std::vector<VertexId> run;
+              run.clear();
+              for (std::size_t t = run_start; t < j; ++t) {
+                run.push_back(p[t].second);
+              }
+              simd::GroupVarintEncode(run, &encoded[i]);
+            }
+            run_start = j;
             inv_keyword_arena_[kw_cursor] = p[j].first;
             inv_offset_arena_[kw_cursor] =
                 static_cast<std::uint32_t>(post_cursor);
             ++kw_cursor;
+            bloom |= simd::BloomMask(p[j].first);
           }
-          inv_posting_arena_[post_cursor++] = p[j].second;
+          if (raw_postings) inv_posting_arena_[post_cursor] = p[j].second;
+          ++post_cursor;
         }
+        if (!raw_postings && !p.empty()) {
+          thread_local std::vector<VertexId> run;
+          run.clear();
+          for (std::size_t t = run_start; t < p.size(); ++t) {
+            run.push_back(p[t].second);
+          }
+          simd::GroupVarintEncode(run, &encoded[i]);
+        }
+        node_kw_bloom_[i] = bloom;
         p = {};  // release the temporary pairs eagerly
       },
       /*grain=*/16);
@@ -460,15 +504,52 @@ void ClTree::Finalize(const AttributedGraph& g,
 #ifndef NDEBUG
   assert(inv_keyword_arena_.data() == kw_base &&
          inv_offset_arena_.data() == offset_base &&
-         inv_posting_arena_.data() == post_base &&
+         (!raw_postings || inv_posting_arena_.data() == post_base) &&
          "inverted-list arenas must not reallocate after the counting pass");
 #endif
 
   for (std::size_t i = 0; i < num_raw; ++i) {
     nodes_[i].inv_keywords = {inv_keyword_arena_.data() + kw_begin[i],
                               kw_counts[i]};
-    nodes_[i].inv_postings = {inv_offset_arena_.data() + kw_begin[i],
-                              inv_posting_arena_.data(), kw_counts[i]};
+    nodes_[i].inv_postings = {
+        inv_offset_arena_.data() + kw_begin[i],
+        raw_postings ? inv_posting_arena_.data() : nullptr, kw_counts[i]};
+  }
+
+  if (!raw_postings) {
+    // Concatenate the per-node byte streams and derive per-keyword byte
+    // offsets by re-walking each stream group by group (one control-byte
+    // scan per keyword run; cheap against the encode itself).
+    std::size_t total_bytes = 0;
+    for (const auto& e : encoded) total_bytes += e.size();
+    comp_arena_.reserve(total_bytes + simd::kGroupVarintPad);
+    comp_offset_arena_.assign(total_kws + 1, 0);
+    for (std::size_t i = 0; i < num_raw; ++i) {
+      const std::size_t node_base = comp_arena_.size();
+      comp_arena_.insert(comp_arena_.end(), encoded[i].begin(),
+                         encoded[i].end());
+      encoded[i] = {};
+      std::size_t byte_cursor = node_base;
+      for (std::size_t ki = 0; ki < kw_counts[i]; ++ki) {
+        const std::size_t slot = kw_begin[i] + ki;
+        comp_offset_arena_[slot] = static_cast<std::uint32_t>(byte_cursor);
+        std::size_t remaining =
+            inv_offset_arena_[slot + 1] - inv_offset_arena_[slot];
+        while (remaining > 0) {
+          const std::uint8_t ctrl = comp_arena_[byte_cursor++];
+          const std::size_t group = std::min<std::size_t>(4, remaining);
+          for (std::size_t t = 0; t < group; ++t) {
+            byte_cursor += ((ctrl >> (2 * t)) & 3) + 1;
+          }
+          remaining -= group;
+        }
+      }
+    }
+    comp_offset_arena_[total_kws] = static_cast<std::uint32_t>(
+        comp_arena_.size());
+    // SIMD decoder slack: the last group's 16-byte load may read past the
+    // stream end.
+    comp_arena_.resize(comp_arena_.size() + simd::kGroupVarintPad, 0);
   }
 }
 
@@ -495,50 +576,119 @@ VertexList ClTree::SubtreeVertices(ClNodeId id) const {
   return out;
 }
 
+namespace {
+
+/// Reusable per-thread buffers of the posting query path: two result
+/// buffers the progressive intersection ping-pongs between (the kernels
+/// forbid output aliasing an input), a decode target for the varint
+/// format, and the keyword-slot list. Grown once per thread; steady-state
+/// node visits allocate nothing.
+struct PostingScratch {
+  std::vector<VertexId> ping;
+  std::vector<VertexId> pong;
+  std::vector<VertexId> decode;
+  std::vector<std::size_t> slots;
+};
+
+PostingScratch& ThreadPostingScratch() {
+  thread_local PostingScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+std::span<const VertexId> ClTree::PostingsAtSlot(
+    std::size_t slot, std::vector<VertexId>* buf) const {
+  const std::size_t count = inv_offset_arena_[slot + 1] -
+                            inv_offset_arena_[slot];
+  if (posting_format_ == PostingFormat::kRaw) {
+    return {inv_posting_arena_.data() + inv_offset_arena_[slot], count};
+  }
+  if (buf->size() < count) buf->resize(count);
+  simd::GroupVarintDecode(comp_arena_.data() + comp_offset_arena_[slot],
+                          count, buf->data());
+  return {buf->data(), count};
+}
+
+void ClTree::AppendNodeMatches(ClNodeId id, std::span<const KeywordId> kws,
+                               std::uint64_t query_fp, VertexList* out) const {
+  const ClTreeNode& node = nodes_[id];
+  if (kws.empty()) {
+    out->insert(out->end(), node.vertices.begin(), node.vertices.end());
+    return;
+  }
+  if (!simd::BloomMayContainAll(node_kw_bloom_[id], query_fp)) return;
+
+  PostingScratch& s = ThreadPostingScratch();
+  const std::size_t kw_base = static_cast<std::size_t>(
+      node.inv_keywords.data() - inv_keyword_arena_.data());
+  // Locate every keyword; bail out if any is absent from this node.
+  s.slots.clear();
+  for (KeywordId kw : kws) {
+    auto it = std::lower_bound(node.inv_keywords.begin(),
+                               node.inv_keywords.end(), kw);
+    if (it == node.inv_keywords.end() || *it != kw) return;
+    s.slots.push_back(
+        kw_base + static_cast<std::size_t>(it - node.inv_keywords.begin()));
+  }
+  // Rarest-first order: starting from the shortest list keeps every
+  // intermediate intersection no larger than it.
+  std::sort(s.slots.begin(), s.slots.end(),
+            [this](std::size_t a, std::size_t b) {
+              return inv_offset_arena_[a + 1] - inv_offset_arena_[a] <
+                     inv_offset_arena_[b + 1] - inv_offset_arena_[b];
+            });
+
+  // Progressive intersection, ping-ponging the running result between the
+  // two scratch buffers (the kernels forbid output aliasing an input). The
+  // result can only shrink, so the first list's size plus the kernels'
+  // write slack bounds every buffer. Both are sized BEFORE the first
+  // decode: in the varint format `cur` points into ping, and a later
+  // resize would reallocate under it.
+  const std::size_t cap = inv_offset_arena_[s.slots[0] + 1] -
+                          inv_offset_arena_[s.slots[0]] + simd::kIntersectPad;
+  if (s.pong.size() < cap) s.pong.resize(cap);
+  if (s.ping.size() < cap) s.ping.resize(cap);
+  std::span<const VertexId> cur = PostingsAtSlot(s.slots[0], &s.ping);
+  if (s.slots.size() == 1) {
+    out->insert(out->end(), cur.begin(), cur.end());
+    return;
+  }
+  std::vector<VertexId>* dst =
+      cur.data() == s.ping.data() ? &s.pong : &s.ping;
+  for (std::size_t i = 1; i < s.slots.size() && !cur.empty(); ++i) {
+    std::span<const VertexId> other = PostingsAtSlot(s.slots[i], &s.decode);
+    const std::size_t cnt = simd::IntersectSorted(cur, other, dst->data());
+    cur = {dst->data(), cnt};
+    dst = dst == &s.ping ? &s.pong : &s.ping;
+  }
+  out->insert(out->end(), cur.begin(), cur.end());
+}
+
 VertexList ClTree::CollectWithKeywords(ClNodeId id,
                                        std::span<const KeywordId> kws) const {
   if (kws.empty()) return SubtreeVertices(id);
   VertexList out;
+  const std::uint64_t query_fp = simd::BloomFingerprint(kws);
   for (ClNodeId i = id; i < nodes_[id].subtree_end; ++i) {
-    const ClTreeNode& node = nodes_[i];
-    // Find the rarest posting list; bail out if any keyword is absent.
-    std::span<const VertexId> rarest;
-    bool missing = false;
-    for (KeywordId kw : kws) {
-      auto postings = node.Postings(kw);
-      if (postings.empty()) {
-        missing = true;
-        break;
-      }
-      if (rarest.empty() || postings.size() < rarest.size()) {
-        rarest = postings;
-      }
-    }
-    if (missing) continue;
-    if (kws.size() == 1) {
-      out.insert(out.end(), rarest.begin(), rarest.end());
-      continue;
-    }
-    for (VertexId v : rarest) {
-      bool all = true;
-      for (KeywordId kw : kws) {
-        auto postings = node.Postings(kw);
-        if (!std::binary_search(postings.begin(), postings.end(), v)) {
-          all = false;
-          break;
-        }
-      }
-      if (all) out.push_back(v);
-    }
+    AppendNodeMatches(i, kws, query_fp, &out);
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
 std::size_t ClTree::CountKeyword(ClNodeId id, KeywordId kw) const {
+  const std::uint64_t mask = simd::BloomMask(kw);
   std::size_t count = 0;
   for (ClNodeId i = id; i < nodes_[id].subtree_end; ++i) {
-    count += nodes_[i].Postings(kw).size();
+    if ((node_kw_bloom_[i] & mask) != mask) continue;
+    const auto& node_kws = nodes_[i].inv_keywords;
+    auto it = std::lower_bound(node_kws.begin(), node_kws.end(), kw);
+    if (it == node_kws.end() || *it != kw) continue;
+    const std::size_t slot =
+        static_cast<std::size_t>(node_kws.data() - inv_keyword_arena_.data()) +
+        static_cast<std::size_t>(it - node_kws.begin());
+    count += inv_offset_arena_[slot + 1] - inv_offset_arena_[slot];
   }
   return count;
 }
@@ -549,7 +699,10 @@ std::size_t ClTree::MemoryBytes() const {
                       subtree_sizes_.capacity() * sizeof(std::size_t) +
                       inv_keyword_arena_.capacity() * sizeof(KeywordId) +
                       inv_offset_arena_.capacity() * sizeof(std::uint32_t) +
-                      inv_posting_arena_.capacity() * sizeof(VertexId);
+                      inv_posting_arena_.capacity() * sizeof(VertexId) +
+                      comp_arena_.capacity() * sizeof(std::uint8_t) +
+                      comp_offset_arena_.capacity() * sizeof(std::uint32_t) +
+                      node_kw_bloom_.capacity() * sizeof(std::uint64_t);
   for (const auto& node : nodes_) {
     bytes += node.children.capacity() * sizeof(ClNodeId);
     bytes += node.vertices.capacity() * sizeof(VertexId);

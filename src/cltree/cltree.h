@@ -85,6 +85,8 @@ struct ClTreeNode {
   ClTreePostingsView inv_postings;
 
   /// Posting list for `kw` among anchored vertices (empty if absent).
+  /// Raw posting format only — under PostingFormat::kVarint the raw arena
+  /// does not exist; go through ClTree::AppendNodeMatches instead.
   std::span<const VertexId> Postings(KeywordId kw) const;
 };
 
@@ -93,6 +95,16 @@ enum class ClTreeBuildMethod {
   kBasic,     ///< top-down recursive component splitting, O(m * k_max)
   kAdvanced,  ///< bottom-up union-find, near-linear (the paper's choice)
 };
+
+/// Storage format of the inverted-list postings.
+enum class PostingFormat {
+  kRaw,     ///< plain u32 arrays, zero decode cost (the default)
+  kVarint,  ///< delta + group-varint compressed, decoded into scratch on
+            ///< access — ~2-4x smaller arenas at a small decode cost
+};
+
+/// Name for stats/logging: "raw", "varint".
+const char* PostingFormatName(PostingFormat format);
 
 /// The CL-tree index over an attributed graph. Immutable once built.
 ///
@@ -121,7 +133,11 @@ class ClTree {
   /// only on its own anchored vertices.
   static ClTree Build(const AttributedGraph& g,
                       ClTreeBuildMethod method = ClTreeBuildMethod::kAdvanced,
-                      ThreadPool* pool = nullptr);
+                      ThreadPool* pool = nullptr,
+                      PostingFormat format = PostingFormat::kRaw);
+
+  /// The posting storage format this tree was built with.
+  PostingFormat posting_format() const { return posting_format_; }
 
   /// Number of nodes.
   std::size_t num_nodes() const { return nodes_.size(); }
@@ -150,10 +166,26 @@ class ClTree {
 
   /// Vertices in the subtree of `id` whose keyword sets contain every
   /// keyword in the sorted list `kws`, ascending. Runs on inverted lists:
-  /// per node, the postings of the rarest keyword are intersected against
-  /// the rest.
+  /// per node, the postings are progressively intersected starting from
+  /// the rarest keyword (SIMD kernels), after a one-word bloom pre-test.
   VertexList CollectWithKeywords(ClNodeId id,
                                  std::span<const KeywordId> kws) const;
+
+  /// Appends the anchored vertices of the single node `id` containing every
+  /// keyword in the sorted list `kws` to `*out` (ascending within this
+  /// node's contribution). `query_fp` must be simd::BloomFingerprint(kws).
+  /// Decode-aware: works for both posting formats, using the calling
+  /// thread's reusable decode scratch — steady-state calls allocate nothing
+  /// beyond `out` growth. This is the per-node kernel behind
+  /// CollectWithKeywords and the ACQ batch gather.
+  void AppendNodeMatches(ClNodeId id, std::span<const KeywordId> kws,
+                         std::uint64_t query_fp, VertexList* out) const;
+
+  /// Bloom fingerprint over the distinct keywords anchored at node `id`
+  /// (one u64 per node; see simd::BloomMayContainAll).
+  std::uint64_t NodeKeywordBloom(ClNodeId id) const {
+    return node_kw_bloom_[id];
+  }
 
   /// Number of vertices in the subtree of `id` containing keyword `kw`.
   std::size_t CountKeyword(ClNodeId id, KeywordId kw) const;
@@ -176,7 +208,14 @@ class ClTree {
   /// subtree_end / subtree_sizes_ / vertex_node_ and the inverted lists
   /// (per-node, in parallel when `pool` is non-null).
   void Finalize(const AttributedGraph& g, std::vector<ClTreeNode> raw_nodes,
-                ClNodeId raw_root, ThreadPool* pool = nullptr);
+                ClNodeId raw_root, ThreadPool* pool = nullptr,
+                PostingFormat format = PostingFormat::kRaw);
+
+  /// Posting list of the global keyword slot `slot` (index into
+  /// inv_keyword_arena_): a direct arena view in kRaw, decoded into `*buf`
+  /// in kVarint (buf grows once, then is reused).
+  std::span<const VertexId> PostingsAtSlot(std::size_t slot,
+                                           std::vector<VertexId>* buf) const;
 
   std::vector<ClTreeNode> nodes_;       // preorder
   std::vector<ClNodeId> vertex_node_;   // vertex -> anchoring node
@@ -187,9 +226,23 @@ class ClTree {
   // entry plus a final sentinel, and one postings entry per (anchored
   // vertex, keyword) pair. Nodes view their slices through inv_keywords /
   // inv_postings; sized exactly from the Finalize counting pass.
+  //
+  // Offsets are always logical VALUE positions (so counts come from offset
+  // deltas in either format). In kRaw they double as positions into
+  // inv_posting_arena_; in kVarint the posting arena stays empty and the
+  // encoded bytes live in comp_arena_ at comp_offset_arena_ byte positions
+  // (with kGroupVarintPad readable slack at the end for the SIMD decoder).
+  PostingFormat posting_format_ = PostingFormat::kRaw;
   std::vector<KeywordId> inv_keyword_arena_;
   std::vector<std::uint32_t> inv_offset_arena_;
   std::vector<VertexId> inv_posting_arena_;
+  std::vector<std::uint8_t> comp_arena_;
+  std::vector<std::uint32_t> comp_offset_arena_;
+
+  // One-word keyword bloom per node (OR of simd::BloomMask over the node's
+  // distinct keywords): lets subtree walks skip nodes that cannot possibly
+  // anchor all query keywords with a single AND.
+  std::vector<std::uint64_t> node_kw_bloom_;
 };
 
 }  // namespace cexplorer

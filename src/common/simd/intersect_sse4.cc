@@ -1,0 +1,200 @@
+// SSE4 kernels: 4-lane block-wise sorted intersection (SSSE3 shuffle
+// compaction) and the group-varint shuffle decoder. Compiled with
+// -msse4.2; on builds without the flag (non-x86 or the scalar-baseline CI
+// job) the table is empty and the dispatcher falls back to scalar.
+
+#include "common/simd/simd.h"
+
+#if defined(__SSE4_2__) && defined(__SSSE3__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace cexplorer {
+namespace simd {
+
+namespace {
+
+/// Byte-shuffle masks compacting the matched lanes of a 4x u32 vector to
+/// the front: entry m keeps exactly the lanes whose bit is set in m, in
+/// order. Unused output bytes have the high bit set (shuffle yields 0).
+struct CompactTable {
+  alignas(16) std::uint8_t masks[16][16];
+};
+
+const CompactTable& Compact4() {
+  static const CompactTable table = [] {
+    CompactTable t;
+    for (int m = 0; m < 16; ++m) {
+      int pos = 0;
+      std::memset(t.masks[m], 0x80, 16);
+      for (int lane = 0; lane < 4; ++lane) {
+        if (m & (1 << lane)) {
+          for (int byte = 0; byte < 4; ++byte) {
+            t.masks[m][pos * 4 + byte] =
+                static_cast<std::uint8_t>(lane * 4 + byte);
+          }
+          ++pos;
+        }
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::size_t IntersectSse4(const std::uint32_t* a, std::size_t na,
+                          const std::uint32_t* b, std::size_t nb,
+                          std::uint32_t* out) {
+  std::size_t i = 0, j = 0, cnt = 0;
+  if (na >= 4 && nb >= 4) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+    for (;;) {
+      // Compare the a-block against all four rotations of the b-block:
+      // the OR of the equality masks flags every a-lane with a match.
+      const __m128i r1 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1));
+      const __m128i r2 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2));
+      const __m128i r3 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3));
+      const __m128i eq = _mm_or_si128(
+          _mm_or_si128(_mm_cmpeq_epi32(va, vb), _mm_cmpeq_epi32(va, r1)),
+          _mm_or_si128(_mm_cmpeq_epi32(va, r2), _mm_cmpeq_epi32(va, r3)));
+      const int mask = _mm_movemask_ps(_mm_castsi128_ps(eq));
+      const __m128i shuf = _mm_load_si128(
+          reinterpret_cast<const __m128i*>(Compact4().masks[mask]));
+      // cnt <= min(i, j) + 3 here (a block can match against several
+      // opposing blocks before advancing), so the full 16-byte store can
+      // spill up to 3 slots past min(na, nb) — within the kIntersectPad
+      // slack callers provide. The write past the matched prefix is also
+      // why out must not alias an input.
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + cnt),
+                       _mm_shuffle_epi8(va, shuf));
+      cnt += static_cast<std::size_t>(__builtin_popcount(
+          static_cast<unsigned>(mask)));
+      const std::uint32_t amax = a[i + 3];
+      const std::uint32_t bmax = b[j + 3];
+      // Advance whichever block cannot hold further matches; on a tie both
+      // advance. Every match between a surviving block and a discarded one
+      // would exceed the discarded block's max — impossible.
+      if (amax <= bmax) {
+        i += 4;
+        if (i + 4 > na) break;
+        va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+      }
+      if (bmax <= amax) {
+        j += 4;
+        if (j + 4 > nb) break;
+        vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+      }
+    }
+  }
+  while (i < na && j < nb) {
+    const std::uint32_t x = a[i];
+    const std::uint32_t y = b[j];
+    if (x == y) {
+      out[cnt++] = x;
+      ++i;
+      ++j;
+    } else if (x < y) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return cnt;
+}
+
+/// Per-control-byte shuffle masks and total lengths for the group-varint
+/// decoder: masks[c] scatters the 4..16 packed delta bytes of a group into
+/// four little-endian u32 lanes; lens[c] is the group's data byte count.
+struct VarintTable {
+  alignas(16) std::uint8_t masks[256][16];
+  std::uint8_t lens[256];
+};
+
+const VarintTable& Varint4() {
+  static const VarintTable table = [] {
+    VarintTable t;
+    for (int c = 0; c < 256; ++c) {
+      int offset = 0;
+      std::memset(t.masks[c], 0x80, 16);
+      for (int lane = 0; lane < 4; ++lane) {
+        const int len = ((c >> (2 * lane)) & 3) + 1;
+        for (int byte = 0; byte < len; ++byte) {
+          t.masks[c][lane * 4 + byte] =
+              static_cast<std::uint8_t>(offset + byte);
+        }
+        offset += len;
+      }
+      t.lens[c] = static_cast<std::uint8_t>(offset);
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::size_t GroupVarintDecodeSse4(const std::uint8_t* in, std::size_t count,
+                                  std::uint32_t* out) {
+  const VarintTable& t = Varint4();
+  const std::uint8_t* p = in;
+  std::uint32_t prev = 0;
+  std::size_t i = 0;
+  // Full groups: one 16-byte load shuffled into four delta lanes, then an
+  // in-register prefix sum. Relies on kGroupVarintPad readable bytes past
+  // the encoded stream.
+  for (; i + 4 <= count; i += 4) {
+    const std::uint8_t ctrl = *p++;
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    const __m128i shuf = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(t.masks[ctrl]));
+    __m128i deltas = _mm_shuffle_epi8(raw, shuf);
+    deltas = _mm_add_epi32(deltas, _mm_slli_si128(deltas, 4));
+    deltas = _mm_add_epi32(deltas, _mm_slli_si128(deltas, 8));
+    const __m128i vals =
+        _mm_add_epi32(deltas, _mm_set1_epi32(static_cast<int>(prev)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), vals);
+    prev = static_cast<std::uint32_t>(_mm_extract_epi32(vals, 3));
+    p += t.lens[ctrl];
+  }
+  // Tail group (< 4 values): scalar.
+  if (i < count) {
+    const std::uint8_t ctrl = *p++;
+    for (std::size_t k = 0; i < count; ++k, ++i) {
+      const std::size_t len = ((ctrl >> (2 * k)) & 3) + 1;
+      std::uint32_t delta = 0;
+      std::memcpy(&delta, p, len);
+      p += len;
+      prev += delta;
+      out[i] = prev;
+    }
+  }
+  return static_cast<std::size_t>(p - in);
+}
+
+}  // namespace
+
+const KernelTable& Sse4Kernels() {
+  static const KernelTable table{&IntersectSse4, &GroupVarintDecodeSse4};
+  return table;
+}
+
+}  // namespace simd
+}  // namespace cexplorer
+
+#else  // !(__SSE4_2__ && __SSSE3__)
+
+namespace cexplorer {
+namespace simd {
+
+const KernelTable& Sse4Kernels() {
+  static const KernelTable table{};
+  return table;
+}
+
+}  // namespace simd
+}  // namespace cexplorer
+
+#endif

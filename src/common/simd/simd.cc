@@ -1,0 +1,268 @@
+#include "common/simd/simd.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+namespace cexplorer {
+namespace simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar kernels (always available; the oracle every SIMD path must match)
+// ---------------------------------------------------------------------------
+
+std::size_t IntersectScalar(const std::uint32_t* a, std::size_t na,
+                            const std::uint32_t* b, std::size_t nb,
+                            std::uint32_t* out) {
+  std::size_t i = 0, j = 0, cnt = 0;
+  while (i < na && j < nb) {
+    const std::uint32_t x = a[i];
+    const std::uint32_t y = b[j];
+    if (x == y) {
+      out[cnt++] = x;
+      ++i;
+      ++j;
+    } else if (x < y) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return cnt;
+}
+
+std::size_t GroupVarintDecodeScalar(const std::uint8_t* in, std::size_t count,
+                                    std::uint32_t* out) {
+  const std::uint8_t* p = in;
+  std::uint32_t prev = 0;
+  std::size_t i = 0;
+  while (i < count) {
+    const std::uint8_t ctrl = *p++;
+    const std::size_t group = std::min<std::size_t>(4, count - i);
+    for (std::size_t k = 0; k < group; ++k) {
+      const std::size_t len = ((ctrl >> (2 * k)) & 3) + 1;
+      std::uint32_t delta = 0;
+      std::memcpy(&delta, p, len);  // little-endian load of 1..4 bytes
+      p += len;
+      prev += delta;
+      out[i + k] = prev;
+    }
+    i += group;
+  }
+  return static_cast<std::size_t>(p - in);
+}
+
+// ---------------------------------------------------------------------------
+// Galloping kernel (skewed sizes; ISA-independent)
+// ---------------------------------------------------------------------------
+
+/// Per-element doubling search of the short list `a` in the long list `b`.
+std::size_t IntersectGallop(const std::uint32_t* a, std::size_t na,
+                            const std::uint32_t* b, std::size_t nb,
+                            std::uint32_t* out) {
+  std::size_t j = 0, cnt = 0;
+  for (std::size_t i = 0; i < na && j < nb; ++i) {
+    const std::uint32_t x = a[i];
+    std::size_t bound = 1;
+    while (j + bound < nb && b[j + bound] < x) bound <<= 1;
+    const std::size_t hi = std::min(nb, j + bound + 1);
+    j = static_cast<std::size_t>(std::lower_bound(b + j, b + hi, x) - b);
+    if (j < nb && b[j] == x) {
+      out[cnt++] = x;
+      ++j;
+    }
+  }
+  return cnt;
+}
+
+/// Size ratio beyond which galloping beats the block-wise merge.
+constexpr std::size_t kGallopRatio = 32;
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+Isa DetectIsa() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (Avx2Kernels().intersect != nullptr && __builtin_cpu_supports("avx2")) {
+    return Isa::kAvx2;
+  }
+  if (Sse4Kernels().intersect != nullptr &&
+      __builtin_cpu_supports("sse4.2")) {
+    return Isa::kSse4;
+  }
+#endif
+  return Isa::kScalar;
+}
+
+Isa ResolveActiveIsa() {
+  Isa best = DetectIsa();
+  const char* env = std::getenv("CEXPLORER_SIMD");
+  if (env != nullptr) {
+    const std::string_view want(env);
+    // The override only ever narrows: asking for an ISA the CPU or build
+    // lacks clamps to the widest available one below it.
+    if (want == "scalar") return Isa::kScalar;
+    if (want == "sse4") {
+      return best == Isa::kScalar ? Isa::kScalar : Isa::kSse4;
+    }
+    // "avx2" (or anything unrecognized) keeps the detected best.
+  }
+  return best;
+}
+
+const KernelTable& TableFor(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2:
+      return Avx2Kernels();
+    case Isa::kSse4:
+      return Sse4Kernels();
+    case Isa::kScalar:
+      break;
+  }
+  return ScalarKernels();
+}
+
+/// Kernel pointers resolved once for the active ISA, each entry falling
+/// back down the ISA ladder independently (e.g. AVX2 carries no varint
+/// decoder of its own and inherits the SSE4 one).
+struct ResolvedKernels {
+  decltype(KernelTable::intersect) intersect;
+  decltype(KernelTable::gv_decode) gv_decode;
+};
+
+const ResolvedKernels& Active() {
+  static const ResolvedKernels resolved = [] {
+    ResolvedKernels r{ScalarKernels().intersect, ScalarKernels().gv_decode};
+    const Isa isa = ActiveIsa();
+    for (Isa step : {Isa::kSse4, Isa::kAvx2}) {
+      if (static_cast<int>(step) > static_cast<int>(isa)) break;
+      const KernelTable& table = TableFor(step);
+      if (table.intersect != nullptr) r.intersect = table.intersect;
+      if (table.gv_decode != nullptr) r.gv_decode = table.gv_decode;
+    }
+    return r;
+  }();
+  return resolved;
+}
+
+}  // namespace
+
+const KernelTable& ScalarKernels() {
+  static const KernelTable table{&IntersectScalar, &GroupVarintDecodeScalar};
+  return table;
+}
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse4:
+      return "sse4";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+Isa ActiveIsa() {
+  static const Isa isa = ResolveActiveIsa();
+  return isa;
+}
+
+bool IsaAvailable(Isa isa) {
+  if (isa == Isa::kScalar) return true;
+#if defined(__x86_64__) || defined(__i386__)
+  if (isa == Isa::kSse4) {
+    return Sse4Kernels().intersect != nullptr &&
+           __builtin_cpu_supports("sse4.2");
+  }
+  return Avx2Kernels().intersect != nullptr && __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+std::size_t IntersectSorted(std::span<const std::uint32_t> a,
+                            std::span<const std::uint32_t> b,
+                            std::uint32_t* out) {
+  // Gallop from the short side when the sizes are skewed; the doubling
+  // search does O(short * log(long)) work where the merge pays O(long).
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return 0;
+  if (b.size() / a.size() >= kGallopRatio) {
+    return IntersectGallop(a.data(), a.size(), b.data(), b.size(), out);
+  }
+  return Active().intersect(a.data(), a.size(), b.data(), b.size(), out);
+}
+
+std::size_t IntersectSortedWithIsa(std::span<const std::uint32_t> a,
+                                   std::span<const std::uint32_t> b,
+                                   std::uint32_t* out, Isa isa) {
+  const KernelTable& table = TableFor(isa);
+  auto fn = table.intersect != nullptr ? table.intersect
+                                       : ScalarKernels().intersect;
+  return fn(a.data(), a.size(), b.data(), b.size(), out);
+}
+
+std::size_t IntersectCount(std::span<const std::uint32_t> a,
+                           std::span<const std::uint32_t> b) {
+  thread_local std::vector<std::uint32_t> scratch;
+  const std::size_t cap = std::min(a.size(), b.size()) + kIntersectPad;
+  if (scratch.size() < cap) scratch.resize(cap);
+  return IntersectSorted(a, b, scratch.data());
+}
+
+void IntersectInto(std::span<const std::uint32_t> a,
+                   std::span<const std::uint32_t> b,
+                   std::vector<std::uint32_t>* out) {
+  out->resize(std::min(a.size(), b.size()) + kIntersectPad);
+  out->resize(IntersectSorted(a, b, out->data()));
+}
+
+void GroupVarintEncode(std::span<const std::uint32_t> values,
+                       std::vector<std::uint8_t>* out) {
+  std::uint32_t prev = 0;
+  std::size_t i = 0;
+  const std::size_t n = values.size();
+  while (i < n) {
+    const std::size_t group = std::min<std::size_t>(4, n - i);
+    const std::size_t ctrl_pos = out->size();
+    out->push_back(0);
+    std::uint8_t ctrl = 0;
+    for (std::size_t k = 0; k < group; ++k) {
+      const std::uint32_t delta = values[i + k] - prev;
+      prev = values[i + k];
+      const std::size_t len =
+          delta < (1u << 8) ? 1 : delta < (1u << 16) ? 2
+                             : delta < (1u << 24)    ? 3
+                                                     : 4;
+      ctrl |= static_cast<std::uint8_t>((len - 1) << (2 * k));
+      const std::size_t pos = out->size();
+      out->resize(pos + len);
+      std::memcpy(out->data() + pos, &delta, len);
+    }
+    (*out)[ctrl_pos] = ctrl;
+    i += group;
+  }
+}
+
+std::size_t GroupVarintDecode(const std::uint8_t* in, std::size_t count,
+                              std::uint32_t* out) {
+  return Active().gv_decode(in, count, out);
+}
+
+std::size_t GroupVarintDecodeWithIsa(const std::uint8_t* in, std::size_t count,
+                                     std::uint32_t* out, Isa isa) {
+  const KernelTable& table = TableFor(isa);
+  auto fn = table.gv_decode != nullptr ? table.gv_decode
+                                       : ScalarKernels().gv_decode;
+  return fn(in, count, out);
+}
+
+}  // namespace simd
+}  // namespace cexplorer

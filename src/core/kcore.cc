@@ -231,6 +231,17 @@ std::uint32_t PeelScratch::Begin(std::size_t n) {
   return epoch_;
 }
 
+void PeelScratch::BeginBits(std::size_t n) {
+  const std::size_t words = (n + 63) / 64;
+  if (member_bits_.size() < words) {
+    member_bits_.resize(words);
+    visited_bits_.resize(words);
+  }
+  if (degree_.size() < n) degree_.resize(n, 0);
+  std::fill(member_bits_.begin(), member_bits_.begin() + words, 0);
+  std::fill(visited_bits_.begin(), visited_bits_.begin() + words, 0);
+}
+
 PeelScratch& ThreadLocalPeelScratch() {
   thread_local PeelScratch scratch;
   return scratch;
@@ -265,24 +276,60 @@ VertexList ConnectedKCore(const Graph& g,
   return out;
 }
 
-VertexList PeelToKCore(const Graph& g, VertexList candidates, std::uint32_t k,
-                       VertexId anchor, PeelScratch* scratch) {
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
+namespace {
 
-  PeelScratch& s = *scratch;
-  const std::uint32_t epoch = s.Begin(g.num_vertices());
-  // Membership stamps plus induced degrees within the candidate set.
-  // Stamp 0 is never a live epoch, so clearing a member is one store.
+std::atomic<PeelFrontierMode> g_peel_frontier_mode{PeelFrontierMode::kAuto};
+
+/// Membership via epoch-stamped u32 arrays: O(candidates) setup, one random
+/// 4-byte load per probe. Best when the candidate set is a small fraction
+/// of the graph.
+struct StampMembership {
+  std::uint32_t* member;
+  std::uint32_t* visited;
+  std::uint32_t epoch;
+
+  bool IsMember(VertexId v) const { return member[v] == epoch; }
+  void AddMember(VertexId v) const { member[v] = epoch; }
+  void RemoveMember(VertexId v) const { member[v] = 0; }
+  bool Visited(VertexId v) const { return visited[v] == epoch; }
+  void MarkVisited(VertexId v) const { visited[v] = epoch; }
+};
+
+/// Membership via word-packed bitsets: O(n/64) sequential clear up front,
+/// then every probe touches a 32x smaller array that stays cache-resident
+/// through the neighbour scans. Best when candidates cover much of the
+/// graph (the common case for low-k community queries).
+struct BitsetMembership {
+  std::uint64_t* member;
+  std::uint64_t* visited;
+
+  bool IsMember(VertexId v) const {
+    return (member[v >> 6] >> (v & 63)) & 1u;
+  }
+  void AddMember(VertexId v) const { member[v >> 6] |= 1ull << (v & 63); }
+  void RemoveMember(VertexId v) const { member[v >> 6] &= ~(1ull << (v & 63)); }
+  bool Visited(VertexId v) const {
+    return (visited[v >> 6] >> (v & 63)) & 1u;
+  }
+  void MarkVisited(VertexId v) const { visited[v >> 6] |= 1ull << (v & 63); }
+};
+
+/// The peel proper, parameterised over the membership representation. Both
+/// instantiations execute the identical algorithm (same queue order, same
+/// tie-breaks), so the result is bit-identical across representations.
+template <typename Membership>
+VertexList PeelBody(const Graph& g, VertexList candidates, std::uint32_t k,
+                    VertexId anchor, PeelScratch& s, Membership m) {
   for (VertexId v : candidates) {
-    s.member_[v] = epoch;
+    m.AddMember(v);
     s.degree_[v] = 0;
   }
   for (VertexId v : candidates) {
+    std::uint32_t d = 0;
     for (VertexId w : g.Neighbors(v)) {
-      if (s.member_[w] == epoch) ++s.degree_[v];
+      if (m.IsMember(w)) ++d;
     }
+    s.degree_[v] = d;
   }
 
   // Queue-based peel: remove every vertex whose induced degree < k.
@@ -293,10 +340,10 @@ VertexList PeelToKCore(const Graph& g, VertexList candidates, std::uint32_t k,
   std::size_t head = 0;
   while (head < s.queue_.size()) {
     VertexId v = s.queue_[head++];
-    if (s.member_[v] != epoch) continue;
-    s.member_[v] = 0;
+    if (!m.IsMember(v)) continue;
+    m.RemoveMember(v);
     for (VertexId w : g.Neighbors(v)) {
-      if (s.member_[w] != epoch) continue;
+      if (!m.IsMember(w)) continue;
       if (s.degree_[w]-- == k) s.queue_.push_back(w);
     }
   }
@@ -304,20 +351,20 @@ VertexList PeelToKCore(const Graph& g, VertexList candidates, std::uint32_t k,
   // The survivors are a subset of `candidates`, so the result compacts into
   // the input buffer — no allocation on the success path either.
   if (anchor != kInvalidVertex) {
-    if (anchor >= g.num_vertices() || s.member_[anchor] != epoch) {
+    if (anchor >= g.num_vertices() || !m.IsMember(anchor)) {
       candidates.clear();
       return candidates;
     }
     // Keep only the anchor's connected component among the survivors.
     s.queue_.clear();
     s.queue_.push_back(anchor);
-    s.visited_[anchor] = epoch;
+    m.MarkVisited(anchor);
     head = 0;
     while (head < s.queue_.size()) {
       VertexId u = s.queue_[head++];
       for (VertexId w : g.Neighbors(u)) {
-        if (s.member_[w] == epoch && s.visited_[w] != epoch) {
-          s.visited_[w] = epoch;
+        if (m.IsMember(w) && !m.Visited(w)) {
+          m.MarkVisited(w);
           s.queue_.push_back(w);
         }
       }
@@ -328,10 +375,65 @@ VertexList PeelToKCore(const Graph& g, VertexList candidates, std::uint32_t k,
   }
   std::size_t out = 0;
   for (VertexId v : candidates) {
-    if (s.member_[v] == epoch) candidates[out++] = v;
+    if (m.IsMember(v)) candidates[out++] = v;
   }
   candidates.resize(out);
   return candidates;
+}
+
+bool UseBitsetFrontier(std::size_t num_candidates, std::size_t n) {
+  switch (g_peel_frontier_mode.load(std::memory_order_relaxed)) {
+    case PeelFrontierMode::kStamps:
+      return false;
+    case PeelFrontierMode::kBitset:
+      return true;
+    case PeelFrontierMode::kAuto:
+      break;
+  }
+  // Bitsets pay an O(n/64) clear; stamps pay a 4-byte (vs 1-bit) random
+  // probe footprint. The clear amortises once the candidate set is at
+  // least n/64 vertices — i.e. one candidate per cleared word.
+  return num_candidates * 64 >= n;
+}
+
+}  // namespace
+
+void SetPeelFrontierMode(PeelFrontierMode mode) {
+  g_peel_frontier_mode.store(mode, std::memory_order_relaxed);
+}
+
+PeelFrontierMode GetPeelFrontierMode() {
+  return g_peel_frontier_mode.load(std::memory_order_relaxed);
+}
+
+VertexList PeelToKCoreSorted(const Graph& g, VertexList candidates,
+                             std::uint32_t k, VertexId anchor,
+                             PeelScratch* scratch) {
+  PeelScratch& s = *scratch;
+  const std::size_t n = g.num_vertices();
+  if (UseBitsetFrontier(candidates.size(), n)) {
+    s.BeginBits(n);
+    return PeelBody(g, std::move(candidates), k, anchor, s,
+                    BitsetMembership{s.member_bits_.data(),
+                                     s.visited_bits_.data()});
+  }
+  const std::uint32_t epoch = s.Begin(n);
+  return PeelBody(g, std::move(candidates), k, anchor, s,
+                  StampMembership{s.member_.data(), s.visited_.data(), epoch});
+}
+
+VertexList PeelToKCoreSorted(const Graph& g, VertexList candidates,
+                             std::uint32_t k, VertexId anchor) {
+  return PeelToKCoreSorted(g, std::move(candidates), k, anchor,
+                           &ThreadLocalPeelScratch());
+}
+
+VertexList PeelToKCore(const Graph& g, VertexList candidates, std::uint32_t k,
+                       VertexId anchor, PeelScratch* scratch) {
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return PeelToKCoreSorted(g, std::move(candidates), k, anchor, scratch);
 }
 
 VertexList PeelToKCore(const Graph& g, VertexList candidates, std::uint32_t k,

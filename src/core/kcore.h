@@ -39,34 +39,45 @@ VertexList KCoreVertices(const std::vector<std::uint32_t>& core_numbers,
                          std::uint32_t k);
 
 /// Reusable buffers for the candidate-set peel (PeelToKCore) and the
-/// filtered BFS behind it. The arrays are sized to the graph once and
-/// epoch-stamped: a new peel bumps the epoch instead of clearing, so the
-/// per-call cost is O(candidates), not O(n), and steady-state queries
-/// allocate nothing beyond their result. A scratch is single-owner state —
-/// share one per thread (ThreadLocalPeelScratch), never across threads.
-class PeelScratch {
- public:
+/// filtered BFS behind it. Membership comes in two representations chosen
+/// per call by a density heuristic:
+///   * sparse queries use epoch-stamped u32 arrays — a new peel bumps the
+///     epoch instead of clearing, so the per-call cost is O(candidates);
+///   * dense queries use word-packed bitsets — clearing costs O(n/64)
+///     sequential stores, and the peel's random membership probes then hit
+///     a 32x smaller (cache-resident) array.
+/// Either way, steady-state queries allocate nothing beyond their result.
+/// A scratch is single-owner state — share one per thread
+/// (ThreadLocalPeelScratch), never across threads. Members are public for
+/// the peel internals and tests; treat them as opaque elsewhere.
+struct PeelScratch {
   PeelScratch() = default;
   PeelScratch(const PeelScratch&) = delete;
   PeelScratch& operator=(const PeelScratch&) = delete;
 
- private:
-  friend VertexList PeelToKCore(const Graph& g, VertexList candidates,
-                                std::uint32_t k, VertexId anchor,
-                                PeelScratch* scratch);
-  friend VertexList ConnectedKCore(const Graph& g,
-                                   const std::vector<std::uint32_t>&, VertexId,
-                                   std::uint32_t);
-
   /// Grows the stamp arrays to n vertices and returns the fresh epoch.
   std::uint32_t Begin(std::size_t n);
 
+  /// Grows and zeroes the bitset arrays (and sizes degree_) for n vertices.
+  void BeginBits(std::size_t n);
+
   std::vector<std::uint32_t> member_;   ///< stamp: live candidate-set member
   std::vector<std::uint32_t> visited_;  ///< stamp: reached by the final BFS
+  std::vector<std::uint64_t> member_bits_;   ///< dense-path membership
+  std::vector<std::uint64_t> visited_bits_;  ///< dense-path BFS marks
   std::vector<std::uint32_t> degree_;   ///< induced degree, valid on members
   std::vector<VertexId> queue_;         ///< shared peel / BFS worklist
   std::uint32_t epoch_ = 0;
 };
+
+/// Which membership representation PeelToKCore uses (a pure implementation
+/// choice — results are bit-identical). kAuto picks by candidate density;
+/// the explicit modes exist for tests and tuning.
+enum class PeelFrontierMode { kAuto, kStamps, kBitset };
+
+/// Process-wide override of the peel membership representation.
+void SetPeelFrontierMode(PeelFrontierMode mode);
+PeelFrontierMode GetPeelFrontierMode();
 
 /// The calling thread's reusable peel scratch (one per thread, grown to the
 /// largest graph the thread has peeled on).
@@ -91,6 +102,14 @@ VertexList PeelToKCore(const Graph& g, VertexList candidates, std::uint32_t k,
 /// Explicit-scratch variant for callers managing their own buffers.
 VertexList PeelToKCore(const Graph& g, VertexList candidates, std::uint32_t k,
                        VertexId anchor, PeelScratch* scratch);
+
+/// Like PeelToKCore, but `candidates` must already be sorted ascending with
+/// no duplicates — callers that produce sorted sets skip the re-sort.
+VertexList PeelToKCoreSorted(const Graph& g, VertexList candidates,
+                             std::uint32_t k, VertexId anchor = kInvalidVertex);
+VertexList PeelToKCoreSorted(const Graph& g, VertexList candidates,
+                             std::uint32_t k, VertexId anchor,
+                             PeelScratch* scratch);
 
 /// Maximum core number present in `core_numbers` (0 for empty input).
 std::uint32_t MaxCoreNumber(const std::vector<std::uint32_t>& core_numbers);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/simd/simd.h"
 #include "common/strings.h"
 
 namespace cexplorer {
@@ -95,6 +96,10 @@ AttributedGraph AttributedGraphBuilder::Build() {
   for (std::size_t v = 0; v < n; ++v) {
     g.keyword_data_.insert(g.keyword_data_.end(), vertex_keywords_[v].begin(),
                            vertex_keywords_[v].end());
+  }
+  g.keyword_fp_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    g.keyword_fp_[v] = simd::BloomFingerprint(g.Keywords(v));
   }
   for (std::size_t v = 0; v < n; ++v) {
     const std::string lower = ToLower(g.names_[v]);

@@ -69,6 +69,13 @@ class AttributedGraph {
   /// True iff every keyword in the sorted list `kws` is in W(v).
   bool HasAllKeywords(VertexId v, std::span<const KeywordId> kws) const;
 
+  /// 64-bit bloom fingerprint of W(v) (simd::BloomFingerprint). A scan can
+  /// reject most non-matching vertices with one AND before falling back to
+  /// the exact HasAllKeywords test; matches are never rejected.
+  std::uint64_t KeywordFingerprint(VertexId v) const {
+    return keyword_fp_[v];
+  }
+
   /// Display name of vertex v (may be empty when unnamed).
   const std::string& Name(VertexId v) const { return names_[v]; }
 
@@ -89,6 +96,7 @@ class AttributedGraph {
   Vocabulary vocab_;
   std::vector<std::uint64_t> keyword_offsets_;  // size n+1
   std::vector<KeywordId> keyword_data_;         // sorted per vertex
+  std::vector<std::uint64_t> keyword_fp_;       // bloom fingerprint per vertex
   std::vector<std::string> names_;
   std::unordered_map<std::string, VertexId> name_index_;  // lower-cased
 };
