@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <string>
 
 #include "common/parallel.h"
@@ -49,7 +50,7 @@ inline DblpOptions BenchDblpOptions() {
 /// The query author of the demo scenario: highest core number, ties broken
 /// by degree (the best-embedded "renowned researcher").
 inline VertexId PickQueryAuthor(const AttributedGraph& g,
-                                const std::vector<std::uint32_t>& core) {
+                                std::span<const std::uint32_t> core) {
   VertexId best = 0;
   for (VertexId v = 1; v < g.num_vertices(); ++v) {
     if (core[v] > core[best] ||

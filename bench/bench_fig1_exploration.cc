@@ -62,7 +62,7 @@ void PrintLatencyTable() {
   std::printf("dataset: %s authors, %s edges; query author '%s' (deg %zu)\n\n",
               FormatWithCommas(g.num_vertices()).c_str(),
               FormatWithCommas(g.graph().num_edges()).c_str(),
-              g.Name(s.q).c_str(), g.graph().Degree(s.q));
+              std::string(g.Name(s.q)).c_str(), g.graph().Degree(s.q));
 
   std::printf("%-34s %12s\n", "stage", "latency(ms)");
 
@@ -115,7 +115,7 @@ void PrintLatencyTable() {
 
 void BM_NameLookup(benchmark::State& state) {
   Scenario& s = TheScenario();
-  const std::string name = s.explorer->graph().Name(s.q);
+  const std::string name(s.explorer->graph().Name(s.q));
   for (auto _ : state) {
     benchmark::DoNotOptimize(s.explorer->graph().FindByName(name));
   }

@@ -92,7 +92,7 @@ void PrintVisualComparison() {
       std::printf("(too large to render; first members:");
       for (std::size_t i = 0; i < 8 && i < community.size(); ++i) {
         std::printf(" %s",
-                    s.explorer->graph().Name(community.vertices[i]).c_str());
+                    std::string(s.explorer->graph().Name(community.vertices[i])).c_str());
       }
       std::printf(" ...)\n");
     }
@@ -141,7 +141,7 @@ void BM_AsciiRender(benchmark::State& state) {
   Layout layout = ForceDirectedLayout(sub.graph);
   std::vector<std::string> labels;
   for (VertexId local : sub.to_parent) {
-    labels.push_back(s.explorer->graph().Name(local));
+    labels.emplace_back(s.explorer->graph().Name(local));
   }
   for (auto _ : state) {
     std::string out = RenderCommunity(sub.graph, layout, labels);

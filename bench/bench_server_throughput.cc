@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -49,7 +50,7 @@ DblpOptions ThroughputOptions() {
 /// interactive loop of Figures 1-2 (the /community view is excluded: its
 /// force-directed layout cost is a rendering benchmark, not a query one).
 std::vector<std::string> SessionScript(const AttributedGraph& graph,
-                                       const std::vector<std::uint32_t>& core,
+                                       std::span<const std::uint32_t> core,
                                        int session_index,
                                        const std::string& session_param) {
   const VertexId anchor = bench::PickQueryAuthor(graph, core);

@@ -75,6 +75,12 @@ def regression_pct(key, old, new):
     return max(0.0, 100.0 * moved / abs(old))
 
 
+def verdict(line, to_stderr=False):
+    """The last line of every run: one machine-greppable verdict per exit
+    path, so CI logs state the outcome even when the table scrolls away."""
+    print(f"COMPARE VERDICT: {line}", file=sys.stderr if to_stderr else sys.stdout)
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
@@ -103,6 +109,7 @@ def main(argv):
     only_fresh = sorted(set(fresh) - set(base))
 
     failures = []  # (name, key, old, new, pct)
+    compared = 0
     if not shared:
         print("no shared benchmark names between the two files")
     for name in shared:
@@ -113,6 +120,7 @@ def main(argv):
             new = fresh[name].get(key)
             if not isinstance(new, (int, float)):
                 continue
+            compared += 1
             if not printed_header:
                 print(f"{name}:")
                 printed_header = True
@@ -130,10 +138,15 @@ def main(argv):
         print("\nonly in", args.fresh + ":", ", ".join(only_fresh))
 
     if not args.gate:
+        verdict(
+            f"diff only ({compared} metric(s) across {len(shared)} shared "
+            f"benchmark(s), no gate applied), exit 0"
+        )
         return 0
     if args.gate and not shared:
         # A gate with nothing to compare is a broken gate, not a pass.
-        print("\nGATE ERROR: no shared metrics to compare", file=sys.stderr)
+        verdict("gate broken (no shared metrics to compare), exit 2",
+                to_stderr=True)
         return 2
     if failures:
         print(
@@ -147,8 +160,16 @@ def main(argv):
             direction = "higher" if not higher_is_better(key) else "lower"
             print(f"{name:<28} {key:<18} {fmt(old):>12} {fmt(new):>12} "
                   f"{pct:>9.1f}%  ({direction} is worse)", file=sys.stderr)
+        verdict(
+            f"gate FAILED ({len(failures)} of {compared} metric(s) regressed "
+            f"more than {args.threshold:g}%), exit 1",
+            to_stderr=True,
+        )
         return 1
-    print(f"\nGATE OK: no metric regressed more than {args.threshold:g}%")
+    verdict(
+        f"gate passed ({compared} metric(s) within {args.threshold:g}%), "
+        f"exit 0"
+    )
     return 0
 
 

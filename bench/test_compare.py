@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Tests for bench/compare.py: every exit path (0 diff-only, 0 gate-pass,
+1 gate-fail, 2 gate-broken) and its one-line COMPARE VERDICT.
+
+Registered with ctest as `compare_py_test`; also runnable directly:
+
+    $ python3 bench/test_compare.py
+"""
+
+import contextlib
+import io
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import compare  # noqa: E402
+
+
+def write_jsonl(lines):
+    handle = tempfile.NamedTemporaryFile(
+        "w", suffix=".jsonl", delete=False, encoding="utf-8"
+    )
+    handle.write("\n".join(lines) + "\n")
+    handle.close()
+    return handle.name
+
+
+BASE = write_jsonl(
+    [
+        '{"name":"peel_100k","n":100000,"ms":50.0,"allocs_per_query":0}',
+        '{"name":"snapshot_load","ms":8.0,"speedup":12.0}',
+        'BENCH_JSON {"name":"prefixed","ms":1.0}',
+        "not json at all",
+    ]
+)
+
+
+class RunResult:
+    def __init__(self, code, out, err):
+        self.code = code
+        self.out = out
+        self.err = err
+
+
+def run(argv):
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = compare.main(["compare.py"] + argv)
+    return RunResult(code, out.getvalue(), err.getvalue())
+
+
+def last_line(text):
+    return text.strip().splitlines()[-1] if text.strip() else ""
+
+
+class LoadTest(unittest.TestCase):
+    def test_accepts_prefixed_lines_and_skips_junk(self):
+        records = compare.load(BASE)
+        self.assertEqual(
+            set(records), {"peel_100k", "snapshot_load", "prefixed"}
+        )
+        self.assertEqual(records["peel_100k"]["ms"], 50.0)
+
+
+class VerdictTest(unittest.TestCase):
+    def test_diff_only_exit_0(self):
+        fresh = write_jsonl(['{"name":"peel_100k","ms":500.0}'])
+        result = run([BASE, fresh])
+        self.assertEqual(result.code, 0)
+        self.assertIn("COMPARE VERDICT: diff only", last_line(result.out))
+        self.assertIn("exit 0", last_line(result.out))
+
+    def test_gate_pass_exit_0(self):
+        fresh = write_jsonl(
+            [
+                '{"name":"peel_100k","ms":51.0,"allocs_per_query":0}',
+                '{"name":"snapshot_load","ms":7.5,"speedup":13.0}',
+            ]
+        )
+        result = run(["--gate", BASE, fresh])
+        self.assertEqual(result.code, 0)
+        self.assertIn("COMPARE VERDICT: gate passed", last_line(result.out))
+
+    def test_gate_fail_exit_1(self):
+        fresh = write_jsonl(['{"name":"peel_100k","ms":500.0}'])
+        result = run(["--gate", BASE, fresh])
+        self.assertEqual(result.code, 1)
+        self.assertIn("GATE FAILED", result.err)
+        self.assertIn("COMPARE VERDICT: gate FAILED", last_line(result.err))
+        self.assertIn("exit 1", last_line(result.err))
+
+    def test_gate_broken_exit_2(self):
+        fresh = write_jsonl(['{"name":"unrelated","ms":1.0}'])
+        result = run(["--gate", BASE, fresh])
+        self.assertEqual(result.code, 2)
+        self.assertIn("COMPARE VERDICT: gate broken", last_line(result.err))
+        self.assertIn("exit 2", last_line(result.err))
+
+    def test_verdicts_are_distinct_per_exit_path(self):
+        pass_fresh = write_jsonl(['{"name":"peel_100k","ms":50.0}'])
+        fail_fresh = write_jsonl(['{"name":"peel_100k","ms":500.0}'])
+        none_fresh = write_jsonl(['{"name":"other","ms":1.0}'])
+        verdicts = {
+            last_line(run([BASE, pass_fresh]).out),
+            last_line(run(["--gate", BASE, pass_fresh]).out),
+            last_line(run(["--gate", BASE, fail_fresh]).err),
+            last_line(run(["--gate", BASE, none_fresh]).err),
+        }
+        self.assertEqual(len(verdicts), 4)
+        for line in verdicts:
+            self.assertTrue(line.startswith("COMPARE VERDICT: "), line)
+
+
+class DirectionTest(unittest.TestCase):
+    def test_higher_is_better_metrics_regress_downward(self):
+        # speedup dropping 50% must fail; ms dropping 50% must not.
+        fresh = write_jsonl(['{"name":"snapshot_load","ms":4.0,"speedup":6.0}'])
+        result = run(["--gate", BASE, fresh])
+        self.assertEqual(result.code, 1)
+        self.assertIn("speedup", result.err)
+        self.assertNotIn("\nsnapshot_load ms", result.err)
+
+    def test_zero_baseline_never_divides(self):
+        # allocs_per_query baseline is 0: any fresh value is reported but
+        # cannot produce a divide-by-zero or a spurious gate failure.
+        fresh = write_jsonl(
+            ['{"name":"peel_100k","ms":50.0,"allocs_per_query":3}']
+        )
+        result = run(["--gate", BASE, fresh])
+        self.assertEqual(result.code, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

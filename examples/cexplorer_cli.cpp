@@ -23,6 +23,8 @@
 //   compare <name> [k]         Figure 6(a) table
 //   detect [algo]              community detection summary
 //   export <i> <file.svg>      save community i as SVG
+//   snapshot save <file>       write the dataset as a zero-copy snapshot
+//   snapshot load <file>       mmap a snapshot and swap it in (instant start)
 //   demo                       run a canned exploration session
 //   help / quit
 //
@@ -139,7 +141,7 @@ void RunDemo(CliState* state) {
   for (VertexId v = 1; v < dataset->graph().num_vertices(); ++v) {
     if (dataset->core_numbers()[v] > dataset->core_numbers()[q]) q = v;
   }
-  const std::string name = dataset->graph().Name(q);
+  const std::string name(dataset->graph().Name(q));
   auto kws = dataset->graph().KeywordStrings(q);
   std::string keyword_list;
   for (std::size_t i = 0; i < kws.size() && i < 4; ++i) {
@@ -271,12 +273,18 @@ void RunCommand(CliState* state, const std::string& line) {
     out << svg.value();
     std::printf("  wrote %zu bytes to %s\n", svg.value().size(),
                 words[2].c_str());
+  } else if (cmd == "snapshot" && words.size() == 3 &&
+             (words[1] == "save" || words[1] == "load")) {
+    api::DatasetRequest request;
+    request.path = words[2];
+    ShowResponse(words[1] == "save" ? state->service.SnapshotSave(request)
+                                    : state->service.SnapshotLoad(request));
   } else if (cmd == "demo") {
     RunDemo(state);
   } else if (cmd == "help") {
     std::printf(
         "  open/author/search/algo/view/zoom/profile/explore/compare/"
-        "detect/export/demo/quit\n");
+        "detect/export/snapshot save|load/demo/quit\n");
   } else if (cmd == "quit" || cmd == "exit") {
     std::exit(0);
   } else {

@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
 
   // Left panel of Figure 1: name, structure constraint, keywords.
   std::printf("=== Exploration panel ===\n");
-  std::printf("Name: %s\n", graph.Name(q).c_str());
+  std::printf("Name: %s\n", std::string(graph.Name(q)).c_str());
   std::printf("Structure: degree >= 4\n");
   std::printf("Keywords: %s\n\n",
               Join(graph.KeywordStrings(q), "  ").c_str());
@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
               [&] {
                 std::vector<std::string> words;
                 for (KeywordId kw : first.shared_keywords) {
-                  words.push_back(graph.vocabulary().Word(kw));
+                  words.emplace_back(graph.vocabulary().Word(kw));
                 }
                 return Join(words, ", ");
               }()
@@ -108,7 +108,8 @@ int main(int argc, char** argv) {
   auto next = explorer.Search("Global", follow);
   if (next.ok() && !next->empty()) {
     std::printf("exploring %s: Global community of %zu authors\n",
-                graph.Name(member).c_str(), (*next)[0].vertices.size());
+                std::string(graph.Name(member)).c_str(),
+                (*next)[0].vertices.size());
   }
   return 0;
 }

@@ -65,12 +65,12 @@ int main() {
   }
   if (shared.size() > 4) shared.resize(4);
 
-  std::printf("query authors: '%s' + '%s'\n", graph.Name(a).c_str(),
-              graph.Name(b).c_str());
+  std::printf("query authors: '%s' + '%s'\n", std::string(graph.Name(a)).c_str(),
+              std::string(graph.Name(b)).c_str());
   std::printf("shared query keywords:");
   std::vector<std::string> keywords;
   for (KeywordId kw : shared) {
-    keywords.push_back(graph.vocabulary().Word(kw));
+    keywords.emplace_back(graph.vocabulary().Word(kw));
     std::printf(" %s", keywords.back().c_str());
   }
   std::printf("\n\n");

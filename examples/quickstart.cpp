@@ -40,11 +40,11 @@ int main() {
   for (const auto& community : result->communities) {
     std::printf("community:");
     for (VertexId v : community.vertices) {
-      std::printf(" %s", graph.Name(v).c_str());
+      std::printf(" %s", std::string(graph.Name(v)).c_str());
     }
     std::printf("\n  shared keywords:");
     for (KeywordId kw : community.shared_keywords) {
-      std::printf(" %s", graph.vocabulary().Word(kw).c_str());
+      std::printf(" %s", std::string(graph.vocabulary().Word(kw)).c_str());
     }
     std::printf("\n");
   }

@@ -431,10 +431,11 @@ Result<QueryContext> MakeContext(const AttributedGraph& g, const ClTree* index,
   for (KeywordId kw : keywords) {
     for (VertexId q : ctx.query_vertices) {
       if (!g.HasKeyword(q, kw)) {
-        const std::string who =
-            g.Name(q).empty() ? std::to_string(q) : g.Name(q);
+        const std::string who = g.Name(q).empty()
+                                    ? std::to_string(q)
+                                    : std::string(g.Name(q));
         return Status::InvalidArgument(
-            "keyword '" + g.vocabulary().Word(kw) +
+            "keyword '" + std::string(g.vocabulary().Word(kw)) +
             "' is not in the keyword set of query vertex " + who);
       }
     }

@@ -9,7 +9,7 @@
 namespace cexplorer {
 
 GlobalResult GlobalSearch(const Graph& g,
-                          const std::vector<std::uint32_t>& core_numbers,
+                          std::span<const std::uint32_t> core_numbers,
                           VertexId q, std::uint32_t k) {
   GlobalResult result;
   result.vertices = ConnectedKCore(g, core_numbers, q, k);

@@ -10,6 +10,7 @@
 #define CEXPLORER_ALGOS_GLOBAL_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -28,7 +29,7 @@ struct GlobalResult {
 /// The connected component of q in the k-core of g.
 /// `core_numbers` must come from CoreDecomposition(g).
 GlobalResult GlobalSearch(const Graph& g,
-                          const std::vector<std::uint32_t>& core_numbers,
+                          std::span<const std::uint32_t> core_numbers,
                           VertexId q, std::uint32_t k);
 
 /// Sozio-Gionis greedy: the connected subgraph containing q of maximum

@@ -97,6 +97,12 @@ ApiError FromStatus(const Status& status) {
     case StatusCode::kDeadlineExceeded:
       code = ApiCode::kDeadlineExceeded;
       break;
+    // A rejected snapshot (corrupt file, failed checksum, bad mapping) is
+    // not the client's fault and not an internal invariant break: the
+    // resource is unavailable until an operator supplies a good file.
+    case StatusCode::kUnavailable:
+      code = ApiCode::kUnavailable;
+      break;
     default:
       code = ApiCode::kInternal;
       break;

@@ -95,8 +95,8 @@ struct ApiError {
 /// Maps a library Status into the API taxonomy. kNotFound stays kNotFound;
 /// kAlreadyExists/kFailedPrecondition become kConflict; the argument-shaped
 /// codes (kInvalidArgument, kParseError, kOutOfRange, kIoError) become
-/// kInvalidArgument; kCancelled and kDeadlineExceeded map to their
-/// same-named API codes; everything else is kInternal.
+/// kInvalidArgument; kCancelled, kDeadlineExceeded and kUnavailable map to
+/// their same-named API codes; everything else is kInternal.
 ApiError FromStatus(const Status& status);
 
 /// A value of type T or an ApiError — the return type of every

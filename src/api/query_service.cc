@@ -1167,6 +1167,69 @@ ApiResult<std::string> QueryService::LoadIndex(const DatasetRequest& request) {
   return w.TakeString();
 }
 
+ApiResult<std::string> QueryService::SnapshotSave(
+    const DatasetRequest& request) {
+  auto begun = Begin(request.session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  if (request.path.empty()) {
+    return ApiError::InvalidArgument("missing snapshot path");
+  }
+  if (ctx.dataset == nullptr) {
+    return ApiError::Conflict("no graph uploaded");
+  }
+  // Write outside all locks against the pinned snapshot; concurrent
+  // queries and even a concurrent dataset swap are unaffected (the pin
+  // keeps this snapshot alive until the write finishes).
+  Status st = ctx.dataset->SaveSnapshot(request.path);
+  if (!st.ok()) return FromStatus(st);
+  JsonWriter w = JsonWriter::Recycled();
+  w.BeginObject();
+  w.Key("saved");
+  w.String(request.path);
+  w.Key("dataset_id");
+  w.UInt(ctx.dataset->id());
+  w.Key("vertices");
+  w.UInt(ctx.dataset->graph().num_vertices());
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::SnapshotLoad(
+    const DatasetRequest& request) {
+  auto begun = Begin(request.session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  if (request.path.empty()) {
+    return ApiError::InvalidArgument("missing snapshot path");
+  }
+  // Map + validate outside all locks: queries keep flowing against the old
+  // snapshot until the CAS publish below. Unlike /load_index this installs
+  // a different *graph*, so it is published like an upload: sessions drop
+  // their dataset-derived caches on next attach.
+  auto dataset = Dataset::FromSnapshotFile(request.path);
+  if (!dataset.ok()) return FromStatus(dataset.status());
+  if (!PublishDataset(ctx, std::move(dataset.value()))) {
+    return ApiError::Conflict(
+        "dataset changed while the snapshot was loading; retry");
+  }
+  AttachToSession(ctx, /*clear_history=*/true);
+  JsonWriter w = JsonWriter::Recycled();
+  w.BeginObject();
+  w.Key("loaded");
+  w.String(request.path);
+  w.Key("dataset_id");
+  w.UInt(ctx.dataset->id());
+  w.Key("vertices");
+  w.UInt(ctx.dataset->graph().num_vertices());
+  w.Key("edges");
+  w.UInt(ctx.dataset->graph().graph().num_edges());
+  w.Key("storage");
+  w.String(ctx.dataset->storage().mode);
+  w.EndObject();
+  return w.TakeString();
+}
+
 ApiResult<std::string> QueryService::DescribeApi(const std::string& session) {
   auto begun = Begin(session);
   if (!begun.ok()) return begun.error();
@@ -1284,6 +1347,23 @@ ApiResult<std::string> QueryService::Stats() {
     w.String(PostingFormatName(snapshot->index().posting_format()));
   }
   w.EndObject();
+  // How the served dataset's arrays are backed: "owned" (built in-process),
+  // "mmap" (zero-copy views over a page-cache-shared snapshot file) or
+  // "heap" (snapshot read into an aligned buffer).
+  if (snapshot != nullptr) {
+    const Dataset::StorageInfo& storage = snapshot->storage();
+    w.Key("storage");
+    w.BeginObject();
+    w.Key("mode");
+    w.String(storage.mode);
+    if (storage.mode != "owned") {
+      w.Key("file_bytes");
+      w.UInt(storage.file_bytes);
+      w.Key("checksum");
+      w.UInt(storage.checksum);
+    }
+    w.EndObject();
+  }
   w.EndObject();
   return w.TakeString();
 }

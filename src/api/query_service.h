@@ -163,6 +163,15 @@ class QueryService {
   ApiResult<std::string> SaveIndex(const DatasetRequest& request);
   ApiResult<std::string> LoadIndex(const DatasetRequest& request);
 
+  /// POST /v1/snapshot/save: writes the served dataset (graph + cores +
+  /// CL-tree) as one zero-copy binary snapshot file.
+  ApiResult<std::string> SnapshotSave(const DatasetRequest& request);
+
+  /// POST /v1/snapshot/load: maps a snapshot file and swaps it in as the
+  /// served dataset — a full graph replacement with no index rebuild. A
+  /// corrupt file is rejected with UNAVAILABLE and the old dataset stays.
+  ApiResult<std::string> SnapshotLoad(const DatasetRequest& request);
+
   /// Runs every entry against ONE dataset snapshot, fanned across `pool`
   /// (nullptr: sequential). Per-entry failures land in their result slot
   /// as {"error":{...}} envelopes; the batch itself only fails on

@@ -115,6 +115,7 @@ constexpr ParamSpec kJobResultParams[] = {
 };
 
 constexpr unsigned kGet = kMethodGet;
+constexpr unsigned kPost = kMethodPost;
 constexpr unsigned kGetPost = kMethodGet | kMethodPost;
 constexpr unsigned kGetDelete = kMethodGet | kMethodDelete;
 
@@ -158,10 +159,19 @@ constexpr RouteSpec kRoutes[] = {
      "query-form population: degree constraints and keywords of an author"},
     {"export", "/export", kGet, kExportParams, 1,
      "cached community as an SVG document"},
-    {"save_index", "/save_index", kGet, kPathParams, 1,
-     "persist the CL-tree (offline Indexing module)"},
-    {"load_index", "/load_index", kGet, kPathParams, 1,
-     "swap in a saved CL-tree for the loaded graph"},
+    // State-changing persistence routes are POST on /v1; the legacy
+    // aliases keep answering GET (with the Deprecation header) so pre-v1
+    // clients continue to work.
+    {"save_index", "/save_index", kPost, kPathParams, 1,
+     "persist the CL-tree (offline Indexing module)", kGet},
+    {"load_index", "/load_index", kPost, kPathParams, 1,
+     "swap in a saved CL-tree for the loaded graph", kGet},
+    {"snapshot/save", "", kPost, kPathParams, 1,
+     "write the served dataset (graph + cores + CL-tree) as one zero-copy "
+     "binary snapshot file"},
+    {"snapshot/load", "", kPost, kPathParams, 1,
+     "mmap a snapshot file and swap it in for ALL sessions — no parse, no "
+     "index rebuild; corrupt files are rejected with UNAVAILABLE"},
     {"batch", "/batch", kGetPost, kBatchParams, 1,
      "answer many search entries under ONE dataset snapshot, fanned across "
      "the worker pool"},
@@ -372,6 +382,14 @@ std::string DescribeApi(
     if (route.methods & kMethodPost) w.String("POST");
     if (route.methods & kMethodDelete) w.String("DELETE");
     w.EndArray();
+    if (route.legacy_methods != 0 && route.legacy_methods != route.methods) {
+      w.Key("legacy_methods");
+      w.BeginArray();
+      if (route.legacy_methods & kMethodGet) w.String("GET");
+      if (route.legacy_methods & kMethodPost) w.String("POST");
+      if (route.legacy_methods & kMethodDelete) w.String("DELETE");
+      w.EndArray();
+    }
     w.Key("doc");
     w.String(route.doc);
     w.Key("params");

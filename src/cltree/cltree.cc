@@ -16,7 +16,7 @@ namespace {
 /// Raw (pre-canonicalization) tree under construction: nodes in arbitrary
 /// order with parent/children links by raw index.
 struct RawTree {
-  std::vector<ClTreeNode> nodes;
+  std::vector<ClTreeRawNode> nodes;
   ClNodeId root = kInvalidClNode;
 };
 
@@ -296,7 +296,7 @@ ClTree ClTree::Build(const AttributedGraph& g, ClTreeBuildMethod method,
 }
 
 void ClTree::Finalize(const AttributedGraph& g,
-                      std::vector<ClTreeNode> raw_nodes, ClNodeId raw_root,
+                      std::vector<ClTreeRawNode> raw_nodes, ClNodeId raw_root,
                       ThreadPool* pool, PostingFormat format) {
   const std::size_t num_raw = raw_nodes.size();
   posting_format_ = format;
@@ -353,9 +353,34 @@ void ClTree::Finalize(const AttributedGraph& g,
     }
   }
 
+  // Flatten child lists and anchored vertices into preorder arenas; the
+  // node directory then only holds (begin, count) views into them — the
+  // representation the snapshot format persists directly.
+  std::vector<std::uint64_t> child_begin(num_raw + 1, 0);
+  std::vector<std::uint64_t> anchor_begin(num_raw + 1, 0);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const ClTreeRawNode& src = raw_nodes[order[pos]];
+    child_begin[pos + 1] = child_begin[pos] + src.children.size();
+    anchor_begin[pos + 1] = anchor_begin[pos] + src.vertices.size();
+  }
+  {
+    std::vector<ClNodeId> child_arena(child_begin[num_raw]);
+    std::vector<VertexId> anchor_arena(anchor_begin[num_raw]);
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      const ClTreeRawNode& src = raw_nodes[order[pos]];
+      std::uint64_t c = child_begin[pos];
+      for (ClNodeId child : src.children) child_arena[c++] = new_id[child];
+      std::copy(src.vertices.begin(), src.vertices.end(),
+                anchor_arena.begin() +
+                    static_cast<std::ptrdiff_t>(anchor_begin[pos]));
+    }
+    child_arena_ = std::move(child_arena);
+    anchor_arena_ = std::move(anchor_arena);
+  }
+
   nodes_.clear();
   nodes_.resize(num_raw);
-  subtree_sizes_.assign(num_raw, 0);
+  std::vector<std::uint64_t> subtree_sizes(num_raw, 0);
   for (std::size_t pos = 0; pos < order.size(); ++pos) {
     ClNodeId raw_id = order[pos];
     ClTreeNode& dst = nodes_[pos];
@@ -363,13 +388,13 @@ void ClTree::Finalize(const AttributedGraph& g,
     dst.parent = raw_nodes[raw_id].parent == kInvalidClNode
                      ? kInvalidClNode
                      : new_id[raw_nodes[raw_id].parent];
-    dst.children.clear();
-    for (ClNodeId child : raw_nodes[raw_id].children) {
-      dst.children.push_back(new_id[child]);
-    }
-    dst.vertices = std::move(raw_nodes[raw_id].vertices);
-    subtree_sizes_[pos] = counts[raw_id];
+    dst.children = {child_arena_.data() + child_begin[pos],
+                    child_begin[pos + 1] - child_begin[pos]};
+    dst.vertices = {anchor_arena_.data() + anchor_begin[pos],
+                    anchor_begin[pos + 1] - anchor_begin[pos]};
+    subtree_sizes[pos] = counts[raw_id];
   }
+  subtree_sizes_ = std::move(subtree_sizes);
 
   // subtree_end: preorder subtree of node i is [i, i + node count); compute
   // node counts bottom-up over the canonical ids (children have larger ids).
@@ -388,15 +413,16 @@ void ClTree::Finalize(const AttributedGraph& g,
   // passes parallelize over the node array without synchronization; the
   // output per node depends only on that node's anchored vertices, keeping
   // the parallel build byte-identical to the sequential one.
-  vertex_node_.assign(g.num_vertices(), kInvalidClNode);
+  std::vector<ClNodeId> vertex_node(g.num_vertices(), kInvalidClNode);
   ParallelFor(
       0, num_raw, pool,
       [&](std::size_t i) {
         for (VertexId v : nodes_[i].vertices) {
-          vertex_node_[v] = static_cast<ClNodeId>(i);
+          vertex_node[v] = static_cast<ClNodeId>(i);
         }
       },
       /*grain=*/256);
+  vertex_node_ = std::move(vertex_node);
 
   // Counting pass: sort each node's (keyword, vertex) pairs and record its
   // distinct-keyword and postings counts, so the arenas below are sized
@@ -431,24 +457,17 @@ void ClTree::Finalize(const AttributedGraph& g,
   const std::size_t total_kws = kw_begin[num_raw];
   const std::size_t total_posts = post_begin[num_raw];
 
-  // Exact-size reservation from the counted totals; the fill below only
-  // writes in place, so the buffers must never move again. Offsets are
-  // logical value positions in both formats; the raw posting arena is only
-  // materialized in kRaw.
+  // Exact-size allocation from the counted totals, filled in place. The
+  // arenas are built in local vectors and moved into the ArrayRef members
+  // once complete (the move keeps the heap buffers, so the node spans set
+  // afterwards stay valid). Offsets are logical value positions in both
+  // formats; the raw posting arena is only materialized in kRaw.
   const bool raw_postings = format == PostingFormat::kRaw;
-  inv_keyword_arena_.reserve(total_kws);
-  inv_offset_arena_.reserve(total_kws + 1);
-  if (raw_postings) inv_posting_arena_.reserve(total_posts);
-#ifndef NDEBUG
-  const KeywordId* kw_base = inv_keyword_arena_.data();
-  const std::uint32_t* offset_base = inv_offset_arena_.data();
-  const VertexId* post_base = inv_posting_arena_.data();
-#endif
-  inv_keyword_arena_.resize(total_kws);
-  inv_offset_arena_.resize(total_kws + 1);
-  if (raw_postings) inv_posting_arena_.resize(total_posts);
-  inv_offset_arena_[total_kws] = static_cast<std::uint32_t>(total_posts);
-  node_kw_bloom_.assign(num_raw, 0);
+  std::vector<KeywordId> kw_arena(total_kws);
+  std::vector<std::uint32_t> offset_arena(total_kws + 1);
+  std::vector<VertexId> post_arena(raw_postings ? total_posts : 0);
+  offset_arena[total_kws] = static_cast<std::uint32_t>(total_posts);
+  std::vector<std::uint64_t> blooms(num_raw, 0);
 
   // Per-node encoded postings of the varint format, concatenated into the
   // byte arena after the parallel fill (the byte offsets depend on every
@@ -476,13 +495,12 @@ void ClTree::Finalize(const AttributedGraph& g,
               simd::GroupVarintEncode(run, &encoded[i]);
             }
             run_start = j;
-            inv_keyword_arena_[kw_cursor] = p[j].first;
-            inv_offset_arena_[kw_cursor] =
-                static_cast<std::uint32_t>(post_cursor);
+            kw_arena[kw_cursor] = p[j].first;
+            offset_arena[kw_cursor] = static_cast<std::uint32_t>(post_cursor);
             ++kw_cursor;
             bloom |= simd::BloomMask(p[j].first);
           }
-          if (raw_postings) inv_posting_arena_[post_cursor] = p[j].second;
+          if (raw_postings) post_arena[post_cursor] = p[j].second;
           ++post_cursor;
         }
         if (!raw_postings && !p.empty()) {
@@ -493,7 +511,7 @@ void ClTree::Finalize(const AttributedGraph& g,
           }
           simd::GroupVarintEncode(run, &encoded[i]);
         }
-        node_kw_bloom_[i] = bloom;
+        blooms[i] = bloom;
         p = {};  // release the temporary pairs eagerly
       },
       /*grain=*/16);
@@ -501,12 +519,10 @@ void ClTree::Finalize(const AttributedGraph& g,
   // node's first slot, which that node wrote with the same value; only the
   // global sentinel has no owner and was set above.
 
-#ifndef NDEBUG
-  assert(inv_keyword_arena_.data() == kw_base &&
-         inv_offset_arena_.data() == offset_base &&
-         (!raw_postings || inv_posting_arena_.data() == post_base) &&
-         "inverted-list arenas must not reallocate after the counting pass");
-#endif
+  inv_keyword_arena_ = std::move(kw_arena);
+  inv_offset_arena_ = std::move(offset_arena);
+  inv_posting_arena_ = std::move(post_arena);
+  node_kw_bloom_ = std::move(blooms);
 
   for (std::size_t i = 0; i < num_raw; ++i) {
     nodes_[i].inv_keywords = {inv_keyword_arena_.data() + kw_begin[i],
@@ -522,21 +538,21 @@ void ClTree::Finalize(const AttributedGraph& g,
     // scan per keyword run; cheap against the encode itself).
     std::size_t total_bytes = 0;
     for (const auto& e : encoded) total_bytes += e.size();
-    comp_arena_.reserve(total_bytes + simd::kGroupVarintPad);
-    comp_offset_arena_.assign(total_kws + 1, 0);
+    std::vector<std::uint8_t> comp;
+    comp.reserve(total_bytes + simd::kGroupVarintPad);
+    std::vector<std::uint32_t> comp_offsets(total_kws + 1, 0);
     for (std::size_t i = 0; i < num_raw; ++i) {
-      const std::size_t node_base = comp_arena_.size();
-      comp_arena_.insert(comp_arena_.end(), encoded[i].begin(),
-                         encoded[i].end());
+      const std::size_t node_base = comp.size();
+      comp.insert(comp.end(), encoded[i].begin(), encoded[i].end());
       encoded[i] = {};
       std::size_t byte_cursor = node_base;
       for (std::size_t ki = 0; ki < kw_counts[i]; ++ki) {
         const std::size_t slot = kw_begin[i] + ki;
-        comp_offset_arena_[slot] = static_cast<std::uint32_t>(byte_cursor);
+        comp_offsets[slot] = static_cast<std::uint32_t>(byte_cursor);
         std::size_t remaining =
             inv_offset_arena_[slot + 1] - inv_offset_arena_[slot];
         while (remaining > 0) {
-          const std::uint8_t ctrl = comp_arena_[byte_cursor++];
+          const std::uint8_t ctrl = comp[byte_cursor++];
           const std::size_t group = std::min<std::size_t>(4, remaining);
           for (std::size_t t = 0; t < group; ++t) {
             byte_cursor += ((ctrl >> (2 * t)) & 3) + 1;
@@ -545,11 +561,12 @@ void ClTree::Finalize(const AttributedGraph& g,
         }
       }
     }
-    comp_offset_arena_[total_kws] = static_cast<std::uint32_t>(
-        comp_arena_.size());
+    comp_offsets[total_kws] = static_cast<std::uint32_t>(comp.size());
     // SIMD decoder slack: the last group's 16-byte load may read past the
     // stream end.
-    comp_arena_.resize(comp_arena_.size() + simd::kGroupVarintPad, 0);
+    comp.resize(comp.size() + simd::kGroupVarintPad, 0);
+    comp_arena_ = std::move(comp);
+    comp_offset_arena_ = std::move(comp_offsets);
   }
 }
 
@@ -694,20 +711,17 @@ std::size_t ClTree::CountKeyword(ClNodeId id, KeywordId kw) const {
 }
 
 std::size_t ClTree::MemoryBytes() const {
-  std::size_t bytes = nodes_.capacity() * sizeof(ClTreeNode) +
-                      vertex_node_.capacity() * sizeof(ClNodeId) +
-                      subtree_sizes_.capacity() * sizeof(std::size_t) +
-                      inv_keyword_arena_.capacity() * sizeof(KeywordId) +
-                      inv_offset_arena_.capacity() * sizeof(std::uint32_t) +
-                      inv_posting_arena_.capacity() * sizeof(VertexId) +
-                      comp_arena_.capacity() * sizeof(std::uint8_t) +
-                      comp_offset_arena_.capacity() * sizeof(std::uint32_t) +
-                      node_kw_bloom_.capacity() * sizeof(std::uint64_t);
-  for (const auto& node : nodes_) {
-    bytes += node.children.capacity() * sizeof(ClNodeId);
-    bytes += node.vertices.capacity() * sizeof(VertexId);
-  }
-  return bytes;
+  return nodes_.capacity() * sizeof(ClTreeNode) +
+         vertex_node_.size() * sizeof(ClNodeId) +
+         subtree_sizes_.size() * sizeof(std::uint64_t) +
+         child_arena_.size() * sizeof(ClNodeId) +
+         anchor_arena_.size() * sizeof(VertexId) +
+         inv_keyword_arena_.size() * sizeof(KeywordId) +
+         inv_offset_arena_.size() * sizeof(std::uint32_t) +
+         inv_posting_arena_.size() * sizeof(VertexId) +
+         comp_arena_.size() * sizeof(std::uint8_t) +
+         comp_offset_arena_.size() * sizeof(std::uint32_t) +
+         node_kw_bloom_.size() * sizeof(std::uint64_t);
 }
 
 std::string ClTree::Serialize() const {
@@ -746,7 +760,7 @@ Result<ClTree> ClTree::Deserialize(const AttributedGraph& g,
         "CL-tree was built for a different graph (vertex count mismatch)");
   }
 
-  std::vector<ClTreeNode> raw;
+  std::vector<ClTreeRawNode> raw;
   raw.reserve(static_cast<std::size_t>(num_nodes));
   for (std::size_t li = 1; li < lines.size(); ++li) {
     auto fields = SplitWhitespace(lines[li]);
@@ -754,7 +768,7 @@ Result<ClTree> ClTree::Deserialize(const AttributedGraph& g,
     if (fields[0] != "n" || fields.size() < 3) {
       return Status::ParseError("bad CL-tree node line " + std::to_string(li));
     }
-    ClTreeNode node;
+    ClTreeRawNode node;
     std::int64_t core = 0;
     if (!ParseInt64(fields[1], &core) || core < 0) {
       return Status::ParseError("bad core number on line " +
@@ -813,6 +827,139 @@ Result<ClTree> ClTree::Deserialize(const AttributedGraph& g,
 
   ClTree tree;
   tree.Finalize(g, std::move(raw), root);
+  return tree;
+}
+
+Result<ClTree> ClTree::FromParts(const ClTreeParts& parts,
+                                 std::size_t num_graph_vertices) {
+  const std::size_t num_nodes = parts.records.size();
+  auto bad = [](const char* what) {
+    return Status::Unavailable(std::string("snapshot CL-tree rejected: ") +
+                               what);
+  };
+  if (parts.vertex_node.size() != num_graph_vertices) {
+    return bad("vertex-node map size mismatch");
+  }
+  if (parts.subtree_sizes.size() != num_nodes ||
+      parts.node_kw_bloom.size() != num_nodes) {
+    return bad("per-node array size mismatch");
+  }
+  ClTree tree;
+  tree.posting_format_ = parts.format;
+  if (num_nodes == 0) {
+    if (num_graph_vertices != 0) return bad("empty tree over non-empty graph");
+    return tree;
+  }
+  if (parts.anchor_arena.size() != num_graph_vertices) {
+    return bad("anchor arena size mismatch");
+  }
+  const std::size_t total_kws = parts.inv_keyword_arena.size();
+  if (parts.inv_offset_arena.size() != total_kws + 1) {
+    return bad("inverted offset arena size mismatch");
+  }
+  const bool raw_postings = parts.format == PostingFormat::kRaw;
+  if (!raw_postings && parts.comp_offset_arena.size() != total_kws + 1) {
+    return bad("compressed offset arena size mismatch");
+  }
+
+  // Every record's arena slices must be in bounds and the preorder
+  // invariants (parent before child, nested subtree ranges) must hold —
+  // the query paths index through these without further checks.
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    const ClTreeNodeRecord& r = parts.records[i];
+    if (i == 0 ? r.parent != kInvalidClNode : r.parent >= i) {
+      return bad("non-preorder parent link");
+    }
+    if (r.subtree_end <= i || r.subtree_end > num_nodes) {
+      return bad("subtree range out of bounds");
+    }
+    if (r.children_begin > parts.child_arena.size() ||
+        r.children_count > parts.child_arena.size() - r.children_begin) {
+      return bad("child slice out of bounds");
+    }
+    if (r.anchor_begin > parts.anchor_arena.size() ||
+        r.anchor_count > parts.anchor_arena.size() - r.anchor_begin) {
+      return bad("anchor slice out of bounds");
+    }
+    if (r.inv_slot_begin > total_kws ||
+        r.inv_count > total_kws - r.inv_slot_begin) {
+      return bad("inverted-list slice out of bounds");
+    }
+    if (parts.subtree_sizes[i] > num_graph_vertices) {
+      return bad("subtree size exceeds graph");
+    }
+  }
+  for (ClNodeId child : parts.child_arena) {
+    if (child >= num_nodes) return bad("child id out of range");
+  }
+  for (ClNodeId node : parts.vertex_node) {
+    if (node >= num_nodes) return bad("vertex anchored out of range");
+  }
+  for (VertexId v : parts.anchor_arena) {
+    if (v >= num_graph_vertices) return bad("anchored vertex out of range");
+  }
+  // Offsets are logical value positions shared by both formats; they must
+  // ascend, and in the raw format the final sentinel must cover exactly
+  // the posting arena (the varint byte offsets must likewise ascend into
+  // the padded byte arena).
+  for (std::size_t slot = 0; slot < total_kws; ++slot) {
+    if (parts.inv_offset_arena[slot] > parts.inv_offset_arena[slot + 1]) {
+      return bad("posting offsets not ascending");
+    }
+  }
+  if (raw_postings) {
+    if (parts.inv_offset_arena[total_kws] != parts.inv_posting_arena.size()) {
+      return bad("posting arena size mismatch");
+    }
+    for (VertexId v : parts.inv_posting_arena) {
+      if (v >= num_graph_vertices) return bad("posting vertex out of range");
+    }
+  } else {
+    for (std::size_t slot = 0; slot < total_kws; ++slot) {
+      if (parts.comp_offset_arena[slot] > parts.comp_offset_arena[slot + 1]) {
+        return bad("compressed offsets not ascending");
+      }
+    }
+    if (parts.comp_offset_arena[total_kws] + simd::kGroupVarintPad >
+        parts.comp_arena.size()) {
+      return bad("compressed arena missing decoder slack");
+    }
+  }
+
+  tree.vertex_node_ = ArrayRef<ClNodeId>::View(parts.vertex_node);
+  tree.subtree_sizes_ = ArrayRef<std::uint64_t>::View(parts.subtree_sizes);
+  tree.child_arena_ = ArrayRef<ClNodeId>::View(parts.child_arena);
+  tree.anchor_arena_ = ArrayRef<VertexId>::View(parts.anchor_arena);
+  tree.inv_keyword_arena_ = ArrayRef<KeywordId>::View(parts.inv_keyword_arena);
+  tree.inv_offset_arena_ =
+      ArrayRef<std::uint32_t>::View(parts.inv_offset_arena);
+  tree.inv_posting_arena_ = ArrayRef<VertexId>::View(parts.inv_posting_arena);
+  tree.comp_arena_ = ArrayRef<std::uint8_t>::View(parts.comp_arena);
+  tree.comp_offset_arena_ =
+      ArrayRef<std::uint32_t>::View(parts.comp_offset_arena);
+  tree.node_kw_bloom_ = ArrayRef<std::uint64_t>::View(parts.node_kw_bloom);
+
+  // Materialize the node directory: the ONE load-path allocation that
+  // scales with the tree (a single vector of span views into the mapped
+  // arenas — one operator-new call regardless of graph size).
+  tree.nodes_.resize(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    const ClTreeNodeRecord& r = parts.records[i];
+    ClTreeNode& dst = tree.nodes_[i];
+    dst.core = r.core;
+    dst.parent = r.parent;
+    dst.subtree_end = r.subtree_end;
+    dst.children = {tree.child_arena_.data() + r.children_begin,
+                    r.children_count};
+    dst.vertices = {tree.anchor_arena_.data() + r.anchor_begin,
+                    r.anchor_count};
+    dst.inv_keywords = {tree.inv_keyword_arena_.data() + r.inv_slot_begin,
+                        r.inv_count};
+    dst.inv_postings = {
+        tree.inv_offset_arena_.data() + r.inv_slot_begin,
+        raw_postings ? tree.inv_posting_arena_.data() : nullptr,
+        static_cast<std::size_t>(r.inv_count)};
+  }
   return tree;
 }
 

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/array_ref.h"
 #include "common/parallel.h"
 #include "common/status.h"
 #include "graph/attributed_graph.h"
@@ -57,6 +58,10 @@ struct ClTreePostingsView {
 
 /// One CL-tree node: a connected component of the `core`-core, minus the
 /// components of deeper cores (those live in child subtrees).
+///
+/// The per-node lists are spans into tree-wide arenas (children, anchored
+/// vertices and inverted lists alike), so the node directory itself is a
+/// flat array that a snapshot load can rebuild with a single allocation.
 struct ClTreeNode {
   /// Core number of this node (max k such that the subtree is one connected
   /// component of the k-core).
@@ -65,12 +70,13 @@ struct ClTreeNode {
   /// Parent node, kInvalidClNode for the root.
   ClNodeId parent = kInvalidClNode;
 
-  /// Child nodes, ordered by their minimum subtree vertex.
-  std::vector<ClNodeId> children;
+  /// Child nodes, ordered by their minimum subtree vertex (a slice of the
+  /// tree-wide child arena).
+  std::span<const ClNodeId> children;
 
   /// Vertices anchored here (core number == core, within this component),
-  /// ascending.
-  VertexList vertices;
+  /// ascending (a slice of the tree-wide anchor arena).
+  std::span<const VertexId> vertices;
 
   /// End (exclusive) of this node's subtree in the preorder node array:
   /// the subtree of node i is exactly nodes [i, subtree_end).
@@ -105,6 +111,51 @@ enum class PostingFormat {
 
 /// Name for stats/logging: "raw", "varint".
 const char* PostingFormatName(PostingFormat format);
+
+/// Mutable node used while a tree is under construction (the builders and
+/// the text deserializer); Finalize flattens these into the arena form.
+struct ClTreeRawNode {
+  std::uint32_t core = 0;
+  ClNodeId parent = kInvalidClNode;
+  std::vector<ClNodeId> children;
+  VertexList vertices;
+};
+
+/// Position-independent image of one ClTreeNode: every span is stored as
+/// (begin, count) into its arena, so a node directory persisted as a flat
+/// record array can be re-hydrated against mapped arenas with one pass.
+/// Fixed-width little-endian POD; this is the snapshot wire layout.
+struct ClTreeNodeRecord {
+  std::uint32_t core = 0;
+  ClNodeId parent = kInvalidClNode;
+  ClNodeId subtree_end = 0;
+  std::uint32_t children_count = 0;
+  std::uint64_t children_begin = 0;   // into the child arena
+  std::uint64_t anchor_begin = 0;     // into the anchor arena
+  std::uint64_t anchor_count = 0;
+  std::uint64_t inv_slot_begin = 0;   // into the inverted-list arenas
+  std::uint64_t inv_count = 0;
+};
+static_assert(sizeof(ClTreeNodeRecord) == 56, "snapshot wire layout");
+
+/// Borrowed arenas + records from which a ClTree view is constructed (the
+/// snapshot load path). All spans point into caller-owned memory that must
+/// outlive the tree; ClTree::FromParts validates every cross-reference
+/// before building node views over them.
+struct ClTreeParts {
+  PostingFormat format = PostingFormat::kRaw;
+  std::span<const ClTreeNodeRecord> records;
+  std::span<const ClNodeId> vertex_node;
+  std::span<const std::uint64_t> subtree_sizes;
+  std::span<const ClNodeId> child_arena;
+  std::span<const VertexId> anchor_arena;
+  std::span<const KeywordId> inv_keyword_arena;
+  std::span<const std::uint32_t> inv_offset_arena;
+  std::span<const VertexId> inv_posting_arena;
+  std::span<const std::uint8_t> comp_arena;
+  std::span<const std::uint32_t> comp_offset_arena;
+  std::span<const std::uint64_t> node_kw_bloom;
+};
 
 /// The CL-tree index over an attributed graph. Immutable once built.
 ///
@@ -201,13 +252,23 @@ class ClTree {
   static Result<ClTree> Deserialize(const AttributedGraph& g,
                                     const std::string& text);
 
+  /// Re-hydrates a tree from persisted records + borrowed arenas (the
+  /// snapshot load path): validates every record's arena references, then
+  /// materializes the node directory in a single allocation — no per-node
+  /// heap traffic, no copies of the arenas. `num_graph_vertices` is the
+  /// vertex count of the graph the parts claim to index. Returns
+  /// Unavailable on any inconsistency.
+  static Result<ClTree> FromParts(const ClTreeParts& parts,
+                                  std::size_t num_graph_vertices);
+
  private:
   friend class ClTreeBuilder;
+  friend struct snapshot::Access;
 
   /// Reorders an arbitrarily-built tree into canonical preorder, fills
   /// subtree_end / subtree_sizes_ / vertex_node_ and the inverted lists
   /// (per-node, in parallel when `pool` is non-null).
-  void Finalize(const AttributedGraph& g, std::vector<ClTreeNode> raw_nodes,
+  void Finalize(const AttributedGraph& g, std::vector<ClTreeRawNode> raw_nodes,
                 ClNodeId raw_root, ThreadPool* pool = nullptr,
                 PostingFormat format = PostingFormat::kRaw);
 
@@ -217,9 +278,17 @@ class ClTree {
   std::span<const VertexId> PostingsAtSlot(std::size_t slot,
                                            std::vector<VertexId>* buf) const;
 
-  std::vector<ClTreeNode> nodes_;       // preorder
-  std::vector<ClNodeId> vertex_node_;   // vertex -> anchoring node
-  std::vector<std::size_t> subtree_sizes_;
+  // The node directory is always a materialized vector (its spans are
+  // process-local pointers), but every array it points into is an ArrayRef:
+  // owned by the build path, a view over the mapped file on snapshot load.
+  std::vector<ClTreeNode> nodes_;        // preorder
+  ArrayRef<ClNodeId> vertex_node_;       // vertex -> anchoring node
+  ArrayRef<std::uint64_t> subtree_sizes_;
+
+  // Flattened per-node child lists and anchored-vertex lists in preorder
+  // node order; nodes view their slices through children / vertices.
+  ArrayRef<ClNodeId> child_arena_;
+  ArrayRef<VertexId> anchor_arena_;
 
   // Tree-wide inverted-list arenas in preorder node order (CSR layout):
   // one keyword entry per (node, distinct keyword), one offset per keyword
@@ -233,16 +302,16 @@ class ClTree {
   // encoded bytes live in comp_arena_ at comp_offset_arena_ byte positions
   // (with kGroupVarintPad readable slack at the end for the SIMD decoder).
   PostingFormat posting_format_ = PostingFormat::kRaw;
-  std::vector<KeywordId> inv_keyword_arena_;
-  std::vector<std::uint32_t> inv_offset_arena_;
-  std::vector<VertexId> inv_posting_arena_;
-  std::vector<std::uint8_t> comp_arena_;
-  std::vector<std::uint32_t> comp_offset_arena_;
+  ArrayRef<KeywordId> inv_keyword_arena_;
+  ArrayRef<std::uint32_t> inv_offset_arena_;
+  ArrayRef<VertexId> inv_posting_arena_;
+  ArrayRef<std::uint8_t> comp_arena_;
+  ArrayRef<std::uint32_t> comp_offset_arena_;
 
   // One-word keyword bloom per node (OR of simd::BloomMask over the node's
   // distinct keywords): lets subtree walks skip nodes that cannot possibly
   // anchor all query keywords with a single AND.
-  std::vector<std::uint64_t> node_kw_bloom_;
+  ArrayRef<std::uint64_t> node_kw_bloom_;
 };
 
 }  // namespace cexplorer

@@ -1,0 +1,94 @@
+// Dual-ownership array: an owned std::vector<T> or a non-owning view over
+// externally owned memory (e.g. a mmap-ed snapshot section).
+//
+// The big O(n)/O(m) arrays of Graph, AttributedGraph and ClTree are stored
+// through this template so a Dataset can be backed either by heap vectors
+// (the normal build path) or by 64-byte-aligned sections of a mapped
+// snapshot file, with identical read paths: consumers only ever see
+// data()/size()/operator[]/spans, so the two modes are indistinguishable at
+// query time. Whoever creates a view is responsible for keeping the backing
+// memory alive (Dataset holds the mapping via shared_ptr).
+
+#ifndef CEXPLORER_COMMON_ARRAY_REF_H_
+#define CEXPLORER_COMMON_ARRAY_REF_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace cexplorer {
+
+template <typename T>
+class ArrayRef {
+ public:
+  /// Empty owned array.
+  ArrayRef() = default;
+
+  /// Takes ownership of `v` (the normal build path).
+  ArrayRef(std::vector<T> v)  // NOLINT(runtime/explicit)
+      : owned_(std::move(v)), data_(owned_.data()), size_(owned_.size()) {}
+
+  /// Non-owning view over external memory; the caller keeps it alive.
+  static ArrayRef View(std::span<const T> s) {
+    ArrayRef ref;
+    ref.data_ = s.data();
+    ref.size_ = s.size();
+    ref.is_view_ = true;
+    return ref;
+  }
+
+  // Moving a vector preserves its heap buffer, so data_ stays valid and the
+  // defaults are correct. Copying an owned array must re-point data_ at the
+  // copy's buffer.
+  ArrayRef(ArrayRef&&) noexcept = default;
+  ArrayRef& operator=(ArrayRef&&) noexcept = default;
+  ArrayRef(const ArrayRef& other) { *this = other; }
+  ArrayRef& operator=(const ArrayRef& other) {
+    if (this == &other) return *this;
+    owned_ = other.owned_;
+    is_view_ = other.is_view_;
+    if (is_view_) {
+      data_ = other.data_;
+      size_ = other.size_;
+    } else {
+      data_ = owned_.data();
+      size_ = owned_.size();
+    }
+    return *this;
+  }
+
+  /// Replaces the contents with an owned vector.
+  ArrayRef& operator=(std::vector<T> v) {
+    owned_ = std::move(v);
+    data_ = owned_.data();
+    size_ = owned_.size();
+    is_view_ = false;
+    return *this;
+  }
+
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  /// True when viewing external memory (a mapped snapshot).
+  bool is_view() const { return is_view_; }
+
+  std::span<const T> span() const { return {data_, size_}; }
+  operator std::span<const T>() const { return span(); }  // NOLINT
+
+ private:
+  std::vector<T> owned_;
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool is_view_ = false;
+};
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_COMMON_ARRAY_REF_H_

@@ -1,0 +1,24 @@
+// XXH64: the 64-bit xxHash checksum (Yann Collet's public-domain spec),
+// implemented locally so the snapshot format has a fast, well-known
+// integrity hash without an external dependency.
+//
+// This is a checksum, not a cryptographic hash: it detects corruption
+// (truncation, bit flips, torn writes), nothing more.
+
+#ifndef CEXPLORER_COMMON_HASH64_H_
+#define CEXPLORER_COMMON_HASH64_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cexplorer {
+
+/// XXH64 of `len` bytes at `data` with the given seed. Matches the
+/// reference implementation bit-for-bit (verified against published test
+/// vectors in common_test).
+std::uint64_t Hash64(const void* data, std::size_t len,
+                     std::uint64_t seed = 0);
+
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_COMMON_HASH64_H_

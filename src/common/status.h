@@ -28,6 +28,7 @@ enum class StatusCode : std::uint8_t {
   kNotImplemented,
   kCancelled,
   kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Human-readable name of a status code ("OK", "InvalidArgument", ...).
@@ -79,6 +80,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -207,7 +207,7 @@ std::vector<std::uint32_t> CoreDecompositionNaive(const Graph& g) {
   return core;
 }
 
-VertexList KCoreVertices(const std::vector<std::uint32_t>& core_numbers,
+VertexList KCoreVertices(std::span<const std::uint32_t> core_numbers,
                          std::uint32_t k) {
   VertexList out;
   for (std::size_t v = 0; v < core_numbers.size(); ++v) {
@@ -248,7 +248,7 @@ PeelScratch& ThreadLocalPeelScratch() {
 }
 
 VertexList ConnectedKCore(const Graph& g,
-                          const std::vector<std::uint32_t>& core_numbers,
+                          std::span<const std::uint32_t> core_numbers,
                           VertexId q, std::uint32_t k) {
   if (q >= g.num_vertices() || core_numbers[q] < k) return {};
   // BFS within the k-core on the thread's reusable stamp arrays: the only
@@ -442,7 +442,7 @@ VertexList PeelToKCore(const Graph& g, VertexList candidates, std::uint32_t k,
                      &ThreadLocalPeelScratch());
 }
 
-std::uint32_t MaxCoreNumber(const std::vector<std::uint32_t>& core_numbers) {
+std::uint32_t MaxCoreNumber(std::span<const std::uint32_t> core_numbers) {
   std::uint32_t best = 0;
   for (std::uint32_t c : core_numbers) best = std::max(best, c);
   return best;

@@ -9,6 +9,7 @@
 #define CEXPLORER_CORE_KCORE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/parallel.h"
@@ -35,7 +36,7 @@ std::vector<std::uint32_t> CoreDecomposition(const Graph& g, ThreadPool* pool);
 std::vector<std::uint32_t> CoreDecompositionNaive(const Graph& g);
 
 /// Vertices of the k-core (core number >= k), ascending.
-VertexList KCoreVertices(const std::vector<std::uint32_t>& core_numbers,
+VertexList KCoreVertices(std::span<const std::uint32_t> core_numbers,
                          std::uint32_t k);
 
 /// Reusable buffers for the candidate-set peel (PeelToKCore) and the
@@ -87,7 +88,7 @@ PeelScratch& ThreadLocalPeelScratch();
 /// empty if core(q) < k. This is exactly the community returned by the
 /// Global algorithm of Sozio-Gionis for parameter k.
 VertexList ConnectedKCore(const Graph& g,
-                          const std::vector<std::uint32_t>& core_numbers,
+                          std::span<const std::uint32_t> core_numbers,
                           VertexId q, std::uint32_t k);
 
 /// Maximal subset of `candidates` in which every vertex has at least k
@@ -112,7 +113,7 @@ VertexList PeelToKCoreSorted(const Graph& g, VertexList candidates,
                              PeelScratch* scratch);
 
 /// Maximum core number present in `core_numbers` (0 for empty input).
-std::uint32_t MaxCoreNumber(const std::vector<std::uint32_t>& core_numbers);
+std::uint32_t MaxCoreNumber(std::span<const std::uint32_t> core_numbers);
 
 }  // namespace cexplorer
 

@@ -47,7 +47,7 @@ namespace cexplorer {
 struct ExplorerContext {
   const AttributedGraph* graph = nullptr;
   const ClTree* index = nullptr;
-  const std::vector<std::uint32_t>* core_numbers = nullptr;
+  std::span<const std::uint32_t> core_numbers;
   /// Monotonic id bumped on every Upload; lets algorithms cache per-graph
   /// state (e.g. a CODICIL clustering) safely.
   std::uint64_t graph_epoch = 0;

@@ -131,7 +131,7 @@ Result<AlgorithmOutput> GlobalSearchAlgorithm::Run(ExecContext& ctx) {
   auto vertices = ResolveQueryVertices(ctx.view, ctx.query);
   if (!vertices.ok()) return vertices.status();
   GlobalResult gr = GlobalSearch(ctx.view.graph->graph(),
-                                 *ctx.view.core_numbers, vertices->front(),
+                                 ctx.view.core_numbers, vertices->front(),
                                  ctx.query.k);
   AlgorithmOutput out;
   if (!gr.vertices.empty()) {

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "core/kcore.h"
 #include "graph/io.h"
+#include "snapshot/snapshot.h"
 
 namespace cexplorer {
 
@@ -46,8 +47,9 @@ Result<DatasetPtr> Dataset::Build(AttributedGraph graph) {
   // CEXPLORER_THREADS); both parallel paths are bit-identical to the
   // sequential ones, so snapshots are reproducible across pool sizes.
   ThreadPool* pool = DefaultPool();
-  dataset->core_numbers_ = std::make_shared<const std::vector<std::uint32_t>>(
+  dataset->core_store_ = std::make_shared<const std::vector<std::uint32_t>>(
       CoreDecomposition(dataset->graph_->graph(), pool));
+  dataset->core_span_ = *dataset->core_store_;
   dataset->index_ = ClTree::Build(*dataset->graph_, ClTreeBuildMethod::kAdvanced,
                                   pool, ConfiguredPostingFormat());
   g_index_builds.fetch_add(1, std::memory_order_relaxed);
@@ -65,11 +67,37 @@ Result<DatasetPtr> Dataset::FromFile(const std::string& file_path) {
 DatasetPtr Dataset::WithIndex(ClTree index) const {
   auto dataset = std::shared_ptr<Dataset>(new Dataset());
   dataset->graph_ = graph_;
-  dataset->core_numbers_ = core_numbers_;
+  dataset->core_store_ = core_store_;
+  dataset->core_span_ = core_span_;
+  dataset->backing_ = backing_;  // keep a mapped graph alive across swaps
+  dataset->storage_ = storage_;
   dataset->index_ = std::move(index);
   dataset->id_ = g_next_dataset_id.fetch_add(1, std::memory_order_relaxed);
   dataset->graph_epoch_ = graph_epoch_;  // same graph, same epoch
   return DatasetPtr(std::move(dataset));
+}
+
+Result<DatasetPtr> Dataset::FromSnapshotFile(const std::string& path) {
+  auto loaded = snapshot::LoadSnapshot(path);
+  if (!loaded.ok()) return loaded.status();
+  auto dataset = std::shared_ptr<Dataset>(new Dataset());
+  dataset->graph_ = std::move(loaded.value().graph);
+  dataset->core_span_ = loaded.value().core_numbers;
+  dataset->backing_ = std::move(loaded.value().backing);
+  dataset->index_ = std::move(loaded.value().tree);
+  dataset->storage_.mode = loaded.value().info.mode;
+  dataset->storage_.file_bytes = loaded.value().info.file_bytes;
+  dataset->storage_.checksum = loaded.value().info.checksum;
+  // No index build happened: the tree came off disk. A snapshot load is a
+  // graph change from the serving process's point of view, so it gets a
+  // fresh epoch (session caches for the previous graph must not apply).
+  dataset->id_ = g_next_dataset_id.fetch_add(1, std::memory_order_relaxed);
+  dataset->graph_epoch_ = dataset->id_;
+  return DatasetPtr(std::move(dataset));
+}
+
+Status Dataset::SaveSnapshot(const std::string& path) const {
+  return snapshot::WriteSnapshot(*graph_, core_span_, index_, path);
 }
 
 Result<DatasetPtr> Dataset::WithIndexFromFile(const std::string& path) const {
@@ -86,7 +114,7 @@ ExplorerContext Dataset::Context() const {
   ExplorerContext ctx;
   ctx.graph = graph_.get();
   ctx.index = &index_;
-  ctx.core_numbers = core_numbers_.get();
+  ctx.core_numbers = core_span_;
   ctx.graph_epoch = graph_epoch_;
   return ctx;
 }
@@ -107,7 +135,8 @@ Result<AuthorProfile> Dataset::Profile(VertexId v) const {
   // indistinguishable from its own.
   Rng rng(0x9e3779b97f4a7c15ULL ^ v);
   AuthorProfile profile =
-      MakeProfile(graph_->Name(v), graph_->KeywordStrings(v), &rng);
+      MakeProfile(std::string(graph_->Name(v)), graph_->KeywordStrings(v),
+                  &rng);
   std::unique_lock<std::shared_mutex> lock(profiles_mu_);
   return profiles_.emplace(v, std::move(profile)).first->second;
 }

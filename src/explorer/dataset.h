@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,13 +59,29 @@ class Dataset {
   /// and returns the resulting snapshot.
   Result<DatasetPtr> WithIndexFromFile(const std::string& path) const;
 
+  /// Loads a full binary snapshot (snapshot/format.h): graph, core numbers
+  /// and CL-tree served zero-copy from a read-only mapping of `path`. The
+  /// returned dataset owns the mapping; queries run directly over it.
+  static Result<DatasetPtr> FromSnapshotFile(const std::string& path);
+
+  /// Writes this dataset (graph + cores + index) as a binary snapshot that
+  /// FromSnapshotFile can restore with no rebuild.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// How a dataset's arrays are backed, surfaced in /v1/stats.
+  struct StorageInfo {
+    std::string mode = "owned";  ///< "owned", "mmap" or "heap"
+    std::uint64_t file_bytes = 0;
+    std::uint64_t checksum = 0;
+  };
+
+  const StorageInfo& storage() const { return storage_; }
+
   // --- Read-only views ----------------------------------------------------
 
   const AttributedGraph& graph() const { return *graph_; }
   const ClTree& index() const { return index_; }
-  const std::vector<std::uint32_t>& core_numbers() const {
-    return *core_numbers_;
-  }
+  std::span<const std::uint32_t> core_numbers() const { return core_span_; }
 
   /// Process-unique snapshot id. Monotonic in creation order; session
   /// caches are tagged with it.
@@ -97,8 +114,16 @@ class Dataset {
   Dataset() = default;
 
   std::shared_ptr<const AttributedGraph> graph_;
-  std::shared_ptr<const std::vector<std::uint32_t>> core_numbers_;
+  /// Owned storage for core numbers when built in-process; empty for
+  /// snapshot-backed datasets (where `backing_` owns the bytes).
+  std::shared_ptr<const std::vector<std::uint32_t>> core_store_;
+  /// The view algorithms read; points into core_store_ or backing_.
+  std::span<const std::uint32_t> core_span_;
+  /// Keeps a mapped/heap snapshot alive for as long as any span into it
+  /// (graph arrays, core numbers, CL-tree arenas) can be referenced.
+  std::shared_ptr<const void> backing_;
   ClTree index_;
+  StorageInfo storage_;
   std::uint64_t id_ = 0;
   std::uint64_t graph_epoch_ = 0;
 

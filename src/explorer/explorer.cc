@@ -23,9 +23,9 @@ const ClTree& Explorer::index() const {
   return dataset_ ? dataset_->index() : kEmptyIndex;
 }
 
-const std::vector<std::uint32_t>& Explorer::core_numbers() const {
-  static const std::vector<std::uint32_t> kEmptyCores;
-  return dataset_ ? dataset_->core_numbers() : kEmptyCores;
+std::span<const std::uint32_t> Explorer::core_numbers() const {
+  return dataset_ ? dataset_->core_numbers()
+                  : std::span<const std::uint32_t>{};
 }
 
 Status Explorer::Upload(const std::string& file_path) {
@@ -121,7 +121,7 @@ Result<DisplayResult> Explorer::Display(const Community& community,
   std::vector<std::string> labels;
   labels.reserve(sub.num_vertices());
   for (VertexId local = 0; local < sub.num_vertices(); ++local) {
-    labels.push_back(graph().Name(sub.to_parent[local]));
+    labels.emplace_back(graph().Name(sub.to_parent[local]));
   }
   // The renderer applies the zoom about the viewport centre and clips;
   // the returned coordinates get the same scaling (about the centroid) so
@@ -159,7 +159,7 @@ Result<std::string> Explorer::ExportSvg(const Community& community,
   Layout layout = ForceDirectedLayout(sub.graph, layout_options);
   std::vector<std::string> labels;
   for (VertexId local = 0; local < sub.num_vertices(); ++local) {
-    labels.push_back(graph().Name(sub.to_parent[local]));
+    labels.emplace_back(graph().Name(sub.to_parent[local]));
   }
   SvgOptions svg_options;
   if (query_vertex != kInvalidVertex) {

@@ -211,7 +211,7 @@ class Explorer {
   /// the pre-split behavior of default-constructed members.
   const AttributedGraph& graph() const;
   const ClTree& index() const;
-  const std::vector<std::uint32_t>& core_numbers() const;
+  std::span<const std::uint32_t> core_numbers() const;
 
   /// The author profile popup of Figure 2; generated deterministically per
   /// vertex on first access and cached in the shared Dataset.

@@ -1,13 +1,35 @@
 #include "graph/attributed_graph.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cctype>
 
 #include "common/simd/simd.h"
 #include "common/strings.h"
 
 namespace cexplorer {
 
+namespace {
+
+/// Three-way compare of tolower(a) against the already-lower-cased `b`,
+/// byte-wise — the lazy form of ToLower(a) <=> b that the view-mode name
+/// lookup uses so a binary-search probe never allocates.
+int CompareLoweredTo(std::string_view a, std::string_view b_lower) {
+  const std::size_t n = std::min(a.size(), b_lower.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned char ca = static_cast<unsigned char>(
+        std::tolower(static_cast<unsigned char>(a[i])));
+    const unsigned char cb = static_cast<unsigned char>(b_lower[i]);
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  if (a.size() == b_lower.size()) return 0;
+  return a.size() < b_lower.size() ? -1 : 1;
+}
+
+}  // namespace
+
 KeywordId Vocabulary::Intern(std::string_view word) {
+  assert(!view_ && "Intern on a snapshot-backed vocabulary");
   auto it = index_.find(std::string(word));
   if (it != index_.end()) return it->second;
   KeywordId id = static_cast<KeywordId>(words_.size());
@@ -17,6 +39,15 @@ KeywordId Vocabulary::Intern(std::string_view word) {
 }
 
 KeywordId Vocabulary::Find(std::string_view word) const {
+  if (view_) {
+    // order_ sorts ids by exact word bytes; probe with plain comparisons.
+    auto it = std::lower_bound(order_.begin(), order_.end(), word,
+                               [this](KeywordId id, std::string_view w) {
+                                 return Word(id) < w;
+                               });
+    if (it == order_.end() || Word(*it) != word) return kInvalidKeyword;
+    return *it;
+  }
   auto it = index_.find(std::string(word));
   if (it == index_.end()) return kInvalidKeyword;
   return it->second;
@@ -40,6 +71,21 @@ bool AttributedGraph::HasAllKeywords(VertexId v,
 }
 
 VertexId AttributedGraph::FindByName(std::string_view name) const {
+  if (names_view_) {
+    if (name.empty()) return kInvalidVertex;
+    const std::string lower = ToLower(name);
+    // name_order_ is sorted by (lower-cased name, id), so the first entry
+    // whose lowered name equals the query is the lowest matching id —
+    // identical to the owned map's first-insertion-wins semantics.
+    auto it = std::lower_bound(name_order_.begin(), name_order_.end(), lower,
+                               [this](VertexId v, const std::string& target) {
+                                 return CompareLoweredTo(Name(v), target) < 0;
+                               });
+    if (it == name_order_.end() || CompareLoweredTo(Name(*it), lower) != 0) {
+      return kInvalidVertex;
+    }
+    return *it;
+  }
   auto it = name_index_.find(ToLower(name));
   if (it == name_index_.end()) return kInvalidVertex;
   return it->second;
@@ -47,7 +93,7 @@ VertexId AttributedGraph::FindByName(std::string_view name) const {
 
 std::vector<std::string> AttributedGraph::KeywordStrings(VertexId v) const {
   std::vector<std::string> out;
-  for (KeywordId kw : Keywords(v)) out.push_back(vocab_.Word(kw));
+  for (KeywordId kw : Keywords(v)) out.emplace_back(vocab_.Word(kw));
   return out;
 }
 
@@ -86,21 +132,25 @@ AttributedGraph AttributedGraphBuilder::Build() {
   g.names_ = std::move(names_);
 
   const std::size_t n = g.names_.size();
-  g.keyword_offsets_.assign(n + 1, 0);
+  std::vector<std::uint64_t> keyword_offsets(n + 1, 0);
   std::size_t total = 0;
   for (std::size_t v = 0; v < n; ++v) {
     total += vertex_keywords_[v].size();
-    g.keyword_offsets_[v + 1] = total;
+    keyword_offsets[v + 1] = total;
   }
-  g.keyword_data_.reserve(total);
+  std::vector<KeywordId> keyword_data;
+  keyword_data.reserve(total);
   for (std::size_t v = 0; v < n; ++v) {
-    g.keyword_data_.insert(g.keyword_data_.end(), vertex_keywords_[v].begin(),
-                           vertex_keywords_[v].end());
+    keyword_data.insert(keyword_data.end(), vertex_keywords_[v].begin(),
+                        vertex_keywords_[v].end());
   }
-  g.keyword_fp_.resize(n);
+  g.keyword_offsets_ = std::move(keyword_offsets);
+  g.keyword_data_ = std::move(keyword_data);
+  std::vector<std::uint64_t> keyword_fp(n);
   for (std::size_t v = 0; v < n; ++v) {
-    g.keyword_fp_[v] = simd::BloomFingerprint(g.Keywords(v));
+    keyword_fp[v] = simd::BloomFingerprint(g.Keywords(v));
   }
+  g.keyword_fp_ = std::move(keyword_fp);
   for (std::size_t v = 0; v < n; ++v) {
     const std::string lower = ToLower(g.names_[v]);
     if (!lower.empty()) {

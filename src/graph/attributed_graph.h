@@ -4,6 +4,13 @@
 // Keywords are interned into a vocabulary so that per-vertex keyword sets
 // are small sorted arrays of integer ids — this is what the CL-tree's
 // inverted lists and the ACQ verification loops operate on.
+//
+// The graph exists in two storage modes with one read API. The owned mode
+// (builder path) backs names and the vocabulary with std::string vectors
+// plus hash-map lookup indexes. The view mode (snapshot path, wired up by
+// snapshot::Access) backs every array — including the flattened name/word
+// blobs and their sorted lookup permutations — with spans over a mapped
+// file, so constructing a view allocates nothing proportional to the graph.
 
 #ifndef CEXPLORER_GRAPH_ATTRIBUTED_GRAPH_H_
 #define CEXPLORER_GRAPH_ATTRIBUTED_GRAPH_H_
@@ -14,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/array_ref.h"
 #include "common/status.h"
 #include "graph/graph.h"
 #include "graph/types.h"
@@ -21,25 +29,48 @@
 namespace cexplorer {
 
 /// Bidirectional keyword <-> id mapping shared by an attributed graph.
+///
+/// Owned mode interns through a hash map; view mode serves Word()/Find()
+/// from a character blob + offsets + byte-sorted permutation living in a
+/// mapped snapshot (Find becomes a binary search). Intern is owned-only.
 class Vocabulary {
  public:
   Vocabulary() = default;
 
-  /// Returns the id of `word`, interning it if new.
+  /// Returns the id of `word`, interning it if new. Owned mode only.
   KeywordId Intern(std::string_view word);
 
   /// Returns the id of `word` or kInvalidKeyword if never interned.
   KeywordId Find(std::string_view word) const;
 
-  /// The word for an id. Precondition: id < size().
-  const std::string& Word(KeywordId id) const { return words_[id]; }
+  /// The word for an id. Precondition: id < size(). The view is valid as
+  /// long as this vocabulary (and its backing mapping, if any) lives.
+  std::string_view Word(KeywordId id) const {
+    if (view_) {
+      return {blob_.data() + offsets_[id],
+              static_cast<std::size_t>(offsets_[id + 1] - offsets_[id])};
+    }
+    return words_[id];
+  }
 
   /// Number of distinct keywords.
-  std::size_t size() const { return words_.size(); }
+  std::size_t size() const {
+    return view_ ? offsets_.size() - 1 : words_.size();
+  }
 
  private:
+  friend struct snapshot::Access;
+
+  // Owned mode.
   std::vector<std::string> words_;
   std::unordered_map<std::string, KeywordId> index_;
+
+  // View mode: concatenated word bytes, per-word [offset, offset) bounds
+  // (size()+1 entries) and keyword ids sorted by word bytes for Find().
+  bool view_ = false;
+  std::span<const char> blob_;
+  std::span<const std::uint64_t> offsets_;
+  std::span<const KeywordId> order_;
 };
 
 /// Immutable attributed graph G(V, E) with W(v) keyword sets and names.
@@ -76,8 +107,16 @@ class AttributedGraph {
     return keyword_fp_[v];
   }
 
-  /// Display name of vertex v (may be empty when unnamed).
-  const std::string& Name(VertexId v) const { return names_[v]; }
+  /// Display name of vertex v (may be empty when unnamed). The view is
+  /// valid as long as this graph (and its backing mapping, if any) lives.
+  std::string_view Name(VertexId v) const {
+    if (names_view_) {
+      return {name_blob_.data() + name_offsets_[v],
+              static_cast<std::size_t>(name_offsets_[v + 1] -
+                                       name_offsets_[v])};
+    }
+    return names_[v];
+  }
 
   /// Finds a vertex by exact name (case-insensitive); kInvalidVertex if
   /// absent. Ambiguous names resolve to the lowest vertex id.
@@ -91,14 +130,27 @@ class AttributedGraph {
 
  private:
   friend class AttributedGraphBuilder;
+  friend struct snapshot::Access;
 
   Graph graph_;
   Vocabulary vocab_;
-  std::vector<std::uint64_t> keyword_offsets_;  // size n+1
-  std::vector<KeywordId> keyword_data_;         // sorted per vertex
-  std::vector<std::uint64_t> keyword_fp_;       // bloom fingerprint per vertex
+  ArrayRef<std::uint64_t> keyword_offsets_;  // size n+1
+  ArrayRef<KeywordId> keyword_data_;         // sorted per vertex
+  ArrayRef<std::uint64_t> keyword_fp_;       // bloom fingerprint per vertex
+
+  // Names, owned mode: one string per vertex plus a lower-cased lookup map
+  // (first insertion wins, so ambiguous names resolve to the lowest id).
   std::vector<std::string> names_;
-  std::unordered_map<std::string, VertexId> name_index_;  // lower-cased
+  std::unordered_map<std::string, VertexId> name_index_;
+
+  // Names, view mode: concatenated bytes + per-vertex bounds (n+1), and
+  // the ids of non-empty-named vertices sorted by (lower-cased name, id)
+  // so FindByName is a case-insensitive binary search with the same
+  // lowest-id-wins tie-break as the owned map.
+  bool names_view_ = false;
+  std::span<const char> name_blob_;
+  std::span<const std::uint64_t> name_offsets_;
+  std::span<const VertexId> name_order_;
 };
 
 /// Builder: declare vertices (name + keywords), add edges, Build().

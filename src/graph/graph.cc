@@ -60,20 +60,20 @@ Graph GraphBuilder::Build() {
   // d log d), and the edge buffer is never reordered or copied.
   Graph g;
   const std::size_t n = num_vertices_;
-  g.offsets_.assign(n + 1, 0);
+  std::vector<std::uint64_t> offsets(n + 1, 0);
 
   // Count degrees (with duplicates), prefix-sum into offsets, scatter.
   for (const auto& [u, v] : edges_) {
-    ++g.offsets_[u + 1];
-    ++g.offsets_[v + 1];
+    ++offsets[u + 1];
+    ++offsets[v + 1];
   }
-  for (std::size_t i = 1; i <= n; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
 
-  g.adjacency_.resize(edges_.size() * 2);
-  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  std::vector<VertexId> adjacency(edges_.size() * 2);
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
   for (const auto& [u, v] : edges_) {
-    g.adjacency_[cursor[u]++] = v;
-    g.adjacency_[cursor[v]++] = u;
+    adjacency[cursor[u]++] = v;
+    adjacency[cursor[v]++] = u;
   }
 
   // Per-vertex sort + dedup, compacting in place. The write head never
@@ -82,24 +82,26 @@ Graph GraphBuilder::Build() {
   std::uint64_t write = 0;
   std::uint64_t read_lo = 0;
   for (VertexId u = 0; u < n; ++u) {
-    const std::uint64_t read_hi = g.offsets_[u + 1];
-    auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(read_lo);
-    auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(read_hi);
+    const std::uint64_t read_hi = offsets[u + 1];
+    auto begin = adjacency.begin() + static_cast<std::ptrdiff_t>(read_lo);
+    auto end = adjacency.begin() + static_cast<std::ptrdiff_t>(read_hi);
     std::sort(begin, end);
     auto unique_end = std::unique(begin, end);
     const std::uint64_t degree =
         static_cast<std::uint64_t>(unique_end - begin);
     if (write != read_lo) {
       std::move(begin, unique_end,
-                g.adjacency_.begin() + static_cast<std::ptrdiff_t>(write));
+                adjacency.begin() + static_cast<std::ptrdiff_t>(write));
     }
-    g.offsets_[u] = write;  // offsets_[u] was read_lo; rewrite after use
+    offsets[u] = write;  // offsets[u] was read_lo; rewrite after use
     write += degree;
     read_lo = read_hi;
   }
-  g.offsets_[n] = write;
-  g.adjacency_.resize(write);
-  g.adjacency_.shrink_to_fit();
+  offsets[n] = write;
+  adjacency.resize(write);
+  adjacency.shrink_to_fit();
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
 
   num_vertices_ = 0;
   edges_.clear();

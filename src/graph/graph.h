@@ -13,10 +13,15 @@
 #include <utility>
 #include <vector>
 
+#include "common/array_ref.h"
 #include "common/status.h"
 #include "graph/types.h"
 
 namespace cexplorer {
+
+namespace snapshot {
+struct Access;
+}  // namespace snapshot
 
 /// Immutable undirected simple graph (no self-loops, no parallel edges).
 /// Construct through GraphBuilder or the factory functions in graph/io.h.
@@ -55,17 +60,21 @@ class Graph {
   /// Maximum degree over all vertices (0 for the empty graph).
   std::size_t MaxDegree() const;
 
-  /// Approximate heap footprint of the CSR arrays, in bytes.
+  /// Approximate footprint of the CSR arrays, in bytes (heap bytes in
+  /// owned mode, mapped bytes in view mode).
   std::size_t MemoryBytes() const {
-    return offsets_.capacity() * sizeof(std::uint64_t) +
-           adjacency_.capacity() * sizeof(VertexId);
+    return offsets_.size() * sizeof(std::uint64_t) +
+           adjacency_.size() * sizeof(VertexId);
   }
 
  private:
   friend class GraphBuilder;
+  friend struct snapshot::Access;
 
-  std::vector<std::uint64_t> offsets_;  // size n+1
-  std::vector<VertexId> adjacency_;     // size 2m, sorted per vertex
+  // Owned vectors on the build path, or views over a mapped snapshot
+  // (snapshot::Access wires those up; the mapping outlives the graph).
+  ArrayRef<std::uint64_t> offsets_;  // size n+1
+  ArrayRef<VertexId> adjacency_;     // size 2m, sorted per vertex
 };
 
 /// Accumulates edges and produces a normalized Graph.

@@ -72,8 +72,11 @@ HttpResponse CExplorerServer::Dispatch(const HttpRequest& request) {
 HttpResponse CExplorerServer::DispatchRoute(
     const api::RouteSpec& route, const HttpRequest& request, bool is_v1,
     std::map<std::string, std::string>* path_params) {
+  // The /v1 path and the legacy alias can carry different method policies
+  // (e.g. save_index: POST on /v1, GET kept alive on the alias).
+  const unsigned allowed = is_v1 ? route.methods : route.LegacyMethods();
   const unsigned method_bit = api::MethodBit(request.method);
-  if ((route.methods & method_bit) == 0) {
+  if ((allowed & method_bit) == 0) {
     return HttpResponse::Error(405, request.method + " not allowed on " +
                                         request.path);
   }
@@ -124,6 +127,8 @@ HttpResponse CExplorerServer::DispatchRoute(
       {"export", &CExplorerServer::BindExport},
       {"save_index", &CExplorerServer::BindSaveIndex},
       {"load_index", &CExplorerServer::BindLoadIndex},
+      {"snapshot/save", &CExplorerServer::BindSnapshotSave},
+      {"snapshot/load", &CExplorerServer::BindSnapshotLoad},
       {"batch", &CExplorerServer::BindBatch},
   };
   for (const Binder& binder : kBinders) {
@@ -309,6 +314,20 @@ HttpResponse CExplorerServer::BindLoadIndex(const HttpRequest& request) {
   typed.session = request.Param("session");
   typed.path = request.Param("path");
   return ToResponse(service_.LoadIndex(typed));
+}
+
+HttpResponse CExplorerServer::BindSnapshotSave(const HttpRequest& request) {
+  api::DatasetRequest typed;
+  typed.session = request.Param("session");
+  typed.path = request.Param("path");
+  return ToResponse(service_.SnapshotSave(typed));
+}
+
+HttpResponse CExplorerServer::BindSnapshotLoad(const HttpRequest& request) {
+  api::DatasetRequest typed;
+  typed.session = request.Param("session");
+  typed.path = request.Param("path");
+  return ToResponse(service_.SnapshotLoad(typed));
 }
 
 HttpResponse CExplorerServer::BindBatch(const HttpRequest& request) {

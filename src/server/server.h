@@ -38,8 +38,12 @@
 //   /v1/cluster         one cluster; supports limit/cursor paging
 //   /v1/author          query-form population                (alias /author)
 //   /v1/export          cached community as SVG              (alias /export)
-//   /v1/save_index      persist the CL-tree               (alias /save_index)
-//   /v1/load_index      swap in a saved CL-tree           (alias /load_index)
+//   /v1/save_index      persist the CL-tree (POST)        (alias /save_index)
+//   /v1/load_index      swap in a saved CL-tree (POST)    (alias /load_index)
+//   /v1/snapshot/save   POST: write the dataset as a zero-copy binary
+//                       snapshot (graph + cores + CL-tree, one file)
+//   /v1/snapshot/load   POST: mmap a snapshot and swap it in for ALL
+//                       sessions — no parse, no rebuild, sub-second
 //   /v1/batch           POST a JSON array of search entries; all entries
 //                       run under ONE snapshot on the worker pool
 //                       (alias: GET /batch?requests=<url-encoded JSON>)
@@ -160,6 +164,8 @@ class CExplorerServer {
   HttpResponse BindExport(const HttpRequest& request);
   HttpResponse BindSaveIndex(const HttpRequest& request);
   HttpResponse BindLoadIndex(const HttpRequest& request);
+  HttpResponse BindSnapshotSave(const HttpRequest& request);
+  HttpResponse BindSnapshotLoad(const HttpRequest& request);
   HttpResponse BindBatch(const HttpRequest& request);
 
   /// The worker pool, creating it with DefaultThreadCount() threads on

@@ -1,0 +1,67 @@
+// Zero-copy dataset persistence: write a Dataset's immutable artifacts
+// (graph CSR + attributes, core numbers, CL-tree arenas) into the sectioned
+// binary format of snapshot/format.h, and load them back by mmap-ing the
+// file read-only and constructing span views over the mapping.
+//
+// Loading performs a fixed number of allocations regardless of graph size
+// (the CL-tree node directory plus O(1) bookkeeping); every O(n)/O(m)
+// array is served directly from the mapped bytes. MAP_SHARED + PROT_READ
+// means N processes loading the same snapshot share one physical copy of
+// the index through the page cache.
+//
+// Failure model: any corruption — truncation, flipped bytes, wrong
+// magic/version, inconsistent cross-references — yields a clean
+// Status::Unavailable; the loader verifies per-section checksums and every
+// structural invariant before publishing a single span.
+
+#ifndef CEXPLORER_SNAPSHOT_SNAPSHOT_H_
+#define CEXPLORER_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "cltree/cltree.h"
+#include "common/status.h"
+#include "graph/attributed_graph.h"
+
+namespace cexplorer {
+namespace snapshot {
+
+/// How a loaded snapshot is backed, plus its identity for /v1/stats.
+struct LoadInfo {
+  std::string mode;             ///< "mmap" or "heap"
+  std::uint64_t file_bytes = 0;
+  std::uint64_t checksum = 0;   ///< XXH64 of the section table (file id)
+};
+
+/// A snapshot loaded into (or mapped over) memory. `graph` aliases the
+/// backing holder, so any copy of it keeps the mapping alive; `tree` and
+/// `core_numbers` view the same backing, which the receiving Dataset must
+/// retain via `backing` for as long as they are in use.
+struct LoadedSnapshot {
+  std::shared_ptr<const AttributedGraph> graph;
+  std::span<const std::uint32_t> core_numbers;
+  ClTree tree;
+  std::shared_ptr<const void> backing;
+  LoadInfo info;
+};
+
+/// Writes graph + cores + tree as one snapshot file (atomic enough for the
+/// single-writer deploys this targets: written via a temp-free sequential
+/// stream, validated on every load). `cores` must be the core numbers of
+/// `g`; `tree` must index `g`.
+Status WriteSnapshot(const AttributedGraph& g,
+                     std::span<const std::uint32_t> cores, const ClTree& tree,
+                     const std::string& path);
+
+/// Maps (or, when mmap is unavailable or disabled via
+/// CEXPLORER_SNAPSHOT_MMAP=0, reads into a 64-byte-aligned heap buffer)
+/// and fully validates a snapshot file.
+Result<LoadedSnapshot> LoadSnapshot(const std::string& path);
+
+}  // namespace snapshot
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_SNAPSHOT_SNAPSHOT_H_

@@ -244,8 +244,8 @@ TEST_F(ApiFixture, EveryTableRouteIsReachable) {
 TEST_F(ApiFixture, MissingRequiredParams) {
   EXPECT_EQ(ErrorCode("GET /v1/author", 400), "INVALID_ARGUMENT");
   EXPECT_EQ(ErrorCode("GET /v1/upload", 400), "INVALID_ARGUMENT");
-  EXPECT_EQ(ErrorCode("GET /v1/save_index", 400), "INVALID_ARGUMENT");
-  EXPECT_EQ(ErrorCode("GET /v1/load_index", 400), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("POST /v1/save_index", 400), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("POST /v1/load_index", 400), "INVALID_ARGUMENT");
   EXPECT_EQ(ErrorCode("GET /v1/session/delete", 400), "INVALID_ARGUMENT");
   EXPECT_EQ(ErrorCode("GET /v1/explore", 400), "INVALID_ARGUMENT");
   EXPECT_EQ(ErrorCode("GET /v1/compare", 400), "INVALID_ARGUMENT");
@@ -348,16 +348,17 @@ TEST_F(ApiFixture, AliasEquivalenceForAdminRoutes) {
   EXPECT_EQ(up_v1.Get("dataset_id").AsInt(),
             up_legacy.Get("dataset_id").AsInt() + 1);
 
+  // The legacy alias keeps GET alive; the /v1 spelling is POST-only.
   HttpResponse save_legacy =
       Get("GET /save_index?path=" + UrlEncode(index_path));
   HttpResponse save_v1 =
-      Get("GET /v1/save_index?path=" + UrlEncode(index_path));
+      Get("POST /v1/save_index?path=" + UrlEncode(index_path));
   EXPECT_EQ(save_legacy.body, save_v1.body);
 
   JsonValue load_legacy =
       GetJson("GET /load_index?path=" + UrlEncode(index_path));
   JsonValue load_v1 =
-      GetJson("GET /v1/load_index?path=" + UrlEncode(index_path));
+      GetJson("POST /v1/load_index?path=" + UrlEncode(index_path));
   EXPECT_EQ(load_legacy.Get("loaded").AsString(),
             load_v1.Get("loaded").AsString());
   EXPECT_EQ(load_v1.Get("dataset_id").AsInt(),

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 
 #include "acq/acq.h"
 #include "cltree/cltree.h"
@@ -32,7 +33,7 @@ DblpOptions TestScale() {
 /// A well-embedded author: highest core number (ties by degree) — the
 /// "renowned researcher" of the demo scenario.
 VertexId PickQueryAuthor(const AttributedGraph& g,
-                         const std::vector<std::uint32_t>& core) {
+                         std::span<const std::uint32_t> core) {
   VertexId best = 0;
   for (VertexId v = 1; v < g.num_vertices(); ++v) {
     if (core[v] > core[best] ||
@@ -179,7 +180,7 @@ TEST_F(DblpPipeline, ServerSessionOnDblp) {
   ASSERT_TRUE(server.UploadGraph(std::move(data.graph)).ok());
   DatasetPtr dataset = server.dataset();
   VertexId q = PickQueryAuthor(dataset->graph(), dataset->core_numbers());
-  const std::string name = dataset->graph().Name(q);
+  const std::string name(dataset->graph().Name(q));
 
   HttpResponse search = server.Handle(
       "GET /search?vertex=" + std::to_string(q) + "&k=4&algo=Global");

@@ -191,7 +191,11 @@ TEST(ParallelClTreeBuildTest, InvertedListsMatchSequential) {
                              par_postings.begin(), par_postings.end()))
           << i;
     }
-    ASSERT_EQ(seq.node(i).vertices, par.node(i).vertices) << i;
+    const auto seq_vertices = seq.node(i).vertices;
+    const auto par_vertices = par.node(i).vertices;
+    ASSERT_TRUE(std::equal(seq_vertices.begin(), seq_vertices.end(),
+                           par_vertices.begin(), par_vertices.end()))
+        << i;
   }
   for (VertexId v = 0; v < data.graph.num_vertices(); ++v) {
     ASSERT_EQ(seq.NodeOf(v), par.NodeOf(v)) << v;

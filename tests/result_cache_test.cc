@@ -105,8 +105,8 @@ TEST_F(ResultCacheFixture, MissOnParamDelta) {
 TEST_F(ResultCacheFixture, IndexOnlySwapKeepsCacheWarm) {
   const std::string path = ::testing::TempDir() + "/result_cache_index.clt";
   Get("GET /v1/search?name=A&k=2&keywords=x,y");
-  Get("GET /v1/save_index?path=" + path);
-  Get("GET /v1/load_index?path=" + path);
+  Get("POST /v1/save_index?path=" + path);
+  Get("POST /v1/load_index?path=" + path);
   // Same graph epoch: the entry survives the snapshot swap.
   Get("GET /v1/search?name=A&k=2&keywords=x,y");
   auto stats = Stats();
