@@ -25,6 +25,11 @@
 //   export <i> <file.svg>      save community i as SVG
 //   snapshot save <file>       write the dataset as a zero-copy snapshot
 //   snapshot load <file>       mmap a snapshot and swap it in (instant start)
+//   link <u> <v> [u v ...]     insert edges (one atomic mutation batch)
+//   unlink <u> <v> [u v ...]   remove edges (one atomic mutation batch)
+//   addvertex <name> [kw,..]   append a vertex with a name and keywords
+//   compact                    fold the mutation overlay into an owned
+//                              dataset now
 //   demo                       run a canned exploration session
 //   help / quit
 //
@@ -279,12 +284,62 @@ void RunCommand(CliState* state, const std::string& line) {
     request.path = words[2];
     ShowResponse(words[1] == "save" ? state->service.SnapshotSave(request)
                                     : state->service.SnapshotLoad(request));
+  } else if ((cmd == "link" || cmd == "unlink") && words.size() >= 3 &&
+             words.size() % 2 == 1) {
+    std::string body = "{\"edges\": [";
+    for (std::size_t i = 1; i + 1 < words.size(); i += 2) {
+      std::int64_t u = -1;
+      std::int64_t v = -1;
+      if (!ParseInt64(words[i], &u) || !ParseInt64(words[i + 1], &v) ||
+          u < 0 || v < 0) {
+        std::printf("  bad vertex pair '%s %s'\n", words[i].c_str(),
+                    words[i + 1].c_str());
+        return;
+      }
+      if (i > 1) body += ", ";
+      body += "[" + std::to_string(u) + ", " + std::to_string(v) + "]";
+    }
+    body += "]}";
+    api::MutationRequest request;
+    request.body = body;
+    ShowResponse(cmd == "link" ? state->service.AddEdges(request)
+                               : state->service.RemoveEdges(request));
+  } else if (cmd == "addvertex" && words.size() >= 2) {
+    // addvertex <name...> [kw1,kw2] — trailing comma-list = keywords.
+    std::string keywords;
+    std::size_t name_end = words.size();
+    if (name_end > 2 && words[name_end - 1].find(',') != std::string::npos) {
+      keywords = words[--name_end];
+    }
+    std::string name;
+    for (std::size_t i = 1; i < name_end; ++i) {
+      if (i > 1) name += ' ';
+      name += words[i];
+    }
+    std::string body =
+        "{\"vertices\": [{\"name\": \"" + JsonWriter::Escape(name) + "\"";
+    auto kws = SplitNonEmpty(keywords, ',');
+    if (!kws.empty()) {
+      body += ", \"keywords\": [";
+      for (std::size_t i = 0; i < kws.size(); ++i) {
+        if (i) body += ", ";
+        body += "\"" + JsonWriter::Escape(kws[i]) + "\"";
+      }
+      body += "]";
+    }
+    body += "}]}";
+    api::MutationRequest request;
+    request.body = body;
+    ShowResponse(state->service.AddVertices(request));
+  } else if (cmd == "compact") {
+    ShowResponse(state->service.CompactMutations(""));
   } else if (cmd == "demo") {
     RunDemo(state);
   } else if (cmd == "help") {
     std::printf(
         "  open/author/search/algo/view/zoom/profile/explore/compare/"
-        "detect/export/snapshot save|load/demo/quit\n");
+        "detect/export/snapshot save|load/link/unlink/addvertex/compact/"
+        "demo/quit\n");
   } else if (cmd == "quit" || cmd == "exit") {
     std::exit(0);
   } else {

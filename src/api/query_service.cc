@@ -447,38 +447,42 @@ DatasetPtr QueryService::dataset() const {
   return dataset_;
 }
 
-bool QueryService::SwapDataset(DatasetPtr dataset) {
+bool QueryService::InstallDataset(const DatasetPtr* expected,
+                                  DatasetPtr fresh) {
   bool epoch_changed = false;
   {
     std::unique_lock<std::shared_mutex> lock(dataset_mu_);
-    // Serving only moves forward in snapshot-id order: concurrent
-    // programmatic uploads linearize to the newest dataset, keeping the
-    // monotonic-id invariant the per-session late-attach relies on.
-    if (dataset == nullptr ||
-        (dataset_ != nullptr && dataset->id() < dataset_->id())) {
+    if (fresh == nullptr) return false;
+    if (expected != nullptr) {
+      // CAS mode: install only over the exact snapshot the caller built
+      // against (uploads in flight, mutation publishes, compactions).
+      if (dataset_ != *expected) return false;  // lost the race; don't revert
+    } else if (dataset_ != nullptr && fresh->id() < dataset_->id()) {
+      // Unconditional mode still only moves forward in snapshot-id order:
+      // concurrent programmatic uploads linearize to the newest dataset,
+      // keeping the monotonic-id invariant the per-session late-attach
+      // relies on.
       return false;
     }
     epoch_changed = dataset_ == nullptr ||
-                    dataset_->graph_epoch() != dataset->graph_epoch();
-    dataset_ = std::move(dataset);
+                    dataset_->graph_epoch() != fresh->graph_epoch();
+    dataset_ = std::move(fresh);
   }
   // Keys carry the epoch, so stale entries could never *hit*; clearing on a
   // graph swap just stops them from occupying capacity. Index-only swaps
-  // keep the epoch and the cache stays warm.
+  // and compactions keep the epoch and the cache stays warm. Because every
+  // install funnels through here, no consumer can ever observe a graph
+  // change (upload, snapshot load, or mutation) without its epoch change.
   if (epoch_changed) result_cache()->Clear();
   return true;
 }
 
+bool QueryService::SwapDataset(DatasetPtr dataset) {
+  return InstallDataset(/*expected=*/nullptr, std::move(dataset));
+}
+
 bool QueryService::PublishDataset(RequestContext& ctx, DatasetPtr fresh) {
-  bool epoch_changed = false;
-  {
-    std::unique_lock<std::shared_mutex> lock(dataset_mu_);
-    if (dataset_ != ctx.dataset) return false;  // lost the race; don't revert
-    epoch_changed = dataset_ == nullptr ||
-                    dataset_->graph_epoch() != fresh->graph_epoch();
-    dataset_ = fresh;
-  }
-  if (epoch_changed) result_cache()->Clear();
+  if (!InstallDataset(&ctx.dataset, fresh)) return false;
   ctx.dataset = std::move(fresh);
   return true;
 }
@@ -535,6 +539,242 @@ ApiResult<QueryService::RequestContext> QueryService::Begin(
     ctx.dataset = dataset_;
   }
   return ctx;
+}
+
+namespace {
+
+/// Decodes an edge-batch body: {"edges": [[u, v], ...]} or the bare array.
+ApiResult<std::vector<std::pair<VertexId, VertexId>>> ParseEdgePairs(
+    const std::string& body) {
+  auto parsed = JsonValue::Parse(body);
+  if (!parsed.ok()) {
+    return ApiError::InvalidArgument("malformed JSON body: " +
+                                     parsed.status().message());
+  }
+  const JsonValue& root = parsed.value();
+  const JsonValue* list = &root;
+  if (root.is_object()) {
+    if (!root.Has("edges")) {
+      return ApiError::InvalidArgument(
+          "missing 'edges': pass {\"edges\": [[u, v], ...]} or the bare "
+          "array");
+    }
+    list = &root.Get("edges");
+  }
+  if (!list->is_array()) {
+    return ApiError::InvalidArgument("'edges' must be an array of [u, v] "
+                                     "pairs");
+  }
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(list->Items().size());
+  for (const JsonValue& entry : list->Items()) {
+    const auto& pair = entry.Items();
+    if (!entry.is_array() || pair.size() != 2 ||
+        pair[0].type() != JsonValue::Type::kNumber ||
+        pair[1].type() != JsonValue::Type::kNumber) {
+      return ApiError::InvalidArgument(
+          "each edge must be a [u, v] pair of integers");
+    }
+    const std::int64_t u = pair[0].AsInt(-1);
+    const std::int64_t v = pair[1].AsInt(-1);
+    if (u < 0 || v < 0) {
+      return ApiError::InvalidArgument(
+          "edge endpoints must be non-negative vertex ids");
+    }
+    edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  if (edges.empty()) {
+    return ApiError::InvalidArgument("empty edge batch");
+  }
+  return edges;
+}
+
+/// Decodes a vertex-batch body: {"vertices": [{"name", "keywords"}, ...]}
+/// or the bare array; both fields optional per vertex.
+ApiResult<std::vector<delta::NewVertex>> ParseNewVertices(
+    const std::string& body) {
+  auto parsed = JsonValue::Parse(body);
+  if (!parsed.ok()) {
+    return ApiError::InvalidArgument("malformed JSON body: " +
+                                     parsed.status().message());
+  }
+  const JsonValue& root = parsed.value();
+  const JsonValue* list = &root;
+  if (root.is_object()) {
+    if (!root.Has("vertices")) {
+      return ApiError::InvalidArgument(
+          "missing 'vertices': pass {\"vertices\": [{\"name\", "
+          "\"keywords\"}, ...]} or the bare array");
+    }
+    list = &root.Get("vertices");
+  }
+  if (!list->is_array()) {
+    return ApiError::InvalidArgument("'vertices' must be an array of "
+                                     "objects");
+  }
+  std::vector<delta::NewVertex> vertices;
+  vertices.reserve(list->Items().size());
+  for (const JsonValue& entry : list->Items()) {
+    if (!entry.is_object()) {
+      return ApiError::InvalidArgument(
+          "each vertex must be an object with optional 'name' and "
+          "'keywords'");
+    }
+    delta::NewVertex nv;
+    nv.name = entry.Get("name").AsString();
+    const JsonValue& keywords = entry.Get("keywords");
+    if (!keywords.is_null()) {
+      if (!keywords.is_array()) {
+        return ApiError::InvalidArgument("'keywords' must be an array of "
+                                         "strings");
+      }
+      for (const JsonValue& kw : keywords.Items()) {
+        if (kw.type() != JsonValue::Type::kString) {
+          return ApiError::InvalidArgument("'keywords' must be an array of "
+                                           "strings");
+        }
+        nv.keywords.push_back(kw.AsString());
+      }
+    }
+    vertices.push_back(std::move(nv));
+  }
+  if (vertices.empty()) {
+    return ApiError::InvalidArgument("empty vertex batch");
+  }
+  return vertices;
+}
+
+}  // namespace
+
+delta::Mutator& QueryService::mutator() {
+  std::lock_guard<std::mutex> lock(mutator_mu_);
+  if (mutator_ == nullptr) {
+    mutator_ = std::make_unique<delta::Mutator>(
+        [this](const DatasetPtr& expected, DatasetPtr fresh) {
+          return InstallDataset(&expected, std::move(fresh));
+        });
+  }
+  return *mutator_;
+}
+
+ApiResult<std::string> QueryService::ApplyMutations(
+    const std::string& session, delta::MutationBatch batch) {
+  auto begun = Begin(session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  if (ctx.dataset == nullptr) {
+    return ApiError::Conflict("no graph uploaded");
+  }
+  auto applied = mutator().Apply(ctx.dataset, batch);
+  if (!applied.ok()) return FromStatus(applied.status());
+  ctx.dataset = applied->dataset;
+  AttachToSession(ctx, /*clear_history=*/false);
+  const delta::ApplyCounts& counts = applied->counts;
+  JsonWriter w = JsonWriter::Recycled();
+  w.BeginObject();
+  w.Key("applied");
+  w.Bool(true);
+  w.Key("edges_added");
+  w.UInt(counts.edges_added);
+  w.Key("edges_ignored");
+  w.UInt(counts.edges_ignored);
+  w.Key("edges_removed");
+  w.UInt(counts.edges_removed);
+  w.Key("edges_missing");
+  w.UInt(counts.edges_missing);
+  w.Key("vertices_added");
+  w.UInt(counts.vertices_added);
+  w.Key("dataset_id");
+  w.UInt(ctx.dataset->id());
+  w.Key("graph_epoch");
+  w.UInt(ctx.dataset->graph_epoch());
+  w.Key("vertices");
+  w.UInt(ctx.dataset->graph().num_vertices());
+  w.Key("edges");
+  w.UInt(ctx.dataset->graph().graph().num_edges());
+  w.EndObject();
+  return w.TakeString();
+}
+
+ApiResult<std::string> QueryService::AddEdges(const MutationRequest& request) {
+  if (request.body.empty()) {
+    return ApiError::InvalidArgument(
+        "missing mutation body: POST {\"edges\": [[u, v], ...]}");
+  }
+  auto edges = ParseEdgePairs(request.body);
+  if (!edges.ok()) return edges.error();
+  delta::MutationBatch batch;
+  batch.add_edges = std::move(edges).value();
+  return ApplyMutations(request.session, std::move(batch));
+}
+
+ApiResult<std::string> QueryService::RemoveEdges(
+    const MutationRequest& request) {
+  if (request.body.empty()) {
+    return ApiError::InvalidArgument(
+        "missing mutation body: send {\"edges\": [[u, v], ...]}");
+  }
+  auto edges = ParseEdgePairs(request.body);
+  if (!edges.ok()) return edges.error();
+  delta::MutationBatch batch;
+  batch.remove_edges = std::move(edges).value();
+  return ApplyMutations(request.session, std::move(batch));
+}
+
+ApiResult<std::string> QueryService::AddVertices(
+    const MutationRequest& request) {
+  if (request.body.empty()) {
+    return ApiError::InvalidArgument(
+        "missing mutation body: POST {\"vertices\": [{\"name\", "
+        "\"keywords\"}, ...]}");
+  }
+  auto vertices = ParseNewVertices(request.body);
+  if (!vertices.ok()) return vertices.error();
+  delta::MutationBatch batch;
+  batch.add_vertices = std::move(vertices).value();
+  return ApplyMutations(request.session, std::move(batch));
+}
+
+ApiResult<std::string> QueryService::CompactMutations(
+    const std::string& session) {
+  auto begun = Begin(session);
+  if (!begun.ok()) return begun.error();
+  RequestContext ctx = std::move(begun).value();
+  if (ctx.dataset == nullptr) {
+    return ApiError::Conflict("no graph uploaded");
+  }
+  auto compacted = mutator().CompactNow(ctx.dataset);
+  if (!compacted.ok()) return FromStatus(compacted.status());
+  const bool folded = compacted.value() != ctx.dataset;
+  ctx.dataset = std::move(compacted).value();
+  if (ctx.dataset != nullptr) {
+    AttachToSession(ctx, /*clear_history=*/false);
+  }
+  JsonWriter w = JsonWriter::Recycled();
+  w.BeginObject();
+  w.Key("compacted");
+  w.Bool(folded);
+  if (ctx.dataset != nullptr) {
+    w.Key("dataset_id");
+    w.UInt(ctx.dataset->id());
+    w.Key("graph_epoch");
+    w.UInt(ctx.dataset->graph_epoch());
+    w.Key("storage");
+    w.String(ctx.dataset->storage().mode);
+  }
+  w.EndObject();
+  return w.TakeString();
+}
+
+delta::MutationStats QueryService::MutationStatsNow() {
+  const DatasetPtr snapshot = dataset();
+  std::lock_guard<std::mutex> lock(mutator_mu_);
+  if (mutator_ == nullptr) {
+    delta::MutationStats stats;
+    stats.active = snapshot != nullptr && snapshot->is_overlay();
+    return stats;
+  }
+  return mutator_->StatsFor(snapshot);
 }
 
 ApiResult<std::string> QueryService::CreateSession() {
@@ -1178,6 +1418,16 @@ ApiResult<std::string> QueryService::SnapshotSave(
   if (ctx.dataset == nullptr) {
     return ApiError::Conflict("no graph uploaded");
   }
+  if (ctx.dataset->is_overlay()) {
+    // The snapshot writer reads the base arrays, so saving an uncompacted
+    // overlay would silently drop every pending mutation. Fold first; a
+    // CAS loss (concurrent upload) surfaces as CONFLICT rather than a
+    // snapshot that lies about its contents.
+    auto compacted = mutator().CompactNow(ctx.dataset);
+    if (!compacted.ok()) return FromStatus(compacted.status());
+    ctx.dataset = std::move(compacted).value();
+    AttachToSession(ctx, /*clear_history=*/false);
+  }
   // Write outside all locks against the pinned snapshot; concurrent
   // queries and even a concurrent dataset swap are unaffected (the pin
   // keeps this snapshot alive until the write finishes).
@@ -1335,6 +1585,39 @@ ApiResult<std::string> QueryService::Stats() {
     w.Key("graph_epoch");
     w.UInt(snapshot->graph_epoch());
   }
+  // The dynamic-graph tier: overlay depth, pending work, compaction
+  // history. Always present (zeros before the first mutation) so clients
+  // can rely on the shape.
+  const delta::MutationStats mutations = MutationStatsNow();
+  w.Key("mutations");
+  w.BeginObject();
+  w.Key("active");
+  w.Bool(mutations.active);
+  w.Key("overlay_edges");
+  w.UInt(mutations.overlay_edges);
+  w.Key("pending_batches");
+  w.UInt(mutations.pending_batches);
+  w.Key("batches");
+  w.UInt(mutations.batches);
+  w.Key("patched_vertices");
+  w.UInt(mutations.patched_vertices);
+  w.Key("tail_vertices");
+  w.UInt(mutations.tail_vertices);
+  w.Key("edges_added");
+  w.UInt(mutations.edges_added);
+  w.Key("edges_removed");
+  w.UInt(mutations.edges_removed);
+  w.Key("vertices_added");
+  w.UInt(mutations.vertices_added);
+  w.Key("compactions");
+  w.UInt(mutations.compactions);
+  w.Key("last_compaction_ms");
+  w.Double(mutations.last_compaction_ms);
+  w.Key("core_repair_visited");
+  w.UInt(mutations.core_repair_visited);
+  w.Key("core_repair_changed");
+  w.UInt(mutations.core_repair_changed);
+  w.EndObject();
   // Which kernel implementations this process resolved at startup, and the
   // posting storage of the live index — so a deploy can verify it actually
   // runs the vectorized paths it was built for.

@@ -44,6 +44,7 @@
 #include "api/types.h"
 #include "common/cancel.h"
 #include "common/parallel.h"
+#include "delta/delta.h"
 #include "explorer/dataset.h"
 #include "server/session.h"
 
@@ -163,8 +164,32 @@ class QueryService {
   ApiResult<std::string> SaveIndex(const DatasetRequest& request);
   ApiResult<std::string> LoadIndex(const DatasetRequest& request);
 
+  // --- Mutations (the dynamic-graph tier) ---------------------------------
+
+  /// POST /v1/edges: applies one batch of edge insertions and publishes a
+  /// fresh overlay snapshot for all sessions. Existing edges are counted
+  /// as ignored, not errors (streams replay).
+  ApiResult<std::string> AddEdges(const MutationRequest& request);
+
+  /// DELETE /v1/edges: edge-removal twin of AddEdges.
+  ApiResult<std::string> RemoveEdges(const MutationRequest& request);
+
+  /// POST /v1/vertices: appends vertices (name + keywords) to the graph.
+  ApiResult<std::string> AddVertices(const MutationRequest& request);
+
+  /// Synchronously folds the pending mutation overlay into an owned
+  /// dataset and publishes it (tests, the CLI's `compact` command).
+  /// A no-op success when nothing is pending.
+  ApiResult<std::string> CompactMutations(const std::string& session);
+
+  /// Counters of the mutation tier (the same numbers /v1/stats renders
+  /// under "mutations").
+  delta::MutationStats MutationStatsNow();
+
   /// POST /v1/snapshot/save: writes the served dataset (graph + cores +
-  /// CL-tree) as one zero-copy binary snapshot file.
+  /// CL-tree) as one zero-copy binary snapshot file. A dataset carrying an
+  /// uncompacted mutation overlay is folded (synchronous compaction) first
+  /// — mutations are never silently dropped from a snapshot.
   ApiResult<std::string> SnapshotSave(const DatasetRequest& request);
 
   /// POST /v1/snapshot/load: maps a snapshot file and swaps it in as the
@@ -196,12 +221,30 @@ class QueryService {
   /// current snapshot. kNotFound for an unknown explicit session id.
   ApiResult<RequestContext> Begin(const std::string& session_id);
 
+  /// THE one epoch-bump path: every dataset install — programmatic swap,
+  /// /upload, /load_index, snapshot load, mutation publish, compaction —
+  /// funnels through here, so the result cache (and, via the epoch tag,
+  /// every session cache) can never observe a graph change without the
+  /// matching epoch change. With `expected` non-null this is a
+  /// compare-and-swap (install only if `*expected` is still served);
+  /// null means unconditional-but-forward-only (by snapshot id).
+  bool InstallDataset(const DatasetPtr* expected, DatasetPtr fresh);
+
   bool SwapDataset(DatasetPtr dataset);
 
   /// Compare-and-swap publish for Upload/LoadIndex: installs `fresh` only
   /// if the served dataset is still the snapshot this request started
   /// from; otherwise returns false (the caller reports kConflict).
   bool PublishDataset(RequestContext& ctx, DatasetPtr fresh);
+
+  /// The lazily created mutation engine; its publish callback is
+  /// InstallDataset in CAS mode.
+  delta::Mutator& mutator();
+
+  /// Shared body of AddEdges/RemoveEdges/AddVertices: apply, publish,
+  /// attach, render.
+  ApiResult<std::string> ApplyMutations(const std::string& session,
+                                        delta::MutationBatch batch);
 
   /// Attaches ctx.dataset to ctx.session (locking the session) and drops
   /// the session's dataset-derived caches when the graph changed.
@@ -230,6 +273,13 @@ class QueryService {
 
   mutable std::mutex result_cache_mu_;
   std::shared_ptr<ResultCache> result_cache_;
+
+  /// Guards lazy creation only; the Mutator has its own internal lock.
+  /// Lock order: the mutator's lock is taken BEFORE dataset_mu_ (its
+  /// publish callback runs InstallDataset); nothing holding dataset_mu_
+  /// may call into the mutator.
+  mutable std::mutex mutator_mu_;
+  std::unique_ptr<delta::Mutator> mutator_;
 
   SessionManager sessions_;
   JobManager jobs_;

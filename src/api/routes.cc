@@ -99,6 +99,18 @@ constexpr ParamSpec kJobsParams[] = {
      "instead"},
 };
 
+constexpr ParamSpec kEdgesParams[] = {
+    {"edges", ParamType::kJson, false, "",
+     "JSON array of [u, v] vertex-id pairs ({\"edges\": [...]} also "
+     "accepted); normally carried as the request body"},
+};
+
+constexpr ParamSpec kVerticesParams[] = {
+    {"vertices", ParamType::kJson, false, "",
+     "JSON array of {\"name\",\"keywords\"} objects ({\"vertices\": [...]} "
+     "also accepted); normally carried as the request body"},
+};
+
 constexpr ParamSpec kJobIdParams[] = {
     {"id", ParamType::kString, true, "", "job id (path segment)"},
 };
@@ -118,6 +130,7 @@ constexpr unsigned kGet = kMethodGet;
 constexpr unsigned kPost = kMethodPost;
 constexpr unsigned kGetPost = kMethodGet | kMethodPost;
 constexpr unsigned kGetDelete = kMethodGet | kMethodDelete;
+constexpr unsigned kPostDelete = kMethodPost | kMethodDelete;
 
 constexpr RouteSpec kRoutes[] = {
     {"api", "/api", kGet, kNoParams, 0,
@@ -172,6 +185,20 @@ constexpr RouteSpec kRoutes[] = {
     {"snapshot/load", "", kPost, kPathParams, 1,
      "mmap a snapshot file and swap it in for ALL sessions — no parse, no "
      "index rebuild; corrupt files are rejected with UNAVAILABLE"},
+    // The dynamic-graph tier: each request is one atomic mutation batch,
+    // applied with incremental k-core maintenance and published as a fresh
+    // copy-on-write overlay snapshot — no full index rebuild, and queries
+    // in flight keep their pinned snapshot.
+    {"edges", "", kPostDelete, kEdgesParams, 1,
+     "POST: insert a batch of edges; DELETE: remove them. Already-present "
+     "(resp. absent) edges are counted, not errors, so streams replay"},
+    {"vertices", "", kPost, kVerticesParams, 1,
+     "append vertices (display name + keywords) to the graph as one atomic "
+     "batch; edges to them may follow in later batches or via /v1/edges"},
+    {"compact", "", kPost, kNoParams, 0,
+     "fold the pending mutation overlay into an owned dataset now (also "
+     "runs in the background past the overlay threshold); queries never "
+     "pause, mutations stall for the fold"},
     {"batch", "/batch", kGetPost, kBatchParams, 1,
      "answer many search entries under ONE dataset snapshot, fanned across "
      "the worker pool"},

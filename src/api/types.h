@@ -144,6 +144,19 @@ struct DatasetRequest {
   std::string path;
 };
 
+/// POST/DELETE /v1/edges and POST /v1/vertices — the streaming-mutation
+/// surface of the dynamic-graph tier. The JSON body carries the payload:
+///   edges:    {"edges": [[0, 5], [2, 7]]}   (or the bare array)
+///   vertices: {"vertices": [{"name": "Ada", "keywords": ["db", "ml"]}]}
+///             (or the bare array; name/keywords both optional)
+/// One request is one atomic batch: it is validated whole, applied whole,
+/// and published as one fresh dataset snapshot (new graph epoch).
+struct MutationRequest {
+  std::string session;
+  /// Raw JSON body (decoded by QueryService).
+  std::string body;
+};
+
 /// POST /v1/jobs — submit an algorithm run as an asynchronous job. The
 /// JSON body carries the algorithm selection, the query (search kinds),
 /// algorithm-specific parameters, and an optional deadline:

@@ -285,9 +285,19 @@ const char* PostingFormatName(PostingFormat format) {
 
 ClTree ClTree::Build(const AttributedGraph& g, ClTreeBuildMethod method,
                      ThreadPool* pool, PostingFormat format) {
+  if (g.num_vertices() == 0) return ClTree();
+  const std::vector<std::uint32_t> core = CoreDecomposition(g.graph(), pool);
+  return Build(g, core, method, pool, format);
+}
+
+ClTree ClTree::Build(const AttributedGraph& g,
+                     std::span<const std::uint32_t> core_numbers,
+                     ClTreeBuildMethod method, ThreadPool* pool,
+                     PostingFormat format) {
   ClTree tree;
   if (g.num_vertices() == 0) return tree;
-  std::vector<std::uint32_t> core = CoreDecomposition(g.graph(), pool);
+  const std::vector<std::uint32_t> core(core_numbers.begin(),
+                                        core_numbers.end());
   RawTree raw = method == ClTreeBuildMethod::kBasic
                     ? BuildBasicTree(g.graph(), core)
                     : BuildAdvancedTree(g.graph(), core);

@@ -187,6 +187,18 @@ class ClTree {
                       ThreadPool* pool = nullptr,
                       PostingFormat format = PostingFormat::kRaw);
 
+  /// Build variant taking precomputed core numbers (size num_vertices) —
+  /// the dynamic-graph path, where incremental maintenance already knows
+  /// every core and re-peeling the whole graph per mutation batch would
+  /// dwarf the repair itself. `core_numbers` must equal what
+  /// CoreDecomposition(g.graph()) would return; the result is then
+  /// byte-identical to the peel-included overload.
+  static ClTree Build(const AttributedGraph& g,
+                      std::span<const std::uint32_t> core_numbers,
+                      ClTreeBuildMethod method = ClTreeBuildMethod::kAdvanced,
+                      ThreadPool* pool = nullptr,
+                      PostingFormat format = PostingFormat::kRaw);
+
   /// The posting storage format this tree was built with.
   PostingFormat posting_format() const { return posting_format_; }
 

@@ -1,0 +1,185 @@
+// Incremental k-core maintenance under single-edge mutations (the
+// subcore/traversal family of Sariyüce et al., "Streaming Algorithms for
+// k-Core Decomposition", surveyed for community search in "A Survey of
+// Community Search Over Big Graphs").
+//
+// The structural facts these repairs stand on, for an edge {u, v} with
+// K = min(core(u), core(v)):
+//   * only vertices whose core number equals K can change, and each by
+//     exactly 1 (insertions may promote to K+1, deletions may demote to
+//     K-1);
+//   * every affected vertex lies in the subcore of the lower endpoint(s):
+//     the connected component, through vertices of core exactly K, that
+//     contains them;
+//   * two adjacent vertices of core K are in the same subcore, so a
+//     candidate's core-K neighbours are always inside the candidate set —
+//     which is what makes the local eviction cascade below complete.
+//
+// Both repairs take the adjacency of the graph AFTER the mutation (the
+// caller updates its adjacency first, then repairs), as a callable
+//   std::span<const VertexId> adj(VertexId v)
+// so the mutator's working overlay can serve it without materializing a
+// CSR. Cost is proportional to the subcore touched, not the graph; the
+// full Batagelj-Zaversnik peel remains the correctness oracle in tests and
+// in the mutator's optional self-check mode.
+
+#ifndef CEXPLORER_DELTA_CORE_MAINTENANCE_H_
+#define CEXPLORER_DELTA_CORE_MAINTENANCE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace cexplorer {
+namespace delta {
+
+/// Counters a repair reports back (aggregated into /v1/stats).
+struct CoreRepairStats {
+  std::uint64_t visited = 0;  ///< subcore vertices examined
+  std::uint64_t changed = 0;  ///< core numbers that moved
+};
+
+namespace internal {
+
+/// Collects the subcore: every vertex with core == K reachable from the
+/// seed roots through vertices of core == K. Returns candidate -> index
+/// into a dense side array (the map doubles as the membership test).
+template <typename Adj>
+std::unordered_map<VertexId, std::uint32_t> CollectSubcore(
+    Adj&& adj, const std::vector<std::uint32_t>& core, std::uint32_t K,
+    const std::vector<VertexId>& roots) {
+  std::unordered_map<VertexId, std::uint32_t> index;
+  std::vector<VertexId> queue;
+  for (VertexId r : roots) {
+    if (core[r] != K) continue;
+    if (index.emplace(r, static_cast<std::uint32_t>(index.size())).second) {
+      queue.push_back(r);
+    }
+  }
+  while (!queue.empty()) {
+    const VertexId w = queue.back();
+    queue.pop_back();
+    for (VertexId x : adj(w)) {
+      if (core[x] != K) continue;
+      if (index.emplace(x, static_cast<std::uint32_t>(index.size())).second) {
+        queue.push_back(x);
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace internal
+
+/// Repairs core numbers after inserting edge {u, v}. `adj` must already
+/// reflect the inserted edge. Promotes the members of the lower endpoint's
+/// subcore that survive an eviction cascade at threshold K+1.
+template <typename Adj>
+void RepairCoresAfterInsert(Adj&& adj, std::vector<std::uint32_t>* core,
+                            VertexId u, VertexId v, CoreRepairStats* stats) {
+  std::vector<std::uint32_t>& c = *core;
+  const std::uint32_t K = std::min(c[u], c[v]);
+  std::vector<VertexId> roots;
+  if (c[u] == K) roots.push_back(u);
+  if (c[v] == K && v != u) roots.push_back(v);
+  auto index = internal::CollectSubcore(adj, c, K, roots);
+  const std::size_t count = index.size();
+  if (stats != nullptr) stats->visited += count;
+
+  // cd(w): neighbours that could support w in the (K+1)-core — those of
+  // core > K plus candidate-set members (a candidate's core-K neighbours
+  // are all candidates, see header). Evict while cd < K+1, cascading the
+  // lost support; survivors are exactly the vertices whose core rises.
+  std::vector<std::uint32_t> cd(count, 0);
+  std::vector<bool> evicted(count, false);
+  for (const auto& [w, i] : index) {
+    std::uint32_t d = 0;
+    for (VertexId x : adj(w)) {
+      if (c[x] >= K) ++d;
+    }
+    cd[i] = d;
+  }
+  std::vector<VertexId> queue;
+  for (const auto& [w, i] : index) {
+    if (cd[i] < K + 1) {
+      evicted[i] = true;
+      queue.push_back(w);
+    }
+  }
+  while (!queue.empty()) {
+    const VertexId w = queue.back();
+    queue.pop_back();
+    for (VertexId x : adj(w)) {
+      auto it = index.find(x);
+      if (it == index.end() || evicted[it->second]) continue;
+      if (--cd[it->second] < K + 1) {
+        evicted[it->second] = true;
+        queue.push_back(x);
+      }
+    }
+  }
+  for (const auto& [w, i] : index) {
+    if (!evicted[i]) {
+      c[w] = K + 1;
+      if (stats != nullptr) ++stats->changed;
+    }
+  }
+}
+
+/// Repairs core numbers after removing edge {u, v}. `adj` must already
+/// reflect the removal. Demotes the members of the affected subcore(s)
+/// whose support dropped below K, cascading through their neighbours.
+template <typename Adj>
+void RepairCoresAfterRemove(Adj&& adj, std::vector<std::uint32_t>* core,
+                            VertexId u, VertexId v, CoreRepairStats* stats) {
+  std::vector<std::uint32_t>& c = *core;
+  const std::uint32_t K = std::min(c[u], c[v]);
+  if (K == 0) return;  // core numbers cannot drop below 0
+  std::vector<VertexId> roots;
+  if (c[u] == K) roots.push_back(u);
+  if (c[v] == K && v != u) roots.push_back(v);
+  // The endpoints may now sit in disconnected core-K components; seeding
+  // the walk with both covers each.
+  auto index = internal::CollectSubcore(adj, c, K, roots);
+  const std::size_t count = index.size();
+  if (stats != nullptr) stats->visited += count;
+
+  std::vector<std::uint32_t> cd(count, 0);
+  std::vector<bool> demoted(count, false);
+  for (const auto& [w, i] : index) {
+    std::uint32_t d = 0;
+    for (VertexId x : adj(w)) {
+      if (c[x] >= K) ++d;
+    }
+    cd[i] = d;
+  }
+  std::vector<VertexId> queue;
+  for (const auto& [w, i] : index) {
+    if (cd[i] < K) {
+      demoted[i] = true;
+      queue.push_back(w);
+    }
+  }
+  while (!queue.empty()) {
+    const VertexId w = queue.back();
+    queue.pop_back();
+    c[w] = K - 1;
+    if (stats != nullptr) ++stats->changed;
+    for (VertexId x : adj(w)) {
+      auto it = index.find(x);
+      if (it == index.end() || demoted[it->second]) continue;
+      if (--cd[it->second] < K) {
+        demoted[it->second] = true;
+        queue.push_back(x);
+      }
+    }
+  }
+}
+
+}  // namespace delta
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_DELTA_CORE_MAINTENANCE_H_

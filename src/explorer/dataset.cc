@@ -39,6 +39,14 @@ PostingFormat ConfiguredPostingFormat() {
 
 }  // namespace
 
+PostingFormat Dataset::DefaultPostingFormat() {
+  return ConfiguredPostingFormat();
+}
+
+std::uint64_t Dataset::NextId() {
+  return g_next_dataset_id.fetch_add(1, std::memory_order_relaxed);
+}
+
 Result<DatasetPtr> Dataset::Build(AttributedGraph graph) {
   auto dataset = std::shared_ptr<Dataset>(new Dataset());
   dataset->graph_ =
@@ -97,6 +105,14 @@ Result<DatasetPtr> Dataset::FromSnapshotFile(const std::string& path) {
 }
 
 Status Dataset::SaveSnapshot(const std::string& path) const {
+  if (overlay_) {
+    // The snapshot writer reads the raw base CSR/attribute arrays and
+    // would silently drop every overlay patch; callers must fold the
+    // overlay into an owned dataset first (QueryService::SnapshotSave
+    // does this automatically).
+    return Status::InvalidArgument(
+        "dataset carries uncompacted mutations; compact before saving");
+  }
   return snapshot::WriteSnapshot(*graph_, core_span_, index_, path);
 }
 

@@ -34,6 +34,10 @@
 
 namespace cexplorer {
 
+namespace delta {
+struct Access;
+}  // namespace delta
+
 class Dataset;
 
 /// How datasets are held everywhere: immutable and shared.
@@ -70,12 +74,24 @@ class Dataset {
 
   /// How a dataset's arrays are backed, surfaced in /v1/stats.
   struct StorageInfo {
-    std::string mode = "owned";  ///< "owned", "mmap" or "heap"
+    std::string mode = "owned";  ///< "owned", "mmap", "heap" or "overlay"
     std::uint64_t file_bytes = 0;
     std::uint64_t checksum = 0;
   };
 
   const StorageInfo& storage() const { return storage_; }
+
+  /// True when this dataset serves a mutation overlay over another
+  /// dataset's arrays (delta::Mutator publishes these). Overlay datasets
+  /// answer every query normally but cannot be written as a binary
+  /// snapshot — the writer reads raw base arrays and would silently drop
+  /// the patches — so SaveSnapshot demands a compaction first.
+  bool is_overlay() const { return overlay_; }
+
+  /// The process-wide default posting format for freshly built indexes
+  /// (CEXPLORER_POSTING_FORMAT=raw|varint). The dynamic-graph publisher
+  /// uses it so a mutated dataset's index matches a from-scratch rebuild.
+  static PostingFormat DefaultPostingFormat();
 
   // --- Read-only views ----------------------------------------------------
 
@@ -111,7 +127,13 @@ class Dataset {
   static std::uint64_t TotalIndexBuilds();
 
  private:
+  friend struct delta::Access;
+
   Dataset() = default;
+
+  /// Mints the next process-unique snapshot id (delta::Access publishes
+  /// datasets outside the factory functions above).
+  static std::uint64_t NextId();
 
   std::shared_ptr<const AttributedGraph> graph_;
   /// Owned storage for core numbers when built in-process; empty for
@@ -126,6 +148,7 @@ class Dataset {
   StorageInfo storage_;
   std::uint64_t id_ = 0;
   std::uint64_t graph_epoch_ = 0;
+  bool overlay_ = false;
 
   // Profile popups are read-mostly after warm-up: lookups take the shared
   // lock only, so concurrent sessions re-opening known profiles never

@@ -30,6 +30,7 @@ int CompareLoweredTo(std::string_view a, std::string_view b_lower) {
 
 KeywordId Vocabulary::Intern(std::string_view word) {
   assert(!view_ && "Intern on a snapshot-backed vocabulary");
+  assert(base_ == nullptr && "Intern on a delta-overlay vocabulary");
   auto it = index_.find(std::string(word));
   if (it != index_.end()) return it->second;
   KeywordId id = static_cast<KeywordId>(words_.size());
@@ -39,6 +40,13 @@ KeywordId Vocabulary::Intern(std::string_view word) {
 }
 
 KeywordId Vocabulary::Find(std::string_view word) const {
+  if (base_ != nullptr) {
+    const KeywordId id = base_->Find(word);
+    if (id != kInvalidKeyword) return id;
+    auto it = extra_index_->find(std::string(word));
+    if (it == extra_index_->end()) return kInvalidKeyword;
+    return it->second;
+  }
   if (view_) {
     // order_ sorts ids by exact word bytes; probe with plain comparisons.
     auto it = std::lower_bound(order_.begin(), order_.end(), word,
@@ -71,6 +79,16 @@ bool AttributedGraph::HasAllKeywords(VertexId v,
 }
 
 VertexId AttributedGraph::FindByName(std::string_view name) const {
+  if (delta_base_ != nullptr) {
+    // Base vertices carry lower ids than any tail vertex, so resolving
+    // against the base first preserves the lowest-id-wins tie-break of a
+    // from-scratch rebuild.
+    const VertexId hit = delta_base_->FindByName(name);
+    if (hit != kInvalidVertex) return hit;
+    auto it = tail_name_index_->find(ToLower(name));
+    if (it == tail_name_index_->end()) return kInvalidVertex;
+    return it->second;
+  }
   if (names_view_) {
     if (name.empty()) return kInvalidVertex;
     const std::string lower = ToLower(name);

@@ -46,6 +46,11 @@ class Vocabulary {
   /// The word for an id. Precondition: id < size(). The view is valid as
   /// long as this vocabulary (and its backing mapping, if any) lives.
   std::string_view Word(KeywordId id) const {
+    if (base_ != nullptr) {
+      const std::size_t base_size = base_->size();
+      if (id < base_size) return base_->Word(id);
+      return extra_words_[id - base_size];
+    }
     if (view_) {
       return {blob_.data() + offsets_[id],
               static_cast<std::size_t>(offsets_[id + 1] - offsets_[id])};
@@ -55,15 +60,26 @@ class Vocabulary {
 
   /// Number of distinct keywords.
   std::size_t size() const {
+    if (base_ != nullptr) return base_->size() + extra_words_.size();
     return view_ ? offsets_.size() - 1 : words_.size();
   }
 
  private:
   friend struct snapshot::Access;
+  friend struct delta::Access;
 
   // Owned mode.
   std::vector<std::string> words_;
   std::unordered_map<std::string, KeywordId> index_;
+
+  // Delta-overlay mode (delta::Access): ids below the base vocabulary's
+  // size resolve there, appended tail words follow. Interning stays
+  // append-only in first-occurrence order, so ids agree with a from-scratch
+  // rebuild of the mutated graph. The overlay owner keeps base_ and the
+  // extra-word storage alive.
+  const Vocabulary* base_ = nullptr;
+  std::span<const std::string> extra_words_;
+  const std::unordered_map<std::string, KeywordId>* extra_index_ = nullptr;
 
   // View mode: concatenated word bytes, per-word [offset, offset) bounds
   // (size()+1 entries) and keyword ids sorted by word bytes for Find().
@@ -90,6 +106,12 @@ class AttributedGraph {
 
   /// W(v): sorted keyword ids of vertex v.
   std::span<const KeywordId> Keywords(VertexId v) const {
+    if (delta_base_ != nullptr) {
+      if (v < delta_base_n_) return delta_base_->Keywords(v);
+      const std::size_t t = v - delta_base_n_;
+      return {tail_kw_data_.data() + tail_kw_offsets_[t],
+              tail_kw_offsets_[t + 1] - tail_kw_offsets_[t]};
+    }
     return {keyword_data_.data() + keyword_offsets_[v],
             keyword_offsets_[v + 1] - keyword_offsets_[v]};
   }
@@ -104,12 +126,20 @@ class AttributedGraph {
   /// reject most non-matching vertices with one AND before falling back to
   /// the exact HasAllKeywords test; matches are never rejected.
   std::uint64_t KeywordFingerprint(VertexId v) const {
+    if (delta_base_ != nullptr) {
+      if (v < delta_base_n_) return delta_base_->KeywordFingerprint(v);
+      return tail_kw_fp_[v - delta_base_n_];
+    }
     return keyword_fp_[v];
   }
 
   /// Display name of vertex v (may be empty when unnamed). The view is
   /// valid as long as this graph (and its backing mapping, if any) lives.
   std::string_view Name(VertexId v) const {
+    if (delta_base_ != nullptr) {
+      if (v < delta_base_n_) return delta_base_->Name(v);
+      return tail_names_[v - delta_base_n_];
+    }
     if (names_view_) {
       return {name_blob_.data() + name_offsets_[v],
               static_cast<std::size_t>(name_offsets_[v + 1] -
@@ -126,11 +156,17 @@ class AttributedGraph {
   std::vector<std::string> KeywordStrings(VertexId v) const;
 
   /// Total number of (vertex, keyword) pairs.
-  std::size_t TotalKeywordCount() const { return keyword_data_.size(); }
+  std::size_t TotalKeywordCount() const {
+    if (delta_base_ != nullptr) {
+      return delta_base_->TotalKeywordCount() + tail_kw_data_.size();
+    }
+    return keyword_data_.size();
+  }
 
  private:
   friend class AttributedGraphBuilder;
   friend struct snapshot::Access;
+  friend struct delta::Access;
 
   Graph graph_;
   Vocabulary vocab_;
@@ -151,6 +187,21 @@ class AttributedGraph {
   std::span<const char> name_blob_;
   std::span<const std::uint64_t> name_offsets_;
   std::span<const VertexId> name_order_;
+
+  // Delta-overlay mode (delta::Access): attributes of vertices below
+  // delta_base_n_ delegate to the base graph — whatever its storage mode —
+  // while appended tail vertices read the tail arrays; graph_ carries the
+  // patched topology for every vertex. The overlay owner (a Dataset
+  // backing) keeps delta_base_ and the tail storage alive.
+  const AttributedGraph* delta_base_ = nullptr;
+  std::size_t delta_base_n_ = 0;
+  std::span<const std::uint64_t> tail_kw_offsets_;  // tail count + 1
+  std::span<const KeywordId> tail_kw_data_;
+  std::span<const std::uint64_t> tail_kw_fp_;
+  std::span<const std::string> tail_names_;
+  /// Lower-cased tail name -> id, consulted only when the base misses
+  /// (first-insertion-wins, matching a from-scratch rebuild).
+  const std::unordered_map<std::string, VertexId>* tail_name_index_ = nullptr;
 };
 
 /// Builder: declare vertices (name + keywords), add edges, Build().

@@ -23,28 +23,62 @@ namespace snapshot {
 struct Access;
 }  // namespace snapshot
 
+namespace delta {
+struct Access;
+}  // namespace delta
+
 /// Immutable undirected simple graph (no self-loops, no parallel edges).
 /// Construct through GraphBuilder or the factory functions in graph/io.h.
+///
+/// A graph may additionally carry a copy-on-write delta overlay (wired by
+/// delta::Access): a per-vertex patch-slot table over the base CSR. A
+/// vertex with a slot reads its full, sorted adjacency from the patch CSR
+/// arrays instead of the base arrays; everything else — including every
+/// consumer of Neighbors()'s sorted-span contract, the SIMD intersection
+/// kernels and the peel scratch paths — is unchanged. Vertices appended
+/// after the base was built (the overlay tail) always carry a slot.
 class Graph {
  public:
   /// Empty graph.
   Graph() = default;
 
+  /// Patch-slot sentinel: "serve this vertex from the base CSR arrays".
+  static constexpr std::uint32_t kNoPatchSlot = 0xFFFFFFFFu;
+
   /// Number of vertices.
   std::size_t num_vertices() const {
+    if (!patch_slot_.empty()) return patch_slot_.size();
     return offsets_.empty() ? 0 : offsets_.size() - 1;
   }
 
   /// Number of undirected edges.
-  std::size_t num_edges() const { return adjacency_.size() / 2; }
+  std::size_t num_edges() const {
+    if (!patch_slot_.empty()) {
+      return static_cast<std::size_t>(patch_num_edges_);
+    }
+    return adjacency_.size() / 2;
+  }
 
   /// Degree of v. Precondition: v < num_vertices().
   std::size_t Degree(VertexId v) const {
+    if (!patch_slot_.empty()) {
+      const std::uint32_t slot = patch_slot_[v];
+      if (slot != kNoPatchSlot) {
+        return patch_offsets_[slot + 1] - patch_offsets_[slot];
+      }
+    }
     return offsets_[v + 1] - offsets_[v];
   }
 
   /// Sorted neighbours of v. Precondition: v < num_vertices().
   std::span<const VertexId> Neighbors(VertexId v) const {
+    if (!patch_slot_.empty()) {
+      const std::uint32_t slot = patch_slot_[v];
+      if (slot != kNoPatchSlot) {
+        return {patch_adjacency_.data() + patch_offsets_[slot],
+                patch_offsets_[slot + 1] - patch_offsets_[slot]};
+      }
+    }
     return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
   }
 
@@ -64,17 +98,32 @@ class Graph {
   /// owned mode, mapped bytes in view mode).
   std::size_t MemoryBytes() const {
     return offsets_.size() * sizeof(std::uint64_t) +
-           adjacency_.size() * sizeof(VertexId);
+           adjacency_.size() * sizeof(VertexId) +
+           patch_slot_.size() * sizeof(std::uint32_t) +
+           patch_offsets_.size() * sizeof(std::uint64_t) +
+           patch_adjacency_.size() * sizeof(VertexId);
   }
+
+  /// True when a delta overlay is layered over the base CSR.
+  bool has_patches() const { return !patch_slot_.empty(); }
 
  private:
   friend class GraphBuilder;
   friend struct snapshot::Access;
+  friend struct delta::Access;
 
   // Owned vectors on the build path, or views over a mapped snapshot
   // (snapshot::Access wires those up; the mapping outlives the graph).
   ArrayRef<std::uint64_t> offsets_;  // size n+1
   ArrayRef<VertexId> adjacency_;     // size 2m, sorted per vertex
+
+  // Delta-overlay mode (delta::Access): one slot entry per overlay vertex
+  // and a patch CSR holding the full sorted adjacency of every patched
+  // vertex. The overlay owner (a Dataset backing) keeps the spans alive.
+  std::span<const std::uint32_t> patch_slot_;     // size n_total
+  std::span<const std::uint64_t> patch_offsets_;  // size slots+1
+  std::span<const VertexId> patch_adjacency_;
+  std::uint64_t patch_num_edges_ = 0;  // undirected edge count with patches
 };
 
 /// Accumulates edges and produces a normalized Graph.

@@ -129,6 +129,9 @@ HttpResponse CExplorerServer::DispatchRoute(
       {"load_index", &CExplorerServer::BindLoadIndex},
       {"snapshot/save", &CExplorerServer::BindSnapshotSave},
       {"snapshot/load", &CExplorerServer::BindSnapshotLoad},
+      {"edges", &CExplorerServer::BindEdges},
+      {"vertices", &CExplorerServer::BindVertices},
+      {"compact", &CExplorerServer::BindCompact},
       {"batch", &CExplorerServer::BindBatch},
   };
   for (const Binder& binder : kBinders) {
@@ -328,6 +331,30 @@ HttpResponse CExplorerServer::BindSnapshotLoad(const HttpRequest& request) {
   typed.session = request.Param("session");
   typed.path = request.Param("path");
   return ToResponse(service_.SnapshotLoad(typed));
+}
+
+HttpResponse CExplorerServer::BindEdges(const HttpRequest& request) {
+  // POST/DELETE carry the edge list as the request body; ?edges= is the
+  // escape hatch for clients that cannot send one.
+  api::MutationRequest typed;
+  typed.session = request.Param("session");
+  typed.body = !request.body.empty() ? request.body : request.Param("edges");
+  if (request.method == "DELETE") {
+    return ToResponse(service_.RemoveEdges(typed));
+  }
+  return ToResponse(service_.AddEdges(typed));
+}
+
+HttpResponse CExplorerServer::BindVertices(const HttpRequest& request) {
+  api::MutationRequest typed;
+  typed.session = request.Param("session");
+  typed.body =
+      !request.body.empty() ? request.body : request.Param("vertices");
+  return ToResponse(service_.AddVertices(typed));
+}
+
+HttpResponse CExplorerServer::BindCompact(const HttpRequest& request) {
+  return ToResponse(service_.CompactMutations(request.Param("session")));
 }
 
 HttpResponse CExplorerServer::BindBatch(const HttpRequest& request) {

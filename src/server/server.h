@@ -44,6 +44,15 @@
 //                       snapshot (graph + cores + CL-tree, one file)
 //   /v1/snapshot/load   POST: mmap a snapshot and swap it in for ALL
 //                       sessions — no parse, no rebuild, sub-second
+//   /v1/edges           POST: insert a batch of edges; DELETE: remove them.
+//                       One request = one atomic mutation batch, applied
+//                       with incremental k-core maintenance and published
+//                       as a fresh copy-on-write overlay snapshot
+//   /v1/vertices        POST: append vertices (name + keywords) as one
+//                       atomic batch
+//   /v1/compact         POST: fold the pending mutation overlay into an
+//                       owned dataset now (also runs in the background
+//                       past the overlay threshold)
 //   /v1/batch           POST a JSON array of search entries; all entries
 //                       run under ONE snapshot on the worker pool
 //                       (alias: GET /batch?requests=<url-encoded JSON>)
@@ -166,6 +175,9 @@ class CExplorerServer {
   HttpResponse BindLoadIndex(const HttpRequest& request);
   HttpResponse BindSnapshotSave(const HttpRequest& request);
   HttpResponse BindSnapshotLoad(const HttpRequest& request);
+  HttpResponse BindEdges(const HttpRequest& request);
+  HttpResponse BindVertices(const HttpRequest& request);
+  HttpResponse BindCompact(const HttpRequest& request);
   HttpResponse BindBatch(const HttpRequest& request);
 
   /// The worker pool, creating it with DefaultThreadCount() threads on

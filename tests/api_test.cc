@@ -175,6 +175,35 @@ TEST_F(ApiFixture, StatsReportKernelSelection) {
   EXPECT_FALSE(parsed->Get("kernels").Has("posting_format"));
 }
 
+TEST_F(ApiFixture, StatsReportMutationsBlock) {
+  // The mutations block is always present, zeroed before any mutation.
+  const JsonValue zero = GetJson("GET /v1/stats").Get("mutations");
+  ASSERT_TRUE(zero.is_object());
+  for (const char* field :
+       {"active", "overlay_edges", "pending_batches", "batches",
+        "patched_vertices", "tail_vertices", "edges_added", "edges_removed",
+        "vertices_added", "compactions", "last_compaction_ms",
+        "core_repair_visited", "core_repair_changed"}) {
+    EXPECT_TRUE(zero.Has(field)) << field;
+  }
+  EXPECT_FALSE(zero.Get("active").AsBool());
+  EXPECT_EQ(zero.Get("batches").AsInt(), 0);
+
+  Get("POST /v1/edges\n\n{\"edges\": [[8, 9]]}");
+  JsonValue after = GetJson("GET /v1/stats").Get("mutations");
+  EXPECT_TRUE(after.Get("active").AsBool());
+  EXPECT_EQ(after.Get("batches").AsInt(), 1);
+  EXPECT_EQ(after.Get("overlay_edges").AsInt(), 1);
+  EXPECT_EQ(after.Get("edges_added").AsInt(), 1);
+  EXPECT_EQ(after.Get("pending_batches").AsInt(), 1);
+
+  Get("POST /v1/compact");
+  JsonValue folded = GetJson("GET /v1/stats").Get("mutations");
+  EXPECT_FALSE(folded.Get("active").AsBool());
+  EXPECT_EQ(folded.Get("pending_batches").AsInt(), 0);
+  EXPECT_EQ(folded.Get("compactions").AsInt(), 1);
+}
+
 TEST_F(ApiFixture, VersionReportsApiAndBuild) {
   JsonValue v = GetJson("GET /v1/version");
   EXPECT_EQ(v.Get("server").AsString(), "C-Explorer");
@@ -277,6 +306,57 @@ TEST_F(ApiFixture, UnknownParamsRejectedOnV1Only) {
 TEST_F(ApiFixture, MethodPolicy) {
   EXPECT_EQ(ErrorCode("POST /v1/search?name=a", 405), "INVALID_ARGUMENT");
   EXPECT_EQ(ErrorCode("POST /search?name=a", 405), "INVALID_ARGUMENT");
+}
+
+// --------------------------------------------------------------------------
+// Mutation routes: POST/DELETE /v1/edges, POST /v1/vertices, /v1/compact
+// --------------------------------------------------------------------------
+
+TEST_F(ApiFixture, MutationRoutes) {
+  JsonValue added =
+      GetJson("POST /v1/edges\n\n{\"edges\": [[8, 9], [7, 9]]}");
+  EXPECT_TRUE(added.Get("applied").AsBool());
+  EXPECT_EQ(added.Get("edges_added").AsInt(), 2);
+  EXPECT_GT(added.Get("graph_epoch").AsInt(), 0);
+
+  JsonValue removed = GetJson("DELETE /v1/edges\n\n{\"edges\": [[8, 9]]}");
+  EXPECT_EQ(removed.Get("edges_removed").AsInt(), 1);
+  EXPECT_GT(removed.Get("graph_epoch").AsInt(),
+            added.Get("graph_epoch").AsInt());
+
+  JsonValue vertex = GetJson(
+      "POST /v1/vertices\n\n"
+      "{\"vertices\": [{\"name\": \"K\", \"keywords\": [\"x\"]}]}");
+  EXPECT_EQ(vertex.Get("vertices_added").AsInt(), 1);
+  EXPECT_EQ(vertex.Get("vertices").AsInt(), 11);
+
+  JsonValue compacted = GetJson("POST /v1/compact");
+  EXPECT_TRUE(compacted.Get("compacted").AsBool());
+  EXPECT_EQ(compacted.Get("storage").AsString(), "owned");
+
+  // ?edges= is the escape hatch for clients that cannot send a body.
+  JsonValue param =
+      GetJson("POST /v1/edges?edges=" + UrlEncode("[[8, 9]]"));
+  EXPECT_EQ(param.Get("edges_added").AsInt(), 1);
+}
+
+TEST_F(ApiFixture, MutationMethodPolicyAndErrors) {
+  EXPECT_EQ(ErrorCode("GET /v1/edges", 405), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("GET /v1/vertices", 405), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("GET /v1/compact", 405), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("DELETE /v1/vertices", 405), "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("POST /v1/edges\n\nnot json", 400),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("POST /v1/edges\n\n{\"edges\": [[0, 99]]}", 400),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("POST /v1/edges\n\n{\"edges\": [[0, 0]]}", 400),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(ErrorCode("POST /v1/edges", 400), "INVALID_ARGUMENT");
+
+  // Mutating before any upload is a CONFLICT, like every other query.
+  CExplorerServer empty;
+  EXPECT_EQ(empty.Handle("POST /v1/edges\n\n{\"edges\": [[0, 1]]}").code,
+            409);
 }
 
 // --------------------------------------------------------------------------

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "core/kcore.h"
 #include "data/dblp.h"
 #include "explorer/dataset.h"
 #include "server/http.h"
@@ -268,6 +270,117 @@ TEST(ConcurrencyTest, BatchQueriesAcrossDatasetSwaps) {
   ASSERT_EQ(mixed_parsed->Get("results").Items().size(), 2u);
   EXPECT_FALSE(mixed_parsed->Get("results").Items()[0].Has("error"));
   EXPECT_TRUE(mixed_parsed->Get("results").Items()[1].Has("error"));
+}
+
+// The dynamic-graph tier under race: eight query sessions hammer /search,
+// /community and /stats while two mutator threads stream edge batches and
+// a compactor repeatedly folds the overlay, all against one server. Every
+// response must be a clean outcome — a mutation may lose the publish race
+// (409, batch discarded whole), but there is never silent corruption — and
+// the settled dataset's incrementally maintained core numbers must match
+// the full-recompute oracle.
+TEST(ConcurrencyTest, MutationsCompactionsAndQueriesRace) {
+  constexpr int kSessions = 8;
+  constexpr int kIterations = 25;
+  constexpr int kMutators = 2;
+  constexpr int kBatches = 40;
+
+  CExplorerServer server;
+  ASSERT_TRUE(server.UploadGraph(GenerateDblp(SmallDblp(3)).graph).ok());
+  const std::size_t n = server.dataset()->graph().num_vertices();
+
+  std::vector<std::string> ids;
+  for (int i = 0; i < kSessions; ++i) ids.push_back(NewSession(&server));
+
+  std::atomic<int> bad{0};
+  std::atomic<int> applied{0};
+
+  auto query_worker = [&](int which) {
+    const std::string& id = ids[static_cast<std::size_t>(which)];
+    for (int it = 0; it < kIterations; ++it) {
+      const std::string vertex =
+          std::to_string((which * kIterations + it * 13) % n);
+      std::string request;
+      switch (it % 3) {
+        case 0:
+          request = "GET /v1/search?vertex=" + vertex +
+                    "&k=3&algo=Global&session=" + id;
+          break;
+        case 1:
+          request = "GET /v1/community?id=0&session=" + id;
+          break;
+        default:
+          request = "GET /v1/stats";
+          break;
+      }
+      HttpResponse response = server.Handle(request);
+      if (response.code != 200 && response.code != 404 &&
+          response.code != 409) {
+        ++bad;
+      }
+      if (response.code == 200 && !JsonValue::Parse(response.body).ok()) {
+        ++bad;
+      }
+    }
+  };
+
+  auto mutator_worker = [&](int which) {
+    // Thread-local LCG so the two mutators stream different edges.
+    std::uint64_t state =
+        0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(which + 1);
+    auto next = [&state] {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      return state >> 33;
+    };
+    for (int b = 0; b < kBatches; ++b) {
+      const std::uint64_t u = next() % n;
+      const std::uint64_t v = next() % n;
+      if (u == v) continue;
+      const std::string body = "{\"edges\": [[" + std::to_string(u) + ", " +
+                               std::to_string(v) + "]]}";
+      const bool remove = b % 3 == 2;
+      HttpResponse response = server.Handle(
+          std::string(remove ? "DELETE" : "POST") + " /v1/edges\n\n" + body);
+      if (response.code == 200) {
+        ++applied;
+      } else if (response.code != 409) {
+        ++bad;
+      }
+    }
+  };
+
+  std::thread compactor([&] {
+    for (int i = 0; i < 10; ++i) {
+      HttpResponse response = server.Handle("POST /v1/compact");
+      if (response.code != 200 && response.code != 409) ++bad;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kMutators; ++i) threads.emplace_back(mutator_worker, i);
+  for (int i = 0; i < kSessions; ++i) threads.emplace_back(query_worker, i);
+  for (auto& t : threads) t.join();
+  compactor.join();
+
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GT(applied.load(), 0);
+
+  // Settled invariant: the incrementally maintained core numbers of the
+  // final snapshot equal a full recompute on its graph.
+  DatasetPtr final_dataset = server.dataset();
+  std::vector<std::uint32_t> oracle =
+      CoreDecomposition(final_dataset->graph().graph());
+  auto cores = final_dataset->core_numbers();
+  ASSERT_EQ(cores.size(), oracle.size());
+  EXPECT_TRUE(
+      std::equal(cores.begin(), cores.end(), oracle.begin(), oracle.end()));
+
+  // A final fold succeeds and leaves an owned dataset serving queries.
+  EXPECT_EQ(server.Handle("POST /v1/compact").code, 200);
+  EXPECT_FALSE(server.dataset()->is_overlay());
+  EXPECT_EQ(
+      server.Handle("GET /v1/search?vertex=0&k=2&algo=Global").code, 200);
 }
 
 // Dataset-level sharing without the server: Explorer views are cheap and

@@ -289,6 +289,31 @@ TEST(SnapshotTest, ApiSaveLoadAndStats) {
   EXPECT_EQ(loader.Handle("GET /v1/search?name=A&k=2&algo=Global").code, 200);
 }
 
+TEST(SnapshotTest, SaveUnderMutationOverlayCompactsFirst) {
+  // Regression: saving while a mutation overlay is pending must never
+  // silently drop the mutations — the save folds the overlay into an owned
+  // dataset first, and the written snapshot round-trips the mutated graph.
+  CExplorerServer server;
+  ASSERT_TRUE(server.UploadGraph(Figure5Graph()).ok());
+  HttpResponse mutated =
+      server.Handle("POST /v1/edges\n\n{\"edges\": [[8, 9], [7, 9]]}");
+  ASSERT_EQ(mutated.code, 200) << mutated.body;
+  ASSERT_TRUE(server.dataset()->is_overlay());
+
+  const std::string path = TempPath("overlay_save.snap");
+  HttpResponse saved = server.Handle("POST /v1/snapshot/save?path=" + path);
+  ASSERT_EQ(saved.code, 200) << saved.body;
+  // The save compacted: the served dataset is owned now.
+  EXPECT_FALSE(server.dataset()->is_overlay());
+
+  CExplorerServer loader;
+  HttpResponse loaded = loader.Handle("POST /v1/snapshot/load?path=" + path);
+  ASSERT_EQ(loaded.code, 200) << loaded.body;
+  const Graph& g = loader.dataset()->graph().graph();
+  EXPECT_TRUE(g.HasEdge(8, 9));
+  EXPECT_TRUE(g.HasEdge(7, 9));
+}
+
 TEST(SnapshotTest, SaveIndexRoutesArePostOnV1GetOnLegacy) {
   CExplorerServer server;
   ASSERT_TRUE(server.UploadGraph(Figure5Graph()).ok());
