@@ -1,0 +1,179 @@
+// Measures the sharded execution tier: the BSP peel / core-decomposition
+// kernels at 1, 2, 4 and 8 shards against the sequential oracles they must
+// match bit for bit.
+//
+// The acceptance bar of the tier: the 4-shard peel beats the single-shard
+// (inline, oracle-equivalent) run on a 100k-author DBLP graph. The speedup
+// is a same-machine ratio, so it is meaningful wherever >= 4 hardware
+// threads exist; on a single-core box the ratio records the pure BSP
+// overhead instead (threads column = shard count, so the records stay
+// interpretable either way). Every timed run is checked against the
+// sequential oracle before its time is accepted — a fast wrong answer
+// aborts the bench.
+//
+//   $ ./bench_sharded
+//
+// Emits BENCH_JSON lines:
+//   sharded_peel_ms / sharded_core_decomp_ms   min-of-reps wall clock per
+//                                              shard count (threads=shards)
+//   sharded_speedup_4x         peel t(1 shard) / t(4 shards)
+//   sharded_core_speedup_4x    decomposition t(1 shard) / t(4 shards)
+//   sharded_peel_messages_4x   messages published by the 4-shard peel —
+//                              a pure function of graph + partition, so
+//                              byte-deterministic across machines
+//   sharded_peel_supersteps_4x barriers driven by the 4-shard peel (also
+//                              deterministic)
+//   sharded_barrier_ns         ns per empty superstep at 4 shards (the
+//                              fixed per-barrier tax every op pays)
+
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "core/kcore.h"
+#include "data/dblp.h"
+#include "shard/coordinator.h"
+#include "shard/partition.h"
+
+namespace cexplorer {
+namespace {
+
+constexpr std::uint32_t kShardCounts[] = {1, 2, 4, 8};
+constexpr int kReps = 3;
+
+struct OpTiming {
+  double ms = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t supersteps = 0;
+};
+
+int Run() {
+  bench::Banner("Sharded BSP execution (partitioned peel + decomposition)",
+                "partitioned message-passing peels reproduce the sequential "
+                "answers bit for bit");
+
+  // The tier's headline number is quoted on a 100k-author graph; the
+  // shared 60k default is too small to amortize barrier costs, so this
+  // bench bumps the default. CEXPLORER_BENCH_AUTHORS still wins (CI runs
+  // the same binary at 20k), as does CEXPLORER_BENCH_FULL=1.
+  DblpOptions options = bench::BenchDblpOptions();
+  if (!bench::FullScale() &&
+      std::getenv("CEXPLORER_BENCH_AUTHORS") == nullptr) {
+    options.num_authors = 100000;
+  }
+  std::printf("Generating DBLP fixture (%zu authors)...\n",
+              options.num_authors);
+  const DblpDataset data = GenerateDblp(options);
+  const Graph& g = data.graph.graph();
+  const std::size_t n = g.num_vertices();
+  const std::size_t m = g.num_edges();
+  std::printf("  n=%zu m=%zu\n\n", n, m);
+
+  // Sequential oracles. k for the peel is half the degeneracy: deep enough
+  // that the cascade does real work, shallow enough that the result is a
+  // large non-trivial community.
+  const std::vector<std::uint32_t> oracle_cores = CoreDecomposition(g);
+  const std::uint32_t k =
+      std::max<std::uint32_t>(2, MaxCoreNumber(oracle_cores) / 2);
+  VertexList universe(n);
+  std::iota(universe.begin(), universe.end(), 0);
+  const VertexList oracle_peel = PeelToKCoreSorted(g, universe, k);
+  std::printf("k=%u  |k-core|=%zu  degeneracy=%u\n\n", k, oracle_peel.size(),
+              MaxCoreNumber(oracle_cores));
+
+  std::printf("%8s %14s %14s %12s %12s\n", "shards", "peel_ms", "decomp_ms",
+              "messages", "supersteps");
+
+  double peel_ms[9] = {0};
+  double core_ms[9] = {0};
+  OpTiming peel4, core4;
+  for (std::uint32_t shards : kShardCounts) {
+    const shard::ShardPlan plan = shard::Partitioner::Build(
+        g, shards, shard::PartitionStrategy::kRange);
+
+    OpTiming peel, core;
+    peel.ms = core.ms = 1e30;
+    for (int rep = 0; rep < kReps; ++rep) {
+      {
+        shard::Coordinator coordinator(&g, &plan);
+        Timer timer;
+        const VertexList got = coordinator.PeelToKCoreSorted(universe, k);
+        const double ms = timer.ElapsedMillis();
+        if (got != oracle_peel) {
+          std::fprintf(stderr, "FATAL: %u-shard peel diverged from oracle\n",
+                       shards);
+          return 1;
+        }
+        if (ms < peel.ms) peel.ms = ms;
+        peel.messages = coordinator.messages();
+        peel.supersteps = coordinator.supersteps();
+      }
+      {
+        shard::Coordinator coordinator(&g, &plan);
+        Timer timer;
+        const std::vector<std::uint32_t> got = coordinator.CoreDecomposition();
+        const double ms = timer.ElapsedMillis();
+        if (got != oracle_cores) {
+          std::fprintf(stderr,
+                       "FATAL: %u-shard decomposition diverged from oracle\n",
+                       shards);
+          return 1;
+        }
+        if (ms < core.ms) core.ms = ms;
+        core.messages = coordinator.messages();
+        core.supersteps = coordinator.supersteps();
+      }
+    }
+    peel_ms[shards] = peel.ms;
+    core_ms[shards] = core.ms;
+    if (shards == 4) {
+      peel4 = peel;
+      core4 = core;
+    }
+
+    std::printf("%8u %14.3f %14.3f %12llu %12llu\n", shards, peel.ms, core.ms,
+                static_cast<unsigned long long>(peel.messages),
+                static_cast<unsigned long long>(peel.supersteps));
+    // compare.py joins records by name, so the shard count is baked into
+    // the name (the threads column alone would collapse the sweep to its
+    // last line).
+    char peel_name[48], core_name[48];
+    std::snprintf(peel_name, sizeof(peel_name), "sharded_peel_ms_%ux", shards);
+    std::snprintf(core_name, sizeof(core_name), "sharded_core_decomp_ms_%ux",
+                  shards);
+    bench::EmitJsonLine(peel_name, n, m, shards, peel.ms);
+    bench::EmitJsonLine(core_name, n, m, shards, core.ms);
+  }
+
+  const double peel_speedup = peel_ms[1] / peel_ms[4];
+  const double core_speedup = core_ms[1] / core_ms[4];
+  std::printf("\n4-shard peel speedup:          %.2fx\n", peel_speedup);
+  std::printf("4-shard decomposition speedup: %.2fx\n", core_speedup);
+  bench::EmitJsonMetricLine("sharded_speedup_4x", n, m, 4, "speedup",
+                            peel_speedup);
+  bench::EmitJsonMetricLine("sharded_core_speedup_4x", n, m, 4, "speedup",
+                            core_speedup);
+  bench::EmitJsonMetricLine("sharded_peel_messages_4x", n, m, 4, "messages",
+                            static_cast<double>(peel4.messages));
+  bench::EmitJsonMetricLine("sharded_peel_supersteps_4x", n, m, 4,
+                            "supersteps",
+                            static_cast<double>(peel4.supersteps));
+
+  {
+    const shard::ShardPlan plan =
+        shard::Partitioner::Build(g, 4, shard::PartitionStrategy::kRange);
+    shard::Coordinator coordinator(&g, &plan);
+    const double ns = coordinator.MeasureBarrierNs(256);
+    std::printf("barrier overhead at 4 shards:  %.0f ns/superstep\n", ns);
+    bench::EmitJsonMetricLine("sharded_barrier_ns", n, m, 4, "ns", ns);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cexplorer
+
+int main() { return cexplorer::Run(); }

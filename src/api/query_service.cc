@@ -11,6 +11,7 @@
 #include "common/strings.h"
 #include "explorer/explorer.h"
 #include "metrics/quality.h"
+#include "shard/coordinator.h"
 
 namespace cexplorer {
 namespace api {
@@ -1568,6 +1569,8 @@ ApiResult<std::string> QueryService::Stats() {
   w.UInt(cache_stats.hits);
   w.Key("misses");
   w.UInt(cache_stats.misses);
+  w.Key("lookups");
+  w.UInt(cache_stats.lookups);
   w.Key("insertions");
   w.UInt(cache_stats.insertions);
   w.Key("evictions");
@@ -1617,6 +1620,43 @@ ApiResult<std::string> QueryService::Stats() {
   w.UInt(mutations.core_repair_visited);
   w.Key("core_repair_changed");
   w.UInt(mutations.core_repair_changed);
+  w.EndObject();
+  // The sharded execution tier: the partition shape of the served dataset
+  // plus lifetime BSP counters. Always present (disabled + zeros when
+  // CEXPLORER_SHARDS <= 1) so clients can rely on the shape.
+  const std::uint32_t shard_count = shard::ConfiguredShards();
+  const shard::ShardTierStats shard_stats = shard::ShardStatsNow();
+  w.Key("shards");
+  w.BeginObject();
+  w.Key("enabled");
+  w.Bool(shard_count > 1);
+  w.Key("count");
+  w.UInt(shard_count);
+  w.Key("strategy");
+  w.String(shard::PartitionStrategyName(shard::ConfiguredStrategy()));
+  std::uint64_t boundary_vertices = 0;
+  std::uint64_t cut_edges = 0;
+  if (shard_count > 1 && snapshot != nullptr) {
+    const auto plan = snapshot->ShardedView(shard_count);
+    boundary_vertices = plan->boundary_vertices;
+    cut_edges = plan->cut_edges;
+  }
+  w.Key("boundary_vertices");
+  w.UInt(boundary_vertices);
+  w.Key("cut_edges");
+  w.UInt(cut_edges);
+  w.Key("queries");
+  w.UInt(shard_stats.queries);
+  w.Key("peels");
+  w.UInt(shard_stats.peels);
+  w.Key("messages_sent");
+  w.UInt(shard_stats.messages_sent);
+  w.Key("messages_received");
+  w.UInt(shard_stats.messages_received);
+  w.Key("supersteps");
+  w.UInt(shard_stats.supersteps);
+  w.Key("last_query_supersteps");
+  w.UInt(shard_stats.last_query_supersteps);
   w.EndObject();
   // Which kernel implementations this process resolved at startup, and the
   // posting storage of the live index — so a deploy can verify it actually

@@ -93,10 +93,18 @@ void ResultCache::Clear() {
 
 ResultCache::Stats ResultCache::GetStats() const {
   Stats stats;
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  // One load per counter, into locals, ordered against the update chain:
+  // an eviction is always preceded by its entry's insertion, and (for the
+  // query service) an insertion by a miss — so loading evictions first and
+  // misses last can only under-count the earlier link of each pair, never
+  // invert it. Derived values (lookups) come from the same locals, so a
+  // rendered body can't show hits > lookups no matter how the loads race
+  // concurrent queries.
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.lookups = stats.hits + stats.misses;
   stats.capacity = capacity_;
   stats.max_bytes = max_bytes_per_shard_ * shards_.size();
   stats.shards = shards_.size();

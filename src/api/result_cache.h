@@ -61,10 +61,15 @@ class ResultCache {
   /// pin: the LRU evicts by bytes as well as by entry count.
   static constexpr std::size_t kDefaultMaxBytes = 64u << 20;  // 64 MiB
 
-  /// Aggregate counters and sizing, as reported by /v1/stats.
+  /// Aggregate counters and sizing, as reported by /v1/stats. GetStats
+  /// snapshots every counter exactly once, ordered against the update
+  /// paths, so one Stats value is internally consistent: hits + misses ==
+  /// lookups, evictions <= insertions <= misses — even while lookups race
+  /// the render.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t lookups = 0;  ///< hits + misses, from the same snapshot
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
     std::size_t entries = 0;

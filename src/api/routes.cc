@@ -462,6 +462,8 @@ std::string DescribeApi(
     w.Bool(descriptor->caps.progress);
     w.Key("indexed");
     w.Bool(descriptor->caps.indexed);
+    w.Key("sharded");
+    w.Bool(descriptor->caps.sharded);
     w.EndObject();
     w.Key("params");
     w.BeginArray();

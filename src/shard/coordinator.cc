@@ -1,0 +1,215 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+namespace cexplorer {
+namespace shard {
+
+namespace {
+
+// Process-wide lifetime counters (the /v1/stats "shards" block). Relaxed
+// atomics; ShardStatsNow() snapshots each exactly once per render.
+std::atomic<std::uint64_t> g_queries{0};
+std::atomic<std::uint64_t> g_peels{0};
+std::atomic<std::uint64_t> g_messages_sent{0};
+std::atomic<std::uint64_t> g_messages_received{0};
+std::atomic<std::uint64_t> g_supersteps{0};
+std::atomic<std::uint64_t> g_last_query_supersteps{0};
+
+}  // namespace
+
+ShardTierStats ShardStatsNow() {
+  // One load per counter, ordered so derived invariants hold within a
+  // single snapshot: received is loaded before sent (a barrier publishes
+  // and counts both together, so a later sent-load can only be >=).
+  ShardTierStats stats;
+  stats.queries = g_queries.load(std::memory_order_relaxed);
+  stats.peels = g_peels.load(std::memory_order_relaxed);
+  stats.messages_received = g_messages_received.load(std::memory_order_relaxed);
+  stats.messages_sent = g_messages_sent.load(std::memory_order_relaxed);
+  stats.supersteps = g_supersteps.load(std::memory_order_relaxed);
+  stats.last_query_supersteps =
+      g_last_query_supersteps.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Coordinator::Coordinator(const Graph* g, const ShardPlan* plan)
+    : g_(g), plan_(plan), bus_(plan->num_shards) {
+  const std::uint32_t shards = plan_->num_shards;
+  workers_.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    workers_.push_back(std::make_unique<ShardWorker>(g_, plan_, s, &bus_));
+  }
+  active_.assign(shards, 0);
+  if (shards > 1) {
+    threads_.reserve(shards);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      threads_.emplace_back([this, s] { ThreadMain(s); });
+    }
+  }
+  g_queries.fetch_add(1, std::memory_order_relaxed);
+}
+
+Coordinator::~Coordinator() {
+  if (!threads_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+  std::uint64_t sent = 0;
+  for (std::uint32_t s = 0; s < plan_->num_shards; ++s) sent += bus_.SentBy(s);
+  g_messages_sent.fetch_add(sent, std::memory_order_relaxed);
+  g_messages_received.fetch_add(messages_, std::memory_order_relaxed);
+  g_supersteps.fetch_add(supersteps_, std::memory_order_relaxed);
+  g_peels.fetch_add(ops_, std::memory_order_relaxed);
+  g_last_query_supersteps.store(supersteps_, std::memory_order_relaxed);
+}
+
+void Coordinator::ThreadMain(std::uint32_t shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::uint32_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(shard);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void Coordinator::Invoke(const std::function<void(std::uint32_t)>& fn) {
+  if (threads_.empty()) {
+    fn(0);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &fn;
+  running_ = plan_->num_shards;
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return running_ == 0; });
+}
+
+bool Coordinator::FinishSuperstep() {
+  const std::uint64_t published = bus_.Flip();
+  messages_ += published;
+  ++supersteps_;
+  bool any_active = published > 0;
+  for (std::uint8_t a : active_) any_active |= a != 0;
+  return any_active;
+}
+
+void Coordinator::RunUntilQuiescent(
+    const std::function<bool(std::uint32_t)>& step) {
+  bool active = true;
+  while (active) {
+    Invoke([&](std::uint32_t s) { active_[s] = step(s) ? 1 : 0; });
+    active = FinishSuperstep();
+  }
+}
+
+VertexList Coordinator::GatherComponent(VertexId anchor) {
+  if (anchor >= g_->num_vertices()) return {};
+  ShardWorker& owner = *workers_[plan_->OwnerOf(anchor)];
+  if (!owner.IsOwnedMember(anchor)) return {};
+  owner.BfsSeed(anchor);
+  RunUntilQuiescent([&](std::uint32_t s) { return workers_[s]->BfsStep(); });
+  VertexList out;
+  for (auto& worker : workers_) worker->CollectVisited(&out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+VertexList Coordinator::PeelToKCoreSorted(const VertexList& candidates,
+                                          std::uint32_t k, VertexId anchor) {
+  ++ops_;
+  // Superstep 0: claim owned candidates, announce boundary membership.
+  Invoke([&](std::uint32_t s) { workers_[s]->PeelInit(candidates, k); });
+  FinishSuperstep();
+  // Supersteps 1..: induced degrees, then chaotic peel to convergence.
+  bool first = true;
+  bool active = true;
+  while (active) {
+    Invoke(
+        [&](std::uint32_t s) { active_[s] = workers_[s]->PeelStep(first); });
+    active = FinishSuperstep();
+    first = false;
+  }
+  if (anchor != kInvalidVertex) return GatherComponent(anchor);
+  VertexList out;
+  for (auto& worker : workers_) worker->CollectMembers(&out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+VertexList Coordinator::ConnectedKCore(
+    std::span<const std::uint32_t> core_numbers, VertexId q, std::uint32_t k) {
+  ++ops_;
+  if (q >= g_->num_vertices() || core_numbers[q] < k) return {};
+  Invoke([&](std::uint32_t s) {
+    workers_[s]->MembersFromCores(core_numbers, k);
+  });
+  return GatherComponent(q);
+}
+
+std::vector<std::uint32_t> Coordinator::CoreDecomposition() {
+  ++ops_;
+  const std::size_t n = g_->num_vertices();
+  std::vector<std::uint32_t> cores(n, 0);
+  Invoke([&](std::uint32_t s) { workers_[s]->CoreInit(); });
+  // Level-synchronous peel: at level L every vertex whose residual degree
+  // has dropped to <= L is removed (in cross-shard sub-rounds); the next
+  // level jumps to the minimum surviving degree, aggregated per worker.
+  std::vector<std::uint32_t> min_remaining(plan_->num_shards);
+  std::uint32_t level = 0;
+  std::uint32_t* out = cores.data();
+  for (;;) {
+    bool seed = true;
+    bool active = true;
+    while (active) {
+      Invoke([&](std::uint32_t s) {
+        if (seed) workers_[s]->CoreSeedLevel(level);
+        active_[s] = workers_[s]->CoreStep(level, out);
+      });
+      active = FinishSuperstep();
+      seed = false;
+    }
+    Invoke([&](std::uint32_t s) {
+      min_remaining[s] = workers_[s]->CoreMinRemaining();
+    });
+    std::uint32_t next = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint32_t m : min_remaining) next = std::min(next, m);
+    if (next == std::numeric_limits<std::uint32_t>::max()) break;
+    level = next;
+  }
+  return cores;
+}
+
+double Coordinator::MeasureBarrierNs(std::size_t count) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < count; ++i) {
+    Invoke([](std::uint32_t) {});
+    bus_.Flip();
+    ++supersteps_;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+  return count == 0 ? 0.0 : ns / static_cast<double>(count);
+}
+
+}  // namespace shard
+}  // namespace cexplorer

@@ -1,0 +1,136 @@
+// The BSP coordinator: drives superstep barriers over N shard workers and
+// assembles results that are bit-identical to the single-shard oracles.
+//
+// One Coordinator serves one query (or one bench loop): it spins up
+// num_shards - 1 worker threads (a single-shard plan runs inline on the
+// caller — the honest BSP baseline benchmarks compare against), executes
+// each operation as a sequence of supersteps, and detects convergence with
+// a Pregel-style aggregator: the operation ends on the first superstep in
+// which no worker changed a vertex and no messages were published at the
+// barrier — at that point every sent message has also been absorbed.
+//
+// The coordinator talks to workers only through the MessageBus and the
+// barrier; it never reads worker arrays mid-superstep. Between barriers
+// (workers quiescent) it may call worker methods directly — the mutex
+// handoff of the next superstep publishes those writes.
+//
+// Correctness of the assembled results rests on uniqueness: the maximal
+// subset of a candidate set with induced degree >= k is one set regardless
+// of peel order, core numbers are a function of the graph alone, and an
+// anchor's connected component is one set — so N cooperating peels plus an
+// ascending sort reproduce the sequential answers byte for byte.
+
+#ifndef CEXPLORER_SHARD_COORDINATOR_H_
+#define CEXPLORER_SHARD_COORDINATOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "shard/message.h"
+#include "shard/partition.h"
+#include "shard/worker.h"
+
+namespace cexplorer {
+namespace shard {
+
+/// Lifetime counters of the sharded tier, surfaced in /v1/stats. Snapshot
+/// all fields through ShardStatsNow() — never read the atomics piecemeal.
+struct ShardTierStats {
+  std::uint64_t queries = 0;   ///< coordinators constructed (one per query)
+  std::uint64_t peels = 0;     ///< sharded peel / BFS / decomposition ops
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t supersteps = 0;
+  std::uint64_t last_query_supersteps = 0;
+};
+
+/// One consistent snapshot of the process-wide counters.
+ShardTierStats ShardStatsNow();
+
+class Coordinator {
+ public:
+  /// `g` and `plan` must outlive the coordinator; `plan` must have been
+  /// built for `g`.
+  Coordinator(const Graph* g, const ShardPlan* plan);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Sharded twin of cexplorer::PeelToKCoreSorted: the maximal subset of
+  /// `candidates` (sorted unique) with induced degree >= k, restricted to
+  /// the anchor's component when given. Bit-identical to the oracle.
+  VertexList PeelToKCoreSorted(const VertexList& candidates, std::uint32_t k,
+                               VertexId anchor = kInvalidVertex);
+
+  /// Sharded twin of cexplorer::ConnectedKCore.
+  VertexList ConnectedKCore(std::span<const std::uint32_t> core_numbers,
+                            VertexId q, std::uint32_t k);
+
+  /// Sharded twin of cexplorer::CoreDecomposition (level-synchronous
+  /// peeling with cross-shard core-level announcements).
+  std::vector<std::uint32_t> CoreDecomposition();
+
+  /// Supersteps driven since construction (all operations).
+  std::uint64_t supersteps() const { return supersteps_; }
+
+  /// Messages published at barriers since construction.
+  std::uint64_t messages() const { return messages_; }
+
+  /// Barrier microbenchmark hook: drives `count` empty supersteps through
+  /// the full barrier + flip machinery and returns ns per superstep.
+  double MeasureBarrierNs(std::size_t count);
+
+ private:
+  /// Runs fn(shard) on every worker concurrently and waits for all.
+  void Invoke(const std::function<void(std::uint32_t)>& fn);
+
+  /// Barrier bookkeeping after a superstep: publishes messages, counts
+  /// them, and reports whether any worker was active or any message is
+  /// now in flight.
+  bool FinishSuperstep();
+
+  /// Runs `step` supersteps until global convergence.
+  void RunUntilQuiescent(const std::function<bool(std::uint32_t)>& step);
+
+  /// The anchor-component BFS over the current member marks.
+  VertexList GatherComponent(VertexId anchor);
+
+  void ThreadMain(std::uint32_t shard);
+
+  const Graph* g_;
+  const ShardPlan* plan_;
+  MessageBus bus_;
+  std::vector<std::unique_ptr<ShardWorker>> workers_;
+
+  // Per-worker activity slots: each worker writes only its own slot
+  // during a superstep; the coordinator reads them after the barrier.
+  std::vector<std::uint8_t> active_;
+
+  // Barrier state (condition-variable generation gate).
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::uint32_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::uint32_t running_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+
+  std::uint64_t supersteps_ = 0;
+  std::uint64_t messages_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace shard
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_SHARD_COORDINATOR_H_

@@ -1,0 +1,120 @@
+// Typed frontier messages and the double-buffered mailboxes they travel
+// through.
+//
+// The BSP contract: everything a worker sends during superstep S becomes
+// visible to its destination at superstep S+1, after the coordinator's
+// barrier flips the buffers. Each (src, dst) mailbox is written by exactly
+// one producer (worker `src`) and read by exactly one consumer (worker
+// `dst`) in the *other* buffer generation, so the steady state needs no
+// locks or atomics at all — the barrier is the only synchronization.
+//
+// Messages are trivially-copyable PODs with fixed-width fields: the
+// single-box tier memcpy-level exchanges them in process, and a future
+// multi-process transport can write the same bytes to a socket unchanged.
+
+#ifndef CEXPLORER_SHARD_MESSAGE_H_
+#define CEXPLORER_SHARD_MESSAGE_H_
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "graph/types.h"
+#include "shard/partition.h"
+
+namespace cexplorer {
+namespace shard {
+
+/// Wire tags of the frontier messages the peel/BFS protocols exchange.
+enum class MessageType : std::uint8_t {
+  /// Setup: `vertex` (owned by src) is a live candidate-set member; the
+  /// receiver marks its replica so induced degrees count it.
+  kMemberAnnounce = 0,
+  /// Peel: decrement the induced degree of `vertex` (owned by dst) by
+  /// `payload`; dropped if the vertex was already peeled.
+  kDegreeDecrement = 1,
+  /// Peel: `vertex` (replicated at dst) was pruned from the candidate
+  /// set; the receiver clears its replica mark so later removals skip the
+  /// dead neighbor.
+  kCandidatePrune = 2,
+  /// BFS: the component frontier crossed a shard boundary into `vertex`
+  /// (owned by dst); dropped if not a surviving member or already seen.
+  kVisit = 3,
+  /// Core decomposition: a neighbor of `vertex` (owned by dst) was peeled
+  /// at core level `payload`; the receiver decrements the residual degree.
+  kCoreLevel = 4,
+};
+
+/// One frontier message. POD and padding-free so a batch is serializable
+/// with a single memcpy.
+struct Message {
+  VertexId vertex = 0;
+  std::uint32_t payload = 0;
+  MessageType type = MessageType::kMemberAnnounce;
+  std::uint8_t reserved[3] = {0, 0, 0};
+};
+static_assert(std::is_trivially_copyable_v<Message>);
+static_assert(sizeof(Message) == 12);
+
+/// N x N double-buffered mailboxes. Workers write their own out-row of the
+/// front buffer during a superstep; Flip() (called by the coordinator at
+/// the barrier, no worker running) publishes it as the back buffer the
+/// receivers read next superstep.
+class MessageBus {
+ public:
+  explicit MessageBus(std::uint32_t num_shards)
+      : num_shards_(num_shards),
+        boxes_{std::vector<std::vector<Message>>(
+                   static_cast<std::size_t>(num_shards) * num_shards),
+               std::vector<std::vector<Message>>(
+                   static_cast<std::size_t>(num_shards) * num_shards)} {}
+
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
+
+  /// Queues `m` from worker `src` to worker `dst`; visible after Flip().
+  /// Only worker `src` may call this (single producer per mailbox).
+  void Send(std::uint32_t src, std::uint32_t dst, Message m) {
+    boxes_[front_][Index(src, dst)].push_back(m);
+    ++sent_[src];
+  }
+
+  /// Messages sent from `src` to `dst` in the superstep before the last
+  /// Flip(). Only worker `dst` should read its column.
+  std::span<const Message> Inbox(std::uint32_t src, std::uint32_t dst) const {
+    return boxes_[1 - front_][Index(src, dst)];
+  }
+
+  /// Barrier step (coordinator only, workers quiescent): publishes the
+  /// front buffer for reading and recycles the drained one for writing.
+  /// Returns the number of messages published.
+  std::uint64_t Flip() {
+    std::uint64_t in_flight = 0;
+    for (auto& box : boxes_[1 - front_]) box.clear();
+    for (const auto& box : boxes_[front_]) in_flight += box.size();
+    front_ = 1 - front_;
+    return in_flight;
+  }
+
+  /// Messages worker `src` has sent since construction (its own counter —
+  /// written only by `src`, read at the barrier).
+  std::uint64_t SentBy(std::uint32_t src) const { return sent_[src]; }
+
+  std::uint32_t num_shards() const { return num_shards_; }
+
+ private:
+  std::size_t Index(std::uint32_t src, std::uint32_t dst) const {
+    return static_cast<std::size_t>(src) * num_shards_ + dst;
+  }
+
+  std::uint32_t num_shards_;
+  int front_ = 0;
+  std::vector<std::vector<Message>> boxes_[2];
+  std::uint64_t sent_[kMaxShards] = {};
+};
+
+}  // namespace shard
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_SHARD_MESSAGE_H_

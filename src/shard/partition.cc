@@ -1,0 +1,126 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/hash64.h"
+
+namespace cexplorer {
+namespace shard {
+
+namespace {
+
+std::uint32_t ClampShards(std::uint32_t n) {
+  if (n < 1) return 1;  // 1 shard == sharded execution disabled
+  return n > kMaxShards ? kMaxShards : n;
+}
+
+std::uint32_t EnvShards() {
+  if (const char* env = std::getenv("CEXPLORER_SHARDS")) {
+    return ClampShards(
+        static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10)));
+  }
+  return 1;
+}
+
+PartitionStrategy EnvStrategy() {
+  if (const char* env = std::getenv("CEXPLORER_SHARD_STRATEGY")) {
+    if (std::string_view(env) == "hash") return PartitionStrategy::kHash;
+  }
+  return PartitionStrategy::kRange;
+}
+
+std::atomic<std::uint32_t> g_shards{EnvShards()};
+std::atomic<PartitionStrategy> g_strategy{EnvStrategy()};
+
+}  // namespace
+
+const char* PartitionStrategyName(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kRange:
+      return "range";
+    case PartitionStrategy::kHash:
+      return "hash";
+  }
+  return "unknown";
+}
+
+std::uint32_t ConfiguredShards() {
+  return g_shards.load(std::memory_order_relaxed);
+}
+
+void SetConfiguredShards(std::uint32_t n) {
+  g_shards.store(ClampShards(n), std::memory_order_relaxed);
+}
+
+PartitionStrategy ConfiguredStrategy() {
+  return g_strategy.load(std::memory_order_relaxed);
+}
+
+void SetConfiguredStrategy(PartitionStrategy strategy) {
+  g_strategy.store(strategy, std::memory_order_relaxed);
+}
+
+ShardPlan Partitioner::Build(const Graph& g, std::uint32_t num_shards,
+                             PartitionStrategy strategy) {
+  const std::size_t n = g.num_vertices();
+  ShardPlan plan;
+  plan.num_shards = ClampShards(num_shards);
+  plan.strategy = strategy;
+  plan.owner.resize(n);
+  plan.owned.resize(plan.num_shards);
+  plan.replicas.resize(plan.num_shards);
+  plan.replica_mask.assign(n, 0);
+
+  const std::uint32_t shards = plan.num_shards;
+  if (strategy == PartitionStrategy::kRange) {
+    // ceil(n / shards)-sized blocks: the first n % shards blocks get one
+    // extra vertex, so shard sizes differ by at most one.
+    const std::size_t base = n / shards;
+    const std::size_t extra = n % shards;
+    std::size_t v = 0;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      const std::size_t count = base + (s < extra ? 1 : 0);
+      plan.owned[s].reserve(count);
+      for (std::size_t i = 0; i < count; ++i, ++v) {
+        plan.owner[v] = s;
+        plan.owned[s].push_back(static_cast<VertexId>(v));
+      }
+    }
+  } else {
+    for (std::size_t v = 0; v < n; ++v) {
+      const VertexId id = static_cast<VertexId>(v);
+      plan.owner[v] =
+          static_cast<std::uint32_t>(Hash64(&id, sizeof(id)) % shards);
+      plan.owned[plan.owner[v]].push_back(id);
+    }
+  }
+
+  // Replica tables: one adjacency sweep. owned[] lists are ascending, so
+  // each shard's replica list is built as a sorted merge of per-vertex
+  // neighbor runs and deduplicated once at the end.
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint32_t sv = plan.owner[v];
+    bool boundary = false;
+    for (VertexId w : g.Neighbors(static_cast<VertexId>(v))) {
+      const std::uint32_t sw = plan.owner[w];
+      if (sw == sv) continue;
+      boundary = true;
+      if (v < w) ++plan.cut_edges;  // count each cross edge once
+      // v's owner needs a replica of w; mark both directions via the
+      // symmetric sweep (w's own iteration adds v to replicas[sw]).
+      if ((plan.replica_mask[w] & (1ull << sv)) == 0) {
+        plan.replica_mask[w] |= 1ull << sv;
+        plan.replicas[sv].push_back(w);
+      }
+    }
+    if (boundary) ++plan.boundary_vertices;
+  }
+  for (VertexList& r : plan.replicas) std::sort(r.begin(), r.end());
+  return plan;
+}
+
+}  // namespace shard
+}  // namespace cexplorer

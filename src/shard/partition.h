@@ -1,0 +1,98 @@
+// Edge-cut graph partitioning for the sharded (BSP) execution tier.
+//
+// A ShardPlan assigns every vertex of a CSR graph to exactly one of N
+// shards (the vertex's *owner*) and precomputes, per shard, the remote
+// vertices its owned vertices are adjacent to (the shard's *replica
+// table*). Workers peel only the vertices they own; membership state of
+// replicas is kept fresh through announce/prune messages, so a worker
+// never reads another shard's arrays — the plan is the only shared,
+// immutable structure.
+//
+// Two strategies cover the classic trade-off: contiguous ranges keep the
+// (locality-sorted) CSR cache-friendly and minimize cut edges on graphs
+// with id locality; hashing balances adversarially skewed id
+// distributions at the cost of a larger cut. Plans are pure functions of
+// (graph, N, strategy), so sharded results are reproducible.
+
+#ifndef CEXPLORER_SHARD_PARTITION_H_
+#define CEXPLORER_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace cexplorer {
+namespace shard {
+
+/// Replica masks are one 64-bit word per vertex, which caps the fan-out a
+/// single box can express; multi-process transport lifts this later.
+inline constexpr std::uint32_t kMaxShards = 64;
+
+/// How vertices are assigned to shards.
+enum class PartitionStrategy : std::uint8_t {
+  kRange = 0,  ///< contiguous id blocks of ~n/N vertices
+  kHash = 1,   ///< Hash64(id) % N
+};
+
+/// Stable wire name of a strategy ("range", "hash").
+const char* PartitionStrategyName(PartitionStrategy strategy);
+
+/// One immutable edge-cut partition of a graph. Built by Partitioner;
+/// shared read-only by every worker and query.
+struct ShardPlan {
+  std::uint32_t num_shards = 1;
+  PartitionStrategy strategy = PartitionStrategy::kRange;
+
+  /// Owning shard of every vertex (size n).
+  std::vector<std::uint32_t> owner;
+
+  /// Per shard: the vertices it owns, ascending.
+  std::vector<VertexList> owned;
+
+  /// Per shard s: the remote vertices adjacent to at least one s-owned
+  /// vertex, ascending ("replica table"). Closed under boundary edges by
+  /// construction: every cross-shard edge (u, v) puts v in
+  /// replicas[owner[u]] and u in replicas[owner[v]].
+  std::vector<VertexList> replicas;
+
+  /// Per vertex: bit s set iff the vertex appears in replicas[s] — the
+  /// shards an owner must announce membership changes to (size n).
+  std::vector<std::uint64_t> replica_mask;
+
+  std::size_t boundary_vertices = 0;  ///< vertices with a cross-shard edge
+  std::size_t cut_edges = 0;          ///< undirected edges across shards
+
+  std::uint32_t OwnerOf(VertexId v) const { return owner[v]; }
+};
+
+/// Builds ShardPlans. Stateless; a static factory keeps call sites short.
+class Partitioner {
+ public:
+  /// Partitions `g` into `num_shards` shards (clamped to [1, kMaxShards]).
+  static ShardPlan Build(const Graph& g, std::uint32_t num_shards,
+                         PartitionStrategy strategy);
+};
+
+// --- Process-wide sharding configuration ------------------------------------
+//
+// CEXPLORER_SHARDS seeds the shard count at startup (0 or 1 = disabled);
+// CEXPLORER_SHARD_STRATEGY seeds the strategy ("range" | "hash"). Both are
+// runtime-settable (the CLI `shards` command and tests flip them), read
+// with relaxed atomics on the query path.
+
+/// The configured shard count; values <= 1 mean "sharding disabled".
+std::uint32_t ConfiguredShards();
+
+/// Sets the shard count (clamped to [0, kMaxShards]).
+void SetConfiguredShards(std::uint32_t n);
+
+/// The configured partition strategy.
+PartitionStrategy ConfiguredStrategy();
+void SetConfiguredStrategy(PartitionStrategy strategy);
+
+}  // namespace shard
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_SHARD_PARTITION_H_

@@ -1,0 +1,253 @@
+#include "shard/worker.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace cexplorer {
+namespace shard {
+
+ShardWorker::ShardWorker(const Graph* g, const ShardPlan* plan,
+                         std::uint32_t shard, MessageBus* bus)
+    : g_(g), plan_(plan), shard_(shard), bus_(bus) {}
+
+void ShardWorker::Begin() {
+  const std::size_t n = g_->num_vertices();
+  if (member_.size() < n) {
+    member_.resize(n, 0);
+    visited_.resize(n, 0);
+    degree_.resize(n, 0);
+  }
+  if (++epoch_ == 0) {
+    // Stamp wrap (2^32 queries on one worker): hard-reset once.
+    std::fill(member_.begin(), member_.end(), 0);
+    std::fill(visited_.begin(), visited_.end(), 0);
+    epoch_ = 1;
+  }
+  queue_.clear();
+  own_members_.clear();
+}
+
+void ShardWorker::SendAll(std::uint64_t mask, Message m) {
+  while (mask != 0) {
+    const std::uint32_t dst =
+        static_cast<std::uint32_t>(std::countr_zero(mask));
+    bus_->Send(shard_, dst, m);
+    mask &= mask - 1;
+  }
+}
+
+void ShardWorker::PeelInit(const VertexList& candidates, std::uint32_t k) {
+  Begin();
+  k_ = k;
+  for (VertexId v : candidates) {
+    if (plan_->owner[v] != shard_) continue;
+    member_[v] = epoch_;
+    own_members_.push_back(v);
+    const std::uint64_t mask = plan_->replica_mask[v];
+    if (mask != 0) {
+      SendAll(mask, Message{v, 0, MessageType::kMemberAnnounce, {}});
+    }
+  }
+}
+
+bool ShardWorker::PeelStep(bool first) {
+  const std::uint64_t sent_before = bus_->SentBy(shard_);
+  std::size_t removals = 0;
+
+  if (first) {
+    // Inboxes hold only membership announcements (superstep 0 sends
+    // nothing else); with replicas marked, induced degrees are exact.
+    for (std::uint32_t src = 0; src < plan_->num_shards; ++src) {
+      for (const Message& m : bus_->Inbox(src, shard_)) {
+        member_[m.vertex] = epoch_;
+      }
+    }
+    for (VertexId v : own_members_) {
+      std::uint32_t d = 0;
+      for (VertexId w : g_->Neighbors(v)) d += IsMember(w);
+      degree_[v] = d;
+      if (d < k_) queue_.push_back(v);
+    }
+  } else {
+    for (std::uint32_t src = 0; src < plan_->num_shards; ++src) {
+      for (const Message& m : bus_->Inbox(src, shard_)) {
+        switch (m.type) {
+          case MessageType::kDegreeDecrement: {
+            const VertexId w = m.vertex;
+            if (!IsMember(w)) break;  // already peeled: stale decrement
+            const std::uint32_t before = degree_[w];
+            degree_[w] = before - m.payload;
+            // Queue exactly at the k-crossing, mirroring the sequential
+            // peel (a vertex below k was queued when it crossed).
+            if (before >= k_ && degree_[w] < k_) queue_.push_back(w);
+            break;
+          }
+          case MessageType::kCandidatePrune:
+            member_[m.vertex] = 0;  // replica died on its owner
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+
+  // Local cascade to a fixpoint: everything removable without new remote
+  // information goes this superstep, so supersteps scale with cross-shard
+  // dependency depth, not peel depth.
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const VertexId v = queue_[head++];
+    if (!IsMember(v)) continue;
+    member_[v] = 0;
+    ++removals;
+    const std::uint64_t mask = plan_->replica_mask[v];
+    if (mask != 0) {
+      SendAll(mask, Message{v, 0, MessageType::kCandidatePrune, {}});
+    }
+    for (VertexId w : g_->Neighbors(v)) {
+      if (!IsMember(w)) continue;
+      if (plan_->owner[w] == shard_) {
+        if (degree_[w]-- == k_) queue_.push_back(w);
+      } else {
+        bus_->Send(shard_, plan_->owner[w],
+                   Message{w, 1, MessageType::kDegreeDecrement, {}});
+      }
+    }
+  }
+  queue_.clear();
+  return removals > 0 || bus_->SentBy(shard_) != sent_before;
+}
+
+bool ShardWorker::IsOwnedMember(VertexId v) const {
+  return plan_->owner[v] == shard_ && IsMember(v);
+}
+
+void ShardWorker::BfsSeed(VertexId v) {
+  visited_[v] = epoch_;
+  queue_.push_back(v);
+}
+
+bool ShardWorker::BfsStep() {
+  const std::uint64_t sent_before = bus_->SentBy(shard_);
+  std::size_t newly_visited = 0;
+  for (std::uint32_t src = 0; src < plan_->num_shards; ++src) {
+    for (const Message& m : bus_->Inbox(src, shard_)) {
+      const VertexId w = m.vertex;
+      if (IsMember(w) && visited_[w] != epoch_) {
+        visited_[w] = epoch_;
+        queue_.push_back(w);
+        ++newly_visited;
+      }
+    }
+  }
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const VertexId u = queue_[head++];
+    for (VertexId w : g_->Neighbors(u)) {
+      if (!IsMember(w) || visited_[w] == epoch_) continue;
+      // A visited mark on a replica means "crossing already sent" — the
+      // owner dedups again, but this keeps one shard from resending.
+      visited_[w] = epoch_;
+      if (plan_->owner[w] == shard_) {
+        queue_.push_back(w);
+        ++newly_visited;
+      } else {
+        bus_->Send(shard_, plan_->owner[w],
+                   Message{w, 0, MessageType::kVisit, {}});
+      }
+    }
+  }
+  queue_.clear();
+  return newly_visited > 0 || bus_->SentBy(shard_) != sent_before;
+}
+
+void ShardWorker::MembersFromCores(std::span<const std::uint32_t> cores,
+                                   std::uint32_t k) {
+  Begin();
+  k_ = k;
+  for (VertexId v : plan_->owned[shard_]) {
+    if (cores[v] >= k) {
+      member_[v] = epoch_;
+      own_members_.push_back(v);
+    }
+  }
+  // Core numbers are globally readable, so replica membership needs no
+  // announce round.
+  for (VertexId v : plan_->replicas[shard_]) {
+    if (cores[v] >= k) member_[v] = epoch_;
+  }
+}
+
+void ShardWorker::CoreInit() {
+  Begin();
+  for (VertexId v : plan_->owned[shard_]) {
+    member_[v] = epoch_;
+    degree_[v] = static_cast<std::uint32_t>(g_->Degree(v));
+  }
+}
+
+void ShardWorker::CoreSeedLevel(std::uint32_t level) {
+  for (VertexId v : plan_->owned[shard_]) {
+    if (IsMember(v) && degree_[v] <= level) queue_.push_back(v);
+  }
+}
+
+bool ShardWorker::CoreStep(std::uint32_t level, std::uint32_t* out) {
+  const std::uint64_t sent_before = bus_->SentBy(shard_);
+  std::size_t removals = 0;
+  for (std::uint32_t src = 0; src < plan_->num_shards; ++src) {
+    for (const Message& m : bus_->Inbox(src, shard_)) {
+      const VertexId w = m.vertex;
+      if (!IsMember(w)) continue;  // peeled at an earlier level/sub-round
+      const std::uint32_t before = degree_[w];
+      degree_[w] = before - m.payload;
+      if (before > level && degree_[w] <= level) queue_.push_back(w);
+    }
+  }
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const VertexId v = queue_[head++];
+    if (!IsMember(v)) continue;
+    member_[v] = 0;
+    out[v] = level;
+    ++removals;
+    for (VertexId w : g_->Neighbors(v)) {
+      if (plan_->owner[w] == shard_) {
+        if (!IsMember(w)) continue;
+        if (degree_[w]-- == level + 1) queue_.push_back(w);
+      } else {
+        // The sender cannot see remote liveness; the owner drops
+        // announcements for already-peeled vertices.
+        bus_->Send(shard_, plan_->owner[w],
+                   Message{w, 1, MessageType::kCoreLevel, {}});
+      }
+    }
+  }
+  queue_.clear();
+  return removals > 0 || bus_->SentBy(shard_) != sent_before;
+}
+
+std::uint32_t ShardWorker::CoreMinRemaining() const {
+  std::uint32_t min_degree = std::numeric_limits<std::uint32_t>::max();
+  for (VertexId v : plan_->owned[shard_]) {
+    if (IsMember(v)) min_degree = std::min(min_degree, degree_[v]);
+  }
+  return min_degree;
+}
+
+void ShardWorker::CollectMembers(VertexList* out) const {
+  for (VertexId v : own_members_) {
+    if (IsMember(v)) out->push_back(v);
+  }
+}
+
+void ShardWorker::CollectVisited(VertexList* out) const {
+  for (VertexId v : own_members_) {
+    if (IsMember(v) && visited_[v] == epoch_) out->push_back(v);
+  }
+}
+
+}  // namespace shard
+}  // namespace cexplorer

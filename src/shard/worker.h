@@ -1,0 +1,117 @@
+// One shard's executor: the vertex-centric half of the BSP protocols.
+//
+// A ShardWorker owns the mutable per-shard state (epoch-stamped membership
+// and visited marks, induced/residual degrees, the local cascade worklist)
+// for the vertices its shard owns, plus the membership marks of its
+// replicas. It never reads another worker's arrays: cross-shard effects
+// travel exclusively as Messages through the shared MessageBus, and the
+// coordinator's barrier is the only synchronization. All methods are
+// called either by this worker's thread inside a superstep or by the
+// coordinator between barriers (workers quiescent), never both at once.
+//
+// The scratch arrays are per-query in the PeelScratch sense: Begin() bumps
+// an epoch instead of clearing, so repeated peels on the same coordinator
+// cost O(touched vertices), not O(n).
+
+#ifndef CEXPLORER_SHARD_WORKER_H_
+#define CEXPLORER_SHARD_WORKER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "shard/message.h"
+#include "shard/partition.h"
+
+namespace cexplorer {
+namespace shard {
+
+class ShardWorker {
+ public:
+  ShardWorker(const Graph* g, const ShardPlan* plan, std::uint32_t shard,
+              MessageBus* bus);
+
+  // --- Candidate-set peel (the ACQ / PeelToKCore protocol) -----------------
+
+  /// Superstep 0: claims the owned slice of `candidates` (sorted unique)
+  /// and announces boundary members to the shards replicating them.
+  void PeelInit(const VertexList& candidates, std::uint32_t k);
+
+  /// Superstep s >= 1: absorbs the inbox (member announces on the first
+  /// step, degree decrements / prunes afterwards), then cascades local
+  /// removals to a fixpoint, emitting cross-shard decrements and prunes.
+  /// Returns true if this worker removed a vertex or sent a message.
+  bool PeelStep(bool first);
+
+  // --- Anchored component BFS (after a peel, or over a k-core) -------------
+
+  /// True iff this worker owns `v` and `v` is a surviving member.
+  bool IsOwnedMember(VertexId v) const;
+
+  /// Seeds the BFS at `v` (must be an owned surviving member). Called by
+  /// the coordinator between barriers.
+  void BfsSeed(VertexId v);
+
+  /// One BFS superstep: absorbs kVisit crossings, expands the local
+  /// frontier, sends crossings for remote member neighbors. Returns true
+  /// if anything was visited or sent.
+  bool BfsStep();
+
+  /// Marks membership directly from precomputed core numbers (the Global
+  /// algorithm's ConnectedKCore — no announce round needed, every shard
+  /// can read the shared span).
+  void MembersFromCores(std::span<const std::uint32_t> cores, std::uint32_t k);
+
+  // --- Core decomposition (level-synchronous, ParK-style) ------------------
+
+  /// Resets residual degrees of owned vertices; all start alive.
+  void CoreInit();
+
+  /// Starts core level `level`: queues every alive owned vertex whose
+  /// residual degree is <= level.
+  void CoreSeedLevel(std::uint32_t level);
+
+  /// One sub-round of level `level`: absorbs kCoreLevel announcements,
+  /// then cascades local removals (writing core numbers into `out`, which
+  /// this worker touches only at owned slots). Returns true if active.
+  bool CoreStep(std::uint32_t level, std::uint32_t* out);
+
+  /// Minimum residual degree among alive owned vertices (UINT32_MAX when
+  /// none remain) — the coordinator's next-level aggregator.
+  std::uint32_t CoreMinRemaining() const;
+
+  // --- Result gather (coordinator thread, workers quiescent) ---------------
+
+  /// Appends surviving owned members, ascending.
+  void CollectMembers(VertexList* out) const;
+
+  /// Appends BFS-visited owned members, ascending.
+  void CollectVisited(VertexList* out) const;
+
+ private:
+  /// Bumps the query epoch and sizes the stamp arrays.
+  void Begin();
+
+  bool IsMember(VertexId v) const { return member_[v] == epoch_; }
+  void SendAll(std::uint64_t mask, Message m);
+
+  const Graph* g_;
+  const ShardPlan* plan_;
+  std::uint32_t shard_;
+  MessageBus* bus_;
+
+  std::uint32_t k_ = 0;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> member_;   ///< stamp: live member (owned+replica)
+  std::vector<std::uint32_t> visited_;  ///< stamp: BFS reached / visit sent
+  std::vector<std::uint32_t> degree_;   ///< induced/residual degree, owned only
+  std::vector<VertexId> queue_;         ///< local cascade / frontier worklist
+  std::vector<VertexId> own_members_;   ///< owned candidates of this query
+};
+
+}  // namespace shard
+}  // namespace cexplorer
+
+#endif  // CEXPLORER_SHARD_WORKER_H_

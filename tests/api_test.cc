@@ -113,6 +113,8 @@ TEST_F(ApiFixture, SelfDescriptionMatchesAlgorithmRegistry) {
               want.caps.progress);
     EXPECT_EQ(got.Get("capabilities").Get("indexed").AsBool(),
               want.caps.indexed);
+    EXPECT_EQ(got.Get("capabilities").Get("sharded").AsBool(),
+              want.caps.sharded);
     const auto& params = got.Get("params").Items();
     ASSERT_EQ(params.size(), want.params.size()) << want.name;
     for (std::size_t p = 0; p < want.params.size(); ++p) {
@@ -202,6 +204,29 @@ TEST_F(ApiFixture, StatsReportMutationsBlock) {
   EXPECT_FALSE(folded.Get("active").AsBool());
   EXPECT_EQ(folded.Get("pending_batches").AsInt(), 0);
   EXPECT_EQ(folded.Get("compactions").AsInt(), 1);
+}
+
+TEST_F(ApiFixture, StatsReportShardsBlock) {
+  // The shards block is always present — disabled with zeroed partition
+  // counters when CEXPLORER_SHARDS <= 1 — so clients can rely on the
+  // shape, mirroring the mutations block.
+  const JsonValue block = GetJson("GET /v1/stats").Get("shards");
+  ASSERT_TRUE(block.is_object());
+  for (const char* field :
+       {"enabled", "count", "strategy", "boundary_vertices", "cut_edges",
+        "queries", "peels", "messages_sent", "messages_received",
+        "supersteps", "last_query_supersteps"}) {
+    EXPECT_TRUE(block.Has(field)) << field;
+  }
+  EXPECT_GE(block.Get("count").AsInt(), 1);
+  const std::string strategy = block.Get("strategy").AsString();
+  EXPECT_TRUE(strategy == "range" || strategy == "hash") << strategy;
+  EXPECT_LE(block.Get("messages_received").AsInt(),
+            block.Get("messages_sent").AsInt());
+  if (!block.Get("enabled").AsBool()) {
+    EXPECT_EQ(block.Get("boundary_vertices").AsInt(), 0);
+    EXPECT_EQ(block.Get("cut_edges").AsInt(), 0);
+  }
 }
 
 TEST_F(ApiFixture, VersionReportsApiAndBuild) {

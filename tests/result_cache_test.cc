@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/query_service.h"
@@ -178,10 +181,44 @@ TEST_F(ResultCacheFixture, StatsEndpointSurfacesCounters) {
   EXPECT_TRUE(cache.Get("enabled").AsBool());
   EXPECT_EQ(cache.Get("hits").AsInt(), 1);
   EXPECT_EQ(cache.Get("misses").AsInt(), 1);
+  EXPECT_EQ(cache.Get("lookups").AsInt(), 2);
   EXPECT_EQ(cache.Get("entries").AsInt(), 1);
   EXPECT_GT(cache.Get("capacity").AsInt(), 0);
   EXPECT_TRUE(v->Get("graph_loaded").AsBool());
   EXPECT_GT(v->Get("sessions").AsInt(), 0);
+}
+
+// Regression: GetStats used to load the counters in an order that let a
+// stats body rendered mid-traffic claim impossible totals (an eviction
+// without its insertion, hits exceeding the lookups implied by them).
+// Hammer the cache from several threads while rendering snapshots and
+// check every snapshot is internally consistent.
+TEST(ResultCacheStatsTest, SnapshotInvariantsHoldUnderConcurrentTraffic) {
+  api::ResultCache cache(/*capacity=*/16, /*shards=*/2, /*max_bytes=*/1
+                                                            << 16);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&cache, &stop, t] {
+      for (std::uint32_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        const std::string key =
+            "q" + std::to_string(t) + "/" + std::to_string(i % 64);
+        if (cache.Get(key) == nullptr) {
+          auto value = std::make_shared<api::CachedSearch>();
+          value->body = "{\"k\":" + std::to_string(i) + "}";
+          cache.Put(key, std::move(value));
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 2000; ++round) {
+    const api::ResultCache::Stats stats = cache.GetStats();
+    ASSERT_EQ(stats.lookups, stats.hits + stats.misses);
+    ASSERT_LE(stats.evictions, stats.insertions);
+    ASSERT_LE(stats.insertions, stats.lookups);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : writers) t.join();
 }
 
 }  // namespace
