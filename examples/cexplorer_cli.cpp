@@ -25,11 +25,15 @@
 //   export <i> <file.svg>      save community i as SVG
 //   snapshot save <file>       write the dataset as a zero-copy snapshot
 //   snapshot load <file>       mmap a snapshot and swap it in (instant start)
-//   link <u> <v> [u v ...]     insert edges (one atomic mutation batch)
-//   unlink <u> <v> [u v ...]   remove edges (one atomic mutation batch)
+//   link <u> <v> [u v ...]     insert edges (one atomic mutation batch);
+//                              reports the publish latency and whether the
+//                              CL-tree was repaired in place or rebuilt
+//   unlink <u> <v> [u v ...]   remove edges (one atomic mutation batch);
+//                              same publish report as link
 //   addvertex <name> [kw,..]   append a vertex with a name and keywords
 //   compact                    fold the mutation overlay into an owned
-//                              dataset now
+//                              dataset now; prints what the fold absorbed
+//                              (patched tree nodes / posting entries)
 //   shards [n]                 show or set sharded (BSP) execution; with n
 //                              prints the partition summary of the dataset
 //   demo                       run a canned exploration session
@@ -47,6 +51,7 @@
 
 #include "api/query_service.h"
 #include "common/json.h"
+#include "common/timer.h"
 #include "common/strings.h"
 #include "data/dblp.h"
 #include "shard/partition.h"
@@ -305,8 +310,19 @@ void RunCommand(CliState* state, const std::string& line) {
     body += "]}";
     api::MutationRequest request;
     request.body = body;
-    ShowResponse(cmd == "link" ? state->service.AddEdges(request)
-                               : state->service.RemoveEdges(request));
+    const delta::MutationStats before = state->service.MutationStatsNow();
+    Timer timer;
+    auto response = cmd == "link" ? state->service.AddEdges(request)
+                                  : state->service.RemoveEdges(request);
+    const double publish_ms = timer.ElapsedMillis();
+    ShowResponse(response);
+    if (response.ok()) {
+      const delta::MutationStats after = state->service.MutationStatsNow();
+      const char* path = after.cltree_repairs > before.cltree_repairs
+                             ? "incremental tree repair"
+                             : "index rebuild";
+      std::printf("  published in %.3f ms (%s)\n", publish_ms, path);
+    }
   } else if (cmd == "addvertex" && words.size() >= 2) {
     // addvertex <name...> [kw1,kw2] — trailing comma-list = keywords.
     std::string keywords;
@@ -335,7 +351,17 @@ void RunCommand(CliState* state, const std::string& line) {
     request.body = body;
     ShowResponse(state->service.AddVertices(request));
   } else if (cmd == "compact") {
-    ShowResponse(state->service.CompactMutations(""));
+    auto response = state->service.CompactMutations("");
+    ShowResponse(response);
+    if (response.ok()) {
+      const delta::MutationStats stats = state->service.MutationStatsNow();
+      std::printf("  fold absorbed %llu patched tree node(s), %llu posting "
+                  "entr%s, in %.3f ms\n",
+                  static_cast<unsigned long long>(stats.last_fold_patched_nodes),
+                  static_cast<unsigned long long>(stats.last_fold_postings),
+                  stats.last_fold_postings == 1 ? "y" : "ies",
+                  stats.last_compaction_ms);
+    }
   } else if (cmd == "shards") {
     if (words.size() >= 2) {
       shard::SetConfiguredShards(

@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -39,6 +40,18 @@
 
 namespace cexplorer {
 namespace api {
+
+/// Where in the CL-tree a cached search's answer lives: the community (or,
+/// for an empty result, the anchor vertex) resolved to its connected
+/// `level`-core component, identified by the tree node id. A mutation
+/// publish that provably leaves that component's subgraph untouched can
+/// keep the entry across the epoch bump (see MigrateAcrossEpoch);
+/// untaggable entries (`valid == false`) are always dropped.
+struct CacheTag {
+  bool valid = false;
+  std::uint32_t level = 0;  ///< core level the result depends on
+  std::uint32_t comp = 0;   ///< CL-tree node id of the level-core component
+};
 
 /// One cached search outcome. `communities` re-populates the hitting
 /// session's browser cache (so /community, /export and /explore behave as
@@ -72,6 +85,8 @@ class ResultCache {
     std::uint64_t lookups = 0;  ///< hits + misses, from the same snapshot
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    /// Entries carried across a mutation publish instead of flushed.
+    std::uint64_t reused_across_mutation = 0;
     std::size_t entries = 0;
     std::size_t bytes = 0;
     std::size_t capacity = 0;
@@ -96,11 +111,23 @@ class ResultCache {
   CachedSearchPtr Get(const std::string& key);
 
   /// Inserts (or refreshes) `key`, evicting the shard's least recently
-  /// used entry when the shard is at capacity. No-op when disabled.
-  void Put(const std::string& key, CachedSearchPtr value);
+  /// used entry when the shard is at capacity. No-op when disabled. `tag`
+  /// locates the result in the CL-tree for cross-epoch migration; entries
+  /// inserted without one never survive a mutation publish.
+  void Put(const std::string& key, CachedSearchPtr value,
+           const CacheTag& tag = CacheTag{});
 
   /// Drops every entry (graph swap); counters are kept.
   void Clear();
+
+  /// Carries entries across a mutation publish's epoch bump. Every entry
+  /// whose key starts with `old_prefix`, carries a valid tag, and passes
+  /// `keep(tag)` is re-keyed to `new_prefix` + suffix (and re-sharded);
+  /// everything else is dropped. Returns — and counts into
+  /// `reused_across_mutation` — the number of entries kept.
+  std::size_t MigrateAcrossEpoch(
+      const std::string& old_prefix, const std::string& new_prefix,
+      const std::function<bool(const CacheTag&)>& keep);
 
   Stats GetStats() const;
 
@@ -109,6 +136,7 @@ class ResultCache {
     std::string key;
     CachedSearchPtr value;
     std::size_t bytes = 0;
+    CacheTag tag;
   };
 
   struct Shard {
@@ -137,6 +165,7 @@ class ResultCache {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> insertions_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> reused_across_mutation_{0};
 };
 
 }  // namespace api

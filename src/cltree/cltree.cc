@@ -581,10 +581,8 @@ void ClTree::Finalize(const AttributedGraph& g,
 }
 
 ClNodeId ClTree::LocateKCore(VertexId q, std::uint32_t k) const {
-  if (q >= vertex_node_.size() || vertex_node_[q] == kInvalidClNode) {
-    return kInvalidClNode;
-  }
-  ClNodeId id = vertex_node_[q];
+  ClNodeId id = NodeOf(q);
+  if (id == kInvalidClNode) return kInvalidClNode;
   if (nodes_[id].core < k) return kInvalidClNode;
   while (nodes_[id].parent != kInvalidClNode &&
          nodes_[nodes_[id].parent].core >= k) {
@@ -637,6 +635,45 @@ std::span<const VertexId> ClTree::PostingsAtSlot(
   return {buf->data(), count};
 }
 
+void ClTree::AppendPatchedNodeMatches(const NodePatch& p,
+                                      std::span<const KeywordId> kws,
+                                      VertexList* out) const {
+  // Patched twin of the slot-arithmetic body below: the node's lists live
+  // in its patch overlay (always raw, LOCAL offsets), not the tree-wide
+  // arenas. Same rarest-first progressive intersection.
+  PostingScratch& s = ThreadPostingScratch();
+  s.slots.clear();
+  for (KeywordId kw : kws) {
+    auto it = std::lower_bound(p.kws.begin(), p.kws.end(), kw);
+    if (it == p.kws.end() || *it != kw) return;
+    s.slots.push_back(static_cast<std::size_t>(it - p.kws.begin()));
+  }
+  std::sort(s.slots.begin(), s.slots.end(),
+            [&p](std::size_t a, std::size_t b) {
+              return p.offs[a + 1] - p.offs[a] < p.offs[b + 1] - p.offs[b];
+            });
+  auto list = [&p](std::size_t slot) {
+    return std::span<const VertexId>(p.posts.data() + p.offs[slot],
+                                     p.offs[slot + 1] - p.offs[slot]);
+  };
+  std::span<const VertexId> cur = list(s.slots[0]);
+  if (s.slots.size() == 1) {
+    out->insert(out->end(), cur.begin(), cur.end());
+    return;
+  }
+  const std::size_t cap = cur.size() + simd::kIntersectPad;
+  if (s.pong.size() < cap) s.pong.resize(cap);
+  if (s.ping.size() < cap) s.ping.resize(cap);
+  std::vector<VertexId>* dst = &s.ping;
+  for (std::size_t i = 1; i < s.slots.size() && !cur.empty(); ++i) {
+    const std::size_t cnt =
+        simd::IntersectSorted(cur, list(s.slots[i]), dst->data());
+    cur = {dst->data(), cnt};
+    dst = dst == &s.ping ? &s.pong : &s.ping;
+  }
+  out->insert(out->end(), cur.begin(), cur.end());
+}
+
 void ClTree::AppendNodeMatches(ClNodeId id, std::span<const KeywordId> kws,
                                std::uint64_t query_fp, VertexList* out) const {
   const ClTreeNode& node = nodes_[id];
@@ -645,6 +682,10 @@ void ClTree::AppendNodeMatches(ClNodeId id, std::span<const KeywordId> kws,
     return;
   }
   if (!simd::BloomMayContainAll(node_kw_bloom_[id], query_fp)) return;
+  if (!node_patches_.empty() && patched_bitmap_[id]) {
+    AppendPatchedNodeMatches(node_patches_.find(id)->second, kws, out);
+    return;
+  }
 
   PostingScratch& s = ThreadPostingScratch();
   const std::size_t kw_base = static_cast<std::size_t>(
@@ -712,15 +753,28 @@ std::size_t ClTree::CountKeyword(ClNodeId id, KeywordId kw) const {
     const auto& node_kws = nodes_[i].inv_keywords;
     auto it = std::lower_bound(node_kws.begin(), node_kws.end(), kw);
     if (it == node_kws.end() || *it != kw) continue;
+    const std::size_t local = static_cast<std::size_t>(it - node_kws.begin());
+    if (!node_patches_.empty() && patched_bitmap_[i]) {
+      const NodePatch& p = node_patches_.find(i)->second;
+      count += p.offs[local + 1] - p.offs[local];
+      continue;
+    }
     const std::size_t slot =
         static_cast<std::size_t>(node_kws.data() - inv_keyword_arena_.data()) +
-        static_cast<std::size_t>(it - node_kws.begin());
+        local;
     count += inv_offset_arena_[slot + 1] - inv_offset_arena_[slot];
   }
   return count;
 }
 
 std::size_t ClTree::MemoryBytes() const {
+  std::size_t patch_bytes = patched_bitmap_.size();
+  for (const auto& [id, p] : node_patches_) {
+    patch_bytes += sizeof(NodePatch) + p.vertices.size() * sizeof(VertexId) +
+                   p.kws.size() * sizeof(KeywordId) +
+                   p.offs.size() * sizeof(std::uint32_t) +
+                   p.posts.size() * sizeof(VertexId);
+  }
   return nodes_.capacity() * sizeof(ClTreeNode) +
          vertex_node_.size() * sizeof(ClNodeId) +
          subtree_sizes_.size() * sizeof(std::uint64_t) +
@@ -731,7 +785,157 @@ std::size_t ClTree::MemoryBytes() const {
          inv_posting_arena_.size() * sizeof(VertexId) +
          comp_arena_.size() * sizeof(std::uint8_t) +
          comp_offset_arena_.size() * sizeof(std::uint32_t) +
-         node_kw_bloom_.size() * sizeof(std::uint64_t);
+         node_kw_bloom_.size() * sizeof(std::uint64_t) + patch_bytes;
+}
+
+void ClTree::FixPatchedNodeSpans(ClNodeId id, NodePatch& p) {
+  ClTreeNode& n = nodes_[id];
+  n.vertices = {p.vertices.data(), p.vertices.size()};
+  n.inv_keywords = {p.kws.data(), p.kws.size()};
+  // LOCAL offsets + the patch's own raw arena: ClTreePostingsView's
+  // arena[offsets[i] .. offsets[i+1]) indexing works unchanged.
+  n.inv_postings = {p.offs.data(), p.posts.data(), p.kws.size()};
+}
+
+ClTree ClTree::RepairedFrom(const ClTree& parent) {
+  ClTree t;
+  t.posting_format_ = parent.posting_format_;
+  t.repair_depth_ = parent.repair_depth_ + 1;
+  t.appended_root_vertices_ = parent.appended_root_vertices_;
+
+  // Owned small state: the node directory (its spans still point at the
+  // owner's arenas — or at patch overlays, re-fixed below), per-node
+  // blooms and subtree sizes (repairs write patched values into them).
+  t.nodes_ = parent.nodes_;
+  t.subtree_sizes_ = std::vector<std::uint64_t>(parent.subtree_sizes_.begin(),
+                                                parent.subtree_sizes_.end());
+  t.node_kw_bloom_ = std::vector<std::uint64_t>(parent.node_kw_bloom_.begin(),
+                                                parent.node_kw_bloom_.end());
+
+  // Shared views of every big arena. When `parent` is itself repaired its
+  // members are already views of the original owner, so the chain
+  // collapses: every generation points straight at the owner's buffers
+  // and pinning that single backing keeps all of them valid.
+  t.vertex_node_ = ArrayRef<ClNodeId>::View(parent.vertex_node_.span());
+  t.child_arena_ = ArrayRef<ClNodeId>::View(parent.child_arena_.span());
+  t.anchor_arena_ = ArrayRef<VertexId>::View(parent.anchor_arena_.span());
+  t.inv_keyword_arena_ =
+      ArrayRef<KeywordId>::View(parent.inv_keyword_arena_.span());
+  t.inv_offset_arena_ =
+      ArrayRef<std::uint32_t>::View(parent.inv_offset_arena_.span());
+  t.inv_posting_arena_ =
+      ArrayRef<VertexId>::View(parent.inv_posting_arena_.span());
+  t.comp_arena_ = ArrayRef<std::uint8_t>::View(parent.comp_arena_.span());
+  t.comp_offset_arena_ =
+      ArrayRef<std::uint32_t>::View(parent.comp_offset_arena_.span());
+
+  // Patch overlays are copied (they are small) and the patched nodes'
+  // directory spans re-pointed at OUR copies, so the parent tree itself
+  // can be destroyed.
+  t.patched_bitmap_ = parent.patched_bitmap_;
+  t.node_patches_ = parent.node_patches_;
+  for (auto& [id, patch] : t.node_patches_) t.FixPatchedNodeSpans(id, patch);
+  return t;
+}
+
+void ClTree::AppendRootVertices(const AttributedGraph& g, VertexId first,
+                                std::size_t count, ClTreeRepairStats* stats) {
+  if (count == 0 || nodes_.empty()) return;
+  if (patched_bitmap_.size() < nodes_.size()) {
+    patched_bitmap_.resize(nodes_.size(), 0);
+  }
+  NodePatch& patch = node_patches_[root()];
+  if (!patched_bitmap_[root()]) {
+    // First patch of the root: materialize its current lists into the
+    // overlay (decoding varint postings once), so later merges and the
+    // query kernels see plain raw arrays.
+    const ClTreeNode& rn = nodes_[root()];
+    patch.vertices.assign(rn.vertices.begin(), rn.vertices.end());
+    patch.kws.assign(rn.inv_keywords.begin(), rn.inv_keywords.end());
+    patch.offs.resize(patch.kws.size() + 1);
+    patch.offs[0] = 0;
+    const std::size_t kw_base = static_cast<std::size_t>(
+        rn.inv_keywords.data() - inv_keyword_arena_.data());
+    std::vector<VertexId> buf;
+    for (std::size_t i = 0; i < patch.kws.size(); ++i) {
+      const auto list = PostingsAtSlot(kw_base + i, &buf);
+      patch.posts.insert(patch.posts.end(), list.begin(), list.end());
+      patch.offs[i + 1] = static_cast<std::uint32_t>(patch.posts.size());
+    }
+    patched_bitmap_[root()] = 1;
+  }
+
+  // Appended ids exceed every existing id, so the anchored-vertex list and
+  // every per-keyword posting list stay sorted by plain appends/merges.
+  std::uint64_t new_blooms = 0;
+  std::vector<std::pair<KeywordId, VertexId>> add;
+  for (std::size_t i = 0; i < count; ++i) {
+    const VertexId v = first + static_cast<VertexId>(i);
+    patch.vertices.push_back(v);
+    for (KeywordId kw : g.Keywords(v)) {
+      add.emplace_back(kw, v);
+      new_blooms |= simd::BloomMask(kw);
+    }
+  }
+  std::sort(add.begin(), add.end());
+
+  if (!add.empty()) {
+    // One merge pass over (old keyword runs) x (new sorted pairs) into
+    // fresh lists — linear in the root's patch size.
+    std::vector<KeywordId> kws;
+    std::vector<std::uint32_t> offs{0};
+    VertexList posts;
+    kws.reserve(patch.kws.size());
+    posts.reserve(patch.posts.size() + add.size());
+    std::size_t ai = 0;
+    auto flush_new_runs_below = [&](KeywordId bound, bool bounded) {
+      while (ai < add.size() && (!bounded || add[ai].first < bound)) {
+        const KeywordId kw = add[ai].first;
+        kws.push_back(kw);
+        while (ai < add.size() && add[ai].first == kw) {
+          posts.push_back(add[ai].second);
+          ++ai;
+        }
+        offs.push_back(static_cast<std::uint32_t>(posts.size()));
+      }
+    };
+    for (std::size_t i = 0; i < patch.kws.size(); ++i) {
+      const KeywordId kw = patch.kws[i];
+      flush_new_runs_below(kw, true);
+      kws.push_back(kw);
+      posts.insert(posts.end(), patch.posts.begin() + patch.offs[i],
+                   patch.posts.begin() + patch.offs[i + 1]);
+      while (ai < add.size() && add[ai].first == kw) {
+        posts.push_back(add[ai].second);
+        ++ai;
+      }
+      offs.push_back(static_cast<std::uint32_t>(posts.size()));
+    }
+    flush_new_runs_below(0, false);
+    patch.kws = std::move(kws);
+    patch.offs = std::move(offs);
+    patch.posts = std::move(posts);
+  }
+  FixPatchedNodeSpans(root(), patch);
+
+  // Root bloom and subtree size pick up the appended vertices; no other
+  // node's subtree contains the root. The ArrayRefs only expose const
+  // access, so the updated arrays are rebuilt (O(nodes), trivially cheap
+  // against the rebuild this replaces).
+  std::vector<std::uint64_t> blooms(node_kw_bloom_.begin(),
+                                    node_kw_bloom_.end());
+  blooms[root()] |= new_blooms;
+  node_kw_bloom_ = std::move(blooms);
+  std::vector<std::uint64_t> sizes(subtree_sizes_.begin(),
+                                   subtree_sizes_.end());
+  sizes[root()] += count;
+  subtree_sizes_ = std::move(sizes);
+  appended_root_vertices_ += count;
+
+  if (stats != nullptr) {
+    stats->nodes_touched += 1;
+    stats->postings_patched += add.size();
+  }
 }
 
 std::string ClTree::Serialize() const {

@@ -185,7 +185,8 @@ TEST_F(ApiFixture, StatsReportMutationsBlock) {
        {"active", "overlay_edges", "pending_batches", "batches",
         "patched_vertices", "tail_vertices", "edges_added", "edges_removed",
         "vertices_added", "compactions", "last_compaction_ms",
-        "core_repair_visited", "core_repair_changed"}) {
+        "core_repair_visited", "core_repair_changed", "cltree_repairs",
+        "cltree_rebuild_fallbacks", "nodes_touched", "postings_patched"}) {
     EXPECT_TRUE(zero.Has(field)) << field;
   }
   EXPECT_FALSE(zero.Get("active").AsBool());
@@ -198,6 +199,10 @@ TEST_F(ApiFixture, StatsReportMutationsBlock) {
   EXPECT_EQ(after.Get("overlay_edges").AsInt(), 1);
   EXPECT_EQ(after.Get("edges_added").AsInt(), 1);
   EXPECT_EQ(after.Get("pending_batches").AsInt(), 1);
+  // Every publish is served by either an index repair or a rebuild.
+  EXPECT_EQ(after.Get("cltree_repairs").AsInt() +
+                after.Get("cltree_rebuild_fallbacks").AsInt(),
+            1);
 
   Get("POST /v1/compact");
   JsonValue folded = GetJson("GET /v1/stats").Get("mutations");

@@ -14,7 +14,9 @@
 
 #include "api/query_service.h"
 #include "api/result_cache.h"
+#include "api/types.h"
 #include "common/json.h"
+#include "graph/attributed_graph.h"
 #include "graph/fixtures.h"
 #include "server/http.h"
 #include "server/server.h"
@@ -186,6 +188,99 @@ TEST_F(ResultCacheFixture, StatsEndpointSurfacesCounters) {
   EXPECT_GT(cache.Get("capacity").AsInt(), 0);
   EXPECT_TRUE(v->Get("graph_loaded").AsBool());
   EXPECT_GT(v->Get("sessions").AsInt(), 0);
+}
+
+// --------------------------------------------------------------------------
+// Cross-mutation migration: tagged entries survive certified-neutral
+// publishes, everything else is dropped
+// --------------------------------------------------------------------------
+
+TEST(ResultCacheMigrationTest, ReKeysKeptEntriesAndDropsTheRest) {
+  api::ResultCache cache(/*capacity=*/16, /*shards=*/4);
+  auto value = [](const char* body) {
+    auto v = std::make_shared<api::CachedSearch>();
+    v->body = body;
+    return v;
+  };
+  api::CacheTag keepable{/*valid=*/true, /*level=*/2, /*comp=*/7};
+  api::CacheTag droppable{/*valid=*/true, /*level=*/2, /*comp=*/3};
+  cache.Put("5\x1ekeep", value("kept"), keepable);
+  cache.Put("5\x1edrop", value("dropped"), droppable);
+  cache.Put("5\x1euntagged", value("untagged"));  // no tag: never survives
+  cache.Put("4\x1estale", value("old epoch"), keepable);  // prefix mismatch
+
+  const std::size_t kept = cache.MigrateAcrossEpoch(
+      "5\x1e", "6\x1e",
+      [](const api::CacheTag& tag) { return tag.comp == 7; });
+  EXPECT_EQ(kept, 1u);
+  EXPECT_EQ(cache.GetStats().reused_across_mutation, 1u);
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+
+  // The survivor answers under the NEW epoch's key only.
+  ASSERT_NE(cache.Get("6\x1ekeep"), nullptr);
+  EXPECT_EQ(cache.Get("6\x1ekeep")->body, "kept");
+  EXPECT_EQ(cache.Get("5\x1ekeep"), nullptr);
+  EXPECT_EQ(cache.Get("6\x1edrop"), nullptr);
+  EXPECT_EQ(cache.Get("6\x1euntagged"), nullptr);
+  EXPECT_EQ(cache.Get("6\x1estale"), nullptr);
+}
+
+TEST(ResultCacheMigrationTest, NeutralMutationKeepsUntouchedComponent) {
+  // A 5-cycle (component A) and a disjoint triangle (component B), all of
+  // core 2. Inserting chord (0, 2) changes no core number — a certified
+  // tree repair — so the publish migrates the cache: component B's entry
+  // survives the epoch bump, component A's (the touched one) is dropped.
+  AttributedGraphBuilder b;
+  for (int i = 0; i < 8; ++i) {
+    b.AddVertex("author " + std::to_string(i), {"x"});
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(b.AddEdge(i, (i + 1) % 5).ok());
+  }
+  ASSERT_TRUE(b.AddEdge(5, 6).ok());
+  ASSERT_TRUE(b.AddEdge(6, 7).ok());
+  ASSERT_TRUE(b.AddEdge(5, 7).ok());
+
+  api::QueryService service;
+  ASSERT_TRUE(service.UploadGraph(std::move(b).Build()).ok());
+
+  api::SearchRequest in_triangle;
+  in_triangle.vertices = {5};
+  in_triangle.k = 2;
+  in_triangle.algo = "Global";
+  api::SearchRequest in_cycle = in_triangle;
+  in_cycle.vertices = {0};
+
+  auto triangle_body = service.Search(in_triangle);
+  ASSERT_TRUE(triangle_body.ok());
+  ASSERT_TRUE(service.Search(in_cycle).ok());
+  EXPECT_EQ(service.ResultCacheStats().entries, 2u);
+
+  api::MutationRequest chord;
+  chord.body = "{\"edges\": [[0, 2]]}";
+  ASSERT_TRUE(service.AddEdges(chord).ok());
+  EXPECT_EQ(service.MutationStatsNow().cltree_repairs, 1u);
+  EXPECT_EQ(service.ResultCacheStats().reused_across_mutation, 1u);
+
+  // Component B: served from the migrated entry, byte-identical.
+  auto again = service.Search(in_triangle);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), triangle_body.value());
+  EXPECT_EQ(service.ResultCacheStats().hits, 1u);
+
+  // Component A was touched: its entry is gone, the search re-executes.
+  ASSERT_TRUE(service.Search(in_cycle).ok());
+  EXPECT_EQ(service.ResultCacheStats().hits, 1u);
+  EXPECT_EQ(service.ResultCacheStats().misses, 3u);
+}
+
+TEST(ResultCacheMigrationTest, StatsSurfaceReuseCounter) {
+  CExplorerServer server;
+  ASSERT_TRUE(server.UploadGraph(Figure5Graph()).ok());
+  auto v = JsonValue::Parse(server.Handle("GET /v1/stats").body);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->Get("result_cache").Has("reused_across_mutation"));
+  EXPECT_EQ(v->Get("result_cache").Get("reused_across_mutation").AsInt(), 0);
 }
 
 // Regression: GetStats used to load the counters in an order that let a
